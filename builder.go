@@ -1,0 +1,151 @@
+package ses
+
+import (
+	"fmt"
+
+	"ses/internal/core"
+	"ses/internal/interest"
+)
+
+// InstanceBuilder constructs SES instances by hand — the path for
+// organizers encoding a concrete scenario (a festival lineup, a venue
+// season) rather than sampling from a generated dataset.
+//
+//	b := ses.NewInstanceBuilder(3, 2, 10) // 3 users, 2 intervals, θ=10
+//	popConcert := b.AddEvent(0, 4, "pop-concert")
+//	b.SetInterest(alice, popConcert, 0.9)
+//	rival := b.AddCompeting(0, "rival-show")
+//	b.SetCompetingInterest(alice, rival, 0.5)
+//	inst, err := b.Build()
+type InstanceBuilder struct {
+	numUsers     int
+	numIntervals int
+	resources    float64
+	events       []Event
+	competing    []CompetingEvent
+	candMu       []map[int32]float64
+	compMu       []map[int32]float64
+	activity     Activity
+	err          error
+}
+
+// NewInstanceBuilder starts an instance with the given user count,
+// interval count and per-interval resource budget θ. σ defaults to 1
+// for everyone (override with SetActivity).
+func NewInstanceBuilder(numUsers, numIntervals int, resources float64) *InstanceBuilder {
+	return &InstanceBuilder{
+		numUsers:     numUsers,
+		numIntervals: numIntervals,
+		resources:    resources,
+		activity:     ConstantActivity(1),
+	}
+}
+
+// AddEvent adds a candidate event and returns its index.
+func (b *InstanceBuilder) AddEvent(location int, required float64, name string) int {
+	b.events = append(b.events, Event{Location: location, Required: required, Name: name})
+	b.candMu = append(b.candMu, make(map[int32]float64))
+	return len(b.events) - 1
+}
+
+// AddCompeting adds a third-party event at the given interval and
+// returns its index.
+func (b *InstanceBuilder) AddCompeting(interval int, name string) int {
+	b.competing = append(b.competing, CompetingEvent{Interval: interval, Name: name})
+	b.compMu = append(b.compMu, make(map[int32]float64))
+	return len(b.competing) - 1
+}
+
+// SetInterest sets µ(user, event) for a candidate event.
+func (b *InstanceBuilder) SetInterest(user, event int, mu float64) *InstanceBuilder {
+	if b.err != nil {
+		return b
+	}
+	if event < 0 || event >= len(b.events) {
+		b.err = fmt.Errorf("ses: SetInterest: event %d not added", event)
+		return b
+	}
+	if user < 0 || user >= b.numUsers {
+		b.err = fmt.Errorf("ses: SetInterest: user %d outside [0,%d)", user, b.numUsers)
+		return b
+	}
+	if mu < 0 || mu > 1 {
+		b.err = fmt.Errorf("ses: SetInterest: µ = %v outside [0,1]", mu)
+		return b
+	}
+	b.candMu[event][int32(user)] = mu
+	return b
+}
+
+// SetCompetingInterest sets µ(user, competing event).
+func (b *InstanceBuilder) SetCompetingInterest(user, comp int, mu float64) *InstanceBuilder {
+	if b.err != nil {
+		return b
+	}
+	if comp < 0 || comp >= len(b.competing) {
+		b.err = fmt.Errorf("ses: SetCompetingInterest: competing event %d not added", comp)
+		return b
+	}
+	if user < 0 || user >= b.numUsers {
+		b.err = fmt.Errorf("ses: SetCompetingInterest: user %d outside [0,%d)", user, b.numUsers)
+		return b
+	}
+	if mu < 0 || mu > 1 {
+		b.err = fmt.Errorf("ses: SetCompetingInterest: µ = %v outside [0,1]", mu)
+		return b
+	}
+	b.compMu[comp][int32(user)] = mu
+	return b
+}
+
+// SetActivity installs the σ model.
+func (b *InstanceBuilder) SetActivity(a Activity) *InstanceBuilder {
+	b.activity = a
+	return b
+}
+
+// Build assembles and validates the instance.
+func (b *InstanceBuilder) Build() (*Instance, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	toMatrix := func(rows []map[int32]float64) (*interest.Matrix, error) {
+		m := interest.NewMatrix(b.numUsers, len(rows))
+		for i, row := range rows {
+			ids := make([]int32, 0, len(row))
+			vals := make([]float64, 0, len(row))
+			for id, v := range row {
+				ids = append(ids, id)
+				vals = append(vals, v)
+			}
+			v, err := interest.NewSparseVector(ids, vals)
+			if err != nil {
+				return nil, err
+			}
+			m.SetRow(i, v)
+		}
+		return m, nil
+	}
+	cand, err := toMatrix(b.candMu)
+	if err != nil {
+		return nil, fmt.Errorf("ses: building candidate interest: %w", err)
+	}
+	comp, err := toMatrix(b.compMu)
+	if err != nil {
+		return nil, fmt.Errorf("ses: building competing interest: %w", err)
+	}
+	inst := &core.Instance{
+		NumUsers:     b.numUsers,
+		NumIntervals: b.numIntervals,
+		Resources:    b.resources,
+		Events:       append([]Event(nil), b.events...),
+		Competing:    append([]CompetingEvent(nil), b.competing...),
+		CandInterest: cand,
+		CompInterest: comp,
+		Activity:     b.activity,
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

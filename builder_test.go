@@ -1,0 +1,117 @@
+package ses_test
+
+import (
+	"math"
+	"testing"
+
+	"ses"
+)
+
+// festivalInstance hand-builds the paper's introductory Summerfest
+// scenario: Alice (user 0) likes Pop music and fashion; a Pop concert
+// and a fashion show are candidates, a rival venue's Pop concert
+// competes at interval 0.
+func festivalInstance() *ses.Instance {
+	b := ses.NewInstanceBuilder(3, 2, 10)
+	pop := b.AddEvent(0, 4, "pop-concert")
+	fashion := b.AddEvent(1, 3, "fashion-show")
+	theater := b.AddEvent(2, 5, "theater")
+	rival := b.AddCompeting(0, "rival-pop-concert")
+	// Alice.
+	b.SetInterest(0, pop, 0.9)
+	b.SetInterest(0, fashion, 0.7)
+	b.SetCompetingInterest(0, rival, 0.6)
+	// Bob: theater fan.
+	b.SetInterest(1, theater, 0.8)
+	b.SetInterest(1, pop, 0.2)
+	// Carol: fashion only.
+	b.SetInterest(2, fashion, 0.5)
+	inst, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+func TestBuilderHappyPath(t *testing.T) {
+	inst := festivalInstance()
+	if inst.NumEvents() != 3 || len(inst.Competing) != 1 {
+		t.Fatalf("events=%d competing=%d", inst.NumEvents(), len(inst.Competing))
+	}
+	if inst.CandInterest.Mu(0, 0) != 0.9 {
+		t.Errorf("µ(alice, pop) = %v", inst.CandInterest.Mu(0, 0))
+	}
+	if inst.CompInterest.Mu(0, 0) != 0.6 {
+		t.Errorf("µ(alice, rival) = %v", inst.CompInterest.Mu(0, 0))
+	}
+}
+
+func TestBuilderLuceSplit(t *testing.T) {
+	// Schedule pop and fashion both at interval 0 (the rival is
+	// there): Alice's attendance must split per Luce:
+	// ρ(pop) = 0.9/(0.6+0.9+0.7), ρ(fashion) = 0.7/(0.6+0.9+0.7).
+	inst := festivalInstance()
+	s := ses.NewSchedule(inst)
+	if err := s.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Assign(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	den := 0.6 + 0.9 + 0.7
+	if got, want := ses.AttendanceProb(inst, s, 0, 0), 0.9/den; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ρ(alice,pop) = %v, want %v", got, want)
+	}
+	if got, want := ses.AttendanceProb(inst, s, 0, 1), 0.7/den; math.Abs(got-want) > 1e-12 {
+		t.Errorf("ρ(alice,fashion) = %v, want %v", got, want)
+	}
+	// Moving fashion to interval 1 (no rival there) should raise both
+	// probabilities — the scheduling insight of the paper's intro.
+	s2 := ses.NewSchedule(inst)
+	_ = s2.Assign(0, 0)
+	_ = s2.Assign(1, 1)
+	if got := ses.AttendanceProb(inst, s2, 0, 1); math.Abs(got-0.7/0.7) > 1e-12 {
+		t.Errorf("ρ(alice,fashion alone) = %v, want 1 (σ=1, no competition)", got)
+	}
+	if ses.Utility(inst, s2) <= ses.Utility(inst, s) {
+		t.Error("separating conflicting events should increase utility")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := ses.NewInstanceBuilder(2, 1, 5)
+	e := b.AddEvent(0, 1, "e")
+	b.SetInterest(5, e, 0.5) // bad user
+	if _, err := b.Build(); err == nil {
+		t.Error("bad user accepted")
+	}
+	b2 := ses.NewInstanceBuilder(2, 1, 5)
+	b2.SetInterest(0, 7, 0.5) // event not added
+	if _, err := b2.Build(); err == nil {
+		t.Error("bad event accepted")
+	}
+	b3 := ses.NewInstanceBuilder(2, 1, 5)
+	e3 := b3.AddEvent(0, 1, "e")
+	b3.SetInterest(0, e3, 1.5) // µ out of range
+	if _, err := b3.Build(); err == nil {
+		t.Error("µ > 1 accepted")
+	}
+	b4 := ses.NewInstanceBuilder(2, 1, 5)
+	c4 := b4.AddCompeting(0, "c")
+	b4.SetCompetingInterest(0, c4, -0.1)
+	if _, err := b4.Build(); err == nil {
+		t.Error("negative competing µ accepted")
+	}
+}
+
+func TestBuilderErrorsStick(t *testing.T) {
+	// After the first error, subsequent calls are no-ops and Build
+	// reports the original problem.
+	b := ses.NewInstanceBuilder(1, 1, 5)
+	e := b.AddEvent(0, 1, "e")
+	b.SetInterest(9, e, 0.5)
+	b.SetInterest(0, e, 0.5) // would be fine, but builder is poisoned
+	if _, err := b.Build(); err == nil {
+		t.Error("poisoned builder built anyway")
+	}
+}

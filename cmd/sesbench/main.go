@@ -1,0 +1,194 @@
+// Command sesbench regenerates the paper's evaluation (Fig. 1a–1d) as
+// terminal tables and ASCII charts.
+//
+// Usage:
+//
+//	sesbench [-fig all|1a|1b|1c|1d|sens] [-scale full|medium|small]
+//	         [-reps N] [-seed S] [-algos paper|extended] [-csv dir] [-v]
+//
+// -fig sens runs the sensitivity sweeps over θ (resources), location
+// count and competing intensity — the parameters Section IV-A fixes.
+//
+// -scale full uses the Meetup-California dimensions of the paper
+// (42,444 users); medium (default) and small reduce the user count so
+// a sweep finishes in minutes/seconds while preserving the comparative
+// shape. Utility figures and time figures come from the same runs, so
+// -fig 1a also prints 1b's timing series (and 1c also prints 1d's).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"ses/internal/ebsn"
+	"ses/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sesbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d")
+	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
+	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
+	seed := fs.Uint64("seed", 42, "master seed")
+	algos := fs.String("algos", "paper", "algorithm set: paper (grd/top/rand) or extended")
+	csvDir := fs.String("csv", "", "also write per-figure CSV files into this directory")
+	verbose := fs.Bool("v", false, "stream per-run progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var ecfg ebsn.Config
+	switch *scale {
+	case "full":
+		ecfg = ebsn.DefaultConfig(*seed)
+	case "medium":
+		ecfg = ebsn.DefaultConfig(*seed)
+		ecfg.NumUsers = 8000
+		ecfg.NumEvents = 8192
+		ecfg.NumTags = 3000
+		ecfg.NumGroups = 400
+	case "small":
+		ecfg = ebsn.DefaultConfig(*seed)
+		ecfg.NumUsers = 2000
+		ecfg.NumEvents = 4096
+		ecfg.NumTags = 2000
+		ecfg.NumGroups = 150
+	default:
+		return fmt.Errorf("unknown -scale %q", *scale)
+	}
+	fmt.Fprintf(out, "generating EBSN dataset (%d users, %d events, seed %d)...\n",
+		ecfg.NumUsers, ecfg.NumEvents, *seed)
+	ds, err := ebsn.Generate(ecfg)
+	if err != nil {
+		return err
+	}
+
+	cfg := experiment.Config{Dataset: ds, Reps: *reps, Seed: *seed}
+	switch *algos {
+	case "paper":
+		cfg.Algorithms = experiment.PaperAlgorithms()
+	case "extended":
+		cfg.Algorithms = experiment.ExtendedAlgorithms()
+	default:
+		return fmt.Errorf("unknown -algos %q", *algos)
+	}
+	if *verbose {
+		cfg.Progress = out
+	}
+
+	wantK := *fig == "all" || *fig == "1a" || *fig == "1b"
+	wantT := *fig == "all" || *fig == "1c" || *fig == "1d"
+	wantSens := *fig == "sens"
+	if !wantK && !wantT && !wantSens {
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+
+	if wantK {
+		ks := experiment.DefaultKs()
+		if *scale == "small" {
+			ks = []int{25, 50, 100, 150, 200}
+		}
+		fmt.Fprintf(out, "\n== sweep over k (|T|=3k/2, |E|=2k), %d reps ==\n\n", cfg.Reps)
+		sw, err := experiment.VaryK(cfg, ks)
+		if err != nil {
+			return err
+		}
+		if err := emit(out, sw, "Fig 1a: Utility vs k", "Fig 1b: Time vs k", *csvDir, "fig1a", "fig1b"); err != nil {
+			return err
+		}
+	}
+	if wantT {
+		const k = 100
+		fmt.Fprintf(out, "\n== sweep over |T| (k=%d, |E|=2k), %d reps ==\n\n", k, cfg.Reps)
+		sw, err := experiment.VaryT(cfg, k, experiment.DefaultTFactors())
+		if err != nil {
+			return err
+		}
+		if err := emit(out, sw, "Fig 1c: Utility vs |T|", "Fig 1d: Time vs |T|", *csvDir, "fig1c", "fig1d"); err != nil {
+			return err
+		}
+	}
+	if wantSens {
+		const k = 100
+		fmt.Fprintf(out, "\n== sensitivity: resources θ (k=%d) ==\n\n", k)
+		sw, err := experiment.VaryResources(cfg, k, experiment.DefaultThetas())
+		if err != nil {
+			return err
+		}
+		if err := emit(out, sw, "Utility vs θ", "Time vs θ", *csvDir, "sens_theta_u", "sens_theta_t"); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n== sensitivity: locations (k=%d) ==\n\n", k)
+		sw, err = experiment.VaryLocations(cfg, k, experiment.DefaultLocationCounts())
+		if err != nil {
+			return err
+		}
+		if err := emit(out, sw, "Utility vs locations", "Time vs locations", *csvDir, "sens_loc_u", "sens_loc_t"); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n== sensitivity: competing events per interval (k=%d) ==\n\n", k)
+		sw, err = experiment.VaryCompeting(cfg, k, experiment.DefaultCompetingMeans())
+		if err != nil {
+			return err
+		}
+		if err := emit(out, sw, "Utility vs competing intensity", "Time vs competing intensity", *csvDir, "sens_comp_u", "sens_comp_t"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emit prints the utility and time tables + charts for one sweep and
+// optionally writes CSVs.
+func emit(out io.Writer, sw *experiment.Sweep, utitle, ttitle, csvDir, uname, tname string) error {
+	if err := sw.Table(experiment.Utility, utitle).Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, sw.Chart(experiment.Utility, utitle+" (shape)"))
+	fmt.Fprintln(out)
+	if err := sw.Table(experiment.Time, ttitle).Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	fmt.Fprint(out, sw.Chart(experiment.Time, ttitle+" (shape, seconds)"))
+	fmt.Fprintln(out)
+	if err := sw.Table(experiment.Size, "Scheduled events (|S|) per method").Render(out); err != nil {
+		return err
+	}
+	fmt.Fprintln(out)
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		for _, f := range []struct {
+			metric experiment.Metric
+			name   string
+		}{{experiment.Utility, uname}, {experiment.Time, tname}} {
+			path := filepath.Join(csvDir, f.name+".csv")
+			file, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			err = sw.Table(f.metric, "").CSV(file)
+			if cerr := file.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s\n", path)
+		}
+	}
+	return nil
+}

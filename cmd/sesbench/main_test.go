@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The sweeps at -scale small with tiny rep counts keep this fast
+// enough for the regular test run while exercising the whole harness
+// path end to end.
+
+func TestRunFig1aSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1a", "-scale", "small", "-reps", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"Fig 1a: Utility vs k",
+		"Fig 1b: Time vs k",
+		"Scheduled events",
+		"grd", "top", "rand",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "1c", "-scale", "small", "-reps", "1", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig1c.csv", "fig1d.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, f))
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if !strings.Contains(string(data), "grd") {
+			t.Errorf("%s lacks algorithm columns", f)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "9z"},
+		{"-scale", "galactic"},
+		{"-algos", "none"},
+		{"-wat"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunReportsAllSections(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-users", "400", "-events", "512", "-sample", "30"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"overlapping-events analysis",
+		"paper's Meetup measurement: 8.1",
+		"interest (Jaccard, threshold 0.04)",
+		"density",
+		"tag popularity",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-dataset", "/nope.json"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("missing dataset file accepted")
+	}
+}

@@ -1,0 +1,129 @@
+// Command sessolve solves a SES instance file with a chosen algorithm
+// and prints the schedule and its expected attendance.
+//
+// Usage:
+//
+//	sessolve -instance inst.json [-algo grd] [-k K] [-seed S] [-show N]
+//
+// The instance file is produced by sesgen (or any tool emitting the
+// same JSON). -k 0 uses the instance's natural k = |E|/2 (the paper's
+// ratio). -show limits how many assignments are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"ses/internal/dataset"
+	"ses/internal/solver"
+	"ses/internal/tablefmt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sessolve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sessolve", flag.ContinueOnError)
+	instPath := fs.String("instance", "", "instance JSON file (required)")
+	algo := fs.String("algo", "grd", fmt.Sprintf("algorithm: %v", solver.Names()))
+	k := fs.Int("k", 0, "events to schedule (0 = |E|/2, the paper's ratio)")
+	seed := fs.Uint64("seed", 1, "seed for randomized algorithms")
+	show := fs.Int("show", 20, "max assignments to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *instPath == "" {
+		return fmt.Errorf("-instance is required")
+	}
+	f, err := os.Open(*instPath)
+	if err != nil {
+		return err
+	}
+	inst, err := dataset.LoadInstance(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if *k == 0 {
+		*k = inst.NumEvents() / 2
+	}
+	s, err := solver.New(*algo, *seed)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "instance: %d users, %d intervals, %d candidate events, %d competing, θ=%g\n",
+		inst.NumUsers, inst.NumIntervals, inst.NumEvents(), len(inst.Competing), inst.Resources)
+	start := time.Now()
+	res, err := s.Solve(inst, *k)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "%s scheduled %d/%d events in %s; expected attendance Ω = %.2f\n\n",
+		s.Name(), res.Schedule.Size(), *k, tablefmt.Duration(elapsed), res.Utility)
+
+	// Print assignments by decreasing attendance.
+	type row struct {
+		a     int
+		t     int
+		name  string
+		omega float64
+	}
+	var rows []row
+	eng := res.Schedule
+	for _, a := range eng.Assignments() {
+		rows = append(rows, row{
+			a: a.Event, t: a.Interval,
+			name:  inst.Events[a.Event].Name,
+			omega: attendanceOf(res, a.Event),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].omega > rows[j].omega })
+	tab := &tablefmt.Table{Header: []string{"event", "name", "interval", "expected attendees"}}
+	shown := len(rows)
+	if shown > *show {
+		shown = *show
+	}
+	for _, r := range rows[:shown] {
+		tab.AddRow(fmt.Sprintf("%d", r.a), r.name, fmt.Sprintf("%d", r.t), tablefmt.Float(r.omega))
+	}
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+	if rest := len(rows) - shown; rest > 0 {
+		fmt.Fprintf(out, "... and %d more assignments\n", rest)
+	}
+	return nil
+}
+
+// attendanceOf recomputes ω for one scheduled event from the result's
+// schedule (cheap relative to the solve).
+func attendanceOf(res *solver.Result, event int) float64 {
+	inst := res.Schedule.Instance()
+	t := res.Schedule.IntervalOf(event)
+	sum := 0.0
+	row := inst.CandInterest.Row(event)
+	for i, id := range row.IDs {
+		den := 0.0
+		for _, c := range inst.CompetingAt(t) {
+			den += inst.CompInterest.Mu(int(id), c)
+		}
+		for _, p := range res.Schedule.EventsAt(t) {
+			den += inst.CandInterest.Mu(int(id), p)
+		}
+		if den <= 0 {
+			continue
+		}
+		sum += inst.Activity.Prob(int(id), t) * row.Vals[i] / den
+	}
+	return sum
+}

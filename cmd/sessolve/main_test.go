@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ses/internal/dataset"
+	"ses/internal/ebsn"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	ds, err := ebsn.Generate(ebsn.Config{
+		Seed: 2, NumUsers: 300, NumEvents: 400, NumTags: 800, NumGroups: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := dataset.BuildInstance(ds, dataset.PaperParams{
+		K: 6, Intervals: 5, CandidateEvents: 12, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := dataset.SaveInstance(f, inst); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSolvesInstance(t *testing.T) {
+	path := writeInstance(t)
+	var out bytes.Buffer
+	if err := run([]string{"-instance", path, "-algo", "grd", "-show", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"grd scheduled 6/6", "expected attendance", "interval", "more assignments"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := writeInstance(t)
+	for _, algo := range []string{"grdlazy", "top", "rand", "localsearch", "spread", "online"} {
+		var out bytes.Buffer
+		if err := run([]string{"-instance", path, "-algo", algo, "-k", "4"}, &out); err != nil {
+			t.Errorf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("missing -instance accepted")
+	}
+	if err := run([]string{"-instance", "/nonexistent.json"}, &bytes.Buffer{}); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	path := writeInstance(t)
+	if err := run([]string{"-instance", path, "-algo", "martian"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,50 @@
+// Package ses is a Go implementation of the Social Event Scheduling
+// (SES) problem from Bikakis, Kalogeraki, Gunopulos: "Social Event
+// Scheduling", 34th IEEE International Conference on Data Engineering
+// (ICDE 2018).
+//
+// # The problem
+//
+// An event organizer (festival, venue, marketing company) has a set of
+// candidate events, a set of disjoint time intervals, and a per-
+// interval resource budget. Third parties run competing events at
+// known intervals. Each user has an interest µ(u, e) ∈ [0,1] in every
+// event and a social-activity probability σ(u, t) ∈ [0,1] for every
+// interval. When several interesting events collide, a user picks
+// among them per Luce's choice rule, so the probability that user u
+// attends scheduled event e at interval t is
+//
+//	ρ = σ(u,t) · µ(u,e) / (Σ_{c∈Ct} µ(u,c) + Σ_{p∈Et(S)} µ(u,p))
+//
+// The organizer wants the feasible schedule of exactly k events (no
+// two events in the same interval share a location; per-interval
+// resource use stays within budget θ) maximizing total expected
+// attendance. The problem is strongly NP-hard (reduction from multiple
+// knapsack; see ses/internal/reduction for the executable
+// construction).
+//
+// # What the package provides
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - the problem model (Instance, Event, CompetingEvent, Schedule)
+//   - solvers: Greedy (the paper's GRD, Algorithm 1), LazyGreedy (same
+//     results, CELF-style heap), the paper's TOP and RAND baselines,
+//     and Exact / LocalSearch / Anneal extensions
+//   - utility evaluation (Utility, EventAttendance, AttendanceProb)
+//   - a synthetic Meetup-like EBSN generator and the paper-parameter
+//     instance builder for experiments
+//   - σ (social activity) models, including an estimator from
+//     check-in histories
+//
+// # Quick start
+//
+//	ds, _ := ses.GenerateEBSN(ses.EBSNConfig{Seed: 1, NumUsers: 2000,
+//	    NumEvents: 1000, NumTags: 2000, NumGroups: 50})
+//	inst, _ := ses.BuildInstance(ds, ses.PaperParams{K: 20, Seed: 1})
+//	res, _ := ses.Greedy().Solve(inst, 20)
+//	fmt.Printf("Ω = %.1f expected attendees\n", res.Utility)
+//
+// See examples/ for runnable programs, DESIGN.md for the architecture
+// and EXPERIMENTS.md for the reproduction of the paper's figures.
+package ses

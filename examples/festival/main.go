@@ -1,0 +1,145 @@
+// Festival: the paper's introductory Summerfest scenario, built by
+// hand with the InstanceBuilder.
+//
+// A festival has three stages and two evening slots (Monday, Tuesday).
+// The lineup candidates are a Pop concert, a fashion show, a theater
+// play and a rock concert. A rival venue runs a competing Pop concert
+// on Monday evening. Alice loves Pop and fashion; when both of her
+// events collide with the rival show, Luce's rule splits her — the
+// organizer's job is to schedule so that it doesn't.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ses"
+)
+
+const (
+	monday  = 0
+	tuesday = 1
+)
+
+func main() {
+	const (
+		alice = iota
+		bob
+		carol
+		dave
+		numUsers
+	)
+	userName := []string{"Alice", "Bob", "Carol", "Dave"}
+
+	b := ses.NewInstanceBuilder(numUsers, 2, 10)
+	pop := b.AddEvent(0 /* main stage */, 4, "pop-concert")
+	fashion := b.AddEvent(1 /* side stage */, 3, "fashion-show")
+	theater := b.AddEvent(2 /* theater tent */, 5, "theater-play")
+	rock := b.AddEvent(0 /* main stage */, 4, "rock-concert")
+
+	rival := b.AddCompeting(monday, "rival-pop-concert")
+
+	// Interests (µ).
+	b.SetInterest(alice, pop, 0.9)
+	b.SetInterest(alice, fashion, 0.7)
+	b.SetCompetingInterest(alice, rival, 0.6)
+	b.SetInterest(bob, rock, 0.8)
+	b.SetInterest(bob, pop, 0.3)
+	b.SetInterest(carol, fashion, 0.6)
+	b.SetInterest(carol, theater, 0.5)
+	b.SetInterest(dave, theater, 0.9)
+	b.SetCompetingInterest(dave, rival, 0.2)
+
+	// Availability (σ): Alice works late on Tuesdays — the paper's
+	// second scenario.
+	sigma := [][]float64{
+		{0.9, 0.1}, // Alice: free Monday, working Tuesday
+		{0.8, 0.8},
+		{0.7, 0.9},
+		{0.5, 0.6},
+	}
+	act, err := ses.TableActivity(sigma)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.SetActivity(act)
+
+	inst, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A naive plan: everything big on Monday.
+	naive := ses.NewSchedule(inst)
+	must(naive.Assign(pop, monday))
+	must(naive.Assign(fashion, monday))
+	fmt.Println("naive plan: pop-concert and fashion-show both on Monday (rival show in town)")
+	report(inst, naive, userName, []int{pop, fashion})
+
+	// GRD's plan for k = 2.
+	res, err := ses.Greedy().Solve(inst, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGRD's plan:")
+	for _, a := range res.Schedule.Assignments() {
+		day := "Monday"
+		if a.Interval == tuesday {
+			day = "Tuesday"
+		}
+		fmt.Printf("  %-13s -> %s\n", inst.Events[a.Event].Name, day)
+	}
+	report(inst, res.Schedule, userName, scheduledEvents(res.Schedule, inst))
+
+	fmt.Printf("\nΩ(naive) = %.3f   Ω(GRD) = %.3f\n",
+		ses.Utility(inst, naive), res.Utility)
+
+	// With k = 4 the resource budget (θ=10) and the shared main stage
+	// force real trade-offs: pop and rock cannot share a day.
+	res4, err := ses.Greedy().Solve(inst, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull lineup (k=4) scheduled %d events, Ω = %.3f:\n",
+		res4.Schedule.Size(), res4.Utility)
+	for _, a := range res4.Schedule.Assignments() {
+		day := "Monday"
+		if a.Interval == tuesday {
+			day = "Tuesday"
+		}
+		fmt.Printf("  %-13s -> %s\n", inst.Events[a.Event].Name, day)
+	}
+}
+
+// report prints each user's attendance probabilities for the given
+// scheduled events.
+func report(inst *ses.Instance, s *ses.Schedule, names []string, events []int) {
+	for u := 0; u < inst.NumUsers; u++ {
+		line := fmt.Sprintf("  %-6s:", names[u])
+		any := false
+		for _, e := range events {
+			rho := ses.AttendanceProb(inst, s, u, e)
+			if rho > 0 {
+				line += fmt.Sprintf("  P(%s)=%.2f", inst.Events[e].Name, rho)
+				any = true
+			}
+		}
+		if any {
+			fmt.Println(line)
+		}
+	}
+}
+
+func scheduledEvents(s *ses.Schedule, inst *ses.Instance) []int {
+	var out []int
+	for _, a := range s.Assignments() {
+		out = append(out, a.Event)
+	}
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Social: the paper's interest function µ "can be estimated by
+// considering a large number of factors (e.g., preferences, social
+// connections)". This example estimates µ two ways — pure tag
+// similarity versus a social blend where a user inherits part of
+// their friends' tastes — and shows how the blend changes both the
+// audience estimates and the schedule GRD picks.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ses"
+	"ses/internal/interest"
+)
+
+func main() {
+	ds, err := ses.GenerateEBSN(ses.EBSNConfig{
+		Seed:      17,
+		NumUsers:  3000,
+		NumEvents: 1024,
+		NumTags:   2000,
+		NumGroups: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := ds.GenerateSocialGraph(ses.SocialConfig{Seed: 17, AvgDegree: 10, Rewire: 0.1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("friendship graph: %d users, average degree %.1f\n\n",
+		len(graph.Adj), graph.AvgDegree())
+
+	// Build the same instance twice: once with plain Jaccard interest,
+	// once with the social blend (60%% own taste, 40%% friends').
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{
+		K: 10, Intervals: 15, CandidateEvents: 20, Seed: 17,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Recompute the candidate interest with the social blend; the
+	// builder records which pool events it sampled in Event.Name
+	// ("pool-<id>"), so reuse the instance and swap the matrix.
+	poolIDs := make([]int, inst.NumEvents())
+	for i, ev := range inst.Events {
+		if _, err := fmt.Sscanf(ev.Name, "pool-%d", &poolIDs[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sim := interest.Thresholded(interest.Jaccard, 0.04)
+	socialMu, err := ds.SocialInterestFor(poolIDs, graph, 0.6, 0.02, sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	socialInst := *inst
+	socialInst.CandInterest = socialMu
+
+	base, err := ses.Greedy().Solve(inst, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	soc, err := ses.Greedy().Solve(&socialInst, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %-14s %-14s\n", "", "tag-only µ", "social-blend µ")
+	fmt.Printf("%-28s %-14.1f %-14.1f\n", "expected attendance Ω", base.Utility, soc.Utility)
+	fmt.Printf("%-28s %-14d %-14d\n", "candidate-interest entries",
+		inst.CandInterest.NNZ(), socialMu.NNZ())
+
+	// How different are the two schedules?
+	baseAt := map[int]int{}
+	for _, a := range base.Schedule.Assignments() {
+		baseAt[a.Event] = a.Interval
+	}
+	same, moved, swapped := 0, 0, 0
+	for _, a := range soc.Schedule.Assignments() {
+		if t, ok := baseAt[a.Event]; !ok {
+			swapped++
+		} else if t == a.Interval {
+			same++
+		} else {
+			moved++
+		}
+	}
+	fmt.Printf("\nschedule drift under social interest: %d identical, %d moved, %d replaced\n",
+		same, moved, swapped)
+	fmt.Println("\nthe social blend redistributes interest mass: each user's direct affinity is")
+	fmt.Println("discounted toward their friends' average, which widens some audiences (friends")
+	fmt.Println("drag friends along), thins others, and reorders which events are worth running —")
+	fmt.Println("the same schedule optimized under one µ estimate is suboptimal under the other.")
+}

@@ -1,0 +1,125 @@
+package ses_test
+
+import (
+	"math"
+	"testing"
+
+	"ses"
+)
+
+func TestAllFacadeSolversOnOneInstance(t *testing.T) {
+	ds := smallDataset(t)
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{K: 8, Intervals: 10, CandidateEvents: 16, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solvers := map[string]ses.Solver{
+		"greedy":      ses.Greedy(),
+		"lazy":        ses.LazyGreedy(),
+		"top":         ses.Top(),
+		"topfill":     ses.TopFill(),
+		"random":      ses.Random(4),
+		"localsearch": ses.LocalSearch(),
+		"anneal":      ses.Anneal(4, 500),
+		"beam":        ses.Beam(3, 3),
+		"online":      ses.Online(4),
+		"spread":      ses.Spread(),
+	}
+	for name, s := range solvers {
+		res, err := s.Solve(inst, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Schedule.CheckFeasible(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if want := ses.Utility(inst, res.Schedule); math.Abs(res.Utility-want) > 1e-9 {
+			t.Errorf("%s: reported %v, reference %v", name, res.Utility, want)
+		}
+	}
+}
+
+func TestFacadeSimulateMatchesUtility(t *testing.T) {
+	ds := smallDataset(t)
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{K: 6, Intervals: 8, CandidateEvents: 12, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ses.Greedy().Solve(inst, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ses.Simulate(inst, res.Schedule, ses.SimConfig{Runs: 1500, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := out.Total.StdDev()/math.Sqrt(float64(out.Runs)) + 1e-9
+	if d := math.Abs(out.Total.Mean() - res.Utility); d > 6*se+0.1 {
+		t.Errorf("simulated mean %v vs Ω %v (diff %v, 6·SE %v)", out.Total.Mean(), res.Utility, d, 6*se)
+	}
+}
+
+func TestFacadeCheckInEstimationPath(t *testing.T) {
+	log, truth, err := ses.GenerateCheckIns(ses.CheckInConfig{
+		Seed: 9, NumUsers: 30, NumSlots: 7, Periods: 300,
+		BaseRateMin: 0.1, BaseRateMax: 0.4, PeakSlots: 2, PeakBoost: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	act, err := ses.EstimateActivity(log, 30, 7, 300, 1, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mae float64
+	for u := 0; u < 30; u++ {
+		for ti := 0; ti < 3; ti++ {
+			mae += math.Abs(act.Prob(u, ti) - truth[u][ti])
+		}
+	}
+	if mae/90 > 0.05 {
+		t.Errorf("facade estimation MAE %v", mae/90)
+	}
+}
+
+func TestFacadeSocialPath(t *testing.T) {
+	ds := smallDataset(t)
+	g, err := ds.GenerateSocialGraph(ses.SocialConfig{Seed: 11, AvgDegree: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.AvgDegree() <= 0 {
+		t.Fatal("empty social graph")
+	}
+}
+
+func TestFacadeTableActivity(t *testing.T) {
+	act, err := ses.TableActivity([][]float64{{0.5, 0.25}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if act.Prob(0, 1) != 0.25 {
+		t.Fatal("table lookup wrong")
+	}
+	if _, err := ses.TableActivity([][]float64{{2}}); err == nil {
+		t.Fatal("σ > 1 accepted")
+	}
+}
+
+func TestFacadeExactOnToyInstance(t *testing.T) {
+	inst := festivalInstance()
+	opt, err := ses.ExactSolver().Solve(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := ses.Greedy().Solve(inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grd.Utility > opt.Utility+1e-9 {
+		t.Fatalf("greedy %v beat exact %v", grd.Utility, opt.Utility)
+	}
+}

@@ -1,0 +1,190 @@
+package choice
+
+import "ses/internal/core"
+
+// Dense is the paper-faithful engine: every assignment score is an
+// O(|U|) loop over all users, mirroring the complexity analysis of
+// Algorithm 1 ("each assignment score (Eq. 4) is computed in O(|U|)").
+// Competing and scheduled interest masses are kept as dense per-
+// interval arrays, allocated lazily per interval.
+//
+// Dense exists as the correctness baseline and for the sparse-vs-dense
+// ablation benchmark; use Sparse for real workloads.
+type Dense struct {
+	inst  *core.Instance
+	sched *core.Schedule
+	comp  [][]float64 // per interval: dense competing mass (lazy)
+	pmass [][]float64 // per interval: dense scheduled mass (lazy)
+	// muRows caches dense µ rows for candidate events so the score
+	// loop costs O(1) per user, as the paper assumes of its interest
+	// matrix.
+	muRows map[int][]float64
+}
+
+// NewDense builds the engine for inst with an empty schedule.
+func NewDense(inst *core.Instance) *Dense {
+	e := &Dense{
+		inst:   inst,
+		sched:  core.NewSchedule(inst),
+		comp:   make([][]float64, inst.NumIntervals),
+		pmass:  make([][]float64, inst.NumIntervals),
+		muRows: make(map[int][]float64),
+	}
+	for ci, c := range inst.Competing {
+		t := c.Interval
+		if e.comp[t] == nil {
+			e.comp[t] = make([]float64, inst.NumUsers)
+		}
+		row := inst.CompInterest.Row(ci)
+		for i, id := range row.IDs {
+			e.comp[t][id] += row.Vals[i]
+		}
+	}
+	return e
+}
+
+// Instance returns the problem instance.
+func (e *Dense) Instance() *core.Instance { return e.inst }
+
+// Schedule returns the engine's schedule.
+func (e *Dense) Schedule() *core.Schedule { return e.sched }
+
+// muRow returns (building on first use) the dense interest row of a
+// candidate event.
+func (e *Dense) muRow(event int) []float64 {
+	if r, ok := e.muRows[event]; ok {
+		return r
+	}
+	r := make([]float64, e.inst.NumUsers)
+	row := e.inst.CandInterest.Row(event)
+	for i, id := range row.IDs {
+		r[id] = row.Vals[i]
+	}
+	e.muRows[event] = r
+	return r
+}
+
+func (e *Dense) compAt(t, u int) float64 {
+	if e.comp[t] == nil {
+		return 0
+	}
+	return e.comp[t][u]
+}
+
+func (e *Dense) pmassAt(t, u int) float64 {
+	if e.pmass[t] == nil {
+		return 0
+	}
+	return e.pmass[t][u]
+}
+
+// Score computes Eq. 4 with the paper's O(|U|) user loop.
+func (e *Dense) Score(event, t int) float64 {
+	mu := e.muRow(event)
+	sum := 0.0
+	for u := 0; u < e.inst.NumUsers; u++ {
+		m := mu[u]
+		if m == 0 {
+			continue // zero interest: the user's denominator is unchanged
+		}
+		sigma := e.inst.Activity.Prob(u, t)
+		sum += luceGain(sigma, m, e.compAt(t, u), e.pmassAt(t, u))
+	}
+	return sum
+}
+
+// Apply assigns (event, t) and adds the event's interest to the
+// interval's scheduled mass.
+func (e *Dense) Apply(event, t int) error {
+	if err := e.sched.Assign(event, t); err != nil {
+		return err
+	}
+	if e.pmass[t] == nil {
+		e.pmass[t] = make([]float64, e.inst.NumUsers)
+	}
+	row := e.inst.CandInterest.Row(event)
+	for i, id := range row.IDs {
+		e.pmass[t][id] += row.Vals[i]
+	}
+	return nil
+}
+
+// Unapply removes the event and subtracts its mass.
+func (e *Dense) Unapply(event int) error {
+	t := e.sched.IntervalOf(event)
+	if err := e.sched.Unassign(event); err != nil {
+		return err
+	}
+	row := e.inst.CandInterest.Row(event)
+	for i, id := range row.IDs {
+		e.pmass[t][id] -= row.Vals[i]
+		if e.pmass[t][id] < 1e-12 {
+			e.pmass[t][id] = 0
+		}
+	}
+	return nil
+}
+
+// EventAttendance returns ω (Eq. 2) of a scheduled event.
+func (e *Dense) EventAttendance(event int) float64 {
+	t := e.sched.IntervalOf(event)
+	if t == core.Unassigned {
+		return 0
+	}
+	row := e.inst.CandInterest.Row(event)
+	sum := 0.0
+	for i, id := range row.IDs {
+		denom := e.compAt(t, int(id)) + e.pmassAt(t, int(id))
+		if denom <= 0 {
+			continue
+		}
+		sum += e.inst.Activity.Prob(int(id), t) * row.Vals[i] / denom
+	}
+	return sum
+}
+
+// IntervalUtility returns Σ_{e∈Et} ω at t.
+func (e *Dense) IntervalUtility(t int) float64 {
+	if e.pmass[t] == nil {
+		return 0
+	}
+	sum := 0.0
+	for u, p := range e.pmass[t] {
+		if p <= 0 {
+			continue
+		}
+		sigma := e.inst.Activity.Prob(u, t)
+		sum += luceShare(sigma, e.compAt(t, u), p)
+	}
+	return sum
+}
+
+// Utility returns Ω(S) (Eq. 3).
+func (e *Dense) Utility() float64 {
+	sum := 0.0
+	for t := range e.pmass {
+		sum += e.IntervalUtility(t)
+	}
+	return sum
+}
+
+// Fork deep-copies the schedule and scheduled mass; the competing mass
+// and the µ-row cache are shared (the cache is append-only and the
+// engines are not safe for concurrent use anyway).
+func (e *Dense) Fork() Engine {
+	f := &Dense{
+		inst:   e.inst,
+		sched:  e.sched.Clone(),
+		comp:   e.comp,
+		pmass:  make([][]float64, len(e.pmass)),
+		muRows: e.muRows,
+	}
+	for t, m := range e.pmass {
+		if m != nil {
+			f.pmass[t] = append([]float64(nil), m...)
+		}
+	}
+	return f
+}
+
+var _ Engine = (*Dense)(nil)

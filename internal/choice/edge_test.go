@@ -1,0 +1,158 @@
+package choice
+
+import (
+	"math"
+	"testing"
+
+	"ses/internal/core"
+	"ses/internal/interest"
+	"ses/internal/sestest"
+)
+
+type zeroActivity struct{}
+
+func (zeroActivity) Prob(u, t int) float64 { return 0 }
+
+func TestZeroActivityMeansZeroUtility(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 1, Competing: 3})
+	inst.Activity = zeroActivity{}
+	for name, eng := range newEngines(inst) {
+		greedyFill(eng, 5)
+		if u := eng.Utility(); u != 0 {
+			t.Errorf("%s: σ≡0 but Ω = %v", name, u)
+		}
+		for e := 0; e < inst.NumEvents(); e++ {
+			for ti := 0; ti < inst.NumIntervals; ti++ {
+				if !eng.Schedule().Contains(e) && eng.Score(e, ti) != 0 {
+					t.Errorf("%s: σ≡0 but score(e%d,t%d) ≠ 0", name, e, ti)
+				}
+			}
+		}
+	}
+}
+
+func TestEventWithEmptyInterestRow(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 2, Competing: 3})
+	// Erase event 0's interest entirely.
+	inst.CandInterest.SetRow(0, interest.SparseVector{})
+	for name, eng := range newEngines(inst) {
+		if sc := eng.Score(0, 0); sc != 0 {
+			t.Errorf("%s: empty-interest event has score %v", name, sc)
+		}
+		if err := eng.Apply(0, 0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w := eng.EventAttendance(0); w != 0 {
+			t.Errorf("%s: empty-interest event has ω %v", name, w)
+		}
+		// It also must not disturb anyone else's scores.
+		want := ReferenceUtility(inst, eng.Schedule())
+		if got := eng.Utility(); math.Abs(got-want) > 1e-9 {
+			t.Errorf("%s: utility %v vs reference %v", name, got, want)
+		}
+	}
+}
+
+func TestCompetingOnlyInstanceHasZeroUtilityButValidScores(t *testing.T) {
+	// Heavy competition everywhere, no scheduled events: utility 0;
+	// first assignment's score equals its ω after assignment.
+	inst := sestest.Random(sestest.Config{Seed: 3, Competing: 12})
+	eng := NewSparse(inst)
+	if eng.Utility() != 0 {
+		t.Fatal("empty schedule, non-zero utility")
+	}
+	sc := eng.Score(0, 0)
+	if err := eng.Apply(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if w := eng.EventAttendance(0); math.Abs(w-sc) > 1e-12 {
+		t.Errorf("first score %v must equal resulting ω %v", sc, w)
+	}
+}
+
+func TestCompetingMassAccessor(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 4, Competing: 5})
+	eng := NewSparse(inst)
+	for u := 0; u < inst.NumUsers; u++ {
+		for ti := 0; ti < inst.NumIntervals; ti++ {
+			want := 0.0
+			for _, c := range inst.CompetingAt(ti) {
+				want += inst.CompInterest.Mu(u, c)
+			}
+			if got := eng.CompetingMass(ti, u); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("CompetingMass(t%d,u%d) = %v, want %v", ti, u, got, want)
+			}
+		}
+	}
+}
+
+func TestLuceGainEdgeCases(t *testing.T) {
+	cases := []struct {
+		sigma, mu, c, p float64
+		want            float64
+	}{
+		{0, 0.5, 1, 1, 0},        // inactive user
+		{1, 0, 1, 1, 0},          // zero interest
+		{1, 0.5, 0, 0, 1},        // only option: full capture
+		{0.5, 0.5, 0.5, 0, 0.25}, // σ·µ/(c+µ) = 0.5·0.5/1
+	}
+	for i, c := range cases {
+		if got := luceGain(c.sigma, c.mu, c.c, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: luceGain = %v, want %v", i, got, c.want)
+		}
+	}
+	// Gain with existing mass: delta of shares.
+	got := luceGain(1, 0.5, 0.5, 0.5)
+	want := (0.5+0.5)/(0.5+0.5+0.5) - 0.5/(0.5+0.5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("luceGain with p>0 = %v, want %v", got, want)
+	}
+}
+
+func TestLuceShareEdgeCases(t *testing.T) {
+	if luceShare(1, 1, 0) != 0 {
+		t.Error("no scheduled mass must mean no share")
+	}
+	if luceShare(0, 1, 1) != 0 {
+		t.Error("σ=0 must mean no share")
+	}
+	if got := luceShare(0.5, 0, 2); got != 0.5 {
+		t.Errorf("no competition: share %v, want σ", got)
+	}
+}
+
+func TestManyEventsOneIntervalConservation(t *testing.T) {
+	// Pack one interval; the interval utility must equal the sum of
+	// per-event attendances exactly (internal consistency of the two
+	// aggregation paths in the sparse engine).
+	inst := sestest.Random(sestest.Config{
+		Seed: 5, Events: 10, Intervals: 1, Locations: 10, Resources: 1000, Competing: 4,
+	})
+	for e := range inst.Events {
+		inst.Events[e].Location = e // distinct locations so all 10 fit
+	}
+	eng := NewSparse(inst)
+	for e := 0; e < inst.NumEvents(); e++ {
+		if err := eng.Apply(e, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := 0.0
+	for e := 0; e < inst.NumEvents(); e++ {
+		sum += eng.EventAttendance(e)
+	}
+	if got := eng.IntervalUtility(0); math.Abs(got-sum) > 1e-9 {
+		t.Fatalf("IntervalUtility %v vs Σω %v", got, sum)
+	}
+}
+
+func TestReferenceScoreOnInvalidAssignment(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 6})
+	s := core.NewSchedule(inst)
+	if err := s.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReferenceScore(inst, s, 0, 1); err == nil {
+		t.Fatal("ReferenceScore accepted an already-assigned event")
+	}
+}

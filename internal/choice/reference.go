@@ -1,0 +1,70 @@
+package choice
+
+import "ses/internal/core"
+
+// ReferenceAttendanceProb computes ρ(u, e) (Eq. 1) directly from the
+// definitions for a scheduled event e: the user's activity probability
+// times their interest in e, normalized by their total interest in
+// everything happening during e's interval (competing events plus all
+// scheduled events, e included). Returns 0 if e is not scheduled or
+// the user has no interest in e.
+func ReferenceAttendanceProb(inst *core.Instance, s *core.Schedule, u, e int) float64 {
+	t := s.IntervalOf(e)
+	if t == core.Unassigned {
+		return 0
+	}
+	mu := inst.CandInterest.Mu(u, e)
+	if mu == 0 {
+		return 0
+	}
+	denom := 0.0
+	for _, c := range inst.CompetingAt(t) {
+		denom += inst.CompInterest.Mu(u, c)
+	}
+	for _, p := range s.EventsAt(t) {
+		denom += inst.CandInterest.Mu(u, p)
+	}
+	// denom >= mu > 0 because e itself is among the events at t.
+	return inst.Activity.Prob(u, t) * mu / denom
+}
+
+// ReferenceEventAttendance computes ω (Eq. 2): the expected attendance
+// of scheduled event e summed over all users.
+func ReferenceEventAttendance(inst *core.Instance, s *core.Schedule, e int) float64 {
+	sum := 0.0
+	for u := 0; u < inst.NumUsers; u++ {
+		sum += ReferenceAttendanceProb(inst, s, u, e)
+	}
+	return sum
+}
+
+// ReferenceIntervalUtility computes Σ_{e ∈ Et(S)} ω(e, t).
+func ReferenceIntervalUtility(inst *core.Instance, s *core.Schedule, t int) float64 {
+	sum := 0.0
+	for _, e := range s.EventsAt(t) {
+		sum += ReferenceEventAttendance(inst, s, e)
+	}
+	return sum
+}
+
+// ReferenceUtility computes Ω(S) (Eq. 3).
+func ReferenceUtility(inst *core.Instance, s *core.Schedule) float64 {
+	sum := 0.0
+	for _, a := range s.Assignments() {
+		sum += ReferenceEventAttendance(inst, s, a.Event)
+	}
+	return sum
+}
+
+// ReferenceScore computes the assignment score (Eq. 4) by brute force:
+// it clones the schedule, applies the assignment, and subtracts the
+// interval utilities. The assignment must be valid.
+func ReferenceScore(inst *core.Instance, s *core.Schedule, e, t int) (float64, error) {
+	before := ReferenceIntervalUtility(inst, s, t)
+	clone := s.Clone()
+	if err := clone.Assign(e, t); err != nil {
+		return 0, err
+	}
+	after := ReferenceIntervalUtility(inst, clone, t)
+	return after - before, nil
+}

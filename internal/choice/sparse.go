@@ -1,0 +1,233 @@
+package choice
+
+import (
+	"sort"
+
+	"ses/internal/core"
+)
+
+// Sparse is the production engine. It exploits the sparsity of tag-
+// derived interest: the score of assigning event e to interval t
+// involves only users with µ(u,e) > 0, because everyone else's Luce
+// denominator at t is unchanged by the assignment.
+//
+// Competing interest mass C(t,u) = Σ_{c∈Ct} µ(u,c) is aggregated once
+// at construction into per-interval sorted arrays (binary-searchable,
+// memory ∝ non-zeros). Scheduled mass P(t,u) = Σ_{p∈Et(S)} µ(u,p) is
+// maintained incrementally in per-interval hash maps as assignments
+// are applied.
+type Sparse struct {
+	inst  *core.Instance
+	sched *core.Schedule
+	comp  []massVector        // per interval: aggregated competing mass
+	pmass []map[int32]float64 // per interval: scheduled mass
+}
+
+// massVector is an immutable sorted sparse vector of per-user mass.
+type massVector struct {
+	ids  []int32
+	vals []float64
+}
+
+func (v massVector) at(id int32) float64 {
+	i := sort.Search(len(v.ids), func(i int) bool { return v.ids[i] >= id })
+	if i < len(v.ids) && v.ids[i] == id {
+		return v.vals[i]
+	}
+	return 0
+}
+
+// NewSparse builds the engine for inst with an empty schedule.
+// The instance should be validated beforehand.
+func NewSparse(inst *core.Instance) *Sparse {
+	e := &Sparse{
+		inst:  inst,
+		sched: core.NewSchedule(inst),
+		comp:  make([]massVector, inst.NumIntervals),
+		pmass: make([]map[int32]float64, inst.NumIntervals),
+	}
+	// Aggregate competing interest per interval. Accumulate in maps,
+	// then freeze into sorted arrays.
+	acc := make([]map[int32]float64, inst.NumIntervals)
+	for ci, c := range inst.Competing {
+		row := inst.CompInterest.Row(ci)
+		m := acc[c.Interval]
+		if m == nil {
+			m = make(map[int32]float64)
+			acc[c.Interval] = m
+		}
+		for i, id := range row.IDs {
+			m[id] += row.Vals[i]
+		}
+	}
+	for t, m := range acc {
+		if len(m) == 0 {
+			continue
+		}
+		mv := massVector{
+			ids:  make([]int32, 0, len(m)),
+			vals: make([]float64, 0, len(m)),
+		}
+		for id := range m {
+			mv.ids = append(mv.ids, id)
+		}
+		sort.Slice(mv.ids, func(i, j int) bool { return mv.ids[i] < mv.ids[j] })
+		for _, id := range mv.ids {
+			mv.vals = append(mv.vals, m[id])
+		}
+		e.comp[t] = mv
+	}
+	return e
+}
+
+// Instance returns the problem instance.
+func (e *Sparse) Instance() *core.Instance { return e.inst }
+
+// Schedule returns the engine's schedule.
+func (e *Sparse) Schedule() *core.Schedule { return e.sched }
+
+// CompetingMass returns C(t, u), the user's aggregated interest in the
+// competing events at t.
+func (e *Sparse) CompetingMass(t int, u int) float64 { return e.comp[t].at(int32(u)) }
+
+// scheduledMass returns P(t, u).
+func (e *Sparse) scheduledMass(t int, u int32) float64 {
+	if m := e.pmass[t]; m != nil {
+		return m[u]
+	}
+	return 0
+}
+
+// Score returns the assignment score of (event, t) per Eq. 4,
+// iterating only the event's interested users.
+func (e *Sparse) Score(event, t int) float64 {
+	row := e.inst.CandInterest.Row(event)
+	comp := e.comp[t]
+	pm := e.pmass[t]
+	sum := 0.0
+	for i, id := range row.IDs {
+		mu := row.Vals[i]
+		c := comp.at(id)
+		p := 0.0
+		if pm != nil {
+			p = pm[id]
+		}
+		sigma := e.inst.Activity.Prob(int(id), t)
+		sum += luceGain(sigma, mu, c, p)
+	}
+	return sum
+}
+
+// Apply assigns (event, t) and folds the event's interest row into the
+// interval's scheduled mass.
+func (e *Sparse) Apply(event, t int) error {
+	if err := e.sched.Assign(event, t); err != nil {
+		return err
+	}
+	m := e.pmass[t]
+	if m == nil {
+		m = make(map[int32]float64)
+		e.pmass[t] = m
+	}
+	row := e.inst.CandInterest.Row(event)
+	for i, id := range row.IDs {
+		m[id] += row.Vals[i]
+	}
+	return nil
+}
+
+// Unapply removes the event and subtracts its mass. Entries driven to
+// (numerical) zero are deleted so that later utility sums skip them.
+func (e *Sparse) Unapply(event int) error {
+	t := e.sched.IntervalOf(event)
+	if err := e.sched.Unassign(event); err != nil {
+		return err
+	}
+	m := e.pmass[t]
+	row := e.inst.CandInterest.Row(event)
+	for i, id := range row.IDs {
+		m[id] -= row.Vals[i]
+		if m[id] < 1e-12 {
+			delete(m, id)
+		}
+	}
+	return nil
+}
+
+// EventAttendance returns ω (Eq. 2) of a scheduled event, 0 if
+// unassigned.
+func (e *Sparse) EventAttendance(event int) float64 {
+	t := e.sched.IntervalOf(event)
+	if t == core.Unassigned {
+		return 0
+	}
+	row := e.inst.CandInterest.Row(event)
+	comp := e.comp[t]
+	pm := e.pmass[t]
+	sum := 0.0
+	for i, id := range row.IDs {
+		mu := row.Vals[i]
+		denom := comp.at(id) + pm[id] // pm includes mu itself
+		if denom <= 0 {
+			continue
+		}
+		sum += e.inst.Activity.Prob(int(id), t) * mu / denom
+	}
+	return sum
+}
+
+// IntervalUtility returns Σ_{e∈Et} ω using the aggregated identity
+// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user.
+func (e *Sparse) IntervalUtility(t int) float64 {
+	pm := e.pmass[t]
+	if len(pm) == 0 {
+		return 0
+	}
+	comp := e.comp[t]
+	// Iterate in sorted user order so the floating-point sum is
+	// deterministic across runs (map order is not).
+	ids := make([]int32, 0, len(pm))
+	for id := range pm {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sum := 0.0
+	for _, id := range ids {
+		sigma := e.inst.Activity.Prob(int(id), t)
+		sum += luceShare(sigma, comp.at(id), pm[id])
+	}
+	return sum
+}
+
+// Utility returns Ω(S) (Eq. 3).
+func (e *Sparse) Utility() float64 {
+	sum := 0.0
+	for t := range e.pmass {
+		sum += e.IntervalUtility(t)
+	}
+	return sum
+}
+
+// Fork deep-copies the schedule and scheduled mass while sharing the
+// immutable competing-mass vectors and the instance.
+func (e *Sparse) Fork() Engine {
+	f := &Sparse{
+		inst:  e.inst,
+		sched: e.sched.Clone(),
+		comp:  e.comp, // immutable after construction
+		pmass: make([]map[int32]float64, len(e.pmass)),
+	}
+	for t, m := range e.pmass {
+		if m == nil {
+			continue
+		}
+		cp := make(map[int32]float64, len(m))
+		for id, v := range m {
+			cp[id] = v
+		}
+		f.pmass[t] = cp
+	}
+	return f
+}
+
+var _ Engine = (*Sparse)(nil)

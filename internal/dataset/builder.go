@@ -1,0 +1,160 @@
+// Package dataset turns an EBSN snapshot into concrete SES problem
+// instances following the experimental setup of Section IV-A of the
+// paper, and (de)serializes datasets and instances as JSON for the
+// CLIs.
+package dataset
+
+import (
+	"fmt"
+
+	"ses/internal/activity"
+	"ses/internal/core"
+	"ses/internal/ebsn"
+	"ses/internal/interest"
+	"ses/internal/randx"
+)
+
+// PaperParams are the experiment parameters of Section IV-A. Zero
+// fields default to the paper's values:
+//
+//   - k:           100 (default; the sweeps go up to 500)
+//   - |T|:         3k/2 (swept from k/5 to 3k)
+//   - |E|:         2k candidate events
+//   - locations:   25 (derived by the paper from the spatio-temporal
+//     conflict rate of the Meetup data)
+//   - θ:           20 available resources per interval
+//   - ξ:           uniform in [1, 20/3]
+//   - competing/interval: uniform with mean 8.1 (the paper's Meetup
+//     measurement)
+//   - σ:           uniform (seeded hash)
+//   - µ:           Jaccard over user/event tags, thresholded at
+//     MinInterest as preprocessing
+type PaperParams struct {
+	K               int
+	Intervals       int
+	CandidateEvents int
+	Locations       int
+	Resources       float64
+	ReqMin, ReqMax  float64
+	// CompetingMeanPerInterval is the mean of the per-interval uniform
+	// draw for |Ct|.
+	CompetingMeanPerInterval float64
+	// MinInterest is the preprocessing threshold on µ.
+	MinInterest float64
+	Seed        uint64
+}
+
+// Normalize fills zero fields with the paper's defaults.
+func (p PaperParams) Normalize() PaperParams {
+	if p.K == 0 {
+		p.K = 100
+	}
+	if p.Intervals == 0 {
+		p.Intervals = 3 * p.K / 2
+	}
+	if p.CandidateEvents == 0 {
+		p.CandidateEvents = 2 * p.K
+	}
+	if p.Locations == 0 {
+		p.Locations = 25
+	}
+	if p.Resources == 0 {
+		p.Resources = 20
+	}
+	if p.ReqMax == 0 {
+		p.ReqMin, p.ReqMax = 1, 20.0/3.0
+	}
+	if p.CompetingMeanPerInterval == 0 {
+		p.CompetingMeanPerInterval = 8.1
+	}
+	if p.MinInterest == 0 {
+		p.MinInterest = 0.04
+	}
+	return p
+}
+
+// validate rejects out-of-range parameters post-normalization.
+func (p PaperParams) validate() error {
+	if p.K < 0 {
+		return fmt.Errorf("dataset: negative k %d", p.K)
+	}
+	if p.Intervals <= 0 || p.CandidateEvents <= 0 || p.Locations <= 0 {
+		return fmt.Errorf("dataset: non-positive dimension (T=%d E=%d locations=%d)",
+			p.Intervals, p.CandidateEvents, p.Locations)
+	}
+	if p.ReqMin < 0 || p.ReqMax < p.ReqMin {
+		return fmt.Errorf("dataset: invalid required-resources range [%v,%v]", p.ReqMin, p.ReqMax)
+	}
+	if p.CompetingMeanPerInterval < 0 {
+		return fmt.Errorf("dataset: negative competing mean %v", p.CompetingMeanPerInterval)
+	}
+	if p.MinInterest < 0 || p.MinInterest > 1 {
+		return fmt.Errorf("dataset: MinInterest %v outside [0,1]", p.MinInterest)
+	}
+	return nil
+}
+
+// BuildInstance samples candidate and competing events from the pool
+// and assembles a core.Instance per the paper's setup. The same
+// (dataset, params) pair always produces the same instance.
+func BuildInstance(ds *ebsn.Dataset, p PaperParams) (*core.Instance, error) {
+	p = p.Normalize()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	src := randx.Derive(p.Seed, "dataset/build")
+
+	// Competing event counts per interval: uniform with the measured
+	// mean (8.1 → U{1..15}).
+	compCounts := make([]int, p.Intervals)
+	totalComp := 0
+	for t := range compCounts {
+		compCounts[t] = randx.UniformMean(src, p.CompetingMeanPerInterval, 1)
+		totalComp += compCounts[t]
+	}
+	need := p.CandidateEvents + totalComp
+	pool := len(ds.EventTags)
+	if need > pool {
+		return nil, fmt.Errorf("dataset: need %d pool events (%d candidate + %d competing) but pool has %d",
+			need, p.CandidateEvents, totalComp, pool)
+	}
+	picks := src.SampleWithoutReplacement(pool, need)
+	candPool := picks[:p.CandidateEvents]
+	compPool := picks[p.CandidateEvents:]
+
+	events := make([]core.Event, p.CandidateEvents)
+	for i := range events {
+		events[i] = core.Event{
+			Location: src.IntN(p.Locations),
+			Required: src.Range(p.ReqMin, p.ReqMax),
+			Name:     fmt.Sprintf("pool-%d", candPool[i]),
+		}
+	}
+	competing := make([]core.CompetingEvent, 0, totalComp)
+	ci := 0
+	for t, n := range compCounts {
+		for j := 0; j < n; j++ {
+			competing = append(competing, core.CompetingEvent{
+				Interval: t,
+				Name:     fmt.Sprintf("pool-%d", compPool[ci]),
+			})
+			ci++
+		}
+	}
+
+	sim := interest.Thresholded(interest.Jaccard, p.MinInterest)
+	inst := &core.Instance{
+		NumUsers:     len(ds.UserTags),
+		NumIntervals: p.Intervals,
+		Resources:    p.Resources,
+		Events:       events,
+		Competing:    competing,
+		CandInterest: ds.InterestFor(candPool, sim),
+		CompInterest: ds.InterestFor(compPool, sim),
+		Activity:     activity.UniformHash{Seed: p.Seed ^ 0x51f0a11},
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: built invalid instance: %w", err)
+	}
+	return inst, nil
+}

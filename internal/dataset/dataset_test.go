@@ -1,0 +1,252 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"ses/internal/activity"
+	"ses/internal/ebsn"
+	"ses/internal/solver"
+)
+
+// testDataset is a small EBSN snapshot shared by the tests.
+func testDataset(t testing.TB) *ebsn.Dataset {
+	t.Helper()
+	ds, err := ebsn.Generate(ebsn.Config{
+		Seed:      1,
+		NumUsers:  800,
+		NumEvents: 600,
+		NumTags:   2000,
+		NumGroups: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNormalizeMatchesPaperDefaults(t *testing.T) {
+	p := PaperParams{}.Normalize()
+	if p.K != 100 {
+		t.Errorf("default k = %d, want 100", p.K)
+	}
+	if p.Intervals != 150 {
+		t.Errorf("default |T| = %d, want 3k/2 = 150", p.Intervals)
+	}
+	if p.CandidateEvents != 200 {
+		t.Errorf("default |E| = %d, want 2k = 200", p.CandidateEvents)
+	}
+	if p.Locations != 25 {
+		t.Errorf("default locations = %d, want 25", p.Locations)
+	}
+	if p.Resources != 20 {
+		t.Errorf("default θ = %v, want 20", p.Resources)
+	}
+	if math.Abs(p.ReqMax-20.0/3.0) > 1e-12 || p.ReqMin != 1 {
+		t.Errorf("default ξ range [%v,%v], want [1, 20/3]", p.ReqMin, p.ReqMax)
+	}
+	if p.CompetingMeanPerInterval != 8.1 {
+		t.Errorf("default competing mean = %v, want 8.1", p.CompetingMeanPerInterval)
+	}
+}
+
+func TestBuildInstanceShapeAndDistributions(t *testing.T) {
+	ds := testDataset(t)
+	p := PaperParams{K: 10, Intervals: 8, CandidateEvents: 20, Seed: 3}
+	inst, err := BuildInstance(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumUsers != 800 || inst.NumIntervals != 8 || inst.NumEvents() != 20 {
+		t.Fatalf("shape: users=%d T=%d E=%d", inst.NumUsers, inst.NumIntervals, inst.NumEvents())
+	}
+	// ξ within the paper's range.
+	for i, e := range inst.Events {
+		if e.Required < 1 || e.Required > 20.0/3.0 {
+			t.Errorf("event %d: ξ = %v outside [1, 20/3]", i, e.Required)
+		}
+		if e.Location < 0 || e.Location >= 25 {
+			t.Errorf("event %d: location %d outside [0,25)", i, e.Location)
+		}
+	}
+	// Each interval has at least one competing event (the draw floor
+	// is 1) and the count is bounded by the uniform's support.
+	perInterval := make([]int, inst.NumIntervals)
+	for _, c := range inst.Competing {
+		perInterval[c.Interval]++
+	}
+	for ti, n := range perInterval {
+		if n < 1 || n > 15 {
+			t.Errorf("interval %d has %d competing events, want within U{1..15}", ti, n)
+		}
+	}
+}
+
+func TestBuildInstanceCompetingMeanMatchesPaper(t *testing.T) {
+	ds := testDataset(t)
+	// Many intervals → the empirical mean should approach 8 (support
+	// U{1..15} realizes the paper's 8.1 as closely as integers allow).
+	p := PaperParams{K: 10, Intervals: 60, CandidateEvents: 20, Seed: 5}
+	inst, err := BuildInstance(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := float64(len(inst.Competing)) / float64(inst.NumIntervals)
+	if mean < 6.5 || mean > 9.5 {
+		t.Errorf("competing mean per interval %v, want ≈ 8", mean)
+	}
+}
+
+func TestBuildInstanceDeterministic(t *testing.T) {
+	ds := testDataset(t)
+	p := PaperParams{K: 6, Intervals: 5, CandidateEvents: 12, Seed: 7}
+	a, err := BuildInstance(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildInstance(ds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEvents() != b.NumEvents() || len(a.Competing) != len(b.Competing) {
+		t.Fatal("same params produced different instances")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs across builds", i)
+		}
+	}
+	// And solvable deterministically end to end.
+	ra, err := solver.NewGRD(nil).Solve(a, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := solver.NewGRD(nil).Solve(b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ra.Utility-rb.Utility) > 1e-12 {
+		t.Fatalf("utilities differ: %v vs %v", ra.Utility, rb.Utility)
+	}
+}
+
+func TestBuildInstancePoolExhaustion(t *testing.T) {
+	ds := testDataset(t)
+	p := PaperParams{K: 100, Intervals: 150, CandidateEvents: 10000, Seed: 1}
+	if _, err := BuildInstance(ds, p); err == nil {
+		t.Fatal("accepted params needing more events than the pool holds")
+	}
+}
+
+func TestBuildInstanceRejectsBadParams(t *testing.T) {
+	ds := testDataset(t)
+	cases := []PaperParams{
+		{K: -1, Intervals: 5, CandidateEvents: 10},
+		{K: 5, Intervals: 5, CandidateEvents: 10, ReqMin: 5, ReqMax: 2},
+		{K: 5, Intervals: 5, CandidateEvents: 10, MinInterest: 2},
+		{K: 5, Intervals: 5, CandidateEvents: 10, CompetingMeanPerInterval: -1},
+	}
+	for i, p := range cases {
+		if _, err := BuildInstance(ds, p); err == nil {
+			t.Errorf("case %d: bad params accepted", i)
+		}
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	ds := testDataset(t)
+	var buf bytes.Buffer
+	if err := SaveDataset(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.UserTags) != len(ds.UserTags) || len(got.EventTags) != len(ds.EventTags) {
+		t.Fatal("round trip changed shapes")
+	}
+	for u := range ds.UserTags {
+		if len(got.UserTags[u]) != len(ds.UserTags[u]) {
+			t.Fatalf("user %d tags differ", u)
+		}
+		for i := range ds.UserTags[u] {
+			if got.UserTags[u][i] != ds.UserTags[u][i] {
+				t.Fatalf("user %d tag %d differs", u, i)
+			}
+		}
+		if len(got.UserGroups[u]) != len(ds.UserGroups[u]) {
+			t.Fatalf("user %d group memberships differ", u)
+		}
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	ds := testDataset(t)
+	inst, err := BuildInstance(ds, PaperParams{K: 6, Intervals: 5, CandidateEvents: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded instance must produce the same GRD result.
+	ra, err := solver.NewGRD(nil).Solve(inst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := solver.NewGRD(nil).Solve(got, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ra.Utility-rb.Utility) > 1e-9 {
+		t.Fatalf("round trip changed GRD utility: %v vs %v", ra.Utility, rb.Utility)
+	}
+	aa, bb := ra.Schedule.Assignments(), rb.Schedule.Assignments()
+	for i := range aa {
+		if aa[i] != bb[i] {
+			t.Fatalf("round trip changed GRD schedule at %d", i)
+		}
+	}
+}
+
+func TestInstanceRoundTripActivityModels(t *testing.T) {
+	ds := testDataset(t)
+	inst, err := BuildInstance(ds, PaperParams{K: 4, Intervals: 3, CandidateEvents: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Constant.
+	inst.Activity = activity.Constant(0.5)
+	var buf bytes.Buffer
+	if err := SaveInstance(&buf, inst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Activity.Prob(0, 0) != 0.5 {
+		t.Error("constant activity lost in round trip")
+	}
+	// Unsupported model must fail loudly.
+	inst.Activity = activity.Scaled{Base: activity.Constant(1), Factor: 0.5}
+	if err := SaveInstance(&bytes.Buffer{}, inst); err == nil {
+		t.Error("unserializable activity accepted")
+	}
+}
+
+func TestLoadInstanceRejectsGarbage(t *testing.T) {
+	if _, err := LoadInstance(bytes.NewBufferString("{")); err == nil {
+		t.Error("accepted truncated JSON")
+	}
+	if _, err := LoadInstance(bytes.NewBufferString(`{"activity":{"type":"martian"}}`)); err == nil {
+		t.Error("accepted unknown activity type")
+	}
+}

@@ -1,0 +1,199 @@
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ses/internal/activity"
+	"ses/internal/core"
+	"ses/internal/ebsn"
+	"ses/internal/interest"
+)
+
+// datasetJSON is the on-disk form of an EBSN snapshot.
+type datasetJSON struct {
+	Config     ebsn.Config `json:"config"`
+	UserTags   [][]int32   `json:"user_tags"`
+	UserGroups [][]int32   `json:"user_groups"`
+	EventTags  [][]int32   `json:"event_tags"`
+	EventGroup []int32     `json:"event_group"`
+	GroupTags  [][]int32   `json:"group_tags"`
+}
+
+// SaveDataset writes the snapshot as JSON.
+func SaveDataset(w io.Writer, ds *ebsn.Dataset) error {
+	out := datasetJSON{
+		Config:     ds.Config,
+		UserTags:   tagSetsToRaw(ds.UserTags),
+		UserGroups: ds.UserGroups,
+		EventTags:  tagSetsToRaw(ds.EventTags),
+		EventGroup: ds.EventGroup,
+		GroupTags:  tagSetsToRaw(ds.GroupTags),
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// LoadDataset reads a snapshot written by SaveDataset.
+func LoadDataset(r io.Reader) (*ebsn.Dataset, error) {
+	var in datasetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decoding dataset: %w", err)
+	}
+	if len(in.EventTags) != len(in.EventGroup) {
+		return nil, fmt.Errorf("dataset: %d event tag sets but %d group links",
+			len(in.EventTags), len(in.EventGroup))
+	}
+	return &ebsn.Dataset{
+		Config:     in.Config,
+		UserTags:   rawToTagSets(in.UserTags),
+		UserGroups: in.UserGroups,
+		EventTags:  rawToTagSets(in.EventTags),
+		EventGroup: in.EventGroup,
+		GroupTags:  rawToTagSets(in.GroupTags),
+	}, nil
+}
+
+func tagSetsToRaw(ts []interest.TagSet) [][]int32 {
+	out := make([][]int32, len(ts))
+	for i, s := range ts {
+		out[i] = []int32(s)
+	}
+	return out
+}
+
+func rawToTagSets(raw [][]int32) []interest.TagSet {
+	out := make([]interest.TagSet, len(raw))
+	for i, s := range raw {
+		out[i] = interest.NewTagSet(s)
+	}
+	return out
+}
+
+// activityJSON describes the σ model of a serialized instance.
+type activityJSON struct {
+	Type  string      `json:"type"` // "uniformhash" | "constant" | "table"
+	Seed  uint64      `json:"seed,omitempty"`
+	P     float64     `json:"p,omitempty"`
+	Table [][]float64 `json:"table,omitempty"`
+}
+
+// vectorJSON is a sparse interest row.
+type vectorJSON struct {
+	IDs  []int32   `json:"ids"`
+	Vals []float64 `json:"vals"`
+}
+
+// matrixJSON is a sparse interest matrix.
+type matrixJSON struct {
+	NumUsers int          `json:"num_users"`
+	Rows     []vectorJSON `json:"rows"`
+}
+
+// instanceJSON is the on-disk form of a problem instance.
+type instanceJSON struct {
+	NumUsers     int                   `json:"num_users"`
+	NumIntervals int                   `json:"num_intervals"`
+	Resources    float64               `json:"resources"`
+	Events       []core.Event          `json:"events"`
+	Competing    []core.CompetingEvent `json:"competing"`
+	CandInterest matrixJSON            `json:"cand_interest"`
+	CompInterest matrixJSON            `json:"comp_interest"`
+	Activity     activityJSON          `json:"activity"`
+}
+
+// SaveInstance writes the instance as JSON. The activity model must be
+// one of activity.UniformHash, activity.Constant or *activity.Table;
+// other models have no serialized form.
+func SaveInstance(w io.Writer, inst *core.Instance) error {
+	var act activityJSON
+	switch a := inst.Activity.(type) {
+	case activity.UniformHash:
+		act = activityJSON{Type: "uniformhash", Seed: a.Seed}
+	case activity.Constant:
+		act = activityJSON{Type: "constant", P: float64(a)}
+	case *activity.Table:
+		act = activityJSON{Type: "table", Table: a.P}
+	default:
+		return fmt.Errorf("dataset: activity model %T has no serialized form", inst.Activity)
+	}
+	out := instanceJSON{
+		NumUsers:     inst.NumUsers,
+		NumIntervals: inst.NumIntervals,
+		Resources:    inst.Resources,
+		Events:       inst.Events,
+		Competing:    inst.Competing,
+		CandInterest: matrixToJSON(inst.CandInterest),
+		CompInterest: matrixToJSON(inst.CompInterest),
+		Activity:     act,
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadInstance reads an instance written by SaveInstance and validates
+// it.
+func LoadInstance(r io.Reader) (*core.Instance, error) {
+	var in instanceJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decoding instance: %w", err)
+	}
+	var act core.Activity
+	switch in.Activity.Type {
+	case "uniformhash":
+		act = activity.UniformHash{Seed: in.Activity.Seed}
+	case "constant":
+		act = activity.Constant(in.Activity.P)
+	case "table":
+		tab, err := activity.NewTable(in.Activity.Table)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		act = tab
+	default:
+		return nil, fmt.Errorf("dataset: unknown activity type %q", in.Activity.Type)
+	}
+	cand, err := matrixFromJSON(in.CandInterest)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: candidate interest: %w", err)
+	}
+	comp, err := matrixFromJSON(in.CompInterest)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: competing interest: %w", err)
+	}
+	inst := &core.Instance{
+		NumUsers:     in.NumUsers,
+		NumIntervals: in.NumIntervals,
+		Resources:    in.Resources,
+		Events:       in.Events,
+		Competing:    in.Competing,
+		CandInterest: cand,
+		CompInterest: comp,
+		Activity:     act,
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: loaded instance invalid: %w", err)
+	}
+	return inst, nil
+}
+
+func matrixToJSON(m *interest.Matrix) matrixJSON {
+	out := matrixJSON{NumUsers: m.NumUsers, Rows: make([]vectorJSON, m.NumEvents())}
+	for e := 0; e < m.NumEvents(); e++ {
+		r := m.Row(e)
+		out.Rows[e] = vectorJSON{IDs: r.IDs, Vals: r.Vals}
+	}
+	return out
+}
+
+func matrixFromJSON(in matrixJSON) (*interest.Matrix, error) {
+	m := interest.NewMatrix(in.NumUsers, len(in.Rows))
+	for e, r := range in.Rows {
+		v, err := interest.NewSparseVector(r.IDs, r.Vals)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", e, err)
+		}
+		m.SetRow(e, v)
+	}
+	return m, nil
+}

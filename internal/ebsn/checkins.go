@@ -1,0 +1,93 @@
+package ebsn
+
+import (
+	"fmt"
+
+	"ses/internal/randx"
+)
+
+// CheckIn is one observed social outing: user u was out during
+// recurring slot s of some observation period (e.g. hour-of-week slot
+// during some week).
+type CheckIn struct {
+	User int
+	Slot int
+}
+
+// CheckInConfig parameterizes the synthetic check-in history used to
+// exercise the σ-estimation path suggested by the paper ("estimated by
+// examining the user's past behavior (e.g., number of check-ins)").
+type CheckInConfig struct {
+	Seed     uint64
+	NumUsers int
+	// NumSlots is the number of recurring slots (168 = hour-of-week).
+	NumSlots int
+	// Periods is the number of observation periods (weeks).
+	Periods int
+	// BaseRateMin/Max bound each user's overall propensity to go out.
+	BaseRateMin, BaseRateMax float64
+	// PeakSlots is how many preferred slots each user has; outings are
+	// PeakBoost times likelier there.
+	PeakSlots int
+	PeakBoost float64
+}
+
+// DefaultCheckInConfig returns a weekly-slot setup for n users.
+func DefaultCheckInConfig(seed uint64, n int) CheckInConfig {
+	return CheckInConfig{
+		Seed:        seed,
+		NumUsers:    n,
+		NumSlots:    168,
+		Periods:     52,
+		BaseRateMin: 0.02,
+		BaseRateMax: 0.25,
+		PeakSlots:   6,
+		PeakBoost:   4,
+	}
+}
+
+// GroundTruth is the per-(user, slot) outing probability the generator
+// used, so estimator accuracy can be measured.
+type GroundTruth struct {
+	Prob [][]float64 // [user][slot]
+}
+
+// GenerateCheckIns simulates the history: for each user, period and
+// slot, the user goes out with their (peak-boosted, capped) base rate.
+// It returns the observed check-ins and the generating ground truth.
+func GenerateCheckIns(cfg CheckInConfig) ([]CheckIn, *GroundTruth, error) {
+	if cfg.NumUsers <= 0 || cfg.NumSlots <= 0 || cfg.Periods <= 0 {
+		return nil, nil, fmt.Errorf("ebsn: check-in config needs positive dims, got %+v", cfg)
+	}
+	if cfg.BaseRateMax < cfg.BaseRateMin || cfg.BaseRateMin < 0 || cfg.BaseRateMax > 1 {
+		return nil, nil, fmt.Errorf("ebsn: invalid base rate range [%v,%v]", cfg.BaseRateMin, cfg.BaseRateMax)
+	}
+	src := randx.Derive(cfg.Seed, "ebsn/checkins")
+	truth := &GroundTruth{Prob: make([][]float64, cfg.NumUsers)}
+	var log []CheckIn
+	for u := 0; u < cfg.NumUsers; u++ {
+		base := src.Range(cfg.BaseRateMin, cfg.BaseRateMax)
+		probs := make([]float64, cfg.NumSlots)
+		for s := range probs {
+			probs[s] = base
+		}
+		if cfg.PeakSlots > 0 && cfg.PeakSlots <= cfg.NumSlots {
+			for _, s := range src.SampleWithoutReplacement(cfg.NumSlots, cfg.PeakSlots) {
+				p := base * cfg.PeakBoost
+				if p > 0.95 {
+					p = 0.95
+				}
+				probs[s] = p
+			}
+		}
+		truth.Prob[u] = probs
+		for period := 0; period < cfg.Periods; period++ {
+			for s := 0; s < cfg.NumSlots; s++ {
+				if src.Bool(probs[s]) {
+					log = append(log, CheckIn{User: u, Slot: s})
+				}
+			}
+		}
+	}
+	return log, truth, nil
+}

@@ -1,0 +1,199 @@
+package ebsn
+
+import (
+	"fmt"
+	"sort"
+
+	"ses/internal/interest"
+	"ses/internal/randx"
+)
+
+// SocialGraph is an undirected friendship graph over the dataset's
+// users. The paper's interest function µ "can be estimated by
+// considering a large number of factors (e.g., preferences, social
+// connections)"; this file provides the social-connections factor:
+// friendships form predominantly between co-members of the same
+// group (homophily), with a small rewiring fraction of random ties
+// (weak links), and SocialInterest blends a user's own tag affinity
+// with their friends'.
+type SocialGraph struct {
+	// Adj[u] lists u's friends, sorted ascending, no self-loops,
+	// symmetric (v ∈ Adj[u] ⇔ u ∈ Adj[v]).
+	Adj [][]int32
+}
+
+// SocialConfig controls friendship generation.
+type SocialConfig struct {
+	Seed uint64
+	// AvgDegree is the target mean number of friends (default 8).
+	AvgDegree int
+	// Rewire is the fraction of ties drawn uniformly at random instead
+	// of from shared groups (default 0.1).
+	Rewire float64
+}
+
+// GenerateSocialGraph builds friendships over the dataset's users.
+func (ds *Dataset) GenerateSocialGraph(cfg SocialConfig) (*SocialGraph, error) {
+	n := len(ds.UserTags)
+	if n == 0 {
+		return nil, fmt.Errorf("ebsn: dataset has no users")
+	}
+	if cfg.AvgDegree == 0 {
+		cfg.AvgDegree = 8
+	}
+	if cfg.AvgDegree < 0 || cfg.AvgDegree >= n {
+		return nil, fmt.Errorf("ebsn: average degree %d out of range for %d users", cfg.AvgDegree, n)
+	}
+	if cfg.Rewire < 0 || cfg.Rewire > 1 {
+		return nil, fmt.Errorf("ebsn: rewire fraction %v outside [0,1]", cfg.Rewire)
+	}
+	src := randx.Derive(cfg.Seed, "ebsn/social")
+
+	// Group → members index.
+	members := map[int32][]int32{}
+	for u, gs := range ds.UserGroups {
+		for _, g := range gs {
+			members[g] = append(members[g], int32(u))
+		}
+	}
+
+	seen := make(map[int64]bool)
+	adj := make([][]int32, n)
+	addEdge := func(a, b int32) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := int64(a)<<32 | int64(b)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+
+	// Each user proposes AvgDegree/2 ties (each tie adds degree to two
+	// endpoints, meeting the target in expectation).
+	proposals := cfg.AvgDegree / 2
+	if proposals < 1 {
+		proposals = 1
+	}
+	for u := 0; u < n; u++ {
+		for p := 0; p < proposals; p++ {
+			if src.Float64() < cfg.Rewire || len(ds.UserGroups[u]) == 0 {
+				addEdge(int32(u), int32(src.IntN(n)))
+				continue
+			}
+			g := ds.UserGroups[u][src.IntN(len(ds.UserGroups[u]))]
+			pool := members[g]
+			if len(pool) <= 1 {
+				addEdge(int32(u), int32(src.IntN(n)))
+				continue
+			}
+			addEdge(int32(u), pool[src.IntN(len(pool))])
+		}
+	}
+	for u := range adj {
+		sort.Slice(adj[u], func(i, j int) bool { return adj[u][i] < adj[u][j] })
+	}
+	return &SocialGraph{Adj: adj}, nil
+}
+
+// Validate checks symmetry, sortedness and absence of self-loops.
+func (g *SocialGraph) Validate() error {
+	for u, friends := range g.Adj {
+		for i, f := range friends {
+			if int(f) == u {
+				return fmt.Errorf("ebsn: self-loop at user %d", u)
+			}
+			if i > 0 && friends[i-1] >= f {
+				return fmt.Errorf("ebsn: adjacency of user %d not sorted/unique", u)
+			}
+			if !contains(g.Adj[f], int32(u)) {
+				return fmt.Errorf("ebsn: edge %d→%d not symmetric", u, f)
+			}
+		}
+	}
+	return nil
+}
+
+func contains(sorted []int32, v int32) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+// AvgDegree returns the mean number of friends.
+func (g *SocialGraph) AvgDegree() float64 {
+	total := 0
+	for _, f := range g.Adj {
+		total += len(f)
+	}
+	if len(g.Adj) == 0 {
+		return 0
+	}
+	return float64(total) / float64(len(g.Adj))
+}
+
+// SocialInterestFor computes socially-blended interest vectors for the
+// given pool events:
+//
+//	µ'(u,e) = alpha·sim(u,e) + (1−alpha)·mean_{f ∈ friends(u)} sim(f,e)
+//
+// clamped to [0,1]. alpha = 1 reduces to the plain tag similarity.
+// Entries below minKeep are dropped to preserve sparsity.
+func (ds *Dataset) SocialInterestFor(events []int, g *SocialGraph, alpha, minKeep float64, sim interest.Similarity) (*interest.Matrix, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("ebsn: alpha %v outside [0,1]", alpha)
+	}
+	if g == nil || len(g.Adj) != len(ds.UserTags) {
+		return nil, fmt.Errorf("ebsn: social graph sized for %d users, dataset has %d",
+			len(g.Adj), len(ds.UserTags))
+	}
+	base := ds.InterestFor(events, sim)
+	out := interest.NewMatrix(len(ds.UserTags), len(events))
+	for ei := range events {
+		row := base.Row(ei)
+		// social[u] accumulates Σ_{f friend of u, sim(f,e)>0} sim(f,e);
+		// built by scattering each interested user's value to their
+		// friends.
+		social := make(map[int32]float64)
+		for i, id := range row.IDs {
+			v := row.Vals[i]
+			for _, f := range g.Adj[id] {
+				social[f] += v
+			}
+		}
+		// Blend over the union of direct and social support.
+		union := make(map[int32]float64, row.Len()+len(social))
+		for i, id := range row.IDs {
+			union[id] = alpha * row.Vals[i]
+		}
+		for id, sum := range social {
+			deg := len(g.Adj[id])
+			if deg == 0 {
+				continue
+			}
+			union[id] += (1 - alpha) * sum / float64(deg)
+		}
+		ids := make([]int32, 0, len(union))
+		for id, v := range union {
+			if v >= minKeep && v > 0 {
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		vals := make([]float64, len(ids))
+		for i, id := range ids {
+			v := union[id]
+			if v > 1 {
+				v = 1
+			}
+			vals[i] = v
+		}
+		out.SetRow(ei, interest.SparseVector{IDs: ids, Vals: vals})
+	}
+	return out, nil
+}

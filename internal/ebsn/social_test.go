@@ -1,0 +1,180 @@
+package ebsn
+
+import (
+	"math"
+	"testing"
+
+	"ses/internal/interest"
+)
+
+func socialDataset(t *testing.T) *Dataset {
+	t.Helper()
+	ds, err := Generate(smallConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateSocialGraphInvariants(t *testing.T) {
+	ds := socialDataset(t)
+	g, err := ds.GenerateSocialGraph(SocialConfig{Seed: 1, AvgDegree: 8, Rewire: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Adj) != len(ds.UserTags) {
+		t.Fatalf("graph over %d users, dataset has %d", len(g.Adj), len(ds.UserTags))
+	}
+	deg := g.AvgDegree()
+	if deg < 4 || deg > 12 {
+		t.Errorf("average degree %v, target 8", deg)
+	}
+}
+
+func TestGenerateSocialGraphDeterministic(t *testing.T) {
+	ds := socialDataset(t)
+	a, _ := ds.GenerateSocialGraph(SocialConfig{Seed: 5, AvgDegree: 6})
+	b, _ := ds.GenerateSocialGraph(SocialConfig{Seed: 5, AvgDegree: 6})
+	for u := range a.Adj {
+		if len(a.Adj[u]) != len(b.Adj[u]) {
+			t.Fatalf("user %d degree differs across runs", u)
+		}
+		for i := range a.Adj[u] {
+			if a.Adj[u][i] != b.Adj[u][i] {
+				t.Fatalf("user %d friend %d differs", u, i)
+			}
+		}
+	}
+}
+
+func TestGenerateSocialGraphHomophily(t *testing.T) {
+	// With low rewiring, most ties should share a group with the user.
+	ds := socialDataset(t)
+	g, err := ds.GenerateSocialGraph(SocialConfig{Seed: 2, AvgDegree: 8, Rewire: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, total := 0, 0
+	inGroups := func(u int32, g int32) bool {
+		for _, x := range ds.UserGroups[u] {
+			if x == g {
+				return true
+			}
+		}
+		return false
+	}
+	for u, friends := range g.Adj {
+		for _, f := range friends {
+			total++
+			for _, grp := range ds.UserGroups[u] {
+				if inGroups(f, grp) {
+					shared++
+					break
+				}
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no edges")
+	}
+	if frac := float64(shared) / float64(total); frac < 0.5 {
+		t.Errorf("only %.0f%% of ties share a group; homophily broken", 100*frac)
+	}
+}
+
+func TestSocialGraphValidation(t *testing.T) {
+	ds := socialDataset(t)
+	if _, err := ds.GenerateSocialGraph(SocialConfig{Seed: 1, AvgDegree: -1}); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, err := ds.GenerateSocialGraph(SocialConfig{Seed: 1, Rewire: 2}); err == nil {
+		t.Error("rewire > 1 accepted")
+	}
+	bad := &SocialGraph{Adj: [][]int32{{0}}}
+	if bad.Validate() == nil {
+		t.Error("self-loop accepted")
+	}
+	asym := &SocialGraph{Adj: [][]int32{{1}, {}}}
+	if asym.Validate() == nil {
+		t.Error("asymmetric edge accepted")
+	}
+}
+
+func TestSocialInterestAlphaOneEqualsBase(t *testing.T) {
+	ds := socialDataset(t)
+	g, err := ds.GenerateSocialGraph(SocialConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []int{0, 5, 9}
+	sim := interest.Thresholded(interest.Jaccard, 0.04)
+	base := ds.InterestFor(events, sim)
+	blended, err := ds.SocialInterestFor(events, g, 1, 0, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range events {
+		br, sr := base.Row(e), blended.Row(e)
+		if br.Len() != sr.Len() {
+			t.Fatalf("event %d: α=1 changed support %d → %d", e, br.Len(), sr.Len())
+		}
+		for i := range br.IDs {
+			if br.IDs[i] != sr.IDs[i] || math.Abs(br.Vals[i]-sr.Vals[i]) > 1e-12 {
+				t.Fatalf("event %d entry %d differs under α=1", e, i)
+			}
+		}
+	}
+}
+
+func TestSocialInterestBlending(t *testing.T) {
+	ds := socialDataset(t)
+	g, err := ds.GenerateSocialGraph(SocialConfig{Seed: 4, AvgDegree: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := []int{1, 2}
+	sim := interest.Thresholded(interest.Jaccard, 0.04)
+	blended, err := ds.SocialInterestFor(events, g, 0.6, 0.01, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := blended.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check the formula on every entry of event 0.
+	base := ds.InterestFor(events, sim)
+	row := blended.Row(0)
+	for i, id := range row.IDs {
+		own := base.Row(0).At(id)
+		sum := 0.0
+		for _, f := range g.Adj[id] {
+			sum += base.Row(0).At(f)
+		}
+		want := 0.6*own + 0.4*sum/float64(len(g.Adj[id]))
+		if want > 1 {
+			want = 1
+		}
+		if math.Abs(row.Vals[i]-want) > 1e-12 {
+			t.Fatalf("user %d: blended %v, want %v", id, row.Vals[i], want)
+		}
+	}
+	// Social blending must add users (friends of the interested) that
+	// plain similarity misses.
+	if blended.NNZ() <= base.NNZ()/2 {
+		t.Logf("note: blended support %d vs base %d", blended.NNZ(), base.NNZ())
+	}
+}
+
+func TestSocialInterestValidation(t *testing.T) {
+	ds := socialDataset(t)
+	g, _ := ds.GenerateSocialGraph(SocialConfig{Seed: 5})
+	if _, err := ds.SocialInterestFor([]int{0}, g, 1.5, 0, interest.Jaccard); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := ds.SocialInterestFor([]int{0}, &SocialGraph{}, 0.5, 0, interest.Jaccard); err == nil {
+		t.Error("mismatched graph accepted")
+	}
+}

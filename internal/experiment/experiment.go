@@ -1,0 +1,279 @@
+// Package experiment is the harness that regenerates the paper's
+// evaluation (Section IV): the utility and running-time series of
+// Fig. 1a–1d, swept over the number of scheduled events k and the
+// number of time intervals |T|, with all other parameters at the
+// paper's defaults (see dataset.PaperParams).
+//
+// A sweep builds one instance per (point, repetition) from a shared
+// EBSN dataset, runs every configured algorithm on it, and aggregates
+// utility, wall time and schedule size across repetitions. Instance
+// construction time is excluded from the timing series, matching the
+// paper's measurement of algorithm execution time.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ses/internal/dataset"
+	"ses/internal/ebsn"
+	"ses/internal/plot"
+	"ses/internal/solver"
+	"ses/internal/stats"
+	"ses/internal/tablefmt"
+)
+
+// Algorithm names a solver constructor for the harness. Build receives
+// a per-repetition seed so randomized solvers vary across reps while
+// staying reproducible.
+type Algorithm struct {
+	Name  string
+	Build func(seed uint64) solver.Solver
+}
+
+// PaperAlgorithms returns the three methods of the paper's evaluation:
+// GRD and the TOP and RAND baselines.
+func PaperAlgorithms() []Algorithm {
+	return []Algorithm{
+		{Name: "grd", Build: func(seed uint64) solver.Solver { return solver.NewGRD(nil) }},
+		{Name: "top", Build: func(seed uint64) solver.Solver { return solver.NewTOP(nil) }},
+		{Name: "rand", Build: func(seed uint64) solver.Solver { return solver.NewRAND(seed, nil) }},
+	}
+}
+
+// ExtendedAlgorithms adds this reproduction's extensions to the
+// paper's three.
+func ExtendedAlgorithms() []Algorithm {
+	return append(PaperAlgorithms(),
+		Algorithm{Name: "grdlazy", Build: func(seed uint64) solver.Solver { return solver.NewGRDLazy(nil) }},
+		Algorithm{Name: "topfill", Build: func(seed uint64) solver.Solver { return solver.NewTOPFill(nil) }},
+		Algorithm{Name: "localsearch", Build: func(seed uint64) solver.Solver {
+			return solver.NewLocalSearch(nil, 2, nil)
+		}},
+	)
+}
+
+// Config drives a sweep.
+type Config struct {
+	// Dataset is the EBSN snapshot instances are sampled from.
+	Dataset *ebsn.Dataset
+	// Algorithms to run; defaults to PaperAlgorithms.
+	Algorithms []Algorithm
+	// Reps is the number of instances per point (default 3).
+	Reps int
+	// Seed derives instance and solver seeds.
+	Seed uint64
+	// Params overrides the paper defaults for everything except the
+	// swept dimension (zero values keep the paper's).
+	Params dataset.PaperParams
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+func (c Config) normalize() Config {
+	if c.Algorithms == nil {
+		c.Algorithms = PaperAlgorithms()
+	}
+	if c.Reps == 0 {
+		c.Reps = 3
+	}
+	return c
+}
+
+// Measurement aggregates one algorithm's results at one sweep point.
+type Measurement struct {
+	Utility stats.Summary
+	Time    stats.Summary // seconds
+	Size    stats.Summary // scheduled events
+}
+
+// Point is one x-value of a sweep.
+type Point struct {
+	X      int // the swept value (k or |T|)
+	K      int
+	T      int
+	E      int
+	ByAlgo map[string]*Measurement
+}
+
+// Sweep is a completed experiment.
+type Sweep struct {
+	// Label names the swept dimension ("k" or "|T|").
+	Label      string
+	Algorithms []string
+	Points     []Point
+}
+
+// run executes all algorithms on all reps of one parameter point.
+func run(cfg Config, p dataset.PaperParams, x int) (Point, error) {
+	pt := Point{X: x, K: p.K, ByAlgo: make(map[string]*Measurement)}
+	norm := p.Normalize()
+	pt.T = norm.Intervals
+	pt.E = norm.CandidateEvents
+	for _, a := range cfg.Algorithms {
+		pt.ByAlgo[a.Name] = &Measurement{}
+	}
+	for rep := 0; rep < cfg.Reps; rep++ {
+		p.Seed = cfg.Seed + uint64(rep)*1000003
+		inst, err := dataset.BuildInstance(cfg.Dataset, p)
+		if err != nil {
+			return pt, fmt.Errorf("experiment: building instance (x=%d rep=%d): %w", x, rep, err)
+		}
+		for _, a := range cfg.Algorithms {
+			s := a.Build(p.Seed ^ 0xa1)
+			start := time.Now()
+			res, err := s.Solve(inst, p.K)
+			elapsed := time.Since(start)
+			if err != nil {
+				return pt, fmt.Errorf("experiment: %s (x=%d rep=%d): %w", a.Name, x, rep, err)
+			}
+			m := pt.ByAlgo[a.Name]
+			m.Utility.Add(res.Utility)
+			m.Time.Add(elapsed.Seconds())
+			m.Size.Add(float64(res.Schedule.Size()))
+			if cfg.Progress != nil {
+				fmt.Fprintf(cfg.Progress, "x=%-5d rep=%d %-12s utility=%-12.1f time=%-10s size=%d\n",
+					x, rep, a.Name, res.Utility, tablefmt.Duration(elapsed), res.Schedule.Size())
+			}
+		}
+	}
+	return pt, nil
+}
+
+// VaryK reproduces the Fig. 1a/1b sweep: for each k, |E| = 2k and
+// |T| = 3k/2 per the paper's setup.
+func VaryK(cfg Config, ks []int) (*Sweep, error) {
+	cfg = cfg.normalize()
+	sw := &Sweep{Label: "k", Algorithms: names(cfg.Algorithms)}
+	for _, k := range ks {
+		p := cfg.Params
+		p.K = k
+		p.Intervals = 3 * k / 2
+		p.CandidateEvents = 2 * k
+		pt, err := run(cfg, p, k)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// VaryT reproduces the Fig. 1c/1d sweep: k fixed (default 100),
+// |T| swept as a multiple of k from k/5 to 3k.
+func VaryT(cfg Config, k int, factors []float64) (*Sweep, error) {
+	cfg = cfg.normalize()
+	sw := &Sweep{Label: "|T|", Algorithms: names(cfg.Algorithms)}
+	for _, f := range factors {
+		p := cfg.Params
+		p.K = k
+		p.Intervals = int(float64(k) * f)
+		if p.Intervals < 1 {
+			p.Intervals = 1
+		}
+		p.CandidateEvents = 2 * k
+		pt, err := run(cfg, p, p.Intervals)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// DefaultKs is the paper's k sweep (default 100, maximum 500).
+func DefaultKs() []int { return []int{50, 100, 200, 300, 400, 500} }
+
+// DefaultTFactors is the paper's |T| sweep: k/5 up to 3k with default
+// 3k/2.
+func DefaultTFactors() []float64 { return []float64{0.2, 0.5, 1, 1.5, 2, 3} }
+
+func names(algos []Algorithm) []string {
+	out := make([]string, len(algos))
+	for i, a := range algos {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Metric selects what a table or chart shows.
+type Metric int
+
+// Metrics.
+const (
+	Utility Metric = iota
+	Time
+	Size
+)
+
+func (m Metric) String() string {
+	switch m {
+	case Utility:
+		return "utility"
+	case Time:
+		return "time"
+	case Size:
+		return "size"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+func (m Metric) value(meas *Measurement) float64 {
+	switch m {
+	case Utility:
+		return meas.Utility.Mean()
+	case Time:
+		return meas.Time.Mean()
+	default:
+		return meas.Size.Mean()
+	}
+}
+
+// Table renders the sweep as a text table of the metric's mean (over
+// repetitions) per algorithm.
+func (s *Sweep) Table(m Metric, title string) *tablefmt.Table {
+	t := &tablefmt.Table{Title: title}
+	t.Header = []string{s.Label}
+	if s.Label != "|T|" { // avoid duplicating the swept column
+		t.Header = append(t.Header, "|T|")
+	}
+	t.Header = append(t.Header, "|E|")
+	for _, a := range s.Algorithms {
+		t.Header = append(t.Header, a)
+	}
+	for _, pt := range s.Points {
+		row := []string{fmt.Sprintf("%d", pt.X)}
+		if s.Label != "|T|" {
+			row = append(row, fmt.Sprintf("%d", pt.T))
+		}
+		row = append(row, fmt.Sprintf("%d", pt.E))
+		for _, a := range s.Algorithms {
+			meas := pt.ByAlgo[a]
+			switch m {
+			case Time:
+				row = append(row, tablefmt.Duration(time.Duration(meas.Time.Mean()*float64(time.Second))))
+			default:
+				row = append(row, tablefmt.Float(m.value(meas)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Chart renders the sweep as an ASCII chart of the metric.
+func (s *Sweep) Chart(m Metric, title string) string {
+	series := make([]plot.Series, 0, len(s.Algorithms))
+	for _, a := range s.Algorithms {
+		var sr plot.Series
+		sr.Name = a
+		for _, pt := range s.Points {
+			sr.X = append(sr.X, float64(pt.X))
+			sr.Y = append(sr.Y, m.value(pt.ByAlgo[a]))
+		}
+		series = append(series, sr)
+	}
+	return plot.Chart(title, series, 60, 14)
+}

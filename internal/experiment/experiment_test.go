@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ses/internal/ebsn"
+)
+
+// testDataset is small enough for fast sweeps.
+func testDataset(t testing.TB) *ebsn.Dataset {
+	t.Helper()
+	ds, err := ebsn.Generate(ebsn.Config{
+		Seed:      3,
+		NumUsers:  600,
+		NumEvents: 500,
+		NumTags:   2000,
+		NumGroups: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestVaryKShapesAndOrdering(t *testing.T) {
+	ds := testDataset(t)
+	sw, err := VaryK(Config{Dataset: ds, Reps: 2, Seed: 11}, []int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Label != "k" || len(sw.Points) != 2 {
+		t.Fatalf("sweep shape: %+v", sw)
+	}
+	for _, pt := range sw.Points {
+		// Paper setup: |T| = 3k/2, |E| = 2k.
+		if pt.T != 3*pt.K/2 || pt.E != 2*pt.K {
+			t.Errorf("k=%d: T=%d E=%d violate the paper's scaling", pt.K, pt.T, pt.E)
+		}
+		for _, a := range sw.Algorithms {
+			m := pt.ByAlgo[a]
+			if m.Utility.N() != 2 {
+				t.Errorf("k=%d %s: %d reps recorded", pt.K, a, m.Utility.N())
+			}
+			if m.Utility.Mean() < 0 {
+				t.Errorf("k=%d %s: negative utility", pt.K, a)
+			}
+			if m.Time.Mean() <= 0 {
+				t.Errorf("k=%d %s: non-positive time", pt.K, a)
+			}
+		}
+		// The paper's headline ordering at every point: GRD wins.
+		grd := pt.ByAlgo["grd"].Utility.Mean()
+		top := pt.ByAlgo["top"].Utility.Mean()
+		rnd := pt.ByAlgo["rand"].Utility.Mean()
+		if grd < top || grd < rnd {
+			t.Errorf("k=%d: GRD %v not dominant (top=%v rand=%v)", pt.K, grd, top, rnd)
+		}
+	}
+	// GRD utility grows with k.
+	if sw.Points[1].ByAlgo["grd"].Utility.Mean() <= sw.Points[0].ByAlgo["grd"].Utility.Mean() {
+		t.Error("GRD utility did not grow with k")
+	}
+}
+
+func TestVaryTUsesRequestedFactors(t *testing.T) {
+	ds := testDataset(t)
+	sw, err := VaryT(Config{Dataset: ds, Reps: 1, Seed: 5}, 10, []float64{0.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 {
+		t.Fatalf("points = %d", len(sw.Points))
+	}
+	if sw.Points[0].T != 5 || sw.Points[1].T != 20 {
+		t.Errorf("|T| points = %d, %d; want 5, 20", sw.Points[0].T, sw.Points[1].T)
+	}
+	for _, pt := range sw.Points {
+		if pt.K != 10 || pt.E != 20 {
+			t.Errorf("point k=%d E=%d; want fixed k=10 E=20", pt.K, pt.E)
+		}
+	}
+}
+
+func TestSweepTableAndChart(t *testing.T) {
+	ds := testDataset(t)
+	sw, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 7}, []int{8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sw.Table(Utility, "Fig 1a").Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig 1a", "grd", "top", "rand", "8", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := sw.Table(Time, "Fig 1b").Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "s") {
+		t.Error("time table lacks duration units")
+	}
+	chart := sw.Chart(Utility, "Fig 1a shape")
+	if !strings.Contains(chart, "grd") || !strings.Contains(chart, "*") {
+		t.Errorf("chart malformed:\n%s", chart)
+	}
+}
+
+func TestProgressStream(t *testing.T) {
+	ds := testDataset(t)
+	var progress bytes.Buffer
+	_, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 2, Progress: &progress}, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(progress.String(), "grd") {
+		t.Error("no progress lines written")
+	}
+}
+
+func TestExtendedAlgorithmsRun(t *testing.T) {
+	ds := testDataset(t)
+	sw, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 9, Algorithms: ExtendedAlgorithms()}, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := sw.Points[0]
+	// grdlazy must match grd exactly.
+	if g, l := pt.ByAlgo["grd"].Utility.Mean(), pt.ByAlgo["grdlazy"].Utility.Mean(); g != l {
+		t.Errorf("grd %v != grdlazy %v", g, l)
+	}
+	// localsearch starts from grd and must not be worse.
+	if g, ls := pt.ByAlgo["grd"].Utility.Mean(), pt.ByAlgo["localsearch"].Utility.Mean(); ls < g-1e-9 {
+		t.Errorf("localsearch %v below grd %v", ls, g)
+	}
+	// topfill dominates top (same list, more valid picks).
+	if tf, tp := pt.ByAlgo["topfill"].Utility.Mean(), pt.ByAlgo["top"].Utility.Mean(); tf < tp-1e-9 {
+		t.Errorf("topfill %v below top %v", tf, tp)
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	ks := DefaultKs()
+	if ks[len(ks)-1] != 500 {
+		t.Errorf("max k = %d, paper uses 500", ks[len(ks)-1])
+	}
+	found100 := false
+	for _, k := range ks {
+		if k == 100 {
+			found100 = true
+		}
+	}
+	if !found100 {
+		t.Error("default k sweep misses the paper default 100")
+	}
+	fs := DefaultTFactors()
+	if fs[0] != 0.2 || fs[len(fs)-1] != 3 {
+		t.Errorf("T factors %v, paper sweeps k/5..3k", fs)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Utility.String() != "utility" || Time.String() != "time" || Size.String() != "size" {
+		t.Error("metric names wrong")
+	}
+}

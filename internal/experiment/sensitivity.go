@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"fmt"
+)
+
+// Sensitivity sweeps parameters the paper holds fixed, quantifying the
+// design claims of Section IV-A:
+//
+//   - Resources θ ("performance and effectiveness ... are marginally
+//     affected by the available/required resources parameters") —
+//     VaryResources checks that utility is indeed flat in θ once θ is
+//     comfortably above the mean ξ.
+//   - Locations (the paper fixes 25 from a conflict-rate analysis) —
+//     VaryLocations shows how location scarcity throttles every
+//     method.
+//   - Competing intensity (the measured 8.1 events/interval) —
+//     VaryCompeting shows utility eroding as third parties crowd the
+//     calendar, the motivation of the whole problem.
+
+// VaryResources sweeps the organizer's per-interval budget θ.
+func VaryResources(cfg Config, k int, thetas []float64) (*Sweep, error) {
+	cfg = cfg.normalize()
+	sw := &Sweep{Label: "θ", Algorithms: names(cfg.Algorithms)}
+	for _, th := range thetas {
+		if th <= 0 {
+			return nil, fmt.Errorf("experiment: non-positive θ %v", th)
+		}
+		p := cfg.Params
+		p.K = k
+		p.Resources = th
+		pt, err := run(cfg, p, int(th))
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// VaryLocations sweeps the number of available event locations.
+func VaryLocations(cfg Config, k int, locations []int) (*Sweep, error) {
+	cfg = cfg.normalize()
+	sw := &Sweep{Label: "locations", Algorithms: names(cfg.Algorithms)}
+	for _, l := range locations {
+		if l <= 0 {
+			return nil, fmt.Errorf("experiment: non-positive location count %d", l)
+		}
+		p := cfg.Params
+		p.K = k
+		p.Locations = l
+		pt, err := run(cfg, p, l)
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// VaryCompeting sweeps the mean number of competing events per
+// interval around the paper's measured 8.1.
+func VaryCompeting(cfg Config, k int, means []float64) (*Sweep, error) {
+	cfg = cfg.normalize()
+	sw := &Sweep{Label: "competing/interval", Algorithms: names(cfg.Algorithms)}
+	for _, m := range means {
+		if m < 0 {
+			return nil, fmt.Errorf("experiment: negative competing mean %v", m)
+		}
+		p := cfg.Params
+		p.K = k
+		p.CompetingMeanPerInterval = m
+		pt, err := run(cfg, p, int(m))
+		if err != nil {
+			return nil, err
+		}
+		sw.Points = append(sw.Points, pt)
+	}
+	return sw, nil
+}
+
+// DefaultThetas spans scarce (single event per interval) to abundant.
+func DefaultThetas() []float64 { return []float64{7, 10, 15, 20, 30, 50} }
+
+// DefaultLocationCounts spans one shared stage to the paper's 25.
+func DefaultLocationCounts() []int { return []int{1, 2, 5, 10, 25, 50} }
+
+// DefaultCompetingMeans spans a free calendar to a crowded one around
+// the paper's 8.1.
+func DefaultCompetingMeans() []float64 { return []float64{1, 4, 8.1, 16, 32} }

@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func TestVaryResourcesFlatAboveSaturation(t *testing.T) {
+	// The paper asserts results are "marginally affected" by the
+	// resource parameters. Check: utility with θ=30 vs θ=50 should be
+	// within a few percent for GRD (both are far above mean ξ ≈ 3.8,
+	// so the constraint rarely binds).
+	ds := testDataset(t)
+	sw, err := VaryResources(Config{Dataset: ds, Reps: 1, Seed: 21}, 20, []float64{30, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := sw.Points[0].ByAlgo["grd"].Utility.Mean()
+	b := sw.Points[1].ByAlgo["grd"].Utility.Mean()
+	if a <= 0 || b <= 0 {
+		t.Fatalf("degenerate utilities %v %v", a, b)
+	}
+	rel := (b - a) / a
+	if rel < 0 {
+		rel = -rel
+	}
+	if rel > 0.10 {
+		t.Errorf("utility moved %.1f%% between θ=30 and θ=50; paper claims marginal effect", 100*rel)
+	}
+}
+
+func TestVaryResourcesMonotoneFromScarcity(t *testing.T) {
+	// From genuinely scarce (θ=4 fits ~1 event/interval) to abundant,
+	// GRD utility must not decrease (a larger budget only relaxes the
+	// feasible set).
+	ds := testDataset(t)
+	sw, err := VaryResources(Config{Dataset: ds, Reps: 1, Seed: 22}, 20, []float64{4, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scarce := sw.Points[0].ByAlgo["grd"].Utility.Mean()
+	ample := sw.Points[1].ByAlgo["grd"].Utility.Mean()
+	if ample < scarce-1e-9 {
+		t.Errorf("utility fell from %v to %v as θ grew", scarce, ample)
+	}
+}
+
+func TestVaryLocations(t *testing.T) {
+	// One shared location forces ≤ |T| events total and throttles
+	// utility relative to 25 locations.
+	ds := testDataset(t)
+	sw, err := VaryLocations(Config{Dataset: ds, Reps: 1, Seed: 23}, 20, []int{1, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := sw.Points[0].ByAlgo["grd"]
+	many := sw.Points[1].ByAlgo["grd"]
+	if one.Utility.Mean() > many.Utility.Mean()+1e-9 {
+		t.Errorf("1 location (%v) outperformed 25 (%v)", one.Utility.Mean(), many.Utility.Mean())
+	}
+	if sw.Label != "locations" {
+		t.Errorf("label %q", sw.Label)
+	}
+}
+
+func TestVaryCompetingErodesUtility(t *testing.T) {
+	// More competing events per interval must reduce achievable
+	// utility (denominators only grow).
+	ds := testDataset(t)
+	cfg := Config{Dataset: ds, Reps: 2, Seed: 24}
+	cfg.Params.Intervals = 8
+	cfg.Params.CandidateEvents = 40
+	sw, err := VaryCompeting(cfg, 20, []float64{1, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := sw.Points[0].ByAlgo["grd"].Utility.Mean()
+	crowded := sw.Points[1].ByAlgo["grd"].Utility.Mean()
+	if crowded >= calm {
+		t.Errorf("utility rose from %v to %v as competition grew 32x", calm, crowded)
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	ds := testDataset(t)
+	if _, err := VaryResources(Config{Dataset: ds, Reps: 1}, 5, []float64{0}); err == nil {
+		t.Error("θ=0 accepted")
+	}
+	if _, err := VaryLocations(Config{Dataset: ds, Reps: 1}, 5, []int{0}); err == nil {
+		t.Error("0 locations accepted")
+	}
+	if _, err := VaryCompeting(Config{Dataset: ds, Reps: 1}, 5, []float64{-1}); err == nil {
+		t.Error("negative competing mean accepted")
+	}
+}

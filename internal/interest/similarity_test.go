@@ -1,0 +1,189 @@
+package interest
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func ts(tags ...int32) TagSet { return NewTagSet(tags) }
+
+func TestNewTagSetSortsDedups(t *testing.T) {
+	s := NewTagSet([]int32{5, 1, 5, 3, 1})
+	want := []int32{1, 3, 5}
+	if len(s) != len(want) {
+		t.Fatalf("len = %d, want %d", len(s), len(want))
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("s[%d] = %d, want %d", i, s[i], want[i])
+		}
+	}
+}
+
+func TestTagSetContains(t *testing.T) {
+	s := ts(1, 3, 5)
+	for tag, want := range map[int32]bool{1: true, 2: false, 3: true, 5: true, 6: false} {
+		if got := s.Contains(tag); got != want {
+			t.Errorf("Contains(%d) = %v", tag, got)
+		}
+	}
+}
+
+func TestIntersectionSize(t *testing.T) {
+	cases := []struct {
+		a, b TagSet
+		want int
+	}{
+		{ts(), ts(), 0},
+		{ts(1, 2), ts(), 0},
+		{ts(1, 2, 3), ts(2, 3, 4), 2},
+		{ts(1, 2, 3), ts(1, 2, 3), 3},
+		{ts(1, 3, 5), ts(2, 4, 6), 0},
+	}
+	for i, c := range cases {
+		if got := c.a.IntersectionSize(c.b); got != c.want {
+			t.Errorf("case %d: IntersectionSize = %d, want %d", i, got, c.want)
+		}
+		if got := c.b.IntersectionSize(c.a); got != c.want {
+			t.Errorf("case %d: IntersectionSize not symmetric", i)
+		}
+	}
+}
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b TagSet
+		want float64
+	}{
+		{ts(), ts(), 0},
+		{ts(1), ts(1), 1},
+		{ts(1, 2, 3), ts(2, 3, 4), 0.5},
+		{ts(1, 2), ts(3, 4), 0},
+		{ts(1, 2, 3, 4), ts(1), 0.25},
+	}
+	for i, c := range cases {
+		if got := Jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Jaccard = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	// Jaccard, Cosine, Overlap: all in [0,1], symmetric, self-sim 1 for
+	// non-empty sets, 0 for disjoint sets.
+	sims := map[string]Similarity{"jaccard": Jaccard, "cosine": Cosine, "overlap": Overlap}
+	for name, sim := range sims {
+		f := func(rawA, rawB []uint8) bool {
+			a := make([]int32, len(rawA))
+			for i, x := range rawA {
+				a[i] = int32(x % 50)
+			}
+			b := make([]int32, len(rawB))
+			for i, x := range rawB {
+				b[i] = int32(x % 50)
+			}
+			sa, sb := NewTagSet(a), NewTagSet(b)
+			v := sim(sa, sb)
+			if v < 0 || v > 1+1e-12 {
+				return false
+			}
+			if math.Abs(sim(sa, sb)-sim(sb, sa)) > 1e-12 {
+				return false
+			}
+			if len(sa) > 0 && math.Abs(sim(sa, sa)-1) > 1e-12 {
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestJaccardLeqOverlap(t *testing.T) {
+	// Jaccard <= Overlap always (union >= min size).
+	f := func(rawA, rawB []uint8) bool {
+		a := make([]int32, len(rawA))
+		for i, x := range rawA {
+			a[i] = int32(x % 30)
+		}
+		b := make([]int32, len(rawB))
+		for i, x := range rawB {
+			b[i] = int32(x % 30)
+		}
+		sa, sb := NewTagSet(a), NewTagSet(b)
+		return Jaccard(sa, sb) <= Overlap(sa, sb)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvertedIndexPostings(t *testing.T) {
+	users := []TagSet{ts(1, 2), ts(2, 3), ts(3), ts()}
+	idx := NewInvertedIndex(users)
+	if idx.NumUsers() != 4 {
+		t.Fatalf("NumUsers = %d", idx.NumUsers())
+	}
+	if got := idx.Users(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Users(2) = %v", got)
+	}
+	if got := idx.Users(99); got != nil {
+		t.Fatalf("Users(99) = %v, want nil", got)
+	}
+}
+
+func TestInvertedIndexCandidates(t *testing.T) {
+	users := []TagSet{ts(1, 2), ts(2, 3), ts(3), ts(9)}
+	idx := NewInvertedIndex(users)
+	got := idx.Candidates(ts(2, 3))
+	want := []int32{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Candidates = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Candidates = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEventVectorMatchesBruteForce(t *testing.T) {
+	users := []TagSet{ts(1, 2, 3), ts(2), ts(4, 5), ts(), ts(1, 5)}
+	idx := NewInvertedIndex(users)
+	event := ts(1, 5)
+	v := idx.EventVector(event, Jaccard)
+	if err := v.Validate(); err != nil {
+		t.Fatalf("vector invalid: %v", err)
+	}
+	for u, ut := range users {
+		want := Jaccard(ut, event)
+		if got := v.At(int32(u)); math.Abs(got-want) > 1e-12 {
+			t.Errorf("user %d: EventVector %v, brute force %v", u, got, want)
+		}
+	}
+}
+
+func TestBuildMatrixMatchesBruteForce(t *testing.T) {
+	users := []TagSet{ts(1, 2), ts(2, 3), ts(7), ts(1, 7)}
+	events := []TagSet{ts(1), ts(2, 3), ts(8)}
+	idx := NewInvertedIndex(users)
+	m := idx.BuildMatrix(events, Jaccard)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for e, et := range events {
+		for u, ut := range users {
+			want := Jaccard(ut, et)
+			if got := m.Mu(u, e); math.Abs(got-want) > 1e-12 {
+				t.Errorf("Mu(%d,%d) = %v, want %v", u, e, got, want)
+			}
+		}
+	}
+	// Event with tag 8 matches nobody -> empty row.
+	if m.Row(2).Len() != 0 {
+		t.Errorf("event 2 row should be empty, got %d entries", m.Row(2).Len())
+	}
+}

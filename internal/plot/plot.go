@@ -1,0 +1,128 @@
+// Package plot renders ASCII line charts so the benchmark harness can
+// show the *shape* of each paper figure directly in the terminal
+// (who wins, how gaps grow) next to the exact numbers in the tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series on a width×height character grid with a
+// y-axis scale, an x-axis line, and a legend. Returns an error string
+// in the output rather than failing for degenerate input.
+func Chart(title string, series []Series, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 5 {
+		height = 5
+	}
+	var xs, ys []float64
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Sprintf("plot: series %q has %d x but %d y values\n", s.Name, len(s.X), len(s.Y))
+		}
+		xs = append(xs, s.X...)
+		ys = append(ys, s.Y...)
+	}
+	if len(xs) == 0 {
+		return "plot: no data\n"
+	}
+	xmin, xmax := minMax(xs)
+	ymin, ymax := minMax(ys)
+	if ymin > 0 && ymin < ymax/4 {
+		ymin = 0 // anchor at zero for magnitude comparisons
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			row := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			r := height - 1 - row
+			grid[r][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	yLabelW := 0
+	labels := make([]string, height)
+	for r := 0; r < height; r++ {
+		v := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		labels[r] = compact(v)
+		if len(labels[r]) > yLabelW {
+			yLabelW = len(labels[r])
+		}
+	}
+	for r := 0; r < height; r++ {
+		fmt.Fprintf(&b, "%*s |%s\n", yLabelW, labels[r], string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", yLabelW+1))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%*s  %s%*s\n", yLabelW, "", compact(xmin), width-len(compact(xmin)), compact(xmax))
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s", markers[si%len(markers)], s.Name)
+		if si != len(series)-1 {
+			b.WriteString("   ")
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func minMax(v []float64) (float64, float64) {
+	mn, mx := v[0], v[0]
+	for _, x := range v {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return mn, mx
+}
+
+// compact formats an axis value briefly.
+func compact(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10 || v == math.Trunc(v):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

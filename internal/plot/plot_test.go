@@ -1,0 +1,64 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartBasics(t *testing.T) {
+	out := Chart("Fig 1a", []Series{
+		{Name: "grd", X: []float64{1, 2, 3}, Y: []float64{10, 20, 30}},
+		{Name: "rand", X: []float64{1, 2, 3}, Y: []float64{5, 10, 15}},
+	}, 40, 10)
+	if !strings.Contains(out, "Fig 1a") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "grd") || !strings.Contains(out, "rand") {
+		t.Error("missing legend entries")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("missing series markers")
+	}
+	// Monotone series: the '*' in the top rows should be to the right
+	// of the '*' in lower rows. Check the highest point is in the
+	// first grid row.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("max of grd should occupy the top row:\n%s", out)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	if out := Chart("t", nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Errorf("nil series: %q", out)
+	}
+	out := Chart("t", []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}, 40, 10)
+	if !strings.Contains(out, "bad") || !strings.Contains(out, "1 x but 2 y") {
+		t.Errorf("mismatched series: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out = Chart("t", []Series{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}, 40, 10)
+	if !strings.Contains(out, "c") {
+		t.Errorf("constant series: %q", out)
+	}
+	// Single point.
+	out = Chart("t", []Series{{Name: "p", X: []float64{3}, Y: []float64{7}}}, 40, 10)
+	if !strings.Contains(out, "p") {
+		t.Errorf("single point: %q", out)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cases := map[float64]string{
+		2500000: "2.5M",
+		36629:   "36.6k",
+		150:     "150",
+		7:       "7",
+		0.25:    "0.25",
+	}
+	for v, want := range cases {
+		if got := compact(v); got != want {
+			t.Errorf("compact(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package randx
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples integers in [0, n) with P(i) ∝ 1/(i+1)^s using an exact
+// inverse-CDF table. The EBSN generator uses it for tag popularity:
+// a few tags ("tech", "hiking") are very common, most are rare, which
+// is what produces the sparse, skewed Jaccard interest structure the
+// paper's Meetup dataset exhibits.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds an exact Zipf(n, s) sampler. It panics if n <= 0 or
+// s < 0. s = 0 degenerates to the uniform distribution.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randx: Zipf needs n > 0")
+	}
+	if s < 0 {
+		panic("randx: Zipf needs s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against round-off
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Prob returns P(i).
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Sample draws one value using the stream s.
+func (z *Zipf) Sample(s *Source) int {
+	u := s.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Alias is Walker's alias method: O(n) setup, O(1) sampling from an
+// arbitrary categorical distribution. Used where many draws from the
+// same weights are needed (e.g. assigning events to groups).
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table for the given non-negative weights.
+// It panics if weights is empty, contains a negative value, or sums
+// to zero.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("randx: Alias needs at least one weight")
+	}
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("randx: Alias weights must be non-negative")
+		}
+		sum += w
+	}
+	if sum == 0 {
+		panic("randx: Alias weights sum to zero")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	// Scaled probabilities; small/large worklists per Vose's variant.
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		l := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[l] = scaled[l]
+		a.alias[l] = g
+		scaled[g] = (scaled[g] + scaled[l]) - 1
+		if scaled[g] < 1 {
+			small = append(small, g)
+		} else {
+			large = append(large, g)
+		}
+	}
+	for _, g := range large {
+		a.prob[g] = 1
+		a.alias[g] = g
+	}
+	for _, l := range small { // numerical leftovers
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	return a
+}
+
+// N returns the support size.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one category using the stream s.
+func (a *Alias) Sample(s *Source) int {
+	i := s.IntN(len(a.prob))
+	if s.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}
+
+// UniformMean draws an integer uniformly from [lo, round(2*mean)-lo],
+// the widest integer-uniform distribution with lower end lo whose
+// expectation is (approximately) mean. The paper selects the number of
+// competing events per interval "by a uniform distribution having 8.1
+// as mean value"; UniformMean(s, 8.1, 1) realizes that as U{1..15}.
+func UniformMean(s *Source, mean float64, lo int) int {
+	hi := int(math.Round(2*mean)) - lo
+	if hi < lo {
+		hi = lo
+	}
+	return s.IntRange(lo, hi)
+}
+
+// Exponential draws from Exp(rate). Used by the check-in log generator
+// for inter-arrival gaps.
+func (s *Source) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("randx: Exponential needs rate > 0")
+	}
+	u := s.Float64()
+	// u in [0,1): 1-u in (0,1], log is finite.
+	return -math.Log(1-u) / rate
+}
+
+// Poisson draws from Poisson(lambda) using Knuth's product method for
+// small lambda and a normal approximation above 30 (adequate for the
+// generator workloads here, which use single-digit lambdas).
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		panic("randx: Poisson needs lambda > 0")
+	}
+	if lambda > 30 {
+		v := s.Normal(lambda, math.Sqrt(lambda))
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Normal draws from N(mean, stddev) via Box–Muller.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	u1 := s.Float64()
+	u2 := s.Float64()
+	if u1 == 0 {
+		u1 = math.SmallestNonzeroFloat64
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}

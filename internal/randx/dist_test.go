@@ -1,0 +1,235 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfProbsSumToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 1.5, 2} {
+		z := NewZipf(50, s)
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("s=%v: probabilities sum to %v", s, sum)
+		}
+	}
+}
+
+func TestZipfMonotone(t *testing.T) {
+	z := NewZipf(100, 1.2)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-15 {
+			t.Fatalf("Zipf probabilities should be non-increasing: P(%d)=%v > P(%d)=%v",
+				i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfUniformDegenerate(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-12 {
+			t.Fatalf("Zipf(n,0) should be uniform, P(%d)=%v", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleMatchesPMF(t *testing.T) {
+	z := NewZipf(20, 1)
+	s := NewSource(11)
+	const n = 200000
+	counts := make([]int, 20)
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	for i := 0; i < 20; i++ {
+		emp := float64(counts[i]) / n
+		if math.Abs(emp-z.Prob(i)) > 0.01 {
+			t.Errorf("category %d: empirical %v vs pmf %v", i, emp, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {5, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d,%v) should panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 0, 3, 6, 0.5}
+	a := NewAlias(weights)
+	s := NewSource(12)
+	const n = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(s)]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		emp := float64(counts[i]) / n
+		want := w / total
+		if math.Abs(emp-want) > 0.01 {
+			t.Errorf("category %d: empirical %v vs want %v", i, emp, want)
+		}
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category sampled %d times", counts[1])
+	}
+}
+
+func TestAliasSingleCategory(t *testing.T) {
+	a := NewAlias([]float64{5})
+	s := NewSource(13)
+	for i := 0; i < 100; i++ {
+		if a.Sample(s) != 0 {
+			t.Fatal("single-category alias must always return 0")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {1, -1}, {math.NaN()}}
+	for i, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: NewAlias should panic", i)
+				}
+			}()
+			NewAlias(w)
+		}()
+	}
+}
+
+func TestUniformMeanMatchesPaperSetting(t *testing.T) {
+	// Paper: competing events per interval drawn uniformly with mean 8.1.
+	s := NewSource(14)
+	const n = 200000
+	sum := 0
+	minV, maxV := math.MaxInt, 0
+	for i := 0; i < n; i++ {
+		v := UniformMean(s, 8.1, 1)
+		sum += v
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-8.1) > 0.15 {
+		t.Errorf("UniformMean(8.1) empirical mean %v", mean)
+	}
+	if minV < 1 {
+		t.Errorf("UniformMean produced %d < lo", minV)
+	}
+	if maxV > 15 {
+		t.Errorf("UniformMean produced %d > 15", maxV)
+	}
+}
+
+func TestUniformMeanDegenerate(t *testing.T) {
+	s := NewSource(15)
+	for i := 0; i < 100; i++ {
+		if v := UniformMean(s, 1, 1); v != 1 {
+			t.Fatalf("UniformMean(1,1) = %d, want 1", v)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := NewSource(16)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := s.Exponential(2.0)
+		if v < 0 {
+			t.Fatalf("Exponential produced negative %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exponential(2) mean %v, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	s := NewSource(17)
+	for _, lambda := range []float64{0.5, 3, 8.1, 40} {
+		const n = 100000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += s.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > lambda*0.05+0.05 {
+			t.Errorf("Poisson(%v) mean %v", lambda, mean)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := NewSource(18)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean %v", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Errorf("Normal variance %v", variance)
+	}
+}
+
+func BenchmarkHashToUnit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = HashToUnit(42, i, i>>3)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(5000, 1.1)
+	s := NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(s)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	w := make([]float64, 5000)
+	for i := range w {
+		w[i] = float64(i%17) + 0.5
+	}
+	a := NewAlias(w)
+	s := NewSource(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sample(s)
+	}
+}

@@ -1,0 +1,183 @@
+// Package reduction is an executable version of Theorem 1 of the SES
+// paper: the strong NP-hardness proof by reduction from the Multiple
+// Knapsack Problem with Identical bin capacities (MKPI).
+//
+// The construction follows the proof sketch: bins become time
+// intervals, the bin capacity becomes the organizer's resources θ,
+// items become candidate events with weight as required resources,
+// and item profit is encoded in the interest function. The restricted
+// SES instance has one user per item (each user likes exactly their
+// item's event), one competing event per interval with a common
+// interest K, σ ≡ 1 and no location constraints. With µ_i =
+// p_i·K/(1−p_i) the expected attendance of a scheduled event equals
+// exactly its item's profit, so maximizing Ω over feasible schedules
+// is maximizing packed profit over feasible packings.
+//
+// The package provides the transform, a brute-force MKPI solver, and
+// SolveViaSES, which answers MKPI through the SES exact solver; tests
+// verify the two agree on random small instances — i.e. that the
+// reduction is answer-preserving, which is the computational content
+// of the theorem.
+package reduction
+
+import (
+	"fmt"
+
+	"ses/internal/activity"
+	"ses/internal/core"
+	"ses/internal/interest"
+	"ses/internal/solver"
+)
+
+// Item is an MKPI item.
+type Item struct {
+	Weight float64
+	Profit float64
+}
+
+// MKPI is a Multiple Knapsack instance with identical bin capacities.
+type MKPI struct {
+	Bins     int
+	Capacity float64
+	Items    []Item
+}
+
+// Validate checks the instance.
+func (m MKPI) Validate() error {
+	if m.Bins <= 0 {
+		return fmt.Errorf("reduction: need at least one bin, got %d", m.Bins)
+	}
+	if m.Capacity < 0 {
+		return fmt.Errorf("reduction: negative capacity %v", m.Capacity)
+	}
+	if len(m.Items) == 0 {
+		return fmt.Errorf("reduction: no items")
+	}
+	for i, it := range m.Items {
+		if it.Weight < 0 {
+			return fmt.Errorf("reduction: item %d has negative weight", i)
+		}
+		if it.Profit <= 0 {
+			return fmt.Errorf("reduction: item %d has non-positive profit", i)
+		}
+	}
+	return nil
+}
+
+// ToSES builds the restricted SES instance of the proof sketch.
+// Because interest values must lie in [0,1], profits are first scaled
+// by 1/(2·Σ profits) (so every scaled profit is ≤ 1/2 and the encoding
+// µ = p/(1−p) with K = 1 stays within bounds); the returned scale
+// converts SES utility back to MKPI profit: profit = Ω · scale.
+func ToSES(m MKPI) (*core.Instance, float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	totalProfit := 0.0
+	for _, it := range m.Items {
+		totalProfit += it.Profit
+	}
+	scale := 2 * totalProfit // Ω · scale = profit
+	n := len(m.Items)
+
+	// Candidate events: one per item, each at a unique location (the
+	// restricted instance has "no location constraints").
+	events := make([]core.Event, n)
+	cand := interest.NewMatrix(n, n)
+	for i, it := range m.Items {
+		events[i] = core.Event{
+			Location: i,
+			Required: it.Weight,
+			Name:     fmt.Sprintf("item-%d", i),
+		}
+		p := it.Profit / scale // ≤ 1/2
+		mu := p / (1 - p)      // µ = p·K/(1−p) with K = 1
+		v, err := interest.NewSparseVector([]int32{int32(i)}, []float64{mu})
+		if err != nil {
+			return nil, 0, err
+		}
+		cand.SetRow(i, v)
+	}
+
+	// One competing event per interval; every user's interest in it is
+	// K = 1.
+	competing := make([]core.CompetingEvent, m.Bins)
+	comp := interest.NewMatrix(n, m.Bins)
+	allUsers := make([]int32, n)
+	ones := make([]float64, n)
+	for u := range allUsers {
+		allUsers[u] = int32(u)
+		ones[u] = 1
+	}
+	for t := 0; t < m.Bins; t++ {
+		competing[t] = core.CompetingEvent{Interval: t, Name: fmt.Sprintf("blocker-%d", t)}
+		v, err := interest.NewSparseVector(allUsers, ones)
+		if err != nil {
+			return nil, 0, err
+		}
+		comp.SetRow(t, v)
+	}
+
+	inst := &core.Instance{
+		NumUsers:     n,
+		NumIntervals: m.Bins,
+		Resources:    m.Capacity,
+		Events:       events,
+		Competing:    competing,
+		CandInterest: cand,
+		CompInterest: comp,
+		Activity:     activity.Constant(1),
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, 0, fmt.Errorf("reduction: built invalid instance: %w", err)
+	}
+	return inst, scale, nil
+}
+
+// SolveViaSES answers the MKPI optimization problem through the SES
+// exact solver on the reduced instance: the optimum packed profit
+// equals the optimal SES utility times the scale factor.
+func SolveViaSES(m MKPI) (float64, error) {
+	inst, scale, err := ToSES(m)
+	if err != nil {
+		return 0, err
+	}
+	// Exact optimizes schedules of size up to k; with k = n it
+	// searches all feasible packings.
+	res, err := solver.NewExact(nil).Solve(inst, len(m.Items))
+	if err != nil {
+		return 0, err
+	}
+	return res.Utility * scale, nil
+}
+
+// BruteForce computes the optimal MKPI profit by trying every
+// item→(bin | skip) mapping with capacity pruning. Exponential; only
+// for small instances.
+func BruteForce(m MKPI) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	loads := make([]float64, m.Bins)
+	best := 0.0
+	var rec func(i int, profit float64)
+	rec = func(i int, profit float64) {
+		if profit > best {
+			best = profit
+		}
+		if i == len(m.Items) {
+			return
+		}
+		it := m.Items[i]
+		for b := 0; b < m.Bins; b++ {
+			if loads[b]+it.Weight <= m.Capacity+1e-9 {
+				loads[b] += it.Weight
+				rec(i+1, profit+it.Profit)
+				loads[b] -= it.Weight
+			}
+		}
+		rec(i+1, profit) // skip item
+	}
+	rec(0, 0)
+	return best, nil
+}

@@ -1,0 +1,127 @@
+// Package sestest builds small random SES instances for tests. It is
+// imported only from _test files; keeping it as a real package avoids
+// duplicating the generator across the choice, solver, experiment and
+// root-level test suites.
+package sestest
+
+import (
+	"fmt"
+
+	"ses/internal/activity"
+	"ses/internal/core"
+	"ses/internal/interest"
+	"ses/internal/randx"
+)
+
+// Config controls the random instance generator. Zero fields get
+// sensible small defaults from Default.
+type Config struct {
+	Users     int
+	Events    int
+	Intervals int
+	Competing int
+	Locations int
+	Resources float64
+	// MaxRequired bounds ξe ~ U(MinRequired, MaxRequired).
+	MinRequired float64
+	MaxRequired float64
+	// Density is the probability that a given (user, event) pair has
+	// non-zero interest.
+	Density float64
+	Seed    uint64
+}
+
+// Default fills in zero fields.
+func Default(cfg Config) Config {
+	if cfg.Users == 0 {
+		cfg.Users = 20
+	}
+	if cfg.Events == 0 {
+		cfg.Events = 10
+	}
+	if cfg.Intervals == 0 {
+		cfg.Intervals = 4
+	}
+	if cfg.Locations == 0 {
+		cfg.Locations = 3
+	}
+	if cfg.Resources == 0 {
+		cfg.Resources = 10
+	}
+	if cfg.MaxRequired == 0 {
+		cfg.MinRequired = 1
+		cfg.MaxRequired = 4
+	}
+	if cfg.Density == 0 {
+		cfg.Density = 0.4
+	}
+	return cfg
+}
+
+// Random builds a random instance. All randomness is derived from
+// cfg.Seed, so instances are reproducible.
+func Random(cfg Config) *core.Instance {
+	cfg = Default(cfg)
+	evSrc := randx.Derive(cfg.Seed, "events")
+	muSrc := randx.Derive(cfg.Seed, "interest")
+	cpSrc := randx.Derive(cfg.Seed, "competing")
+
+	events := make([]core.Event, cfg.Events)
+	for i := range events {
+		events[i] = core.Event{
+			Location: evSrc.IntN(cfg.Locations),
+			Required: evSrc.Range(cfg.MinRequired, cfg.MaxRequired),
+			Name:     fmt.Sprintf("event-%d", i),
+		}
+	}
+	competing := make([]core.CompetingEvent, cfg.Competing)
+	for i := range competing {
+		competing[i] = core.CompetingEvent{
+			Interval: cpSrc.IntN(cfg.Intervals),
+			Name:     fmt.Sprintf("competing-%d", i),
+		}
+	}
+
+	randomMatrix := func(src *randx.Source, rows int) *interest.Matrix {
+		m := interest.NewMatrix(cfg.Users, rows)
+		for e := 0; e < rows; e++ {
+			var ids []int32
+			var vals []float64
+			for u := 0; u < cfg.Users; u++ {
+				if src.Bool(cfg.Density) {
+					ids = append(ids, int32(u))
+					vals = append(vals, src.Range(0.05, 1))
+				}
+			}
+			v, err := interest.NewSparseVector(ids, vals)
+			if err != nil {
+				panic(err)
+			}
+			m.SetRow(e, v)
+		}
+		return m
+	}
+
+	inst := &core.Instance{
+		NumUsers:     cfg.Users,
+		NumIntervals: cfg.Intervals,
+		Resources:    cfg.Resources,
+		Events:       events,
+		Competing:    competing,
+		CandInterest: randomMatrix(muSrc, cfg.Events),
+		CompInterest: randomMatrix(muSrc, cfg.Competing),
+		Activity:     activity.UniformHash{Seed: cfg.Seed ^ 0xabcdef},
+	}
+	if err := inst.Validate(); err != nil {
+		panic(fmt.Sprintf("sestest: generated invalid instance: %v", err))
+	}
+	return inst
+}
+
+// NoCompetition returns a copy of cfg guaranteeing zero competing
+// events (useful for testing the C = ∅ corner of Eq. 1).
+func NoCompetition(cfg Config) Config {
+	cfg = Default(cfg)
+	cfg.Competing = 0
+	return cfg
+}

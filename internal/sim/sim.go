@@ -1,0 +1,179 @@
+// Package sim is a Monte Carlo attendance simulator: it realizes the
+// generative model behind the paper's Eq. 1 — each user first decides
+// whether to be socially active during an interval (a Bernoulli draw
+// with probability σ(u,t)), and if so picks at most one of the events
+// happening then (scheduled or competing) with probability
+// proportional to their interest µ, per Luce's choice axiom.
+//
+// Simulating draws and counting who shows up gives realized
+// attendances whose expectation is exactly Eq. 2; the package exists
+// to (a) validate the analytical engine statistically (the law of
+// large numbers test in sim_test.go), and (b) let organizers inspect
+// attendance variance, not just means — e.g. the 5th percentile door
+// count of a schedule, which Eq. 2 alone cannot provide.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"ses/internal/core"
+	"ses/internal/randx"
+	"ses/internal/stats"
+)
+
+// Outcome aggregates the simulation of one schedule.
+type Outcome struct {
+	// Runs is the number of simulated realizations.
+	Runs int
+	// PerEvent maps scheduled event → summary of its realized
+	// attendance across runs.
+	PerEvent map[int]*stats.Summary
+	// Total summarizes the realized total attendance (the empirical
+	// counterpart of Ω).
+	Total stats.Summary
+	// CompetingLosses counts users (per run, averaged) who were active
+	// and interested but chose a competing event instead.
+	CompetingLosses stats.Summary
+	// StayedHome counts active-coin failures among interested users.
+	StayedHome stats.Summary
+}
+
+// Config controls the simulation.
+type Config struct {
+	// Runs is the number of independent realizations (default 1000).
+	Runs int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Simulate realizes the schedule cfg.Runs times. Only users with
+// positive interest in at least one event (scheduled or competing) of
+// some occupied interval are simulated; everyone else never attends
+// anything and contributes nothing.
+func Simulate(inst *core.Instance, s *core.Schedule, cfg Config) (*Outcome, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Runs == 0 {
+		cfg.Runs = 1000
+	}
+	if cfg.Runs < 1 {
+		return nil, fmt.Errorf("sim: Runs must be positive, got %d", cfg.Runs)
+	}
+
+	// Build the per-interval choice sets: (option, µ-vector) where
+	// option is either a scheduled event or a competing event.
+	type option struct {
+		event     int  // index into Events or Competing
+		competing bool //
+	}
+	type userOptions struct {
+		opts []option
+		mus  []float64
+	}
+	// chooser[t][u] -> options for user u at interval t (sparse).
+	chooser := make([]map[int32]*userOptions, inst.NumIntervals)
+	addMass := func(t int, opt option, ids []int32, vals []float64) {
+		if chooser[t] == nil {
+			chooser[t] = make(map[int32]*userOptions)
+		}
+		for i, id := range ids {
+			uo := chooser[t][id]
+			if uo == nil {
+				uo = &userOptions{}
+				chooser[t][id] = uo
+			}
+			uo.opts = append(uo.opts, opt)
+			uo.mus = append(uo.mus, vals[i])
+		}
+	}
+	for t := 0; t < inst.NumIntervals; t++ {
+		evs := s.EventsAt(t)
+		if len(evs) == 0 {
+			continue // nothing of ours there; attendance impossible
+		}
+		for _, e := range evs {
+			row := inst.CandInterest.Row(e)
+			addMass(t, option{event: e}, row.IDs, row.Vals)
+		}
+		for _, c := range inst.CompetingAt(t) {
+			row := inst.CompInterest.Row(c)
+			addMass(t, option{event: c, competing: true}, row.IDs, row.Vals)
+		}
+	}
+
+	out := &Outcome{Runs: cfg.Runs, PerEvent: make(map[int]*stats.Summary)}
+	for _, a := range s.Assignments() {
+		out.PerEvent[a.Event] = &stats.Summary{}
+	}
+
+	src := randx.NewSource(cfg.Seed)
+	counts := make(map[int]int, s.Size())
+	// Deterministic iteration order over users per interval.
+	order := make([][]int32, inst.NumIntervals)
+	for t := range chooser {
+		if chooser[t] == nil {
+			continue
+		}
+		ids := make([]int32, 0, len(chooser[t]))
+		for id := range chooser[t] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		order[t] = ids
+	}
+
+	for run := 0; run < cfg.Runs; run++ {
+		for k := range counts {
+			counts[k] = 0
+		}
+		losses, home := 0, 0
+		for t := range chooser {
+			if chooser[t] == nil {
+				continue
+			}
+			for _, u := range order[t] {
+				uo := chooser[t][u]
+				total := 0.0
+				for _, m := range uo.mus {
+					total += m
+				}
+				if total <= 0 {
+					continue
+				}
+				// Active this interval?
+				if !src.Bool(inst.Activity.Prob(int(u), t)) {
+					home++
+					continue
+				}
+				// Luce draw among the options.
+				r := src.Float64() * total
+				acc := 0.0
+				pick := len(uo.opts) - 1
+				for i, m := range uo.mus {
+					acc += m
+					if r < acc {
+						pick = i
+						break
+					}
+				}
+				opt := uo.opts[pick]
+				if opt.competing {
+					losses++
+				} else {
+					counts[opt.event]++
+				}
+			}
+		}
+		runTotal := 0
+		for e, c := range counts {
+			out.PerEvent[e].Add(float64(c))
+			runTotal += c
+		}
+		out.Total.Add(float64(runTotal))
+		out.CompetingLosses.Add(float64(losses))
+		out.StayedHome.Add(float64(home))
+	}
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+	"ses/internal/sestest"
+	"ses/internal/solver"
+)
+
+// solved returns a GRD schedule on a random instance.
+func solved(t *testing.T, seed uint64, k int) (*core.Instance, *core.Schedule) {
+	t.Helper()
+	inst := sestest.Random(sestest.Config{
+		Seed: seed, Users: 120, Events: 14, Intervals: 4, Competing: 6, Resources: 50,
+	})
+	res, err := solver.NewGRD(nil).Solve(inst, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, res.Schedule
+}
+
+func TestSimulatedMeanMatchesExpectedAttendance(t *testing.T) {
+	// Law of large numbers: with many runs, the mean realized total
+	// must match Ω (Eq. 3) and per-event means must match ω (Eq. 2)
+	// within a few standard errors.
+	inst, s := solved(t, 1, 6)
+	out, err := Simulate(inst, s, Config{Runs: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTotal := choice.ReferenceUtility(inst, s)
+	se := out.Total.StdDev() / math.Sqrt(float64(out.Runs))
+	if d := math.Abs(out.Total.Mean() - wantTotal); d > 5*se+0.05 {
+		t.Errorf("simulated mean %v vs Ω %v (diff %v, 5·SE %v)", out.Total.Mean(), wantTotal, d, 5*se)
+	}
+	for _, a := range s.Assignments() {
+		want := choice.ReferenceEventAttendance(inst, s, a.Event)
+		got := out.PerEvent[a.Event]
+		se := got.StdDev()/math.Sqrt(float64(out.Runs)) + 1e-9
+		if d := math.Abs(got.Mean() - want); d > 5*se+0.05 {
+			t.Errorf("event %d: simulated %v vs ω %v", a.Event, got.Mean(), want)
+		}
+	}
+}
+
+func TestSimulateDeterministicBySeed(t *testing.T) {
+	inst, s := solved(t, 2, 5)
+	a, err := Simulate(inst, s, Config{Runs: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(inst, s, Config{Runs: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total.Mean() != b.Total.Mean() || a.Total.StdDev() != b.Total.StdDev() {
+		t.Error("same seed produced different outcomes")
+	}
+	c, err := Simulate(inst, s, Config{Runs: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total.Mean() == c.Total.Mean() && a.Total.Max() == c.Total.Max() {
+		t.Log("warning: different seeds produced identical outcomes")
+	}
+}
+
+func TestSimulateEmptySchedule(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 5, Competing: 3})
+	s := core.NewSchedule(inst)
+	out, err := Simulate(inst, s, Config{Runs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Total.Mean() != 0 || out.Total.Max() != 0 {
+		t.Error("empty schedule produced attendance")
+	}
+}
+
+func TestSimulateAccountsForAllInterestedActiveUsers(t *testing.T) {
+	// With σ = 1 and no competing events, every user interested in the
+	// single scheduled event must attend in every run.
+	inst := sestest.Random(sestest.NoCompetition(sestest.Config{Seed: 6, Users: 50}))
+	inst.Activity = constOne{}
+	s := core.NewSchedule(inst)
+	if err := s.Assign(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Simulate(inst, s, Config{Runs: 20, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(inst.CandInterest.Row(0).Len())
+	if out.Total.Min() != want || out.Total.Max() != want {
+		t.Errorf("attendance min/max %v/%v, want exactly %v interested users",
+			out.Total.Min(), out.Total.Max(), want)
+	}
+	if out.StayedHome.Max() != 0 {
+		t.Error("σ=1 but someone stayed home")
+	}
+	if out.CompetingLosses.Max() != 0 {
+		t.Error("no competing events but losses recorded")
+	}
+}
+
+type constOne struct{}
+
+func (constOne) Prob(u, t int) float64 { return 1 }
+
+func TestSimulateCompetingLosses(t *testing.T) {
+	// All users love the competing event as much as the scheduled one:
+	// roughly half the active interested users must defect.
+	inst, s := solved(t, 7, 4)
+	out, err := Simulate(inst, s, Config{Runs: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.CompetingLosses.Mean() <= 0 {
+		t.Error("instance has competing events overlapping interests but no losses simulated")
+	}
+}
+
+func TestSimulateConfigValidation(t *testing.T) {
+	inst, s := solved(t, 8, 3)
+	if _, err := Simulate(inst, s, Config{Runs: -5}); err == nil {
+		t.Error("negative runs accepted")
+	}
+	bad := *inst
+	bad.NumUsers = 0
+	if _, err := Simulate(&bad, s, Config{Runs: 1}); err == nil {
+		t.Error("invalid instance accepted")
+	}
+}
+
+func TestVarianceIsReported(t *testing.T) {
+	inst, s := solved(t, 9, 5)
+	out, err := Simulate(inst, s, Config{Runs: 300, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With Bernoulli activity draws there must be run-to-run variance.
+	if out.Total.StdDev() == 0 {
+		t.Error("no variance across runs; simulator likely not drawing")
+	}
+}

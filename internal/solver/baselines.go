@@ -1,0 +1,190 @@
+package solver
+
+import (
+	"ses/internal/core"
+	"ses/internal/randx"
+)
+
+// TOP is the paper's first baseline: it "computes the assignment
+// scores for all the events and selects the events with top-k score
+// values" — the k best-scoring assignments overall, with no score
+// updates and no replacement for picks that turn out invalid. Because
+// a high-interest event produces near-identical scores across many
+// intervals, the top-k pairs concentrate on a handful of distinct
+// events (an event's second and later pairs are invalid once its first
+// is applied), so TOP typically schedules far fewer than k events.
+// This is what makes the paper report TOP "considerably low ... in all
+// cases" (Fig. 1a/1c). See TOPFill for the stronger walk-down-the-list
+// variant.
+type TOP struct {
+	engine EngineFactory
+}
+
+// NewTOP returns the TOP baseline. engine may be nil for the default
+// sparse engine.
+func NewTOP(engine EngineFactory) *TOP {
+	if engine == nil {
+		engine = DefaultEngine
+	}
+	return &TOP{engine: engine}
+}
+
+// Name returns "top".
+func (s *TOP) Name() string { return "top" }
+
+// Solve applies the valid assignments among the k best-scoring ones.
+func (s *TOP) Solve(inst *core.Instance, k int) (*Result, error) {
+	if err := validate(inst, k); err != nil {
+		return nil, err
+	}
+	eng := s.engine(inst)
+	res := &Result{Solver: s.Name()}
+
+	list := buildAssignments(eng, &res.Counters)
+	sortAssignments(list)
+	if len(list) > k {
+		list = list[:k]
+	}
+
+	sched := eng.Schedule()
+	for _, a := range list {
+		res.Counters.ListScans++
+		if sched.Validity(a.event, a.interval) != nil {
+			continue
+		}
+		if err := eng.Apply(a.event, a.interval); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Schedule = sched
+	res.Utility = eng.Utility()
+	return res, nil
+}
+
+var _ Solver = (*TOP)(nil)
+
+// TOPFill is an extension of TOP that keeps walking down the sorted
+// assignment list past the first k entries until k valid assignments
+// have been applied (or the list is exhausted). It isolates how much
+// of TOP's weakness comes from wasting picks on invalid pairs versus
+// from never updating scores; the ablation bench compares the two.
+type TOPFill struct {
+	engine EngineFactory
+}
+
+// NewTOPFill returns the fill variant. engine may be nil for the
+// default sparse engine.
+func NewTOPFill(engine EngineFactory) *TOPFill {
+	if engine == nil {
+		engine = DefaultEngine
+	}
+	return &TOPFill{engine: engine}
+}
+
+// Name returns "topfill".
+func (s *TOPFill) Name() string { return "topfill" }
+
+// Solve walks the full sorted list applying valid assignments until k
+// are scheduled.
+func (s *TOPFill) Solve(inst *core.Instance, k int) (*Result, error) {
+	if err := validate(inst, k); err != nil {
+		return nil, err
+	}
+	eng := s.engine(inst)
+	res := &Result{Solver: s.Name()}
+
+	list := buildAssignments(eng, &res.Counters)
+	sortAssignments(list)
+
+	sched := eng.Schedule()
+	for _, a := range list {
+		if sched.Size() >= k {
+			break
+		}
+		res.Counters.ListScans++
+		if sched.Validity(a.event, a.interval) != nil {
+			continue
+		}
+		if err := eng.Apply(a.event, a.interval); err != nil {
+			return nil, err
+		}
+	}
+
+	res.Schedule = sched
+	res.Utility = eng.Utility()
+	return res, nil
+}
+
+var _ Solver = (*TOPFill)(nil)
+
+// RAND is the paper's second baseline: it assigns events to intervals
+// uniformly at random, keeping only valid assignments, until k events
+// are scheduled (or no valid assignment remains).
+type RAND struct {
+	seed   uint64
+	engine EngineFactory
+}
+
+// NewRAND returns the RAND baseline with the given seed. engine may be
+// nil for the default sparse engine.
+func NewRAND(seed uint64, engine EngineFactory) *RAND {
+	if engine == nil {
+		engine = DefaultEngine
+	}
+	return &RAND{seed: seed, engine: engine}
+}
+
+// Name returns "rand".
+func (s *RAND) Name() string { return "rand" }
+
+// Solve assigns k random valid assignments.
+func (s *RAND) Solve(inst *core.Instance, k int) (*Result, error) {
+	if err := validate(inst, k); err != nil {
+		return nil, err
+	}
+	eng := s.engine(inst)
+	res := &Result{Solver: s.Name()}
+	src := randx.NewSource(s.seed)
+	sched := eng.Schedule()
+
+	// Rejection sampling with a budget, then a systematic sweep so the
+	// solver always terminates with a maximal random schedule even on
+	// nearly-full instances.
+	budget := 50 * k
+	for sched.Size() < k && budget > 0 {
+		budget--
+		e := src.IntN(inst.NumEvents())
+		t := src.IntN(inst.NumIntervals)
+		if sched.Validity(e, t) != nil {
+			continue
+		}
+		if err := eng.Apply(e, t); err != nil {
+			return nil, err
+		}
+	}
+	if sched.Size() < k {
+		for _, e := range src.Perm(inst.NumEvents()) {
+			if sched.Size() >= k {
+				break
+			}
+			if sched.Contains(e) {
+				continue
+			}
+			for _, t := range src.Perm(inst.NumIntervals) {
+				if sched.Validity(e, t) == nil {
+					if err := eng.Apply(e, t); err != nil {
+						return nil, err
+					}
+					break
+				}
+			}
+		}
+	}
+
+	res.Schedule = sched
+	res.Utility = eng.Utility()
+	return res, nil
+}
+
+var _ Solver = (*RAND)(nil)

@@ -1,0 +1,161 @@
+package solver
+
+import (
+	"fmt"
+	"sort"
+
+	"ses/internal/core"
+)
+
+// Exact finds an optimal feasible schedule of up to k assignments by
+// depth-first search over (skip | assign-to-each-valid-interval)
+// decisions per event, with an admissible upper-bound prune: because
+// marginal gains only shrink as a schedule grows (per-interval
+// submodularity), the root-level best score of each event bounds its
+// contribution in any subtree, so
+//
+//	Ω(current) + Σ (top `remaining` root scores of unused events)
+//
+// is a valid optimistic bound. Exact is exponential and intended for
+// small instances — it exists to measure how close GRD gets to the
+// optimum (the paper proves strong NP-hardness, Theorem 1, so no
+// polynomial exact algorithm is expected).
+type Exact struct {
+	engine EngineFactory
+	// MaxNodes caps the search (0 = unlimited). When hit, Solve
+	// returns an error rather than a silently suboptimal result.
+	MaxNodes int
+}
+
+// NewExact returns the exact solver. engine may be nil for the default
+// sparse engine.
+func NewExact(engine EngineFactory) *Exact {
+	if engine == nil {
+		engine = DefaultEngine
+	}
+	return &Exact{engine: engine, MaxNodes: 20_000_000}
+}
+
+// Name returns "exact".
+func (s *Exact) Name() string { return "exact" }
+
+// ErrSearchBudget is wrapped in the error returned when MaxNodes is
+// exceeded.
+var ErrSearchBudget = fmt.Errorf("solver: exact search node budget exceeded")
+
+// Solve exhaustively maximizes Ω over feasible schedules with at most
+// k assignments. Monotonicity of Ω makes "at most k" and "exactly k"
+// coincide whenever k valid assignments exist.
+func (s *Exact) Solve(inst *core.Instance, k int) (*Result, error) {
+	if err := validate(inst, k); err != nil {
+		return nil, err
+	}
+	eng := s.engine(inst)
+	res := &Result{Solver: s.Name()}
+
+	// Root-level optimistic score per event (max over intervals).
+	rootBest := make([]float64, inst.NumEvents())
+	for e := 0; e < inst.NumEvents(); e++ {
+		best := 0.0
+		for t := 0; t < inst.NumIntervals; t++ {
+			res.Counters.InitialScores++
+			if sc := eng.Score(e, t); sc > best {
+				best = sc
+			}
+		}
+		rootBest[e] = best
+	}
+	// Events in decreasing optimistic score: tightens the bound early.
+	order := make([]int, inst.NumEvents())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return rootBest[order[i]] > rootBest[order[j]] })
+	// prefix[i] = Σ rootBest over the first i events in sorted order;
+	// because order is descending, the sum of the r largest optimistic
+	// scores among order[i:] is prefix[min(i+r, n)] − prefix[i].
+	prefix := make([]float64, len(order)+1)
+	for i, e := range order {
+		prefix[i+1] = prefix[i] + rootBest[e]
+	}
+	topSum := func(i, r int) float64 {
+		return prefix[min(i+r, len(order))] - prefix[i]
+	}
+
+	var (
+		bestUtil   = -1.0
+		bestAssgn  []core.Assignment
+		nodes      int
+		overBudget bool
+	)
+	cur := 0.0 // running Ω via score telescoping
+
+	var dfs func(idx, remaining int)
+	dfs = func(idx, remaining int) {
+		if overBudget {
+			return
+		}
+		nodes++
+		if s.MaxNodes > 0 && nodes > s.MaxNodes {
+			overBudget = true
+			return
+		}
+		if cur > bestUtil {
+			bestUtil = cur
+			bestAssgn = eng.Schedule().Assignments()
+		}
+		if remaining == 0 || idx == len(order) {
+			return
+		}
+		// Admissible bound.
+		bound := cur + topSum(idx, remaining)
+		if bound <= bestUtil+1e-12 {
+			return
+		}
+		e := order[idx]
+		// Branch: assign e to each valid interval.
+		for t := 0; t < inst.NumIntervals; t++ {
+			if eng.Schedule().Validity(e, t) != nil {
+				continue
+			}
+			gain := eng.Score(e, t)
+			res.Counters.ScoreUpdates++
+			if err := eng.Apply(e, t); err != nil {
+				panic(err) // validity checked; unreachable
+			}
+			cur += gain
+			dfs(idx+1, remaining-1)
+			cur -= gain
+			if err := eng.Unapply(e); err != nil {
+				panic(err)
+			}
+		}
+		// Branch: skip e.
+		dfs(idx+1, remaining)
+	}
+	dfs(0, k)
+
+	if overBudget {
+		return nil, fmt.Errorf("%w (nodes > %d)", ErrSearchBudget, s.MaxNodes)
+	}
+
+	// Rebuild the best schedule on a fresh engine for an exact Ω.
+	finalEng := s.engine(inst)
+	for _, a := range bestAssgn {
+		if err := finalEng.Apply(a.Event, a.Interval); err != nil {
+			return nil, err
+		}
+	}
+	res.Schedule = finalEng.Schedule()
+	res.Utility = finalEng.Utility()
+	return res, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+var _ Solver = (*Exact)(nil)

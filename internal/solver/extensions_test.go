@@ -1,0 +1,180 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"ses/internal/choice"
+	"ses/internal/sestest"
+)
+
+func TestBeamFeasibleAndAtLeastGreedy(t *testing.T) {
+	// Beam with width ≥ 1 explores a superset of GRD's trajectory
+	// prefix-wise; it is not formally guaranteed to dominate GRD, but
+	// must never be dramatically worse and must stay feasible. With
+	// width=branch=1 it must equal GRD exactly.
+	for seed := uint64(0); seed < 8; seed++ {
+		inst := sestest.Random(sestest.Config{
+			Seed: seed, Users: 30, Events: 12, Intervals: 4, Competing: 5,
+		})
+		const k = 6
+		grd, err := NewGRD(nil).Solve(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b1, err := NewBeam(1, 1, nil).Solve(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b1.Utility-grd.Utility) > 1e-9 {
+			t.Errorf("seed %d: beam(1,1) %v != grd %v", seed, b1.Utility, grd.Utility)
+		}
+		wide, err := NewBeam(6, 4, nil).Solve(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wide.Schedule.CheckFeasible(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if wide.Schedule.Size() != k {
+			t.Errorf("seed %d: beam scheduled %d, want %d", seed, wide.Schedule.Size(), k)
+		}
+		// The beam does not formally dominate greedy (the greedy
+		// prefix can be evicted by higher-cumulative prefixes with
+		// worse continuations), but it should stay in the same
+		// ballpark.
+		if wide.Utility < 0.9*grd.Utility {
+			t.Errorf("seed %d: beam(6,4) %v far below grd %v", seed, wide.Utility, grd.Utility)
+		}
+		// Reported utility must be exact.
+		if want := choice.ReferenceUtility(inst, wide.Schedule); math.Abs(wide.Utility-want) > 1e-9 {
+			t.Errorf("seed %d: beam utility %v vs reference %v", seed, wide.Utility, want)
+		}
+	}
+}
+
+func TestOnlineRespectsQuotaAndFeasibility(t *testing.T) {
+	for seed := uint64(10); seed < 18; seed++ {
+		inst := sestest.Random(sestest.Config{
+			Seed: seed, Users: 40, Events: 20, Intervals: 5, Competing: 6,
+		})
+		const k = 6
+		res, err := NewOnline(seed, nil).Solve(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedule.Size() > k {
+			t.Errorf("seed %d: online scheduled %d > k", seed, res.Schedule.Size())
+		}
+		if err := res.Schedule.CheckFeasible(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+		if want := choice.ReferenceUtility(inst, res.Schedule); math.Abs(res.Utility-want) > 1e-9 {
+			t.Errorf("seed %d: utility %v vs reference %v", seed, res.Utility, want)
+		}
+	}
+}
+
+func TestOnlineDeterministicBySeed(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 3, Events: 20, Competing: 4})
+	a, _ := NewOnline(5, nil).Solve(inst, 6)
+	b, _ := NewOnline(5, nil).Solve(inst, 6)
+	if a.Utility != b.Utility || a.Schedule.Size() != b.Schedule.Size() {
+		t.Fatal("same seed, different online outcome")
+	}
+}
+
+func TestOnlineBeatsNothingButLosesToOffline(t *testing.T) {
+	// Aggregate sanity: online ≤ GRD (offline information advantage)
+	// and online > 0 on instances with interest.
+	var onSum, grdSum float64
+	for seed := uint64(20); seed < 30; seed++ {
+		inst := sestest.Random(sestest.Config{
+			Seed: seed, Users: 50, Events: 24, Intervals: 6, Competing: 8,
+		})
+		const k = 8
+		on, err := NewOnline(seed, nil).Solve(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grd, err := NewGRD(nil).Solve(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onSum += on.Utility
+		grdSum += grd.Utility
+	}
+	if onSum <= 0 {
+		t.Error("online never scheduled anything useful")
+	}
+	if onSum > grdSum {
+		t.Errorf("online total %v beats offline greedy %v; policy is suspiciously good", onSum, grdSum)
+	}
+}
+
+func TestSpreadBetweenTopAndGRD(t *testing.T) {
+	// Spread fixes TOP's packing pathology, so across a batch it
+	// should land above TOP; GRD should stay on top overall.
+	var spreadSum, topSum, grdSum float64
+	for seed := uint64(40); seed < 50; seed++ {
+		inst := sestest.Random(sestest.Config{
+			Seed: seed, Users: 50, Events: 24, Intervals: 6, Competing: 8,
+		})
+		const k = 10
+		sp, err := NewSpread(nil).Solve(inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.Schedule.CheckFeasible(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if sp.Schedule.Size() != k {
+			t.Errorf("seed %d: spread scheduled %d, want %d", seed, sp.Schedule.Size(), k)
+		}
+		top, _ := NewTOP(nil).Solve(inst, k)
+		grd, _ := NewGRD(nil).Solve(inst, k)
+		spreadSum += sp.Utility
+		topSum += top.Utility
+		grdSum += grd.Utility
+	}
+	if spreadSum <= topSum {
+		t.Errorf("spread total %v not above top %v", spreadSum, topSum)
+	}
+	if grdSum < spreadSum {
+		t.Logf("note: spread total %v above grd %v on this batch", spreadSum, grdSum)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 60, Competing: 4})
+	for _, factory := range []EngineFactory{DefaultEngine, DenseEngine} {
+		eng := factory(inst)
+		if err := eng.Apply(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		f := eng.Fork()
+		if err := f.Apply(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Schedule().Contains(1) {
+			t.Fatal("fork mutation leaked into original")
+		}
+		if !f.Schedule().Contains(0) {
+			t.Fatal("fork lost original assignment")
+		}
+		// Utilities must agree with independent references.
+		if got, want := eng.Utility(), choice.ReferenceUtility(inst, eng.Schedule()); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("original utility %v vs reference %v", got, want)
+		}
+		if got, want := f.Utility(), choice.ReferenceUtility(inst, f.Schedule()); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("fork utility %v vs reference %v", got, want)
+		}
+		// Unapply on the fork must not disturb the original either.
+		if err := f.Unapply(0); err != nil {
+			t.Fatal(err)
+		}
+		if !eng.Schedule().Contains(0) {
+			t.Fatal("fork unapply leaked into original")
+		}
+	}
+}

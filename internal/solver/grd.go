@@ -1,0 +1,113 @@
+package solver
+
+import (
+	"ses/internal/core"
+)
+
+// GRD is the paper's greedy algorithm (Algorithm 1). It generates the
+// scores of all |E|·|T| assignments, then repeatedly pops the
+// assignment with the largest score from a flat list, inserts it into
+// the schedule if it is valid, and after each selection recomputes the
+// scores of the assignments referring to the selected interval while
+// removing assignments that have become invalid.
+type GRD struct {
+	engine EngineFactory
+}
+
+// NewGRD returns the greedy solver. engine may be nil for the default
+// sparse engine.
+func NewGRD(engine EngineFactory) *GRD {
+	if engine == nil {
+		engine = DefaultEngine
+	}
+	return &GRD{engine: engine}
+}
+
+// Name returns "grd".
+func (g *GRD) Name() string { return "grd" }
+
+// Solve runs Algorithm 1.
+func (g *GRD) Solve(inst *core.Instance, k int) (*Result, error) {
+	if err := validate(inst, k); err != nil {
+		return nil, err
+	}
+	eng := g.engine(inst)
+	res := &Result{Solver: g.Name()}
+
+	// Lines 2–4: generate assignments and compute initial scores.
+	list := buildAssignments(eng, &res.Counters)
+
+	sched := eng.Schedule()
+	for sched.Size() < k && len(list) > 0 {
+		// Line 6: popTopAssgn — linear scan for the largest score,
+		// exactly as the paper's list-based variant does.
+		top := g.popTop(&list, &res.Counters)
+
+		// Line 7: validity check; invalid pops are simply discarded
+		// and the next top is tried.
+		if sched.Validity(top.event, top.interval) != nil {
+			continue
+		}
+		// Line 8: insert into the schedule.
+		if err := eng.Apply(top.event, top.interval); err != nil {
+			// Validity was checked above; failure means a bug.
+			return nil, err
+		}
+
+		// Lines 9–13: update same-interval scores, drop invalid
+		// assignments.
+		if sched.Size() < k {
+			dst := list[:0]
+			for _, a := range list {
+				res.Counters.ListScans++
+				valid := sched.Validity(a.event, a.interval) == nil
+				switch {
+				case a.interval == top.interval && valid:
+					a.score = eng.Score(a.event, a.interval)
+					res.Counters.ScoreUpdates++
+					dst = append(dst, a)
+				case !valid:
+					// removed (line 13)
+				default:
+					dst = append(dst, a)
+				}
+			}
+			list = dst
+		}
+	}
+
+	res.Schedule = sched
+	res.Utility = eng.Utility()
+	return res, nil
+}
+
+// popTop removes and returns the maximum-score assignment, breaking
+// ties toward the earliest (event, interval) so runs are reproducible.
+func (g *GRD) popTop(list *[]assignment, counters *Counters) assignment {
+	l := *list
+	counters.Pops++
+	best := 0
+	for i := 1; i < len(l); i++ {
+		counters.ListScans++
+		if better(l[i], l[best]) {
+			best = i
+		}
+	}
+	top := l[best]
+	l[best] = l[len(l)-1]
+	*list = l[:len(l)-1]
+	return top
+}
+
+// better orders assignments by score with deterministic tie-breaking.
+func better(a, b assignment) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.event != b.event {
+		return a.event < b.event
+	}
+	return a.interval < b.interval
+}
+
+var _ Solver = (*GRD)(nil)

@@ -1,0 +1,169 @@
+// Package solver implements the scheduling algorithms of the SES
+// paper and several extensions:
+//
+//   - GRD — the paper's greedy Algorithm 1 (Section III), faithful to
+//     the pseudocode: a flat assignment list, linear-scan popTopAssgn,
+//     and eager same-interval score updates after every selection.
+//   - TOP — baseline: initial scores only, take the top-k valid
+//     assignments without ever updating a score (Section IV-A).
+//   - RAND — baseline: valid assignments chosen uniformly at random
+//     (Section IV-A).
+//   - GRDLazy — extension: identical output to GRD, but with a
+//     max-heap and CELF-style lazy re-evaluation, exploiting the
+//     per-interval submodularity of the objective.
+//   - Exact — exhaustive DFS with an admissible upper-bound prune;
+//     tractable only on small instances, used to measure the greedy's
+//     empirical approximation quality.
+//   - LocalSearch — hill climbing (relocate + swap moves) on top of
+//     any starting schedule.
+//   - Anneal — simulated annealing over the same move set.
+//
+// All solvers are deterministic given their configuration (RAND and
+// Anneal take explicit seeds).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+)
+
+// EngineFactory builds the choice engine a solver evaluates Eq. 1–4
+// with. The default is the sparse engine; the dense paper-faithful
+// engine can be injected for ablations.
+type EngineFactory func(*core.Instance) choice.Engine
+
+// DefaultEngine builds the sparse engine.
+func DefaultEngine(inst *core.Instance) choice.Engine { return choice.NewSparse(inst) }
+
+// DenseEngine builds the dense (paper-faithful O(|U|) score) engine.
+func DenseEngine(inst *core.Instance) choice.Engine { return choice.NewDense(inst) }
+
+// Counters records the work a solver performed; the experiment
+// harness reports them next to wall-clock times (Fig. 1b/1d) so the
+// paper's cost model (initial scores vs. update volume) can be checked
+// directly.
+type Counters struct {
+	// InitialScores counts Eq. 4 evaluations during list generation.
+	InitialScores int
+	// ScoreUpdates counts Eq. 4 re-evaluations after selections.
+	ScoreUpdates int
+	// Pops counts popTopAssgn calls (including invalid pops).
+	Pops int
+	// ListScans counts assignment-list elements traversed.
+	ListScans int
+	// Moves counts accepted local-search/annealing moves.
+	Moves int
+}
+
+// Result is a solver run outcome.
+type Result struct {
+	// Solver is the name of the producing algorithm.
+	Solver string
+	// Schedule is the feasible schedule found. Its size is k unless
+	// the instance admits fewer valid assignments.
+	Schedule *core.Schedule
+	// Utility is Ω(Schedule) per Eq. 3.
+	Utility float64
+	// Counters describes the work performed.
+	Counters Counters
+}
+
+// Solver is a SES algorithm: find a feasible schedule with (up to) k
+// assignments maximizing Ω.
+type Solver interface {
+	// Name identifies the algorithm (stable, lowercase).
+	Name() string
+	// Solve runs the algorithm. Implementations validate the instance
+	// and return an error for k < 0.
+	Solve(inst *core.Instance, k int) (*Result, error)
+}
+
+// ErrNegativeK is returned when Solve is called with k < 0.
+var ErrNegativeK = errors.New("solver: k must be non-negative")
+
+// validate runs the shared precondition checks.
+func validate(inst *core.Instance, k int) error {
+	if k < 0 {
+		return fmt.Errorf("%w: %d", ErrNegativeK, k)
+	}
+	return inst.Validate()
+}
+
+// New returns a solver by name with default configuration. Known
+// names: "grd", "grdlazy", "top", "topfill", "rand", "exact",
+// "localsearch", "anneal", "beam", "online", "spread". Randomized
+// solvers (rand, anneal, online) get the provided seed; others ignore
+// it.
+func New(name string, seed uint64) (Solver, error) {
+	switch name {
+	case "grd":
+		return NewGRD(nil), nil
+	case "grdlazy":
+		return NewGRDLazy(nil), nil
+	case "top":
+		return NewTOP(nil), nil
+	case "topfill":
+		return NewTOPFill(nil), nil
+	case "rand":
+		return NewRAND(seed, nil), nil
+	case "exact":
+		return NewExact(nil), nil
+	case "localsearch":
+		return NewLocalSearch(NewGRD(nil), 0, nil), nil
+	case "anneal":
+		return NewAnneal(seed, 0, nil), nil
+	case "beam":
+		return NewBeam(0, 0, nil), nil
+	case "online":
+		return NewOnline(seed, nil), nil
+	case "spread":
+		return NewSpread(nil), nil
+	default:
+		return nil, fmt.Errorf("solver: unknown solver %q", name)
+	}
+}
+
+// Names lists the registered solver names in a stable order.
+func Names() []string {
+	return []string{"grd", "grdlazy", "top", "topfill", "rand", "exact", "localsearch", "anneal", "beam", "online", "spread"}
+}
+
+// assignment is a scored (event, interval) pair in a solver worklist.
+type assignment struct {
+	event    int
+	interval int
+	score    float64
+}
+
+// buildAssignments computes initial scores for the full E × T cross
+// product (Algorithm 1, lines 2–4). The list is generated in (event,
+// interval) order, which fixes tie-breaking deterministically.
+func buildAssignments(eng choice.Engine, counters *Counters) []assignment {
+	inst := eng.Instance()
+	out := make([]assignment, 0, inst.NumEvents()*inst.NumIntervals)
+	for e := 0; e < inst.NumEvents(); e++ {
+		for t := 0; t < inst.NumIntervals; t++ {
+			out = append(out, assignment{event: e, interval: t, score: eng.Score(e, t)})
+			counters.InitialScores++
+		}
+	}
+	return out
+}
+
+// sortAssignments orders by score descending with (event, interval)
+// as deterministic tie-breakers.
+func sortAssignments(list []assignment) {
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].score != list[j].score {
+			return list[i].score > list[j].score
+		}
+		if list[i].event != list[j].event {
+			return list[i].event < list[j].event
+		}
+		return list[i].interval < list[j].interval
+	})
+}

@@ -1,0 +1,90 @@
+package solver
+
+import (
+	"ses/internal/core"
+)
+
+// Spread is a middle-ground baseline between TOP and GRD: it ranks
+// events once by their best initial score (like TOP, no updates ever),
+// but instead of trusting the initial (event, interval) pairs it
+// places each selected event into the least-loaded interval where it
+// is still valid (ties broken by the initial score of that placement).
+// It isolates how much of GRD's advantage over TOP comes merely from
+// *spreading* events across intervals versus from genuinely updating
+// marginal gains.
+type Spread struct {
+	engine EngineFactory
+}
+
+// NewSpread returns the spreading baseline. engine may be nil for the
+// default sparse engine.
+func NewSpread(engine EngineFactory) *Spread {
+	if engine == nil {
+		engine = DefaultEngine
+	}
+	return &Spread{engine: engine}
+}
+
+// Name returns "spread".
+func (s *Spread) Name() string { return "spread" }
+
+// Solve ranks events by best initial score, then load-balances.
+func (s *Spread) Solve(inst *core.Instance, k int) (*Result, error) {
+	if err := validate(inst, k); err != nil {
+		return nil, err
+	}
+	eng := s.engine(inst)
+	res := &Result{Solver: s.Name()}
+
+	// Initial scores for all pairs; remember each event's per-interval
+	// score row for the placement step.
+	scores := make([][]float64, inst.NumEvents())
+	ranked := make([]assignment, 0, inst.NumEvents())
+	for e := 0; e < inst.NumEvents(); e++ {
+		row := make([]float64, inst.NumIntervals)
+		bestT := 0
+		for t := 0; t < inst.NumIntervals; t++ {
+			row[t] = eng.Score(e, t)
+			res.Counters.InitialScores++
+			if row[t] > row[bestT] {
+				bestT = t
+			}
+		}
+		scores[e] = row
+		ranked = append(ranked, assignment{event: e, interval: bestT, score: row[bestT]})
+	}
+	sortAssignments(ranked)
+
+	sched := eng.Schedule()
+	load := make([]int, inst.NumIntervals)
+	for _, a := range ranked {
+		if sched.Size() >= k {
+			break
+		}
+		// Least-loaded valid interval; ties by initial score there.
+		bestT := -1
+		for t := 0; t < inst.NumIntervals; t++ {
+			if sched.Validity(a.event, t) != nil {
+				continue
+			}
+			if bestT < 0 ||
+				load[t] < load[bestT] ||
+				(load[t] == load[bestT] && scores[a.event][t] > scores[a.event][bestT]) {
+				bestT = t
+			}
+		}
+		if bestT < 0 {
+			continue
+		}
+		if err := eng.Apply(a.event, bestT); err != nil {
+			return nil, err
+		}
+		load[bestT]++
+	}
+
+	res.Schedule = sched
+	res.Utility = eng.Utility()
+	return res, nil
+}
+
+var _ Solver = (*Spread)(nil)

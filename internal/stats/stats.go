@@ -1,0 +1,154 @@
+// Package stats provides the small summary-statistics toolkit the
+// experiment harness uses to aggregate utilities and running times
+// across repetitions: numerically stable online moments (Welford),
+// order statistics, and a stopwatch that accumulates wall time.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary accumulates a stream of observations with Welford's online
+// algorithm. The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 if empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the minimum observation (0 if empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum observation (0 if empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// String formats the summary as "mean ± stddev [min, max] (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)", s.Mean(), s.StdDev(), s.Min(), s.Max(), s.n)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using
+// linear interpolation between closest ranks. It panics on an empty
+// slice or p outside [0,100]. xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: Percentile p outside [0,100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean of xs (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Stopwatch accumulates wall-clock time across Start/Stop cycles.
+// It is the timing primitive behind the paper's Fig. 1b/1d series.
+type Stopwatch struct {
+	total   time.Duration
+	started time.Time
+	running bool
+}
+
+// Start begins (or restarts) timing. Starting a running stopwatch is a
+// no-op.
+func (w *Stopwatch) Start() {
+	if !w.running {
+		w.started = time.Now()
+		w.running = true
+	}
+}
+
+// Stop ends the current cycle and accumulates it. Stopping a stopped
+// stopwatch is a no-op.
+func (w *Stopwatch) Stop() {
+	if w.running {
+		w.total += time.Since(w.started)
+		w.running = false
+	}
+}
+
+// Elapsed returns total accumulated time, including the current cycle
+// if running.
+func (w *Stopwatch) Elapsed() time.Duration {
+	if w.running {
+		return w.total + time.Since(w.started)
+	}
+	return w.total
+}
+
+// Reset zeroes the stopwatch.
+func (w *Stopwatch) Reset() { *w = Stopwatch{} }
+
+// Time runs fn and returns its wall-clock duration.
+func Time(fn func()) time.Duration {
+	start := time.Now()
+	fn()
+	return time.Since(start)
+}

@@ -1,0 +1,163 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryAgainstClosedForm(t *testing.T) {
+	var s Summary
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.N() != len(xs) {
+		t.Fatalf("N = %d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample variance of this classic set is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.N() != 0 {
+		t.Fatal("zero-value Summary should report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatalf("single observation summary wrong: %+v", s)
+	}
+}
+
+func TestSummaryMatchesNaiveQuick(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Summary
+		sum := 0.0
+		for _, r := range raw {
+			s.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		if math.Abs(s.Mean()-mean) > 1e-9 {
+			return false
+		}
+		if len(raw) >= 2 {
+			ss := 0.0
+			for _, r := range raw {
+				d := float64(r) - mean
+				ss += d * d
+			}
+			if math.Abs(s.Variance()-ss/float64(len(raw)-1)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Input must be untouched.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{10, 20}
+	if got := Percentile(xs, 50); math.Abs(got-15) > 1e-12 {
+		t.Errorf("P50 of {10,20} = %v, want 15", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMedianAndMean(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("Median = %v", m)
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var w Stopwatch
+	if w.Elapsed() != 0 {
+		t.Fatal("fresh stopwatch should read 0")
+	}
+	w.Start()
+	time.Sleep(5 * time.Millisecond)
+	w.Stop()
+	first := w.Elapsed()
+	if first < 4*time.Millisecond {
+		t.Fatalf("elapsed %v, want >= ~5ms", first)
+	}
+	// Stop is idempotent.
+	w.Stop()
+	if w.Elapsed() != first {
+		t.Fatal("Stop on stopped watch changed elapsed")
+	}
+	w.Start()
+	time.Sleep(2 * time.Millisecond)
+	w.Stop()
+	if w.Elapsed() <= first {
+		t.Fatal("second cycle did not accumulate")
+	}
+	w.Reset()
+	if w.Elapsed() != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+func TestTime(t *testing.T) {
+	d := Time(func() { time.Sleep(3 * time.Millisecond) })
+	if d < 2*time.Millisecond {
+		t.Fatalf("Time = %v", d)
+	}
+}

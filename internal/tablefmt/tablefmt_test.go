@@ -1,0 +1,102 @@
+package tablefmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderAligned(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"k", "grd", "rand"},
+	}
+	tab.AddRow("100", "36629.7", "25935.5")
+	tab.AddRow("50", "1", "2")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "k  ") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Column alignment: "grd" column starts at the same offset in all
+	// data rows.
+	idx1 := strings.Index(lines[3], "36629.7")
+	idx2 := strings.Index(lines[4], "1")
+	if idx1 != idx2 {
+		t.Errorf("misaligned columns: %d vs %d\n%s", idx1, idx2, out)
+	}
+}
+
+func TestRenderEmptyFails(t *testing.T) {
+	if err := (&Table{}).Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty table rendered")
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tab := &Table{Header: []string{"a", "b"}}
+	tab.AddRow("1")
+	tab.AddRow("1", "2", "3")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tab := &Table{Header: []string{"x", "y"}}
+	tab.AddRow("1", "a,b")
+	var buf bytes.Buffer
+	if err := tab.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,y\n1,\"a,b\"\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		123456:   "123456",
+		1234.5:   "1234.5",
+		12.345:   "12.3",
+		0.001234: "0.00123",
+	}
+	for v, want := range cases {
+		if got := Float(v); got != want {
+			t.Errorf("Float(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		2500 * time.Millisecond: "2.50s",
+		15 * time.Millisecond:   "15.0ms",
+		42 * time.Microsecond:   "42µs",
+	}
+	for d, want := range cases {
+		if got := Duration(d); got != want {
+			t.Errorf("Duration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
