@@ -136,11 +136,11 @@ func BenchmarkAblationEngine(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("sparse", func(b *testing.B) {
-		s := solver.NewGRD(solver.DefaultEngine)
+		s := solver.NewGRD(solver.Config{})
 		runSolverInternal(b, inst, s, k)
 	})
 	b.Run("dense", func(b *testing.B) {
-		s := solver.NewGRD(solver.DenseEngine)
+		s := solver.NewGRD(solver.Config{Engine: solver.DenseEngine})
 		runSolverInternal(b, inst, s, k)
 	})
 }

@@ -3,17 +3,30 @@
 //
 // Usage:
 //
-//	sesbench [-fig all|1a|1b|1c|1d|sens] [-scale full|medium|small]
+//	sesbench [-fig all|1a|1b|1c|1d|sens|engines] [-scale full|medium|small]
 //	         [-reps N] [-seed S] [-algos paper|extended] [-csv dir] [-v]
+//	         [-workers W] [-par P] [-json file]
 //
 // -fig sens runs the sensitivity sweeps over θ (resources), location
 // count and competing intensity — the parameters Section IV-A fixes.
+//
+// -fig engines microbenchmarks the choice engines (Score, Apply,
+// IntervalUtility on the current sorted-accumulator Sparse engine, the
+// previous map-based SparseMap engine, and the paper-faithful Dense
+// engine) and writes the results as JSON to the -json file.
 //
 // -scale full uses the Meetup-California dimensions of the paper
 // (42,444 users); medium (default) and small reduce the user count so
 // a sweep finishes in minutes/seconds while preserving the comparative
 // shape. Utility figures and time figures come from the same runs, so
 // -fig 1a also prints 1b's timing series (and 1c also prints 1d's).
+//
+// -workers sets the solver-internal scoring parallelism (0 = all
+// cores); schedules and utilities are byte-identical for any value.
+// -par runs that many independent (point, repetition) trials at once;
+// aggregate statistics are unchanged, but per-run wall-clock timings
+// get noisier when trials share cores, so keep -par 1 when the time
+// series is the point of the run.
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 
 	"ses/internal/ebsn"
 	"ses/internal/experiment"
+	"ses/internal/solver"
 )
 
 func main() {
@@ -43,8 +57,27 @@ func run(args []string, out io.Writer) error {
 	algos := fs.String("algos", "paper", "algorithm set: paper (grd/top/rand) or extended")
 	csvDir := fs.String("csv", "", "also write per-figure CSV files into this directory")
 	verbose := fs.Bool("v", false, "stream per-run progress")
+	workers := fs.Int("workers", 0, "solver scoring goroutines (0 = all cores, 1 = serial; identical output)")
+	par := fs.Int("par", 1, "independent trials run concurrently (identical statistics, noisier timings)")
+	jsonPath := fs.String("json", "", "output file for -fig engines (default BENCH_engine.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	wantK := *fig == "all" || *fig == "1a" || *fig == "1b"
+	wantT := *fig == "all" || *fig == "1c" || *fig == "1d"
+	wantSens := *fig == "sens"
+	wantEngines := *fig == "engines"
+	if !wantK && !wantT && !wantSens && !wantEngines {
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	// Catch a silently-ignored flag before a potentially hours-long
+	// sweep rather than after it.
+	if *jsonPath != "" && !wantEngines {
+		return fmt.Errorf("-json only applies to -fig engines")
+	}
+	if *jsonPath == "" {
+		*jsonPath = "BENCH_engine.json"
 	}
 
 	var ecfg ebsn.Config
@@ -73,12 +106,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cfg := experiment.Config{Dataset: ds, Reps: *reps, Seed: *seed}
+	scfg := solver.Config{Workers: *workers}
+	cfg := experiment.Config{Dataset: ds, Reps: *reps, Seed: *seed, Concurrency: *par, SolverWorkers: *workers}
 	switch *algos {
 	case "paper":
-		cfg.Algorithms = experiment.PaperAlgorithms()
+		cfg.Algorithms = experiment.PaperAlgorithms(scfg)
 	case "extended":
-		cfg.Algorithms = experiment.ExtendedAlgorithms()
+		cfg.Algorithms = experiment.ExtendedAlgorithms(scfg)
 	default:
 		return fmt.Errorf("unknown -algos %q", *algos)
 	}
@@ -86,11 +120,8 @@ func run(args []string, out io.Writer) error {
 		cfg.Progress = out
 	}
 
-	wantK := *fig == "all" || *fig == "1a" || *fig == "1b"
-	wantT := *fig == "all" || *fig == "1c" || *fig == "1d"
-	wantSens := *fig == "sens"
-	if !wantK && !wantT && !wantSens {
-		return fmt.Errorf("unknown -fig %q", *fig)
+	if wantEngines {
+		return benchEngines(out, ds, *seed, *jsonPath)
 	}
 
 	if wantK {

@@ -53,6 +53,61 @@ func TestRunCSVOutput(t *testing.T) {
 	}
 }
 
+func TestRunEnginesFig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbenchmarks are seconds-long")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_engine.json")
+	var out bytes.Buffer
+	if err := run([]string{"-fig", "engines", "-scale", "small", "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Score/sparse", "Score/sparsemap", "Score/dense", "IntervalUtility/sparse", "ns_per_op", "allocs_per_op"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("BENCH_engine.json missing %q", want)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote "+jsonPath) {
+		t.Error("output does not mention the JSON file")
+	}
+}
+
+func TestRunParallelFlagsMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is seconds-long")
+	}
+	// -workers and -par must leave the utility tables unchanged.
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-fig", "1a", "-scale", "small", "-reps", "1", "-workers", "1", "-par", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-fig", "1a", "-scale", "small", "-reps", "1", "-workers", "4", "-par", "3"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	// Compare the utility table block: find it by title, then take
+	// rows until the blank line.
+	extract := func(s string) string {
+		idx := strings.Index(s, "Fig 1a: Utility vs k")
+		if idx < 0 {
+			return ""
+		}
+		rest := s[idx:]
+		if end := strings.Index(rest, "\n\n"); end >= 0 {
+			rest = rest[:end]
+		}
+		return rest
+	}
+	a, b := extract(serial.String()), extract(parallel.String())
+	if a == "" || a != b {
+		t.Errorf("utility tables differ between serial and parallel runs:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-fig", "9z"},

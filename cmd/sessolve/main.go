@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sessolve -instance inst.json [-algo grd] [-k K] [-seed S] [-show N]
+//	         [-workers W]
 //
 // The instance file is produced by sesgen (or any tool emitting the
 // same JSON). -k 0 uses the instance's natural k = |E|/2 (the paper's
@@ -37,6 +38,7 @@ func run(args []string, out io.Writer) error {
 	k := fs.Int("k", 0, "events to schedule (0 = |E|/2, the paper's ratio)")
 	seed := fs.Uint64("seed", 1, "seed for randomized algorithms")
 	show := fs.Int("show", 20, "max assignments to print")
+	workers := fs.Int("workers", 0, "goroutines for initial scoring (0 = all cores, 1 = serial; output is identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,7 +57,7 @@ func run(args []string, out io.Writer) error {
 	if *k == 0 {
 		*k = inst.NumEvents() / 2
 	}
-	s, err := solver.New(*algo, *seed)
+	s, err := solver.NewWith(*algo, *seed, solver.Config{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -61,6 +61,35 @@ func TestRunAllAlgorithms(t *testing.T) {
 	}
 }
 
+func TestRunWorkersFlagIdenticalOutput(t *testing.T) {
+	// -workers must not change anything the user sees.
+	path := writeInstance(t)
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-instance", path, "-algo", "grd", "-workers", "1"}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-instance", path, "-algo", "grd", "-workers", "8"}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	// The elapsed-time figure is wall clock; blank that line's timing
+	// before comparing.
+	normalize := func(s string) string {
+		lines := strings.Split(s, "\n")
+		for i, l := range lines {
+			if idx := strings.Index(l, " events in "); idx >= 0 {
+				if semi := strings.Index(l, ";"); semi > idx {
+					lines[i] = l[:idx] + l[semi:]
+				}
+			}
+		}
+		return strings.Join(lines, "\n")
+	}
+	if normalize(serial.String()) != normalize(parallel.String()) {
+		t.Errorf("output differs between -workers 1 and 8:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := run(nil, &bytes.Buffer{}); err == nil {
 		t.Error("missing -instance accepted")

@@ -37,6 +37,43 @@
 //   - σ (social activity) models, including an estimator from
 //     check-in histories
 //
+// # Architecture: engines and solvers
+//
+// The scoring/solver stack is split across two internal layers with a
+// narrow contract between them.
+//
+// The choice layer (ses/internal/choice) owns the attendance model
+// (Eq. 1–4). An Engine holds a schedule and answers Score (the
+// marginal gain of one assignment), ScoreBatch (Score over a list of
+// events at one interval — the unit of work the solver layer
+// parallelizes), Apply/Unapply (incremental schedule maintenance),
+// and the utility accessors. Four implementations exist: Sparse, the
+// production engine, keeps per-interval scheduled mass in sorted
+// accumulators maintained by incremental merge, making the hot paths
+// allocation-free merge-joins; SparseMap is its map-based predecessor
+// retained for the old-vs-new ablation benchmark; Dense is the
+// paper-faithful O(|U|)-per-score baseline; Ref wraps the definitional
+// Reference* oracle functions. Property tests force all of them to
+// agree to floating-point accuracy.
+//
+// The solver layer (ses/internal/solver) implements the algorithms on
+// top of the Engine interface. Every constructor takes a
+// solver.Config carrying the engine factory and a Workers count. The
+// scored E×T assignment cross product — the dominant cost of the
+// paper's Fig. 1b/1d time series — is built by a shared worklist
+// component that fans initial scoring out over a worker pool: each
+// worker scores whole intervals against its own Fork of the engine
+// and writes to fixed offsets of a preallocated matrix, so schedules,
+// utilities and work counters are byte-identical to the serial run
+// for any Workers value. GRD, GRDLazy, TOP, TOPFill and Spread start
+// from that worklist; Beam expands its live states concurrently; the
+// experiment harness (ses/internal/experiment) additionally runs
+// independent trials and sensitivity points concurrently.
+//
+// From this facade, pass SolverConfig{Workers: N} to GreedyWith or
+// NewSolverWith; the sessolve and sesbench commands expose the same
+// knob as -workers.
+//
 // # Quick start
 //
 //	ds, _ := ses.GenerateEBSN(ses.EBSNConfig{Seed: 1, NumUsers: 2000,
@@ -45,6 +82,7 @@
 //	res, _ := ses.Greedy().Solve(inst, 20)
 //	fmt.Printf("Ω = %.1f expected attendees\n", res.Utility)
 //
-// See examples/ for runnable programs, DESIGN.md for the architecture
-// and EXPERIMENTS.md for the reproduction of the paper's figures.
+// See examples/ for runnable programs and README.md for a quickstart,
+// the solver table and the command-line tools that reproduce the
+// paper's figures.
 package ses

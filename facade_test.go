@@ -109,6 +109,37 @@ func TestFacadeTableActivity(t *testing.T) {
 	}
 }
 
+func TestFacadeSolverConfigWorkers(t *testing.T) {
+	// The facade's Workers knob must be output-neutral.
+	ds := smallDataset(t)
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{K: 8, Intervals: 10, CandidateEvents: 16, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := ses.GreedyWith(ses.SolverConfig{Workers: 1}).Solve(inst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ses.GreedyWith(ses.SolverConfig{Workers: 8}).Solve(inst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Utility != parallel.Utility {
+		t.Errorf("utility differs: %v vs %v", serial.Utility, parallel.Utility)
+	}
+	byName, err := ses.NewSolverWith("grdlazy", 1, ses.SolverConfig{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := byName.Solve(inst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Utility != serial.Utility {
+		t.Errorf("grdlazy(workers=4) utility %v != grd %v", res.Utility, serial.Utility)
+	}
+}
+
 func TestFacadeExactOnToyInstance(t *testing.T) {
 	inst := festivalInstance()
 	opt, err := ses.ExactSolver().Solve(inst, 2)

@@ -1,0 +1,3 @@
+module ses
+
+go 1.24

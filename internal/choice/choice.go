@@ -4,11 +4,12 @@
 // both the organizer's scheduled events Et(S) and the third-party
 // competing events Ct — proportionally to the user's interest µ.
 //
-// Three implementations are provided:
+// Four implementations are provided:
 //
 //   - The Reference* functions compute Eq. 1–4 directly from the
 //     definitions with no caching. They are the oracle the engines are
-//     tested against, and they are deliberately simple.
+//     tested against, and they are deliberately simple. Ref wraps them
+//     in the Engine interface so solvers can run against the oracle.
 //   - Dense is the paper-faithful engine: assignment scores are
 //     computed with a loop over all |U| users exactly as Algorithm 1's
 //     complexity analysis assumes. It is the baseline for the
@@ -17,11 +18,15 @@
 //     µ(u,e) = 0 contributes nothing to the score of assigning e (their
 //     Luce denominator does not change), so scores only iterate the
 //     sparse interest row of the event. Competing interest mass is
-//     pre-aggregated per interval, scheduled mass is maintained
-//     incrementally.
+//     pre-aggregated per interval into sorted vectors; scheduled mass
+//     is maintained incrementally in sorted accumulators so the hot
+//     paths (Score, IntervalUtility) are allocation-free merge-joins.
+//   - SparseMap is the previous generation of Sparse (per-interval
+//     hash maps, per-call sort in IntervalUtility), kept as the
+//     old-vs-new baseline for the engine ablation benchmark.
 //
-// All three agree to floating-point accuracy; property tests enforce
-// it.
+// All implementations agree to floating-point accuracy; property tests
+// enforce it.
 package choice
 
 import "ses/internal/core"
@@ -29,6 +34,11 @@ import "ses/internal/core"
 // Engine evaluates and incrementally maintains Eq. 1–4 over a growing
 // schedule. Engines own their schedule; solvers drive them through
 // Score/Apply.
+//
+// Engines are not safe for concurrent mutation. Score and ScoreBatch
+// do not mutate the engine, but callers that want to score in parallel
+// should give each goroutine its own Fork (forks are cheap: they share
+// all immutable per-instance state).
 type Engine interface {
 	// Instance returns the problem instance.
 	Instance() *core.Instance
@@ -39,6 +49,12 @@ type Engine interface {
 	// at interval t: the gain in total utility Ω. The result is only
 	// meaningful while e is unassigned.
 	Score(e, t int) float64
+	// ScoreBatch computes Score(events[i], t) into out[i] for every
+	// listed event. It is equivalent to calling Score in a loop but
+	// lets engines hoist per-interval state, and it is the unit of
+	// work the solver layer fans out across workers. out must have
+	// at least len(events) elements.
+	ScoreBatch(events []int, t int, out []float64)
 	// Apply adds assignment (e, t), returning the schedule's validity
 	// error if the assignment is not valid.
 	Apply(e, t int) error
@@ -56,6 +72,36 @@ type Engine interface {
 	// assignments to the fork does not affect the original. Beam-style
 	// solvers rely on cheap forks.
 	Fork() Engine
+}
+
+// FillRoundRobin applies valid assignments in a fixed deterministic
+// pattern — events in order, intervals round-robin, skipping invalid
+// pairs — until max events are scheduled or the events are exhausted.
+// It exists so tests, benchmarks and the sesbench engine-ablation
+// harness load engines with the exact same non-trivial schedule.
+func FillRoundRobin(e Engine, max int) error {
+	inst := e.Instance()
+	t := 0
+	for ev := 0; ev < inst.NumEvents() && e.Schedule().Size() < max; ev++ {
+		for tries := 0; tries < inst.NumIntervals; tries++ {
+			tt := (t + tries) % inst.NumIntervals
+			if e.Schedule().IsValid(ev, tt) {
+				if err := e.Apply(ev, tt); err != nil {
+					return err
+				}
+				t = tt + 1
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// scoreBatchSerial is the fallback ScoreBatch: a plain Score loop.
+func scoreBatchSerial(e Engine, events []int, t int, out []float64) {
+	for i, ev := range events {
+		out[i] = e.Score(ev, t)
+	}
 }
 
 // luceGain is the per-user term of Eq. 4: the change in

@@ -13,28 +13,18 @@ const eps = 1e-9
 // engines under test, by name.
 func newEngines(inst *core.Instance) map[string]Engine {
 	return map[string]Engine{
-		"sparse": NewSparse(inst),
-		"dense":  NewDense(inst),
+		"sparse":    NewSparse(inst),
+		"sparsemap": NewSparseMap(inst),
+		"dense":     NewDense(inst),
+		"ref":       NewRef(inst),
 	}
 }
 
-// greedyFill applies valid assignments in a fixed arbitrary pattern to
-// exercise non-trivial schedules: events in order, intervals round-
-// robin, skipping invalid assignments, up to max assignments.
+// greedyFill exercises non-trivial schedules via the shared
+// round-robin fill.
 func greedyFill(e Engine, max int) {
-	inst := e.Instance()
-	t := 0
-	for ev := 0; ev < inst.NumEvents() && e.Schedule().Size() < max; ev++ {
-		for tries := 0; tries < inst.NumIntervals; tries++ {
-			tt := (t + tries) % inst.NumIntervals
-			if e.Schedule().IsValid(ev, tt) {
-				if err := e.Apply(ev, tt); err != nil {
-					panic(err)
-				}
-				t = tt + 1
-				break
-			}
-		}
+	if err := FillRoundRobin(e, max); err != nil {
+		panic(err)
 	}
 }
 
@@ -105,6 +95,52 @@ func TestSparseAndDenseAgreeExactly(t *testing.T) {
 		}
 		if a, b := sp.Utility(), de.Utility(); math.Abs(a-b) > 1e-9 {
 			t.Errorf("seed %d: Utility sparse %v vs dense %v", seed, a, b)
+		}
+	}
+}
+
+func TestScoreBatchMatchesScore(t *testing.T) {
+	// ScoreBatch must be bit-identical to a Score loop — the solver
+	// layer's parallel scoring relies on it.
+	for seed := uint64(90); seed < 96; seed++ {
+		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 5})
+		events := make([]int, inst.NumEvents())
+		for i := range events {
+			events[i] = i
+		}
+		out := make([]float64, len(events))
+		for name, eng := range newEngines(inst) {
+			greedyFill(eng, 3)
+			for ti := 0; ti < inst.NumIntervals; ti++ {
+				eng.ScoreBatch(events, ti, out)
+				for i, ev := range events {
+					if want := eng.Score(ev, ti); out[i] != want {
+						t.Errorf("seed %d %s: ScoreBatch(e%d,t%d) = %v, Score = %v",
+							seed, name, ev, ti, out[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForkedScoresMatchOriginal(t *testing.T) {
+	// Forks must score identically (bit-for-bit) to the engine they
+	// were forked from; parallel initial scoring forks one engine per
+	// worker and merges the numbers back into one worklist.
+	for seed := uint64(110); seed < 114; seed++ {
+		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 6})
+		for name, eng := range newEngines(inst) {
+			greedyFill(eng, 3)
+			f := eng.Fork()
+			for ev := 0; ev < inst.NumEvents(); ev++ {
+				for ti := 0; ti < inst.NumIntervals; ti++ {
+					if a, b := eng.Score(ev, ti), f.Score(ev, ti); a != b {
+						t.Fatalf("seed %d %s: fork Score(e%d,t%d) = %v, original %v",
+							seed, name, ev, ti, b, a)
+					}
+				}
+			}
 		}
 	}
 }

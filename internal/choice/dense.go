@@ -1,6 +1,10 @@
 package choice
 
-import "ses/internal/core"
+import (
+	"math"
+
+	"ses/internal/core"
+)
 
 // Dense is the paper-faithful engine: every assignment score is an
 // O(|U|) loop over all users, mirroring the complexity analysis of
@@ -15,10 +19,15 @@ type Dense struct {
 	sched *core.Schedule
 	comp  [][]float64 // per interval: dense competing mass (lazy)
 	pmass [][]float64 // per interval: dense scheduled mass (lazy)
-	// muRows caches dense µ rows for candidate events so the score
-	// loop costs O(1) per user, as the paper assumes of its interest
-	// matrix.
-	muRows map[int][]float64
+	// hwm is the per-interval high-water mark of scheduled mass; it
+	// scales Unapply's noise cutoff (see residualEps in sparse.go).
+	hwm []float64
+	// muRows holds the dense µ row of every candidate event so the
+	// score loop costs O(1) per user, as the paper assumes of its
+	// interest matrix. Built eagerly — solvers score the whole E×T
+	// cross product anyway — and therefore immutable, which lets
+	// forks share it and score concurrently.
+	muRows [][]float64
 }
 
 // NewDense builds the engine for inst with an empty schedule.
@@ -28,7 +37,8 @@ func NewDense(inst *core.Instance) *Dense {
 		sched:  core.NewSchedule(inst),
 		comp:   make([][]float64, inst.NumIntervals),
 		pmass:  make([][]float64, inst.NumIntervals),
-		muRows: make(map[int][]float64),
+		hwm:    make([]float64, inst.NumIntervals),
+		muRows: make([][]float64, inst.NumEvents()),
 	}
 	for ci, c := range inst.Competing {
 		t := c.Interval
@@ -40,6 +50,14 @@ func NewDense(inst *core.Instance) *Dense {
 			e.comp[t][id] += row.Vals[i]
 		}
 	}
+	for ev := range e.muRows {
+		r := make([]float64, inst.NumUsers)
+		row := inst.CandInterest.Row(ev)
+		for i, id := range row.IDs {
+			r[id] = row.Vals[i]
+		}
+		e.muRows[ev] = r
+	}
 	return e
 }
 
@@ -49,20 +67,8 @@ func (e *Dense) Instance() *core.Instance { return e.inst }
 // Schedule returns the engine's schedule.
 func (e *Dense) Schedule() *core.Schedule { return e.sched }
 
-// muRow returns (building on first use) the dense interest row of a
-// candidate event.
-func (e *Dense) muRow(event int) []float64 {
-	if r, ok := e.muRows[event]; ok {
-		return r
-	}
-	r := make([]float64, e.inst.NumUsers)
-	row := e.inst.CandInterest.Row(event)
-	for i, id := range row.IDs {
-		r[id] = row.Vals[i]
-	}
-	e.muRows[event] = r
-	return r
-}
+// muRow returns the dense interest row of a candidate event.
+func (e *Dense) muRow(event int) []float64 { return e.muRows[event] }
 
 func (e *Dense) compAt(t, u int) float64 {
 	if e.comp[t] == nil {
@@ -93,6 +99,11 @@ func (e *Dense) Score(event, t int) float64 {
 	return sum
 }
 
+// ScoreBatch computes Score for every listed event at t.
+func (e *Dense) ScoreBatch(events []int, t int, out []float64) {
+	scoreBatchSerial(e, events, t, out)
+}
+
 // Apply assigns (event, t) and adds the event's interest to the
 // interval's scheduled mass.
 func (e *Dense) Apply(event, t int) error {
@@ -105,22 +116,37 @@ func (e *Dense) Apply(event, t int) error {
 	row := e.inst.CandInterest.Row(event)
 	for i, id := range row.IDs {
 		e.pmass[t][id] += row.Vals[i]
+		if e.pmass[t][id] > e.hwm[t] {
+			e.hwm[t] = e.pmass[t][id]
+		}
 	}
 	return nil
 }
 
-// Unapply removes the event and subtracts its mass.
+// Unapply removes the event and subtracts its mass. Residuals are
+// zeroed only when they are numerical noise relative to the
+// interval's mass high-water mark (see residualEps in sparse.go): an
+// absolute cutoff — or one relative to the current or subtracted mass
+// — would either erase another scheduled event's legitimately tiny
+// mass or let noise from a removed large event linger as attendance.
+// An interval left with no scheduled events is cleared exactly.
 func (e *Dense) Unapply(event int) error {
 	t := e.sched.IntervalOf(event)
 	if err := e.sched.Unassign(event); err != nil {
 		return err
 	}
 	row := e.inst.CandInterest.Row(event)
+	noiseFloor := residualEps * e.hwm[t]
 	for i, id := range row.IDs {
-		e.pmass[t][id] -= row.Vals[i]
-		if e.pmass[t][id] < 1e-12 {
-			e.pmass[t][id] = 0
+		v := e.pmass[t][id] - row.Vals[i]
+		if math.Abs(v) <= noiseFloor {
+			v = 0
 		}
+		e.pmass[t][id] = v
+	}
+	if len(e.sched.EventsAt(t)) == 0 {
+		clear(e.pmass[t])
+		e.hwm[t] = 0
 	}
 	return nil
 }
@@ -169,14 +195,14 @@ func (e *Dense) Utility() float64 {
 }
 
 // Fork deep-copies the schedule and scheduled mass; the competing mass
-// and the µ-row cache are shared (the cache is append-only and the
-// engines are not safe for concurrent use anyway).
+// and the µ rows are shared (both immutable after construction).
 func (e *Dense) Fork() Engine {
 	f := &Dense{
 		inst:   e.inst,
 		sched:  e.sched.Clone(),
 		comp:   e.comp,
 		pmass:  make([][]float64, len(e.pmass)),
+		hwm:    append([]float64(nil), e.hwm...),
 		muRows: e.muRows,
 	}
 	for t, m := range e.pmass {

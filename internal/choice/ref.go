@@ -1,0 +1,76 @@
+package choice
+
+import "ses/internal/core"
+
+// Ref wraps the Reference* functions in the Engine interface: every
+// quantity is recomputed from the Eq. 1–4 definitions on demand, with
+// no caching or incremental state beyond the schedule itself. It is
+// the slowest implementation by a wide margin and exists so solvers
+// and conformance tests can run against the oracle directly.
+type Ref struct {
+	inst  *core.Instance
+	sched *core.Schedule
+}
+
+// NewRef builds the oracle engine for inst with an empty schedule.
+func NewRef(inst *core.Instance) *Ref {
+	return &Ref{inst: inst, sched: core.NewSchedule(inst)}
+}
+
+// Instance returns the problem instance.
+func (e *Ref) Instance() *core.Instance { return e.inst }
+
+// Schedule returns the engine's schedule.
+func (e *Ref) Schedule() *core.Schedule { return e.sched }
+
+// Score computes the assignment score (Eq. 4) from the definitions:
+// the per-user Luce gain against competing and scheduled mass summed
+// directly from the interest matrices.
+func (e *Ref) Score(event, t int) float64 {
+	row := e.inst.CandInterest.Row(event)
+	comps := e.inst.CompetingAt(t)
+	scheduled := e.sched.EventsAt(t)
+	sum := 0.0
+	for i, id := range row.IDs {
+		u := int(id)
+		c := 0.0
+		for _, ce := range comps {
+			c += e.inst.CompInterest.Mu(u, ce)
+		}
+		p := 0.0
+		for _, pe := range scheduled {
+			p += e.inst.CandInterest.Mu(u, pe)
+		}
+		sum += luceGain(e.inst.Activity.Prob(u, t), row.Vals[i], c, p)
+	}
+	return sum
+}
+
+// ScoreBatch computes Score for every listed event at t.
+func (e *Ref) ScoreBatch(events []int, t int, out []float64) {
+	scoreBatchSerial(e, events, t, out)
+}
+
+// Apply assigns (event, t).
+func (e *Ref) Apply(event, t int) error { return e.sched.Assign(event, t) }
+
+// Unapply removes the event from the schedule.
+func (e *Ref) Unapply(event int) error { return e.sched.Unassign(event) }
+
+// Utility returns Ω(S) (Eq. 3) recomputed from the definitions.
+func (e *Ref) Utility() float64 { return ReferenceUtility(e.inst, e.sched) }
+
+// EventAttendance returns ω (Eq. 2) of a scheduled event.
+func (e *Ref) EventAttendance(event int) float64 {
+	return ReferenceEventAttendance(e.inst, e.sched, event)
+}
+
+// IntervalUtility returns Σ_{e∈Et} ω at t.
+func (e *Ref) IntervalUtility(t int) float64 {
+	return ReferenceIntervalUtility(e.inst, e.sched, t)
+}
+
+// Fork clones the schedule; the oracle has no other state.
+func (e *Ref) Fork() Engine { return &Ref{inst: e.inst, sched: e.sched.Clone()} }
+
+var _ Engine = (*Ref)(nil)

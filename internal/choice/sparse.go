@@ -1,10 +1,29 @@
 package choice
 
 import (
+	"math"
 	"sort"
 
 	"ses/internal/core"
 )
+
+// residualEps bounds, relative to the *high-water mark* of the
+// interval's accumulated mass, the residual that Unapply treats as
+// floating-point noise. Rounding error of the P ± µe updates scales
+// with the largest value the accumulator has held — not with the
+// current entry (a small surviving mass can carry noise from a large
+// removed one) and not with the mass being subtracted — so the cutoff
+// is a small multiple of the machine epsilon relative to that mark:
+// far below any mass another co-scheduled event could legitimately
+// contribute, yet above the noise accumulated over many Apply/Unapply
+// cycles. An absolute cutoff (or one relative to the current or
+// subtracted mass) mistakes one side for the other.
+//
+// Independently of the threshold, an interval with no scheduled
+// events left is cleared outright: whatever the accumulator still
+// holds then is noise by definition. The threshold only has to
+// arbitrate partial removals.
+const residualEps = 64 * 2.220446049250313e-16 // 64 ulps ≈ 1.4e-14
 
 // Sparse is the production engine. It exploits the sparsity of tag-
 // derived interest: the score of assigning event e to interval t
@@ -12,18 +31,32 @@ import (
 // denominator at t is unchanged by the assignment.
 //
 // Competing interest mass C(t,u) = Σ_{c∈Ct} µ(u,c) is aggregated once
-// at construction into per-interval sorted arrays (binary-searchable,
-// memory ∝ non-zeros). Scheduled mass P(t,u) = Σ_{p∈Et(S)} µ(u,p) is
-// maintained incrementally in per-interval hash maps as assignments
-// are applied.
+// at construction into per-interval sorted vectors. Scheduled mass
+// P(t,u) = Σ_{p∈Et(S)} µ(u,p) is maintained incrementally in
+// per-interval *sorted accumulators*: Apply/Unapply merge the event's
+// (sorted) interest row into the interval's accumulator through a pair
+// of reusable scratch buffers, so the id list never has to be rebuilt
+// or re-sorted. Score, EventAttendance and IntervalUtility are then
+// allocation-free merge-joins over sorted vectors with deterministic
+// summation order.
 type Sparse struct {
 	inst  *core.Instance
 	sched *core.Schedule
-	comp  []massVector        // per interval: aggregated competing mass
-	pmass []map[int32]float64 // per interval: scheduled mass
+	comp  []massVector // per interval: aggregated competing mass (immutable)
+	pmass []massVector // per interval: scheduled mass, sorted, incremental
+	// hwm is the per-interval high-water mark of accumulated mass; it
+	// scales Unapply's noise cutoff (see residualEps).
+	hwm []float64
+	// scratch buffers the Apply/Unapply merges write into; after each
+	// merge they swap with the interval's previous storage, so the
+	// steady state allocates nothing.
+	scratchIDs  []int32
+	scratchVals []float64
 }
 
-// massVector is an immutable sorted sparse vector of per-user mass.
+// massVector is a sorted sparse vector of per-user mass. The competing
+// vectors are immutable after construction; the scheduled-mass
+// accumulators are rebuilt wholesale by merge (never edited in place).
 type massVector struct {
 	ids  []int32
 	vals []float64
@@ -37,17 +70,43 @@ func (v massVector) at(id int32) float64 {
 	return 0
 }
 
-// NewSparse builds the engine for inst with an empty schedule.
-// The instance should be validated beforehand.
-func NewSparse(inst *core.Instance) *Sparse {
-	e := &Sparse{
-		inst:  inst,
-		sched: core.NewSchedule(inst),
-		comp:  make([]massVector, inst.NumIntervals),
-		pmass: make([]map[int32]float64, inst.NumIntervals),
+// seek returns the smallest index i >= lo with v.ids[i] >= id, using
+// exponential (galloping) search from lo. A caller probing ascending
+// ids and threading the result back in as the next lo pays O(log gap)
+// per probe and never rescans earlier entries.
+func (v massVector) seek(lo int, id int32) int {
+	n := len(v.ids)
+	if lo >= n || v.ids[lo] >= id {
+		return lo
 	}
-	// Aggregate competing interest per interval. Accumulate in maps,
-	// then freeze into sorted arrays.
+	step := 1
+	hi := lo + step
+	for hi < n && v.ids[hi] < id {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo + sort.Search(hi-lo, func(i int) bool { return v.ids[lo+i] >= id })
+}
+
+// atFrom is the monotone variant of at: it resumes from *lo and stores
+// the position back for the caller's next (larger) id.
+func (v massVector) atFrom(lo *int, id int32) float64 {
+	i := v.seek(*lo, id)
+	*lo = i
+	if i < len(v.ids) && v.ids[i] == id {
+		return v.vals[i]
+	}
+	return 0
+}
+
+// aggregateCompeting folds the competing events' interest rows into
+// one sorted mass vector per interval. Shared by Sparse and SparseMap.
+func aggregateCompeting(inst *core.Instance) []massVector {
+	comp := make([]massVector, inst.NumIntervals)
 	acc := make([]map[int32]float64, inst.NumIntervals)
 	for ci, c := range inst.Competing {
 		row := inst.CompInterest.Row(ci)
@@ -75,9 +134,21 @@ func NewSparse(inst *core.Instance) *Sparse {
 		for _, id := range mv.ids {
 			mv.vals = append(mv.vals, m[id])
 		}
-		e.comp[t] = mv
+		comp[t] = mv
 	}
-	return e
+	return comp
+}
+
+// NewSparse builds the engine for inst with an empty schedule.
+// The instance should be validated beforehand.
+func NewSparse(inst *core.Instance) *Sparse {
+	return &Sparse{
+		inst:  inst,
+		sched: core.NewSchedule(inst),
+		comp:  aggregateCompeting(inst),
+		pmass: make([]massVector, inst.NumIntervals),
+		hwm:   make([]float64, inst.NumIntervals),
+	}
 }
 
 // Instance returns the problem instance.
@@ -90,66 +161,151 @@ func (e *Sparse) Schedule() *core.Schedule { return e.sched }
 // competing events at t.
 func (e *Sparse) CompetingMass(t int, u int) float64 { return e.comp[t].at(int32(u)) }
 
-// scheduledMass returns P(t, u).
-func (e *Sparse) scheduledMass(t int, u int32) float64 {
-	if m := e.pmass[t]; m != nil {
-		return m[u]
-	}
-	return 0
-}
-
-// Score returns the assignment score of (event, t) per Eq. 4,
-// iterating only the event's interested users.
+// Score returns the assignment score of (event, t) per Eq. 4. The
+// event's interest row and both interval mass vectors are sorted by
+// user id, so one monotone merge-join pass covers all lookups.
 func (e *Sparse) Score(event, t int) float64 {
 	row := e.inst.CandInterest.Row(event)
 	comp := e.comp[t]
 	pm := e.pmass[t]
 	sum := 0.0
+	ci, pi := 0, 0
 	for i, id := range row.IDs {
 		mu := row.Vals[i]
-		c := comp.at(id)
-		p := 0.0
-		if pm != nil {
-			p = pm[id]
-		}
+		c := comp.atFrom(&ci, id)
+		p := pm.atFrom(&pi, id)
 		sigma := e.inst.Activity.Prob(int(id), t)
 		sum += luceGain(sigma, mu, c, p)
 	}
 	return sum
 }
 
-// Apply assigns (event, t) and folds the event's interest row into the
-// interval's scheduled mass.
+// ScoreBatch computes Score for every listed event at t.
+func (e *Sparse) ScoreBatch(events []int, t int, out []float64) {
+	scoreBatchSerial(e, events, t, out)
+}
+
+// merge rebuilds pmass[t] as acc ± row into the scratch buffers, then
+// swaps storage so the interval owns the merged vector and the old
+// arrays become the next scratch. When subtracting, entries whose
+// residual is numerical noise relative to the pre-subtraction
+// accumulated mass are dropped (see residualEps).
+func (e *Sparse) merge(t int, row massVector, subtract bool) {
+	acc := e.pmass[t]
+	if len(acc.ids) == 0 {
+		if subtract {
+			return // subtracting from an empty accumulator is a no-op
+		}
+		if cap(acc.ids) == 0 {
+			// First event ever at this interval: copy the row into
+			// storage the interval owns. Going through the scratch
+			// swap here would trade the scratch buffers for acc's nil
+			// arrays and force the next merge to reallocate them. An
+			// emptied interval that still has capacity (from an
+			// earlier swap) falls through and reuses it.
+			e.pmass[t] = massVector{
+				ids:  append([]int32(nil), row.ids...),
+				vals: append([]float64(nil), row.vals...),
+			}
+			for _, v := range row.vals {
+				if v > e.hwm[t] {
+					e.hwm[t] = v
+				}
+			}
+			return
+		}
+	}
+	noiseFloor := residualEps * e.hwm[t]
+	mark := e.hwm[t]
+	need := len(acc.ids) + len(row.ids)
+	// The two scratch arrays can have different capacities (they
+	// rotate independently through differently-sized allocations), so
+	// both must clear the bound for the merge to stay allocation-free.
+	if cap(e.scratchIDs) < need || cap(e.scratchVals) < need {
+		e.scratchIDs = make([]int32, 0, 2*need)
+		e.scratchVals = make([]float64, 0, 2*need)
+	}
+	outIDs := e.scratchIDs[:0]
+	outVals := e.scratchVals[:0]
+	i, j := 0, 0
+	for i < len(acc.ids) && j < len(row.ids) {
+		switch {
+		case acc.ids[i] < row.ids[j]:
+			outIDs = append(outIDs, acc.ids[i])
+			outVals = append(outVals, acc.vals[i])
+			i++
+		case acc.ids[i] > row.ids[j]:
+			if !subtract {
+				outIDs = append(outIDs, row.ids[j])
+				outVals = append(outVals, row.vals[j])
+				if row.vals[j] > mark {
+					mark = row.vals[j]
+				}
+			}
+			j++
+		default:
+			if subtract {
+				if v := acc.vals[i] - row.vals[j]; math.Abs(v) > noiseFloor {
+					outIDs = append(outIDs, acc.ids[i])
+					outVals = append(outVals, v)
+				}
+			} else {
+				v := acc.vals[i] + row.vals[j]
+				outIDs = append(outIDs, acc.ids[i])
+				outVals = append(outVals, v)
+				if v > mark {
+					mark = v
+				}
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(acc.ids); i++ {
+		outIDs = append(outIDs, acc.ids[i])
+		outVals = append(outVals, acc.vals[i])
+	}
+	if !subtract {
+		for ; j < len(row.ids); j++ {
+			outIDs = append(outIDs, row.ids[j])
+			outVals = append(outVals, row.vals[j])
+			if row.vals[j] > mark {
+				mark = row.vals[j]
+			}
+		}
+	}
+	e.pmass[t] = massVector{ids: outIDs, vals: outVals}
+	e.hwm[t] = mark
+	e.scratchIDs = acc.ids[:0:cap(acc.ids)]
+	e.scratchVals = acc.vals[:0:cap(acc.vals)]
+}
+
+// Apply assigns (event, t) and merges the event's interest row into
+// the interval's scheduled-mass accumulator.
 func (e *Sparse) Apply(event, t int) error {
 	if err := e.sched.Assign(event, t); err != nil {
 		return err
 	}
-	m := e.pmass[t]
-	if m == nil {
-		m = make(map[int32]float64)
-		e.pmass[t] = m
-	}
 	row := e.inst.CandInterest.Row(event)
-	for i, id := range row.IDs {
-		m[id] += row.Vals[i]
-	}
+	e.merge(t, massVector{ids: row.IDs, vals: row.Vals}, false)
 	return nil
 }
 
-// Unapply removes the event and subtracts its mass. Entries driven to
-// (numerical) zero are deleted so that later utility sums skip them.
+// Unapply removes the event and subtracts its mass from the interval's
+// accumulator. When the interval has no scheduled events left, any
+// remaining accumulator content is rounding noise by definition and is
+// cleared exactly (keeping the storage for reuse).
 func (e *Sparse) Unapply(event int) error {
 	t := e.sched.IntervalOf(event)
 	if err := e.sched.Unassign(event); err != nil {
 		return err
 	}
-	m := e.pmass[t]
 	row := e.inst.CandInterest.Row(event)
-	for i, id := range row.IDs {
-		m[id] -= row.Vals[i]
-		if m[id] < 1e-12 {
-			delete(m, id)
-		}
+	e.merge(t, massVector{ids: row.IDs, vals: row.Vals}, true)
+	if len(e.sched.EventsAt(t)) == 0 {
+		acc := e.pmass[t]
+		e.pmass[t] = massVector{ids: acc.ids[:0], vals: acc.vals[:0]}
+		e.hwm[t] = 0
 	}
 	return nil
 }
@@ -165,9 +321,10 @@ func (e *Sparse) EventAttendance(event int) float64 {
 	comp := e.comp[t]
 	pm := e.pmass[t]
 	sum := 0.0
+	ci, pi := 0, 0
 	for i, id := range row.IDs {
 		mu := row.Vals[i]
-		denom := comp.at(id) + pm[id] // pm includes mu itself
+		denom := comp.atFrom(&ci, id) + pm.atFrom(&pi, id) // pm includes mu itself
 		if denom <= 0 {
 			continue
 		}
@@ -177,24 +334,19 @@ func (e *Sparse) EventAttendance(event int) float64 {
 }
 
 // IntervalUtility returns Σ_{e∈Et} ω using the aggregated identity
-// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user.
+// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user. The accumulator is already in
+// sorted user order, so the sum is deterministic and allocation-free.
 func (e *Sparse) IntervalUtility(t int) float64 {
 	pm := e.pmass[t]
-	if len(pm) == 0 {
+	if len(pm.ids) == 0 {
 		return 0
 	}
 	comp := e.comp[t]
-	// Iterate in sorted user order so the floating-point sum is
-	// deterministic across runs (map order is not).
-	ids := make([]int32, 0, len(pm))
-	for id := range pm {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	sum := 0.0
-	for _, id := range ids {
+	ci := 0
+	for i, id := range pm.ids {
 		sigma := e.inst.Activity.Prob(int(id), t)
-		sum += luceShare(sigma, comp.at(id), pm[id])
+		sum += luceShare(sigma, comp.atFrom(&ci, id), pm.vals[i])
 	}
 	return sum
 }
@@ -208,24 +360,26 @@ func (e *Sparse) Utility() float64 {
 	return sum
 }
 
-// Fork deep-copies the schedule and scheduled mass while sharing the
-// immutable competing-mass vectors and the instance.
+// Fork deep-copies the schedule and scheduled-mass accumulators while
+// sharing the immutable competing-mass vectors and the instance. The
+// fork gets fresh scratch buffers, so it is independent of the
+// original for both reads and writes.
 func (e *Sparse) Fork() Engine {
 	f := &Sparse{
 		inst:  e.inst,
 		sched: e.sched.Clone(),
 		comp:  e.comp, // immutable after construction
-		pmass: make([]map[int32]float64, len(e.pmass)),
+		pmass: make([]massVector, len(e.pmass)),
+		hwm:   append([]float64(nil), e.hwm...),
 	}
 	for t, m := range e.pmass {
-		if m == nil {
+		if len(m.ids) == 0 {
 			continue
 		}
-		cp := make(map[int32]float64, len(m))
-		for id, v := range m {
-			cp[id] = v
+		f.pmass[t] = massVector{
+			ids:  append([]int32(nil), m.ids...),
+			vals: append([]float64(nil), m.vals...),
 		}
-		f.pmass[t] = cp
 	}
 	return f
 }

@@ -1,0 +1,200 @@
+package choice
+
+import (
+	"math"
+	"sort"
+
+	"ses/internal/core"
+)
+
+// SparseMap is the previous generation of the production engine: the
+// same sparsity argument as Sparse, but with scheduled mass P(t,u)
+// kept in per-interval hash maps. Every Score pays a hash lookup per
+// interested user and every IntervalUtility call allocates and sorts
+// the interval's user ids to make the floating-point sum
+// deterministic.
+//
+// It is retained solely as the old-vs-new baseline of the engine
+// ablation benchmark (see cmd/sesbench -fig engines and the choice
+// package benchmarks); use Sparse for real workloads.
+type SparseMap struct {
+	inst  *core.Instance
+	sched *core.Schedule
+	comp  []massVector        // per interval: aggregated competing mass
+	pmass []map[int32]float64 // per interval: scheduled mass
+	// hwm is the per-interval high-water mark of scheduled mass; it
+	// scales Unapply's noise cutoff (see residualEps in sparse.go).
+	hwm []float64
+}
+
+// NewSparseMap builds the legacy map-based engine for inst with an
+// empty schedule. The instance should be validated beforehand.
+func NewSparseMap(inst *core.Instance) *SparseMap {
+	return &SparseMap{
+		inst:  inst,
+		sched: core.NewSchedule(inst),
+		comp:  aggregateCompeting(inst),
+		pmass: make([]map[int32]float64, inst.NumIntervals),
+		hwm:   make([]float64, inst.NumIntervals),
+	}
+}
+
+// Instance returns the problem instance.
+func (e *SparseMap) Instance() *core.Instance { return e.inst }
+
+// Schedule returns the engine's schedule.
+func (e *SparseMap) Schedule() *core.Schedule { return e.sched }
+
+// Score returns the assignment score of (event, t) per Eq. 4,
+// iterating only the event's interested users.
+func (e *SparseMap) Score(event, t int) float64 {
+	row := e.inst.CandInterest.Row(event)
+	comp := e.comp[t]
+	pm := e.pmass[t]
+	sum := 0.0
+	for i, id := range row.IDs {
+		mu := row.Vals[i]
+		c := comp.at(id)
+		p := 0.0
+		if pm != nil {
+			p = pm[id]
+		}
+		sigma := e.inst.Activity.Prob(int(id), t)
+		sum += luceGain(sigma, mu, c, p)
+	}
+	return sum
+}
+
+// ScoreBatch computes Score for every listed event at t.
+func (e *SparseMap) ScoreBatch(events []int, t int, out []float64) {
+	scoreBatchSerial(e, events, t, out)
+}
+
+// Apply assigns (event, t) and folds the event's interest row into the
+// interval's scheduled mass.
+func (e *SparseMap) Apply(event, t int) error {
+	if err := e.sched.Assign(event, t); err != nil {
+		return err
+	}
+	m := e.pmass[t]
+	if m == nil {
+		m = make(map[int32]float64)
+		e.pmass[t] = m
+	}
+	row := e.inst.CandInterest.Row(event)
+	for i, id := range row.IDs {
+		m[id] += row.Vals[i]
+		if m[id] > e.hwm[t] {
+			e.hwm[t] = m[id]
+		}
+	}
+	return nil
+}
+
+// Unapply removes the event and subtracts its mass. An entry is
+// deleted only when its residual is numerical noise relative to the
+// interval's mass high-water mark (see residualEps in sparse.go) — an
+// absolute cutoff would also erase another still-scheduled event's
+// legitimately tiny mass for a shared user. An interval left with no
+// scheduled events is cleared exactly.
+func (e *SparseMap) Unapply(event int) error {
+	t := e.sched.IntervalOf(event)
+	if err := e.sched.Unassign(event); err != nil {
+		return err
+	}
+	m := e.pmass[t]
+	row := e.inst.CandInterest.Row(event)
+	noiseFloor := residualEps * e.hwm[t]
+	for i, id := range row.IDs {
+		v := m[id] - row.Vals[i]
+		if math.Abs(v) <= noiseFloor {
+			delete(m, id)
+		} else {
+			m[id] = v
+		}
+	}
+	if len(e.sched.EventsAt(t)) == 0 {
+		clear(m)
+		e.hwm[t] = 0
+	}
+	return nil
+}
+
+// EventAttendance returns ω (Eq. 2) of a scheduled event, 0 if
+// unassigned.
+func (e *SparseMap) EventAttendance(event int) float64 {
+	t := e.sched.IntervalOf(event)
+	if t == core.Unassigned {
+		return 0
+	}
+	row := e.inst.CandInterest.Row(event)
+	comp := e.comp[t]
+	pm := e.pmass[t]
+	sum := 0.0
+	for i, id := range row.IDs {
+		mu := row.Vals[i]
+		denom := comp.at(id) + pm[id] // pm includes mu itself
+		if denom <= 0 {
+			continue
+		}
+		sum += e.inst.Activity.Prob(int(id), t) * mu / denom
+	}
+	return sum
+}
+
+// IntervalUtility returns Σ_{e∈Et} ω using the aggregated identity
+// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user.
+func (e *SparseMap) IntervalUtility(t int) float64 {
+	pm := e.pmass[t]
+	if len(pm) == 0 {
+		return 0
+	}
+	comp := e.comp[t]
+	// Iterate in sorted user order so the floating-point sum is
+	// deterministic across runs (map order is not).
+	ids := make([]int32, 0, len(pm))
+	for id := range pm {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	sum := 0.0
+	for _, id := range ids {
+		sigma := e.inst.Activity.Prob(int(id), t)
+		sum += luceShare(sigma, comp.at(id), pm[id])
+	}
+	return sum
+}
+
+// Utility returns Ω(S) (Eq. 3).
+func (e *SparseMap) Utility() float64 {
+	sum := 0.0
+	for t := range e.pmass {
+		sum += e.IntervalUtility(t)
+	}
+	return sum
+}
+
+// Fork deep-copies the schedule and scheduled mass while sharing the
+// immutable competing-mass vectors and the instance.
+func (e *SparseMap) Fork() Engine {
+	f := &SparseMap{
+		inst:  e.inst,
+		sched: e.sched.Clone(),
+		comp:  e.comp, // immutable after construction
+		pmass: make([]map[int32]float64, len(e.pmass)),
+		hwm:   append([]float64(nil), e.hwm...),
+	}
+	for t, m := range e.pmass {
+		if m == nil {
+			continue
+		}
+		cp := make(map[int32]float64, len(m))
+		for id, v := range m {
+			cp[id] = v
+		}
+		f.pmass[t] = cp
+	}
+	return f
+}
+
+var _ Engine = (*SparseMap)(nil)

@@ -24,6 +24,7 @@ package ebsn
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ses/internal/interest"
 	"ses/internal/randx"
@@ -144,7 +145,8 @@ type Dataset struct {
 	// GroupTags[g] is the topic tag set of group g.
 	GroupTags []interest.TagSet
 
-	index *interest.InvertedIndex // lazy
+	index     *interest.InvertedIndex // lazy; guarded by indexOnce
+	indexOnce sync.Once
 }
 
 // Generate builds a dataset from the configuration. The same config
@@ -255,11 +257,12 @@ func Generate(cfg Config) (*Dataset, error) {
 
 // Index returns (building on first use) the inverted tag index over
 // users. Building it once and reusing it across instance builds is
-// what keeps sweeps over k tractable.
+// what keeps sweeps over k tractable. The build is guarded by a
+// sync.Once so concurrent instance builders can share one dataset.
 func (ds *Dataset) Index() *interest.InvertedIndex {
-	if ds.index == nil {
+	ds.indexOnce.Do(func() {
 		ds.index = interest.NewInvertedIndex(ds.UserTags)
-	}
+	})
 	return ds.index
 }
 

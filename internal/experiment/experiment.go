@@ -9,11 +9,20 @@
 // utility, wall time and schedule size across repetitions. Instance
 // construction time is excluded from the timing series, matching the
 // paper's measurement of algorithm execution time.
+//
+// Trials — the (point, repetition) pairs of a sweep — are independent
+// of one another, so the harness can run them concurrently
+// (Config.Concurrency). Aggregation is always performed in (point,
+// repetition) order afterwards, so every statistic is identical to the
+// serial run; only the wall-clock Time series becomes noisier when
+// trials share cores.
 package experiment
 
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ses/internal/dataset"
@@ -32,24 +41,25 @@ type Algorithm struct {
 	Build func(seed uint64) solver.Solver
 }
 
-// PaperAlgorithms returns the three methods of the paper's evaluation:
-// GRD and the TOP and RAND baselines.
-func PaperAlgorithms() []Algorithm {
+// PaperAlgorithms returns the three methods of the paper's evaluation
+// — GRD and the TOP and RAND baselines — built with the given solver
+// configuration (engine and scoring workers).
+func PaperAlgorithms(scfg solver.Config) []Algorithm {
 	return []Algorithm{
-		{Name: "grd", Build: func(seed uint64) solver.Solver { return solver.NewGRD(nil) }},
-		{Name: "top", Build: func(seed uint64) solver.Solver { return solver.NewTOP(nil) }},
-		{Name: "rand", Build: func(seed uint64) solver.Solver { return solver.NewRAND(seed, nil) }},
+		{Name: "grd", Build: func(seed uint64) solver.Solver { return solver.NewGRD(scfg) }},
+		{Name: "top", Build: func(seed uint64) solver.Solver { return solver.NewTOP(scfg) }},
+		{Name: "rand", Build: func(seed uint64) solver.Solver { return solver.NewRAND(seed, scfg) }},
 	}
 }
 
 // ExtendedAlgorithms adds this reproduction's extensions to the
 // paper's three.
-func ExtendedAlgorithms() []Algorithm {
-	return append(PaperAlgorithms(),
-		Algorithm{Name: "grdlazy", Build: func(seed uint64) solver.Solver { return solver.NewGRDLazy(nil) }},
-		Algorithm{Name: "topfill", Build: func(seed uint64) solver.Solver { return solver.NewTOPFill(nil) }},
+func ExtendedAlgorithms(scfg solver.Config) []Algorithm {
+	return append(PaperAlgorithms(scfg),
+		Algorithm{Name: "grdlazy", Build: func(seed uint64) solver.Solver { return solver.NewGRDLazy(scfg) }},
+		Algorithm{Name: "topfill", Build: func(seed uint64) solver.Solver { return solver.NewTOPFill(scfg) }},
 		Algorithm{Name: "localsearch", Build: func(seed uint64) solver.Solver {
-			return solver.NewLocalSearch(nil, 2, nil)
+			return solver.NewLocalSearch(nil, 2, scfg)
 		}},
 	)
 }
@@ -58,7 +68,8 @@ func ExtendedAlgorithms() []Algorithm {
 type Config struct {
 	// Dataset is the EBSN snapshot instances are sampled from.
 	Dataset *ebsn.Dataset
-	// Algorithms to run; defaults to PaperAlgorithms.
+	// Algorithms to run; defaults to PaperAlgorithms with
+	// SolverWorkers scoring workers.
 	Algorithms []Algorithm
 	// Reps is the number of instances per point (default 3).
 	Reps int
@@ -68,15 +79,27 @@ type Config struct {
 	// swept dimension (zero values keep the paper's).
 	Params dataset.PaperParams
 	// Progress, when non-nil, receives one line per completed run.
+	// With Concurrency > 1 the lines arrive in completion order.
 	Progress io.Writer
+	// Concurrency is how many (point, repetition) trials run at once
+	// (0 or 1 = serial). All aggregate statistics are identical to
+	// the serial run; only wall-clock timings get noisier when trials
+	// share cores, so keep this at 1 when the Time series matters.
+	Concurrency int
+	// SolverWorkers is the solver.Config.Workers value handed to the
+	// default algorithm set when Algorithms is nil (0 = GOMAXPROCS).
+	SolverWorkers int
 }
 
 func (c Config) normalize() Config {
 	if c.Algorithms == nil {
-		c.Algorithms = PaperAlgorithms()
+		c.Algorithms = PaperAlgorithms(solver.Config{Workers: c.SolverWorkers})
 	}
 	if c.Reps == 0 {
 		c.Reps = 3
+	}
+	if c.Concurrency < 1 {
+		c.Concurrency = 1
 	}
 	return c
 }
@@ -105,66 +128,142 @@ type Sweep struct {
 	Points     []Point
 }
 
-// run executes all algorithms on all reps of one parameter point.
-func run(cfg Config, p dataset.PaperParams, x int) (Point, error) {
-	pt := Point{X: x, K: p.K, ByAlgo: make(map[string]*Measurement)}
-	norm := p.Normalize()
-	pt.T = norm.Intervals
-	pt.E = norm.CandidateEvents
-	for _, a := range cfg.Algorithms {
-		pt.ByAlgo[a.Name] = &Measurement{}
-	}
-	for rep := 0; rep < cfg.Reps; rep++ {
-		p.Seed = cfg.Seed + uint64(rep)*1000003
-		inst, err := dataset.BuildInstance(cfg.Dataset, p)
-		if err != nil {
-			return pt, fmt.Errorf("experiment: building instance (x=%d rep=%d): %w", x, rep, err)
-		}
-		for _, a := range cfg.Algorithms {
-			s := a.Build(p.Seed ^ 0xa1)
-			start := time.Now()
-			res, err := s.Solve(inst, p.K)
-			elapsed := time.Since(start)
-			if err != nil {
-				return pt, fmt.Errorf("experiment: %s (x=%d rep=%d): %w", a.Name, x, rep, err)
-			}
-			m := pt.ByAlgo[a.Name]
-			m.Utility.Add(res.Utility)
-			m.Time.Add(elapsed.Seconds())
-			m.Size.Add(float64(res.Schedule.Size()))
-			if cfg.Progress != nil {
-				fmt.Fprintf(cfg.Progress, "x=%-5d rep=%d %-12s utility=%-12.1f time=%-10s size=%d\n",
-					x, rep, a.Name, res.Utility, tablefmt.Duration(elapsed), res.Schedule.Size())
-			}
-		}
-	}
-	return pt, nil
+// algoRun is one algorithm's outcome within a trial.
+type algoRun struct {
+	utility float64
+	seconds float64
+	size    float64
 }
 
-// VaryK reproduces the Fig. 1a/1b sweep: for each k, |E| = 2k and
-// |T| = 3k/2 per the paper's setup.
-func VaryK(cfg Config, ks []int) (*Sweep, error) {
-	cfg = cfg.normalize()
-	sw := &Sweep{Label: "k", Algorithms: names(cfg.Algorithms)}
-	for _, k := range ks {
-		p := cfg.Params
-		p.K = k
-		p.Intervals = 3 * k / 2
-		p.CandidateEvents = 2 * k
-		pt, err := run(cfg, p, k)
+// trialOut is the outcome of one (point, repetition) trial.
+type trialOut struct {
+	err  error
+	runs []algoRun // indexed like cfg.Algorithms
+}
+
+// runTrial builds the instance for one (point, repetition) pair and
+// runs every configured algorithm on it. It touches no shared state
+// except the (mutex-guarded) progress writer, so trials can run
+// concurrently.
+func runTrial(cfg Config, p dataset.PaperParams, x, rep int, progressMu *sync.Mutex) trialOut {
+	p.Seed = cfg.Seed + uint64(rep)*1000003
+	inst, err := dataset.BuildInstance(cfg.Dataset, p)
+	if err != nil {
+		return trialOut{err: fmt.Errorf("experiment: building instance (x=%d rep=%d): %w", x, rep, err)}
+	}
+	runs := make([]algoRun, len(cfg.Algorithms))
+	for ai, a := range cfg.Algorithms {
+		s := a.Build(p.Seed ^ 0xa1)
+		start := time.Now()
+		res, err := s.Solve(inst, p.K)
+		elapsed := time.Since(start)
 		if err != nil {
-			return nil, err
+			return trialOut{err: fmt.Errorf("experiment: %s (x=%d rep=%d): %w", a.Name, x, rep, err)}
+		}
+		runs[ai] = algoRun{utility: res.Utility, seconds: elapsed.Seconds(), size: float64(res.Schedule.Size())}
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			fmt.Fprintf(cfg.Progress, "x=%-5d rep=%d %-12s utility=%-12.1f time=%-10s size=%d\n",
+				x, rep, a.Name, res.Utility, tablefmt.Duration(elapsed), res.Schedule.Size())
+			progressMu.Unlock()
+		}
+	}
+	return trialOut{runs: runs}
+}
+
+// sweepPoints runs the full (point × repetition) trial grid — fanned
+// out over cfg.Concurrency goroutines — and folds the results into a
+// Sweep in deterministic (point, repetition) order.
+func sweepPoints(cfg Config, label string, pts []dataset.PaperParams, xs []int) (*Sweep, error) {
+	cfg = cfg.normalize()
+	sw := &Sweep{Label: label, Algorithms: names(cfg.Algorithms)}
+	nP, nR := len(pts), cfg.Reps
+	results := make([]trialOut, nP*nR)
+	var progressMu sync.Mutex
+
+	// A failed trial aborts the sweep: don't burn the rest of a
+	// potentially hours-long grid computing results that will be
+	// discarded. Workers stop claiming new trials once any has
+	// failed; indices are claimed in increasing order, so every
+	// skipped (zero-valued) entry lies after the first error and the
+	// ordered fold below returns that error before reaching them.
+	var failed atomic.Bool
+	workers := cfg.Concurrency
+	if workers > nP*nR {
+		workers = nP * nR
+	}
+	if workers <= 1 {
+		for idx := range results {
+			results[idx] = runTrial(cfg, pts[idx/nR], xs[idx/nR], idx%nR, &progressMu)
+			if results[idx].err != nil {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !failed.Load() {
+					idx := int(next.Add(1)) - 1
+					if idx >= len(results) {
+						return
+					}
+					results[idx] = runTrial(cfg, pts[idx/nR], xs[idx/nR], idx%nR, &progressMu)
+					if results[idx].err != nil {
+						failed.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for pi, p := range pts {
+		norm := p.Normalize()
+		pt := Point{X: xs[pi], K: p.K, T: norm.Intervals, E: norm.CandidateEvents, ByAlgo: make(map[string]*Measurement)}
+		for _, a := range cfg.Algorithms {
+			pt.ByAlgo[a.Name] = &Measurement{}
+		}
+		for rep := 0; rep < nR; rep++ {
+			out := results[pi*nR+rep]
+			if out.err != nil {
+				return nil, out.err
+			}
+			for ai, a := range cfg.Algorithms {
+				m := pt.ByAlgo[a.Name]
+				m.Utility.Add(out.runs[ai].utility)
+				m.Time.Add(out.runs[ai].seconds)
+				m.Size.Add(out.runs[ai].size)
+			}
 		}
 		sw.Points = append(sw.Points, pt)
 	}
 	return sw, nil
 }
 
+// VaryK reproduces the Fig. 1a/1b sweep: for each k, |E| = 2k and
+// |T| = 3k/2 per the paper's setup.
+func VaryK(cfg Config, ks []int) (*Sweep, error) {
+	pts := make([]dataset.PaperParams, 0, len(ks))
+	for _, k := range ks {
+		p := cfg.Params
+		p.K = k
+		p.Intervals = 3 * k / 2
+		p.CandidateEvents = 2 * k
+		pts = append(pts, p)
+	}
+	return sweepPoints(cfg, "k", pts, ks)
+}
+
 // VaryT reproduces the Fig. 1c/1d sweep: k fixed (default 100),
 // |T| swept as a multiple of k from k/5 to 3k.
 func VaryT(cfg Config, k int, factors []float64) (*Sweep, error) {
-	cfg = cfg.normalize()
-	sw := &Sweep{Label: "|T|", Algorithms: names(cfg.Algorithms)}
+	pts := make([]dataset.PaperParams, 0, len(factors))
+	xs := make([]int, 0, len(factors))
 	for _, f := range factors {
 		p := cfg.Params
 		p.K = k
@@ -173,13 +272,10 @@ func VaryT(cfg Config, k int, factors []float64) (*Sweep, error) {
 			p.Intervals = 1
 		}
 		p.CandidateEvents = 2 * k
-		pt, err := run(cfg, p, p.Intervals)
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, pt)
+		pts = append(pts, p)
+		xs = append(xs, p.Intervals)
 	}
-	return sw, nil
+	return sweepPoints(cfg, "|T|", pts, xs)
 }
 
 // DefaultKs is the paper's k sweep (default 100, maximum 500).

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ses/internal/ebsn"
+	"ses/internal/solver"
 )
 
 // testDataset is small enough for fast sweeps.
@@ -126,7 +127,7 @@ func TestProgressStream(t *testing.T) {
 
 func TestExtendedAlgorithmsRun(t *testing.T) {
 	ds := testDataset(t)
-	sw, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 9, Algorithms: ExtendedAlgorithms()}, []int{8})
+	sw, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 9, Algorithms: ExtendedAlgorithms(solver.Config{})}, []int{8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,6 +143,52 @@ func TestExtendedAlgorithmsRun(t *testing.T) {
 	// topfill dominates top (same list, more valid picks).
 	if tf, tp := pt.ByAlgo["topfill"].Utility.Mean(), pt.ByAlgo["top"].Utility.Mean(); tf < tp-1e-9 {
 		t.Errorf("topfill %v below top %v", tf, tp)
+	}
+}
+
+func TestConcurrentTrialsMatchSerial(t *testing.T) {
+	// Running trials concurrently must not change any aggregate: the
+	// harness folds results in (point, repetition) order regardless of
+	// completion order. Timings are excluded (they are wall-clock).
+	ds := testDataset(t)
+	serial, err := VaryK(Config{Dataset: ds, Reps: 2, Seed: 13, Concurrency: 1}, []int{8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := VaryK(Config{Dataset: ds, Reps: 2, Seed: 13, Concurrency: 4}, []int{8, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pt := range serial.Points {
+		cpt := conc.Points[i]
+		for _, a := range serial.Algorithms {
+			if s, c := pt.ByAlgo[a].Utility.Mean(), cpt.ByAlgo[a].Utility.Mean(); s != c {
+				t.Errorf("x=%d %s: serial utility %v != concurrent %v", pt.X, a, s, c)
+			}
+			if s, c := pt.ByAlgo[a].Size.Mean(), cpt.ByAlgo[a].Size.Mean(); s != c {
+				t.Errorf("x=%d %s: serial size %v != concurrent %v", pt.X, a, s, c)
+			}
+		}
+	}
+}
+
+func TestConcurrentSensitivitySweep(t *testing.T) {
+	// The sensitivity sweeps share the same trial grid; exercise one
+	// of them with concurrency to keep the path under -race coverage.
+	ds := testDataset(t)
+	sw, err := VaryLocations(Config{Dataset: ds, Reps: 1, Seed: 3, Concurrency: 3}, 8, []int{2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(sw.Points))
+	}
+	for _, pt := range sw.Points {
+		for _, a := range sw.Algorithms {
+			if pt.ByAlgo[a].Utility.N() != 1 {
+				t.Errorf("x=%d %s: %d reps recorded", pt.X, a, pt.ByAlgo[a].Utility.N())
+			}
+		}
 	}
 }
 

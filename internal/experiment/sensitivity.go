@@ -2,6 +2,8 @@ package experiment
 
 import (
 	"fmt"
+
+	"ses/internal/dataset"
 )
 
 // Sensitivity sweeps parameters the paper holds fixed, quantifying the
@@ -17,11 +19,15 @@ import (
 //   - Competing intensity (the measured 8.1 events/interval) —
 //     VaryCompeting shows utility eroding as third parties crowd the
 //     calendar, the motivation of the whole problem.
+//
+// All three run through the shared sweepPoints trial grid, so
+// Config.Concurrency fans their independent points out exactly like
+// the Fig. 1 sweeps.
 
 // VaryResources sweeps the organizer's per-interval budget θ.
 func VaryResources(cfg Config, k int, thetas []float64) (*Sweep, error) {
-	cfg = cfg.normalize()
-	sw := &Sweep{Label: "θ", Algorithms: names(cfg.Algorithms)}
+	pts := make([]dataset.PaperParams, 0, len(thetas))
+	xs := make([]int, 0, len(thetas))
 	for _, th := range thetas {
 		if th <= 0 {
 			return nil, fmt.Errorf("experiment: non-positive θ %v", th)
@@ -29,19 +35,15 @@ func VaryResources(cfg Config, k int, thetas []float64) (*Sweep, error) {
 		p := cfg.Params
 		p.K = k
 		p.Resources = th
-		pt, err := run(cfg, p, int(th))
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, pt)
+		pts = append(pts, p)
+		xs = append(xs, int(th))
 	}
-	return sw, nil
+	return sweepPoints(cfg, "θ", pts, xs)
 }
 
 // VaryLocations sweeps the number of available event locations.
 func VaryLocations(cfg Config, k int, locations []int) (*Sweep, error) {
-	cfg = cfg.normalize()
-	sw := &Sweep{Label: "locations", Algorithms: names(cfg.Algorithms)}
+	pts := make([]dataset.PaperParams, 0, len(locations))
 	for _, l := range locations {
 		if l <= 0 {
 			return nil, fmt.Errorf("experiment: non-positive location count %d", l)
@@ -49,20 +51,16 @@ func VaryLocations(cfg Config, k int, locations []int) (*Sweep, error) {
 		p := cfg.Params
 		p.K = k
 		p.Locations = l
-		pt, err := run(cfg, p, l)
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, pt)
+		pts = append(pts, p)
 	}
-	return sw, nil
+	return sweepPoints(cfg, "locations", pts, locations)
 }
 
 // VaryCompeting sweeps the mean number of competing events per
 // interval around the paper's measured 8.1.
 func VaryCompeting(cfg Config, k int, means []float64) (*Sweep, error) {
-	cfg = cfg.normalize()
-	sw := &Sweep{Label: "competing/interval", Algorithms: names(cfg.Algorithms)}
+	pts := make([]dataset.PaperParams, 0, len(means))
+	xs := make([]int, 0, len(means))
 	for _, m := range means {
 		if m < 0 {
 			return nil, fmt.Errorf("experiment: negative competing mean %v", m)
@@ -70,13 +68,10 @@ func VaryCompeting(cfg Config, k int, means []float64) (*Sweep, error) {
 		p := cfg.Params
 		p.K = k
 		p.CompetingMeanPerInterval = m
-		pt, err := run(cfg, p, int(m))
-		if err != nil {
-			return nil, err
-		}
-		sw.Points = append(sw.Points, pt)
+		pts = append(pts, p)
+		xs = append(xs, int(m))
 	}
-	return sw, nil
+	return sweepPoints(cfg, "competing/interval", pts, xs)
 }
 
 // DefaultThetas spans scarce (single event per interval) to abundant.

@@ -144,7 +144,7 @@ func SolveViaSES(m MKPI) (float64, error) {
 	}
 	// Exact optimizes schedules of size up to k; with k = n it
 	// searches all feasible packings.
-	res, err := solver.NewExact(nil).Solve(inst, len(m.Items))
+	res, err := solver.NewExact(solver.Config{}).Solve(inst, len(m.Items))
 	if err != nil {
 		return 0, err
 	}

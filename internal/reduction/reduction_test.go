@@ -191,7 +191,7 @@ func TestGreedyIsNotAlwaysOptimalOnReducedInstances(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grd, err := solver.NewGRD(nil).Solve(inst, 3)
+	grd, err := solver.NewGRD(solver.Config{}).Solve(inst, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,22 +15,18 @@ import (
 // best schedule seen. It exists to probe how much headroom the greedy
 // leaves on realistic instances.
 type Anneal struct {
-	seed   uint64
-	steps  int
-	engine EngineFactory
+	seed  uint64
+	steps int
+	cfg   Config
 	// InitialTemp and Cooling override the defaults when positive.
 	InitialTemp float64
 	Cooling     float64
 }
 
 // NewAnneal returns an annealing solver. steps <= 0 selects a budget
-// proportional to the instance (200·|E|). engine may be nil for the
-// default sparse engine.
-func NewAnneal(seed uint64, steps int, engine EngineFactory) *Anneal {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &Anneal{seed: seed, steps: steps, engine: engine}
+// proportional to the instance (200·|E|).
+func NewAnneal(seed uint64, steps int, cfg Config) *Anneal {
+	return &Anneal{seed: seed, steps: steps, cfg: cfg}
 }
 
 // Name returns "anneal".
@@ -41,11 +37,11 @@ func (s *Anneal) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	start, err := NewRAND(s.seed, s.engine).Solve(inst, k)
+	start, err := NewRAND(s.seed, s.cfg).Solve(inst, k)
 	if err != nil {
 		return nil, err
 	}
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	for _, a := range start.Schedule.Assignments() {
 		if err := eng.Apply(a.Event, a.Interval); err != nil {
 			return nil, err
@@ -120,7 +116,7 @@ func (s *Anneal) Solve(inst *core.Instance, k int) (*Result, error) {
 	}
 
 	// Materialize the best schedule seen.
-	finalEng := s.engine(inst)
+	finalEng := s.cfg.engine()(inst)
 	for _, a := range bestAssgn {
 		if err := finalEng.Apply(a.Event, a.Interval); err != nil {
 			return nil, err

@@ -17,17 +17,11 @@ import (
 // cases" (Fig. 1a/1c). See TOPFill for the stronger walk-down-the-list
 // variant.
 type TOP struct {
-	engine EngineFactory
+	cfg Config
 }
 
-// NewTOP returns the TOP baseline. engine may be nil for the default
-// sparse engine.
-func NewTOP(engine EngineFactory) *TOP {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &TOP{engine: engine}
-}
+// NewTOP returns the TOP baseline.
+func NewTOP(cfg Config) *TOP { return &TOP{cfg: cfg} }
 
 // Name returns "top".
 func (s *TOP) Name() string { return "top" }
@@ -37,17 +31,15 @@ func (s *TOP) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	res := &Result{Solver: s.Name()}
 
-	list := buildAssignments(eng, &res.Counters)
-	sortAssignments(list)
-	if len(list) > k {
-		list = list[:k]
-	}
+	wl := newWorklist(eng, s.cfg.workers(), &res.Counters)
+	wl.sortByScore()
+	wl.truncate(k)
 
 	sched := eng.Schedule()
-	for _, a := range list {
+	for _, a := range wl.list {
 		res.Counters.ListScans++
 		if sched.Validity(a.event, a.interval) != nil {
 			continue
@@ -70,17 +62,11 @@ var _ Solver = (*TOP)(nil)
 // of TOP's weakness comes from wasting picks on invalid pairs versus
 // from never updating scores; the ablation bench compares the two.
 type TOPFill struct {
-	engine EngineFactory
+	cfg Config
 }
 
-// NewTOPFill returns the fill variant. engine may be nil for the
-// default sparse engine.
-func NewTOPFill(engine EngineFactory) *TOPFill {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &TOPFill{engine: engine}
-}
+// NewTOPFill returns the fill variant.
+func NewTOPFill(cfg Config) *TOPFill { return &TOPFill{cfg: cfg} }
 
 // Name returns "topfill".
 func (s *TOPFill) Name() string { return "topfill" }
@@ -91,14 +77,14 @@ func (s *TOPFill) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	res := &Result{Solver: s.Name()}
 
-	list := buildAssignments(eng, &res.Counters)
-	sortAssignments(list)
+	wl := newWorklist(eng, s.cfg.workers(), &res.Counters)
+	wl.sortByScore()
 
 	sched := eng.Schedule()
-	for _, a := range list {
+	for _, a := range wl.list {
 		if sched.Size() >= k {
 			break
 		}
@@ -120,20 +106,15 @@ var _ Solver = (*TOPFill)(nil)
 
 // RAND is the paper's second baseline: it assigns events to intervals
 // uniformly at random, keeping only valid assignments, until k events
-// are scheduled (or no valid assignment remains).
+// are scheduled (or no valid assignment remains). It computes no
+// scores, so cfg.Workers has nothing to parallelize.
 type RAND struct {
-	seed   uint64
-	engine EngineFactory
+	seed uint64
+	cfg  Config
 }
 
-// NewRAND returns the RAND baseline with the given seed. engine may be
-// nil for the default sparse engine.
-func NewRAND(seed uint64, engine EngineFactory) *RAND {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &RAND{seed: seed, engine: engine}
-}
+// NewRAND returns the RAND baseline with the given seed.
+func NewRAND(seed uint64, cfg Config) *RAND { return &RAND{seed: seed, cfg: cfg} }
 
 // Name returns "rand".
 func (s *RAND) Name() string { return "rand" }
@@ -143,7 +124,7 @@ func (s *RAND) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	res := &Result{Solver: s.Name()}
 	src := randx.NewSource(s.seed)
 	sched := eng.Schedule()

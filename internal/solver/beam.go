@@ -17,27 +17,29 @@ import (
 // practice the two land very close (the objective's per-interval
 // submodularity leaves the greedy little to miss); the ablation bench
 // quantifies this.
+//
+// With cfg.Workers > 1 the per-step expansions run concurrently, one
+// worker per live state (each state owns its engine, so no engine is
+// shared); successor lists are assembled per state and concatenated in
+// state order, keeping the search deterministic.
 type Beam struct {
-	engine EngineFactory
+	cfg Config
 	// Width is the number of live partial schedules (default 4).
 	Width int
 	// Branch is the number of successors each state spawns (default 4).
 	Branch int
 }
 
-// NewBeam returns a beam-search solver. engine may be nil for the
-// default sparse engine.
-func NewBeam(width, branch int, engine EngineFactory) *Beam {
-	if engine == nil {
-		engine = DefaultEngine
-	}
+// NewBeam returns a beam-search solver. width/branch <= 0 pick the
+// defaults.
+func NewBeam(width, branch int, cfg Config) *Beam {
 	if width <= 0 {
 		width = 4
 	}
 	if branch <= 0 {
 		branch = 4
 	}
-	return &Beam{engine: engine, Width: width, Branch: branch}
+	return &Beam{cfg: cfg, Width: width, Branch: branch}
 }
 
 // Name returns "beam".
@@ -49,45 +51,67 @@ type beamState struct {
 	util float64
 }
 
+// beamSucc is a candidate successor of a beam state.
+type beamSucc struct {
+	parent int
+	e, t   int
+	util   float64
+}
+
+// expand collects the Branch best valid assignments for one state.
+// It touches only that state's engine, so expansions of distinct
+// states can run concurrently. Returns the successors and the number
+// of score evaluations performed.
+func (s *Beam) expand(inst *core.Instance, pi int, st beamState) ([]beamSucc, int) {
+	var local []assignment
+	scores := 0
+	sched := st.eng.Schedule()
+	for e := 0; e < inst.NumEvents(); e++ {
+		if sched.Contains(e) {
+			continue
+		}
+		for t := 0; t < inst.NumIntervals; t++ {
+			if sched.Validity(e, t) != nil {
+				continue
+			}
+			sc := st.eng.Score(e, t)
+			scores++
+			local = append(local, assignment{event: e, interval: t, score: sc})
+		}
+	}
+	sortAssignments(local)
+	if len(local) > s.Branch {
+		local = local[:s.Branch]
+	}
+	succs := make([]beamSucc, 0, len(local))
+	for _, a := range local {
+		succs = append(succs, beamSucc{parent: pi, e: a.event, t: a.interval, util: st.util + a.score})
+	}
+	return succs, scores
+}
+
 // Solve runs the beam search.
 func (s *Beam) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
 	res := &Result{Solver: s.Name()}
-	states := []beamState{{eng: s.engine(inst)}}
+	states := []beamState{{eng: s.cfg.engine()(inst)}}
+	workers := s.cfg.workers()
 
 	for step := 0; step < k; step++ {
-		type succ struct {
-			parent int
-			e, t   int
-			util   float64
-		}
-		var succs []succ
-		for pi, st := range states {
-			// Collect the Branch best valid assignments for this state.
-			var local []assignment
-			sched := st.eng.Schedule()
-			for e := 0; e < inst.NumEvents(); e++ {
-				if sched.Contains(e) {
-					continue
-				}
-				for t := 0; t < inst.NumIntervals; t++ {
-					if sched.Validity(e, t) != nil {
-						continue
-					}
-					sc := st.eng.Score(e, t)
-					res.Counters.ScoreUpdates++
-					local = append(local, assignment{event: e, interval: t, score: sc})
-				}
-			}
-			sortAssignments(local)
-			if len(local) > s.Branch {
-				local = local[:s.Branch]
-			}
-			for _, a := range local {
-				succs = append(succs, succ{parent: pi, e: a.event, t: a.interval, util: st.util + a.score})
-			}
+		// Expand every state (concurrently when configured), then
+		// splice the per-state successor lists together in state
+		// order so the result is independent of scheduling.
+		perState := make([][]beamSucc, len(states))
+		perStateScores := make([]int, len(states))
+		forEachIndex(len(states), workers, func(pi int) {
+			perState[pi], perStateScores[pi] = s.expand(inst, pi, states[pi])
+		})
+		var succs []beamSucc
+		for pi := range perState {
+			res.Counters.ScoreUpdates += perStateScores[pi]
+			succs = append(succs, perState[pi]...)
 		}
 		if len(succs) == 0 {
 			break // no state can be extended

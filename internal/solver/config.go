@@ -1,0 +1,38 @@
+package solver
+
+import "runtime"
+
+// Config carries the cross-cutting execution options every solver
+// constructor accepts.
+type Config struct {
+	// Engine builds the choice engine a solver evaluates Eq. 1–4
+	// with. nil selects the default sparse engine; inject DenseEngine
+	// (or choice.NewRef via a custom factory) for ablations.
+	Engine EngineFactory
+	// Workers is the number of goroutines used for initial scoring
+	// (and per-state expansion in Beam). 0 selects GOMAXPROCS; any
+	// other non-positive value runs serially. Schedules, utilities
+	// and counters are byte-identical regardless of Workers: parallel
+	// scoring only changes which goroutine evaluates a score, never
+	// the engine state it is evaluated against.
+	Workers int
+}
+
+// engine resolves the engine factory.
+func (c Config) engine() EngineFactory {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return DefaultEngine
+}
+
+// workers resolves the worker count.
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if c.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}

@@ -21,19 +21,15 @@ import (
 // optimum (the paper proves strong NP-hardness, Theorem 1, so no
 // polynomial exact algorithm is expected).
 type Exact struct {
-	engine EngineFactory
+	cfg Config
 	// MaxNodes caps the search (0 = unlimited). When hit, Solve
 	// returns an error rather than a silently suboptimal result.
 	MaxNodes int
 }
 
-// NewExact returns the exact solver. engine may be nil for the default
-// sparse engine.
-func NewExact(engine EngineFactory) *Exact {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &Exact{engine: engine, MaxNodes: 20_000_000}
+// NewExact returns the exact solver.
+func NewExact(cfg Config) *Exact {
+	return &Exact{cfg: cfg, MaxNodes: 20_000_000}
 }
 
 // Name returns "exact".
@@ -50,16 +46,18 @@ func (s *Exact) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	res := &Result{Solver: s.Name()}
 
-	// Root-level optimistic score per event (max over intervals).
-	rootBest := make([]float64, inst.NumEvents())
-	for e := 0; e < inst.NumEvents(); e++ {
+	// Root-level optimistic score per event (max over intervals),
+	// reduced from the shared (parallel) initial score matrix.
+	nE := inst.NumEvents()
+	mat := scoreMatrix(eng, s.cfg.workers(), &res.Counters)
+	rootBest := make([]float64, nE)
+	for e := 0; e < nE; e++ {
 		best := 0.0
 		for t := 0; t < inst.NumIntervals; t++ {
-			res.Counters.InitialScores++
-			if sc := eng.Score(e, t); sc > best {
+			if sc := mat[t*nE+e]; sc > best {
 				best = sc
 			}
 		}
@@ -140,7 +138,7 @@ func (s *Exact) Solve(inst *core.Instance, k int) (*Result, error) {
 	}
 
 	// Rebuild the best schedule on a fresh engine for an exact Ω.
-	finalEng := s.engine(inst)
+	finalEng := s.cfg.engine()(inst)
 	for _, a := range bestAssgn {
 		if err := finalEng.Apply(a.Event, a.Interval); err != nil {
 			return nil, err

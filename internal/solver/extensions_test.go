@@ -18,18 +18,18 @@ func TestBeamFeasibleAndAtLeastGreedy(t *testing.T) {
 			Seed: seed, Users: 30, Events: 12, Intervals: 4, Competing: 5,
 		})
 		const k = 6
-		grd, err := NewGRD(nil).Solve(inst, k)
+		grd, err := NewGRD(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b1, err := NewBeam(1, 1, nil).Solve(inst, k)
+		b1, err := NewBeam(1, 1, Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if math.Abs(b1.Utility-grd.Utility) > 1e-9 {
 			t.Errorf("seed %d: beam(1,1) %v != grd %v", seed, b1.Utility, grd.Utility)
 		}
-		wide, err := NewBeam(6, 4, nil).Solve(inst, k)
+		wide, err := NewBeam(6, 4, Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestOnlineRespectsQuotaAndFeasibility(t *testing.T) {
 			Seed: seed, Users: 40, Events: 20, Intervals: 5, Competing: 6,
 		})
 		const k = 6
-		res, err := NewOnline(seed, nil).Solve(inst, k)
+		res, err := NewOnline(seed, Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,8 +77,8 @@ func TestOnlineRespectsQuotaAndFeasibility(t *testing.T) {
 
 func TestOnlineDeterministicBySeed(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 3, Events: 20, Competing: 4})
-	a, _ := NewOnline(5, nil).Solve(inst, 6)
-	b, _ := NewOnline(5, nil).Solve(inst, 6)
+	a, _ := NewOnline(5, Config{}).Solve(inst, 6)
+	b, _ := NewOnline(5, Config{}).Solve(inst, 6)
 	if a.Utility != b.Utility || a.Schedule.Size() != b.Schedule.Size() {
 		t.Fatal("same seed, different online outcome")
 	}
@@ -93,11 +93,11 @@ func TestOnlineBeatsNothingButLosesToOffline(t *testing.T) {
 			Seed: seed, Users: 50, Events: 24, Intervals: 6, Competing: 8,
 		})
 		const k = 8
-		on, err := NewOnline(seed, nil).Solve(inst, k)
+		on, err := NewOnline(seed, Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		grd, err := NewGRD(nil).Solve(inst, k)
+		grd, err := NewGRD(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +121,7 @@ func TestSpreadBetweenTopAndGRD(t *testing.T) {
 			Seed: seed, Users: 50, Events: 24, Intervals: 6, Competing: 8,
 		})
 		const k = 10
-		sp, err := NewSpread(nil).Solve(inst, k)
+		sp, err := NewSpread(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,8 +131,8 @@ func TestSpreadBetweenTopAndGRD(t *testing.T) {
 		if sp.Schedule.Size() != k {
 			t.Errorf("seed %d: spread scheduled %d, want %d", seed, sp.Schedule.Size(), k)
 		}
-		top, _ := NewTOP(nil).Solve(inst, k)
-		grd, _ := NewGRD(nil).Solve(inst, k)
+		top, _ := NewTOP(Config{}).Solve(inst, k)
+		grd, _ := NewGRD(Config{}).Solve(inst, k)
 		spreadSum += sp.Utility
 		topSum += top.Utility
 		grdSum += grd.Utility

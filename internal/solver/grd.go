@@ -5,23 +5,18 @@ import (
 )
 
 // GRD is the paper's greedy algorithm (Algorithm 1). It generates the
-// scores of all |E|·|T| assignments, then repeatedly pops the
+// scores of all |E|·|T| assignments (in parallel when cfg.Workers > 1;
+// the output is identical either way), then repeatedly pops the
 // assignment with the largest score from a flat list, inserts it into
 // the schedule if it is valid, and after each selection recomputes the
 // scores of the assignments referring to the selected interval while
 // removing assignments that have become invalid.
 type GRD struct {
-	engine EngineFactory
+	cfg Config
 }
 
-// NewGRD returns the greedy solver. engine may be nil for the default
-// sparse engine.
-func NewGRD(engine EngineFactory) *GRD {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &GRD{engine: engine}
-}
+// NewGRD returns the greedy solver.
+func NewGRD(cfg Config) *GRD { return &GRD{cfg: cfg} }
 
 // Name returns "grd".
 func (g *GRD) Name() string { return "grd" }
@@ -31,17 +26,17 @@ func (g *GRD) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := g.engine(inst)
+	eng := g.cfg.engine()(inst)
 	res := &Result{Solver: g.Name()}
 
 	// Lines 2–4: generate assignments and compute initial scores.
-	list := buildAssignments(eng, &res.Counters)
+	wl := newWorklist(eng, g.cfg.workers(), &res.Counters)
 
 	sched := eng.Schedule()
-	for sched.Size() < k && len(list) > 0 {
+	for sched.Size() < k && len(wl.list) > 0 {
 		// Line 6: popTopAssgn — linear scan for the largest score,
 		// exactly as the paper's list-based variant does.
-		top := g.popTop(&list, &res.Counters)
+		top := wl.popTop(&res.Counters)
 
 		// Line 7: validity check; invalid pops are simply discarded
 		// and the next top is tried.
@@ -57,8 +52,8 @@ func (g *GRD) Solve(inst *core.Instance, k int) (*Result, error) {
 		// Lines 9–13: update same-interval scores, drop invalid
 		// assignments.
 		if sched.Size() < k {
-			dst := list[:0]
-			for _, a := range list {
+			dst := wl.list[:0]
+			for _, a := range wl.list {
 				res.Counters.ListScans++
 				valid := sched.Validity(a.event, a.interval) == nil
 				switch {
@@ -72,42 +67,13 @@ func (g *GRD) Solve(inst *core.Instance, k int) (*Result, error) {
 					dst = append(dst, a)
 				}
 			}
-			list = dst
+			wl.list = dst
 		}
 	}
 
 	res.Schedule = sched
 	res.Utility = eng.Utility()
 	return res, nil
-}
-
-// popTop removes and returns the maximum-score assignment, breaking
-// ties toward the earliest (event, interval) so runs are reproducible.
-func (g *GRD) popTop(list *[]assignment, counters *Counters) assignment {
-	l := *list
-	counters.Pops++
-	best := 0
-	for i := 1; i < len(l); i++ {
-		counters.ListScans++
-		if better(l[i], l[best]) {
-			best = i
-		}
-	}
-	top := l[best]
-	l[best] = l[len(l)-1]
-	*list = l[:len(l)-1]
-	return top
-}
-
-// better orders assignments by score with deterministic tie-breaking.
-func better(a, b assignment) bool {
-	if a.score != b.score {
-		return a.score > b.score
-	}
-	if a.event != b.event {
-		return a.event < b.event
-	}
-	return a.interval < b.interval
 }
 
 var _ Solver = (*GRD)(nil)

@@ -19,17 +19,11 @@ import (
 // O(k·|E|) eager updates into a few heap operations per iteration and
 // is the headline ablation of this reproduction.
 type GRDLazy struct {
-	engine EngineFactory
+	cfg Config
 }
 
-// NewGRDLazy returns the lazy greedy solver. engine may be nil for the
-// default sparse engine.
-func NewGRDLazy(engine EngineFactory) *GRDLazy {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &GRDLazy{engine: engine}
-}
+// NewGRDLazy returns the lazy greedy solver.
+func NewGRDLazy(cfg Config) *GRDLazy { return &GRDLazy{cfg: cfg} }
 
 // Name returns "grdlazy".
 func (g *GRDLazy) Name() string { return "grdlazy" }
@@ -56,24 +50,21 @@ func (h *lazyHeap) Pop() interface{} {
 	return x
 }
 
-// Solve runs the lazy greedy.
+// Solve runs the lazy greedy. Initial scores come from the shared
+// (parallel) worklist builder; heapification of identical entries is
+// deterministic, so output matches the serial run bit-for-bit.
 func (g *GRDLazy) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := g.engine(inst)
+	eng := g.cfg.engine()(inst)
 	res := &Result{Solver: g.Name()}
 
 	versions := make([]int, inst.NumIntervals)
-	h := make(lazyHeap, 0, inst.NumEvents()*inst.NumIntervals)
-	for e := 0; e < inst.NumEvents(); e++ {
-		for t := 0; t < inst.NumIntervals; t++ {
-			h = append(h, lazyEntry{
-				assignment: assignment{event: e, interval: t, score: eng.Score(e, t)},
-				version:    0,
-			})
-			res.Counters.InitialScores++
-		}
+	wl := newWorklist(eng, g.cfg.workers(), &res.Counters)
+	h := make(lazyHeap, 0, len(wl.list))
+	for _, a := range wl.list {
+		h = append(h, lazyEntry{assignment: a, version: 0})
 	}
 	heap.Init(&h)
 

@@ -22,22 +22,19 @@ const moveEps = 1e-9
 type LocalSearch struct {
 	start     Solver
 	maxPasses int
-	engine    EngineFactory
+	cfg       Config
 }
 
-// NewLocalSearch wraps start (nil for GRD) with hill climbing.
-// maxPasses <= 0 means 10 passes.
-func NewLocalSearch(start Solver, maxPasses int, engine EngineFactory) *LocalSearch {
-	if engine == nil {
-		engine = DefaultEngine
-	}
+// NewLocalSearch wraps start (nil for GRD with the same cfg) with hill
+// climbing. maxPasses <= 0 means 10 passes.
+func NewLocalSearch(start Solver, maxPasses int, cfg Config) *LocalSearch {
 	if start == nil {
-		start = NewGRD(engine)
+		start = NewGRD(cfg)
 	}
 	if maxPasses <= 0 {
 		maxPasses = 10
 	}
-	return &LocalSearch{start: start, maxPasses: maxPasses, engine: engine}
+	return &LocalSearch{start: start, maxPasses: maxPasses, cfg: cfg}
 }
 
 // Name returns "localsearch".
@@ -53,7 +50,7 @@ func (s *LocalSearch) Solve(inst *core.Instance, k int) (*Result, error) {
 		return nil, err
 	}
 	// Replay the starting schedule on a fresh engine we own.
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	for _, a := range startRes.Schedule.Assignments() {
 		if err := eng.Apply(a.Event, a.Interval); err != nil {
 			return nil, err

@@ -22,20 +22,17 @@ import (
 // runs low. An initial warm-up fraction is observed without accepting
 // (secretary style) to calibrate the quantile.
 type Online struct {
-	seed   uint64
-	engine EngineFactory
+	seed uint64
+	cfg  Config
 	// Warmup is the fraction of the stream observed before any
 	// acceptance (default 0.1).
 	Warmup float64
 }
 
-// NewOnline returns the streaming solver. engine may be nil for the
-// default sparse engine.
-func NewOnline(seed uint64, engine EngineFactory) *Online {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &Online{seed: seed, engine: engine, Warmup: 0.1}
+// NewOnline returns the streaming solver. Arrivals are inherently
+// sequential, so cfg.Workers has nothing to parallelize here.
+func NewOnline(seed uint64, cfg Config) *Online {
+	return &Online{seed: seed, cfg: cfg, Warmup: 0.1}
 }
 
 // Name returns "online".
@@ -46,7 +43,7 @@ func (s *Online) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	res := &Result{Solver: s.Name()}
 	sched := eng.Schedule()
 

@@ -19,13 +19,16 @@
 //   - Anneal — simulated annealing over the same move set.
 //
 // All solvers are deterministic given their configuration (RAND and
-// Anneal take explicit seeds).
+// Anneal take explicit seeds). Every constructor takes a Config
+// carrying the engine factory and a worker count; initial scoring —
+// the dominant cost of the paper's Fig. 1b/1d time series — runs on a
+// worker pool when Workers > 1, with byte-identical results to the
+// serial run (see worklist.go).
 package solver
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"ses/internal/choice"
 	"ses/internal/core"
@@ -98,30 +101,34 @@ func validate(inst *core.Instance, k int) error {
 // "localsearch", "anneal", "beam", "online", "spread". Randomized
 // solvers (rand, anneal, online) get the provided seed; others ignore
 // it.
-func New(name string, seed uint64) (Solver, error) {
+func New(name string, seed uint64) (Solver, error) { return NewWith(name, seed, Config{}) }
+
+// NewWith returns a solver by name carrying the given configuration
+// (engine factory and worker count); see New for the known names.
+func NewWith(name string, seed uint64, cfg Config) (Solver, error) {
 	switch name {
 	case "grd":
-		return NewGRD(nil), nil
+		return NewGRD(cfg), nil
 	case "grdlazy":
-		return NewGRDLazy(nil), nil
+		return NewGRDLazy(cfg), nil
 	case "top":
-		return NewTOP(nil), nil
+		return NewTOP(cfg), nil
 	case "topfill":
-		return NewTOPFill(nil), nil
+		return NewTOPFill(cfg), nil
 	case "rand":
-		return NewRAND(seed, nil), nil
+		return NewRAND(seed, cfg), nil
 	case "exact":
-		return NewExact(nil), nil
+		return NewExact(cfg), nil
 	case "localsearch":
-		return NewLocalSearch(NewGRD(nil), 0, nil), nil
+		return NewLocalSearch(NewGRD(cfg), 0, cfg), nil
 	case "anneal":
-		return NewAnneal(seed, 0, nil), nil
+		return NewAnneal(seed, 0, cfg), nil
 	case "beam":
-		return NewBeam(0, 0, nil), nil
+		return NewBeam(0, 0, cfg), nil
 	case "online":
-		return NewOnline(seed, nil), nil
+		return NewOnline(seed, cfg), nil
 	case "spread":
-		return NewSpread(nil), nil
+		return NewSpread(cfg), nil
 	default:
 		return nil, fmt.Errorf("solver: unknown solver %q", name)
 	}
@@ -130,40 +137,4 @@ func New(name string, seed uint64) (Solver, error) {
 // Names lists the registered solver names in a stable order.
 func Names() []string {
 	return []string{"grd", "grdlazy", "top", "topfill", "rand", "exact", "localsearch", "anneal", "beam", "online", "spread"}
-}
-
-// assignment is a scored (event, interval) pair in a solver worklist.
-type assignment struct {
-	event    int
-	interval int
-	score    float64
-}
-
-// buildAssignments computes initial scores for the full E × T cross
-// product (Algorithm 1, lines 2–4). The list is generated in (event,
-// interval) order, which fixes tie-breaking deterministically.
-func buildAssignments(eng choice.Engine, counters *Counters) []assignment {
-	inst := eng.Instance()
-	out := make([]assignment, 0, inst.NumEvents()*inst.NumIntervals)
-	for e := 0; e < inst.NumEvents(); e++ {
-		for t := 0; t < inst.NumIntervals; t++ {
-			out = append(out, assignment{event: e, interval: t, score: eng.Score(e, t)})
-			counters.InitialScores++
-		}
-	}
-	return out
-}
-
-// sortAssignments orders by score descending with (event, interval)
-// as deterministic tie-breakers.
-func sortAssignments(list []assignment) {
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].score != list[j].score {
-			return list[i].score > list[j].score
-		}
-		if list[i].event != list[j].event {
-			return list[i].event < list[j].event
-		}
-		return list[i].interval < list[j].interval
-	})
 }

@@ -14,17 +14,17 @@ const eps = 1e-9
 
 func allSolvers() []Solver {
 	return []Solver{
-		NewGRD(nil),
-		NewGRDLazy(nil),
-		NewTOP(nil),
-		NewTOPFill(nil),
-		NewRAND(17, nil),
-		NewExact(nil),
-		NewLocalSearch(nil, 0, nil),
-		NewAnneal(17, 500, nil),
-		NewBeam(3, 3, nil),
-		NewOnline(17, nil),
-		NewSpread(nil),
+		NewGRD(Config{}),
+		NewGRDLazy(Config{}),
+		NewTOP(Config{}),
+		NewTOPFill(Config{}),
+		NewRAND(17, Config{}),
+		NewExact(Config{}),
+		NewLocalSearch(nil, 0, Config{}),
+		NewAnneal(17, 500, Config{}),
+		NewBeam(3, 3, Config{}),
+		NewOnline(17, Config{}),
+		NewSpread(Config{}),
 	}
 }
 
@@ -127,11 +127,11 @@ func TestGRDAndLazyAgree(t *testing.T) {
 		inst := sestest.Random(sestest.Config{
 			Seed: seed, Users: 30, Events: 14, Intervals: 5, Competing: 8,
 		})
-		a, err := NewGRD(nil).Solve(inst, 7)
+		a, err := NewGRD(Config{}).Solve(inst, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := NewGRDLazy(nil).Solve(inst, 7)
+		b, err := NewGRDLazy(Config{}).Solve(inst, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,11 +160,11 @@ func TestGRDAndLazyAgree(t *testing.T) {
 func TestGRDSparseAndDenseEnginesAgree(t *testing.T) {
 	for seed := uint64(30); seed < 34; seed++ {
 		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 6})
-		a, err := NewGRD(nil).Solve(inst, 5)
+		a, err := NewGRD(Config{}).Solve(inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := NewGRD(DenseEngine).Solve(inst, 5)
+		b, err := NewGRD(Config{Engine: DenseEngine}).Solve(inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +188,7 @@ func TestGRDMatchesNaiveGreedyReference(t *testing.T) {
 			Seed: seed, Users: 15, Events: 8, Intervals: 3, Competing: 4,
 		})
 		const k = 4
-		got, err := NewGRD(nil).Solve(inst, k)
+		got, err := NewGRD(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,11 +232,11 @@ func TestExactDominatesHeuristics(t *testing.T) {
 			Seed: seed, Users: 12, Events: 7, Intervals: 3, Competing: 3,
 		})
 		const k = 3
-		opt, err := NewExact(nil).Solve(inst, k)
+		opt, err := NewExact(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, s := range []Solver{NewGRD(nil), NewTOP(nil), NewRAND(seed, nil), NewLocalSearch(nil, 0, nil)} {
+		for _, s := range []Solver{NewGRD(Config{}), NewTOP(Config{}), NewRAND(seed, Config{}), NewLocalSearch(nil, 0, Config{})} {
 			res, err := s.Solve(inst, k)
 			if err != nil {
 				t.Fatal(err)
@@ -250,7 +250,7 @@ func TestExactDominatesHeuristics(t *testing.T) {
 		// optimal on these tiny instances (empirically it is nearly
 		// optimal; 0.5 is a loose floor, consistent with greedy bounds
 		// for submodular maximization).
-		grd, _ := NewGRD(nil).Solve(inst, k)
+		grd, _ := NewGRD(Config{}).Solve(inst, k)
 		if grd.Utility < 0.5*opt.Utility-eps {
 			t.Errorf("seed %d: GRD utility %v below half of optimum %v", seed, grd.Utility, opt.Utility)
 		}
@@ -264,7 +264,7 @@ func TestExactMatchesBruteForceSmall(t *testing.T) {
 			Seed: seed, Users: 8, Events: 5, Intervals: 2, Competing: 2,
 		})
 		const k = 2
-		opt, err := NewExact(nil).Solve(inst, k)
+		opt, err := NewExact(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -310,12 +310,12 @@ func bruteForceBest(t *testing.T, inst *core.Instance, k int) float64 {
 func TestLocalSearchNeverWorseThanStart(t *testing.T) {
 	for seed := uint64(70); seed < 78; seed++ {
 		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 5})
-		start := NewRAND(seed, nil)
+		start := NewRAND(seed, Config{})
 		base, err := start.Solve(inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		improved, err := NewLocalSearch(NewRAND(seed, nil), 0, nil).Solve(inst, 5)
+		improved, err := NewLocalSearch(NewRAND(seed, Config{}), 0, Config{}).Solve(inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,15 +335,15 @@ func TestGRDBeatsBaselinesOnAverage(t *testing.T) {
 			Seed: seed, Users: 40, Events: 16, Intervals: 5, Competing: 10,
 		})
 		const k = 8
-		grd, err := NewGRD(nil).Solve(inst, k)
+		grd, err := NewGRD(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		top, err := NewTOP(nil).Solve(inst, k)
+		top, err := NewTOP(Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rnd, err := NewRAND(seed, nil).Solve(inst, k)
+		rnd, err := NewRAND(seed, Config{}).Solve(inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -365,9 +365,9 @@ func TestGRDBeatsBaselinesOnAverage(t *testing.T) {
 
 func TestRANDIsSeedDeterministic(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 5, Competing: 4})
-	a, _ := NewRAND(9, nil).Solve(inst, 5)
-	b, _ := NewRAND(9, nil).Solve(inst, 5)
-	c, _ := NewRAND(10, nil).Solve(inst, 5)
+	a, _ := NewRAND(9, Config{}).Solve(inst, 5)
+	b, _ := NewRAND(9, Config{}).Solve(inst, 5)
+	c, _ := NewRAND(10, Config{}).Solve(inst, 5)
 	as, bs := a.Schedule.Assignments(), b.Schedule.Assignments()
 	if len(as) != len(bs) {
 		t.Fatal("same seed, different sizes")
@@ -398,8 +398,8 @@ func TestCountersMatchPaperCostModel(t *testing.T) {
 	// the selected intervals.
 	inst := sestest.Random(sestest.Config{Seed: 6, Events: 10, Intervals: 4, Competing: 3})
 	const k = 5
-	grd, _ := NewGRD(nil).Solve(inst, k)
-	top, _ := NewTOP(nil).Solve(inst, k)
+	grd, _ := NewGRD(Config{}).Solve(inst, k)
+	top, _ := NewTOP(Config{}).Solve(inst, k)
 	wantInit := inst.NumEvents() * inst.NumIntervals
 	if grd.Counters.InitialScores != wantInit {
 		t.Errorf("GRD initial scores %d, want %d", grd.Counters.InitialScores, wantInit)
@@ -432,7 +432,7 @@ func TestNewByName(t *testing.T) {
 
 func TestExactBudgetExceeded(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 7, Events: 12, Intervals: 4})
-	ex := NewExact(nil)
+	ex := NewExact(Config{})
 	ex.MaxNodes = 5
 	if _, err := ex.Solve(inst, 6); !errors.Is(err, ErrSearchBudget) {
 		t.Fatalf("got %v, want ErrSearchBudget", err)
@@ -442,11 +442,11 @@ func TestExactBudgetExceeded(t *testing.T) {
 func TestAnnealNeverWorseThanItsRandStart(t *testing.T) {
 	for seed := uint64(100); seed < 106; seed++ {
 		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 5})
-		base, err := NewRAND(seed, nil).Solve(inst, 5)
+		base, err := NewRAND(seed, Config{}).Solve(inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ann := NewAnneal(seed, 2000, nil)
+		ann := NewAnneal(seed, 2000, Config{})
 		res, err := ann.Solve(inst, 5)
 		if err != nil {
 			t.Fatal(err)

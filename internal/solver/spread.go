@@ -13,63 +13,57 @@ import (
 // *spreading* events across intervals versus from genuinely updating
 // marginal gains.
 type Spread struct {
-	engine EngineFactory
+	cfg Config
 }
 
-// NewSpread returns the spreading baseline. engine may be nil for the
-// default sparse engine.
-func NewSpread(engine EngineFactory) *Spread {
-	if engine == nil {
-		engine = DefaultEngine
-	}
-	return &Spread{engine: engine}
-}
+// NewSpread returns the spreading baseline.
+func NewSpread(cfg Config) *Spread { return &Spread{cfg: cfg} }
 
 // Name returns "spread".
 func (s *Spread) Name() string { return "spread" }
 
-// Solve ranks events by best initial score, then load-balances.
+// Solve ranks events by best initial score, then load-balances. The
+// initial score matrix comes from the shared parallel builder; the
+// per-event rows it needs for the placement step are just views into
+// that matrix.
 func (s *Spread) Solve(inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.engine(inst)
+	eng := s.cfg.engine()(inst)
 	res := &Result{Solver: s.Name()}
 
-	// Initial scores for all pairs; remember each event's per-interval
-	// score row for the placement step.
-	scores := make([][]float64, inst.NumEvents())
-	ranked := make([]assignment, 0, inst.NumEvents())
-	for e := 0; e < inst.NumEvents(); e++ {
-		row := make([]float64, inst.NumIntervals)
+	// Initial scores for all pairs; mat is indexed [t*|E| + e].
+	nE, nT := inst.NumEvents(), inst.NumIntervals
+	mat := scoreMatrix(eng, s.cfg.workers(), &res.Counters)
+	score := func(e, t int) float64 { return mat[t*nE+e] }
+	ranked := make([]assignment, 0, nE)
+	for e := 0; e < nE; e++ {
 		bestT := 0
-		for t := 0; t < inst.NumIntervals; t++ {
-			row[t] = eng.Score(e, t)
-			res.Counters.InitialScores++
-			if row[t] > row[bestT] {
+		for t := 1; t < nT; t++ {
+			if score(e, t) > score(e, bestT) {
 				bestT = t
 			}
 		}
-		scores[e] = row
-		ranked = append(ranked, assignment{event: e, interval: bestT, score: row[bestT]})
+		ranked = append(ranked, assignment{event: e, interval: bestT, score: score(e, bestT)})
 	}
 	sortAssignments(ranked)
 
 	sched := eng.Schedule()
-	load := make([]int, inst.NumIntervals)
+	load := make([]int, nT)
 	for _, a := range ranked {
 		if sched.Size() >= k {
 			break
 		}
 		// Least-loaded valid interval; ties by initial score there.
 		bestT := -1
-		for t := 0; t < inst.NumIntervals; t++ {
+		for t := 0; t < nT; t++ {
 			if sched.Validity(a.event, t) != nil {
 				continue
 			}
 			if bestT < 0 ||
 				load[t] < load[bestT] ||
-				(load[t] == load[bestT] && scores[a.event][t] > scores[a.event][bestT]) {
+				(load[t] == load[bestT] && score(a.event, t) > score(a.event, bestT)) {
 				bestT = t
 			}
 		}

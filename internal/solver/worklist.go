@@ -1,0 +1,158 @@
+package solver
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ses/internal/choice"
+)
+
+// This file is the shared worklist component: every solver that starts
+// from the scored E×T assignment cross product (Algorithm 1, lines
+// 2–4) builds it here, and the initial scoring — the dominant cost of
+// the paper's Fig. 1b/1d time series — is fanned out across a worker
+// pool. Determinism is preserved by construction: each worker scores
+// whole intervals against its own Fork of the engine (all forks see
+// the same empty schedule, so every Score value is bit-identical to
+// the serial run), results land at fixed offsets in a preallocated
+// matrix, and the assignment list is assembled from the matrix in the
+// canonical (event, interval) order afterwards.
+
+// assignment is a scored (event, interval) pair in a solver worklist.
+type assignment struct {
+	event    int
+	interval int
+	score    float64
+}
+
+// forEachIndexState runs fn(state, i) for every i in [0, n), fanning
+// out across up to `workers` goroutines, each with its own state from
+// newState. fn must be safe to call concurrently for distinct i with
+// distinct states. Iteration order is unspecified; callers that need
+// determinism must write results to per-index slots.
+func forEachIndexState[S any](n, workers int, newState func() S, fn func(s S, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := newState()
+		for i := 0; i < n; i++ {
+			fn(s, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newState()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(s, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// forEachIndex is forEachIndexState without per-worker state.
+func forEachIndex(n, workers int, fn func(i int)) {
+	forEachIndexState(n, workers, func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) { fn(i) })
+}
+
+// scoreMatrix computes the initial score of every (event, interval)
+// pair, parallelized over intervals. Every worker (including the
+// serial path) scores against its own Fork of the engine, so no
+// engine scratch state is ever shared and the values are identical
+// for any worker count. The result is indexed [t*|E| + e].
+// counters.InitialScores is advanced by |E|·|T|.
+func scoreMatrix(eng choice.Engine, workers int, counters *Counters) []float64 {
+	inst := eng.Instance()
+	nE, nT := inst.NumEvents(), inst.NumIntervals
+	mat := make([]float64, nE*nT)
+	events := make([]int, nE)
+	for i := range events {
+		events[i] = i
+	}
+	counters.InitialScores += nE * nT
+	forEachIndexState(nT, workers,
+		func() choice.Engine { return eng.Fork() },
+		func(own choice.Engine, t int) { own.ScoreBatch(events, t, mat[t*nE:(t+1)*nE]) })
+	return mat
+}
+
+// worklist is the scored assignment list shared by the constructive
+// solvers (GRD, TOP, TOPFill; GRDLazy heapifies the same entries).
+type worklist struct {
+	list []assignment
+}
+
+// newWorklist scores the full cross product (in parallel when workers
+// > 1) and generates the list in (event, interval) order, which fixes
+// tie-breaking deterministically.
+func newWorklist(eng choice.Engine, workers int, counters *Counters) *worklist {
+	inst := eng.Instance()
+	nE, nT := inst.NumEvents(), inst.NumIntervals
+	mat := scoreMatrix(eng, workers, counters)
+	list := make([]assignment, 0, nE*nT)
+	for e := 0; e < nE; e++ {
+		for t := 0; t < nT; t++ {
+			list = append(list, assignment{event: e, interval: t, score: mat[t*nE+e]})
+		}
+	}
+	return &worklist{list: list}
+}
+
+// sortByScore orders by score descending with (event, interval) as
+// deterministic tie-breakers.
+func (w *worklist) sortByScore() { sortAssignments(w.list) }
+
+// truncate keeps the first n entries.
+func (w *worklist) truncate(n int) {
+	if len(w.list) > n {
+		w.list = w.list[:n]
+	}
+}
+
+// popTop removes and returns the maximum-score assignment with a
+// linear scan — exactly the paper's list-based popTopAssgn — breaking
+// ties toward the earliest (event, interval) so runs are reproducible.
+func (w *worklist) popTop(counters *Counters) assignment {
+	l := w.list
+	counters.Pops++
+	best := 0
+	for i := 1; i < len(l); i++ {
+		counters.ListScans++
+		if better(l[i], l[best]) {
+			best = i
+		}
+	}
+	top := l[best]
+	l[best] = l[len(l)-1]
+	w.list = l[:len(l)-1]
+	return top
+}
+
+// better orders assignments by score with deterministic tie-breaking.
+func better(a, b assignment) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.event != b.event {
+		return a.event < b.event
+	}
+	return a.interval < b.interval
+}
+
+// sortAssignments orders by score descending with (event, interval)
+// as deterministic tie-breakers.
+func sortAssignments(list []assignment) {
+	sort.Slice(list, func(i, j int) bool { return better(list[i], list[j]) })
+}

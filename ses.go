@@ -34,6 +34,11 @@ type (
 	Solver = solver.Solver
 	// Result is a solver outcome: schedule, utility and work counters.
 	Result = solver.Result
+	// SolverConfig carries the cross-cutting solver options: the
+	// choice-engine factory and the number of goroutines used for
+	// initial scoring (Workers; 0 = GOMAXPROCS, 1 = serial). Results
+	// are byte-identical regardless of Workers.
+	SolverConfig = solver.Config
 )
 
 // Data generation (see ses/internal/ebsn and ses/internal/dataset).
@@ -63,50 +68,62 @@ func NewSchedule(inst *Instance) *Schedule { return core.NewSchedule(inst) }
 
 // Greedy returns the paper's GRD algorithm (Algorithm 1): pop the
 // globally best assignment, apply it, update same-interval scores.
-func Greedy() Solver { return solver.NewGRD(nil) }
+func Greedy() Solver { return solver.NewGRD(solver.Config{}) }
 
 // LazyGreedy returns the CELF-style lazy variant of GRD. It produces
 // identical schedules with far fewer score evaluations.
-func LazyGreedy() Solver { return solver.NewGRDLazy(nil) }
+func LazyGreedy() Solver { return solver.NewGRDLazy(solver.Config{}) }
 
 // Top returns the paper's TOP baseline: the k best-scoring assignments
 // by initial score, invalid picks discarded.
-func Top() Solver { return solver.NewTOP(nil) }
+func Top() Solver { return solver.NewTOP(solver.Config{}) }
 
 // TopFill returns the stronger TOP variant that keeps walking the
 // sorted assignment list until k valid assignments are found.
-func TopFill() Solver { return solver.NewTOPFill(nil) }
+func TopFill() Solver { return solver.NewTOPFill(solver.Config{}) }
 
 // Random returns the paper's RAND baseline with the given seed.
-func Random(seed uint64) Solver { return solver.NewRAND(seed, nil) }
+func Random(seed uint64) Solver { return solver.NewRAND(seed, solver.Config{}) }
 
 // ExactSolver returns the exhaustive branch-and-bound solver. It is
 // exponential; use it only on small instances to measure optimality
 // gaps.
-func ExactSolver() Solver { return solver.NewExact(nil) }
+func ExactSolver() Solver { return solver.NewExact(solver.Config{}) }
 
 // LocalSearch returns a hill climber (relocate + swap moves) starting
 // from GRD's schedule.
-func LocalSearch() Solver { return solver.NewLocalSearch(nil, 0, nil) }
+func LocalSearch() Solver { return solver.NewLocalSearch(nil, 0, solver.Config{}) }
 
 // Anneal returns a simulated-annealing solver with the given seed and
 // step budget (steps <= 0 chooses a budget from the instance size).
-func Anneal(seed uint64, steps int) Solver { return solver.NewAnneal(seed, steps, nil) }
+func Anneal(seed uint64, steps int) Solver { return solver.NewAnneal(seed, steps, solver.Config{}) }
 
 // Beam returns a beam-search solver (width/branch <= 0 pick defaults).
-func Beam(width, branch int) Solver { return solver.NewBeam(width, branch, nil) }
+func Beam(width, branch int) Solver { return solver.NewBeam(width, branch, solver.Config{}) }
 
 // Online returns the streaming solver: events arrive in a
 // seed-determined order and are accepted or rejected irrevocably.
-func Online(seed uint64) Solver { return solver.NewOnline(seed, nil) }
+func Online(seed uint64) Solver { return solver.NewOnline(seed, solver.Config{}) }
 
 // Spread returns the spreading baseline: TOP's one-shot ranking with
 // least-loaded interval placement.
-func Spread() Solver { return solver.NewSpread(nil) }
+func Spread() Solver { return solver.NewSpread(solver.Config{}) }
+
+// GreedyWith returns GRD carrying an explicit configuration — e.g.
+// SolverConfig{Workers: 8} to fan initial scoring out over 8
+// goroutines with byte-identical output.
+func GreedyWith(cfg SolverConfig) Solver { return solver.NewGRD(cfg) }
 
 // NewSolver returns a solver by name: "grd", "grdlazy", "top",
 // "topfill", "rand", "exact", "localsearch" or "anneal".
 func NewSolver(name string, seed uint64) (Solver, error) { return solver.New(name, seed) }
+
+// NewSolverWith returns a solver by name carrying an explicit
+// configuration (engine factory and scoring workers); see NewSolver
+// for the names.
+func NewSolverWith(name string, seed uint64, cfg SolverConfig) (Solver, error) {
+	return solver.NewWith(name, seed, cfg)
+}
 
 // SolverNames lists the registered solver names.
 func SolverNames() []string { return solver.Names() }
