@@ -11,6 +11,7 @@
 package ses_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -75,7 +76,7 @@ func runSolver(b *testing.B, inst *ses.Instance, s ses.Solver, k int) {
 	var res *ses.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = s.Solve(inst, k)
+		res, err = s.Solve(context.Background(), inst, k)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func runSolverInternal(b *testing.B, inst *ses.Instance, s solver.Solver, k int)
 	var res *solver.Result
 	for i := 0; i < b.N; i++ {
 		var err error
-		res, err = s.Solve(inst, k)
+		res, err = s.Solve(context.Background(), inst, k)
 		if err != nil {
 			b.Fatal(err)
 		}

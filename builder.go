@@ -41,16 +41,29 @@ func NewInstanceBuilder(numUsers, numIntervals int, resources float64) *Instance
 	}
 }
 
-// AddEvent adds a candidate event and returns its index.
+// AddEvent adds a candidate event and returns its index. A negative
+// location or required amount is recorded as a builder error
+// immediately (reported by Build), like SetInterest does, instead of
+// surfacing later as an opaque instance-validation failure.
 func (b *InstanceBuilder) AddEvent(location int, required float64, name string) int {
+	if b.err == nil && location < 0 {
+		b.err = fmt.Errorf("ses: AddEvent(%q): negative location %d", name, location)
+	}
+	if b.err == nil && required < 0 {
+		b.err = fmt.Errorf("ses: AddEvent(%q): negative required resources %v", name, required)
+	}
 	b.events = append(b.events, Event{Location: location, Required: required, Name: name})
 	b.candMu = append(b.candMu, make(map[int32]float64))
 	return len(b.events) - 1
 }
 
 // AddCompeting adds a third-party event at the given interval and
-// returns its index.
+// returns its index. An interval outside [0, numIntervals) is
+// recorded as a builder error immediately (reported by Build).
 func (b *InstanceBuilder) AddCompeting(interval int, name string) int {
+	if b.err == nil && (interval < 0 || interval >= b.numIntervals) {
+		b.err = fmt.Errorf("ses: AddCompeting(%q): interval %d outside [0,%d)", name, interval, b.numIntervals)
+	}
 	b.competing = append(b.competing, CompetingEvent{Interval: interval, Name: name})
 	b.compMu = append(b.compMu, make(map[int32]float64))
 	return len(b.competing) - 1

@@ -2,6 +2,7 @@ package ses_test
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"ses"
@@ -101,6 +102,60 @@ func TestBuilderErrors(t *testing.T) {
 	b4.SetCompetingInterest(0, c4, -0.1)
 	if _, err := b4.Build(); err == nil {
 		t.Error("negative competing µ accepted")
+	}
+}
+
+func TestBuilderValidatesAddEagerly(t *testing.T) {
+	// Negative locations, negative required resources and out-of-range
+	// competing intervals are caught at Add time, not at Build, and
+	// the error names the offending call.
+	cases := []struct {
+		name  string
+		build func() *ses.InstanceBuilder
+		want  string
+	}{
+		{"negative location", func() *ses.InstanceBuilder {
+			b := ses.NewInstanceBuilder(2, 2, 5)
+			b.AddEvent(-1, 1, "bad-loc")
+			return b
+		}, "AddEvent"},
+		{"negative required", func() *ses.InstanceBuilder {
+			b := ses.NewInstanceBuilder(2, 2, 5)
+			b.AddEvent(0, -3, "bad-req")
+			return b
+		}, "AddEvent"},
+		{"competing interval too large", func() *ses.InstanceBuilder {
+			b := ses.NewInstanceBuilder(2, 2, 5)
+			b.AddCompeting(2, "bad-interval")
+			return b
+		}, "AddCompeting"},
+		{"competing interval negative", func() *ses.InstanceBuilder {
+			b := ses.NewInstanceBuilder(2, 2, 5)
+			b.AddCompeting(-1, "bad-interval")
+			return b
+		}, "AddCompeting"},
+	}
+	for _, tc := range cases {
+		_, err := tc.build().Build()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBuilderAddErrorDoesNotMaskFirst(t *testing.T) {
+	// The first error wins even when later Adds are also invalid.
+	b := ses.NewInstanceBuilder(2, 2, 5)
+	e := b.AddEvent(0, 1, "ok")
+	b.SetInterest(9, e, 0.5)  // first error: bad user
+	b.AddEvent(-1, 1, "late") // would error, but builder is poisoned
+	_, err := b.Build()
+	if err == nil || !strings.Contains(err.Error(), "SetInterest") {
+		t.Errorf("got %v, want the SetInterest error", err)
 	}
 }
 

@@ -15,6 +15,13 @@
 // previous map-based SparseMap engine, and the paper-faithful Dense
 // engine) and writes the results as JSON to the -json file.
 //
+// -fig resolve measures the session layer: after single mutations
+// (interest update, late event, new competitor, cancellation, pin),
+// an incremental ses.Scheduler.Resolve is compared with a from-scratch
+// re-solve — identical utility required, InitialScores contrasted —
+// and the results are written as JSON to the -json file (default
+// BENCH_resolve.json).
+//
 // -scale full uses the Meetup-California dimensions of the paper
 // (42,444 users); medium (default) and small reduce the user count so
 // a sweep finishes in minutes/seconds while preserving the comparative
@@ -30,10 +37,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"ses/internal/ebsn"
@@ -42,15 +51,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sesbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, resolve")
 	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
 	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
 	seed := fs.Uint64("seed", 42, "master seed")
@@ -59,7 +70,7 @@ func run(args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "stream per-run progress")
 	workers := fs.Int("workers", 0, "solver scoring goroutines (0 = all cores, 1 = serial; identical output)")
 	par := fs.Int("par", 1, "independent trials run concurrently (identical statistics, noisier timings)")
-	jsonPath := fs.String("json", "", "output file for -fig engines (default BENCH_engine.json)")
+	jsonPath := fs.String("json", "", "output file for -fig engines/resolve (defaults BENCH_engine.json / BENCH_resolve.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,16 +79,21 @@ func run(args []string, out io.Writer) error {
 	wantT := *fig == "all" || *fig == "1c" || *fig == "1d"
 	wantSens := *fig == "sens"
 	wantEngines := *fig == "engines"
-	if !wantK && !wantT && !wantSens && !wantEngines {
+	wantResolve := *fig == "resolve"
+	if !wantK && !wantT && !wantSens && !wantEngines && !wantResolve {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	// Catch a silently-ignored flag before a potentially hours-long
 	// sweep rather than after it.
-	if *jsonPath != "" && !wantEngines {
-		return fmt.Errorf("-json only applies to -fig engines")
+	if *jsonPath != "" && !wantEngines && !wantResolve {
+		return fmt.Errorf("-json only applies to -fig engines/resolve")
 	}
 	if *jsonPath == "" {
-		*jsonPath = "BENCH_engine.json"
+		if wantResolve {
+			*jsonPath = "BENCH_resolve.json"
+		} else {
+			*jsonPath = "BENCH_engine.json"
+		}
 	}
 
 	var ecfg ebsn.Config
@@ -123,6 +139,9 @@ func run(args []string, out io.Writer) error {
 	if wantEngines {
 		return benchEngines(out, ds, *seed, *jsonPath)
 	}
+	if wantResolve {
+		return benchResolve(ctx, out, ds, *seed, *workers, *jsonPath)
+	}
 
 	if wantK {
 		ks := experiment.DefaultKs()
@@ -130,7 +149,7 @@ func run(args []string, out io.Writer) error {
 			ks = []int{25, 50, 100, 150, 200}
 		}
 		fmt.Fprintf(out, "\n== sweep over k (|T|=3k/2, |E|=2k), %d reps ==\n\n", cfg.Reps)
-		sw, err := experiment.VaryK(cfg, ks)
+		sw, err := experiment.VaryK(ctx, cfg, ks)
 		if err != nil {
 			return err
 		}
@@ -141,7 +160,7 @@ func run(args []string, out io.Writer) error {
 	if wantT {
 		const k = 100
 		fmt.Fprintf(out, "\n== sweep over |T| (k=%d, |E|=2k), %d reps ==\n\n", k, cfg.Reps)
-		sw, err := experiment.VaryT(cfg, k, experiment.DefaultTFactors())
+		sw, err := experiment.VaryT(ctx, cfg, k, experiment.DefaultTFactors())
 		if err != nil {
 			return err
 		}
@@ -152,7 +171,7 @@ func run(args []string, out io.Writer) error {
 	if wantSens {
 		const k = 100
 		fmt.Fprintf(out, "\n== sensitivity: resources θ (k=%d) ==\n\n", k)
-		sw, err := experiment.VaryResources(cfg, k, experiment.DefaultThetas())
+		sw, err := experiment.VaryResources(ctx, cfg, k, experiment.DefaultThetas())
 		if err != nil {
 			return err
 		}
@@ -160,7 +179,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\n== sensitivity: locations (k=%d) ==\n\n", k)
-		sw, err = experiment.VaryLocations(cfg, k, experiment.DefaultLocationCounts())
+		sw, err = experiment.VaryLocations(ctx, cfg, k, experiment.DefaultLocationCounts())
 		if err != nil {
 			return err
 		}
@@ -168,7 +187,7 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "\n== sensitivity: competing events per interval (k=%d) ==\n\n", k)
-		sw, err = experiment.VaryCompeting(cfg, k, experiment.DefaultCompetingMeans())
+		sw, err = experiment.VaryCompeting(ctx, cfg, k, experiment.DefaultCompetingMeans())
 		if err != nil {
 			return err
 		}

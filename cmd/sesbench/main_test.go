@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,7 +18,7 @@ func TestRunFig1aSmall(t *testing.T) {
 		t.Skip("sweep is seconds-long")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "1a", "-scale", "small", "-reps", "1"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "1a", "-scale", "small", "-reps", "1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -39,7 +40,7 @@ func TestRunCSVOutput(t *testing.T) {
 	}
 	dir := t.TempDir()
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "1c", "-scale", "small", "-reps", "1", "-csv", dir}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "1c", "-scale", "small", "-reps", "1", "-csv", dir}, &out); err != nil {
 		t.Fatal(err)
 	}
 	for _, f := range []string{"fig1c.csv", "fig1d.csv"} {
@@ -60,7 +61,7 @@ func TestRunEnginesFig(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "BENCH_engine.json")
 	var out bytes.Buffer
-	if err := run([]string{"-fig", "engines", "-scale", "small", "-json", jsonPath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-fig", "engines", "-scale", "small", "-json", jsonPath}, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(jsonPath)
@@ -77,16 +78,46 @@ func TestRunEnginesFig(t *testing.T) {
 	}
 }
 
+func TestRunResolveFig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("session benchmark is seconds-long")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_resolve.json")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "resolve", "-scale", "small", "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"update_interest", "add_event", "add_competing", "cancel_event", "pin_event",
+		"initial_scores", "\"utility_match\": true",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("BENCH_resolve.json missing %q", want)
+		}
+	}
+	if strings.Contains(string(data), "\"utility_match\": false") {
+		t.Error("a scenario's utilities diverged")
+	}
+	if !strings.Contains(out.String(), "incremental Resolve vs from-scratch") {
+		t.Error("output missing the resolve table")
+	}
+}
+
 func TestRunParallelFlagsMatchSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is seconds-long")
 	}
 	// -workers and -par must leave the utility tables unchanged.
 	var serial, parallel bytes.Buffer
-	if err := run([]string{"-fig", "1a", "-scale", "small", "-reps", "1", "-workers", "1", "-par", "1"}, &serial); err != nil {
+	if err := run(context.Background(), []string{"-fig", "1a", "-scale", "small", "-reps", "1", "-workers", "1", "-par", "1"}, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-fig", "1a", "-scale", "small", "-reps", "1", "-workers", "4", "-par", "3"}, &parallel); err != nil {
+	if err := run(context.Background(), []string{"-fig", "1a", "-scale", "small", "-reps", "1", "-workers", "4", "-par", "3"}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	// Compare the utility table block: find it by title, then take
@@ -116,7 +147,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-wat"},
 	}
 	for _, args := range cases {
-		if err := run(args, &bytes.Buffer{}); err == nil {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}

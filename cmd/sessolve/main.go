@@ -4,41 +4,55 @@
 // Usage:
 //
 //	sessolve -instance inst.json [-algo grd] [-k K] [-seed S] [-show N]
-//	         [-workers W]
+//	         [-workers W] [-timeout D] [-progress]
 //
 // The instance file is produced by sesgen (or any tool emitting the
 // same JSON). -k 0 uses the instance's natural k = |E|/2 (the paper's
 // ratio). -show limits how many assignments are printed.
+//
+// -timeout bounds the solve with a context deadline: anytime
+// algorithms (grd, grdlazy, beam, localsearch, anneal) return their
+// feasible best-so-far schedule when it expires (marked "stopped:
+// deadline" in the output); the others abort with an error. Ctrl-C
+// cancels the solve promptly either way.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
+	"ses"
 	"ses/internal/dataset"
 	"ses/internal/solver"
 	"ses/internal/tablefmt"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "sessolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sessolve", flag.ContinueOnError)
 	instPath := fs.String("instance", "", "instance JSON file (required)")
-	algo := fs.String("algo", "grd", fmt.Sprintf("algorithm: %v", solver.Names()))
+	algo := fs.String("algo", "grd", fmt.Sprintf("algorithm: %v", ses.SolverNames()))
 	k := fs.Int("k", 0, "events to schedule (0 = |E|/2, the paper's ratio)")
 	seed := fs.Uint64("seed", 1, "seed for randomized algorithms")
 	show := fs.Int("show", 20, "max assignments to print")
 	workers := fs.Int("workers", 0, "goroutines for initial scoring (0 = all cores, 1 = serial; output is identical)")
+	timeout := fs.Duration("timeout", 0, "solve deadline (0 = none); anytime algorithms return their best-so-far")
+	progress := fs.Bool("progress", false, "stream one line per applied assignment to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,21 +71,40 @@ func run(args []string, out io.Writer) error {
 	if *k == 0 {
 		*k = inst.NumEvents() / 2
 	}
-	s, err := solver.NewWith(*algo, *seed, solver.Config{Workers: *workers})
+	opts := []ses.Option{ses.WithSeed(*seed), ses.WithWorkers(*workers)}
+	if *progress {
+		opts = append(opts, ses.WithProgress(func(p ses.Progress) {
+			fmt.Fprintf(os.Stderr, "%s: scheduled event %d at interval %d (%d so far)\n",
+				p.Solver, p.Event, p.Interval, p.Scheduled)
+		}))
+	}
+	s, err := ses.New(*algo, opts...)
 	if err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	fmt.Fprintf(out, "instance: %d users, %d intervals, %d candidate events, %d competing, θ=%g\n",
 		inst.NumUsers, inst.NumIntervals, inst.NumEvents(), len(inst.Competing), inst.Resources)
 	start := time.Now()
-	res, err := s.Solve(inst, *k)
+	res, err := s.Solve(ctx, inst, *k)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return fmt.Errorf("solve canceled: %w", err)
+		}
 		return err
 	}
 	elapsed := time.Since(start)
-	fmt.Fprintf(out, "%s scheduled %d/%d events in %s; expected attendance Ω = %.2f\n\n",
-		s.Name(), res.Schedule.Size(), *k, tablefmt.Duration(elapsed), res.Utility)
+	note := ""
+	if res.Stopped != "" {
+		note = fmt.Sprintf(" (stopped: %s)", res.Stopped)
+	}
+	fmt.Fprintf(out, "%s scheduled %d/%d events in %s%s; expected attendance Ω = %.2f\n\n",
+		s.Name(), res.Schedule.Size(), *k, tablefmt.Duration(elapsed), note, res.Utility)
 
 	// Print assignments by decreasing attendance.
 	type row struct {

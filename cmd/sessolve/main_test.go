@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -40,7 +41,7 @@ func writeInstance(t *testing.T) string {
 func TestRunSolvesInstance(t *testing.T) {
 	path := writeInstance(t)
 	var out bytes.Buffer
-	if err := run([]string{"-instance", path, "-algo", "grd", "-show", "3"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-instance", path, "-algo", "grd", "-show", "3"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -55,7 +56,7 @@ func TestRunAllAlgorithms(t *testing.T) {
 	path := writeInstance(t)
 	for _, algo := range []string{"grdlazy", "top", "rand", "localsearch", "spread", "online"} {
 		var out bytes.Buffer
-		if err := run([]string{"-instance", path, "-algo", algo, "-k", "4"}, &out); err != nil {
+		if err := run(context.Background(), []string{"-instance", path, "-algo", algo, "-k", "4"}, &out); err != nil {
 			t.Errorf("%s: %v", algo, err)
 		}
 	}
@@ -65,10 +66,10 @@ func TestRunWorkersFlagIdenticalOutput(t *testing.T) {
 	// -workers must not change anything the user sees.
 	path := writeInstance(t)
 	var serial, parallel bytes.Buffer
-	if err := run([]string{"-instance", path, "-algo", "grd", "-workers", "1"}, &serial); err != nil {
+	if err := run(context.Background(), []string{"-instance", path, "-algo", "grd", "-workers", "1"}, &serial); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-instance", path, "-algo", "grd", "-workers", "8"}, &parallel); err != nil {
+	if err := run(context.Background(), []string{"-instance", path, "-algo", "grd", "-workers", "8"}, &parallel); err != nil {
 		t.Fatal(err)
 	}
 	// The elapsed-time figure is wall clock; blank that line's timing
@@ -91,14 +92,14 @@ func TestRunWorkersFlagIdenticalOutput(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(nil, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), nil, &bytes.Buffer{}); err == nil {
 		t.Error("missing -instance accepted")
 	}
-	if err := run([]string{"-instance", "/nonexistent.json"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-instance", "/nonexistent.json"}, &bytes.Buffer{}); err == nil {
 		t.Error("nonexistent file accepted")
 	}
 	path := writeInstance(t)
-	if err := run([]string{"-instance", path, "-algo", "martian"}, &bytes.Buffer{}); err == nil {
+	if err := run(context.Background(), []string{"-instance", path, "-algo", "martian"}, &bytes.Buffer{}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 }

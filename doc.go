@@ -25,13 +25,28 @@
 //
 // # What the package provides
 //
-// The facade re-exports the pieces a downstream user needs:
+// The facade has two entry points for solving, plus the model and
+// data machinery around them:
 //
+//   - One-shot solving: New(name, opts...) builds any of the eleven
+//     registered algorithms (SolverNames lists them — the paper's GRD
+//     and its TOP/RAND baselines plus the lazy-greedy, exact,
+//     local-search, annealing, beam, online and spread extensions).
+//     Solve(ctx, inst, k) honors the context: cancellation returns
+//     promptly everywhere, and a deadline makes the anytime
+//     algorithms (grd, grdlazy, beam, localsearch, anneal) return
+//     their feasible best-so-far with Result.Stopped set.
+//   - Sessions: NewScheduler(inst, k, opts...) opens a mutable
+//     scheduling session — AddEvent, CancelEvent, UpdateInterest,
+//     AddCompeting, Pin, Forbid — whose Resolve(ctx) repairs the
+//     schedule incrementally, rescoring only what the mutations
+//     invalidated while matching from-scratch GRD exactly.
+//   - Functional options shared by both: WithWorkers, WithEngine,
+//     WithSeed, WithProgress. (The older per-algorithm constructors
+//     remain as deprecated wrappers.)
 //   - the problem model (Instance, Event, CompetingEvent, Schedule)
-//   - solvers: Greedy (the paper's GRD, Algorithm 1), LazyGreedy (same
-//     results, CELF-style heap), the paper's TOP and RAND baselines,
-//     and Exact / LocalSearch / Anneal extensions
-//   - utility evaluation (Utility, EventAttendance, AttendanceProb)
+//     and utility evaluation (Utility, EventAttendance,
+//     AttendanceProb)
 //   - a synthetic Meetup-like EBSN generator and the paper-parameter
 //     instance builder for experiments
 //   - σ (social activity) models, including an estimator from
@@ -70,19 +85,36 @@
 // experiment harness (ses/internal/experiment) additionally runs
 // independent trials and sensitivity points concurrently.
 //
-// From this facade, pass SolverConfig{Workers: N} to GreedyWith or
-// NewSolverWith; the sessolve and sesbench commands expose the same
-// knob as -workers.
+// The session layer (ses/internal/session, exposed as Scheduler)
+// sits on top of both: it keeps the instance, a warm engine (engines
+// implement Reset for in-place reuse) and the initial-score matrix of
+// the last solve. Mutations invalidate a precise slice of that matrix
+// — one event row for AddEvent/UpdateInterest, one interval column
+// for AddCompeting, nothing for CancelEvent/Pin/Forbid — and Resolve
+// patches the slice and reruns only the cheap greedy selection, which
+// is why it matches from-scratch GRD bit for bit (equivalence-tested)
+// at a fraction of the InitialScores.
+//
+// From this facade, pass WithWorkers(n) to New or NewScheduler; the
+// sessolve and sesbench commands expose the same knob as -workers.
 //
 // # Quick start
 //
 //	ds, _ := ses.GenerateEBSN(ses.EBSNConfig{Seed: 1, NumUsers: 2000,
 //	    NumEvents: 1000, NumTags: 2000, NumGroups: 50})
 //	inst, _ := ses.BuildInstance(ds, ses.PaperParams{K: 20, Seed: 1})
-//	res, _ := ses.Greedy().Solve(inst, 20)
+//	grd, _ := ses.New("grd", ses.WithWorkers(8))
+//	res, _ := grd.Solve(ctx, inst, 20)
 //	fmt.Printf("Ω = %.1f expected attendees\n", res.Utility)
 //
-// See examples/ for runnable programs and README.md for a quickstart,
-// the solver table and the command-line tools that reproduce the
-// paper's figures.
+// Or, for a living portfolio:
+//
+//	sched, _ := ses.NewScheduler(inst, 20)
+//	sched.Resolve(ctx)                        // full solve, cached
+//	id, _ := sched.AddEvent(ev, interest)     // a late booking
+//	delta, _ := sched.Resolve(ctx)            // incremental repair
+//
+// See examples/ (examples/booking walks the session workflow) and
+// README.md for a quickstart, the solver table and the command-line
+// tools that reproduce the paper's figures.
 package ses

@@ -1,0 +1,123 @@
+// Booking: a venue's scheduling desk as a long-lived session. The
+// organizer opens a ses.Scheduler over this season's lineup, then the
+// portfolio keeps changing — a late booking arrives, a rival venue
+// announces a show, an act cancels, a contract pins a headliner to a
+// specific night. After each change, Resolve repairs the schedule
+// incrementally: only the initial scores the mutation invalidated are
+// recomputed (watch the InitialScores counter), yet the result is
+// exactly what a from-scratch greedy solve would produce.
+//
+// The example also shows the context contract: a canceled context
+// aborts a resolve without touching the committed schedule, and a
+// deadline returns the feasible best-so-far with Delta.Stopped set.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"ses"
+)
+
+func main() {
+	ds, err := ses.GenerateEBSN(ses.EBSNConfig{
+		Seed:      3,
+		NumUsers:  3000,
+		NumEvents: 2048,
+		NumTags:   2000,
+		NumGroups: 120,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{
+		K: 12, Intervals: 16, CandidateEvents: 24, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sched, err := ses.NewScheduler(inst, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Opening solve: the full |E|·|T| scoring pass happens once.
+	d, err := sched.Resolve(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("season opened: %d events scheduled, Ω = %.1f (scored %d assignments)\n",
+		len(sched.Schedule()), d.Utility, d.Counters.InitialScores)
+
+	// A late booking request arrives: a popular act, broad appeal.
+	interest := map[int]float64{}
+	for u := 0; u < inst.NumUsers; u += 3 {
+		interest[u] = 0.6
+	}
+	late, err := sched.AddEvent(ses.Event{Location: 0, Required: 2, Name: "late-booking"}, interest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err = sched.Resolve(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("late booking #%d: +%d -%d moved %d, Ω = %.1f (rescored only %d)\n",
+		late, len(d.Added), len(d.Removed), len(d.Moved), d.Utility, d.Counters.InitialScores)
+
+	// A rival venue announces a show on our busiest night.
+	busiest := sched.Schedule()[0].Interval
+	if _, err := sched.AddCompeting(ses.CompetingEvent{Interval: busiest, Name: "rival-show"}, interest); err != nil {
+		log.Fatal(err)
+	}
+	d, err = sched.Resolve(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rival at interval %d: moved %d events, Ω = %.1f (rescored only %d)\n",
+		busiest, len(d.Moved), d.Utility, d.Counters.InitialScores)
+
+	// An act cancels; a contract pins the late booking to a fixed
+	// night. Neither invalidates a single cached score.
+	if err := sched.CancelEvent(sched.Schedule()[1].Event); err != nil {
+		log.Fatal(err)
+	}
+	if err := sched.Pin(late, busiest); err != nil {
+		log.Fatal(err)
+	}
+	d, err = sched.Resolve(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cancellation + pin: +%d -%d moved %d, Ω = %.1f (rescored %d)\n",
+		len(d.Added), len(d.Removed), len(d.Moved), d.Utility, d.Counters.InitialScores)
+
+	// A canceled context aborts without committing anything.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	before := sched.Utility()
+	if _, err := sched.Resolve(canceled); !errors.Is(err, context.Canceled) {
+		log.Fatalf("expected context.Canceled, got %v", err)
+	}
+	fmt.Printf("canceled resolve: schedule untouched (Ω still %.1f)\n", before)
+
+	// Deadlines work end to end on the one-shot solvers' side too:
+	// an anytime solver under deadline returns its best-so-far.
+	grd, err := ses.New("grd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	expired, cancel2 := context.WithDeadline(ctx, time.Now().Add(-time.Second))
+	defer cancel2()
+	res, err := grd.Solve(expired, sched.Instance(), 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("grd under expired deadline: stopped=%q with %d events — work preserved, not discarded\n",
+		res.Stopped, res.Schedule.Size())
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -35,12 +36,12 @@ func main() {
 		inst.NumEvents(), inst.NumIntervals, len(inst.Competing), inst.NumUsers)
 	fmt.Printf("%-14s %-12s %-10s %-10s\n", "solver", "utility", "time", "scheduled")
 	for _, name := range []string{"grd", "grdlazy", "top", "topfill", "rand", "localsearch", "anneal"} {
-		s, err := ses.NewSolver(name, 9)
+		s, err := ses.New(name, ses.WithSeed(9))
 		if err != nil {
 			log.Fatal(err)
 		}
 		start := time.Now()
-		res, err := s.Solve(inst, 30)
+		res, err := s.Solve(context.Background(), inst, 30)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,14 +56,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt, err := ses.ExactSolver().Solve(tiny, 4)
+	exact, err := ses.New("exact")
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := exact.Solve(context.Background(), tiny, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntoy instance (|E|=9, |T|=3, k=4): exact optimum Ω* = %.2f\n", opt.Utility)
 	for _, name := range []string{"grd", "top", "rand"} {
-		s, _ := ses.NewSolver(name, 9)
-		res, err := s.Solve(tiny, 4)
+		s, _ := ses.New(name, ses.WithSeed(9))
+		res, err := s.Solve(context.Background(), tiny, 4)
 		if err != nil {
 			log.Fatal(err)
 		}

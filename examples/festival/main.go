@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -77,7 +78,7 @@ func main() {
 	report(inst, naive, userName, []int{pop, fashion})
 
 	// GRD's plan for k = 2.
-	res, err := ses.Greedy().Solve(inst, 2)
+	res, err := grd().Solve(context.Background(), inst, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func main() {
 
 	// With k = 4 the resource budget (θ=10) and the shared main stage
 	// force real trade-offs: pop and rock cannot share a day.
-	res4, err := ses.Greedy().Solve(inst, 4)
+	res4, err := grd().Solve(context.Background(), inst, 4)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -142,4 +143,13 @@ func must(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// grd builds the greedy solver through the options facade.
+func grd() ses.Solver {
+	s, err := ses.New("grd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

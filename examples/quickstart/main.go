@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -41,7 +42,11 @@ func main() {
 		inst.NumUsers, inst.NumEvents(), inst.NumIntervals, len(inst.Competing))
 
 	// Schedule 15 events with the paper's greedy algorithm (GRD).
-	res, err := ses.Greedy().Solve(inst, 15)
+	grd, err := ses.New("grd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := grd.Solve(context.Background(), inst, 15)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +60,11 @@ func main() {
 	}
 
 	// How much better than just assigning randomly?
-	rnd, err := ses.Random(1).Solve(inst, 15)
+	random, err := ses.New("rand", ses.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rnd, err := random.Solve(context.Background(), inst, 15)
 	if err != nil {
 		log.Fatal(err)
 	}

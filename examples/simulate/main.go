@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := ses.Greedy().Solve(inst, 12)
+	res, err := grd().Solve(context.Background(), inst, 12)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,4 +72,13 @@ func main() {
 	for _, r := range rows {
 		fmt.Printf("%-12s %10.1f %12.1f %8.1f\n", r.name, r.analytic, r.simMean, r.simSD)
 	}
+}
+
+// grd builds the greedy solver through the options facade.
+func grd() ses.Solver {
+	s, err := ses.New("grd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,11 +58,11 @@ func main() {
 	socialInst := *inst
 	socialInst.CandInterest = socialMu
 
-	base, err := ses.Greedy().Solve(inst, 10)
+	base, err := grd().Solve(context.Background(), inst, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
-	soc, err := ses.Greedy().Solve(&socialInst, 10)
+	soc, err := grd().Solve(context.Background(), &socialInst, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,4 +93,13 @@ func main() {
 	fmt.Println("discounted toward their friends' average, which widens some audiences (friends")
 	fmt.Println("drag friends along), thins others, and reorders which events are worth running —")
 	fmt.Println("the same schedule optimized under one µ estimate is suboptimal under the other.")
+}
+
+// grd builds the greedy solver through the options facade.
+func grd() ses.Solver {
+	s, err := ses.New("grd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

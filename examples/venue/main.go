@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -99,7 +100,7 @@ func main() {
 	}
 
 	// 4. Schedule 8 nights.
-	res, err := ses.Greedy().Solve(inst, 8)
+	res, err := grd().Solve(context.Background(), inst, 8)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -120,4 +121,13 @@ func main() {
 		}
 	}
 	fmt.Printf("\nnights placed against the festival weekend: %d\n", festWeekend)
+}
+
+// grd builds the greedy solver through the options facade.
+func grd() ses.Solver {
+	s, err := ses.New("grd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return s
 }

@@ -1,6 +1,7 @@
 package ses_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestAllFacadeSolversOnOneInstance(t *testing.T) {
 		"spread":      ses.Spread(),
 	}
 	for name, s := range solvers {
-		res, err := s.Solve(inst, 8)
+		res, err := s.Solve(context.Background(), inst, 8)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -45,7 +46,7 @@ func TestFacadeSimulateMatchesUtility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ses.Greedy().Solve(inst, 6)
+	res, err := ses.Greedy().Solve(context.Background(), inst, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,11 +117,11 @@ func TestFacadeSolverConfigWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := ses.GreedyWith(ses.SolverConfig{Workers: 1}).Solve(inst, 8)
+	serial, err := ses.GreedyWith(ses.SolverConfig{Workers: 1}).Solve(context.Background(), inst, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := ses.GreedyWith(ses.SolverConfig{Workers: 8}).Solve(inst, 8)
+	parallel, err := ses.GreedyWith(ses.SolverConfig{Workers: 8}).Solve(context.Background(), inst, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFacadeSolverConfigWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := byName.Solve(inst, 8)
+	res, err := byName.Solve(context.Background(), inst, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,13 +141,157 @@ func TestFacadeSolverConfigWorkers(t *testing.T) {
 	}
 }
 
-func TestFacadeExactOnToyInstance(t *testing.T) {
-	inst := festivalInstance()
-	opt, err := ses.ExactSolver().Solve(inst, 2)
+func TestEveryRegisteredSolverThroughTheFacade(t *testing.T) {
+	// Drive every name in SolverNames() through both construction
+	// paths — the options-based New and the legacy NewSolverWith — on
+	// one small instance, and require matching results from the two.
+	ds := smallDataset(t)
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{K: 6, Intervals: 8, CandidateEvents: 12, Seed: 41})
 	if err != nil {
 		t.Fatal(err)
 	}
-	grd, err := ses.Greedy().Solve(inst, 2)
+	names := ses.SolverNames()
+	if len(names) != 11 {
+		t.Fatalf("registry has %d solvers, want 11: %v", len(names), names)
+	}
+	for _, name := range names {
+		s, err := ses.New(name, ses.WithSeed(7), ses.WithWorkers(2))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, s.Name())
+		}
+		res, err := s.Solve(context.Background(), inst, 6)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Schedule.CheckFeasible(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if want := ses.Utility(inst, res.Schedule); math.Abs(res.Utility-want) > 1e-9 {
+			t.Errorf("%s: reported %v, reference %v", name, res.Utility, want)
+		}
+		legacy, err := ses.NewSolverWith(name, 7, ses.SolverConfig{Workers: 2})
+		if err != nil {
+			t.Fatalf("NewSolverWith(%q): %v", name, err)
+		}
+		lres, err := legacy.Solve(context.Background(), inst, 6)
+		if err != nil {
+			t.Fatalf("%s (legacy): %v", name, err)
+		}
+		if lres.Utility != res.Utility {
+			t.Errorf("%s: New %v, NewSolverWith %v", name, res.Utility, lres.Utility)
+		}
+	}
+	if _, err := ses.New("bogus"); err == nil {
+		t.Error("unknown solver name accepted")
+	}
+}
+
+func TestFacadeEngineOption(t *testing.T) {
+	ds := smallDataset(t)
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{K: 5, Intervals: 6, CandidateEvents: 10, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := ses.New("grd", ses.WithEngine(ses.SparseEngine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := ses.New("grd", ses.WithEngine(ses.DenseEngine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sparse.Solve(context.Background(), inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dense.Solve(context.Background(), inst, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Utility-b.Utility) > 1e-9 {
+		t.Errorf("sparse %v vs dense %v", a.Utility, b.Utility)
+	}
+}
+
+func TestFacadeSchedulerLifecycle(t *testing.T) {
+	inst := festivalInstance()
+	var seen []ses.Progress
+	sched, err := ses.NewScheduler(inst, 2, ses.WithWorkers(1),
+		ses.WithProgress(func(p ses.Progress) { seen = append(seen, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := sched.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := ses.New("grd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := grd.Solve(context.Background(), inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Utility != res.Utility {
+		t.Fatalf("scheduler %v, grd %v", d.Utility, res.Utility)
+	}
+	if len(seen) != len(sched.Schedule()) {
+		t.Fatalf("%d progress events for %d assignments", len(seen), len(sched.Schedule()))
+	}
+	// Mutate: a rival pops up wherever the pop concert landed; the
+	// re-solve must be incremental (|E| rescored entries, one column).
+	popAt := sched.Schedule()[0].Interval
+	if _, err := sched.AddCompeting(ses.CompetingEvent{Interval: popAt, Name: "flash-mob"},
+		map[int]float64{0: 0.9, 1: 0.9, 2: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sched.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := sched.Instance().NumEvents(); d2.Counters.InitialScores != want {
+		t.Errorf("incremental resolve scored %d entries, want %d", d2.Counters.InitialScores, want)
+	}
+	if d2.Utility != ses.Utility(sched.Instance(), rebuildSchedule(t, sched)) {
+		t.Error("delta utility disagrees with reference")
+	}
+	// Cancellation mid-session must not lose the committed schedule.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := sched.Schedule()
+	if _, err := sched.Resolve(ctx); err == nil {
+		t.Fatal("canceled resolve succeeded")
+	}
+	after := sched.Schedule()
+	if len(before) != len(after) {
+		t.Fatal("canceled resolve changed the schedule")
+	}
+}
+
+// rebuildSchedule materializes the scheduler's committed assignments
+// as a core schedule for reference evaluation.
+func rebuildSchedule(t *testing.T, sched *ses.Scheduler) *ses.Schedule {
+	t.Helper()
+	s := ses.NewSchedule(sched.Instance())
+	for _, a := range sched.Schedule() {
+		if err := s.Assign(a.Event, a.Interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestFacadeExactOnToyInstance(t *testing.T) {
+	inst := festivalInstance()
+	opt, err := ses.ExactSolver().Solve(context.Background(), inst, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grd, err := ses.Greedy().Solve(context.Background(), inst, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,6 +74,18 @@ type Engine interface {
 	Fork() Engine
 }
 
+// Reuser is implemented by engines that can return to an empty
+// schedule in place, keeping their allocated storage (schedule
+// backing arrays, mass accumulators, scratch buffers) warm across
+// solves. Reset assumes the instance's events, competing events and
+// interest matrices are the ones the engine was built against;
+// callers that mutated any of those must rebuild the engine instead.
+// The session layer (ses.Scheduler) resets between re-solves and
+// rebuilds only after structural mutations.
+type Reuser interface {
+	Reset()
+}
+
 // FillRoundRobin applies valid assignments in a fixed deterministic
 // pattern — events in order, intervals round-robin, skipping invalid
 // pairs — until max events are scheduled or the events are exhausted.

@@ -151,6 +151,19 @@ func (e *Dense) Unapply(event int) error {
 	return nil
 }
 
+// Reset empties the schedule and zeroes the scheduled-mass arrays in
+// place; the competing mass and µ rows depend only on the instance
+// and are kept.
+func (e *Dense) Reset() {
+	e.sched.Reset()
+	for t := range e.pmass {
+		if e.pmass[t] != nil {
+			clear(e.pmass[t])
+		}
+		e.hwm[t] = 0
+	}
+}
+
 // EventAttendance returns ω (Eq. 2) of a scheduled event.
 func (e *Dense) EventAttendance(event int) float64 {
 	t := e.sched.IntervalOf(event)

@@ -70,6 +70,9 @@ func (e *Ref) IntervalUtility(t int) float64 {
 	return ReferenceIntervalUtility(e.inst, e.sched, t)
 }
 
+// Reset empties the schedule; the oracle has no other state.
+func (e *Ref) Reset() { e.sched.Reset() }
+
 // Fork clones the schedule; the oracle has no other state.
 func (e *Ref) Fork() Engine { return &Ref{inst: e.inst, sched: e.sched.Clone()} }
 

@@ -1,0 +1,70 @@
+package choice
+
+import (
+	"math"
+	"testing"
+
+	"ses/internal/sestest"
+)
+
+// TestResetMatchesFreshEngine is the Reuser contract: after any fill,
+// Reset must make the engine bit-identical (in behavior) to a freshly
+// built one — empty schedule, zero utility, and the same scores for
+// the whole E×T cross product.
+func TestResetMatchesFreshEngine(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 5, Events: 10, Intervals: 4})
+		for name, eng := range newEngines(inst) {
+			r, ok := eng.(Reuser)
+			if !ok {
+				t.Fatalf("%s does not implement Reuser", name)
+			}
+			greedyFill(eng, 6)
+			r.Reset()
+			if eng.Schedule().Size() != 0 {
+				t.Fatalf("seed %d %s: schedule not empty after Reset", seed, name)
+			}
+			if err := eng.Schedule().CheckFeasible(); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, name, err)
+			}
+			if u := eng.Utility(); u != 0 {
+				t.Errorf("seed %d %s: utility %v after Reset", seed, name, u)
+			}
+			fresh := newEngines(inst)[name]
+			for e := 0; e < inst.NumEvents(); e++ {
+				for ti := 0; ti < inst.NumIntervals; ti++ {
+					if got, want := eng.Score(e, ti), fresh.Score(e, ti); got != want {
+						t.Fatalf("seed %d %s: Score(%d,%d) = %v after Reset, fresh %v",
+							seed, name, e, ti, got, want)
+					}
+				}
+			}
+			// The reset engine must be fully usable for a second solve.
+			greedyFill(eng, 6)
+			greedyFill(fresh, 6)
+			if got, want := eng.Utility(), fresh.Utility(); math.Abs(got-want) > eps {
+				t.Errorf("seed %d %s: second-solve utility %v, fresh %v", seed, name, got, want)
+			}
+		}
+	}
+}
+
+// TestResetRepeatedlyIsStable guards the accumulator reuse: many
+// fill/Reset cycles must not let residual state leak across cycles.
+func TestResetRepeatedlyIsStable(t *testing.T) {
+	inst := sestest.Random(sestest.Config{Seed: 9, Competing: 4, Events: 8, Intervals: 3})
+	for name, eng := range newEngines(inst) {
+		r := eng.(Reuser)
+		var first float64
+		for cycle := 0; cycle < 5; cycle++ {
+			greedyFill(eng, 5)
+			u := eng.Utility()
+			if cycle == 0 {
+				first = u
+			} else if u != first {
+				t.Fatalf("%s: cycle %d utility %v, first cycle %v", name, cycle, u, first)
+			}
+			r.Reset()
+		}
+	}
+}

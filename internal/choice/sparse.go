@@ -310,6 +310,18 @@ func (e *Sparse) Unapply(event int) error {
 	return nil
 }
 
+// Reset empties the schedule and the scheduled-mass accumulators in
+// place, keeping their storage (and the competing-mass aggregates,
+// which depend only on the instance) for the next solve.
+func (e *Sparse) Reset() {
+	e.sched.Reset()
+	for t := range e.pmass {
+		acc := e.pmass[t]
+		e.pmass[t] = massVector{ids: acc.ids[:0], vals: acc.vals[:0]}
+		e.hwm[t] = 0
+	}
+}
+
 // EventAttendance returns ω (Eq. 2) of a scheduled event, 0 if
 // unassigned.
 func (e *Sparse) EventAttendance(event int) float64 {

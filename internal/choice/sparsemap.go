@@ -120,6 +120,16 @@ func (e *SparseMap) Unapply(event int) error {
 	return nil
 }
 
+// Reset empties the schedule and clears the scheduled-mass maps in
+// place, keeping them allocated for the next solve.
+func (e *SparseMap) Reset() {
+	e.sched.Reset()
+	for t := range e.pmass {
+		clear(e.pmass[t])
+		e.hwm[t] = 0
+	}
+}
+
 // EventAttendance returns ω (Eq. 2) of a scheduled event, 0 if
 // unassigned.
 func (e *SparseMap) EventAttendance(event int) float64 {

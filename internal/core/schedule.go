@@ -159,6 +159,22 @@ func (s *Schedule) Unassign(e int) error {
 	return nil
 }
 
+// Reset empties the schedule in place, keeping the allocated
+// per-interval storage (event lists, location maps) warm for the next
+// fill. Session-style callers that re-solve against the same instance
+// use it to avoid reallocating schedules between solves.
+func (s *Schedule) Reset() {
+	for e := range s.byEvent {
+		s.byEvent[e] = Unassigned
+	}
+	for t := range s.byInterval {
+		s.byInterval[t] = s.byInterval[t][:0]
+		s.usedRes[t] = 0
+		clear(s.locUse[t])
+	}
+	s.size = 0
+}
+
 // Assignments returns the schedule as a sorted (by event) slice of
 // assignments.
 func (s *Schedule) Assignments() []Assignment {

@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -118,11 +119,11 @@ func TestBuildInstanceDeterministic(t *testing.T) {
 		}
 	}
 	// And solvable deterministically end to end.
-	ra, err := solver.NewGRD(solver.Config{}).Solve(a, 4)
+	ra, err := solver.NewGRD(solver.Config{}).Solve(context.Background(), a, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := solver.NewGRD(solver.Config{}).Solve(b, 4)
+	rb, err := solver.NewGRD(solver.Config{}).Solve(context.Background(), b, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,11 +198,11 @@ func TestInstanceRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The loaded instance must produce the same GRD result.
-	ra, err := solver.NewGRD(solver.Config{}).Solve(inst, 4)
+	ra, err := solver.NewGRD(solver.Config{}).Solve(context.Background(), inst, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rb, err := solver.NewGRD(solver.Config{}).Solve(got, 4)
+	rb, err := solver.NewGRD(solver.Config{}).Solve(context.Background(), got, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

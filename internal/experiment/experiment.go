@@ -19,6 +19,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -145,7 +146,7 @@ type trialOut struct {
 // runs every configured algorithm on it. It touches no shared state
 // except the (mutex-guarded) progress writer, so trials can run
 // concurrently.
-func runTrial(cfg Config, p dataset.PaperParams, x, rep int, progressMu *sync.Mutex) trialOut {
+func runTrial(ctx context.Context, cfg Config, p dataset.PaperParams, x, rep int, progressMu *sync.Mutex) trialOut {
 	p.Seed = cfg.Seed + uint64(rep)*1000003
 	inst, err := dataset.BuildInstance(cfg.Dataset, p)
 	if err != nil {
@@ -155,7 +156,7 @@ func runTrial(cfg Config, p dataset.PaperParams, x, rep int, progressMu *sync.Mu
 	for ai, a := range cfg.Algorithms {
 		s := a.Build(p.Seed ^ 0xa1)
 		start := time.Now()
-		res, err := s.Solve(inst, p.K)
+		res, err := s.Solve(ctx, inst, p.K)
 		elapsed := time.Since(start)
 		if err != nil {
 			return trialOut{err: fmt.Errorf("experiment: %s (x=%d rep=%d): %w", a.Name, x, rep, err)}
@@ -173,8 +174,10 @@ func runTrial(cfg Config, p dataset.PaperParams, x, rep int, progressMu *sync.Mu
 
 // sweepPoints runs the full (point × repetition) trial grid — fanned
 // out over cfg.Concurrency goroutines — and folds the results into a
-// Sweep in deterministic (point, repetition) order.
-func sweepPoints(cfg Config, label string, pts []dataset.PaperParams, xs []int) (*Sweep, error) {
+// Sweep in deterministic (point, repetition) order. ctx flows into
+// every solver run, so canceling it aborts a sweep mid-grid with the
+// first trial's ctx error.
+func sweepPoints(ctx context.Context, cfg Config, label string, pts []dataset.PaperParams, xs []int) (*Sweep, error) {
 	cfg = cfg.normalize()
 	sw := &Sweep{Label: label, Algorithms: names(cfg.Algorithms)}
 	nP, nR := len(pts), cfg.Reps
@@ -194,7 +197,7 @@ func sweepPoints(cfg Config, label string, pts []dataset.PaperParams, xs []int) 
 	}
 	if workers <= 1 {
 		for idx := range results {
-			results[idx] = runTrial(cfg, pts[idx/nR], xs[idx/nR], idx%nR, &progressMu)
+			results[idx] = runTrial(ctx, cfg, pts[idx/nR], xs[idx/nR], idx%nR, &progressMu)
 			if results[idx].err != nil {
 				break
 			}
@@ -211,7 +214,7 @@ func sweepPoints(cfg Config, label string, pts []dataset.PaperParams, xs []int) 
 					if idx >= len(results) {
 						return
 					}
-					results[idx] = runTrial(cfg, pts[idx/nR], xs[idx/nR], idx%nR, &progressMu)
+					results[idx] = runTrial(ctx, cfg, pts[idx/nR], xs[idx/nR], idx%nR, &progressMu)
 					if results[idx].err != nil {
 						failed.Store(true)
 						return
@@ -247,7 +250,7 @@ func sweepPoints(cfg Config, label string, pts []dataset.PaperParams, xs []int) 
 
 // VaryK reproduces the Fig. 1a/1b sweep: for each k, |E| = 2k and
 // |T| = 3k/2 per the paper's setup.
-func VaryK(cfg Config, ks []int) (*Sweep, error) {
+func VaryK(ctx context.Context, cfg Config, ks []int) (*Sweep, error) {
 	pts := make([]dataset.PaperParams, 0, len(ks))
 	for _, k := range ks {
 		p := cfg.Params
@@ -256,12 +259,12 @@ func VaryK(cfg Config, ks []int) (*Sweep, error) {
 		p.CandidateEvents = 2 * k
 		pts = append(pts, p)
 	}
-	return sweepPoints(cfg, "k", pts, ks)
+	return sweepPoints(ctx, cfg, "k", pts, ks)
 }
 
 // VaryT reproduces the Fig. 1c/1d sweep: k fixed (default 100),
 // |T| swept as a multiple of k from k/5 to 3k.
-func VaryT(cfg Config, k int, factors []float64) (*Sweep, error) {
+func VaryT(ctx context.Context, cfg Config, k int, factors []float64) (*Sweep, error) {
 	pts := make([]dataset.PaperParams, 0, len(factors))
 	xs := make([]int, 0, len(factors))
 	for _, f := range factors {
@@ -275,7 +278,7 @@ func VaryT(cfg Config, k int, factors []float64) (*Sweep, error) {
 		pts = append(pts, p)
 		xs = append(xs, p.Intervals)
 	}
-	return sweepPoints(cfg, "|T|", pts, xs)
+	return sweepPoints(ctx, cfg, "|T|", pts, xs)
 }
 
 // DefaultKs is the paper's k sweep (default 100, maximum 500).

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -27,7 +28,7 @@ func testDataset(t testing.TB) *ebsn.Dataset {
 
 func TestVaryKShapesAndOrdering(t *testing.T) {
 	ds := testDataset(t)
-	sw, err := VaryK(Config{Dataset: ds, Reps: 2, Seed: 11}, []int{10, 20})
+	sw, err := VaryK(context.Background(), Config{Dataset: ds, Reps: 2, Seed: 11}, []int{10, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestVaryKShapesAndOrdering(t *testing.T) {
 
 func TestVaryTUsesRequestedFactors(t *testing.T) {
 	ds := testDataset(t)
-	sw, err := VaryT(Config{Dataset: ds, Reps: 1, Seed: 5}, 10, []float64{0.5, 2})
+	sw, err := VaryT(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 5}, 10, []float64{0.5, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestVaryTUsesRequestedFactors(t *testing.T) {
 
 func TestSweepTableAndChart(t *testing.T) {
 	ds := testDataset(t)
-	sw, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 7}, []int{8, 16})
+	sw, err := VaryK(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 7}, []int{8, 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestSweepTableAndChart(t *testing.T) {
 func TestProgressStream(t *testing.T) {
 	ds := testDataset(t)
 	var progress bytes.Buffer
-	_, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 2, Progress: &progress}, []int{6})
+	_, err := VaryK(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 2, Progress: &progress}, []int{6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestProgressStream(t *testing.T) {
 
 func TestExtendedAlgorithmsRun(t *testing.T) {
 	ds := testDataset(t)
-	sw, err := VaryK(Config{Dataset: ds, Reps: 1, Seed: 9, Algorithms: ExtendedAlgorithms(solver.Config{})}, []int{8})
+	sw, err := VaryK(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 9, Algorithms: ExtendedAlgorithms(solver.Config{})}, []int{8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,11 +152,11 @@ func TestConcurrentTrialsMatchSerial(t *testing.T) {
 	// harness folds results in (point, repetition) order regardless of
 	// completion order. Timings are excluded (they are wall-clock).
 	ds := testDataset(t)
-	serial, err := VaryK(Config{Dataset: ds, Reps: 2, Seed: 13, Concurrency: 1}, []int{8, 12})
+	serial, err := VaryK(context.Background(), Config{Dataset: ds, Reps: 2, Seed: 13, Concurrency: 1}, []int{8, 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	conc, err := VaryK(Config{Dataset: ds, Reps: 2, Seed: 13, Concurrency: 4}, []int{8, 12})
+	conc, err := VaryK(context.Background(), Config{Dataset: ds, Reps: 2, Seed: 13, Concurrency: 4}, []int{8, 12})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestConcurrentSensitivitySweep(t *testing.T) {
 	// The sensitivity sweeps share the same trial grid; exercise one
 	// of them with concurrency to keep the path under -race coverage.
 	ds := testDataset(t)
-	sw, err := VaryLocations(Config{Dataset: ds, Reps: 1, Seed: 3, Concurrency: 3}, 8, []int{2, 5, 10})
+	sw, err := VaryLocations(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 3, Concurrency: 3}, 8, []int{2, 5, 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ses/internal/dataset"
@@ -25,7 +26,7 @@ import (
 // the Fig. 1 sweeps.
 
 // VaryResources sweeps the organizer's per-interval budget θ.
-func VaryResources(cfg Config, k int, thetas []float64) (*Sweep, error) {
+func VaryResources(ctx context.Context, cfg Config, k int, thetas []float64) (*Sweep, error) {
 	pts := make([]dataset.PaperParams, 0, len(thetas))
 	xs := make([]int, 0, len(thetas))
 	for _, th := range thetas {
@@ -38,11 +39,11 @@ func VaryResources(cfg Config, k int, thetas []float64) (*Sweep, error) {
 		pts = append(pts, p)
 		xs = append(xs, int(th))
 	}
-	return sweepPoints(cfg, "θ", pts, xs)
+	return sweepPoints(ctx, cfg, "θ", pts, xs)
 }
 
 // VaryLocations sweeps the number of available event locations.
-func VaryLocations(cfg Config, k int, locations []int) (*Sweep, error) {
+func VaryLocations(ctx context.Context, cfg Config, k int, locations []int) (*Sweep, error) {
 	pts := make([]dataset.PaperParams, 0, len(locations))
 	for _, l := range locations {
 		if l <= 0 {
@@ -53,12 +54,12 @@ func VaryLocations(cfg Config, k int, locations []int) (*Sweep, error) {
 		p.Locations = l
 		pts = append(pts, p)
 	}
-	return sweepPoints(cfg, "locations", pts, locations)
+	return sweepPoints(ctx, cfg, "locations", pts, locations)
 }
 
 // VaryCompeting sweeps the mean number of competing events per
 // interval around the paper's measured 8.1.
-func VaryCompeting(cfg Config, k int, means []float64) (*Sweep, error) {
+func VaryCompeting(ctx context.Context, cfg Config, k int, means []float64) (*Sweep, error) {
 	pts := make([]dataset.PaperParams, 0, len(means))
 	xs := make([]int, 0, len(means))
 	for _, m := range means {
@@ -71,7 +72,7 @@ func VaryCompeting(cfg Config, k int, means []float64) (*Sweep, error) {
 		pts = append(pts, p)
 		xs = append(xs, int(m))
 	}
-	return sweepPoints(cfg, "competing/interval", pts, xs)
+	return sweepPoints(ctx, cfg, "competing/interval", pts, xs)
 }
 
 // DefaultThetas spans scarce (single event per interval) to abundant.

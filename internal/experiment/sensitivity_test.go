@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 )
 
@@ -10,7 +11,7 @@ func TestVaryResourcesFlatAboveSaturation(t *testing.T) {
 	// within a few percent for GRD (both are far above mean ξ ≈ 3.8,
 	// so the constraint rarely binds).
 	ds := testDataset(t)
-	sw, err := VaryResources(Config{Dataset: ds, Reps: 1, Seed: 21}, 20, []float64{30, 50})
+	sw, err := VaryResources(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 21}, 20, []float64{30, 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +34,7 @@ func TestVaryResourcesMonotoneFromScarcity(t *testing.T) {
 	// GRD utility must not decrease (a larger budget only relaxes the
 	// feasible set).
 	ds := testDataset(t)
-	sw, err := VaryResources(Config{Dataset: ds, Reps: 1, Seed: 22}, 20, []float64{4, 20})
+	sw, err := VaryResources(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 22}, 20, []float64{4, 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestVaryLocations(t *testing.T) {
 	// One shared location forces ≤ |T| events total and throttles
 	// utility relative to 25 locations.
 	ds := testDataset(t)
-	sw, err := VaryLocations(Config{Dataset: ds, Reps: 1, Seed: 23}, 20, []int{1, 25})
+	sw, err := VaryLocations(context.Background(), Config{Dataset: ds, Reps: 1, Seed: 23}, 20, []int{1, 25})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestVaryCompetingErodesUtility(t *testing.T) {
 	cfg := Config{Dataset: ds, Reps: 2, Seed: 24}
 	cfg.Params.Intervals = 8
 	cfg.Params.CandidateEvents = 40
-	sw, err := VaryCompeting(cfg, 20, []float64{1, 32})
+	sw, err := VaryCompeting(context.Background(), cfg, 20, []float64{1, 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,13 +83,13 @@ func TestVaryCompetingErodesUtility(t *testing.T) {
 
 func TestSensitivityValidation(t *testing.T) {
 	ds := testDataset(t)
-	if _, err := VaryResources(Config{Dataset: ds, Reps: 1}, 5, []float64{0}); err == nil {
+	if _, err := VaryResources(context.Background(), Config{Dataset: ds, Reps: 1}, 5, []float64{0}); err == nil {
 		t.Error("θ=0 accepted")
 	}
-	if _, err := VaryLocations(Config{Dataset: ds, Reps: 1}, 5, []int{0}); err == nil {
+	if _, err := VaryLocations(context.Background(), Config{Dataset: ds, Reps: 1}, 5, []int{0}); err == nil {
 		t.Error("0 locations accepted")
 	}
-	if _, err := VaryCompeting(Config{Dataset: ds, Reps: 1}, 5, []float64{-1}); err == nil {
+	if _, err := VaryCompeting(context.Background(), Config{Dataset: ds, Reps: 1}, 5, []float64{-1}); err == nil {
 		t.Error("negative competing mean accepted")
 	}
 }

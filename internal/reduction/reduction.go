@@ -21,6 +21,7 @@
 package reduction
 
 import (
+	"context"
 	"fmt"
 
 	"ses/internal/activity"
@@ -144,7 +145,7 @@ func SolveViaSES(m MKPI) (float64, error) {
 	}
 	// Exact optimizes schedules of size up to k; with k = n it
 	// searches all feasible packings.
-	res, err := solver.NewExact(solver.Config{}).Solve(inst, len(m.Items))
+	res, err := solver.NewExact(solver.Config{}).Solve(context.Background(), inst, len(m.Items))
 	if err != nil {
 		return 0, err
 	}

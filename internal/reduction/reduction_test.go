@@ -1,6 +1,7 @@
 package reduction
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -191,7 +192,7 @@ func TestGreedyIsNotAlwaysOptimalOnReducedInstances(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grd, err := solver.NewGRD(solver.Config{}).Solve(inst, 3)
+	grd, err := solver.NewGRD(solver.Config{}).Solve(context.Background(), inst, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,722 @@
+// Package session implements the mutable scheduling session behind
+// ses.Scheduler: a long-lived owner of one SES instance that absorbs
+// portfolio mutations (new events, cancellations, interest updates,
+// new competition, pinned or forbidden assignments) and re-solves
+// incrementally.
+//
+// The key observation is that the expensive phase of the greedy
+// solver — the |E|·|T| initial (empty-schedule) assignment scores of
+// Algorithm 1, lines 2–4 — depends only on per-event interest rows,
+// per-interval competing mass and the activity model, never on the
+// previous solution. Each mutation therefore invalidates a precise
+// slice of the cached score matrix:
+//
+//   - AddEvent / UpdateInterest: one event row (|T| entries)
+//   - AddCompeting: one interval column (|E| entries)
+//   - CancelEvent / Pin / Forbid: nothing at all
+//
+// Resolve patches exactly the invalidated slice, then reruns the
+// greedy *selection* phase (cheap: O(k) pops and same-interval
+// updates) over the patched matrix under the session's constraints.
+// Because the patched matrix is bit-identical to a from-scratch
+// rescore, the resulting schedule and utility are exactly those of
+// from-scratch GRD on the mutated instance — with InitialScores
+// reduced from |E|·|T| to the invalidated slice. The equivalence is
+// enforced by tests, not just argued.
+package session
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+	"ses/internal/interest"
+	"ses/internal/solver"
+)
+
+// Options configures a Scheduler; the zero value is usable.
+type Options struct {
+	// Workers is the scoring fan-out width (0 = GOMAXPROCS, 1 =
+	// serial); results are identical for any value.
+	Workers int
+	// Engine builds the choice engine (nil = the sparse production
+	// engine).
+	Engine solver.EngineFactory
+	// Seed is reserved for randomized repair strategies; the greedy
+	// repair is deterministic and ignores it.
+	Seed uint64
+	// Progress, when non-nil, receives one notification per
+	// assignment applied during Resolve (pins included), from the
+	// goroutine running Resolve while the session lock is held — the
+	// callback must not call back into the Scheduler.
+	Progress func(solver.Progress)
+}
+
+// Move records one event that changed interval between two resolves.
+type Move struct {
+	Event    int
+	From, To int
+}
+
+// Delta describes how one Resolve changed the committed schedule.
+type Delta struct {
+	// Added lists assignments present now but not before.
+	Added []core.Assignment
+	// Removed lists assignments present before but not now.
+	Removed []core.Assignment
+	// Moved lists events scheduled in both but at different intervals.
+	Moved []Move
+	// Utility is Ω of the new schedule.
+	Utility float64
+	// Stopped is solver.StoppedDeadline when the context deadline
+	// expired during selection and the committed schedule is the
+	// feasible best-so-far; empty for a complete resolve.
+	Stopped string
+	// Counters is the work of this resolve only. InitialScores covers
+	// just the score-matrix slice invalidated by the mutations since
+	// the previous resolve (the full |E|·|T| on the first).
+	Counters solver.Counters
+}
+
+// Scheduler is a mutable scheduling session. It owns a private copy
+// of the instance, a warm choice engine, and the initial-score cache;
+// mutations are cheap bookkeeping and Resolve re-solves incrementally
+// up to k events (pins are hard constraints and may exceed k).
+// All methods are safe for concurrent use; Resolve holds the session
+// lock for the duration of the solve, serializing with mutations.
+type Scheduler struct {
+	mu   sync.Mutex
+	opts Options
+	k    int
+
+	inst      *core.Instance
+	cancelled []bool
+	pins      map[int]int          // event -> pinned interval
+	forbidden map[int]map[int]bool // event -> forbidden intervals
+
+	eng      choice.Engine
+	engDirty bool // instance structure/content changed since eng was built
+
+	cache          []float64 // initial scores [t*nE+e] at last commit
+	cacheEvents    int       // nE when the cache was committed
+	cacheValid     bool
+	dirtyEvents    map[int]bool
+	dirtyIntervals map[int]bool
+	// matBuf and listBuf recycle the score-matrix and worklist
+	// storage across resolves (matBuf double-buffers against cache),
+	// keeping the steady-state repair path allocation-light like the
+	// warm engine underneath it.
+	matBuf  []float64
+	listBuf []entry
+
+	cur     []core.Assignment
+	curUtil float64
+	totals  solver.Counters
+}
+
+// New starts a session over a private copy of inst, targeting
+// schedules of up to k events. The caller's inst is not retained:
+// later mutations affect only the session's copy.
+func New(inst *core.Instance, k int, opts Options) (*Scheduler, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("session: %w: %d", solver.ErrNegativeK, k)
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	cp := &core.Instance{
+		NumUsers:     inst.NumUsers,
+		NumIntervals: inst.NumIntervals,
+		Resources:    inst.Resources,
+		Events:       append([]core.Event(nil), inst.Events...),
+		Competing:    append([]core.CompetingEvent(nil), inst.Competing...),
+		CandInterest: copyMatrix(inst.CandInterest),
+		CompInterest: copyMatrix(inst.CompInterest),
+		Activity:     inst.Activity,
+	}
+	return &Scheduler{
+		opts:           opts,
+		k:              k,
+		inst:           cp,
+		cancelled:      make([]bool, len(cp.Events)),
+		pins:           make(map[int]int),
+		forbidden:      make(map[int]map[int]bool),
+		dirtyEvents:    make(map[int]bool),
+		dirtyIntervals: make(map[int]bool),
+	}, nil
+}
+
+// copyMatrix shallow-copies the row table; the sparse row vectors are
+// immutable and shared. Mutations always install fresh rows.
+func copyMatrix(m *interest.Matrix) *interest.Matrix {
+	cp := interest.NewMatrix(m.NumUsers, m.NumEvents())
+	for e := 0; e < m.NumEvents(); e++ {
+		cp.SetRow(e, m.Row(e))
+	}
+	return cp
+}
+
+// engineFactory resolves the engine option.
+func (s *Scheduler) engineFactory() solver.EngineFactory {
+	if s.opts.Engine != nil {
+		return s.opts.Engine
+	}
+	return solver.DefaultEngine
+}
+
+// K returns the current schedule-size target.
+func (s *Scheduler) K() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.k
+}
+
+// SetK retargets the session to schedules of up to k events. No
+// scores are invalidated: k only affects selection.
+func (s *Scheduler) SetK(k int) error {
+	if k < 0 {
+		return fmt.Errorf("session: %w: %d", solver.ErrNegativeK, k)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.k = k
+	return nil
+}
+
+// Instance returns a point-in-time snapshot of the session's
+// instance for inspection (utility evaluation, reporting). The
+// snapshot shares only immutable row vectors with the session, so it
+// stays safe to read while other goroutines keep mutating the
+// Scheduler. Mutate through the Scheduler methods so invalidation
+// stays precise.
+func (s *Scheduler) Instance() *core.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return &core.Instance{
+		NumUsers:     s.inst.NumUsers,
+		NumIntervals: s.inst.NumIntervals,
+		Resources:    s.inst.Resources,
+		Events:       append([]core.Event(nil), s.inst.Events...),
+		Competing:    append([]core.CompetingEvent(nil), s.inst.Competing...),
+		CandInterest: copyMatrix(s.inst.CandInterest),
+		CompInterest: copyMatrix(s.inst.CompInterest),
+		Activity:     s.inst.Activity,
+	}
+}
+
+// Schedule returns the committed schedule of the last successful
+// Resolve (nil before the first).
+func (s *Scheduler) Schedule() []core.Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Assignment(nil), s.cur...)
+}
+
+// Utility returns Ω of the committed schedule.
+func (s *Scheduler) Utility() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.curUtil
+}
+
+// Counters returns the cumulative work across all resolves.
+func (s *Scheduler) Counters() solver.Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.totals
+}
+
+// AddEvent adds a candidate event with the given per-user interest
+// (user -> µ ∈ [0,1]) and returns its event id. Only the new event's
+// |T| initial scores are invalidated.
+func (s *Scheduler) AddEvent(ev core.Event, mu map[int]float64) (int, error) {
+	if ev.Location < 0 {
+		return 0, fmt.Errorf("session: AddEvent: negative location %d", ev.Location)
+	}
+	if ev.Required < 0 {
+		return 0, fmt.Errorf("session: AddEvent: negative required resources %v", ev.Required)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	row, err := s.buildRow(mu)
+	if err != nil {
+		return 0, fmt.Errorf("session: AddEvent: %w", err)
+	}
+	id := len(s.inst.Events)
+	s.inst.Events = append(s.inst.Events, ev)
+	s.inst.CandInterest.ByEvent = append(s.inst.CandInterest.ByEvent, row)
+	s.cancelled = append(s.cancelled, false)
+	s.dirtyEvents[id] = true
+	s.engDirty = true
+	return id, nil
+}
+
+// buildRow validates and sorts a user->µ map into a sparse row.
+func (s *Scheduler) buildRow(mu map[int]float64) (interest.SparseVector, error) {
+	ids := make([]int32, 0, len(mu))
+	vals := make([]float64, 0, len(mu))
+	for u, v := range mu {
+		if u < 0 || u >= s.inst.NumUsers {
+			return interest.SparseVector{}, fmt.Errorf("user %d outside [0,%d)", u, s.inst.NumUsers)
+		}
+		if v < 0 || v > 1 {
+			return interest.SparseVector{}, fmt.Errorf("µ = %v for user %d outside [0,1]", v, u)
+		}
+		ids = append(ids, int32(u))
+		vals = append(vals, v)
+	}
+	return interest.NewSparseVector(ids, vals)
+}
+
+// CancelEvent withdraws a candidate event: it leaves the schedule at
+// the next Resolve and is never selected again. No scores are
+// invalidated — the event's cached row simply stops participating.
+// Canceling twice is a no-op.
+func (s *Scheduler) CancelEvent(e int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e < 0 || e >= len(s.inst.Events) {
+		return fmt.Errorf("session: CancelEvent: %w: %d", core.ErrEventRange, e)
+	}
+	s.cancelled[e] = true
+	delete(s.pins, e)
+	return nil
+}
+
+// UpdateInterest sets µ(user, event) for a candidate event (µ = 0
+// removes the entry). Only that event's |T| initial scores are
+// invalidated.
+func (s *Scheduler) UpdateInterest(user, event int, mu float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if event < 0 || event >= len(s.inst.Events) {
+		return fmt.Errorf("session: UpdateInterest: %w: %d", core.ErrEventRange, event)
+	}
+	if user < 0 || user >= s.inst.NumUsers {
+		return fmt.Errorf("session: UpdateInterest: user %d outside [0,%d)", user, s.inst.NumUsers)
+	}
+	if mu < 0 || mu > 1 {
+		return fmt.Errorf("session: UpdateInterest: µ = %v outside [0,1]", mu)
+	}
+	old := s.inst.CandInterest.Row(event)
+	ids := make([]int32, 0, old.Len()+1)
+	vals := make([]float64, 0, old.Len()+1)
+	for i, id := range old.IDs {
+		if int(id) != user {
+			ids = append(ids, id)
+			vals = append(vals, old.Vals[i])
+		}
+	}
+	if mu > 0 {
+		ids = append(ids, int32(user))
+		vals = append(vals, mu)
+	}
+	row, err := interest.NewSparseVector(ids, vals)
+	if err != nil {
+		return fmt.Errorf("session: UpdateInterest: %w", err)
+	}
+	s.inst.CandInterest.SetRow(event, row)
+	s.dirtyEvents[event] = true
+	s.engDirty = true
+	return nil
+}
+
+// AddCompeting registers a third-party event at its interval with the
+// given per-user interest and returns its competing-event id. Only
+// that interval's |E| initial scores are invalidated.
+func (s *Scheduler) AddCompeting(c core.CompetingEvent, mu map[int]float64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.Interval < 0 || c.Interval >= s.inst.NumIntervals {
+		return 0, fmt.Errorf("session: AddCompeting: %w: %d", core.ErrIntervalRange, c.Interval)
+	}
+	row, err := s.buildRow(mu)
+	if err != nil {
+		return 0, fmt.Errorf("session: AddCompeting: %w", err)
+	}
+	id := len(s.inst.Competing)
+	s.inst.Competing = append(s.inst.Competing, c)
+	s.inst.CompInterest.ByEvent = append(s.inst.CompInterest.ByEvent, row)
+	s.dirtyIntervals[c.Interval] = true
+	s.engDirty = true
+	return id, nil
+}
+
+// Pin forces event e to interval t in every future schedule. Pins
+// are hard constraints: they are applied before greedy selection,
+// count toward k, and are honored even when more than k events are
+// pinned (greedy fill then adds nothing). No scores are invalidated.
+func (s *Scheduler) Pin(e, t int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e < 0 || e >= len(s.inst.Events) {
+		return fmt.Errorf("session: Pin: %w: %d", core.ErrEventRange, e)
+	}
+	if t < 0 || t >= s.inst.NumIntervals {
+		return fmt.Errorf("session: Pin: %w: %d", core.ErrIntervalRange, t)
+	}
+	if s.cancelled[e] {
+		return fmt.Errorf("session: Pin: event %d is cancelled", e)
+	}
+	if s.forbidden[e][t] {
+		return fmt.Errorf("session: Pin: assignment (%d,%d) is forbidden", e, t)
+	}
+	s.pins[e] = t
+	return nil
+}
+
+// Unpin releases a pinned event back to free selection. Unpinning an
+// unpinned event is a no-op.
+func (s *Scheduler) Unpin(e int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e < 0 || e >= len(s.inst.Events) {
+		return fmt.Errorf("session: Unpin: %w: %d", core.ErrEventRange, e)
+	}
+	delete(s.pins, e)
+	return nil
+}
+
+// Forbid excludes assignment (e, t) from every future schedule. No
+// scores are invalidated.
+func (s *Scheduler) Forbid(e, t int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e < 0 || e >= len(s.inst.Events) {
+		return fmt.Errorf("session: Forbid: %w: %d", core.ErrEventRange, e)
+	}
+	if t < 0 || t >= s.inst.NumIntervals {
+		return fmt.Errorf("session: Forbid: %w: %d", core.ErrIntervalRange, t)
+	}
+	if pt, ok := s.pins[e]; ok && pt == t {
+		return fmt.Errorf("session: Forbid: assignment (%d,%d) is pinned; Unpin first", e, t)
+	}
+	if s.forbidden[e] == nil {
+		s.forbidden[e] = make(map[int]bool)
+	}
+	s.forbidden[e][t] = true
+	return nil
+}
+
+// Allow removes a Forbid. Allowing a non-forbidden pair is a no-op.
+func (s *Scheduler) Allow(e, t int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e < 0 || e >= len(s.inst.Events) {
+		return fmt.Errorf("session: Allow: %w: %d", core.ErrEventRange, e)
+	}
+	delete(s.forbidden[e], t)
+	return nil
+}
+
+// workers resolves the scoring fan-out width like solver.Config does.
+func (s *Scheduler) workers() int {
+	return solver.Config{Workers: s.opts.Workers}.ResolvedWorkers()
+}
+
+// Resolve repairs the schedule against all mutations since the last
+// resolve and commits the result. The returned Delta reports what
+// moved. The schedule and utility are exactly those of from-scratch
+// GRD on the current instance under the session's pins/forbids/
+// cancellations; only the invalidated slice of the initial-score
+// matrix is recomputed (Delta.Counters.InitialScores).
+//
+// Context: cancellation aborts without committing (the previous
+// schedule stays current); a deadline during selection commits the
+// feasible best-so-far with Delta.Stopped set.
+func (s *Scheduler) Resolve(ctx context.Context) (*Delta, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if err := s.inst.Validate(); err != nil {
+		return nil, err
+	}
+	s.ensureEngine()
+	nE, nT := s.inst.NumEvents(), s.inst.NumIntervals
+	var cnt solver.Counters
+	// The working matrix comes from the spare buffer when it fits
+	// (mat never aliases s.cache: the spare is always a *previous*
+	// cache generation). patchScores overwrites every entry the
+	// selection can read — only cancelled events' slots are skipped,
+	// and those never enter the worklist — so no zeroing is needed.
+	mat := s.matBuf[:0]
+	if cap(mat) < nE*nT {
+		mat = make([]float64, nE*nT)
+	} else {
+		mat = mat[:nE*nT]
+	}
+	s.matBuf = nil
+	if err := s.patchScores(ctx, mat, &cnt); err != nil {
+		s.matBuf = mat
+		return nil, err
+	}
+
+	stop, err := s.selectGreedy(ctx, mat, &cnt)
+	if err != nil {
+		// Nothing is committed; the engine will be reset or rebuilt on
+		// the next Resolve.
+		s.matBuf = mat
+		return nil, err
+	}
+
+	newAssgn := s.eng.Schedule().Assignments()
+	util := s.eng.Utility()
+	delta := s.diff(newAssgn)
+	delta.Utility = util
+	delta.Stopped = stop
+	delta.Counters = cnt
+
+	// Commit; the outgoing cache becomes the next resolve's spare.
+	s.matBuf = s.cache
+	s.cache = mat
+	s.cacheEvents = nE
+	s.cacheValid = true
+	clear(s.dirtyEvents)
+	clear(s.dirtyIntervals)
+	s.cur = newAssgn
+	s.curUtil = util
+	s.totals.Add(cnt)
+	return delta, nil
+}
+
+// ensureEngine rebuilds the warm engine after structural mutations or
+// resets it in place otherwise.
+func (s *Scheduler) ensureEngine() {
+	if s.eng == nil || s.engDirty {
+		s.eng = s.engineFactory()(s.inst)
+		s.engDirty = false
+		return
+	}
+	if r, ok := s.eng.(choice.Reuser); ok {
+		r.Reset()
+		return
+	}
+	s.eng = s.engineFactory()(s.inst)
+}
+
+// patchScores fills mat with the initial (empty-schedule) score of
+// every (event, interval) pair, recomputing only the slice the
+// mutation log invalidated and copying everything else from the
+// cache. The patched matrix is bit-identical to a full rescore.
+func (s *Scheduler) patchScores(ctx context.Context, mat []float64, cnt *solver.Counters) error {
+	nE, nT := s.inst.NumEvents(), s.inst.NumIntervals
+	if !s.cacheValid {
+		all := make([]int, nT)
+		for t := range all {
+			all[t] = t
+		}
+		return solver.ScoreIntervals(ctx, s.eng, all, s.workers(), mat, cnt)
+	}
+	if len(s.dirtyIntervals) > 0 {
+		dirtyT := make([]int, 0, len(s.dirtyIntervals))
+		for t := range s.dirtyIntervals {
+			dirtyT = append(dirtyT, t)
+		}
+		sort.Ints(dirtyT)
+		if err := solver.ScoreIntervals(ctx, s.eng, dirtyT, s.workers(), mat, cnt); err != nil {
+			return err
+		}
+	}
+	// Materialize the dirty-event set once: the copy loop below runs
+	// |E|·|T| times and a map lookup per entry would dominate it.
+	dirty := make([]bool, nE)
+	for e := range s.dirtyEvents {
+		if e < nE {
+			dirty[e] = true
+		}
+	}
+	for t := 0; t < nT; t++ {
+		if s.dirtyIntervals[t] {
+			continue
+		}
+		// The whole scoring phase is one-shot: a partially patched
+		// matrix is unusable, so any done ctx — deadline included —
+		// aborts here exactly like ScoreIntervals does. Only the
+		// selection phase below is anytime.
+		if ctx != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		dst := mat[t*nE : (t+1)*nE]
+		src := s.cache[t*s.cacheEvents : t*s.cacheEvents+s.cacheEvents]
+		for e := 0; e < nE; e++ {
+			switch {
+			case e < s.cacheEvents && !dirty[e]:
+				dst[e] = src[e]
+			case s.cancelled[e]:
+				// Never selected; its score is irrelevant.
+			default:
+				dst[e] = s.eng.Score(e, t)
+				cnt.InitialScores++
+			}
+		}
+	}
+	return nil
+}
+
+// entry is one scored worklist element of the selection phase.
+type entry struct {
+	event    int
+	interval int
+	score    float64
+}
+
+// selectGreedy applies the pins and then replays GRD's selection loop
+// (Algorithm 1 lines 5–13: linear-scan popTopAssgn, same-interval
+// rescore after each selection, identical tie-breaking) over the
+// constrained worklist. It must stay behaviorally identical to
+// solver.GRD — the session's equivalence tests compare the two run
+// for run.
+func (s *Scheduler) selectGreedy(ctx context.Context, mat []float64, cnt *solver.Counters) (string, error) {
+	nE, nT := s.inst.NumEvents(), s.inst.NumIntervals
+	sched := s.eng.Schedule()
+
+	// Pins first, in event order.
+	pinned := make([]int, 0, len(s.pins))
+	for e := range s.pins {
+		pinned = append(pinned, e)
+	}
+	sort.Ints(pinned)
+	pinnedIntervals := make(map[int]bool, len(pinned))
+	for _, e := range pinned {
+		t := s.pins[e]
+		if err := sched.Validity(e, t); err != nil {
+			return "", fmt.Errorf("session: pinned assignment (%d,%d) is infeasible: %w", e, t, err)
+		}
+		if err := s.eng.Apply(e, t); err != nil {
+			return "", err
+		}
+		s.notify(e, t, sched.Size())
+		pinnedIntervals[t] = true
+	}
+
+	// Worklist in GRD's canonical (event, interval) order, minus
+	// cancelled events, pinned events and forbidden pairs. The
+	// backing array is recycled across resolves.
+	list := s.listBuf[:0]
+	if cap(list) < nE*nT {
+		list = make([]entry, 0, nE*nT)
+	}
+	// Pops and compaction keep the same backing array, so whatever
+	// `list` ends up as hands the storage back for the next resolve.
+	defer func() { s.listBuf = list[:0] }()
+	for e := 0; e < nE; e++ {
+		if s.cancelled[e] {
+			continue
+		}
+		if _, ok := s.pins[e]; ok {
+			continue
+		}
+		forb := s.forbidden[e]
+		for t := 0; t < nT; t++ {
+			if forb[t] {
+				continue
+			}
+			list = append(list, entry{event: e, interval: t, score: mat[t*nE+e]})
+		}
+	}
+	// Initial scores at pinned intervals are stale (they assume the
+	// interval is empty); refresh them before selection starts.
+	if len(pinnedIntervals) > 0 {
+		for i := range list {
+			if pinnedIntervals[list[i].interval] && sched.Validity(list[i].event, list[i].interval) == nil {
+				list[i].score = s.eng.Score(list[i].event, list[i].interval)
+				cnt.ScoreUpdates++
+			}
+		}
+	}
+
+	for sched.Size() < s.k && len(list) > 0 {
+		if stop, err := solver.CheckContext(ctx, true); err != nil {
+			return "", err
+		} else if stop != "" {
+			return stop, nil
+		}
+		// popTopAssgn: linear scan, ties toward the earliest
+		// (event, interval) — exactly GRD's rule.
+		cnt.Pops++
+		best := 0
+		for i := 1; i < len(list); i++ {
+			cnt.ListScans++
+			if betterEntry(list[i], list[best]) {
+				best = i
+			}
+		}
+		top := list[best]
+		list[best] = list[len(list)-1]
+		list = list[:len(list)-1]
+
+		if sched.Validity(top.event, top.interval) != nil {
+			continue
+		}
+		if err := s.eng.Apply(top.event, top.interval); err != nil {
+			return "", err
+		}
+		s.notify(top.event, top.interval, sched.Size())
+
+		if sched.Size() < s.k {
+			dst := list[:0]
+			for _, a := range list {
+				cnt.ListScans++
+				valid := sched.Validity(a.event, a.interval) == nil
+				switch {
+				case a.interval == top.interval && valid:
+					a.score = s.eng.Score(a.event, a.interval)
+					cnt.ScoreUpdates++
+					dst = append(dst, a)
+				case !valid:
+					// dropped
+				default:
+					dst = append(dst, a)
+				}
+			}
+			list = dst
+		}
+	}
+	return "", nil
+}
+
+// betterEntry orders worklist entries identically to GRD's better().
+func betterEntry(a, b entry) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.event != b.event {
+		return a.event < b.event
+	}
+	return a.interval < b.interval
+}
+
+// notify streams a progress notification if configured.
+func (s *Scheduler) notify(e, t, size int) {
+	if s.opts.Progress != nil {
+		s.opts.Progress(solver.Progress{Solver: "session", Event: e, Interval: t, Scheduled: size})
+	}
+}
+
+// diff compares the committed schedule with the new one.
+func (s *Scheduler) diff(next []core.Assignment) *Delta {
+	old := make(map[int]int, len(s.cur))
+	for _, a := range s.cur {
+		old[a.Event] = a.Interval
+	}
+	d := &Delta{}
+	for _, a := range next {
+		if from, ok := old[a.Event]; ok {
+			if from != a.Interval {
+				d.Moved = append(d.Moved, Move{Event: a.Event, From: from, To: a.Interval})
+			}
+			delete(old, a.Event)
+		} else {
+			d.Added = append(d.Added, a)
+		}
+	}
+	for e, t := range old {
+		d.Removed = append(d.Removed, core.Assignment{Event: e, Interval: t})
+	}
+	sort.Slice(d.Removed, func(i, j int) bool { return d.Removed[i].Event < d.Removed[j].Event })
+	sort.Slice(d.Moved, func(i, j int) bool { return d.Moved[i].Event < d.Moved[j].Event })
+	return d
+}

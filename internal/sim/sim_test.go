@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,7 +17,7 @@ func solved(t *testing.T, seed uint64, k int) (*core.Instance, *core.Schedule) {
 	inst := sestest.Random(sestest.Config{
 		Seed: seed, Users: 120, Events: 14, Intervals: 4, Competing: 6, Resources: 50,
 	})
-	res, err := solver.NewGRD(solver.Config{}).Solve(inst, k)
+	res, err := solver.NewGRD(solver.Config{}).Solve(context.Background(), inst, k)
 	if err != nil {
 		t.Fatal(err)
 	}

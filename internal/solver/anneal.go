@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 
 	"ses/internal/core"
@@ -32,22 +33,35 @@ func NewAnneal(seed uint64, steps int, cfg Config) *Anneal {
 // Name returns "anneal".
 func (s *Anneal) Name() string { return "anneal" }
 
-// Solve runs the annealer.
-func (s *Anneal) Solve(inst *core.Instance, k int) (*Result, error) {
+// Solve runs the annealer. Anneal is anytime: a deadline expiring
+// mid-run materializes the best schedule seen so far with
+// Result.Stopped set (a deadline already expired during the RAND
+// start yields an empty feasible schedule).
+func (s *Anneal) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	start, err := NewRAND(s.seed, s.cfg).Solve(inst, k)
+	res := &Result{Solver: s.Name()}
+	// The RAND start runs without the progress callback: Anneal
+	// streams the replay and its own moves, and double reporting
+	// would show the start schedule twice under two names.
+	startCfg := s.cfg
+	startCfg.Progress = nil
+	start, err := NewRAND(s.seed, startCfg).Solve(ctx, inst, k)
 	if err != nil {
+		// RAND is one-shot, so a deadline surfaces as an error; for the
+		// anytime contract an empty schedule is the best-so-far then.
+		if stop, serr := ctxCheck(ctx, true); serr == nil && stop != "" {
+			return finish(res, s.cfg.engine()(inst), stop), nil
+		}
 		return nil, err
 	}
-	eng := s.cfg.engine()(inst)
+	eng := s.cfg.instrument(s.Name(), s.cfg.engine()(inst))
 	for _, a := range start.Schedule.Assignments() {
 		if err := eng.Apply(a.Event, a.Interval); err != nil {
 			return nil, err
 		}
 	}
-	res := &Result{Solver: s.Name()}
 	sched := eng.Schedule()
 	src := randx.NewSource(s.seed ^ 0x5e55a11ea1)
 
@@ -73,6 +87,12 @@ func (s *Anneal) Solve(inst *core.Instance, k int) (*Result, error) {
 	bestAssgn := sched.Assignments()
 
 	for step := 0; step < steps; step++ {
+		if stop, err := ctxCheck(ctx, true); err != nil {
+			return nil, err
+		} else if stop != "" {
+			res.Stopped = stop
+			break
+		}
 		assgn := sched.Assignments()
 		if len(assgn) == 0 {
 			break

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+
 	"ses/internal/core"
 	"ses/internal/randx"
 )
@@ -27,19 +29,27 @@ func NewTOP(cfg Config) *TOP { return &TOP{cfg: cfg} }
 func (s *TOP) Name() string { return "top" }
 
 // Solve applies the valid assignments among the k best-scoring ones.
-func (s *TOP) Solve(inst *core.Instance, k int) (*Result, error) {
+// TOP is one-shot: any done context (cancel or deadline) returns
+// ctx.Err().
+func (s *TOP) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.cfg.engine()(inst)
+	eng := s.cfg.instrument(s.Name(), s.cfg.engine()(inst))
 	res := &Result{Solver: s.Name()}
 
-	wl := newWorklist(eng, s.cfg.workers(), &res.Counters)
+	wl, err := newWorklist(ctx, eng, s.cfg.workers(), &res.Counters)
+	if err != nil {
+		return nil, err
+	}
 	wl.sortByScore()
 	wl.truncate(k)
 
 	sched := eng.Schedule()
 	for _, a := range wl.list {
+		if _, err := ctxCheck(ctx, false); err != nil {
+			return nil, err
+		}
 		res.Counters.ListScans++
 		if sched.Validity(a.event, a.interval) != nil {
 			continue
@@ -72,21 +82,28 @@ func NewTOPFill(cfg Config) *TOPFill { return &TOPFill{cfg: cfg} }
 func (s *TOPFill) Name() string { return "topfill" }
 
 // Solve walks the full sorted list applying valid assignments until k
-// are scheduled.
-func (s *TOPFill) Solve(inst *core.Instance, k int) (*Result, error) {
+// are scheduled. TOPFill is one-shot: any done context returns
+// ctx.Err().
+func (s *TOPFill) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.cfg.engine()(inst)
+	eng := s.cfg.instrument(s.Name(), s.cfg.engine()(inst))
 	res := &Result{Solver: s.Name()}
 
-	wl := newWorklist(eng, s.cfg.workers(), &res.Counters)
+	wl, err := newWorklist(ctx, eng, s.cfg.workers(), &res.Counters)
+	if err != nil {
+		return nil, err
+	}
 	wl.sortByScore()
 
 	sched := eng.Schedule()
 	for _, a := range wl.list {
 		if sched.Size() >= k {
 			break
+		}
+		if _, err := ctxCheck(ctx, false); err != nil {
+			return nil, err
 		}
 		res.Counters.ListScans++
 		if sched.Validity(a.event, a.interval) != nil {
@@ -119,12 +136,13 @@ func NewRAND(seed uint64, cfg Config) *RAND { return &RAND{seed: seed, cfg: cfg}
 // Name returns "rand".
 func (s *RAND) Name() string { return "rand" }
 
-// Solve assigns k random valid assignments.
-func (s *RAND) Solve(inst *core.Instance, k int) (*Result, error) {
+// Solve assigns k random valid assignments. RAND is one-shot: any
+// done context returns ctx.Err().
+func (s *RAND) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.cfg.engine()(inst)
+	eng := s.cfg.instrument(s.Name(), s.cfg.engine()(inst))
 	res := &Result{Solver: s.Name()}
 	src := randx.NewSource(s.seed)
 	sched := eng.Schedule()
@@ -134,6 +152,9 @@ func (s *RAND) Solve(inst *core.Instance, k int) (*Result, error) {
 	// nearly-full instances.
 	budget := 50 * k
 	for sched.Size() < k && budget > 0 {
+		if _, err := ctxCheck(ctx, false); err != nil {
+			return nil, err
+		}
 		budget--
 		e := src.IntN(inst.NumEvents())
 		t := src.IntN(inst.NumIntervals)
@@ -148,6 +169,9 @@ func (s *RAND) Solve(inst *core.Instance, k int) (*Result, error) {
 		for _, e := range src.Perm(inst.NumEvents()) {
 			if sched.Size() >= k {
 				break
+			}
+			if _, err := ctxCheck(ctx, false); err != nil {
+				return nil, err
 			}
 			if sched.Contains(e) {
 				continue

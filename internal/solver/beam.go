@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"sort"
 
 	"ses/internal/choice"
@@ -90,8 +91,11 @@ func (s *Beam) expand(inst *core.Instance, pi int, st beamState) ([]beamSucc, in
 	return succs, scores
 }
 
-// Solve runs the beam search.
-func (s *Beam) Solve(inst *core.Instance, k int) (*Result, error) {
+// Solve runs the beam search. Beam is anytime: on deadline it stops
+// expanding and returns the best state of the last completed step
+// with Result.Stopped set; a partially-expanded step is discarded so
+// the result stays deterministic.
+func (s *Beam) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
@@ -100,14 +104,28 @@ func (s *Beam) Solve(inst *core.Instance, k int) (*Result, error) {
 	workers := s.cfg.workers()
 
 	for step := 0; step < k; step++ {
+		if stop, err := ctxCheck(ctx, true); err != nil {
+			return nil, err
+		} else if stop != "" {
+			res.Stopped = stop
+			break
+		}
 		// Expand every state (concurrently when configured), then
 		// splice the per-state successor lists together in state
 		// order so the result is independent of scheduling.
 		perState := make([][]beamSucc, len(states))
 		perStateScores := make([]int, len(states))
-		forEachIndex(len(states), workers, func(pi int) {
+		if err := forEachIndex(ctx, len(states), workers, func(pi int) {
 			perState[pi], perStateScores[pi] = s.expand(inst, pi, states[pi])
-		})
+		}); err != nil {
+			// A done ctx mid-expansion leaves perState incomplete;
+			// fall back to the states of the last completed step.
+			if stop, serr := ctxCheck(ctx, true); serr == nil && stop != "" {
+				res.Stopped = stop
+				break
+			}
+			return nil, err
+		}
 		var succs []beamSucc
 		for pi := range perState {
 			res.Counters.ScoreUpdates += perStateScores[pi]

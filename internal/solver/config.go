@@ -16,6 +16,11 @@ type Config struct {
 	// scoring only changes which goroutine evaluates a score, never
 	// the engine state it is evaluated against.
 	Workers int
+	// Progress, when non-nil, streams one notification per assignment
+	// applied to the solver's main engine (see Progress). It is always
+	// invoked from the goroutine running Solve, never from scoring
+	// workers or forked engines.
+	Progress func(Progress)
 }
 
 // engine resolves the engine factory.
@@ -36,3 +41,8 @@ func (c Config) workers() int {
 	}
 	return 1
 }
+
+// ResolvedWorkers exposes the worker-count resolution (0 →
+// GOMAXPROCS, negative → 1) to sibling packages such as the session
+// layer, which feeds it to ScoreIntervals.
+func (c Config) ResolvedWorkers() int { return c.workers() }

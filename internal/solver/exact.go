@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,10 +40,18 @@ func (s *Exact) Name() string { return "exact" }
 // exceeded.
 var ErrSearchBudget = fmt.Errorf("solver: exact search node budget exceeded")
 
+// ctxCheckNodes is how many DFS nodes Exact expands between context
+// checks: frequent enough for prompt cancellation, cheap enough to
+// vanish against the per-node scoring work.
+const ctxCheckNodes = 1024
+
 // Solve exhaustively maximizes Ω over feasible schedules with at most
 // k assignments. Monotonicity of Ω makes "at most k" and "exactly k"
-// coincide whenever k valid assignments exist.
-func (s *Exact) Solve(inst *core.Instance, k int) (*Result, error) {
+// coincide whenever k valid assignments exist. Exact is one-shot: a
+// truncated search would be silently suboptimal, so any done context
+// (cancel or deadline, checked every ctxCheckNodes search nodes)
+// returns ctx.Err().
+func (s *Exact) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
@@ -52,7 +61,10 @@ func (s *Exact) Solve(inst *core.Instance, k int) (*Result, error) {
 	// Root-level optimistic score per event (max over intervals),
 	// reduced from the shared (parallel) initial score matrix.
 	nE := inst.NumEvents()
-	mat := scoreMatrix(eng, s.cfg.workers(), &res.Counters)
+	mat, err := scoreMatrix(ctx, eng, s.cfg.workers(), &res.Counters)
+	if err != nil {
+		return nil, err
+	}
 	rootBest := make([]float64, nE)
 	for e := 0; e < nE; e++ {
 		best := 0.0
@@ -85,15 +97,22 @@ func (s *Exact) Solve(inst *core.Instance, k int) (*Result, error) {
 		bestAssgn  []core.Assignment
 		nodes      int
 		overBudget bool
+		ctxErr     error
 	)
 	cur := 0.0 // running Ω via score telescoping
 
 	var dfs func(idx, remaining int)
 	dfs = func(idx, remaining int) {
-		if overBudget {
+		if overBudget || ctxErr != nil {
 			return
 		}
 		nodes++
+		if nodes%ctxCheckNodes == 0 {
+			if _, err := ctxCheck(ctx, false); err != nil {
+				ctxErr = err
+				return
+			}
+		}
 		if s.MaxNodes > 0 && nodes > s.MaxNodes {
 			overBudget = true
 			return
@@ -133,6 +152,9 @@ func (s *Exact) Solve(inst *core.Instance, k int) (*Result, error) {
 	}
 	dfs(0, k)
 
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	if overBudget {
 		return nil, fmt.Errorf("%w (nodes > %d)", ErrSearchBudget, s.MaxNodes)
 	}

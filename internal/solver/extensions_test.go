@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -18,18 +19,18 @@ func TestBeamFeasibleAndAtLeastGreedy(t *testing.T) {
 			Seed: seed, Users: 30, Events: 12, Intervals: 4, Competing: 5,
 		})
 		const k = 6
-		grd, err := NewGRD(Config{}).Solve(inst, k)
+		grd, err := NewGRD(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b1, err := NewBeam(1, 1, Config{}).Solve(inst, k)
+		b1, err := NewBeam(1, 1, Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if math.Abs(b1.Utility-grd.Utility) > 1e-9 {
 			t.Errorf("seed %d: beam(1,1) %v != grd %v", seed, b1.Utility, grd.Utility)
 		}
-		wide, err := NewBeam(6, 4, Config{}).Solve(inst, k)
+		wide, err := NewBeam(6, 4, Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func TestOnlineRespectsQuotaAndFeasibility(t *testing.T) {
 			Seed: seed, Users: 40, Events: 20, Intervals: 5, Competing: 6,
 		})
 		const k = 6
-		res, err := NewOnline(seed, Config{}).Solve(inst, k)
+		res, err := NewOnline(seed, Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,8 +78,8 @@ func TestOnlineRespectsQuotaAndFeasibility(t *testing.T) {
 
 func TestOnlineDeterministicBySeed(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 3, Events: 20, Competing: 4})
-	a, _ := NewOnline(5, Config{}).Solve(inst, 6)
-	b, _ := NewOnline(5, Config{}).Solve(inst, 6)
+	a, _ := NewOnline(5, Config{}).Solve(context.Background(), inst, 6)
+	b, _ := NewOnline(5, Config{}).Solve(context.Background(), inst, 6)
 	if a.Utility != b.Utility || a.Schedule.Size() != b.Schedule.Size() {
 		t.Fatal("same seed, different online outcome")
 	}
@@ -93,11 +94,11 @@ func TestOnlineBeatsNothingButLosesToOffline(t *testing.T) {
 			Seed: seed, Users: 50, Events: 24, Intervals: 6, Competing: 8,
 		})
 		const k = 8
-		on, err := NewOnline(seed, Config{}).Solve(inst, k)
+		on, err := NewOnline(seed, Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		grd, err := NewGRD(Config{}).Solve(inst, k)
+		grd, err := NewGRD(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -121,7 +122,7 @@ func TestSpreadBetweenTopAndGRD(t *testing.T) {
 			Seed: seed, Users: 50, Events: 24, Intervals: 6, Competing: 8,
 		})
 		const k = 10
-		sp, err := NewSpread(Config{}).Solve(inst, k)
+		sp, err := NewSpread(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -131,8 +132,8 @@ func TestSpreadBetweenTopAndGRD(t *testing.T) {
 		if sp.Schedule.Size() != k {
 			t.Errorf("seed %d: spread scheduled %d, want %d", seed, sp.Schedule.Size(), k)
 		}
-		top, _ := NewTOP(Config{}).Solve(inst, k)
-		grd, _ := NewGRD(Config{}).Solve(inst, k)
+		top, _ := NewTOP(Config{}).Solve(context.Background(), inst, k)
+		grd, _ := NewGRD(Config{}).Solve(context.Background(), inst, k)
 		spreadSum += sp.Utility
 		topSum += top.Utility
 		grdSum += grd.Utility

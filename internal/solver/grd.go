@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+
 	"ses/internal/core"
 )
 
@@ -21,19 +23,32 @@ func NewGRD(cfg Config) *GRD { return &GRD{cfg: cfg} }
 // Name returns "grd".
 func (g *GRD) Name() string { return "grd" }
 
-// Solve runs Algorithm 1.
-func (g *GRD) Solve(inst *core.Instance, k int) (*Result, error) {
+// Solve runs Algorithm 1. GRD is anytime: on context deadline it
+// returns the feasible schedule built so far with Result.Stopped set;
+// on cancellation it returns ctx.Err().
+func (g *GRD) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := g.cfg.engine()(inst)
+	eng := g.cfg.instrument(g.Name(), g.cfg.engine()(inst))
 	res := &Result{Solver: g.Name()}
 
 	// Lines 2–4: generate assignments and compute initial scores.
-	wl := newWorklist(eng, g.cfg.workers(), &res.Counters)
+	wl, err := newWorklist(ctx, eng, g.cfg.workers(), &res.Counters)
+	if err != nil {
+		if stop, serr := ctxCheck(ctx, true); serr == nil && stop != "" {
+			return finish(res, eng, stop), nil
+		}
+		return nil, err
+	}
 
 	sched := eng.Schedule()
 	for sched.Size() < k && len(wl.list) > 0 {
+		if stop, err := ctxCheck(ctx, true); err != nil {
+			return nil, err
+		} else if stop != "" {
+			return finish(res, eng, stop), nil
+		}
 		// Line 6: popTopAssgn — linear scan for the largest score,
 		// exactly as the paper's list-based variant does.
 		top := wl.popTop(&res.Counters)

@@ -2,6 +2,7 @@ package solver
 
 import (
 	"container/heap"
+	"context"
 
 	"ses/internal/core"
 )
@@ -53,15 +54,23 @@ func (h *lazyHeap) Pop() interface{} {
 // Solve runs the lazy greedy. Initial scores come from the shared
 // (parallel) worklist builder; heapification of identical entries is
 // deterministic, so output matches the serial run bit-for-bit.
-func (g *GRDLazy) Solve(inst *core.Instance, k int) (*Result, error) {
+// GRDLazy is anytime: on context deadline it returns the feasible
+// schedule built so far with Result.Stopped set.
+func (g *GRDLazy) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := g.cfg.engine()(inst)
+	eng := g.cfg.instrument(g.Name(), g.cfg.engine()(inst))
 	res := &Result{Solver: g.Name()}
 
 	versions := make([]int, inst.NumIntervals)
-	wl := newWorklist(eng, g.cfg.workers(), &res.Counters)
+	wl, err := newWorklist(ctx, eng, g.cfg.workers(), &res.Counters)
+	if err != nil {
+		if stop, serr := ctxCheck(ctx, true); serr == nil && stop != "" {
+			return finish(res, eng, stop), nil
+		}
+		return nil, err
+	}
 	h := make(lazyHeap, 0, len(wl.list))
 	for _, a := range wl.list {
 		h = append(h, lazyEntry{assignment: a, version: 0})
@@ -70,6 +79,11 @@ func (g *GRDLazy) Solve(inst *core.Instance, k int) (*Result, error) {
 
 	sched := eng.Schedule()
 	for sched.Size() < k && h.Len() > 0 {
+		if stop, err := ctxCheck(ctx, true); err != nil {
+			return nil, err
+		} else if stop != "" {
+			return finish(res, eng, stop), nil
+		}
 		entry := heap.Pop(&h).(lazyEntry)
 		res.Counters.Pops++
 		if sched.Validity(entry.event, entry.interval) != nil {

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+
 	"ses/internal/core"
 )
 
@@ -26,10 +28,15 @@ type LocalSearch struct {
 }
 
 // NewLocalSearch wraps start (nil for GRD with the same cfg) with hill
-// climbing. maxPasses <= 0 means 10 passes.
+// climbing. maxPasses <= 0 means 10 passes. The default start solver
+// runs without the progress callback — LocalSearch streams each
+// assignment itself when it replays the start schedule, and double
+// reporting would show every selection twice under two names.
 func NewLocalSearch(start Solver, maxPasses int, cfg Config) *LocalSearch {
 	if start == nil {
-		start = NewGRD(cfg)
+		startCfg := cfg
+		startCfg.Progress = nil
+		start = NewGRD(startCfg)
 	}
 	if maxPasses <= 0 {
 		maxPasses = 10
@@ -41,16 +48,19 @@ func NewLocalSearch(start Solver, maxPasses int, cfg Config) *LocalSearch {
 func (s *LocalSearch) Name() string { return "localsearch" }
 
 // Solve runs the starting solver and then hill-climbs its schedule.
-func (s *LocalSearch) Solve(inst *core.Instance, k int) (*Result, error) {
+// LocalSearch is anytime: a deadline that expires during the climb
+// (or already inside an anytime starting solver) returns the best
+// feasible schedule reached so far with Result.Stopped set.
+func (s *LocalSearch) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	startRes, err := s.start.Solve(inst, k)
+	startRes, err := s.start.Solve(ctx, inst, k)
 	if err != nil {
 		return nil, err
 	}
 	// Replay the starting schedule on a fresh engine we own.
-	eng := s.cfg.engine()(inst)
+	eng := s.cfg.instrument(s.Name(), s.cfg.engine()(inst))
 	for _, a := range startRes.Schedule.Assignments() {
 		if err := eng.Apply(a.Event, a.Interval); err != nil {
 			return nil, err
@@ -58,10 +68,24 @@ func (s *LocalSearch) Solve(inst *core.Instance, k int) (*Result, error) {
 	}
 	res := &Result{Solver: s.Name(), Counters: startRes.Counters}
 	sched := eng.Schedule()
+	if startRes.Stopped != "" {
+		// The starting solver already ran out of time; its schedule is
+		// the best-so-far and climbing would blow through the deadline.
+		return finish(res, eng, startRes.Stopped), nil
+	}
 
+climb:
 	for pass := 0; pass < s.maxPasses; pass++ {
 		improved := false
 		for _, a := range sched.Assignments() {
+			// The engine is consistent here (between moves), so this is
+			// the boundary where stopping early is safe.
+			if stop, err := ctxCheck(ctx, true); err != nil {
+				return nil, err
+			} else if stop != "" {
+				res.Stopped = stop
+				break climb
+			}
 			// Temporarily remove a.Event; gainBack is what re-adding
 			// it at its old interval would contribute.
 			if err := eng.Unapply(a.Event); err != nil {

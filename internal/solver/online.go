@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"sort"
 
 	"ses/internal/core"
@@ -38,12 +39,14 @@ func NewOnline(seed uint64, cfg Config) *Online {
 // Name returns "online".
 func (s *Online) Name() string { return "online" }
 
-// Solve processes the stream.
-func (s *Online) Solve(inst *core.Instance, k int) (*Result, error) {
+// Solve processes the stream. Online is one-shot — an interrupted
+// stream is not a solution to the streaming problem — so any done
+// context (checked per arrival) returns ctx.Err().
+func (s *Online) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.cfg.engine()(inst)
+	eng := s.cfg.instrument(s.Name(), s.cfg.engine()(inst))
 	res := &Result{Solver: s.Name()}
 	sched := eng.Schedule()
 
@@ -56,6 +59,9 @@ func (s *Online) Solve(inst *core.Instance, k int) (*Result, error) {
 	for i, e := range arrival {
 		if quota == 0 {
 			break
+		}
+		if _, err := ctxCheck(ctx, false); err != nil {
+			return nil, err
 		}
 		// Best valid placement for the arriving event, by current
 		// marginal score.

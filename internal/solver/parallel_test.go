@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -28,11 +29,11 @@ func TestSerialAndParallelAgreeForAllSolvers(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			a, err := serial.Solve(inst, k)
+			a, err := serial.Solve(context.Background(), inst, k)
 			if err != nil {
 				t.Fatalf("seed %d %s workers=1: %v", seed, name, err)
 			}
-			b, err := parallel.Solve(inst, k)
+			b, err := parallel.Solve(context.Background(), inst, k)
 			if err != nil {
 				t.Fatalf("seed %d %s workers=8: %v", seed, name, err)
 			}
@@ -60,11 +61,11 @@ func TestSerialAndParallelAgreeForAllSolvers(t *testing.T) {
 // mass, which -race would flag if any of it were still mutated.
 func TestDenseEngineParallelScoring(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 9, Users: 30, Events: 12, Intervals: 6, Competing: 5})
-	a, err := NewGRD(Config{Engine: DenseEngine, Workers: 1}).Solve(inst, 5)
+	a, err := NewGRD(Config{Engine: DenseEngine, Workers: 1}).Solve(context.Background(), inst, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewGRD(Config{Engine: DenseEngine, Workers: 8}).Solve(inst, 5)
+	b, err := NewGRD(Config{Engine: DenseEngine, Workers: 8}).Solve(context.Background(), inst, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,9 @@ func BenchmarkGRDInitialScoring(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				var c Counters
-				_ = scoreMatrix(eng, workers, &c)
+				if _, err := scoreMatrix(context.Background(), eng, workers, &c); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}
@@ -120,7 +123,7 @@ func BenchmarkGRDSolve(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			s := NewGRD(Config{Workers: workers})
 			for i := 0; i < b.N; i++ {
-				if _, err := s.Solve(inst, 30); err != nil {
+				if _, err := s.Solve(context.Background(), inst, 30); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -27,6 +27,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -62,27 +63,56 @@ type Counters struct {
 	Moves int
 }
 
+// Add accumulates o into c; the session layer uses it to keep
+// per-resolve and lifetime counters.
+func (c *Counters) Add(o Counters) {
+	c.InitialScores += o.InitialScores
+	c.ScoreUpdates += o.ScoreUpdates
+	c.Pops += o.Pops
+	c.ListScans += o.ListScans
+	c.Moves += o.Moves
+}
+
+// StoppedDeadline is the Result.Stopped reason reported by anytime
+// solvers that hit their context deadline and returned the best
+// feasible schedule found so far.
+const StoppedDeadline = "deadline"
+
 // Result is a solver run outcome.
 type Result struct {
 	// Solver is the name of the producing algorithm.
 	Solver string
 	// Schedule is the feasible schedule found. Its size is k unless
-	// the instance admits fewer valid assignments.
+	// the instance admits fewer valid assignments or the run was
+	// stopped early (see Stopped).
 	Schedule *core.Schedule
 	// Utility is Ω(Schedule) per Eq. 3.
 	Utility float64
+	// Stopped is empty for a complete run. Anytime solvers (grd,
+	// grdlazy, beam, localsearch, anneal) set it to StoppedDeadline
+	// when the context deadline expired mid-run: the Schedule is then
+	// the feasible best-so-far rather than the full k-selection.
+	Stopped string
 	// Counters describes the work performed.
 	Counters Counters
 }
 
 // Solver is a SES algorithm: find a feasible schedule with (up to) k
 // assignments maximizing Ω.
+//
+// Cancellation contract: every solver observes ctx at its selection
+// and expansion boundaries (and inside the parallel scoring pool). A
+// canceled context makes Solve return ctx.Err() promptly. An expired
+// deadline makes the anytime solvers (grd, grdlazy, beam, localsearch,
+// anneal) return their feasible best-so-far schedule with
+// Result.Stopped = StoppedDeadline instead of discarding the work;
+// one-shot solvers return ctx.Err() for deadlines too.
 type Solver interface {
 	// Name identifies the algorithm (stable, lowercase).
 	Name() string
 	// Solve runs the algorithm. Implementations validate the instance
 	// and return an error for k < 0.
-	Solve(inst *core.Instance, k int) (*Result, error)
+	Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error)
 }
 
 // ErrNegativeK is returned when Solve is called with k < 0.
@@ -96,11 +126,44 @@ func validate(inst *core.Instance, k int) error {
 	return inst.Validate()
 }
 
-// New returns a solver by name with default configuration. Known
-// names: "grd", "grdlazy", "top", "topfill", "rand", "exact",
-// "localsearch", "anneal", "beam", "online", "spread". Randomized
-// solvers (rand, anneal, online) get the provided seed; others ignore
-// it.
+// CheckContext inspects ctx at a solver boundary. While ctx is live
+// it returns ("", nil). Once ctx is done: a deadline on an anytime
+// caller yields (StoppedDeadline, nil) — the caller finalizes its
+// best-so-far schedule — and every other case (cancellation, or a
+// deadline on a one-shot caller) yields ("", ctx.Err()) for prompt
+// propagation. Exported so the session layer classifies deadlines
+// identically to the solvers.
+func CheckContext(ctx context.Context, anytime bool) (stop string, err error) {
+	return ctxCheck(ctx, anytime)
+}
+
+// ctxCheck is CheckContext's implementation.
+func ctxCheck(ctx context.Context, anytime bool) (stop string, err error) {
+	if ctx == nil {
+		return "", nil
+	}
+	cause := ctx.Err()
+	if cause == nil {
+		return "", nil
+	}
+	if anytime && errors.Is(cause, context.DeadlineExceeded) {
+		return StoppedDeadline, nil
+	}
+	return "", cause
+}
+
+// finish finalizes an (anytime) result from the engine's current
+// state, recording why the run stopped early ("" for a complete run).
+func finish(res *Result, eng choice.Engine, stop string) *Result {
+	res.Schedule = eng.Schedule()
+	res.Utility = eng.Utility()
+	res.Stopped = stop
+	return res
+}
+
+// New returns a solver by name with default configuration; Names
+// lists the registry. Randomized solvers (rand, anneal, online) get
+// the provided seed; others ignore it.
 func New(name string, seed uint64) (Solver, error) { return NewWith(name, seed, Config{}) }
 
 // NewWith returns a solver by name carrying the given configuration
@@ -120,7 +183,7 @@ func NewWith(name string, seed uint64, cfg Config) (Solver, error) {
 	case "exact":
 		return NewExact(cfg), nil
 	case "localsearch":
-		return NewLocalSearch(NewGRD(cfg), 0, cfg), nil
+		return NewLocalSearch(nil, 0, cfg), nil
 	case "anneal":
 		return NewAnneal(seed, 0, cfg), nil
 	case "beam":

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -32,7 +33,7 @@ func TestAllSolversProduceFeasibleSchedules(t *testing.T) {
 	for seed := uint64(0); seed < 6; seed++ {
 		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 5, Events: 8, Intervals: 3})
 		for _, s := range allSolvers() {
-			res, err := s.Solve(inst, 4)
+			res, err := s.Solve(context.Background(), inst, 4)
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, s.Name(), err)
 			}
@@ -68,7 +69,7 @@ func TestAllSolversProduceFeasibleSchedules(t *testing.T) {
 func TestSolversRejectNegativeK(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 1})
 	for _, s := range allSolvers() {
-		if _, err := s.Solve(inst, -1); !errors.Is(err, ErrNegativeK) {
+		if _, err := s.Solve(context.Background(), inst, -1); !errors.Is(err, ErrNegativeK) {
 			t.Errorf("%s: got %v, want ErrNegativeK", s.Name(), err)
 		}
 	}
@@ -78,7 +79,7 @@ func TestSolversRejectInvalidInstance(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 1})
 	inst.NumUsers = 0
 	for _, s := range allSolvers() {
-		if _, err := s.Solve(inst, 1); err == nil {
+		if _, err := s.Solve(context.Background(), inst, 1); err == nil {
 			t.Errorf("%s: accepted invalid instance", s.Name())
 		}
 	}
@@ -87,7 +88,7 @@ func TestSolversRejectInvalidInstance(t *testing.T) {
 func TestKZeroGivesEmptySchedule(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 2, Competing: 3})
 	for _, s := range allSolvers() {
-		res, err := s.Solve(inst, 0)
+		res, err := s.Solve(context.Background(), inst, 0)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -107,7 +108,7 @@ func TestKLargerThanCapacityIsGraceful(t *testing.T) {
 		if s.Name() == "exact" {
 			continue // exact optimizes "up to k", trivially fine
 		}
-		res, err := s.Solve(inst, 5)
+		res, err := s.Solve(context.Background(), inst, 5)
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}
@@ -127,11 +128,11 @@ func TestGRDAndLazyAgree(t *testing.T) {
 		inst := sestest.Random(sestest.Config{
 			Seed: seed, Users: 30, Events: 14, Intervals: 5, Competing: 8,
 		})
-		a, err := NewGRD(Config{}).Solve(inst, 7)
+		a, err := NewGRD(Config{}).Solve(context.Background(), inst, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := NewGRDLazy(Config{}).Solve(inst, 7)
+		b, err := NewGRDLazy(Config{}).Solve(context.Background(), inst, 7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,11 +161,11 @@ func TestGRDAndLazyAgree(t *testing.T) {
 func TestGRDSparseAndDenseEnginesAgree(t *testing.T) {
 	for seed := uint64(30); seed < 34; seed++ {
 		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 6})
-		a, err := NewGRD(Config{}).Solve(inst, 5)
+		a, err := NewGRD(Config{}).Solve(context.Background(), inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := NewGRD(Config{Engine: DenseEngine}).Solve(inst, 5)
+		b, err := NewGRD(Config{Engine: DenseEngine}).Solve(context.Background(), inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func TestGRDMatchesNaiveGreedyReference(t *testing.T) {
 			Seed: seed, Users: 15, Events: 8, Intervals: 3, Competing: 4,
 		})
 		const k = 4
-		got, err := NewGRD(Config{}).Solve(inst, k)
+		got, err := NewGRD(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,12 +233,12 @@ func TestExactDominatesHeuristics(t *testing.T) {
 			Seed: seed, Users: 12, Events: 7, Intervals: 3, Competing: 3,
 		})
 		const k = 3
-		opt, err := NewExact(Config{}).Solve(inst, k)
+		opt, err := NewExact(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, s := range []Solver{NewGRD(Config{}), NewTOP(Config{}), NewRAND(seed, Config{}), NewLocalSearch(nil, 0, Config{})} {
-			res, err := s.Solve(inst, k)
+			res, err := s.Solve(context.Background(), inst, k)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -250,7 +251,7 @@ func TestExactDominatesHeuristics(t *testing.T) {
 		// optimal on these tiny instances (empirically it is nearly
 		// optimal; 0.5 is a loose floor, consistent with greedy bounds
 		// for submodular maximization).
-		grd, _ := NewGRD(Config{}).Solve(inst, k)
+		grd, _ := NewGRD(Config{}).Solve(context.Background(), inst, k)
 		if grd.Utility < 0.5*opt.Utility-eps {
 			t.Errorf("seed %d: GRD utility %v below half of optimum %v", seed, grd.Utility, opt.Utility)
 		}
@@ -264,7 +265,7 @@ func TestExactMatchesBruteForceSmall(t *testing.T) {
 			Seed: seed, Users: 8, Events: 5, Intervals: 2, Competing: 2,
 		})
 		const k = 2
-		opt, err := NewExact(Config{}).Solve(inst, k)
+		opt, err := NewExact(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -311,11 +312,11 @@ func TestLocalSearchNeverWorseThanStart(t *testing.T) {
 	for seed := uint64(70); seed < 78; seed++ {
 		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 5})
 		start := NewRAND(seed, Config{})
-		base, err := start.Solve(inst, 5)
+		base, err := start.Solve(context.Background(), inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		improved, err := NewLocalSearch(NewRAND(seed, Config{}), 0, Config{}).Solve(inst, 5)
+		improved, err := NewLocalSearch(NewRAND(seed, Config{}), 0, Config{}).Solve(context.Background(), inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -335,15 +336,15 @@ func TestGRDBeatsBaselinesOnAverage(t *testing.T) {
 			Seed: seed, Users: 40, Events: 16, Intervals: 5, Competing: 10,
 		})
 		const k = 8
-		grd, err := NewGRD(Config{}).Solve(inst, k)
+		grd, err := NewGRD(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		top, err := NewTOP(Config{}).Solve(inst, k)
+		top, err := NewTOP(Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rnd, err := NewRAND(seed, Config{}).Solve(inst, k)
+		rnd, err := NewRAND(seed, Config{}).Solve(context.Background(), inst, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -365,9 +366,9 @@ func TestGRDBeatsBaselinesOnAverage(t *testing.T) {
 
 func TestRANDIsSeedDeterministic(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 5, Competing: 4})
-	a, _ := NewRAND(9, Config{}).Solve(inst, 5)
-	b, _ := NewRAND(9, Config{}).Solve(inst, 5)
-	c, _ := NewRAND(10, Config{}).Solve(inst, 5)
+	a, _ := NewRAND(9, Config{}).Solve(context.Background(), inst, 5)
+	b, _ := NewRAND(9, Config{}).Solve(context.Background(), inst, 5)
+	c, _ := NewRAND(10, Config{}).Solve(context.Background(), inst, 5)
 	as, bs := a.Schedule.Assignments(), b.Schedule.Assignments()
 	if len(as) != len(bs) {
 		t.Fatal("same seed, different sizes")
@@ -398,8 +399,8 @@ func TestCountersMatchPaperCostModel(t *testing.T) {
 	// the selected intervals.
 	inst := sestest.Random(sestest.Config{Seed: 6, Events: 10, Intervals: 4, Competing: 3})
 	const k = 5
-	grd, _ := NewGRD(Config{}).Solve(inst, k)
-	top, _ := NewTOP(Config{}).Solve(inst, k)
+	grd, _ := NewGRD(Config{}).Solve(context.Background(), inst, k)
+	top, _ := NewTOP(Config{}).Solve(context.Background(), inst, k)
 	wantInit := inst.NumEvents() * inst.NumIntervals
 	if grd.Counters.InitialScores != wantInit {
 		t.Errorf("GRD initial scores %d, want %d", grd.Counters.InitialScores, wantInit)
@@ -434,7 +435,7 @@ func TestExactBudgetExceeded(t *testing.T) {
 	inst := sestest.Random(sestest.Config{Seed: 7, Events: 12, Intervals: 4})
 	ex := NewExact(Config{})
 	ex.MaxNodes = 5
-	if _, err := ex.Solve(inst, 6); !errors.Is(err, ErrSearchBudget) {
+	if _, err := ex.Solve(context.Background(), inst, 6); !errors.Is(err, ErrSearchBudget) {
 		t.Fatalf("got %v, want ErrSearchBudget", err)
 	}
 }
@@ -442,12 +443,12 @@ func TestExactBudgetExceeded(t *testing.T) {
 func TestAnnealNeverWorseThanItsRandStart(t *testing.T) {
 	for seed := uint64(100); seed < 106; seed++ {
 		inst := sestest.Random(sestest.Config{Seed: seed, Competing: 5})
-		base, err := NewRAND(seed, Config{}).Solve(inst, 5)
+		base, err := NewRAND(seed, Config{}).Solve(context.Background(), inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
 		ann := NewAnneal(seed, 2000, Config{})
-		res, err := ann.Solve(inst, 5)
+		res, err := ann.Solve(context.Background(), inst, 5)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package solver
 
 import (
+	"context"
+
 	"ses/internal/core"
 )
 
@@ -26,16 +28,20 @@ func (s *Spread) Name() string { return "spread" }
 // initial score matrix comes from the shared parallel builder; the
 // per-event rows it needs for the placement step are just views into
 // that matrix.
-func (s *Spread) Solve(inst *core.Instance, k int) (*Result, error) {
+// Spread is one-shot: any done context returns ctx.Err().
+func (s *Spread) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, error) {
 	if err := validate(inst, k); err != nil {
 		return nil, err
 	}
-	eng := s.cfg.engine()(inst)
+	eng := s.cfg.instrument(s.Name(), s.cfg.engine()(inst))
 	res := &Result{Solver: s.Name()}
 
 	// Initial scores for all pairs; mat is indexed [t*|E| + e].
 	nE, nT := inst.NumEvents(), inst.NumIntervals
-	mat := scoreMatrix(eng, s.cfg.workers(), &res.Counters)
+	mat, err := scoreMatrix(ctx, eng, s.cfg.workers(), &res.Counters)
+	if err != nil {
+		return nil, err
+	}
 	score := func(e, t int) float64 { return mat[t*nE+e] }
 	ranked := make([]assignment, 0, nE)
 	for e := 0; e < nE; e++ {
@@ -54,6 +60,9 @@ func (s *Spread) Solve(inst *core.Instance, k int) (*Result, error) {
 	for _, a := range ranked {
 		if sched.Size() >= k {
 			break
+		}
+		if _, err := ctxCheck(ctx, false); err != nil {
+			return nil, err
 		}
 		// Least-loaded valid interval; ties by initial score there.
 		bestT := -1

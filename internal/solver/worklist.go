@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,17 +31,23 @@ type assignment struct {
 // out across up to `workers` goroutines, each with its own state from
 // newState. fn must be safe to call concurrently for distinct i with
 // distinct states. Iteration order is unspecified; callers that need
-// determinism must write results to per-index slots.
-func forEachIndexState[S any](n, workers int, newState func() S, fn func(s S, i int)) {
+// determinism must write results to per-index slots. A done ctx stops
+// workers from claiming further indices; the caller decides what a
+// partially-processed range means (every caller here treats it as
+// ctx.Err() and discards the partial results).
+func forEachIndexState[S any](ctx context.Context, n, workers int, newState func() S, fn func(s S, i int)) error {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		s := newState()
 		for i := 0; i < n; i++ {
+			if ctx != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(s, i)
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -49,7 +56,7 @@ func forEachIndexState[S any](n, workers int, newState func() S, fn func(s S, i 
 		go func() {
 			defer wg.Done()
 			s := newState()
-			for {
+			for ctx == nil || ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -59,33 +66,61 @@ func forEachIndexState[S any](n, workers int, newState func() S, fn func(s S, i 
 		}()
 	}
 	wg.Wait()
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // forEachIndex is forEachIndexState without per-worker state.
-func forEachIndex(n, workers int, fn func(i int)) {
-	forEachIndexState(n, workers, func() struct{} { return struct{}{} },
+func forEachIndex(ctx context.Context, n, workers int, fn func(i int)) error {
+	return forEachIndexState(ctx, n, workers, func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) { fn(i) })
 }
 
-// scoreMatrix computes the initial score of every (event, interval)
-// pair, parallelized over intervals. Every worker (including the
+// ScoreIntervals computes the initial (current-engine-state) score of
+// every event at each listed interval into mat[t*nE+e], fanning out
+// across up to `workers` goroutines. Every worker (including the
 // serial path) scores against its own Fork of the engine, so no
 // engine scratch state is ever shared and the values are identical
-// for any worker count. The result is indexed [t*|E| + e].
-// counters.InitialScores is advanced by |E|·|T|.
-func scoreMatrix(eng choice.Engine, workers int, counters *Counters) []float64 {
-	inst := eng.Instance()
-	nE, nT := inst.NumEvents(), inst.NumIntervals
-	mat := make([]float64, nE*nT)
+// for any worker count. counters.InitialScores advances by |E| per
+// interval actually scored — on a ctx abort it reflects the completed
+// prefix, not the requested total. It is the scoring kernel of the
+// worklist builder and of the session layer's incremental score-cache
+// patching; a done ctx aborts the fan-out and returns ctx.Err() with
+// mat only partially written.
+func ScoreIntervals(ctx context.Context, eng choice.Engine, intervals []int, workers int, mat []float64, counters *Counters) error {
+	nE := eng.Instance().NumEvents()
 	events := make([]int, nE)
 	for i := range events {
 		events[i] = i
 	}
-	counters.InitialScores += nE * nT
-	forEachIndexState(nT, workers,
+	var completed atomic.Int64
+	err := forEachIndexState(ctx, len(intervals), workers,
 		func() choice.Engine { return eng.Fork() },
-		func(own choice.Engine, t int) { own.ScoreBatch(events, t, mat[t*nE:(t+1)*nE]) })
-	return mat
+		func(own choice.Engine, i int) {
+			t := intervals[i]
+			own.ScoreBatch(events, t, mat[t*nE:(t+1)*nE])
+			completed.Add(1)
+		})
+	counters.InitialScores += nE * int(completed.Load())
+	return err
+}
+
+// scoreMatrix computes the initial score of every (event, interval)
+// pair, parallelized over intervals; the result is indexed [t*|E|+e].
+func scoreMatrix(ctx context.Context, eng choice.Engine, workers int, counters *Counters) ([]float64, error) {
+	inst := eng.Instance()
+	nE, nT := inst.NumEvents(), inst.NumIntervals
+	mat := make([]float64, nE*nT)
+	intervals := make([]int, nT)
+	for t := range intervals {
+		intervals[t] = t
+	}
+	if err := ScoreIntervals(ctx, eng, intervals, workers, mat, counters); err != nil {
+		return nil, err
+	}
+	return mat, nil
 }
 
 // worklist is the scored assignment list shared by the constructive
@@ -97,17 +132,20 @@ type worklist struct {
 // newWorklist scores the full cross product (in parallel when workers
 // > 1) and generates the list in (event, interval) order, which fixes
 // tie-breaking deterministically.
-func newWorklist(eng choice.Engine, workers int, counters *Counters) *worklist {
+func newWorklist(ctx context.Context, eng choice.Engine, workers int, counters *Counters) (*worklist, error) {
 	inst := eng.Instance()
 	nE, nT := inst.NumEvents(), inst.NumIntervals
-	mat := scoreMatrix(eng, workers, counters)
+	mat, err := scoreMatrix(ctx, eng, workers, counters)
+	if err != nil {
+		return nil, err
+	}
 	list := make([]assignment, 0, nE*nT)
 	for e := 0; e < nE; e++ {
 		for t := 0; t < nT; t++ {
 			list = append(list, assignment{event: e, interval: t, score: mat[t*nE+e]})
 		}
 	}
-	return &worklist{list: list}
+	return &worklist{list: list}, nil
 }
 
 // sortByScore orders by score descending with (event, interval) as

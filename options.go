@@ -1,0 +1,70 @@
+package ses
+
+import "ses/internal/solver"
+
+// Option configures solver construction (New) and Scheduler sessions
+// (NewScheduler). The same options apply to both surfaces: a session
+// is just a solver with retained state, so the knobs — engine choice,
+// scoring parallelism, randomization seed, progress streaming — are
+// shared.
+type Option func(*config)
+
+// config is the resolved option set.
+type config struct {
+	workers  int
+	engine   EngineFactory
+	seed     uint64
+	progress func(Progress)
+}
+
+// solverConfig converts the resolved options to the internal solver
+// configuration.
+func (c config) solverConfig() SolverConfig {
+	return SolverConfig{Engine: c.engine, Workers: c.workers, Progress: c.progress}
+}
+
+// resolve applies opts over the defaults.
+func resolve(opts []Option) config {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithWorkers sets the number of goroutines used for initial scoring
+// (0, the default, uses all cores; 1 runs serially). Schedules,
+// utilities and counters are byte-identical for any value.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithEngine injects a choice-engine factory — SparseEngine (the
+// default) or DenseEngine for ablations.
+func WithEngine(f EngineFactory) Option { return func(c *config) { c.engine = f } }
+
+// WithSeed seeds the randomized algorithms (rand, anneal, online);
+// deterministic algorithms ignore it. The default seed is 0.
+func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+
+// WithProgress streams one Progress notification per assignment
+// applied to the solver's (or session's) main engine, synchronously
+// from the goroutine running the solve. Use it to drive live UIs or
+// logs while a long solve runs; read the final schedule from the
+// Result, not from the stream. The callback must not call back into
+// the solver or Scheduler it is observing (a Scheduler callback runs
+// under the session lock).
+func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
+
+// EngineFactory builds the choice engine a solver evaluates the
+// paper's Eq. 1–4 with; pass one to WithEngine.
+type EngineFactory = solver.EngineFactory
+
+// Progress is one streaming notification emitted through WithProgress.
+type Progress = solver.Progress
+
+// SparseEngine is the default production engine factory: sorted
+// scheduled-mass accumulators, allocation-free scoring hot paths.
+var SparseEngine EngineFactory = solver.DefaultEngine
+
+// DenseEngine is the paper-faithful O(|U|)-per-score engine factory,
+// retained for ablations.
+var DenseEngine EngineFactory = solver.DenseEngine

@@ -1,6 +1,7 @@
 package ses_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := ses.Greedy().Solve(inst, 10)
+	res, err := ses.Greedy().Solve(context.Background(), inst, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,19 +69,19 @@ func TestSolverOrderingOnPublicAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	grd, err := ses.Greedy().Solve(inst, 20)
+	grd, err := ses.Greedy().Solve(context.Background(), inst, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	lazy, err := ses.LazyGreedy().Solve(inst, 20)
+	lazy, err := ses.LazyGreedy().Solve(context.Background(), inst, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	top, err := ses.Top().Solve(inst, 20)
+	top, err := ses.Top().Solve(context.Background(), inst, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rnd, err := ses.Random(1).Solve(inst, 20)
+	rnd, err := ses.Random(1).Solve(context.Background(), inst, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestManualInstanceConstruction(t *testing.T) {
 	if err := inst.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ses.Greedy().Solve(inst, 2)
+	res, err := ses.Greedy().Solve(context.Background(), inst, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
