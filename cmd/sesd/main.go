@@ -1,0 +1,388 @@
+// Command sesd is the SES scheduling daemon: an HTTP JSON front over
+// ses.Store serving many concurrent organizer sessions from one
+// process. Request contexts flow into the anytime solvers, so a
+// client deadline (or the ?timeout query) turns a long resolve into a
+// committed best-so-far instead of wasted work.
+//
+// Usage:
+//
+//	sesd [-addr :8080] [-workers W]
+//
+// API (all bodies JSON; see the README for a curl walkthrough):
+//
+//	POST   /v1/sessions                     {"name","k","instance":{...}}  create a session
+//	GET    /v1/sessions                     list session metadata
+//	GET    /v1/sessions/{name}              one session's metadata
+//	DELETE /v1/sessions/{name}              drop a session
+//	POST   /v1/sessions/{name}/resolve      re-solve incrementally [?timeout=200ms]
+//	POST   /v1/sessions/{name}/batch        {"mutations":[...]}  mutate + one resolve [?timeout=200ms]
+//	GET    /v1/sessions/{name}/schedule     committed schedule + utility
+//	GET    /v1/sessions/{name}/snapshot     versioned snapshot [?format=binary]
+//	POST   /v1/sessions/{name}/restore      snapshot document  [?replace=true]
+//	GET    /v1/metrics                      daemon + per-session counters
+//	GET    /healthz                         liveness
+//
+// The instance document is the same JSON sesgen writes; a snapshot
+// fetched from one daemon restores into another (or into a library
+// ses.Store) unchanged.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"mime"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ses"
+	"ses/internal/dataset"
+	"ses/internal/stats"
+)
+
+func main() {
+	fs := flag.NewFlagSet("sesd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "goroutines for initial scoring per resolve (0 = all cores)")
+	fs.Parse(os.Args[1:])
+
+	srv := newServer(ses.NewStore(ses.WithWorkers(*workers)))
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shCtx)
+	}()
+	log.Printf("sesd: listening on %s", *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("sesd: %v", err)
+	}
+}
+
+// server wires the store to the HTTP surface and keeps the daemon
+// metrics.
+type server struct {
+	store *ses.Store
+	start time.Time
+
+	requests atomic.Uint64
+	resolves atomic.Uint64
+	batches  atomic.Uint64
+	errors   atomic.Uint64
+
+	// lat is a bounded ring of resolve latencies (seconds) backing the
+	// /v1/metrics percentiles.
+	latMu sync.Mutex
+	lat   []float64
+	latAt int
+}
+
+const latRing = 4096
+
+func newServer(st *ses.Store) *server {
+	return &server{store: st, start: time.Now()}
+}
+
+// routes builds the method+pattern mux.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.createSession)
+	mux.HandleFunc("GET /v1/sessions", s.listSessions)
+	mux.HandleFunc("GET /v1/sessions/{name}", s.getSession)
+	mux.HandleFunc("DELETE /v1/sessions/{name}", s.deleteSession)
+	mux.HandleFunc("POST /v1/sessions/{name}/resolve", s.resolveSession)
+	mux.HandleFunc("POST /v1/sessions/{name}/batch", s.batchSession)
+	mux.HandleFunc("GET /v1/sessions/{name}/schedule", s.getSchedule)
+	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", s.getSnapshot)
+	mux.HandleFunc("POST /v1/sessions/{name}/restore", s.restoreSession)
+	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON emits one JSON response.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps an error to a JSON error body.
+func (s *server) writeErr(w http.ResponseWriter, status int, err error) {
+	s.errors.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// statusOf classifies store errors.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, ses.ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ses.ErrSessionExists):
+		return http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		// The deadline fired during a one-shot phase (scoring), where
+		// no feasible best-so-far exists to commit; mid-selection the
+		// resolve would instead have committed with Stopped set.
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// reqContext applies the optional ?timeout=DURATION to the request
+// context; the deadline flows into the anytime resolve.
+func reqContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	q := r.URL.Query().Get("timeout")
+	if q == "" {
+		return r.Context(), func() {}, nil
+	}
+	d, err := time.ParseDuration(q)
+	if err != nil || d <= 0 {
+		return nil, nil, fmt.Errorf("bad timeout %q", q)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// createReq is the body of POST /v1/sessions.
+type createReq struct {
+	Name     string               `json:"name"`
+	K        int                  `json:"k"`
+	Instance *dataset.InstanceDoc `json:"instance"`
+}
+
+func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	var req createReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.Name == "" || req.Instance == nil {
+		s.writeErr(w, http.StatusBadRequest, errors.New("name and instance are required"))
+		return
+	}
+	inst, err := req.Instance.Instance()
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.store.Create(req.Name, inst, req.K); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	meta, err := s.store.Meta(req.Name)
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, meta)
+}
+
+func (s *server) listSessions(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.store.Metas())
+}
+
+func (s *server) getSession(w http.ResponseWriter, r *http.Request) {
+	meta, err := s.store.Meta(r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, meta)
+}
+
+func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("name")); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// observeResolve records one resolve latency.
+func (s *server) observeResolve(d time.Duration) {
+	s.resolves.Add(1)
+	s.latMu.Lock()
+	if len(s.lat) < latRing {
+		s.lat = append(s.lat, d.Seconds())
+	} else {
+		s.lat[s.latAt%latRing] = d.Seconds()
+	}
+	s.latAt++
+	s.latMu.Unlock()
+}
+
+func (s *server) resolveSession(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := reqContext(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	start := time.Now()
+	delta, err := s.store.Resolve(ctx, r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	s.observeResolve(time.Since(start))
+	s.writeJSON(w, http.StatusOK, delta)
+}
+
+// batchReq is the body of POST /v1/sessions/{name}/batch.
+type batchReq struct {
+	Mutations []ses.Mutation `json:"mutations"`
+}
+
+func (s *server) batchSession(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel, err := reqContext(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	var req batchReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	start := time.Now()
+	res, err := s.store.ApplyBatch(ctx, r.PathValue("name"), req.Mutations)
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	s.observeResolve(time.Since(start))
+	s.batches.Add(1)
+	s.writeJSON(w, http.StatusOK, res)
+}
+
+// scheduleResp is the body of GET /v1/sessions/{name}/schedule.
+type scheduleResp struct {
+	Assignments []ses.Assignment `json:"assignments"`
+	Utility     float64          `json:"utility"`
+}
+
+func (s *server) getSchedule(w http.ResponseWriter, r *http.Request) {
+	sched, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, scheduleResp{Assignments: sched.Schedule(), Utility: sched.Utility()})
+}
+
+func (s *server) getSnapshot(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	state, err := s.store.Snapshot(name)
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	doc, err := ses.NewSnapshot(name, state)
+	if err != nil {
+		s.writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "binary" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := ses.EncodeSnapshotBinary(w, doc); err != nil {
+			log.Printf("sesd: writing binary snapshot: %v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := ses.EncodeSnapshot(w, doc); err != nil {
+		log.Printf("sesd: writing snapshot: %v", err)
+	}
+}
+
+func (s *server) restoreSession(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var doc *ses.Snapshot
+	var err error
+	mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	if mt == "application/octet-stream" {
+		doc, err = ses.DecodeSnapshotBinary(r.Body)
+	} else {
+		doc, err = ses.DecodeSnapshot(r.Body)
+	}
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	state, err := doc.State()
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	replace, _ := strconv.ParseBool(r.URL.Query().Get("replace"))
+	if err := s.store.Restore(name, state, replace); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	meta, err := s.store.Meta(name)
+	if err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, meta)
+}
+
+// metricsResp is the body of GET /v1/metrics.
+type metricsResp struct {
+	UptimeSec float64            `json:"uptime_sec"`
+	Sessions  int                `json:"sessions"`
+	Requests  uint64             `json:"requests"`
+	Resolves  uint64             `json:"resolves"`
+	Batches   uint64             `json:"batches"`
+	Errors    uint64             `json:"errors"`
+	ResolveMs map[string]float64 `json:"resolve_latency_ms"`
+	Metas     []ses.SessionMeta  `json:"session_metas"`
+}
+
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	s.latMu.Lock()
+	lat := append([]float64(nil), s.lat...)
+	s.latMu.Unlock()
+	sort.Float64s(lat)
+	resolveMs := map[string]float64{}
+	if len(lat) > 0 {
+		for _, p := range []float64{50, 90, 99} {
+			resolveMs[fmt.Sprintf("p%.0f", p)] = stats.PercentileSorted(lat, p) * 1000
+		}
+		resolveMs["max"] = lat[len(lat)-1] * 1000
+	}
+	s.writeJSON(w, http.StatusOK, metricsResp{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Sessions:  s.store.Len(),
+		Requests:  s.requests.Load(),
+		Resolves:  s.resolves.Load(),
+		Batches:   s.batches.Load(),
+		Errors:    s.errors.Load(),
+		ResolveMs: resolveMs,
+		Metas:     s.store.Metas(),
+	})
+}

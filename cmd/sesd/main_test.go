@@ -1,0 +1,299 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ses"
+	"ses/internal/dataset"
+	"ses/internal/sestest"
+)
+
+// testServer spins up the daemon handler over a fresh store.
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newServer(ses.NewStore(ses.WithWorkers(1))).routes())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// instanceDoc builds a serializable instance document.
+func instanceDoc(t *testing.T, seed uint64) *dataset.InstanceDoc {
+	t.Helper()
+	inst := sestest.Random(sestest.Config{Users: 25, Events: 10, Intervals: 4, Competing: 2, Seed: seed})
+	doc, err := dataset.NewInstanceDoc(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// do runs one JSON request and decodes the response into out (unless
+// nil), asserting the status code.
+func do(t *testing.T, method, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d; body: %s", method, url, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, url, raw, err)
+		}
+	}
+}
+
+func TestDaemonLifecycle(t *testing.T) {
+	srv := testServer(t)
+	doc := instanceDoc(t, 31)
+
+	var meta ses.SessionMeta
+	do(t, "POST", srv.URL+"/v1/sessions", createReq{Name: "fest", K: 4, Instance: doc}, http.StatusCreated, &meta)
+	if meta.Name != "fest" || meta.K != 4 || meta.Events != 10 {
+		t.Fatalf("create meta: %+v", meta)
+	}
+	// Duplicate name conflicts.
+	do(t, "POST", srv.URL+"/v1/sessions", createReq{Name: "fest", K: 4, Instance: doc}, http.StatusConflict, nil)
+
+	// Resolve commits a schedule.
+	var delta ses.Delta
+	do(t, "POST", srv.URL+"/v1/sessions/fest/resolve", nil, http.StatusOK, &delta)
+	if len(delta.Added) == 0 || delta.Utility <= 0 {
+		t.Fatalf("first resolve: %+v", delta)
+	}
+
+	// Batch: mutations + one resolve, ids returned.
+	var res ses.BatchResult
+	do(t, "POST", srv.URL+"/v1/sessions/fest/batch", batchReq{Mutations: []ses.Mutation{
+		ses.AddEventOp(ses.Event{Location: 1, Required: 1, Name: "late-show"}, map[int]float64{0: 0.9}),
+		ses.UpdateInterestOp(1, 0, 0.8),
+		ses.SetKOp(5),
+	}}, http.StatusOK, &res)
+	if len(res.EventIDs) != 1 || res.EventIDs[0] != 10 || res.Delta == nil {
+		t.Fatalf("batch result: %+v", res)
+	}
+
+	// Schedule view matches the metadata view.
+	var sched scheduleResp
+	do(t, "GET", srv.URL+"/v1/sessions/fest/schedule", nil, http.StatusOK, &sched)
+	do(t, "GET", srv.URL+"/v1/sessions/fest", nil, http.StatusOK, &meta)
+	if len(sched.Assignments) != meta.Scheduled || sched.Utility != meta.Utility {
+		t.Fatalf("schedule %+v disagrees with meta %+v", sched, meta)
+	}
+	if meta.Resolves != 2 || meta.Batches != 1 || meta.Mutations != 3 {
+		t.Fatalf("meta counters: %+v", meta)
+	}
+
+	// Listing returns the one session.
+	var metas []ses.SessionMeta
+	do(t, "GET", srv.URL+"/v1/sessions", nil, http.StatusOK, &metas)
+	if len(metas) != 1 || metas[0].Name != "fest" {
+		t.Fatalf("list: %+v", metas)
+	}
+
+	// Metrics counts what happened.
+	var m metricsResp
+	do(t, "GET", srv.URL+"/v1/metrics", nil, http.StatusOK, &m)
+	if m.Sessions != 1 || m.Resolves != 2 || m.Batches != 1 || m.Errors == 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.ResolveMs["p50"] <= 0 || m.ResolveMs["max"] < m.ResolveMs["p50"] {
+		t.Fatalf("latency summary: %+v", m.ResolveMs)
+	}
+
+	// Delete, then 404.
+	do(t, "DELETE", srv.URL+"/v1/sessions/fest", nil, http.StatusNoContent, nil)
+	do(t, "GET", srv.URL+"/v1/sessions/fest", nil, http.StatusNotFound, nil)
+}
+
+func TestDaemonSnapshotRestoreRoundTrip(t *testing.T) {
+	srv := testServer(t)
+	doc := instanceDoc(t, 32)
+	do(t, "POST", srv.URL+"/v1/sessions", createReq{Name: "src", K: 4, Instance: doc}, http.StatusCreated, nil)
+	do(t, "POST", srv.URL+"/v1/sessions/src/batch", batchReq{Mutations: []ses.Mutation{
+		ses.ForbidOp(0, 1),
+		ses.AddCompetingOp(ses.CompetingEvent{Interval: 0, Name: "rival"}, map[int]float64{2: 0.6}),
+	}}, http.StatusOK, nil)
+
+	// Fetch the JSON snapshot.
+	resp, err := http.Get(srv.URL + "/v1/sessions/src/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap1, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d err %v", resp.StatusCode, err)
+	}
+
+	// Restore it as a new session on the same daemon.
+	restoreResp, err := http.Post(srv.URL+"/v1/sessions/copy/restore", "application/json", bytes.NewReader(snap1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, restoreResp.Body)
+	restoreResp.Body.Close()
+	if restoreResp.StatusCode != http.StatusOK {
+		t.Fatalf("restore: status %d", restoreResp.StatusCode)
+	}
+
+	// Both sessions serve the same schedule, and the copy's snapshot is
+	// byte-identical up to the name field (names differ; strip them).
+	var a, b scheduleResp
+	do(t, "GET", srv.URL+"/v1/sessions/src/schedule", nil, http.StatusOK, &a)
+	do(t, "GET", srv.URL+"/v1/sessions/copy/schedule", nil, http.StatusOK, &b)
+	if a.Utility != b.Utility || fmt.Sprint(a.Assignments) != fmt.Sprint(b.Assignments) {
+		t.Fatalf("restored session differs: %+v vs %+v", a, b)
+	}
+	resp2, err := http.Get(srv.URL + "/v1/sessions/copy/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	strip := func(b []byte) string {
+		return strings.Replace(string(b), `"name":"copy"`, `"name":"src"`, 1)
+	}
+	if strip(snap2) != string(snap1) {
+		t.Fatalf("snapshot of restored session differs:\n%s\nvs\n%s", snap1, snap2)
+	}
+
+	// Restore over an existing session requires replace=true.
+	conflict, err := http.Post(srv.URL+"/v1/sessions/copy/restore", "application/json", bytes.NewReader(snap1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, conflict.Body)
+	conflict.Body.Close()
+	if conflict.StatusCode != http.StatusConflict {
+		t.Fatalf("restore conflict: status %d", conflict.StatusCode)
+	}
+	replace, err := http.Post(srv.URL+"/v1/sessions/copy/restore?replace=true", "application/json", bytes.NewReader(snap1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, replace.Body)
+	replace.Body.Close()
+	if replace.StatusCode != http.StatusOK {
+		t.Fatalf("restore replace: status %d", replace.StatusCode)
+	}
+
+	// Binary snapshot round-trips through the restore endpoint too.
+	bresp, err := http.Get(srv.URL + "/v1/sessions/src/snapshot?format=binary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, _ := io.ReadAll(bresp.Body)
+	bresp.Body.Close()
+	if bresp.Header.Get("Content-Type") != "application/octet-stream" || len(bin) == 0 {
+		t.Fatalf("binary snapshot: %q, %d bytes", bresp.Header.Get("Content-Type"), len(bin))
+	}
+	brestore, err := http.Post(srv.URL+"/v1/sessions/bin/restore", "application/octet-stream", bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, brestore.Body)
+	brestore.Body.Close()
+	if brestore.StatusCode != http.StatusOK {
+		t.Fatalf("binary restore: status %d", brestore.StatusCode)
+	}
+}
+
+func TestDaemonTimeoutFlowsIntoResolve(t *testing.T) {
+	srv := testServer(t)
+	// Large enough that a 1ns deadline certainly fires during solving.
+	inst := sestest.Random(sestest.Config{Users: 400, Events: 60, Intervals: 12, Seed: 33})
+	doc, err := dataset.NewInstanceDoc(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	do(t, "POST", srv.URL+"/v1/sessions", createReq{Name: "big", K: 30, Instance: doc}, http.StatusCreated, nil)
+
+	// An immediate deadline fires during the one-shot scoring phase:
+	// nothing to commit, so the daemon reports a timeout.
+	do(t, "POST", srv.URL+"/v1/sessions/big/resolve?timeout=1ns", nil, http.StatusGatewayTimeout, nil)
+
+	// Short-but-plausible deadlines land either in scoring (504) or in
+	// the anytime selection, which commits the feasible best-so-far
+	// with Stopped set. Both prove the request deadline reaches the
+	// solver; anything else is a bug.
+	for _, timeout := range []string{"200us", "1ms", "5ms"} {
+		req, err := http.NewRequest("POST", srv.URL+"/v1/sessions/big/resolve?timeout="+timeout, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusGatewayTimeout:
+			// fine: deadline during scoring
+		case http.StatusOK:
+			var delta ses.Delta
+			if err := json.Unmarshal(raw, &delta); err != nil {
+				t.Fatal(err)
+			}
+			if delta.Stopped != "" && delta.Stopped != ses.StoppedDeadline {
+				t.Fatalf("timeout %s: unexpected stop reason %q", timeout, delta.Stopped)
+			}
+		default:
+			t.Fatalf("timeout %s: status %d, body %s", timeout, resp.StatusCode, raw)
+		}
+	}
+
+	// A generous timeout completes normally.
+	var delta ses.Delta
+	do(t, "POST", srv.URL+"/v1/sessions/big/resolve?timeout=1m", nil, http.StatusOK, &delta)
+	if delta.Stopped != "" {
+		t.Fatalf("generous timeout still stopped early: %+v", delta)
+	}
+	// Bad timeout strings are rejected.
+	do(t, "POST", srv.URL+"/v1/sessions/big/resolve?timeout=soon", nil, http.StatusBadRequest, nil)
+}
+
+func TestDaemonRejectsGarbage(t *testing.T) {
+	srv := testServer(t)
+	do(t, "POST", srv.URL+"/v1/sessions", map[string]any{"name": "x"}, http.StatusBadRequest, nil)
+	do(t, "POST", srv.URL+"/v1/sessions", map[string]any{"name": "x", "instance": map[string]any{"num_users": -4}}, http.StatusBadRequest, nil)
+	do(t, "POST", srv.URL+"/v1/sessions/nope/resolve", nil, http.StatusNotFound, nil)
+	do(t, "GET", srv.URL+"/v1/sessions/nope/schedule", nil, http.StatusNotFound, nil)
+	do(t, "GET", srv.URL+"/v1/sessions/nope/snapshot", nil, http.StatusNotFound, nil)
+	resp, err := http.Post(srv.URL+"/v1/sessions/x/restore", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage restore: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Regenerate the golden outputs with:
+//
+//	go test ./cmd/sesinspect/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestGoldenOutput locks sesinspect's report on a generated dataset.
+// Generation is fully seed-deterministic and the report contains no
+// wall-clock figures, so the comparison is byte-exact.
+func TestGoldenOutput(t *testing.T) {
+	for _, tc := range []struct {
+		golden string
+		args   []string
+	}{
+		{"report_small.golden", []string{"-users", "400", "-events", "512", "-sample", "40", "-seed", "42"}},
+		{"report_dense.golden", []string{"-users", "300", "-events", "256", "-sample", "25", "-seed", "7", "-events-per-day", "20"}},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.golden)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if out.String() != string(want) {
+				t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, out.String(), want)
+			}
+		})
+	}
+}

@@ -1,0 +1,348 @@
+// Command sesload load-tests the concurrent serving layer: it creates
+// N sessions in one ses.Store and drives every session from its own
+// goroutine with a mixed workload — direct mutations, incremental
+// resolves, batched commits and snapshot exports — then reports
+// throughput and per-operation latency percentiles.
+//
+// Usage:
+//
+//	sesload [-sessions 128] [-duration 3s] [-users 60] [-events 16]
+//	        [-intervals 5] [-competing 3] [-k 6] [-seed 1]
+//	        [-workers 1] [-json BENCH_store.json]
+//
+// The workload mix per iteration: ~55% single mutations, ~20%
+// resolves, ~15% batches (two mutations + the batch's one resolve),
+// ~10% snapshot exports. Pins are drawn from the session's committed
+// schedule so the pin set always stays feasible. All instance
+// generation is seed-deterministic; timings obviously are not.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ses"
+	"ses/internal/core"
+	"ses/internal/randx"
+	"ses/internal/sestest"
+	"ses/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sesload:", err)
+		os.Exit(1)
+	}
+}
+
+// opClass indexes the latency classes.
+const (
+	opMutate = iota
+	opResolve
+	opBatch
+	opSnapshot
+	numOps
+)
+
+var opNames = [numOps]string{"mutate", "resolve", "batch", "snapshot"}
+
+// latencySummary is the reported shape of one op class.
+type latencySummary struct {
+	Count int     `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P90us float64 `json:"p90_us"`
+	P99us float64 `json:"p99_us"`
+	MaxUs float64 `json:"max_us"`
+}
+
+// report is the BENCH_store.json document.
+type report struct {
+	Sessions     int                       `json:"sessions"`
+	DurationSec  float64                   `json:"duration_sec"`
+	TotalOps     int                       `json:"total_ops"`
+	OpsPerSec    float64                   `json:"throughput_ops_per_sec"`
+	ResolvedUtil float64                   `json:"mean_final_utility"`
+	Ops          map[string]latencySummary `json:"ops"`
+	GoMaxProcs   int                       `json:"gomaxprocs"`
+	Users        int                       `json:"users"`
+	Events       int                       `json:"events"`
+	Intervals    int                       `json:"intervals"`
+	K            int                       `json:"k"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sesload", flag.ContinueOnError)
+	sessions := fs.Int("sessions", 128, "concurrent sessions (one driver goroutine each)")
+	duration := fs.Duration("duration", 3*time.Second, "how long to drive the workload")
+	users := fs.Int("users", 60, "users per instance")
+	events := fs.Int("events", 16, "candidate events per instance")
+	intervals := fs.Int("intervals", 5, "intervals per instance")
+	competing := fs.Int("competing", 3, "competing events per instance")
+	k := fs.Int("k", 6, "schedule-size target")
+	seed := fs.Uint64("seed", 1, "instance-generation seed")
+	workers := fs.Int("workers", 1, "scoring goroutines per resolve (keep 1 when sessions >> cores)")
+	jsonPath := fs.String("json", "", "write the report as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sessions <= 0 {
+		return fmt.Errorf("-sessions must be positive")
+	}
+
+	st := ses.NewStore(ses.WithWorkers(*workers))
+	for i := 0; i < *sessions; i++ {
+		inst := sestest.Random(sestest.Config{
+			Users: *users, Events: *events, Intervals: *intervals,
+			Competing: *competing, Seed: *seed + uint64(i),
+		})
+		if err := st.Create(fmt.Sprintf("load-%d", i), inst, *k); err != nil {
+			return err
+		}
+	}
+
+	type result struct {
+		lat  [numOps][]float64 // seconds
+		util float64
+		err  error
+	}
+	results := make([]result, *sessions)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = driveSession(st, fmt.Sprintf("load-%d", i), i, *seed, *users, *intervals, deadline)
+		}(i)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		Sessions:   *sessions,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Users:      *users,
+		Events:     *events,
+		Intervals:  *intervals,
+		K:          *k,
+		Ops:        map[string]latencySummary{},
+	}
+	var merged [numOps][]float64
+	for i := range results {
+		if results[i].err != nil {
+			return fmt.Errorf("session load-%d: %w", i, results[i].err)
+		}
+		for c := 0; c < numOps; c++ {
+			merged[c] = append(merged[c], results[i].lat[c]...)
+		}
+		rep.ResolvedUtil += results[i].util
+	}
+	rep.ResolvedUtil /= float64(*sessions)
+	rep.DurationSec = elapsed.Seconds()
+	for c := 0; c < numOps; c++ {
+		lat := merged[c]
+		sort.Float64s(lat)
+		rep.TotalOps += len(lat)
+		if len(lat) == 0 {
+			continue
+		}
+		rep.Ops[opNames[c]] = latencySummary{
+			Count: len(lat),
+			P50us: stats.PercentileSorted(lat, 50) * 1e6,
+			P90us: stats.PercentileSorted(lat, 90) * 1e6,
+			P99us: stats.PercentileSorted(lat, 99) * 1e6,
+			MaxUs: lat[len(lat)-1] * 1e6,
+		}
+	}
+	rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+
+	fmt.Fprintf(out, "sesload: %d sessions, %.2fs, %d ops (%.0f ops/sec), mean final Ω = %.2f\n",
+		rep.Sessions, rep.DurationSec, rep.TotalOps, rep.OpsPerSec, rep.ResolvedUtil)
+	for c := 0; c < numOps; c++ {
+		if s, ok := rep.Ops[opNames[c]]; ok {
+			fmt.Fprintf(out, "  %-8s %7d ops  p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  max %8.1fµs\n",
+				opNames[c], s.Count, s.P50us, s.P90us, s.P99us, s.MaxUs)
+		}
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", *jsonPath)
+	}
+	return nil
+}
+
+// driveSession runs the mixed workload against one session until the
+// deadline. It is the session's only driver, so pins drawn from the
+// committed schedule stay feasible and cancellations can avoid pinned
+// events without races.
+func driveSession(st *ses.Store, name string, idx int, seed uint64, users, intervals int, deadline time.Time) (res struct {
+	lat  [numOps][]float64
+	util float64
+	err  error
+}) {
+	ctx := context.Background()
+	src := randx.Derive(seed+uint64(idx), "sesload")
+	sched, err := st.Get(name)
+	if err != nil {
+		res.err = err
+		return
+	}
+	_, _, events := sched.Dims()
+	pinned := map[int]int{}        // event -> interval+1
+	cancelled := map[int]bool{}    // events withdrawn by this driver
+	forbidden := map[[2]int]bool{} // pairs excluded by this driver
+	var added []int                // loadgen-added events, safe to cancel
+
+	observe := func(c int, f func() error) bool {
+		t0 := time.Now()
+		err := f()
+		res.lat[c] = append(res.lat[c], time.Since(t0).Seconds())
+		if err != nil {
+			res.err = err
+			return false
+		}
+		return true
+	}
+
+	// Prime: one full resolve so schedules exist for pin sampling.
+	if !observe(opResolve, func() error {
+		_, err := st.Resolve(ctx, name)
+		return err
+	}) {
+		return
+	}
+
+	for time.Now().Before(deadline) {
+		switch r := src.IntN(20); {
+		case r < 11: // single mutation
+			ok := observe(opMutate, func() error {
+				switch src.IntN(6) {
+				case 0:
+					return sched.UpdateInterest(src.IntN(users), src.IntN(events), src.Range(0, 1))
+				case 1:
+					_, err := sched.AddCompeting(core.CompetingEvent{Interval: src.IntN(intervals)},
+						map[int]float64{src.IntN(users): src.Range(0.1, 1)})
+					return err
+				case 2:
+					id, err := sched.AddEvent(core.Event{
+						Location: src.IntN(4), Required: src.Range(0.5, 2),
+						Name: fmt.Sprintf("%s-extra-%d", name, events),
+					}, map[int]float64{src.IntN(users): src.Range(0.1, 1)})
+					if err == nil {
+						added = append(added, id)
+						events++
+					}
+					return err
+				case 3:
+					if len(added) > 0 && src.Bool(0.5) {
+						e := added[src.IntN(len(added))]
+						if cancelled[e] {
+							return nil // already withdrawn; cheap no-op
+						}
+						if err := sched.CancelEvent(e); err != nil {
+							return err
+						}
+						cancelled[e] = true
+						delete(pinned, e) // CancelEvent drops the pin
+						return nil
+					}
+					e, tt := src.IntN(events), src.IntN(intervals)
+					if pinned[e] == tt+1 {
+						return nil // forbidding a pinned pair is rejected by design
+					}
+					if err := sched.Forbid(e, tt); err != nil {
+						return err
+					}
+					forbidden[[2]int{e, tt}] = true
+					return nil
+				case 4:
+					// Pin a committed assignment: feasible by
+					// construction (it was part of one feasible
+					// schedule) — unless this driver has since
+					// cancelled the event or forbidden the pair.
+					cur := sched.Schedule()
+					if len(cur) == 0 {
+						return nil
+					}
+					a := cur[src.IntN(len(cur))]
+					if cancelled[a.Event] || forbidden[[2]int{a.Event, a.Interval}] {
+						return nil
+					}
+					if err := sched.Pin(a.Event, a.Interval); err != nil {
+						return err
+					}
+					pinned[a.Event] = a.Interval + 1
+					return nil
+				default:
+					e := src.IntN(events)
+					if err := sched.Unpin(e); err != nil {
+						return err
+					}
+					delete(pinned, e)
+					return nil
+				}
+			})
+			if !ok {
+				return
+			}
+		case r < 15: // incremental resolve
+			if !observe(opResolve, func() error {
+				_, err := st.Resolve(ctx, name)
+				return err
+			}) {
+				return
+			}
+		case r < 18: // batch: two mutations + one resolve
+			if !observe(opBatch, func() error {
+				_, err := st.ApplyBatch(ctx, name, []ses.Mutation{
+					ses.UpdateInterestOp(src.IntN(users), src.IntN(events), src.Range(0, 1)),
+					ses.AddCompetingOp(core.CompetingEvent{Interval: src.IntN(intervals)},
+						map[int]float64{src.IntN(users): src.Range(0.1, 1)}),
+				})
+				return err
+			}) {
+				return
+			}
+		default: // snapshot export
+			if !observe(opSnapshot, func() error {
+				_, err := st.Snapshot(name)
+				return err
+			}) {
+				return
+			}
+		}
+	}
+
+	// Final commit so the reported utility reflects all mutations.
+	if !observe(opResolve, func() error {
+		d, err := st.Resolve(ctx, name)
+		if err == nil {
+			res.util = d.Utility
+		}
+		return err
+	}) {
+		return
+	}
+	return
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-sessions", "6", "-duration", "300ms",
+		"-users", "20", "-events", "8", "-intervals", "4", "-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"6 sessions", "ops/sec", "mutate", "resolve", "batch", "snapshot", "report written"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sessions != 6 || rep.TotalOps == 0 || rep.OpsPerSec <= 0 {
+		t.Fatalf("report implausible: %+v", rep)
+	}
+	for _, class := range []string{"mutate", "resolve", "batch", "snapshot"} {
+		s, ok := rep.Ops[class]
+		if !ok || s.Count == 0 {
+			t.Errorf("class %s missing from report: %+v", class, rep.Ops)
+			continue
+		}
+		if s.P50us <= 0 || s.P99us < s.P50us || s.MaxUs < s.P99us {
+			t.Errorf("class %s latency summary inconsistent: %+v", class, s)
+		}
+	}
+	if rep.ResolvedUtil <= 0 {
+		t.Errorf("mean final utility %v, want > 0", rep.ResolvedUtil)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-sessions", "0"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if err := run([]string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

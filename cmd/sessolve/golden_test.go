@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"ses/internal/dataset"
+	"ses/internal/sestest"
+)
+
+// Regenerate the committed instance and golden outputs with:
+//
+//	go test ./cmd/sessolve/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// timingRe blanks the one wall-clock figure in the output.
+var timingRe = regexp.MustCompile(` events in [^;]+;`)
+
+func normalizeTiming(s string) string {
+	return timingRe.ReplaceAllString(s, ` events in <elapsed>;`)
+}
+
+// goldenInstance returns the committed instance path, regenerating the
+// file under -update.
+func goldenInstance(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join("testdata", "golden_instance.json")
+	if *update {
+		inst := sestest.Random(sestest.Config{
+			Users: 40, Events: 14, Intervals: 5, Competing: 4, Locations: 4, Seed: 2026,
+		})
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dataset.SaveInstance(f, inst); err != nil {
+			f.Close()
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenOutput locks the user-visible output of sessolve on a
+// committed instance for a deterministic algorithm set. -workers 1
+// and fixed seeds make everything but the elapsed time reproducible;
+// the timing figure is normalized away.
+func TestGoldenOutput(t *testing.T) {
+	inst := goldenInstance(t)
+	for _, tc := range []struct {
+		golden string
+		args   []string
+	}{
+		{"grd.golden", []string{"-instance", inst, "-algo", "grd", "-workers", "1"}},
+		{"grd_k4_show3.golden", []string{"-instance", inst, "-algo", "grd", "-k", "4", "-show", "3", "-workers", "1"}},
+		{"top.golden", []string{"-instance", inst, "-algo", "top", "-workers", "1"}},
+		{"rand_seed7.golden", []string{"-instance", inst, "-algo", "rand", "-seed", "7", "-workers", "1"}},
+	} {
+		t.Run(tc.golden, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(context.Background(), tc.args, &out); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, normalizeTiming(out.String()))
+		})
+	}
+}

@@ -41,7 +41,12 @@
 //     AddCompeting, Pin, Forbid — whose Resolve(ctx) repairs the
 //     schedule incrementally, rescoring only what the mutations
 //     invalidated while matching from-scratch GRD exactly.
-//   - Functional options shared by both: WithWorkers, WithEngine,
+//   - Serving: NewStore(opts...) opens a sharded, thread-safe
+//     registry of named sessions — the in-process multi-organizer
+//     layer behind the sesd daemon. ApplyBatch groups mutations into
+//     one incremental resolve, Snapshot/Restore move whole sessions
+//     between processes, and Meta reads are lock-free.
+//   - Functional options shared by all three: WithWorkers, WithEngine,
 //     WithSeed, WithProgress. (The older per-algorithm constructors
 //     remain as deprecated wrappers.)
 //   - the problem model (Instance, Event, CompetingEvent, Schedule)
@@ -97,6 +102,37 @@
 //
 // From this facade, pass WithWorkers(n) to New or NewScheduler; the
 // sessolve and sesbench commands expose the same knob as -workers.
+//
+// # Architecture: the serving layer
+//
+// The store layer (ses/internal/store, exposed as Store) turns the
+// single-session Scheduler into a multi-organizer service. Sessions
+// live in a registry striped over fixed lock shards keyed by an
+// FNV-1a hash of the session id, so registry operations only contend
+// within one stripe and never behind a running solve. Each session
+// handle additionally publishes an immutable Meta value through an
+// atomic pointer after every commit; Meta/Metas reads load the
+// pointer without taking any session lock, which keeps dashboards and
+// load balancers off the solving hot path. ApplyBatch applies a group
+// of mutations — each one cheap bookkeeping with precise score-cache
+// invalidation — and commits them with a single incremental Resolve,
+// producing exactly the outcome of the same mutations applied
+// one-by-one followed by one Resolve (test-enforced).
+//
+// Snapshots (ses/internal/snap) serialize a session's full state —
+// instance, cancellations, pins, forbids, committed schedule — behind
+// a format version, as canonical JSON for the wire and a gob-based
+// binary form for disk. restore(snapshot(s)) is byte-identical and
+// malformed input always errors (fuzz-enforced); process-local
+// configuration (engine, workers) deliberately stays outside the
+// snapshot and is re-supplied at restore.
+//
+// The sesd command serves the store over HTTP JSON (create, mutate,
+// batch, resolve, snapshot, restore, metrics), flowing request
+// deadlines into the anytime resolves; sesload drives N concurrent
+// sessions against a Store with a mixed mutate/resolve/snapshot
+// workload and writes throughput/latency percentiles to
+// BENCH_store.json.
 //
 // # Quick start
 //

@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"ses/internal/ebsn"
+	"ses/internal/sestest"
+)
+
+// FuzzDatasetIO hammers the two JSON readers of the package with
+// arbitrary bytes. The contract under fuzzing: malformed input errors
+// and never panics; accepted input round-trips through save → load →
+// save to identical bytes (loading canonicalizes, so the first re-save
+// is the fixed point).
+func FuzzDatasetIO(f *testing.F) {
+	// Seed with one real instance and one real dataset document so the
+	// fuzzer starts from accepted inputs, plus a few near-misses.
+	inst := sestest.Random(sestest.Config{Users: 8, Events: 4, Intervals: 3, Competing: 2, Seed: 7})
+	var ib bytes.Buffer
+	if err := SaveInstance(&ib, inst); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ib.Bytes())
+	ds, err := ebsn.Generate(ebsn.Config{Seed: 3, NumUsers: 12, NumEvents: 8, NumTags: 16, NumGroups: 3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var db bytes.Buffer
+	if err := SaveDataset(&db, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(db.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"num_users":-1}`))
+	f.Add([]byte(`{"activity":{"type":"table","table":[[2]]}}`))
+	f.Add([]byte(`{"config":{},"event_tags":[[1]],"event_group":[]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if inst, err := LoadInstance(bytes.NewReader(data)); err == nil {
+			var first bytes.Buffer
+			if err := SaveInstance(&first, inst); err != nil {
+				t.Fatalf("accepted instance failed to save: %v", err)
+			}
+			again, err := LoadInstance(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("saved instance failed to reload: %v", err)
+			}
+			var second bytes.Buffer
+			if err := SaveInstance(&second, again); err != nil {
+				t.Fatalf("reloaded instance failed to save: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("instance save not canonical:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+			}
+		}
+		if ds, err := LoadDataset(bytes.NewReader(data)); err == nil {
+			var first bytes.Buffer
+			if err := SaveDataset(&first, ds); err != nil {
+				t.Fatalf("accepted dataset failed to save: %v", err)
+			}
+			again, err := LoadDataset(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("saved dataset failed to reload: %v", err)
+			}
+			var second bytes.Buffer
+			if err := SaveDataset(&second, again); err != nil {
+				t.Fatalf("reloaded dataset failed to save: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("dataset save not canonical:\n%s\nvs\n%s", first.Bytes(), second.Bytes())
+			}
+		}
+	})
+}

@@ -71,102 +71,100 @@ func rawToTagSets(raw [][]int32) []interest.TagSet {
 	return out
 }
 
-// activityJSON describes the σ model of a serialized instance.
-type activityJSON struct {
+// ActivityDoc describes the σ model of a serialized instance.
+type ActivityDoc struct {
 	Type  string      `json:"type"` // "uniformhash" | "constant" | "table"
 	Seed  uint64      `json:"seed,omitempty"`
 	P     float64     `json:"p,omitempty"`
 	Table [][]float64 `json:"table,omitempty"`
 }
 
-// vectorJSON is a sparse interest row.
-type vectorJSON struct {
+// VectorDoc is a sparse interest row.
+type VectorDoc struct {
 	IDs  []int32   `json:"ids"`
 	Vals []float64 `json:"vals"`
 }
 
-// matrixJSON is a sparse interest matrix.
-type matrixJSON struct {
-	NumUsers int          `json:"num_users"`
-	Rows     []vectorJSON `json:"rows"`
+// MatrixDoc is a sparse interest matrix.
+type MatrixDoc struct {
+	NumUsers int         `json:"num_users"`
+	Rows     []VectorDoc `json:"rows"`
 }
 
-// instanceJSON is the on-disk form of a problem instance.
-type instanceJSON struct {
+// InstanceDoc is the serializable document form of a core.Instance:
+// plain exported fields, no interfaces, no maps — safe for JSON and
+// gob alike. SaveInstance/LoadInstance wrap it for standalone files;
+// the snapshot codec (ses/internal/snap) embeds it.
+type InstanceDoc struct {
 	NumUsers     int                   `json:"num_users"`
 	NumIntervals int                   `json:"num_intervals"`
 	Resources    float64               `json:"resources"`
 	Events       []core.Event          `json:"events"`
 	Competing    []core.CompetingEvent `json:"competing"`
-	CandInterest matrixJSON            `json:"cand_interest"`
-	CompInterest matrixJSON            `json:"comp_interest"`
-	Activity     activityJSON          `json:"activity"`
+	CandInterest MatrixDoc             `json:"cand_interest"`
+	CompInterest MatrixDoc             `json:"comp_interest"`
+	Activity     ActivityDoc           `json:"activity"`
 }
 
-// SaveInstance writes the instance as JSON. The activity model must be
-// one of activity.UniformHash, activity.Constant or *activity.Table;
-// other models have no serialized form.
-func SaveInstance(w io.Writer, inst *core.Instance) error {
-	var act activityJSON
+// NewInstanceDoc converts an instance to its document form. The
+// activity model must be one of activity.UniformHash, activity.Constant
+// or *activity.Table; other models have no serialized form.
+func NewInstanceDoc(inst *core.Instance) (*InstanceDoc, error) {
+	var act ActivityDoc
 	switch a := inst.Activity.(type) {
 	case activity.UniformHash:
-		act = activityJSON{Type: "uniformhash", Seed: a.Seed}
+		act = ActivityDoc{Type: "uniformhash", Seed: a.Seed}
 	case activity.Constant:
-		act = activityJSON{Type: "constant", P: float64(a)}
+		act = ActivityDoc{Type: "constant", P: float64(a)}
 	case *activity.Table:
-		act = activityJSON{Type: "table", Table: a.P}
+		act = ActivityDoc{Type: "table", Table: a.P}
 	default:
-		return fmt.Errorf("dataset: activity model %T has no serialized form", inst.Activity)
+		return nil, fmt.Errorf("dataset: activity model %T has no serialized form", inst.Activity)
 	}
-	out := instanceJSON{
+	return &InstanceDoc{
 		NumUsers:     inst.NumUsers,
 		NumIntervals: inst.NumIntervals,
 		Resources:    inst.Resources,
 		Events:       inst.Events,
 		Competing:    inst.Competing,
-		CandInterest: matrixToJSON(inst.CandInterest),
-		CompInterest: matrixToJSON(inst.CompInterest),
+		CandInterest: matrixToDoc(inst.CandInterest),
+		CompInterest: matrixToDoc(inst.CompInterest),
 		Activity:     act,
-	}
-	return json.NewEncoder(w).Encode(out)
+	}, nil
 }
 
-// LoadInstance reads an instance written by SaveInstance and validates
-// it.
-func LoadInstance(r io.Reader) (*core.Instance, error) {
-	var in instanceJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
-		return nil, fmt.Errorf("dataset: decoding instance: %w", err)
-	}
+// Instance reconstructs and validates the instance the document
+// describes. Malformed documents yield errors, never panics.
+func (d *InstanceDoc) Instance() (*core.Instance, error) {
 	var act core.Activity
-	switch in.Activity.Type {
+	switch d.Activity.Type {
 	case "uniformhash":
-		act = activity.UniformHash{Seed: in.Activity.Seed}
+		act = activity.UniformHash{Seed: d.Activity.Seed}
 	case "constant":
-		act = activity.Constant(in.Activity.P)
+		act = activity.Constant(d.Activity.P)
 	case "table":
-		tab, err := activity.NewTable(in.Activity.Table)
+		tab, err := activity.NewTable(d.Activity.Table)
 		if err != nil {
 			return nil, fmt.Errorf("dataset: %w", err)
 		}
 		act = tab
 	default:
-		return nil, fmt.Errorf("dataset: unknown activity type %q", in.Activity.Type)
+		return nil, fmt.Errorf("dataset: unknown activity type %q", d.Activity.Type)
 	}
-	cand, err := matrixFromJSON(in.CandInterest)
+	cand, err := matrixFromDoc(d.CandInterest)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: candidate interest: %w", err)
 	}
-	comp, err := matrixFromJSON(in.CompInterest)
+	comp, err := matrixFromDoc(d.CompInterest)
 	if err != nil {
 		return nil, fmt.Errorf("dataset: competing interest: %w", err)
 	}
 	inst := &core.Instance{
-		NumUsers:     in.NumUsers,
-		NumIntervals: in.NumIntervals,
-		Resources:    in.Resources,
-		Events:       in.Events,
-		Competing:    in.Competing,
+		NumUsers:     d.NumUsers,
+		NumIntervals: d.NumIntervals,
+		Resources:    d.Resources,
+		Events:       d.Events,
+		Competing:    d.Competing,
 		CandInterest: cand,
 		CompInterest: comp,
 		Activity:     act,
@@ -177,16 +175,36 @@ func LoadInstance(r io.Reader) (*core.Instance, error) {
 	return inst, nil
 }
 
-func matrixToJSON(m *interest.Matrix) matrixJSON {
-	out := matrixJSON{NumUsers: m.NumUsers, Rows: make([]vectorJSON, m.NumEvents())}
+// SaveInstance writes the instance as JSON; see NewInstanceDoc for the
+// supported activity models.
+func SaveInstance(w io.Writer, inst *core.Instance) error {
+	doc, err := NewInstanceDoc(inst)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(doc)
+}
+
+// LoadInstance reads an instance written by SaveInstance and validates
+// it.
+func LoadInstance(r io.Reader) (*core.Instance, error) {
+	var doc InstanceDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("dataset: decoding instance: %w", err)
+	}
+	return doc.Instance()
+}
+
+func matrixToDoc(m *interest.Matrix) MatrixDoc {
+	out := MatrixDoc{NumUsers: m.NumUsers, Rows: make([]VectorDoc, m.NumEvents())}
 	for e := 0; e < m.NumEvents(); e++ {
 		r := m.Row(e)
-		out.Rows[e] = vectorJSON{IDs: r.IDs, Vals: r.Vals}
+		out.Rows[e] = VectorDoc{IDs: r.IDs, Vals: r.Vals}
 	}
 	return out
 }
 
-func matrixFromJSON(in matrixJSON) (*interest.Matrix, error) {
+func matrixFromDoc(in MatrixDoc) (*interest.Matrix, error) {
 	m := interest.NewMatrix(in.NumUsers, len(in.Rows))
 	for e, r := range in.Rows {
 		v, err := interest.NewSparseVector(r.IDs, r.Vals)

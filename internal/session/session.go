@@ -112,9 +112,10 @@ type Scheduler struct {
 	matBuf  []float64
 	listBuf []entry
 
-	cur     []core.Assignment
-	curUtil float64
-	totals  solver.Counters
+	cur      []core.Assignment
+	curUtil  float64
+	lastStop string
+	totals   solver.Counters
 }
 
 // New starts a session over a private copy of inst, targeting
@@ -127,16 +128,7 @@ func New(inst *core.Instance, k int, opts Options) (*Scheduler, error) {
 	if err := inst.Validate(); err != nil {
 		return nil, err
 	}
-	cp := &core.Instance{
-		NumUsers:     inst.NumUsers,
-		NumIntervals: inst.NumIntervals,
-		Resources:    inst.Resources,
-		Events:       append([]core.Event(nil), inst.Events...),
-		Competing:    append([]core.CompetingEvent(nil), inst.Competing...),
-		CandInterest: copyMatrix(inst.CandInterest),
-		CompInterest: copyMatrix(inst.CompInterest),
-		Activity:     inst.Activity,
-	}
+	cp := copyInstance(inst)
 	return &Scheduler{
 		opts:           opts,
 		k:              k,
@@ -147,6 +139,21 @@ func New(inst *core.Instance, k int, opts Options) (*Scheduler, error) {
 		dirtyEvents:    make(map[int]bool),
 		dirtyIntervals: make(map[int]bool),
 	}, nil
+}
+
+// copyInstance deep-copies an instance up to the immutable sparse
+// interest rows and the (immutable) activity model, which are shared.
+func copyInstance(inst *core.Instance) *core.Instance {
+	return &core.Instance{
+		NumUsers:     inst.NumUsers,
+		NumIntervals: inst.NumIntervals,
+		Resources:    inst.Resources,
+		Events:       append([]core.Event(nil), inst.Events...),
+		Competing:    append([]core.CompetingEvent(nil), inst.Competing...),
+		CandInterest: copyMatrix(inst.CandInterest),
+		CompInterest: copyMatrix(inst.CompInterest),
+		Activity:     inst.Activity,
+	}
 }
 
 // copyMatrix shallow-copies the row table; the sparse row vectors are
@@ -195,16 +202,15 @@ func (s *Scheduler) SetK(k int) error {
 func (s *Scheduler) Instance() *core.Instance {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return &core.Instance{
-		NumUsers:     s.inst.NumUsers,
-		NumIntervals: s.inst.NumIntervals,
-		Resources:    s.inst.Resources,
-		Events:       append([]core.Event(nil), s.inst.Events...),
-		Competing:    append([]core.CompetingEvent(nil), s.inst.Competing...),
-		CandInterest: copyMatrix(s.inst.CandInterest),
-		CompInterest: copyMatrix(s.inst.CompInterest),
-		Activity:     s.inst.Activity,
-	}
+	return copyInstance(s.inst)
+}
+
+// Dims reports the current instance dimensions (|U|, |T|, |E|)
+// without copying the instance.
+func (s *Scheduler) Dims() (users, intervals, events int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.inst.NumUsers, s.inst.NumIntervals, len(s.inst.Events)
 }
 
 // Schedule returns the committed schedule of the last successful
@@ -478,8 +484,36 @@ func (s *Scheduler) Resolve(ctx context.Context) (*Delta, error) {
 	clear(s.dirtyIntervals)
 	s.cur = newAssgn
 	s.curUtil = util
+	s.lastStop = stop
 	s.totals.Add(cnt)
 	return delta, nil
+}
+
+// Summary is a consistent point-in-time view of the facts a serving
+// layer reports about a session: instance dimensions, the target k,
+// and the committed schedule's size, utility and early-stop reason.
+type Summary struct {
+	Users, Intervals, Events int
+	K                        int
+	Scheduled                int
+	Utility                  float64
+	Stopped                  string
+}
+
+// Summary captures all reportable facts under one lock acquisition,
+// so the fields are guaranteed to describe the same commit.
+func (s *Scheduler) Summary() Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Summary{
+		Users:     s.inst.NumUsers,
+		Intervals: s.inst.NumIntervals,
+		Events:    len(s.inst.Events),
+		K:         s.k,
+		Scheduled: len(s.cur),
+		Utility:   s.curUtil,
+		Stopped:   s.lastStop,
+	}
 }
 
 // ensureEngine rebuilds the warm engine after structural mutations or

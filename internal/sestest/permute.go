@@ -1,0 +1,44 @@
+package sestest
+
+import (
+	"fmt"
+
+	"ses/internal/core"
+	"ses/internal/interest"
+)
+
+// PermuteEvents returns a copy of inst with candidate events relabeled
+// by perm (the event at old index e moves to index perm[e]), carrying
+// its interest row along. Everything that does not key on event
+// identity — users, intervals, resources, competing events, the
+// activity model — is shared or copied unchanged. Relabeling is a
+// pure renaming, so every schedule-level quantity (Ω, ω, ρ) must be
+// invariant under it; the metamorphic property suite relies on that.
+func PermuteEvents(inst *core.Instance, perm []int) *core.Instance {
+	n := inst.NumEvents()
+	if len(perm) != n {
+		panic(fmt.Sprintf("sestest: permutation of length %d for %d events", len(perm), n))
+	}
+	events := make([]core.Event, n)
+	cand := interest.NewMatrix(inst.CandInterest.NumUsers, n)
+	seen := make([]bool, n)
+	for e := 0; e < n; e++ {
+		p := perm[e]
+		if p < 0 || p >= n || seen[p] {
+			panic(fmt.Sprintf("sestest: invalid permutation %v", perm))
+		}
+		seen[p] = true
+		events[p] = inst.Events[e]
+		cand.SetRow(p, inst.CandInterest.Row(e))
+	}
+	return &core.Instance{
+		NumUsers:     inst.NumUsers,
+		NumIntervals: inst.NumIntervals,
+		Resources:    inst.Resources,
+		Events:       events,
+		Competing:    append([]core.CompetingEvent(nil), inst.Competing...),
+		CandInterest: cand,
+		CompInterest: inst.CompInterest,
+		Activity:     inst.Activity,
+	}
+}

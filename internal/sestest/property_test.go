@@ -1,0 +1,128 @@
+package sestest
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+	"ses/internal/randx"
+	"ses/internal/solver"
+)
+
+// utilityTolerance absorbs the float addition-order differences a
+// relabeling legitimately introduces (Ω sums per-event terms in index
+// order).
+const utilityTolerance = 1e-9
+
+// grdSolve runs the production greedy on inst.
+func grdSolve(t testing.TB, inst *core.Instance, k int) *solver.Result {
+	t.Helper()
+	res, err := solver.NewGRD(solver.Config{Workers: 1}).Solve(context.Background(), inst, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestUtilityInvariantUnderRelabeling is the metamorphic property: Ω
+// is a function of *which* events run *when*, never of how they are
+// numbered. Relabeling the events of an instance and mapping a
+// schedule through the same permutation must preserve its utility
+// exactly (up to summation order). testing/quick drives the seeds.
+func TestUtilityInvariantUnderRelabeling(t *testing.T) {
+	property := func(instSeed, permSeed uint16) bool {
+		cfg := Config{
+			Users: 20, Events: 10, Intervals: 4, Competing: 2,
+			Seed: uint64(instSeed),
+		}
+		inst := Random(cfg)
+		res := grdSolve(t, inst, 4)
+
+		perm := randx.Derive(uint64(permSeed), "relabel").Perm(inst.NumEvents())
+		permuted := PermuteEvents(inst, perm)
+		if err := permuted.Validate(); err != nil {
+			t.Fatalf("permuted instance invalid: %v", err)
+			return false
+		}
+		mapped := core.NewSchedule(permuted)
+		for _, a := range res.Schedule.Assignments() {
+			if err := mapped.Assign(perm[a.Event], a.Interval); err != nil {
+				t.Logf("mapped schedule infeasible after relabeling: %v", err)
+				return false
+			}
+		}
+		orig := choice.ReferenceUtility(inst, res.Schedule)
+		relabeled := choice.ReferenceUtility(permuted, mapped)
+		if math.Abs(orig-relabeled) > utilityTolerance {
+			t.Logf("Ω changed under relabeling: %v -> %v (perm %v)", orig, relabeled, perm)
+			return false
+		}
+		// Per-event attendance must also follow the relabeling.
+		for _, a := range res.Schedule.Assignments() {
+			w1 := choice.ReferenceEventAttendance(inst, res.Schedule, a.Event)
+			w2 := choice.ReferenceEventAttendance(permuted, mapped, perm[a.Event])
+			if math.Abs(w1-w2) > utilityTolerance {
+				t.Logf("ω(%d) changed under relabeling: %v -> %v", a.Event, w1, w2)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGRDUtilityMonotoneInK: enlarging the schedule budget never
+// hurts. GRD's selection for k is a prefix of its selection for k+1,
+// and every applied assignment has non-negative marginal Ω (per Eq. 1
+// a scheduled event only adds user attention mass to its interval),
+// so utility must be non-decreasing in k. This is the paper's Fig. 2
+// shape as a hard invariant.
+func TestGRDUtilityMonotoneInK(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 5, 8, 13, 21, 34} {
+		inst := Random(Config{
+			Users: 25, Events: 12, Intervals: 4, Competing: 3, Seed: seed,
+		})
+		prev := 0.0
+		for k := 0; k <= inst.NumEvents(); k++ {
+			res := grdSolve(t, inst, k)
+			if res.Utility < prev-utilityTolerance {
+				t.Errorf("seed %d: Ω dropped when k grew %d -> %d: %v -> %v",
+					seed, k-1, k, prev, res.Utility)
+			}
+			if res.Utility < -utilityTolerance {
+				t.Errorf("seed %d, k %d: negative utility %v", seed, k, res.Utility)
+			}
+			prev = res.Utility
+		}
+	}
+}
+
+// TestGRDPrefixStructure pins down why monotonicity holds: the
+// schedule GRD commits for budget k is contained in the one it
+// commits for budget k+1 (greedy selection is deterministic and
+// oblivious to the budget until it stops).
+func TestGRDPrefixStructure(t *testing.T) {
+	for _, seed := range []uint64{4, 9, 16} {
+		inst := Random(Config{Users: 25, Events: 12, Intervals: 4, Competing: 2, Seed: seed})
+		var prev map[int]int
+		for k := 0; k <= 6; k++ {
+			res := grdSolve(t, inst, k)
+			cur := map[int]int{}
+			for _, a := range res.Schedule.Assignments() {
+				cur[a.Event] = a.Interval
+			}
+			for e, tv := range prev {
+				if got, ok := cur[e]; !ok || got != tv {
+					t.Errorf("seed %d: assignment (%d,%d) of k=%d schedule missing at k=%d",
+						seed, e, tv, k-1, k)
+				}
+			}
+			prev = cur
+		}
+	}
+}

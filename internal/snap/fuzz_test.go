@@ -1,0 +1,133 @@
+package snap
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ses/internal/core"
+	"ses/internal/session"
+	"ses/internal/sestest"
+)
+
+// FuzzSnapshotRestore drives arbitrary bytes through both snapshot
+// decoders. Contract: malformed input errors and never panics;
+// decodable input re-encodes idempotently; and any snapshot that
+// passes full restore validation round-trips through
+// restore → snapshot byte-identically.
+func FuzzSnapshotRestore(f *testing.F) {
+	inst := sestest.Random(sestest.Config{Users: 10, Events: 5, Intervals: 3, Competing: 2, Seed: 21})
+	s, err := session.New(inst, 3, session.Options{Workers: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := s.Resolve(context.Background()); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.Forbid(0, 1); err != nil {
+		f.Fatal(err)
+	}
+	if err := s.CancelEvent(4); err != nil {
+		f.Fatal(err)
+	}
+	doc, err := FromState("seed", s.ExportState())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var jb, bb bytes.Buffer
+	if err := EncodeJSON(&jb, doc); err != nil {
+		f.Fatal(err)
+	}
+	if err := EncodeBinary(&bb, doc); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(jb.Bytes())
+	f.Add(bb.Bytes())
+	f.Add([]byte(`{"version":1,"k":0,"instance":null,"utility":0,"counters":{}}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte("SESSNAP\x01garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return // bound decoder allocations, not coverage
+		}
+		if doc, err := DecodeJSON(bytes.NewReader(data)); err == nil {
+			checkSnapshot(t, doc, "json")
+		}
+		if doc, err := DecodeBinary(bytes.NewReader(data)); err == nil {
+			checkSnapshot(t, doc, "binary")
+		}
+	})
+}
+
+// checkSnapshot verifies the codec contract for one accepted snapshot.
+func checkSnapshot(t *testing.T, doc *Snapshot, codec string) {
+	t.Helper()
+	encode := func(d *Snapshot) []byte {
+		var b bytes.Buffer
+		var err error
+		if codec == "json" {
+			err = EncodeJSON(&b, d)
+		} else {
+			err = EncodeBinary(&b, d)
+		}
+		if err != nil {
+			t.Fatalf("%s: accepted snapshot failed to encode: %v", codec, err)
+		}
+		return b.Bytes()
+	}
+	decode := func(raw []byte) *Snapshot {
+		var d *Snapshot
+		var err error
+		if codec == "json" {
+			d, err = DecodeJSON(bytes.NewReader(raw))
+		} else {
+			d, err = DecodeBinary(bytes.NewReader(raw))
+		}
+		if err != nil {
+			t.Fatalf("%s: encoded snapshot failed to decode: %v", codec, err)
+		}
+		return d
+	}
+
+	// Idempotent canonicalization: encode∘decode is a fixed point.
+	b1 := encode(doc)
+	b2 := encode(decode(b1))
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("%s: encode not idempotent:\n%q\nvs\n%q", codec, b1, b2)
+	}
+
+	// Full restore path: never panic; valid states round-trip
+	// byte-identically through restore → snapshot.
+	st, err := doc.State()
+	if err != nil {
+		return
+	}
+	restored, err := session.FromState(st, session.Options{Workers: 1})
+	if err != nil {
+		return
+	}
+	doc2, err := FromState(doc.Name, restored.ExportState())
+	if err != nil {
+		t.Fatalf("%s: restored session failed to snapshot: %v", codec, err)
+	}
+	r1 := encode(doc2)
+	second, err := session.FromState(restored.ExportState(), session.Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("%s: exported state of a restored session rejected: %v", codec, err)
+	}
+	doc3, err := FromState(doc.Name, second.ExportState())
+	if err != nil {
+		t.Fatalf("%s: second restore failed to snapshot: %v", codec, err)
+	}
+	if r2 := encode(doc3); !bytes.Equal(r1, r2) {
+		t.Fatalf("%s: restore(snapshot(s)) not byte-identical:\n%q\nvs\n%q", codec, r1, r2)
+	}
+	// The restored schedule must be feasible on its instance.
+	check := core.NewSchedule(st.Inst)
+	for _, a := range restored.Schedule() {
+		if err := check.Assign(a.Event, a.Interval); err != nil {
+			t.Fatalf("%s: restored schedule infeasible: %v", codec, err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package snap is the versioned snapshot codec for scheduling
+// sessions: it turns a session.State into portable bytes and back, so
+// sessions can be persisted, shipped between processes, and reloaded
+// warm.
+//
+// Two encodings share one wire document (Snapshot):
+//
+//   - JSON (EncodeJSON/DecodeJSON) — the wire format served and
+//     accepted by cmd/sesd; human-inspectable.
+//   - binary (EncodeBinary/DecodeBinary) — a magic header, a version
+//     byte and a gob payload; the compact at-rest format.
+//
+// # Version policy
+//
+// Every snapshot carries the format version (the Version constant,
+// also the version byte of the binary header). The policy: any change
+// that an existing decoder would misread — removed or re-typed
+// fields, changed semantics, changed canonical ordering — bumps the
+// version; decoders accept exactly the versions they know and reject
+// everything else up front with ErrVersion, never by guessing. Purely
+// additive fields may keep the version only if the zero value
+// reproduces the old behavior; the JSON decoder still rejects unknown
+// fields (strictness beats silent drift — an unknown field in an
+// accepted version means corruption or a writer newer than the
+// reader, and both must surface).
+//
+// Both encoders are canonical: a decoded snapshot re-encodes to
+// byte-identical output, and restore(snapshot(s)) is the identity on
+// session state. The fuzz suite enforces both properties.
+package snap
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"ses/internal/core"
+	"ses/internal/dataset"
+	"ses/internal/session"
+	"ses/internal/solver"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// magic prefixes binary snapshots; the byte after it is the version.
+const magic = "SESSNAP"
+
+// ErrVersion reports a snapshot whose version this decoder does not
+// know.
+var ErrVersion = errors.New("snap: unsupported snapshot version")
+
+// Assign is one (event, interval) pair on the wire.
+type Assign struct {
+	E int `json:"e"`
+	T int `json:"t"`
+}
+
+// Counters mirrors solver.Counters with wire-stable lowercase names.
+type Counters struct {
+	InitialScores int `json:"initial_scores"`
+	ScoreUpdates  int `json:"score_updates"`
+	Pops          int `json:"pops"`
+	ListScans     int `json:"list_scans"`
+	Moves         int `json:"moves"`
+}
+
+// Snapshot is the wire document of one session: instance, constraints
+// and committed schedule, plus the format version.
+type Snapshot struct {
+	Version   int                  `json:"version"`
+	Name      string               `json:"name,omitempty"`
+	K         int                  `json:"k"`
+	Instance  *dataset.InstanceDoc `json:"instance"`
+	Cancelled []int                `json:"cancelled,omitempty"`
+	Pins      []Assign             `json:"pins,omitempty"`
+	Forbidden []Assign             `json:"forbidden,omitempty"`
+	Schedule  []Assign             `json:"schedule,omitempty"`
+	Utility   float64              `json:"utility"`
+	Counters  Counters             `json:"counters"`
+}
+
+// FromState builds a snapshot document from a session state (as
+// produced by Scheduler.ExportState). The name tags the snapshot for
+// store-level restore; it may be empty.
+func FromState(name string, st *session.State) (*Snapshot, error) {
+	if st == nil || st.Inst == nil {
+		return nil, errors.New("snap: nil state")
+	}
+	doc, err := dataset.NewInstanceDoc(st.Inst)
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	return &Snapshot{
+		Version:   Version,
+		Name:      name,
+		K:         st.K,
+		Instance:  doc,
+		Cancelled: append([]int(nil), st.Cancelled...),
+		Pins:      toAssigns(st.Pins),
+		Forbidden: toAssigns(st.Forbidden),
+		Schedule:  toAssigns(st.Schedule),
+		Utility:   st.Utility,
+		Counters: Counters{
+			InitialScores: st.Totals.InitialScores,
+			ScoreUpdates:  st.Totals.ScoreUpdates,
+			Pops:          st.Totals.Pops,
+			ListScans:     st.Totals.ListScans,
+			Moves:         st.Totals.Moves,
+		},
+	}, nil
+}
+
+// State reconstructs the session state the snapshot describes. The
+// instance is decoded and validated here; the remaining constraint and
+// schedule validation happens in session.FromState, which a restore
+// always goes through.
+func (s *Snapshot) State() (*session.State, error) {
+	if s.Version != Version {
+		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, Version)
+	}
+	if s.Instance == nil {
+		return nil, errors.New("snap: snapshot has no instance")
+	}
+	inst, err := s.Instance.Instance()
+	if err != nil {
+		return nil, fmt.Errorf("snap: %w", err)
+	}
+	return &session.State{
+		K:         s.K,
+		Inst:      inst,
+		Cancelled: append([]int(nil), s.Cancelled...),
+		Pins:      toAssignments(s.Pins),
+		Forbidden: toAssignments(s.Forbidden),
+		Schedule:  toAssignments(s.Schedule),
+		Utility:   s.Utility,
+		Totals: solver.Counters{
+			InitialScores: s.Counters.InitialScores,
+			ScoreUpdates:  s.Counters.ScoreUpdates,
+			Pops:          s.Counters.Pops,
+			ListScans:     s.Counters.ListScans,
+			Moves:         s.Counters.Moves,
+		},
+	}, nil
+}
+
+func toAssigns(as []core.Assignment) []Assign {
+	if len(as) == 0 {
+		return nil
+	}
+	out := make([]Assign, len(as))
+	for i, a := range as {
+		out[i] = Assign{E: a.Event, T: a.Interval}
+	}
+	return out
+}
+
+func toAssignments(as []Assign) []core.Assignment {
+	if len(as) == 0 {
+		return nil
+	}
+	out := make([]core.Assignment, len(as))
+	for i, a := range as {
+		out[i] = core.Assignment{Event: a.E, Interval: a.T}
+	}
+	return out
+}
+
+// EncodeJSON writes the snapshot as one JSON document followed by a
+// newline. Field order is fixed and slices are emitted as stored, so
+// snapshots built by FromState (whose inputs are canonical by the
+// session.State contract) encode deterministically.
+func EncodeJSON(w io.Writer, s *Snapshot) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// DecodeJSON reads one JSON snapshot. Unknown fields and unknown
+// versions are errors; see the package version policy.
+func DecodeJSON(r io.Reader) (*Snapshot, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Snapshot
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("snap: decoding snapshot: %w", err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, Version)
+	}
+	return &s, nil
+}
+
+// EncodeBinary writes the compact at-rest form: the magic header, one
+// version byte, then the gob-encoded document. Gob emits struct fields
+// in declaration order and the document holds no maps, so the encoding
+// is deterministic.
+func EncodeBinary(w io.Writer, s *Snapshot) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{byte(s.Version)}); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// DecodeBinary reads a snapshot written by EncodeBinary, checking the
+// magic header and version before touching the payload.
+func DecodeBinary(r io.Reader) (*Snapshot, error) {
+	head := make([]byte, len(magic)+1)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("snap: reading snapshot header: %w", err)
+	}
+	if !bytes.Equal(head[:len(magic)], []byte(magic)) {
+		return nil, errors.New("snap: not a binary snapshot (bad magic)")
+	}
+	if v := int(head[len(magic)]); v != Version {
+		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, v, Version)
+	}
+	var s Snapshot
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("snap: decoding snapshot payload: %w", err)
+	}
+	if s.Version != Version {
+		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, Version)
+	}
+	return &s, nil
+}

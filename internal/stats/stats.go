@@ -80,6 +80,19 @@ func Percentile(xs []float64, p float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over an already-sorted slice: no
+// copy, no re-sort. Callers that take several percentiles of one
+// dataset should sort once and use this.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("stats: Percentile p outside [0,100]")
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

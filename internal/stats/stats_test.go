@@ -114,6 +114,16 @@ func TestPercentilePanics(t *testing.T) {
 	}
 }
 
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	unsorted := []float64{50, 15, 40, 20, 35}
+	sorted := []float64{15, 20, 35, 40, 50}
+	for _, p := range []float64{0, 12.5, 25, 50, 75, 99, 100} {
+		if got, want := PercentileSorted(sorted, p), Percentile(unsorted, p); got != want {
+			t.Errorf("PercentileSorted(%v) = %v, Percentile = %v", p, got, want)
+		}
+	}
+}
+
 func TestMedianAndMean(t *testing.T) {
 	if m := Median([]float64{3, 1, 2}); m != 2 {
 		t.Errorf("Median = %v", m)

@@ -1,0 +1,313 @@
+// Package store implements the concurrent serving layer behind
+// ses.Store: a sharded, thread-safe registry of named scheduling
+// sessions. It is the piece that turns the single-session
+// ses.Scheduler into a multi-organizer service — many event
+// portfolios scheduled concurrently in one process, each behind its
+// own session lock, with registry operations that never serialize
+// behind a running solve.
+//
+// Concurrency design:
+//
+//   - Striped locks: sessions are spread over a fixed array of shards
+//     by an FNV-1a hash of the session id. Registry operations
+//     (create, delete, lookup, list) take only their shard's RWMutex,
+//     so registry traffic scales with the shard count and is never
+//     blocked by solving sessions.
+//   - Lock-free metadata: each session handle carries an
+//     atomic.Pointer to an immutable Meta value, refreshed after
+//     every committed resolve and batch. Meta reads load the pointer
+//     and never touch the session lock, so dashboards and load
+//     balancers can poll a session that is mid-Resolve without
+//     waiting.
+//   - Session operations (mutations, Resolve, Snapshot) delegate to
+//     the Scheduler's own lock; two sessions never contend with each
+//     other.
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ses/internal/core"
+	"ses/internal/session"
+)
+
+// numShards is the stripe width of the registry. Power of two so the
+// hash folds with a mask.
+const numShards = 64
+
+// Registry errors.
+var (
+	// ErrExists reports a Create against a name already in use.
+	ErrExists = errors.New("store: session already exists")
+	// ErrNotFound reports an operation against an unknown session.
+	ErrNotFound = errors.New("store: session not found")
+)
+
+// Meta is an immutable point-in-time description of one session,
+// refreshed after every committed operation. Reads are lock-free and
+// never block behind a running Resolve, so the values trail the live
+// session by at most one commit.
+type Meta struct {
+	// Name is the session id.
+	Name string
+	// Users, Intervals describe the instance dimensions.
+	Users, Intervals int
+	// Events is |E| as of the last committed operation (grows with
+	// AddEvent mutations).
+	Events int
+	// K is the schedule-size target as of the last committed operation.
+	K int
+	// Scheduled is the committed schedule size.
+	Scheduled int
+	// Utility is Ω of the committed schedule.
+	Utility float64
+	// Stopped is the early-stop reason of the last resolve ("" for a
+	// complete one).
+	Stopped string
+	// Resolves counts committed resolves (batch resolves included).
+	Resolves uint64
+	// Mutations counts applied mutations (batched ones included).
+	Mutations uint64
+	// Batches counts committed ApplyBatch calls.
+	Batches uint64
+}
+
+// handle is one registered session.
+type handle struct {
+	name  string
+	sched *session.Scheduler
+	meta  atomic.Pointer[Meta]
+	// metaMu serializes post-commit meta publication: the session
+	// summary is read inside it, so the last publisher always wins
+	// with the freshest state and Meta never regresses or mixes
+	// fields from different commits. Readers never take it.
+	metaMu    sync.Mutex
+	resolves  atomic.Uint64
+	mutations atomic.Uint64
+	batches   atomic.Uint64
+}
+
+// refreshMeta publishes a fresh immutable Meta assembled from the
+// given post-commit facts.
+func (h *handle) refreshMeta(users, intervals, events, k, scheduled int, utility float64, stopped string) {
+	h.meta.Store(&Meta{
+		Name:      h.name,
+		Users:     users,
+		Intervals: intervals,
+		Events:    events,
+		K:         k,
+		Scheduled: scheduled,
+		Utility:   utility,
+		Stopped:   stopped,
+		Resolves:  h.resolves.Load(),
+		Mutations: h.mutations.Load(),
+		Batches:   h.batches.Load(),
+	})
+}
+
+// shard is one stripe of the registry.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*handle
+}
+
+// Store is a sharded, thread-safe registry of named scheduling
+// sessions. All methods are safe for concurrent use.
+type Store struct {
+	opts   session.Options
+	shards [numShards]shard
+}
+
+// New returns an empty store. Every session the store creates or
+// restores uses opts (engine factory, scoring workers, progress).
+func New(opts session.Options) *Store {
+	s := &Store{opts: opts}
+	for i := range s.shards {
+		s.shards[i].sessions = make(map[string]*handle)
+	}
+	return s
+}
+
+// shardOf picks the stripe for a session id.
+func (s *Store) shardOf(name string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &s.shards[h.Sum32()&(numShards-1)]
+}
+
+// Create registers a new session over a private copy of inst,
+// targeting schedules of up to k events. It fails with ErrExists if
+// the name is taken.
+func (s *Store) Create(name string, inst *core.Instance, k int) error {
+	if name == "" {
+		return errors.New("store: empty session name")
+	}
+	sched, err := session.New(inst, k, s.opts)
+	if err != nil {
+		return err
+	}
+	return s.install(name, sched, inst.NumUsers, inst.NumIntervals, inst.NumEvents(), k, 0, 0, false)
+}
+
+// Restore installs a session rebuilt from a snapshot state under the
+// given name, replacing any existing session with that name (the
+// snapshot is the truth). With replace false it behaves like Create
+// and fails on collision.
+func (s *Store) Restore(name string, st *session.State, replace bool) error {
+	if name == "" {
+		return errors.New("store: empty session name")
+	}
+	sched, err := session.FromState(st, s.opts)
+	if err != nil {
+		return err
+	}
+	return s.install(name, sched, st.Inst.NumUsers, st.Inst.NumIntervals, st.Inst.NumEvents(),
+		st.K, len(st.Schedule), st.Utility, replace)
+}
+
+// install registers a handle and publishes its first Meta.
+func (s *Store) install(name string, sched *session.Scheduler, users, intervals, events, k, scheduled int, utility float64, replace bool) error {
+	h := &handle{name: name, sched: sched}
+	h.refreshMeta(users, intervals, events, k, scheduled, utility, "")
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, taken := sh.sessions[name]; taken && !replace {
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	sh.sessions[name] = h
+	return nil
+}
+
+// Get returns the live Scheduler of a session for direct use. The
+// scheduler stays valid (and safe: it has its own lock) even if the
+// session is deleted concurrently; it is simply no longer reachable
+// through the store. Store counters do not see direct mutations, so
+// prefer ApplyBatch for served traffic.
+func (s *Store) Get(name string) (*session.Scheduler, error) {
+	h, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return h.sched, nil
+}
+
+// lookup finds a handle under the shard read lock.
+func (s *Store) lookup(name string) (*handle, error) {
+	sh := s.shardOf(name)
+	sh.mu.RLock()
+	h, ok := sh.sessions[name]
+	sh.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return h, nil
+}
+
+// Delete removes a session from the registry.
+func (s *Store) Delete(name string) error {
+	sh := s.shardOf(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(sh.sessions, name)
+	return nil
+}
+
+// Len returns the number of registered sessions.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Names lists the registered session ids, sorted.
+func (s *Store) Names() []string {
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for name := range sh.sessions {
+			out = append(out, name)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Meta returns the lock-free metadata snapshot of one session.
+func (s *Store) Meta(name string) (Meta, error) {
+	h, err := s.lookup(name)
+	if err != nil {
+		return Meta{}, err
+	}
+	return *h.meta.Load(), nil
+}
+
+// Metas returns the metadata of every session, sorted by name.
+func (s *Store) Metas() []Meta {
+	var out []Meta
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, h := range sh.sessions {
+			out = append(out, *h.meta.Load())
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Resolve re-solves one session incrementally (see
+// session.Scheduler.Resolve) and refreshes its metadata.
+func (s *Store) Resolve(ctx context.Context, name string) (*session.Delta, error) {
+	h, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := h.sched.Resolve(ctx)
+	if err != nil {
+		return nil, err
+	}
+	h.resolves.Add(1)
+	s.refresh(h)
+	return d, nil
+}
+
+// refresh publishes post-commit metadata from a single locked summary
+// read of the session, taken inside metaMu so concurrent commits
+// cannot publish out of order or interleave fields of different
+// commits.
+func (s *Store) refresh(h *handle) {
+	h.metaMu.Lock()
+	defer h.metaMu.Unlock()
+	sum := h.sched.Summary()
+	h.refreshMeta(sum.Users, sum.Intervals, sum.Events, sum.K,
+		sum.Scheduled, sum.Utility, sum.Stopped)
+}
+
+// Snapshot exports the full state of one session (instance,
+// constraints, committed schedule) for serialization by
+// ses/internal/snap. The export is atomic under the session lock.
+func (s *Store) Snapshot(name string) (*session.State, error) {
+	h, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return h.sched.ExportState(), nil
+}

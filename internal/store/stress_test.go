@@ -1,0 +1,285 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+	"ses/internal/randx"
+	"ses/internal/session"
+	"ses/internal/sestest"
+)
+
+// checkDelta verifies one Delta is internally consistent relative to
+// the previous committed schedule (tracked as event -> interval) and
+// returns the next committed schedule. It fails the test on overlap
+// between the Added/Removed/Moved sets, on moves that do not move, on
+// edits that contradict the previous schedule, and on a result that
+// disagrees with the session's own view.
+func checkDelta(t *testing.T, prev map[int]int, d *session.Delta) map[int]int {
+	t.Helper()
+	if math.IsNaN(d.Utility) || math.IsInf(d.Utility, 0) || d.Utility < 0 {
+		t.Fatalf("delta utility out of range: %v", d.Utility)
+	}
+	seen := map[int]string{}
+	mark := func(e int, role string) {
+		if prevRole, dup := seen[e]; dup {
+			t.Fatalf("event %d appears as both %s and %s in one delta", e, prevRole, role)
+		}
+		seen[e] = role
+	}
+	next := make(map[int]int, len(prev))
+	for e, tv := range prev {
+		next[e] = tv
+	}
+	for _, a := range d.Added {
+		mark(a.Event, "added")
+		if _, was := prev[a.Event]; was {
+			t.Fatalf("added event %d was already scheduled", a.Event)
+		}
+		next[a.Event] = a.Interval
+	}
+	for _, a := range d.Removed {
+		mark(a.Event, "removed")
+		if tv, was := prev[a.Event]; !was || tv != a.Interval {
+			t.Fatalf("removed event %d from interval %d, but previous schedule had %v", a.Event, a.Interval, prev)
+		}
+		delete(next, a.Event)
+	}
+	for _, m := range d.Moved {
+		mark(m.Event, "moved")
+		if m.From == m.To {
+			t.Fatalf("move of event %d does not move (interval %d)", m.Event, m.From)
+		}
+		if tv, was := prev[m.Event]; !was || tv != m.From {
+			t.Fatalf("moved event %d from interval %d, but previous schedule had %v", m.Event, m.From, prev)
+		}
+		next[m.Event] = m.To
+	}
+	return next
+}
+
+// TestStoreConcurrentStress hammers one Store from many goroutines —
+// interleaved direct mutations, batch commits, resolves, snapshots and
+// lock-free metadata reads — and asserts that no update is lost and
+// every returned Delta is internally consistent. Run under -race (the
+// CI does) it doubles as the data-race proof for the serving layer.
+func TestStoreConcurrentStress(t *testing.T) {
+	const (
+		nSessions      = 4
+		nMutators      = 3
+		opsPerMutator  = 40
+		resolves       = 30
+		snapshots      = 15
+		eventsPerAdder = 8
+	)
+	st := New(session.Options{Workers: 1})
+	for i := 0; i < nSessions; i++ {
+		inst := sestest.Random(sestest.Config{Users: 30, Events: 10, Intervals: 4, Competing: 2, Seed: uint64(100 + i)})
+		if err := st.Create(fmt.Sprintf("sess-%d", i), inst, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < nSessions; i++ {
+		name := fmt.Sprintf("sess-%d", i)
+		sched, err := st.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		users, intervals, _ := sched.Dims()
+
+		// Mutators: direct interleaved mutations. Each adds a unique,
+		// recognizable set of events — the lost-update probes.
+		for g := 0; g < nMutators; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				src := randx.Derive(uint64(i*10+g), "stress-mutator")
+				added := 0
+				for op := 0; op < opsPerMutator; op++ {
+					switch src.IntN(5) {
+					case 0:
+						if added < eventsPerAdder {
+							_, err := sched.AddEvent(core.Event{
+								Location: src.IntN(3),
+								Required: src.Range(0.5, 1.5),
+								Name:     fmt.Sprintf("probe-%s-m%d-%d", name, g, added),
+							}, map[int]float64{src.IntN(users): src.Range(0.1, 1)})
+							if err != nil {
+								t.Errorf("AddEvent: %v", err)
+								return
+							}
+							added++
+						}
+					case 1:
+						// Event 0..9 always exists; updating a possibly
+						// cancelled event is legal.
+						if err := sched.UpdateInterest(src.IntN(users), src.IntN(10), src.Range(0, 1)); err != nil {
+							t.Errorf("UpdateInterest: %v", err)
+							return
+						}
+					case 2:
+						if _, err := sched.AddCompeting(core.CompetingEvent{Interval: src.IntN(intervals)}, map[int]float64{src.IntN(users): 0.5}); err != nil {
+							t.Errorf("AddCompeting: %v", err)
+							return
+						}
+					case 3:
+						// Forbid/Allow a pair owned by this goroutine
+						// (event g, interval range split per goroutine
+						// would over-constrain; forbidding is always
+						// legal unless pinned — nothing pins here).
+						if err := sched.Forbid(g, src.IntN(intervals)); err != nil {
+							t.Errorf("Forbid: %v", err)
+							return
+						}
+					case 4:
+						if err := sched.Allow(g, src.IntN(intervals)); err != nil {
+							t.Errorf("Allow: %v", err)
+							return
+						}
+					}
+				}
+				// Ensure every probe event this goroutine owns exists.
+				for ; added < eventsPerAdder; added++ {
+					if _, err := sched.AddEvent(core.Event{
+						Location: src.IntN(3),
+						Required: src.Range(0.5, 1.5),
+						Name:     fmt.Sprintf("probe-%s-m%d-%d", name, g, added),
+					}, map[int]float64{src.IntN(users): src.Range(0.1, 1)}); err != nil {
+						t.Errorf("AddEvent: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+
+		// One resolver per session: the only goroutine committing
+		// resolves, so it can chain Deltas and detect lost or
+		// inconsistent commits. It alternates bare resolves and small
+		// batches.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := randx.Derive(uint64(i), "stress-resolver")
+			committed := map[int]int{}
+			for r := 0; r < resolves; r++ {
+				var d *session.Delta
+				var err error
+				if r%3 == 2 {
+					var res *BatchResult
+					res, err = st.ApplyBatch(context.Background(), name, []Mutation{
+						UpdateInterest(src.IntN(users), src.IntN(10), src.Range(0, 1)),
+						SetK(4 + src.IntN(4)),
+					})
+					if res != nil {
+						d = res.Delta
+					}
+				} else {
+					d, err = st.Resolve(context.Background(), name)
+				}
+				if err != nil {
+					t.Errorf("resolve %d: %v", r, err)
+					return
+				}
+				committed = checkDelta(t, committed, d)
+			}
+		}()
+
+		// Snapshotters: atomic exports that must always validate and
+		// restore, concurrent with everything above.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < snapshots; n++ {
+				state, err := st.Snapshot(name)
+				if err != nil {
+					t.Errorf("Snapshot: %v", err)
+					return
+				}
+				if _, err := session.FromState(state, session.Options{Workers: 1}); err != nil {
+					t.Errorf("snapshot state does not restore: %v", err)
+					return
+				}
+			}
+		}()
+
+		// Metadata readers: lock-free polls racing the commits.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastResolves uint64
+			for n := 0; n < 200; n++ {
+				m, err := st.Meta(name)
+				if err != nil {
+					t.Errorf("Meta: %v", err)
+					return
+				}
+				if m.Name != name || m.Users != users || m.Intervals != intervals {
+					t.Errorf("meta identity corrupted: %+v", m)
+					return
+				}
+				if m.Resolves < lastResolves {
+					t.Errorf("meta resolves went backwards: %d -> %d", lastResolves, m.Resolves)
+					return
+				}
+				lastResolves = m.Resolves
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: verify nothing was lost and the final commit is real.
+	for i := 0; i < nSessions; i++ {
+		name := fmt.Sprintf("sess-%d", i)
+		d, err := st.Resolve(context.Background(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := st.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst := sched.Instance()
+
+		// No lost updates: every probe event every mutator added is in
+		// the instance, exactly once.
+		names := map[string]int{}
+		for _, ev := range inst.Events {
+			names[ev.Name]++
+		}
+		for g := 0; g < nMutators; g++ {
+			for n := 0; n < eventsPerAdder; n++ {
+				probe := fmt.Sprintf("probe-%s-m%d-%d", name, g, n)
+				if names[probe] != 1 {
+					t.Errorf("lost update: event %q present %d times", probe, names[probe])
+				}
+			}
+		}
+
+		// The committed utility is the real Ω of the committed schedule
+		// on the final instance (nothing mutated after the last
+		// resolve).
+		final := core.NewSchedule(inst)
+		for _, a := range sched.Schedule() {
+			if err := final.Assign(a.Event, a.Interval); err != nil {
+				t.Fatalf("committed schedule infeasible: %v", err)
+			}
+		}
+		if ref := choice.ReferenceUtility(inst, final); math.Abs(ref-d.Utility) > 1e-9 {
+			t.Errorf("committed utility %v != reference Ω %v", d.Utility, ref)
+		}
+		if !reflect.DeepEqual(sched.Schedule(), final.Assignments()) {
+			t.Error("schedule round-trip mismatch")
+		}
+	}
+}

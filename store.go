@@ -1,0 +1,133 @@
+package ses
+
+import (
+	"io"
+
+	"ses/internal/session"
+	"ses/internal/snap"
+	"ses/internal/store"
+)
+
+// Store is a sharded, thread-safe registry of named scheduling
+// sessions — the in-process serving layer behind cmd/sesd. Sessions
+// are spread over striped locks, so registry traffic (create, lookup,
+// metadata) never serializes behind a running solve, and metadata
+// reads are lock-free.
+//
+//	st := ses.NewStore(ses.WithWorkers(4))
+//	st.Create("fest", inst, 20)
+//	res, _ := st.ApplyBatch(ctx, "fest", []ses.Mutation{
+//		ses.AddEventOp(ev, interest),
+//		ses.PinOp(headliner, fridayNight),
+//	})                                     // one incremental resolve
+//	state, _ := st.Snapshot("fest")        // atomic state export
+//	other.Restore("fest", state, false)    // warm restart elsewhere
+type Store = store.Store
+
+// SessionState is the portable state of one session: instance,
+// constraints, committed schedule. Produced by Store.Snapshot (or
+// Scheduler.ExportState), consumed by Store.Restore and the snapshot
+// codecs.
+type SessionState = session.State
+
+// SessionMeta is the immutable, lock-free metadata snapshot of one
+// session; see Store.Meta and Store.Metas.
+type SessionMeta = store.Meta
+
+// Mutation is one portfolio change in a Store.ApplyBatch group; build
+// them with the *Op constructors below.
+type Mutation = store.Mutation
+
+// BatchResult reports one committed batch: ids assigned by add
+// mutations and the Delta of the single resolve that committed the
+// group.
+type BatchResult = store.BatchResult
+
+// Snapshot is the versioned wire document of a serialized session;
+// see EncodeSnapshot/DecodeSnapshot and the ses/internal/snap version
+// policy.
+type Snapshot = snap.Snapshot
+
+// SnapshotVersion is the snapshot format version this build reads and
+// writes.
+const SnapshotVersion = snap.Version
+
+// Store registry errors.
+var (
+	// ErrSessionExists reports a Store.Create against a taken name.
+	ErrSessionExists = store.ErrExists
+	// ErrSessionNotFound reports a Store operation on an unknown name.
+	ErrSessionNotFound = store.ErrNotFound
+)
+
+// NewStore returns an empty session store. The options (workers,
+// engine, seed, progress) configure every session the store creates
+// or restores.
+func NewStore(opts ...Option) *Store {
+	c := resolve(opts)
+	return store.New(session.Options{
+		Workers:  c.workers,
+		Engine:   c.engine,
+		Seed:     c.seed,
+		Progress: c.progress,
+	})
+}
+
+// Mutation constructors for Store.ApplyBatch.
+var (
+	// AddEventOp adds a candidate event with per-user interest.
+	AddEventOp = store.AddEvent
+	// CancelEventOp withdraws a candidate event.
+	CancelEventOp = store.CancelEvent
+	// UpdateInterestOp sets µ(user, event); 0 removes the entry.
+	UpdateInterestOp = store.UpdateInterest
+	// AddCompetingOp registers a third-party event with per-user
+	// interest.
+	AddCompetingOp = store.AddCompeting
+	// PinOp forces an event to an interval.
+	PinOp = store.Pin
+	// UnpinOp releases a pin.
+	UnpinOp = store.Unpin
+	// ForbidOp excludes one (event, interval) assignment.
+	ForbidOp = store.Forbid
+	// AllowOp removes a Forbid.
+	AllowOp = store.Allow
+	// SetKOp retargets the schedule-size budget.
+	SetKOp = store.SetK
+)
+
+// NewSnapshot wraps a session state in the versioned snapshot
+// document; name tags the snapshot for restore (it may be empty).
+func NewSnapshot(name string, st *SessionState) (*Snapshot, error) {
+	return snap.FromState(name, st)
+}
+
+// EncodeSnapshot writes a snapshot as JSON — the wire form served by
+// cmd/sesd. The encoding is canonical: the same state always produces
+// the same bytes.
+func EncodeSnapshot(w io.Writer, s *Snapshot) error { return snap.EncodeJSON(w, s) }
+
+// DecodeSnapshot reads a JSON snapshot, rejecting unknown fields and
+// unknown versions.
+func DecodeSnapshot(r io.Reader) (*Snapshot, error) { return snap.DecodeJSON(r) }
+
+// EncodeSnapshotBinary writes the compact binary at-rest form (magic
+// header, version byte, gob payload).
+func EncodeSnapshotBinary(w io.Writer, s *Snapshot) error { return snap.EncodeBinary(w, s) }
+
+// DecodeSnapshotBinary reads a binary snapshot written by
+// EncodeSnapshotBinary.
+func DecodeSnapshotBinary(r io.Reader) (*Snapshot, error) { return snap.DecodeBinary(r) }
+
+// RestoreScheduler rebuilds a standalone Scheduler (outside any
+// Store) from a snapshot state, validating it fully; the same options
+// as NewScheduler apply.
+func RestoreScheduler(st *SessionState, opts ...Option) (*Scheduler, error) {
+	c := resolve(opts)
+	return session.FromState(st, session.Options{
+		Workers:  c.workers,
+		Engine:   c.engine,
+		Seed:     c.seed,
+		Progress: c.progress,
+	})
+}

@@ -1,0 +1,133 @@
+package ses_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"ses"
+)
+
+// storeInstance builds a small instance through the public facade.
+func storeInstance(t testing.TB) *ses.Instance {
+	t.Helper()
+	ds := smallDataset(t)
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{K: 5, Intervals: 6, CandidateEvents: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestStoreFacadeEndToEnd(t *testing.T) {
+	inst := storeInstance(t)
+	st := ses.NewStore(ses.WithWorkers(1))
+	if err := st.Create("campus", inst, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create("campus", inst, 5); !errors.Is(err, ses.ErrSessionExists) {
+		t.Fatalf("duplicate create: got %v, want ErrSessionExists", err)
+	}
+
+	// A batch through every constructor kind commits with one resolve.
+	res, err := st.ApplyBatch(context.Background(), "campus", []ses.Mutation{
+		ses.AddEventOp(ses.Event{Location: 2, Required: 1, Name: "workshop"}, map[int]float64{0: 0.9, 2: 0.4}),
+		ses.AddCompetingOp(ses.CompetingEvent{Interval: 1, Name: "derby"}, map[int]float64{1: 0.7}),
+		ses.UpdateInterestOp(3, 0, 0.6),
+		ses.ForbidOp(1, 0),
+		ses.SetKOp(6),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EventIDs) != 1 || len(res.CompetingIDs) != 1 {
+		t.Fatalf("batch ids: %+v", res)
+	}
+	if res.Delta == nil || res.Delta.Utility <= 0 {
+		t.Fatalf("batch delta: %+v", res.Delta)
+	}
+	meta, err := st.Meta("campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.K != 6 || meta.Batches != 1 || meta.Mutations != 5 {
+		t.Fatalf("meta: %+v", meta)
+	}
+
+	// Snapshot → JSON wire → restore into a second store; both serve
+	// identical state, and re-snapshotting is byte-identical.
+	state, err := st.Snapshot("campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ses.NewSnapshot("campus", state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != ses.SnapshotVersion {
+		t.Fatalf("snapshot version %d, want %d", doc.Version, ses.SnapshotVersion)
+	}
+	var wire bytes.Buffer
+	if err := ses.EncodeSnapshot(&wire, doc); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := ses.DecodeSnapshot(bytes.NewReader(wire.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state2, err := decoded.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := ses.NewStore(ses.WithWorkers(1))
+	if err := st2.Restore("campus", state2, false); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := st.Get("campus")
+	b, _ := st2.Get("campus")
+	if !reflect.DeepEqual(a.Schedule(), b.Schedule()) || a.Utility() != b.Utility() {
+		t.Fatal("restored store serves different state")
+	}
+	redoc, err := ses.NewSnapshot("campus", b.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rewire bytes.Buffer
+	if err := ses.EncodeSnapshot(&rewire, redoc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.Bytes(), rewire.Bytes()) {
+		t.Fatal("snapshot of restored session not byte-identical")
+	}
+
+	// Binary codec round-trips through the facade too.
+	var disk bytes.Buffer
+	if err := ses.EncodeSnapshotBinary(&disk, doc); err != nil {
+		t.Fatal(err)
+	}
+	bdoc, err := ses.DecodeSnapshotBinary(bytes.NewReader(disk.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(doc, bdoc) {
+		t.Fatal("binary snapshot decode differs from original document")
+	}
+
+	// RestoreScheduler rebuilds a standalone session from the state.
+	solo, err := ses.RestoreScheduler(state2, ses.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(solo.Schedule(), a.Schedule()) {
+		t.Fatal("standalone restore differs")
+	}
+
+	if err := st.Delete("campus"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Meta("campus"); !errors.Is(err, ses.ErrSessionNotFound) {
+		t.Fatalf("deleted session: got %v, want ErrSessionNotFound", err)
+	}
+}
