@@ -15,6 +15,12 @@
 // previous map-based SparseMap engine, and the paper-faithful Dense
 // engine) and writes the results as JSON to the -json file.
 //
+// -fig objectives microbenchmarks the same hot paths on the Sparse
+// engine under each registered objective (omega, attendance,
+// fairness), pricing the objective layer's indirection and the
+// nonlinear fairness fold; results go to the -json file (default
+// BENCH_objective.json).
+//
 // -fig resolve measures the session layer: after single mutations
 // (interest update, late event, new competitor, cancellation, pin),
 // an incremental ses.Scheduler.Resolve is compared with a from-scratch
@@ -61,7 +67,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, resolve")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve")
 	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
 	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
 	seed := fs.Uint64("seed", 42, "master seed")
@@ -70,7 +76,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "stream per-run progress")
 	workers := fs.Int("workers", 0, "solver scoring goroutines (0 = all cores, 1 = serial; identical output)")
 	par := fs.Int("par", 1, "independent trials run concurrently (identical statistics, noisier timings)")
-	jsonPath := fs.String("json", "", "output file for -fig engines/resolve (defaults BENCH_engine.json / BENCH_resolve.json)")
+	jsonPath := fs.String("json", "", "output file for -fig engines/objectives/resolve (defaults BENCH_engine.json / BENCH_objective.json / BENCH_resolve.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,19 +85,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wantT := *fig == "all" || *fig == "1c" || *fig == "1d"
 	wantSens := *fig == "sens"
 	wantEngines := *fig == "engines"
+	wantObjectives := *fig == "objectives"
 	wantResolve := *fig == "resolve"
-	if !wantK && !wantT && !wantSens && !wantEngines && !wantResolve {
+	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	// Catch a silently-ignored flag before a potentially hours-long
 	// sweep rather than after it.
-	if *jsonPath != "" && !wantEngines && !wantResolve {
-		return fmt.Errorf("-json only applies to -fig engines/resolve")
+	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve {
+		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve")
 	}
 	if *jsonPath == "" {
-		if wantResolve {
+		switch {
+		case wantResolve:
 			*jsonPath = "BENCH_resolve.json"
-		} else {
+		case wantObjectives:
+			*jsonPath = "BENCH_objective.json"
+		default:
 			*jsonPath = "BENCH_engine.json"
 		}
 	}
@@ -138,6 +148,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	if wantEngines {
 		return benchEngines(out, ds, *seed, *jsonPath)
+	}
+	if wantObjectives {
+		return benchObjectives(out, ds, *seed, *jsonPath)
 	}
 	if wantResolve {
 		return benchResolve(ctx, out, ds, *seed, *workers, *jsonPath)

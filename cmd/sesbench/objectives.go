@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"ses/internal/choice"
+	"ses/internal/dataset"
+	"ses/internal/ebsn"
+)
+
+// This file implements `sesbench -fig objectives`: microbenchmarks of
+// the production Sparse engine's hot paths — Score, Apply+Unapply and
+// IntervalUtility — under each registered objective. The omega rows
+// measure the cost of the objective indirection itself (they should
+// sit within noise of the engine bench's sparse rows, which this PR's
+// acceptance criteria pin), while the attendance and fairness rows
+// price the thresholded fold and the nonlinear min-fold re-scoring.
+
+// objectiveBench is one benchmark row of BENCH_objective.json.
+type objectiveBench struct {
+	Name        string  `json:"name"` // e.g. "Score/fairness:0.5"
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// objectiveReport is the BENCH_objective.json document.
+type objectiveReport struct {
+	Users      int              `json:"users"`
+	Events     int              `json:"events"`
+	Intervals  int              `json:"intervals"`
+	Competing  int              `json:"competing"`
+	Scheduled  int              `json:"scheduled"`
+	Engine     string           `json:"engine"`
+	Benchmarks []objectiveBench `json:"benchmarks"`
+}
+
+// benchObjectives runs the per-objective hot-path microbenchmarks and
+// writes the JSON report to jsonPath.
+func benchObjectives(out io.Writer, ds *ebsn.Dataset, seed uint64, jsonPath string) error {
+	probe, err := os.OpenFile(jsonPath, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	probe.Close()
+
+	// Same instance shape as the engine ablation bench, so the omega
+	// rows are directly comparable to BENCH_engine.json's sparse rows.
+	const k = 60
+	inst, err := dataset.BuildInstance(ds, dataset.PaperParams{
+		K: k, Intervals: 90, CandidateEvents: 120, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	report := objectiveReport{
+		Users:     inst.NumUsers,
+		Events:    inst.NumEvents(),
+		Intervals: inst.NumIntervals,
+		Competing: len(inst.Competing),
+		Scheduled: k,
+		Engine:    "sparse",
+	}
+
+	fmt.Fprintf(out, "objective microbenchmarks (sparse engine): %d users, %d events, %d intervals, %d competing, %d scheduled\n\n",
+		inst.NumUsers, inst.NumEvents(), inst.NumIntervals, len(inst.Competing), k)
+
+	for _, obj := range choice.Objectives() {
+		eng := choice.NewSparse(inst)
+		eng.SetObjective(obj)
+		loadEngine(eng, k)
+
+		score := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = eng.Score(i%inst.NumEvents(), i%inst.NumIntervals)
+			}
+		})
+		applyEng := choice.NewSparse(inst)
+		applyEng.SetObjective(obj)
+		loadEngine(applyEng, k)
+		victim := applyEng.Schedule().Assignments()[0]
+		applyBench := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := applyEng.Unapply(victim.Event); err != nil {
+					b.Fatal(err)
+				}
+				if err := applyEng.Apply(victim.Event, victim.Interval); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		iu := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = eng.IntervalUtility(i % inst.NumIntervals)
+			}
+		})
+
+		for _, row := range []struct {
+			op  string
+			res testing.BenchmarkResult
+		}{
+			{"Score", score},
+			{"UnapplyApply", applyBench},
+			{"IntervalUtility", iu},
+		} {
+			bench := objectiveBench{
+				Name:        row.op + "/" + obj.Name(),
+				NsPerOp:     float64(row.res.NsPerOp()),
+				AllocsPerOp: row.res.AllocsPerOp(),
+				BytesPerOp:  row.res.AllocedBytesPerOp(),
+			}
+			report.Benchmarks = append(report.Benchmarks, bench)
+			fmt.Fprintf(out, "%-32s %12.0f ns/op %8d B/op %6d allocs/op\n",
+				bench.Name, bench.NsPerOp, bench.BytesPerOp, bench.AllocsPerOp)
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", jsonPath)
+	return nil
+}

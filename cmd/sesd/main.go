@@ -11,6 +11,7 @@
 // API (all bodies JSON; see the README for a curl walkthrough):
 //
 //	POST   /v1/sessions                     {"name","k","instance":{...}}  create a session
+//	                                        (+"objective":"omega|attendance[:θ]|fairness[:λ]")
 //	GET    /v1/sessions                     list session metadata
 //	GET    /v1/sessions/{name}              one session's metadata
 //	DELETE /v1/sessions/{name}              drop a session
@@ -168,9 +169,13 @@ func reqContext(r *http.Request) (context.Context, context.CancelFunc, error) {
 
 // createReq is the body of POST /v1/sessions.
 type createReq struct {
-	Name     string               `json:"name"`
-	K        int                  `json:"k"`
-	Instance *dataset.InstanceDoc `json:"instance"`
+	Name string `json:"name"`
+	K    int    `json:"k"`
+	// Objective selects what the session maximizes: "omega" (default),
+	// "attendance[:theta]" or "fairness[:blend]". It becomes part of
+	// the session's state and travels in its snapshots.
+	Objective string               `json:"objective,omitempty"`
+	Instance  *dataset.InstanceDoc `json:"instance"`
 }
 
 func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
@@ -183,12 +188,17 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, errors.New("name and instance are required"))
 		return
 	}
+	obj, err := ses.ParseObjective(req.Objective)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	inst, err := req.Instance.Instance()
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := s.store.Create(req.Name, inst, req.K); err != nil {
+	if err := s.store.CreateWithObjective(req.Name, inst, req.K, obj); err != nil {
 		s.writeErr(w, statusOf(err), err)
 		return
 	}

@@ -297,3 +297,70 @@ func TestDaemonRejectsGarbage(t *testing.T) {
 		t.Fatalf("garbage restore: status %d", resp.StatusCode)
 	}
 }
+
+// TestDaemonObjectiveSelection: a session created with an objective
+// reports it in its metadata, carries it in snapshots, and restores it
+// into another daemon; bad specs are rejected up front.
+func TestDaemonObjectiveSelection(t *testing.T) {
+	srv := testServer(t)
+
+	var meta ses.SessionMeta
+	do(t, "POST", srv.URL+"/v1/sessions", map[string]any{
+		"name": "fair", "k": 3, "objective": "fairness:0.7", "instance": instanceDoc(t, 5),
+	}, http.StatusCreated, &meta)
+	if meta.Objective != "fairness:0.7" {
+		t.Fatalf("create meta objective = %q", meta.Objective)
+	}
+
+	// Default objective is omega and shows up as such.
+	do(t, "POST", srv.URL+"/v1/sessions", map[string]any{
+		"name": "plain", "k": 3, "instance": instanceDoc(t, 6),
+	}, http.StatusCreated, &meta)
+	if meta.Objective != "omega" {
+		t.Fatalf("default meta objective = %q", meta.Objective)
+	}
+
+	// Unknown spec: 400 before any session is created.
+	do(t, "POST", srv.URL+"/v1/sessions", map[string]any{
+		"name": "bad", "k": 3, "objective": "maximize-vibes", "instance": instanceDoc(t, 7),
+	}, http.StatusBadRequest, nil)
+	do(t, "GET", srv.URL+"/v1/sessions/bad", nil, http.StatusNotFound, nil)
+
+	// Resolve, snapshot, and restore into a second daemon: the
+	// objective travels with the session.
+	do(t, "POST", srv.URL+"/v1/sessions/fair/resolve", nil, http.StatusOK, nil)
+	resp, err := http.Get(srv.URL + "/v1/sessions/fair/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: status %d err %v", resp.StatusCode, err)
+	}
+	if !strings.Contains(string(raw), `"objective":"fairness:0.7"`) {
+		t.Fatalf("snapshot does not carry the objective: %s", raw)
+	}
+
+	other := testServer(t)
+	req, err := http.NewRequest("POST", other.URL+"/v1/sessions/fair/restore", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp2.Body)
+		t.Fatalf("restore status %d: %s", resp2.StatusCode, body)
+	}
+	var restored ses.SessionMeta
+	if err := json.NewDecoder(resp2.Body).Decode(&restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Objective != "fairness:0.7" {
+		t.Fatalf("restored meta objective = %q", restored.Objective)
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ses/internal/dataset"
+)
+
+// Regenerate the committed golden instances with:
+//
+//	go test ./cmd/sesgen/ -run Golden -update
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// goldenArgs are the deterministic generation parameters shared by all
+// preset goldens: small enough to keep the committed files readable,
+// large enough that the presets have a head/minority to select.
+func goldenArgs(instPath, preset string) []string {
+	args := []string{
+		"-instance", instPath,
+		"-users", "40", "-events", "128", "-tags", "60", "-groups", "6",
+		"-k", "4", "-T", "6", "-E", "8", "-seed", "2026",
+	}
+	if preset != "" {
+		args = append(args, "-preset", preset)
+	}
+	return args
+}
+
+// TestGoldenInstancePerPreset locks the exact instance bytes sesgen
+// writes for a fixed seed, per scenario preset. A drift in the
+// generator, the paper-parameter sampling or a preset transform shows
+// up as a golden diff instead of silently changing every downstream
+// benchmark.
+func TestGoldenInstancePerPreset(t *testing.T) {
+	for _, preset := range append([]string{""}, presetNames()...) {
+		name := preset
+		if name == "" {
+			name = "default"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			instPath := filepath.Join(dir, "inst.json")
+			var out bytes.Buffer
+			if err := run(goldenArgs(instPath, preset), &out); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(instPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "instance_"+name+".golden.json")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("instance drifted from %s (%d vs %d bytes); run -update if intended",
+					golden, len(got), len(want))
+			}
+			// The emitted instance must load and validate regardless of
+			// the golden comparison.
+			f, err := os.Open(instPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			inst, err := dataset.LoadInstance(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := inst.Validate(); err != nil {
+				t.Fatalf("preset %q produced an invalid instance: %v", preset, err)
+			}
+		})
+	}
+}
+
+// TestPresetValidation covers the flag-level guards.
+func TestPresetValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "d.json"), "-preset", "skewed"}, &out); err == nil {
+		t.Error("-preset without -instance should fail")
+	}
+	if err := run(goldenArgs(filepath.Join(t.TempDir(), "i.json"), "bogus"), &out); err == nil {
+		t.Error("unknown preset should fail")
+	}
+}

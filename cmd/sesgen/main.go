@@ -7,11 +7,17 @@
 //	sesgen -out dataset.json [-users N] [-events N] [-tags N]
 //	       [-groups N] [-seed S]
 //	sesgen -dataset dataset.json -instance inst.json [-k K] [-T N]
-//	       [-E N] [-seed S]
+//	       [-E N] [-seed S] [-preset skewed|minority]
 //
 // With -instance, an instance is built from the dataset (generated
 // fresh unless -dataset points at an existing file) using the paper's
 // Section IV-A parameters.
+//
+// -preset reshapes the instance's interest to stress a non-default
+// objective: "skewed" concentrates interest in a head of users so the
+// attendance objective's success threshold bites, and "minority"
+// plants an adversarial user minority whose events only the fairness
+// objective protects (see the preset docs in preset.go).
 package main
 
 import (
@@ -43,9 +49,16 @@ func run(args []string, out io.Writer) error {
 	k := fs.Int("k", 20, "instance: number of events to schedule")
 	intervals := fs.Int("T", 0, "instance: time intervals (0 = paper default 3k/2)")
 	cand := fs.Int("E", 0, "instance: candidate events (0 = paper default 2k)")
+	preset := fs.String("preset", "", "instance: scenario preset reshaping interest (skewed, minority)")
 	seed := fs.Uint64("seed", 1, "master seed")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *preset != "" && *instPath == "" {
+		return fmt.Errorf("-preset only applies to -instance output")
+	}
+	if err := validPreset(*preset); err != nil {
+		return err // fail before minutes of dataset generation
 	}
 
 	var ds *ebsn.Dataset
@@ -95,6 +108,12 @@ func run(args []string, out io.Writer) error {
 		})
 		if err != nil {
 			return err
+		}
+		if err := applyPreset(inst, *preset, *seed); err != nil {
+			return err
+		}
+		if *preset != "" {
+			fmt.Fprintf(out, "applied preset %q\n", *preset)
 		}
 		f, err := os.Create(*instPath)
 		if err != nil {

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ses/internal/core"
+	"ses/internal/interest"
+	"ses/internal/randx"
+)
+
+// Scenario presets reshape a built instance's candidate interest so
+// that a specific objective is actually stressed instead of agreeing
+// with plain attendance maximization:
+//
+//   - skewed — attendance stress: a hash-selected head of users gets
+//     its interest amplified while the long tail is attenuated toward
+//     the attendance threshold, so schedules that smear events thinly
+//     leave most engagement probabilities below θ and score near zero
+//     under the attendance objective.
+//   - minority — fairness stress: a small user minority has its
+//     interest concentrated on a small pool of minority events and
+//     removed everywhere else, while the majority barely cares about
+//     those events. Ω-maximizing schedules starve the minority; the
+//     fairness objective's min-participant term protects it.
+//
+// Presets are deterministic in the master seed and leave the dataset,
+// events, competition and activity model untouched — only candidate
+// interest rows are rewritten (still valid sparse rows, so the
+// instance re-validates).
+
+// presetNames lists the registered scenario presets.
+func presetNames() []string { return []string{"skewed", "minority"} }
+
+// validPreset checks a preset name ("" is the no-op default).
+func validPreset(preset string) error {
+	switch preset {
+	case "", "skewed", "minority":
+		return nil
+	}
+	return fmt.Errorf("unknown -preset %q (known: %s)",
+		preset, strings.Join(presetNames(), ", "))
+}
+
+// applyPreset rewrites inst's candidate interest per the named preset
+// ("" is a no-op). Unknown names are an error.
+func applyPreset(inst *core.Instance, preset string, seed uint64) error {
+	if err := validPreset(preset); err != nil {
+		return err
+	}
+	switch preset {
+	case "":
+		return nil
+	case "skewed":
+		applySkewed(inst, seed)
+	case "minority":
+		applyMinority(inst, seed)
+	}
+	return inst.Validate()
+}
+
+// pickSet deterministically selects n distinct indices below limit.
+func pickSet(seed uint64, label string, limit, n int) map[int32]bool {
+	perm := randx.Derive(seed, label).Perm(limit)
+	set := make(map[int32]bool, n)
+	for _, idx := range perm[:n] {
+		set[int32(idx)] = true
+	}
+	return set
+}
+
+// applySkewed amplifies a 20% head of users (µ^(1/3), toward 1) and
+// attenuates the tail (µ^3, toward 0) in every candidate row.
+func applySkewed(inst *core.Instance, seed uint64) {
+	head := pickSet(seed, "preset-skewed-head", inst.NumUsers, inst.NumUsers/5)
+	for e := 0; e < inst.CandInterest.NumEvents(); e++ {
+		row := inst.CandInterest.Row(e)
+		vals := make([]float64, len(row.Vals))
+		for i, v := range row.Vals {
+			if head[row.IDs[i]] {
+				vals[i] = math.Min(1, math.Cbrt(v))
+			} else {
+				vals[i] = v * v * v
+			}
+		}
+		inst.CandInterest.SetRow(e, mustRow(row.IDs, vals))
+	}
+}
+
+// applyMinority concentrates a 10% user minority on a 25% event pool:
+// on minority events the minority's interest is boosted and the
+// majority's attenuated, everywhere else the minority's entries are
+// dropped.
+func applyMinority(inst *core.Instance, seed uint64) {
+	nU := inst.NumUsers
+	nE := inst.CandInterest.NumEvents()
+	minUsers := pickSet(seed, "preset-minority-users", nU, max(1, nU/10))
+	minEvents := pickSet(seed, "preset-minority-events", nE, max(1, nE/4))
+	for e := 0; e < nE; e++ {
+		row := inst.CandInterest.Row(e)
+		ids := make([]int32, 0, len(row.IDs))
+		vals := make([]float64, 0, len(row.Vals))
+		for i, id := range row.IDs {
+			v := row.Vals[i]
+			switch {
+			case minEvents[int32(e)] && minUsers[id]:
+				v = 0.6 + 0.4*v // the minority cares a lot about its events
+			case minEvents[int32(e)]:
+				v *= 0.15 // the majority barely notices them
+			case minUsers[id]:
+				v = 0 // the minority cares about nothing else
+			}
+			if v > 0 {
+				ids = append(ids, id)
+				vals = append(vals, v)
+			}
+		}
+		inst.CandInterest.SetRow(e, mustRow(ids, vals))
+	}
+}
+
+// mustRow builds a sparse row from already-sorted ids; preset
+// transforms preserve order, so failure means a bug.
+func mustRow(ids []int32, vals []float64) interest.SparseVector {
+	v, err := interest.NewSparseVector(ids, vals)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

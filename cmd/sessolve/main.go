@@ -4,11 +4,17 @@
 // Usage:
 //
 //	sessolve -instance inst.json [-algo grd] [-k K] [-seed S] [-show N]
-//	         [-workers W] [-timeout D] [-progress]
+//	         [-workers W] [-timeout D] [-progress] [-objective SPEC]
 //
 // The instance file is produced by sesgen (or any tool emitting the
 // same JSON). -k 0 uses the instance's natural k = |E|/2 (the paper's
 // ratio). -show limits how many assignments are printed.
+//
+// -objective selects what the solver maximizes: "omega" (default, the
+// paper's expected attendance), "attendance[:theta]" (thresholded
+// success-probability attendance) or "fairness[:blend]" (egalitarian
+// min-participant blend). Non-default objectives print their value on
+// an extra line next to the always-reported Ω.
 //
 // -timeout bounds the solve with a context deadline: anytime
 // algorithms (grd, grdlazy, beam, localsearch, anneal) return their
@@ -51,6 +57,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "seed for randomized algorithms")
 	show := fs.Int("show", 20, "max assignments to print")
 	workers := fs.Int("workers", 0, "goroutines for initial scoring (0 = all cores, 1 = serial; output is identical)")
+	objective := fs.String("objective", "", `objective to maximize: "omega" (default), "attendance[:theta]" or "fairness[:blend]"`)
 	timeout := fs.Duration("timeout", 0, "solve deadline (0 = none); anytime algorithms return their best-so-far")
 	progress := fs.Bool("progress", false, "stream one line per applied assignment to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -71,7 +78,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *k == 0 {
 		*k = inst.NumEvents() / 2
 	}
-	opts := []ses.Option{ses.WithSeed(*seed), ses.WithWorkers(*workers)}
+	obj, err := ses.ParseObjective(*objective)
+	if err != nil {
+		return err
+	}
+	opts := []ses.Option{ses.WithSeed(*seed), ses.WithWorkers(*workers), ses.WithObjective(obj)}
 	if *progress {
 		opts = append(opts, ses.WithProgress(func(p ses.Progress) {
 			fmt.Fprintf(os.Stderr, "%s: scheduled event %d at interval %d (%d so far)\n",
@@ -103,8 +114,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if res.Stopped != "" {
 		note = fmt.Sprintf(" (stopped: %s)", res.Stopped)
 	}
-	fmt.Fprintf(out, "%s scheduled %d/%d events in %s%s; expected attendance Ω = %.2f\n\n",
-		s.Name(), res.Schedule.Size(), *k, tablefmt.Duration(elapsed), note, res.Utility)
+	fmt.Fprintf(out, "%s scheduled %d/%d events in %s%s; expected attendance Ω = %.2f\n",
+		s.Name(), res.Schedule.Size(), *k, tablefmt.Duration(elapsed), note, res.Omega)
+	// The extra objective line appears only for non-default objectives,
+	// keeping the default output (and its goldens) unchanged.
+	if res.Objective != "omega" {
+		fmt.Fprintf(out, "objective %s = %.4f\n", res.Objective, res.Utility)
+	}
+	fmt.Fprintln(out)
 
 	// Print assignments by decreasing attendance.
 	type row struct {

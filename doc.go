@@ -76,9 +76,28 @@
 // Reference* oracle functions. Property tests force all of them to
 // agree to floating-point accuracy.
 //
+// What a schedule is worth is a separate, pluggable axis: every
+// engine evaluates an Objective — an interval-decomposable fold over
+// per-user attendance terms (σ, C, P). Omega, the default, is the
+// paper's expected attendance Ω and keeps the engines byte-identical
+// to the pre-objective code; AttendanceObjective counts a user only
+// once their engagement probability clears a success threshold (after
+// the authors' SEP follow-up); FairnessObjective blends attendance
+// with an egalitarian n·min participant-share term (after the
+// authors' fair virtual-conference scheduling). The engines' mass
+// bookkeeping is objective-independent, so Apply/Unapply, forks,
+// resets and the parallel scoring pool are untouched; linear
+// objectives keep the row-only Score fast path while the nonlinear
+// fairness fold re-folds one interval per Score. A differential fuzz
+// harness (FuzzEngineOps) holds every engine within 1e-9 of the Ref
+// oracle for every registered objective, and solvers report both the
+// objective's value (Result.Utility) and the objective-independent Ω
+// (Result.Omega).
+//
 // The solver layer (ses/internal/solver) implements the algorithms on
 // top of the Engine interface. Every constructor takes a
-// solver.Config carrying the engine factory and a Workers count. The
+// solver.Config carrying the engine factory, the objective and a
+// Workers count. The
 // scored E×T assignment cross product — the dominant cost of the
 // paper's Fig. 1b/1d time series — is built by a shared worklist
 // component that fans initial scoring out over a worker pool: each
@@ -100,8 +119,11 @@
 // is why it matches from-scratch GRD bit for bit (equivalence-tested)
 // at a fraction of the InitialScores.
 //
-// From this facade, pass WithWorkers(n) to New or NewScheduler; the
-// sessolve and sesbench commands expose the same knob as -workers.
+// From this facade, pass WithWorkers(n) or WithObjective(obj) to New
+// or NewScheduler; sessolve and sesbench expose the same knobs as
+// -workers and -objective. For a Scheduler the objective is session
+// state: it travels in snapshots (which bumped the snapshot format to
+// version 2) and survives restore.
 //
 // # Architecture: the serving layer
 //

@@ -299,3 +299,96 @@ func TestFacadeExactOnToyInstance(t *testing.T) {
 		t.Fatalf("greedy %v beat exact %v", grd.Utility, opt.Utility)
 	}
 }
+
+// TestFacadeObjectiveOption drives WithObjective through every public
+// surface: solver construction, a scheduling session, the session
+// store, and the snapshot codec.
+func TestFacadeObjectiveOption(t *testing.T) {
+	ds := smallDataset(t)
+	inst, err := ses.BuildInstance(ds, ses.PaperParams{K: 6, Intervals: 8, CandidateEvents: 12, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := ses.ObjectiveNames(); len(got) != 3 {
+		t.Fatalf("ObjectiveNames() = %v", got)
+	}
+	att, err := ses.AttendanceObjective(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ses.AttendanceObjective(1.5); err == nil {
+		t.Fatal("AttendanceObjective(1.5) should fail")
+	}
+	fair, err := ses.FairnessObjective(0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ses.ParseObjective("attendance:0.4")
+	if err != nil || parsed != att {
+		t.Fatalf("ParseObjective mismatch: %v, %v", parsed, err)
+	}
+
+	// Solver surface: the result reports the objective and both values.
+	s, err := ses.New("grd", ses.WithWorkers(1), ses.WithObjective(att))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background(), inst, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != "attendance:0.4" {
+		t.Fatalf("Result.Objective = %q", res.Objective)
+	}
+	if res.Omega+1e-9 < res.Utility {
+		t.Fatalf("Ω %v below thresholded attendance %v", res.Omega, res.Utility)
+	}
+
+	// Session surface: objective survives snapshot → restore.
+	sched, err := ses.NewScheduler(inst, 4, ses.WithWorkers(1), ses.WithObjective(fair))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sched.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	state := sched.ExportState()
+	if state.Objective != "fairness:0.6" {
+		t.Fatalf("exported objective %q", state.Objective)
+	}
+	doc, err := ses.NewSnapshot("fair", state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != ses.SnapshotVersion || doc.Objective != "fairness:0.6" {
+		t.Fatalf("snapshot doc %+v", doc)
+	}
+	restored, err := ses.RestoreScheduler(state, ses.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Objective().Name() != "fairness:0.6" {
+		t.Fatalf("restored objective %q", restored.Objective().Name())
+	}
+
+	// Store surface: per-session objectives coexist in one store.
+	st := ses.NewStore(ses.WithWorkers(1))
+	if err := st.Create("plain", inst, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateWithObjective("fair", inst, 4, fair); err != nil {
+		t.Fatal(err)
+	}
+	mp, err := st.Meta("plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := st.Meta("fair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Objective != "omega" || mf.Objective != "fairness:0.6" {
+		t.Fatalf("store metas: %q / %q", mp.Objective, mf.Objective)
+	}
+}

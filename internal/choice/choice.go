@@ -4,6 +4,14 @@
 // both the organizer's scheduled events Et(S) and the third-party
 // competing events Ct — proportionally to the user's interest µ.
 //
+// What a schedule is *worth* is pluggable: every engine evaluates an
+// Objective (Omega — the paper's expected attendance, the default;
+// Attendance — the thresholded success-probability variant; Fairness —
+// the egalitarian min-participant blend). The attendance model (the
+// per-interval competing and scheduled mass the engines maintain) is
+// objective-independent; the objective only changes how those masses
+// fold into scores and values. See Objective.
+//
 // Four implementations are provided:
 //
 //   - The Reference* functions compute Eq. 1–4 directly from the
@@ -45,8 +53,18 @@ type Engine interface {
 	// Schedule returns the engine's current schedule. Callers must not
 	// mutate it directly; use Apply/Unapply.
 	Schedule() *core.Schedule
-	// Score returns the assignment score (Eq. 4) of scheduling event e
-	// at interval t: the gain in total utility Ω. The result is only
+	// Objective returns the objective the engine evaluates (Omega by
+	// default).
+	Objective() Objective
+	// SetObjective switches the engine to obj (nil restores Omega).
+	// The schedule and mass bookkeeping are objective-independent, so
+	// switching is valid at any point; Score, Utility, IntervalUtility
+	// and ValueOf reflect the new objective immediately. Forks inherit
+	// the objective.
+	SetObjective(obj Objective)
+	// Score returns the assignment score of scheduling event e at
+	// interval t: the gain in the objective's total value (for the
+	// default Omega objective, Eq. 4's gain in Ω). The result is only
 	// meaningful while e is unassigned.
 	Score(e, t int) float64
 	// ScoreBatch computes Score(events[i], t) into out[i] for every
@@ -60,12 +78,20 @@ type Engine interface {
 	Apply(e, t int) error
 	// Unapply removes event e from the schedule.
 	Unapply(e int) error
-	// Utility returns Ω(S) (Eq. 3) for the current schedule.
+	// Utility returns the objective's total value of the current
+	// schedule (Ω(S), Eq. 3, under the default Omega objective).
 	Utility() float64
+	// ValueOf returns the total value of the current schedule under an
+	// arbitrary objective (nil = Omega), without changing the engine's
+	// own objective. Solvers use it to report Ω next to a non-default
+	// objective's value; ValueOf(Objective()) == Utility().
+	ValueOf(obj Objective) float64
 	// EventAttendance returns ω (Eq. 2) of a scheduled event e, the
-	// expected number of attendees. Returns 0 for unassigned events.
+	// expected number of attendees. It is an objective-independent
+	// reporting metric. Returns 0 for unassigned events.
 	EventAttendance(e int) float64
-	// IntervalUtility returns Σ ω over events scheduled at t.
+	// IntervalUtility returns the objective's value of interval t
+	// (Σ ω over events scheduled at t under Omega).
 	IntervalUtility(t int) float64
 	// Fork returns an independent copy of the engine sharing the
 	// immutable per-instance state (competing mass, interest). Applying

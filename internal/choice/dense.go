@@ -15,6 +15,7 @@ import (
 // Dense exists as the correctness baseline and for the sparse-vs-dense
 // ablation benchmark; use Sparse for real workloads.
 type Dense struct {
+	objectiveHolder
 	inst  *core.Instance
 	sched *core.Schedule
 	comp  [][]float64 // per interval: dense competing mass (lazy)
@@ -33,12 +34,13 @@ type Dense struct {
 // NewDense builds the engine for inst with an empty schedule.
 func NewDense(inst *core.Instance) *Dense {
 	e := &Dense{
-		inst:   inst,
-		sched:  core.NewSchedule(inst),
-		comp:   make([][]float64, inst.NumIntervals),
-		pmass:  make([][]float64, inst.NumIntervals),
-		hwm:    make([]float64, inst.NumIntervals),
-		muRows: make([][]float64, inst.NumEvents()),
+		objectiveHolder: omegaHolder(),
+		inst:            inst,
+		sched:           core.NewSchedule(inst),
+		comp:            make([][]float64, inst.NumIntervals),
+		pmass:           make([][]float64, inst.NumIntervals),
+		hwm:             make([]float64, inst.NumIntervals),
+		muRows:          make([][]float64, inst.NumEvents()),
 	}
 	for ci, c := range inst.Competing {
 		t := c.Interval
@@ -84,9 +86,14 @@ func (e *Dense) pmassAt(t, u int) float64 {
 	return e.pmass[t][u]
 }
 
-// Score computes Eq. 4 with the paper's O(|U|) user loop.
+// Score computes the objective's gain (Eq. 4 under Omega) with the
+// paper's O(|U|) user loop.
 func (e *Dense) Score(event, t int) float64 {
+	if !e.linear {
+		return e.scoreNonlinear(event, t)
+	}
 	mu := e.muRow(event)
+	obj := e.obj
 	sum := 0.0
 	for u := 0; u < e.inst.NumUsers; u++ {
 		m := mu[u]
@@ -94,9 +101,27 @@ func (e *Dense) Score(event, t int) float64 {
 			continue // zero interest: the user's denominator is unchanged
 		}
 		sigma := e.inst.Activity.Prob(u, t)
-		sum += luceGain(sigma, m, e.compAt(t, u), e.pmassAt(t, u))
+		sum += obj.Gain(sigma, m, e.compAt(t, u), e.pmassAt(t, u))
 	}
 	return sum
+}
+
+// scoreNonlinear computes Score for a nonlinear objective as the
+// interval-value delta, folding all users with the event's mass
+// hypothetically added.
+func (e *Dense) scoreNonlinear(event, t int) float64 {
+	before := e.intervalValue(t, e.obj, false)
+	mu := e.muRow(event)
+	var fold objFold
+	for u := 0; u < e.inst.NumUsers; u++ {
+		p := e.pmassAt(t, u) + mu[u]
+		if p <= 0 {
+			continue
+		}
+		sigma := e.inst.Activity.Prob(u, t)
+		fold.add(e.obj.Share(sigma, e.compAt(t, u), p))
+	}
+	return fold.value(e.obj) - before
 }
 
 // ScoreBatch computes Score for every listed event at t.
@@ -182,23 +207,41 @@ func (e *Dense) EventAttendance(event int) float64 {
 	return sum
 }
 
-// IntervalUtility returns Σ_{e∈Et} ω at t.
+// IntervalUtility returns the objective's value of interval t
+// (Σ_{e∈Et} ω under Omega).
 func (e *Dense) IntervalUtility(t int) float64 {
+	return e.intervalValue(t, e.obj, e.linear)
+}
+
+// intervalValue folds interval t's per-user shares under obj.
+func (e *Dense) intervalValue(t int, obj Objective, linear bool) float64 {
 	if e.pmass[t] == nil {
 		return 0
 	}
 	sum := 0.0
+	if linear {
+		for u, p := range e.pmass[t] {
+			if p <= 0 {
+				continue
+			}
+			sigma := e.inst.Activity.Prob(u, t)
+			sum += obj.Share(sigma, e.compAt(t, u), p)
+		}
+		return sum
+	}
+	var fold objFold
 	for u, p := range e.pmass[t] {
 		if p <= 0 {
 			continue
 		}
 		sigma := e.inst.Activity.Prob(u, t)
-		sum += luceShare(sigma, e.compAt(t, u), p)
+		fold.add(obj.Share(sigma, e.compAt(t, u), p))
 	}
-	return sum
+	return fold.value(obj)
 }
 
-// Utility returns Ω(S) (Eq. 3).
+// Utility returns the objective's total value (Ω(S), Eq. 3, under
+// Omega).
 func (e *Dense) Utility() float64 {
 	sum := 0.0
 	for t := range e.pmass {
@@ -207,16 +250,31 @@ func (e *Dense) Utility() float64 {
 	return sum
 }
 
-// Fork deep-copies the schedule and scheduled mass; the competing mass
-// and the µ rows are shared (both immutable after construction).
+// ValueOf returns the schedule's total value under obj (nil = Omega)
+// without changing the engine's own objective.
+func (e *Dense) ValueOf(obj Objective) float64 {
+	if obj == nil {
+		obj = Omega
+	}
+	linear := obj.Linear()
+	sum := 0.0
+	for t := range e.pmass {
+		sum += e.intervalValue(t, obj, linear)
+	}
+	return sum
+}
+
+// Fork deep-copies the schedule and scheduled mass; the competing
+// mass, the µ rows and the objective are shared (all immutable).
 func (e *Dense) Fork() Engine {
 	f := &Dense{
-		inst:   e.inst,
-		sched:  e.sched.Clone(),
-		comp:   e.comp,
-		pmass:  make([][]float64, len(e.pmass)),
-		hwm:    append([]float64(nil), e.hwm...),
-		muRows: e.muRows,
+		objectiveHolder: e.objectiveHolder,
+		inst:            e.inst,
+		sched:           e.sched.Clone(),
+		comp:            e.comp,
+		pmass:           make([][]float64, len(e.pmass)),
+		hwm:             append([]float64(nil), e.hwm...),
+		muRows:          e.muRows,
 	}
 	for t, m := range e.pmass {
 		if m != nil {

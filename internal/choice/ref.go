@@ -6,15 +6,19 @@ import "ses/internal/core"
 // quantity is recomputed from the Eq. 1–4 definitions on demand, with
 // no caching or incremental state beyond the schedule itself. It is
 // the slowest implementation by a wide margin and exists so solvers
-// and conformance tests can run against the oracle directly.
+// and conformance tests can run against the oracle directly. Under the
+// default Omega objective it keeps the original per-event summation
+// order; other objectives fold the per-user interval terms through
+// ReferenceIntervalValue.
 type Ref struct {
+	objectiveHolder
 	inst  *core.Instance
 	sched *core.Schedule
 }
 
 // NewRef builds the oracle engine for inst with an empty schedule.
 func NewRef(inst *core.Instance) *Ref {
-	return &Ref{inst: inst, sched: core.NewSchedule(inst)}
+	return &Ref{objectiveHolder: omegaHolder(), inst: inst, sched: core.NewSchedule(inst)}
 }
 
 // Instance returns the problem instance.
@@ -23,10 +27,18 @@ func (e *Ref) Instance() *core.Instance { return e.inst }
 // Schedule returns the engine's schedule.
 func (e *Ref) Schedule() *core.Schedule { return e.sched }
 
-// Score computes the assignment score (Eq. 4) from the definitions:
-// the per-user Luce gain against competing and scheduled mass summed
-// directly from the interest matrices.
+// Score computes the assignment score from the definitions. For
+// linear objectives it is the per-user gain against competing and
+// scheduled mass summed directly from the interest matrices (Eq. 4
+// under Omega); nonlinear objectives re-fold the interval with the
+// event's mass hypothetically added.
 func (e *Ref) Score(event, t int) float64 {
+	obj := e.Objective()
+	if !obj.Linear() {
+		before := ReferenceIntervalValue(e.inst, e.sched, t, obj)
+		after := referenceIntervalValueWith(e.inst, e.sched, t, obj, event)
+		return after - before
+	}
 	row := e.inst.CandInterest.Row(event)
 	comps := e.inst.CompetingAt(t)
 	scheduled := e.sched.EventsAt(t)
@@ -41,7 +53,7 @@ func (e *Ref) Score(event, t int) float64 {
 		for _, pe := range scheduled {
 			p += e.inst.CandInterest.Mu(u, pe)
 		}
-		sum += luceGain(e.inst.Activity.Prob(u, t), row.Vals[i], c, p)
+		sum += obj.Gain(e.inst.Activity.Prob(u, t), row.Vals[i], c, p)
 	}
 	return sum
 }
@@ -57,16 +69,35 @@ func (e *Ref) Apply(event, t int) error { return e.sched.Assign(event, t) }
 // Unapply removes the event from the schedule.
 func (e *Ref) Unapply(event int) error { return e.sched.Unassign(event) }
 
-// Utility returns Ω(S) (Eq. 3) recomputed from the definitions.
-func (e *Ref) Utility() float64 { return ReferenceUtility(e.inst, e.sched) }
+// Utility returns the objective's total value recomputed from the
+// definitions (Ω(S), Eq. 3, under Omega).
+func (e *Ref) Utility() float64 {
+	if obj := e.Objective(); obj != Omega {
+		return ReferenceValue(e.inst, e.sched, obj)
+	}
+	return ReferenceUtility(e.inst, e.sched)
+}
+
+// ValueOf returns the schedule's total value under obj (nil = Omega)
+// without changing the engine's own objective.
+func (e *Ref) ValueOf(obj Objective) float64 {
+	if obj == nil || obj == Omega {
+		return ReferenceUtility(e.inst, e.sched)
+	}
+	return ReferenceValue(e.inst, e.sched, obj)
+}
 
 // EventAttendance returns ω (Eq. 2) of a scheduled event.
 func (e *Ref) EventAttendance(event int) float64 {
 	return ReferenceEventAttendance(e.inst, e.sched, event)
 }
 
-// IntervalUtility returns Σ_{e∈Et} ω at t.
+// IntervalUtility returns the objective's value of interval t
+// (Σ_{e∈Et} ω under Omega).
 func (e *Ref) IntervalUtility(t int) float64 {
+	if obj := e.Objective(); obj != Omega {
+		return ReferenceIntervalValue(e.inst, e.sched, t, obj)
+	}
 	return ReferenceIntervalUtility(e.inst, e.sched, t)
 }
 
@@ -74,6 +105,8 @@ func (e *Ref) IntervalUtility(t int) float64 {
 func (e *Ref) Reset() { e.sched.Reset() }
 
 // Fork clones the schedule; the oracle has no other state.
-func (e *Ref) Fork() Engine { return &Ref{inst: e.inst, sched: e.sched.Clone()} }
+func (e *Ref) Fork() Engine {
+	return &Ref{objectiveHolder: e.objectiveHolder, inst: e.inst, sched: e.sched.Clone()}
+}
 
 var _ Engine = (*Ref)(nil)

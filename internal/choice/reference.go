@@ -68,3 +68,52 @@ func ReferenceScore(inst *core.Instance, s *core.Schedule, e, t int) (float64, e
 	after := ReferenceIntervalUtility(inst, clone, t)
 	return after - before, nil
 }
+
+// referenceIntervalValueWith folds interval t's per-user attendance
+// terms under obj, computing every mass directly from the definitions.
+// When extra >= 0, that candidate event's interest is hypothetically
+// added to the interval's scheduled mass (without touching s), which
+// is how the oracle scores nonlinear objectives for assignments that
+// need no feasibility check.
+func referenceIntervalValueWith(inst *core.Instance, s *core.Schedule, t int, obj Objective, extra int) float64 {
+	var fold objFold
+	for u := 0; u < inst.NumUsers; u++ {
+		c := 0.0
+		for _, ce := range inst.CompetingAt(t) {
+			c += inst.CompInterest.Mu(u, ce)
+		}
+		p := 0.0
+		for _, pe := range s.EventsAt(t) {
+			p += inst.CandInterest.Mu(u, pe)
+		}
+		if extra >= 0 {
+			p += inst.CandInterest.Mu(u, extra)
+		}
+		if p <= 0 {
+			continue
+		}
+		fold.add(obj.Share(inst.Activity.Prob(u, t), c, p))
+	}
+	return fold.value(obj)
+}
+
+// ReferenceIntervalValue computes the objective's value of interval t
+// directly from the definitions (no caching, no incremental state).
+// It is the per-interval oracle behind Ref for non-Omega objectives.
+func ReferenceIntervalValue(inst *core.Instance, s *core.Schedule, t int, obj Objective) float64 {
+	return referenceIntervalValueWith(inst, s, t, obj, -1)
+}
+
+// ReferenceValue computes the objective's total value of the schedule
+// from the definitions: the sum of ReferenceIntervalValue over all
+// intervals.
+func ReferenceValue(inst *core.Instance, s *core.Schedule, obj Objective) float64 {
+	if obj == nil {
+		obj = Omega
+	}
+	sum := 0.0
+	for t := 0; t < inst.NumIntervals; t++ {
+		sum += ReferenceIntervalValue(inst, s, t, obj)
+	}
+	return sum
+}

@@ -40,6 +40,7 @@ const residualEps = 64 * 2.220446049250313e-16 // 64 ulps ≈ 1.4e-14
 // allocation-free merge-joins over sorted vectors with deterministic
 // summation order.
 type Sparse struct {
+	objectiveHolder
 	inst  *core.Instance
 	sched *core.Schedule
 	comp  []massVector // per interval: aggregated competing mass (immutable)
@@ -143,11 +144,12 @@ func aggregateCompeting(inst *core.Instance) []massVector {
 // The instance should be validated beforehand.
 func NewSparse(inst *core.Instance) *Sparse {
 	return &Sparse{
-		inst:  inst,
-		sched: core.NewSchedule(inst),
-		comp:  aggregateCompeting(inst),
-		pmass: make([]massVector, inst.NumIntervals),
-		hwm:   make([]float64, inst.NumIntervals),
+		objectiveHolder: omegaHolder(),
+		inst:            inst,
+		sched:           core.NewSchedule(inst),
+		comp:            aggregateCompeting(inst),
+		pmass:           make([]massVector, inst.NumIntervals),
+		hwm:             make([]float64, inst.NumIntervals),
 	}
 }
 
@@ -161,13 +163,19 @@ func (e *Sparse) Schedule() *core.Schedule { return e.sched }
 // competing events at t.
 func (e *Sparse) CompetingMass(t int, u int) float64 { return e.comp[t].at(int32(u)) }
 
-// Score returns the assignment score of (event, t) per Eq. 4. The
-// event's interest row and both interval mass vectors are sorted by
-// user id, so one monotone merge-join pass covers all lookups.
+// Score returns the assignment score of (event, t): the objective's
+// gain (Eq. 4 under Omega). For linear objectives the event's interest
+// row and both interval mass vectors are sorted by user id, so one
+// monotone merge-join pass over the row covers all lookups; nonlinear
+// objectives re-fold the whole interval (see scoreNonlinear).
 func (e *Sparse) Score(event, t int) float64 {
+	if !e.linear {
+		return e.scoreNonlinear(event, t)
+	}
 	row := e.inst.CandInterest.Row(event)
 	comp := e.comp[t]
 	pm := e.pmass[t]
+	obj := e.obj
 	sum := 0.0
 	ci, pi := 0, 0
 	for i, id := range row.IDs {
@@ -175,9 +183,45 @@ func (e *Sparse) Score(event, t int) float64 {
 		c := comp.atFrom(&ci, id)
 		p := pm.atFrom(&pi, id)
 		sigma := e.inst.Activity.Prob(int(id), t)
-		sum += luceGain(sigma, mu, c, p)
+		sum += obj.Gain(sigma, mu, c, p)
 	}
 	return sum
+}
+
+// scoreNonlinear computes Score for a nonlinear objective as the
+// interval-value delta: the fold after the event's mass joins minus
+// the fold before. The "after" pass is a merge-join over the union of
+// the interval's accumulator and the event's interest row, so the cost
+// is O(|supp P| + |row|) instead of the linear path's O(|row|).
+func (e *Sparse) scoreNonlinear(event, t int) float64 {
+	before := e.intervalValue(t, e.obj, false)
+	row := e.inst.CandInterest.Row(event)
+	comp := e.comp[t]
+	pm := e.pmass[t]
+	var fold objFold
+	ci, i, j := 0, 0, 0
+	for i < len(pm.ids) || j < len(row.IDs) {
+		var id int32
+		var p float64
+		switch {
+		case j == len(row.IDs) || (i < len(pm.ids) && pm.ids[i] < row.IDs[j]):
+			id, p = pm.ids[i], pm.vals[i]
+			i++
+		case i == len(pm.ids) || pm.ids[i] > row.IDs[j]:
+			id, p = row.IDs[j], row.Vals[j]
+			j++
+		default:
+			id, p = pm.ids[i], pm.vals[i]+row.Vals[j]
+			i++
+			j++
+		}
+		if p <= 0 {
+			continue
+		}
+		sigma := e.inst.Activity.Prob(int(id), t)
+		fold.add(e.obj.Share(sigma, comp.atFrom(&ci, id), p))
+	}
+	return fold.value(e.obj) - before
 }
 
 // ScoreBatch computes Score for every listed event at t.
@@ -345,10 +389,18 @@ func (e *Sparse) EventAttendance(event int) float64 {
 	return sum
 }
 
-// IntervalUtility returns Σ_{e∈Et} ω using the aggregated identity
-// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user. The accumulator is already in
-// sorted user order, so the sum is deterministic and allocation-free.
+// IntervalUtility returns the objective's value of interval t
+// (Σ_{e∈Et} ω under Omega, via the aggregated identity
+// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user). The accumulator is already in
+// sorted user order, so the fold is deterministic and allocation-free.
 func (e *Sparse) IntervalUtility(t int) float64 {
+	return e.intervalValue(t, e.obj, e.linear)
+}
+
+// intervalValue folds interval t's per-user shares under obj. The
+// linear path is the plain share sum; the nonlinear path also tracks
+// the minimum share and participant count for Combine.
+func (e *Sparse) intervalValue(t int, obj Objective, linear bool) float64 {
 	pm := e.pmass[t]
 	if len(pm.ids) == 0 {
 		return 0
@@ -356,14 +408,27 @@ func (e *Sparse) IntervalUtility(t int) float64 {
 	comp := e.comp[t]
 	sum := 0.0
 	ci := 0
-	for i, id := range pm.ids {
-		sigma := e.inst.Activity.Prob(int(id), t)
-		sum += luceShare(sigma, comp.atFrom(&ci, id), pm.vals[i])
+	if linear {
+		for i, id := range pm.ids {
+			sigma := e.inst.Activity.Prob(int(id), t)
+			sum += obj.Share(sigma, comp.atFrom(&ci, id), pm.vals[i])
+		}
+		return sum
 	}
-	return sum
+	var fold objFold
+	for i, id := range pm.ids {
+		p := pm.vals[i]
+		if p <= 0 {
+			continue
+		}
+		sigma := e.inst.Activity.Prob(int(id), t)
+		fold.add(obj.Share(sigma, comp.atFrom(&ci, id), p))
+	}
+	return fold.value(obj)
 }
 
-// Utility returns Ω(S) (Eq. 3).
+// Utility returns the objective's total value (Ω(S), Eq. 3, under
+// Omega).
 func (e *Sparse) Utility() float64 {
 	sum := 0.0
 	for t := range e.pmass {
@@ -372,17 +437,32 @@ func (e *Sparse) Utility() float64 {
 	return sum
 }
 
+// ValueOf returns the schedule's total value under obj (nil = Omega)
+// without changing the engine's own objective.
+func (e *Sparse) ValueOf(obj Objective) float64 {
+	if obj == nil {
+		obj = Omega
+	}
+	linear := obj.Linear()
+	sum := 0.0
+	for t := range e.pmass {
+		sum += e.intervalValue(t, obj, linear)
+	}
+	return sum
+}
+
 // Fork deep-copies the schedule and scheduled-mass accumulators while
-// sharing the immutable competing-mass vectors and the instance. The
-// fork gets fresh scratch buffers, so it is independent of the
-// original for both reads and writes.
+// sharing the immutable competing-mass vectors, the objective and the
+// instance. The fork gets fresh scratch buffers, so it is independent
+// of the original for both reads and writes.
 func (e *Sparse) Fork() Engine {
 	f := &Sparse{
-		inst:  e.inst,
-		sched: e.sched.Clone(),
-		comp:  e.comp, // immutable after construction
-		pmass: make([]massVector, len(e.pmass)),
-		hwm:   append([]float64(nil), e.hwm...),
+		objectiveHolder: e.objectiveHolder,
+		inst:            e.inst,
+		sched:           e.sched.Clone(),
+		comp:            e.comp, // immutable after construction
+		pmass:           make([]massVector, len(e.pmass)),
+		hwm:             append([]float64(nil), e.hwm...),
 	}
 	for t, m := range e.pmass {
 		if len(m.ids) == 0 {

@@ -18,6 +18,7 @@ import (
 // ablation benchmark (see cmd/sesbench -fig engines and the choice
 // package benchmarks); use Sparse for real workloads.
 type SparseMap struct {
+	objectiveHolder
 	inst  *core.Instance
 	sched *core.Schedule
 	comp  []massVector        // per interval: aggregated competing mass
@@ -31,11 +32,12 @@ type SparseMap struct {
 // empty schedule. The instance should be validated beforehand.
 func NewSparseMap(inst *core.Instance) *SparseMap {
 	return &SparseMap{
-		inst:  inst,
-		sched: core.NewSchedule(inst),
-		comp:  aggregateCompeting(inst),
-		pmass: make([]map[int32]float64, inst.NumIntervals),
-		hwm:   make([]float64, inst.NumIntervals),
+		objectiveHolder: omegaHolder(),
+		inst:            inst,
+		sched:           core.NewSchedule(inst),
+		comp:            aggregateCompeting(inst),
+		pmass:           make([]map[int32]float64, inst.NumIntervals),
+		hwm:             make([]float64, inst.NumIntervals),
 	}
 }
 
@@ -45,12 +47,17 @@ func (e *SparseMap) Instance() *core.Instance { return e.inst }
 // Schedule returns the engine's schedule.
 func (e *SparseMap) Schedule() *core.Schedule { return e.sched }
 
-// Score returns the assignment score of (event, t) per Eq. 4,
-// iterating only the event's interested users.
+// Score returns the assignment score of (event, t): the objective's
+// gain (Eq. 4 under Omega), iterating only the event's interested
+// users for linear objectives.
 func (e *SparseMap) Score(event, t int) float64 {
+	if !e.linear {
+		return e.scoreNonlinear(event, t)
+	}
 	row := e.inst.CandInterest.Row(event)
 	comp := e.comp[t]
 	pm := e.pmass[t]
+	obj := e.obj
 	sum := 0.0
 	for i, id := range row.IDs {
 		mu := row.Vals[i]
@@ -60,9 +67,40 @@ func (e *SparseMap) Score(event, t int) float64 {
 			p = pm[id]
 		}
 		sigma := e.inst.Activity.Prob(int(id), t)
-		sum += luceGain(sigma, mu, c, p)
+		sum += obj.Gain(sigma, mu, c, p)
 	}
 	return sum
+}
+
+// scoreNonlinear computes Score for a nonlinear objective as the
+// interval-value delta, folding the union of the interval's scheduled
+// users and the event's interest row in sorted order (determinism
+// costs a sort here, as everywhere in this legacy engine).
+func (e *SparseMap) scoreNonlinear(event, t int) float64 {
+	before := e.intervalValue(t, e.obj, false)
+	row := e.inst.CandInterest.Row(event)
+	rowVec := massVector{ids: row.IDs, vals: row.Vals}
+	pm := e.pmass[t]
+	ids := make([]int32, 0, len(pm)+len(row.IDs))
+	for id := range pm {
+		ids = append(ids, id)
+	}
+	for _, id := range row.IDs {
+		if _, ok := pm[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var fold objFold
+	for _, id := range ids {
+		p := pm[id] + rowVec.at(id)
+		if p <= 0 {
+			continue
+		}
+		sigma := e.inst.Activity.Prob(int(id), t)
+		fold.add(e.obj.Share(sigma, e.comp[t].at(id), p))
+	}
+	return fold.value(e.obj) - before
 }
 
 // ScoreBatch computes Score for every listed event at t.
@@ -152,15 +190,21 @@ func (e *SparseMap) EventAttendance(event int) float64 {
 	return sum
 }
 
-// IntervalUtility returns Σ_{e∈Et} ω using the aggregated identity
-// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user.
+// IntervalUtility returns the objective's value of interval t
+// (Σ_{e∈Et} ω under Omega, via the aggregated identity
+// Σ_e σ·µe/(C+P) = σ·P/(C+P) per user).
 func (e *SparseMap) IntervalUtility(t int) float64 {
+	return e.intervalValue(t, e.obj, e.linear)
+}
+
+// intervalValue folds interval t's per-user shares under obj.
+func (e *SparseMap) intervalValue(t int, obj Objective, linear bool) float64 {
 	pm := e.pmass[t]
 	if len(pm) == 0 {
 		return 0
 	}
 	comp := e.comp[t]
-	// Iterate in sorted user order so the floating-point sum is
+	// Iterate in sorted user order so the floating-point fold is
 	// deterministic across runs (map order is not).
 	ids := make([]int32, 0, len(pm))
 	for id := range pm {
@@ -168,14 +212,27 @@ func (e *SparseMap) IntervalUtility(t int) float64 {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	sum := 0.0
-	for _, id := range ids {
-		sigma := e.inst.Activity.Prob(int(id), t)
-		sum += luceShare(sigma, comp.at(id), pm[id])
+	if linear {
+		for _, id := range ids {
+			sigma := e.inst.Activity.Prob(int(id), t)
+			sum += obj.Share(sigma, comp.at(id), pm[id])
+		}
+		return sum
 	}
-	return sum
+	var fold objFold
+	for _, id := range ids {
+		p := pm[id]
+		if p <= 0 {
+			continue
+		}
+		sigma := e.inst.Activity.Prob(int(id), t)
+		fold.add(obj.Share(sigma, comp.at(id), p))
+	}
+	return fold.value(obj)
 }
 
-// Utility returns Ω(S) (Eq. 3).
+// Utility returns the objective's total value (Ω(S), Eq. 3, under
+// Omega).
 func (e *SparseMap) Utility() float64 {
 	sum := 0.0
 	for t := range e.pmass {
@@ -184,15 +241,30 @@ func (e *SparseMap) Utility() float64 {
 	return sum
 }
 
+// ValueOf returns the schedule's total value under obj (nil = Omega)
+// without changing the engine's own objective.
+func (e *SparseMap) ValueOf(obj Objective) float64 {
+	if obj == nil {
+		obj = Omega
+	}
+	linear := obj.Linear()
+	sum := 0.0
+	for t := range e.pmass {
+		sum += e.intervalValue(t, obj, linear)
+	}
+	return sum
+}
+
 // Fork deep-copies the schedule and scheduled mass while sharing the
-// immutable competing-mass vectors and the instance.
+// immutable competing-mass vectors, the objective and the instance.
 func (e *SparseMap) Fork() Engine {
 	f := &SparseMap{
-		inst:  e.inst,
-		sched: e.sched.Clone(),
-		comp:  e.comp, // immutable after construction
-		pmass: make([]map[int32]float64, len(e.pmass)),
-		hwm:   append([]float64(nil), e.hwm...),
+		objectiveHolder: e.objectiveHolder,
+		inst:            e.inst,
+		sched:           e.sched.Clone(),
+		comp:            e.comp, // immutable after construction
+		pmass:           make([]map[int32]float64, len(e.pmass)),
+		hwm:             append([]float64(nil), e.hwm...),
 	}
 	for t, m := range e.pmass {
 		if m == nil {

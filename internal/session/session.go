@@ -45,6 +45,13 @@ type Options struct {
 	// Engine builds the choice engine (nil = the sparse production
 	// engine).
 	Engine solver.EngineFactory
+	// Objective selects what the session maximizes (nil = choice.Omega,
+	// the paper's expected attendance). Unlike the other options it is
+	// consumed at creation and becomes part of the session's state: it
+	// is exported by ExportState, travels in snapshots, and on restore
+	// the snapshot's objective wins over the restoring process's
+	// Options.
+	Objective choice.Objective
 	// Seed is reserved for randomized repair strategies; the greedy
 	// repair is deterministic and ignores it.
 	Seed uint64
@@ -91,6 +98,10 @@ type Scheduler struct {
 	mu   sync.Mutex
 	opts Options
 	k    int
+	// obj is the session's objective (never nil). It is session state,
+	// not configuration: fixed at creation (or by the restored
+	// snapshot) and exported with the state.
+	obj choice.Objective
 
 	inst      *core.Instance
 	cancelled []bool
@@ -129,9 +140,14 @@ func New(inst *core.Instance, k int, opts Options) (*Scheduler, error) {
 		return nil, err
 	}
 	cp := copyInstance(inst)
+	obj := opts.Objective
+	if obj == nil {
+		obj = choice.Omega
+	}
 	return &Scheduler{
 		opts:           opts,
 		k:              k,
+		obj:            obj,
 		inst:           cp,
 		cancelled:      make([]bool, len(cp.Events)),
 		pins:           make(map[int]int),
@@ -221,11 +237,20 @@ func (s *Scheduler) Schedule() []core.Assignment {
 	return append([]core.Assignment(nil), s.cur...)
 }
 
-// Utility returns Ω of the committed schedule.
+// Utility returns the objective's value of the committed schedule (Ω
+// under the default Omega objective).
 func (s *Scheduler) Utility() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.curUtil
+}
+
+// Objective returns the session's objective (choice.Omega unless one
+// was selected at creation or carried in by a restored snapshot).
+func (s *Scheduler) Objective() choice.Objective {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.obj
 }
 
 // Counters returns the cumulative work across all resolves.
@@ -498,6 +523,8 @@ type Summary struct {
 	Scheduled                int
 	Utility                  float64
 	Stopped                  string
+	// Objective is the canonical spec of the session's objective.
+	Objective string
 }
 
 // Summary captures all reportable facts under one lock acquisition,
@@ -513,14 +540,17 @@ func (s *Scheduler) Summary() Summary {
 		Scheduled: len(s.cur),
 		Utility:   s.curUtil,
 		Stopped:   s.lastStop,
+		Objective: s.obj.Name(),
 	}
 }
 
 // ensureEngine rebuilds the warm engine after structural mutations or
-// resets it in place otherwise.
+// resets it in place otherwise, always binding the session's
+// objective.
 func (s *Scheduler) ensureEngine() {
 	if s.eng == nil || s.engDirty {
 		s.eng = s.engineFactory()(s.inst)
+		s.eng.SetObjective(s.obj)
 		s.engDirty = false
 		return
 	}
@@ -529,6 +559,7 @@ func (s *Scheduler) ensureEngine() {
 		return
 	}
 	s.eng = s.engineFactory()(s.inst)
+	s.eng.SetObjective(s.obj)
 }
 
 // patchScores fills mat with the initial (empty-schedule) score of

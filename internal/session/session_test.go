@@ -29,6 +29,7 @@ func freshClone(t *testing.T, s *Scheduler) *Scheduler {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ns.obj = s.obj // the objective is state, not an option
 	copy(ns.cancelled, s.cancelled)
 	for e, ti := range s.pins {
 		ns.pins[e] = ti

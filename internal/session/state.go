@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"ses/internal/choice"
 	"ses/internal/core"
 	"ses/internal/solver"
 )
@@ -27,6 +28,11 @@ import (
 type State struct {
 	// K is the schedule-size target.
 	K int
+	// Objective is the canonical spec of the session's objective
+	// (choice.ParseObjective). ExportState always writes it
+	// explicitly ("omega" for the default); FromState accepts "" as
+	// omega so states predating the objective layer keep restoring.
+	Objective string
 	// Inst is a deep copy of the session's instance.
 	Inst *core.Instance
 	// Cancelled lists withdrawn candidate events, sorted ascending.
@@ -51,11 +57,12 @@ func (s *Scheduler) ExportState() *State {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := &State{
-		K:        s.k,
-		Inst:     copyInstance(s.inst),
-		Schedule: append([]core.Assignment(nil), s.cur...),
-		Utility:  s.curUtil,
-		Totals:   s.totals,
+		K:         s.k,
+		Objective: s.obj.Name(),
+		Inst:      copyInstance(s.inst),
+		Schedule:  append([]core.Assignment(nil), s.cur...),
+		Utility:   s.curUtil,
+		Totals:    s.totals,
 	}
 	for e, c := range s.cancelled {
 		if c {
@@ -110,6 +117,13 @@ func FromState(st *State, opts Options) (*Scheduler, error) {
 	}
 	if math.IsNaN(st.Utility) || math.IsInf(st.Utility, 0) {
 		return nil, fmt.Errorf("session: FromState: non-finite utility %v", st.Utility)
+	}
+	// The state's objective wins over opts.Objective: a snapshot must
+	// restore to the session it describes, not to whatever the
+	// restoring process happens to default to.
+	obj, err := choice.ParseObjective(st.Objective)
+	if err != nil {
+		return nil, fmt.Errorf("session: FromState: %w", err)
 	}
 	nE, nT := st.Inst.NumEvents(), st.Inst.NumIntervals
 
@@ -179,6 +193,7 @@ func FromState(st *State, opts Options) (*Scheduler, error) {
 	return &Scheduler{
 		opts:           opts,
 		k:              st.K,
+		obj:            obj,
 		inst:           copyInstance(st.Inst),
 		cancelled:      cancelled,
 		pins:           pins,

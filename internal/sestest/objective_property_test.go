@@ -1,0 +1,114 @@
+package sestest
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+	"ses/internal/randx"
+	"ses/internal/solver"
+)
+
+// TestObjectiveValueInvariantUnderRelabeling extends the metamorphic
+// relabeling property to the whole objective registry: every
+// objective's value is a function of which events run when, never of
+// how events are numbered. Relabeling the instance and mapping the
+// schedule through the same permutation must preserve the value of
+// omega, attendance and fairness alike.
+func TestObjectiveValueInvariantUnderRelabeling(t *testing.T) {
+	objectives := choice.Objectives()
+	property := func(instSeed, permSeed uint16) bool {
+		cfg := Config{
+			Users: 20, Events: 10, Intervals: 4, Competing: 2,
+			Seed: uint64(instSeed),
+		}
+		inst := Random(cfg)
+		res := grdSolve(t, inst, 4)
+		perm := randx.Derive(uint64(permSeed), "relabel").Perm(inst.NumEvents())
+		permuted := PermuteEvents(inst, perm)
+		mapped := core.NewSchedule(permuted)
+		for _, a := range res.Schedule.Assignments() {
+			if err := mapped.Assign(perm[a.Event], a.Interval); err != nil {
+				t.Logf("mapped schedule infeasible after relabeling: %v", err)
+				return false
+			}
+		}
+		for _, obj := range objectives {
+			orig := choice.ReferenceValue(inst, res.Schedule, obj)
+			relabeled := choice.ReferenceValue(permuted, mapped, obj)
+			if math.Abs(orig-relabeled) > utilityTolerance {
+				t.Logf("%s changed under relabeling: %v -> %v (perm %v)",
+					obj.Name(), orig, relabeled, perm)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fairnessTerm is the min-participant component of the fairness
+// objective: because the blend is linear in λ, it is exactly the
+// schedule's value under blend 1 (Σ_t n_t · min share).
+func fairnessTerm(inst *core.Instance, s *core.Schedule) float64 {
+	pure, err := choice.NewFairness(1)
+	if err != nil {
+		panic(err)
+	}
+	return choice.ReferenceValue(inst, s, pure)
+}
+
+// TestFairnessMinUtilityMonotoneInBlend is the scalarization property
+// of the egalitarian blend: let S(λ) be an exact optimizer of
+// F_λ = (1-λ)·A + λ·M (attendance term A, min-participant term M).
+// For λ1 < λ2, adding the two optimality inequalities gives
+// (λ2-λ1)·(M(S2) - M(S1)) ≥ 0, so the fairness term of the chosen
+// schedule is non-decreasing in the blend weight — regardless of
+// tie-breaking. testing/quick drives instance seeds and blend pairs
+// through the exact solver on tiny instances (the fairness objective
+// disables the branch-and-bound prune, so the search is a full
+// enumeration).
+func TestFairnessMinUtilityMonotoneInBlend(t *testing.T) {
+	solveFair := func(inst *core.Instance, blend float64) *core.Schedule {
+		obj, err := choice.NewFairness(blend)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := solver.NewExact(solver.Config{Workers: 1, Objective: obj}).
+			Solve(context.Background(), inst, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Schedule
+	}
+	property := func(instSeed uint16, b1, b2 uint8) bool {
+		l1 := float64(b1) / 255
+		l2 := float64(b2) / 255
+		if l1 > l2 {
+			l1, l2 = l2, l1
+		}
+		if l2-l1 < 1e-9 {
+			return true // equal blends carry no ordering claim
+		}
+		inst := Random(Config{
+			Users: 10, Events: 5, Intervals: 2, Competing: 2,
+			Seed: uint64(instSeed),
+		})
+		m1 := fairnessTerm(inst, solveFair(inst, l1))
+		m2 := fairnessTerm(inst, solveFair(inst, l2))
+		if m2 < m1-utilityTolerance {
+			t.Logf("seed %d: fairness term dropped as blend rose %v -> %v: %v -> %v",
+				instSeed, l1, l2, m1, m2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

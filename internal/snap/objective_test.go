@@ -1,0 +1,200 @@
+package snap
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+	"ses/internal/session"
+	"ses/internal/sestest"
+)
+
+// objectiveSession builds a mutated, resolved session under obj.
+func objectiveSession(t *testing.T, obj choice.Objective) *session.Scheduler {
+	t.Helper()
+	inst := sestest.Random(sestest.Config{Users: 25, Events: 10, Intervals: 4, Competing: 3, Seed: 23})
+	s, err := session.New(inst, 5, session.Options{Workers: 1, Objective: obj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddEvent(core.Event{Location: 0, Required: 1, Name: "late"}, map[int]float64{2: 0.6}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CancelEvent(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSnapshotRoundTripForEveryObjective is the acceptance check: a
+// session created under each registered objective snapshots, restores
+// and re-snapshots byte-identically in both encodings, and the
+// restored session carries the objective.
+func TestSnapshotRoundTripForEveryObjective(t *testing.T) {
+	for _, obj := range choice.Objectives() {
+		s := objectiveSession(t, obj)
+		doc, err := FromState("o", s.ExportState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Version != Version || doc.Objective != obj.Name() {
+			t.Fatalf("%s: doc version %d objective %q", obj.Name(), doc.Version, doc.Objective)
+		}
+		for _, enc := range []struct {
+			name   string
+			encode func(*bytes.Buffer, *Snapshot) error
+			decode func([]byte) (*Snapshot, error)
+		}{
+			{"json", func(b *bytes.Buffer, d *Snapshot) error { return EncodeJSON(b, d) },
+				func(raw []byte) (*Snapshot, error) { return DecodeJSON(bytes.NewReader(raw)) }},
+			{"binary", func(b *bytes.Buffer, d *Snapshot) error { return EncodeBinary(b, d) },
+				func(raw []byte) (*Snapshot, error) { return DecodeBinary(bytes.NewReader(raw)) }},
+		} {
+			var b1 bytes.Buffer
+			if err := enc.encode(&b1, doc); err != nil {
+				t.Fatal(err)
+			}
+			dec, err := enc.decode(b1.Bytes())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", obj.Name(), enc.name, err)
+			}
+			st, err := dec.State()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := session.FromState(st, session.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restored.Objective() != obj {
+				t.Fatalf("%s/%s: restored objective %v", obj.Name(), enc.name, restored.Objective())
+			}
+			doc2, err := FromState("o", restored.ExportState())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b2 bytes.Buffer
+			if err := enc.encode(&b2, doc2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatalf("%s/%s: restore(snapshot(s)) not byte-identical", obj.Name(), enc.name)
+			}
+		}
+	}
+}
+
+// TestVersion1SnapshotsStillRestore: the pre-objective-layer format
+// (version 1, no objective field) decodes in both encodings and
+// restores with the omega objective.
+func TestVersion1SnapshotsStillRestore(t *testing.T) {
+	s := objectiveSession(t, nil) // omega
+	doc, err := FromState("v1", s.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Version = versionOmegaOnly
+	doc.Objective = ""
+
+	var j bytes.Buffer
+	if err := EncodeJSON(&j, doc); err != nil {
+		t.Fatal(err)
+	}
+	decJ, err := DecodeJSON(bytes.NewReader(j.Bytes()))
+	if err != nil {
+		t.Fatalf("JSON decoder rejected version 1: %v", err)
+	}
+	// Re-encoding a version-1 document is still a fixed point: the
+	// decoder preserves the version it read.
+	var j2 bytes.Buffer
+	if err := EncodeJSON(&j2, decJ); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j.Bytes(), j2.Bytes()) {
+		t.Fatal("version-1 JSON re-encode is not a fixed point")
+	}
+	st, err := decJ.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := session.FromState(st, session.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Objective() != choice.Omega {
+		t.Fatalf("version-1 restore objective %v, want Omega", restored.Objective())
+	}
+
+	var b bytes.Buffer
+	if err := EncodeBinary(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	decB, err := DecodeBinary(bytes.NewReader(b.Bytes()))
+	if err != nil {
+		t.Fatalf("binary decoder rejected version 1: %v", err)
+	}
+	if _, err := decB.State(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersion1WithObjectiveIsRejected: a document claiming the
+// pre-objective version while carrying an objective is corrupt and
+// must not restore.
+func TestVersion1WithObjectiveIsRejected(t *testing.T) {
+	att, err := choice.NewAttendance(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := objectiveSession(t, att)
+	doc, err := FromState("bad", s.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Version = versionOmegaOnly // objective stays "attendance:0.5"
+	if _, err := doc.State(); err == nil {
+		t.Fatal("version-1 document with an objective restored")
+	}
+}
+
+// TestVersion2WithoutObjectiveIsRejected: the objective field is
+// mandatory since version 2; a v2 document missing it must not
+// silently restore as omega.
+func TestVersion2WithoutObjectiveIsRejected(t *testing.T) {
+	s := objectiveSession(t, nil)
+	doc, err := FromState("bad2", s.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Objective = ""
+	if _, err := doc.State(); err == nil {
+		t.Fatal("version-2 document without an objective restored")
+	}
+}
+
+// TestBinaryHeaderVersionMustMatchPayload: a binary header declaring
+// one known version over a payload declaring another is rejected.
+func TestBinaryHeaderVersionMustMatchPayload(t *testing.T) {
+	s := objectiveSession(t, nil)
+	doc, err := FromState("hdr", s.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := EncodeBinary(&b, doc); err != nil {
+		t.Fatal(err)
+	}
+	raw := b.Bytes()
+	raw[len(magic)] = versionOmegaOnly // payload still says Version (2)
+	if _, err := DecodeBinary(bytes.NewReader(raw)); err == nil {
+		t.Fatal("header/payload version mismatch accepted")
+	}
+}

@@ -24,6 +24,19 @@
 // accepted version means corruption or a writer newer than the
 // reader, and both must surface).
 //
+// Version history:
+//
+//   - 1 — the initial format: instance, constraints, schedule,
+//     counters. Still read; restores with the omega objective.
+//   - 2 (current) — adds the mandatory "objective" field (the
+//     session's objective spec, see choice.ParseObjective). A new
+//     version rather than an additive field because a version-1
+//     reader handed a non-omega snapshot would silently restore the
+//     session under the wrong objective — exactly the misread the
+//     policy exists to prevent. Writers always emit version 2; a
+//     document claiming version 1 while carrying an objective is
+//     rejected as corrupt.
+//
 // Both encoders are canonical: a decoded snapshot re-encodes to
 // byte-identical output, and restore(snapshot(s)) is the identity on
 // session state. The fuzz suite enforces both properties.
@@ -44,7 +57,14 @@ import (
 )
 
 // Version is the current snapshot format version.
-const Version = 1
+const Version = 2
+
+// versionOmegaOnly is the pre-objective-layer format, still accepted
+// by the decoders; it restores with the omega objective.
+const versionOmegaOnly = 1
+
+// knownVersion reports whether this build's decoders read v.
+func knownVersion(v int) bool { return v == Version || v == versionOmegaOnly }
 
 // magic prefixes binary snapshots; the byte after it is the version.
 const magic = "SESSNAP"
@@ -71,9 +91,12 @@ type Counters struct {
 // Snapshot is the wire document of one session: instance, constraints
 // and committed schedule, plus the format version.
 type Snapshot struct {
-	Version   int                  `json:"version"`
-	Name      string               `json:"name,omitempty"`
-	K         int                  `json:"k"`
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+	K       int    `json:"k"`
+	// Objective is the session's objective spec (always written since
+	// version 2; "" only in version-1 documents, meaning omega).
+	Objective string               `json:"objective,omitempty"`
 	Instance  *dataset.InstanceDoc `json:"instance"`
 	Cancelled []int                `json:"cancelled,omitempty"`
 	Pins      []Assign             `json:"pins,omitempty"`
@@ -98,6 +121,7 @@ func FromState(name string, st *session.State) (*Snapshot, error) {
 		Version:   Version,
 		Name:      name,
 		K:         st.K,
+		Objective: st.Objective,
 		Instance:  doc,
 		Cancelled: append([]int(nil), st.Cancelled...),
 		Pins:      toAssigns(st.Pins),
@@ -119,8 +143,17 @@ func FromState(name string, st *session.State) (*Snapshot, error) {
 // schedule validation happens in session.FromState, which a restore
 // always goes through.
 func (s *Snapshot) State() (*session.State, error) {
-	if s.Version != Version {
-		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, Version)
+	if !knownVersion(s.Version) {
+		return nil, fmt.Errorf("%w: %d (this build reads %d and %d)", ErrVersion, s.Version, versionOmegaOnly, Version)
+	}
+	if s.Version == versionOmegaOnly && s.Objective != "" {
+		return nil, fmt.Errorf("snap: version %d snapshot carries an objective %q (corrupt or mislabeled)", versionOmegaOnly, s.Objective)
+	}
+	if s.Version == Version && s.Objective == "" {
+		// The field is mandatory since version 2; defaulting a missing
+		// one to omega would be exactly the silent misread the version
+		// bump exists to prevent.
+		return nil, fmt.Errorf("snap: version %d snapshot is missing its objective", Version)
 	}
 	if s.Instance == nil {
 		return nil, errors.New("snap: snapshot has no instance")
@@ -131,6 +164,7 @@ func (s *Snapshot) State() (*session.State, error) {
 	}
 	return &session.State{
 		K:         s.K,
+		Objective: s.Objective,
 		Inst:      inst,
 		Cancelled: append([]int(nil), s.Cancelled...),
 		Pins:      toAssignments(s.Pins),
@@ -186,8 +220,8 @@ func DecodeJSON(r io.Reader) (*Snapshot, error) {
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("snap: decoding snapshot: %w", err)
 	}
-	if s.Version != Version {
-		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, Version)
+	if !knownVersion(s.Version) {
+		return nil, fmt.Errorf("%w: %d (this build reads %d and %d)", ErrVersion, s.Version, versionOmegaOnly, Version)
 	}
 	return &s, nil
 }
@@ -216,15 +250,16 @@ func DecodeBinary(r io.Reader) (*Snapshot, error) {
 	if !bytes.Equal(head[:len(magic)], []byte(magic)) {
 		return nil, errors.New("snap: not a binary snapshot (bad magic)")
 	}
-	if v := int(head[len(magic)]); v != Version {
-		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, v, Version)
+	v := int(head[len(magic)])
+	if !knownVersion(v) {
+		return nil, fmt.Errorf("%w: %d (this build reads %d and %d)", ErrVersion, v, versionOmegaOnly, Version)
 	}
 	var s Snapshot
 	if err := gob.NewDecoder(r).Decode(&s); err != nil {
 		return nil, fmt.Errorf("snap: decoding snapshot payload: %w", err)
 	}
-	if s.Version != Version {
-		return nil, fmt.Errorf("%w: %d (this build reads %d)", ErrVersion, s.Version, Version)
+	if s.Version != v {
+		return nil, fmt.Errorf("snap: header version %d does not match document version %d", v, s.Version)
 	}
 	return &s, nil
 }

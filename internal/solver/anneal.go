@@ -142,9 +142,7 @@ func (s *Anneal) Solve(ctx context.Context, inst *core.Instance, k int) (*Result
 			return nil, err
 		}
 	}
-	res.Schedule = finalEng.Schedule()
-	res.Utility = finalEng.Utility()
-	return res, nil
+	return finish(res, finalEng, res.Stopped), nil
 }
 
 var _ Solver = (*Anneal)(nil)

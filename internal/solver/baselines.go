@@ -59,9 +59,7 @@ func (s *TOP) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, e
 		}
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 var _ Solver = (*TOP)(nil)
@@ -114,9 +112,7 @@ func (s *TOPFill) Solve(ctx context.Context, inst *core.Instance, k int) (*Resul
 		}
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 var _ Solver = (*TOPFill)(nil)
@@ -187,9 +183,7 @@ func (s *RAND) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, 
 		}
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 var _ Solver = (*RAND)(nil)

@@ -166,9 +166,7 @@ func (s *Beam) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, 
 			best, bestU = st, u
 		}
 	}
-	res.Schedule = best.eng.Schedule()
-	res.Utility = bestU
-	return res, nil
+	return finish(res, best.eng, res.Stopped), nil
 }
 
 var _ Solver = (*Beam)(nil)

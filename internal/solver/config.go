@@ -1,6 +1,11 @@
 package solver
 
-import "runtime"
+import (
+	"runtime"
+
+	"ses/internal/choice"
+	"ses/internal/core"
+)
 
 // Config carries the cross-cutting execution options every solver
 // constructor accepts.
@@ -9,6 +14,16 @@ type Config struct {
 	// with. nil selects the default sparse engine; inject DenseEngine
 	// (or choice.NewRef via a custom factory) for ablations.
 	Engine EngineFactory
+	// Objective selects what the solver maximizes: nil (the default)
+	// is choice.Omega, the paper's expected attendance — solvers then
+	// behave byte-identically to the pre-objective-layer code. Any
+	// registered objective (choice.ParseObjective) plugs in; the
+	// anytime algorithms (grd, grdlazy, beam, localsearch, anneal)
+	// work for any monotone objective, while grdlazy's equivalence to
+	// grd and exact's branch-and-bound prune additionally require
+	// Objective.Submodular() (exact falls back to unpruned search
+	// otherwise).
+	Objective choice.Objective
 	// Workers is the number of goroutines used for initial scoring
 	// (and per-state expansion in Beam). 0 selects GOMAXPROCS; any
 	// other non-positive value runs serially. Schedules, utilities
@@ -23,12 +38,32 @@ type Config struct {
 	Progress func(Progress)
 }
 
-// engine resolves the engine factory.
+// engine resolves the engine factory, binding the configured
+// objective to every engine it builds. With a nil Objective the
+// underlying factory is returned untouched, so the default path is
+// exactly the pre-objective-layer one.
 func (c Config) engine() EngineFactory {
-	if c.Engine != nil {
-		return c.Engine
+	f := c.Engine
+	if f == nil {
+		f = DefaultEngine
 	}
-	return DefaultEngine
+	if c.Objective == nil {
+		return f
+	}
+	obj := c.Objective
+	return func(inst *core.Instance) choice.Engine {
+		eng := f(inst)
+		eng.SetObjective(obj)
+		return eng
+	}
+}
+
+// objective resolves the configured objective (nil = Omega).
+func (c Config) objective() choice.Objective {
+	if c.Objective != nil {
+		return c.Objective
+	}
+	return choice.Omega
 }
 
 // workers resolves the worker count.

@@ -17,10 +17,14 @@ import (
 //
 //	Ω(current) + Σ (top `remaining` root scores of unused events)
 //
-// is a valid optimistic bound. Exact is exponential and intended for
-// small instances — it exists to measure how close GRD gets to the
-// optimum (the paper proves strong NP-hardness, Theorem 1, so no
-// polynomial exact algorithm is expected).
+// is a valid optimistic bound. The bound's admissibility rests on
+// submodularity, so for objectives that report Submodular() == false
+// (attendance's threshold jumps, fairness's min term) the prune is
+// disabled and the search runs exhaustively — still exact, just
+// slower. Exact is exponential and intended for small instances — it
+// exists to measure how close GRD gets to the optimum (the paper
+// proves strong NP-hardness, Theorem 1, so no polynomial exact
+// algorithm is expected).
 type Exact struct {
 	cfg Config
 	// MaxNodes caps the search (0 = unlimited). When hit, Solve
@@ -99,7 +103,8 @@ func (s *Exact) Solve(ctx context.Context, inst *core.Instance, k int) (*Result,
 		overBudget bool
 		ctxErr     error
 	)
-	cur := 0.0 // running Ω via score telescoping
+	prune := s.cfg.objective().Submodular()
+	cur := 0.0 // running objective value via score telescoping
 
 	var dfs func(idx, remaining int)
 	dfs = func(idx, remaining int) {
@@ -124,10 +129,12 @@ func (s *Exact) Solve(ctx context.Context, inst *core.Instance, k int) (*Result,
 		if remaining == 0 || idx == len(order) {
 			return
 		}
-		// Admissible bound.
-		bound := cur + topSum(idx, remaining)
-		if bound <= bestUtil+1e-12 {
-			return
+		// Admissible bound (only valid under submodularity).
+		if prune {
+			bound := cur + topSum(idx, remaining)
+			if bound <= bestUtil+1e-12 {
+				return
+			}
 		}
 		e := order[idx]
 		// Branch: assign e to each valid interval.
@@ -166,9 +173,7 @@ func (s *Exact) Solve(ctx context.Context, inst *core.Instance, k int) (*Result,
 			return nil, err
 		}
 	}
-	res.Schedule = finalEng.Schedule()
-	res.Utility = finalEng.Utility()
-	return res, nil
+	return finish(res, finalEng, res.Stopped), nil
 }
 
 func min(a, b int) int {

@@ -86,9 +86,7 @@ func (g *GRD) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, e
 		}
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 var _ Solver = (*GRD)(nil)

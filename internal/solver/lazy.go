@@ -19,6 +19,12 @@ import (
 // pushed back. This turns the paper's O(k·|E|·|T|) list traversals +
 // O(k·|E|) eager updates into a few heap operations per iteration and
 // is the headline ablation of this reproduction.
+//
+// Under an objective with Submodular() == false (attendance,
+// fairness) scores may grow as an interval fills, so the lazy pop is
+// no longer guaranteed to be the global maximum: GRDLazy still returns
+// a feasible greedy-flavored schedule, but the schedule-identity with
+// GRD only holds for submodular objectives (Omega).
 type GRDLazy struct {
 	cfg Config
 }
@@ -105,9 +111,7 @@ func (g *GRDLazy) Solve(ctx context.Context, inst *core.Instance, k int) (*Resul
 		versions[entry.interval]++
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 var _ Solver = (*GRDLazy)(nil)

@@ -134,9 +134,7 @@ climb:
 		}
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 var _ Solver = (*LocalSearch)(nil)

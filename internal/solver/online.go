@@ -98,9 +98,7 @@ func (s *Online) Solve(ctx context.Context, inst *core.Instance, k int) (*Result
 		}
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 // quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by sorting a copy.

@@ -82,12 +82,20 @@ const StoppedDeadline = "deadline"
 type Result struct {
 	// Solver is the name of the producing algorithm.
 	Solver string
+	// Objective is the canonical spec of the objective the solver
+	// maximized ("omega" for the default expected attendance).
+	Objective string
 	// Schedule is the feasible schedule found. Its size is k unless
 	// the instance admits fewer valid assignments or the run was
 	// stopped early (see Stopped).
 	Schedule *core.Schedule
-	// Utility is Ω(Schedule) per Eq. 3.
+	// Utility is the configured objective's total value of Schedule
+	// (Ω per Eq. 3 under the default Omega objective).
 	Utility float64
+	// Omega is Ω(Schedule) per Eq. 3 regardless of the configured
+	// objective, so runs under different objectives stay comparable on
+	// the paper's native metric. Equal to Utility under Omega.
+	Omega float64
 	// Stopped is empty for a complete run. Anytime solvers (grd,
 	// grdlazy, beam, localsearch, anneal) set it to StoppedDeadline
 	// when the context deadline expired mid-run: the Schedule is then
@@ -152,11 +160,19 @@ func ctxCheck(ctx context.Context, anytime bool) (stop string, err error) {
 	return "", cause
 }
 
-// finish finalizes an (anytime) result from the engine's current
-// state, recording why the run stopped early ("" for a complete run).
+// finish finalizes a result from the engine's current state: the
+// schedule, the objective's value, the objective-independent Ω and the
+// early-stop reason ("" for a complete run). Every solver funnels its
+// Result through here so the per-objective report fields are uniform.
 func finish(res *Result, eng choice.Engine, stop string) *Result {
 	res.Schedule = eng.Schedule()
 	res.Utility = eng.Utility()
+	res.Objective = eng.Objective().Name()
+	if eng.Objective() == choice.Omega {
+		res.Omega = res.Utility // definitionally equal; skip the extra fold
+	} else {
+		res.Omega = eng.ValueOf(choice.Omega)
+	}
 	res.Stopped = stop
 	return res
 }

@@ -85,9 +85,7 @@ func (s *Spread) Solve(ctx context.Context, inst *core.Instance, k int) (*Result
 		load[bestT]++
 	}
 
-	res.Schedule = sched
-	res.Utility = eng.Utility()
-	return res, nil
+	return finish(res, eng, res.Stopped), nil
 }
 
 var _ Solver = (*Spread)(nil)

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -169,5 +170,97 @@ func TestTime(t *testing.T) {
 	d := Time(func() { time.Sleep(3 * time.Millisecond) })
 	if d < 2*time.Millisecond {
 		t.Fatalf("Time = %v", d)
+	}
+}
+
+// TestPercentileSortedTable drives the pre-sorted fast path through a
+// table of closed-form cases, including the n=1 early return and the
+// exact-rank (lo == hi) branch the interpolation tests skip.
+func TestPercentileSortedTable(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []float64
+		p      float64
+		want   float64
+	}{
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 50, 7},
+		{"single p100", []float64{7}, 100, 7},
+		{"pair p0", []float64{1, 3}, 0, 1},
+		{"pair p100", []float64{1, 3}, 100, 3},
+		{"pair p50 interpolates", []float64{1, 3}, 50, 2},
+		{"exact rank p25", []float64{0, 1, 2, 3, 4}, 25, 1},
+		{"exact rank p75", []float64{0, 1, 2, 3, 4}, 75, 3},
+		{"between ranks p10", []float64{0, 1, 2, 3, 4}, 10, 0.4},
+		{"all equal", []float64{5, 5, 5, 5}, 90, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := PercentileSorted(tc.sorted, tc.p); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("PercentileSorted(%v, %v) = %v, want %v", tc.sorted, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPercentileSortedPanics covers the fast path's n=0 and bad-p
+// guards (the slow path's are tested separately).
+func TestPercentileSortedPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		sorted []float64
+		p      float64
+	}{
+		{"empty", nil, 50},
+		{"negative p", []float64{1}, -1},
+		{"p over 100", []float64{1}, 100.1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PercentileSorted(%v, %v) did not panic", tc.sorted, tc.p)
+				}
+			}()
+			PercentileSorted(tc.sorted, tc.p)
+		})
+	}
+}
+
+// TestSummaryStdDevAndString covers the derived reporting surface.
+func TestSummaryStdDevAndString(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	// Known dataset: population variance 4, sample variance 32/7.
+	if got, want := s.StdDev(), math.Sqrt(32.0/7.0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	str := s.String()
+	for _, frag := range []string{"5 ±", "[2, 9]", "(n=8)"} {
+		if !strings.Contains(str, frag) {
+			t.Errorf("String() = %q, missing %q", str, frag)
+		}
+	}
+	var empty Summary
+	if empty.StdDev() != 0 {
+		t.Errorf("empty StdDev = %v, want 0", empty.StdDev())
+	}
+}
+
+// TestStopwatchElapsedWhileRunning covers the running branch of
+// Elapsed: it must include the live cycle and keep growing.
+func TestStopwatchElapsedWhileRunning(t *testing.T) {
+	var w Stopwatch
+	w.Start()
+	first := w.Elapsed()
+	time.Sleep(2 * time.Millisecond)
+	second := w.Elapsed()
+	if second <= first {
+		t.Errorf("running Elapsed did not grow: %v then %v", first, second)
+	}
+	w.Stop()
+	if w.Elapsed() < 2*time.Millisecond {
+		t.Errorf("stopped Elapsed %v shorter than slept time", w.Elapsed())
 	}
 }

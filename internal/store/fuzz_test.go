@@ -1,0 +1,64 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ses/internal/core"
+)
+
+// FuzzMutationJSON hardens the batch wire surface: decoding arbitrary
+// bytes into the Mutation tagged union must never panic (it is fed
+// directly from sesd request bodies), and for every payload that does
+// decode, decode→encode→decode must be a fixed point — the re-encoded
+// document decodes to the same value and re-encodes to the same bytes,
+// so nothing is silently dropped or reinterpreted on the way through
+// the daemon.
+func FuzzMutationJSON(f *testing.F) {
+	for _, m := range []Mutation{
+		AddEvent(core.Event{Location: 1, Required: 2.5, Name: "show"}, map[int]float64{0: 0.5, 7: 1}),
+		CancelEvent(3),
+		UpdateInterest(4, 2, 0.75),
+		AddCompeting(core.CompetingEvent{Interval: 1, Name: "rival"}, map[int]float64{2: 0.9}),
+		Pin(1, 2),
+		Unpin(1),
+		Forbid(0, 3),
+		Allow(0, 3),
+		SetK(9),
+	} {
+		seed, err := json.Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed)
+	}
+	f.Add([]byte(`{"op":"add_event","interest":{"0":0.1,"3":1e-9}}`))
+	f.Add([]byte(`{"op":"???","event":-1}`))
+	f.Add([]byte(`[{"op":"pin"}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m1 Mutation
+		if err := json.Unmarshal(data, &m1); err != nil {
+			return // invalid payloads only need to fail cleanly
+		}
+		b1, err := json.Marshal(m1)
+		if err != nil {
+			t.Fatalf("decoded mutation does not re-encode: %v (%+v)", err, m1)
+		}
+		var m2 Mutation
+		if err := json.Unmarshal(b1, &m2); err != nil {
+			t.Fatalf("re-encoded mutation does not decode: %v\n%s", err, b1)
+		}
+		if !reflect.DeepEqual(m1, m2) {
+			t.Fatalf("decode→encode→decode not a fixed point:\n%+v\nvs\n%+v", m1, m2)
+		}
+		b2, err := json.Marshal(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonical encoding unstable:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}

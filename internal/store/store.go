@@ -33,6 +33,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ses/internal/choice"
 	"ses/internal/core"
 	"ses/internal/session"
 )
@@ -65,8 +66,11 @@ type Meta struct {
 	K int
 	// Scheduled is the committed schedule size.
 	Scheduled int
-	// Utility is Ω of the committed schedule.
+	// Utility is the objective's value of the committed schedule (Ω
+	// under the default omega objective).
 	Utility float64
+	// Objective is the canonical spec of the session's objective.
+	Objective string
 	// Stopped is the early-stop reason of the last resolve ("" for a
 	// complete one).
 	Stopped string
@@ -95,7 +99,7 @@ type handle struct {
 
 // refreshMeta publishes a fresh immutable Meta assembled from the
 // given post-commit facts.
-func (h *handle) refreshMeta(users, intervals, events, k, scheduled int, utility float64, stopped string) {
+func (h *handle) refreshMeta(users, intervals, events, k, scheduled int, utility float64, stopped, objective string) {
 	h.meta.Store(&Meta{
 		Name:      h.name,
 		Users:     users,
@@ -105,6 +109,7 @@ func (h *handle) refreshMeta(users, intervals, events, k, scheduled int, utility
 		Scheduled: scheduled,
 		Utility:   utility,
 		Stopped:   stopped,
+		Objective: objective,
 		Resolves:  h.resolves.Load(),
 		Mutations: h.mutations.Load(),
 		Batches:   h.batches.Load(),
@@ -142,17 +147,28 @@ func (s *Store) shardOf(name string) *shard {
 }
 
 // Create registers a new session over a private copy of inst,
-// targeting schedules of up to k events. It fails with ErrExists if
-// the name is taken.
+// targeting schedules of up to k events under the store's default
+// objective. It fails with ErrExists if the name is taken.
 func (s *Store) Create(name string, inst *core.Instance, k int) error {
+	return s.CreateWithObjective(name, inst, k, nil)
+}
+
+// CreateWithObjective is Create with a per-session objective override
+// (nil keeps the store's default). The objective becomes part of the
+// session's state and travels in its snapshots.
+func (s *Store) CreateWithObjective(name string, inst *core.Instance, k int, obj choice.Objective) error {
 	if name == "" {
 		return errors.New("store: empty session name")
 	}
-	sched, err := session.New(inst, k, s.opts)
+	opts := s.opts
+	if obj != nil {
+		opts.Objective = obj
+	}
+	sched, err := session.New(inst, k, opts)
 	if err != nil {
 		return err
 	}
-	return s.install(name, sched, inst.NumUsers, inst.NumIntervals, inst.NumEvents(), k, 0, 0, false)
+	return s.install(name, sched, false)
 }
 
 // Restore installs a session rebuilt from a snapshot state under the
@@ -167,14 +183,17 @@ func (s *Store) Restore(name string, st *session.State, replace bool) error {
 	if err != nil {
 		return err
 	}
-	return s.install(name, sched, st.Inst.NumUsers, st.Inst.NumIntervals, st.Inst.NumEvents(),
-		st.K, len(st.Schedule), st.Utility, replace)
+	return s.install(name, sched, replace)
 }
 
-// install registers a handle and publishes its first Meta.
-func (s *Store) install(name string, sched *session.Scheduler, users, intervals, events, k, scheduled int, utility float64, replace bool) error {
+// install registers a handle and publishes its first Meta from the
+// session's own summary (one locked read, so creation and restore
+// report the same fields the same way).
+func (s *Store) install(name string, sched *session.Scheduler, replace bool) error {
 	h := &handle{name: name, sched: sched}
-	h.refreshMeta(users, intervals, events, k, scheduled, utility, "")
+	sum := sched.Summary()
+	h.refreshMeta(sum.Users, sum.Intervals, sum.Events, sum.K,
+		sum.Scheduled, sum.Utility, sum.Stopped, sum.Objective)
 	sh := s.shardOf(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -298,7 +317,7 @@ func (s *Store) refresh(h *handle) {
 	defer h.metaMu.Unlock()
 	sum := h.sched.Summary()
 	h.refreshMeta(sum.Users, sum.Intervals, sum.Events, sum.K,
-		sum.Scheduled, sum.Utility, sum.Stopped)
+		sum.Scheduled, sum.Utility, sum.Stopped, sum.Objective)
 }
 
 // Snapshot exports the full state of one session (instance,

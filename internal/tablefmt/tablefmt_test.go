@@ -2,6 +2,7 @@ package tablefmt
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -97,6 +98,135 @@ func TestDuration(t *testing.T) {
 	for d, want := range cases {
 		if got := Duration(d); got != want {
 			t.Errorf("Duration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// errWriter fails after n bytes, covering the CSV error paths.
+type errWriter struct{ left int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+// TestCSVTable is the table-driven sweep of the CSV writer: quoting,
+// empty headers, empty tables and write errors.
+func TestCSVTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		table Table
+		want  string
+	}{
+		{
+			"header and rows",
+			Table{Header: []string{"a", "b"}, Rows: [][]string{{"1", "2"}, {"3", "4"}}},
+			"a,b\n1,2\n3,4\n",
+		},
+		{
+			"no header",
+			Table{Rows: [][]string{{"x", "y"}}},
+			"x,y\n",
+		},
+		{
+			"cells with commas and quotes are escaped",
+			Table{Header: []string{"name"}, Rows: [][]string{{`a,"b"`}}},
+			"name\n\"a,\"\"b\"\"\"\n",
+		},
+		{
+			"title never appears in CSV",
+			Table{Title: "T", Header: []string{"h"}, Rows: [][]string{{"v"}}},
+			"h\nv\n",
+		},
+		{
+			"empty table writes nothing",
+			Table{},
+			"",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b strings.Builder
+			if err := tc.table.CSV(&b); err != nil {
+				t.Fatal(err)
+			}
+			if b.String() != tc.want {
+				t.Errorf("CSV = %q, want %q", b.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestCSVWriteErrorsSurface: a failing writer must turn into an
+// error, whether it fails on the header, on a row, or only at the
+// final flush. The oversized cells defeat csv.Writer's 4 KiB
+// buffering so the per-write error branches are actually taken.
+func TestCSVWriteErrorsSurface(t *testing.T) {
+	big := strings.Repeat("x", 8192)
+	for _, tc := range []struct {
+		name string
+		tab  Table
+	}{
+		{"header write fails", Table{Header: []string{big}, Rows: [][]string{{"v"}}}},
+		{"row write fails", Table{Header: []string{"h"}, Rows: [][]string{{big}}}},
+		{"flush fails", Table{Header: []string{"h"}, Rows: [][]string{{"v"}}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.tab.CSV(&errWriter{left: 0}); err == nil {
+				t.Error("CSV into a failing writer should fail")
+			}
+		})
+	}
+	tab := Table{Header: []string{"aaaa"}, Rows: [][]string{{"bbbb"}}}
+	if err := tab.Render(&errWriter{left: 3}); err == nil {
+		t.Error("Render into a failing writer should fail")
+	}
+}
+
+// TestFloatTable pins Float's banding, including negatives and the
+// band edges.
+func TestFloatTable(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{12345, "12345"},
+		{-20000, "-20000"},
+		{123.4, "123.4"},
+		{-555.5, "-555.5"},
+		{99.9, "99.9"},
+		{1.23456, "1.23"},
+		{-0.5, "-0.5"},
+	}
+	for _, tc := range cases {
+		if got := Float(tc.in); got != tc.want {
+			t.Errorf("Float(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDurationTable pins Duration's three bands.
+func TestDurationTable(t *testing.T) {
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{2500 * time.Millisecond, "2.50s"},
+		{time.Second, "1.00s"},
+		{1500 * time.Microsecond, "1.5ms"},
+		{time.Millisecond, "1.0ms"},
+		{999 * time.Microsecond, "999µs"},
+		{0, "0µs"},
+	}
+	for _, tc := range cases {
+		if got := Duration(tc.in); got != tc.want {
+			t.Errorf("Duration(%v) = %q, want %q", tc.in, got, tc.want)
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package ses
 
-import "ses/internal/solver"
+import (
+	"ses/internal/choice"
+	"ses/internal/solver"
+)
 
 // Option configures solver construction (New) and Scheduler sessions
 // (NewScheduler). The same options apply to both surfaces: a session
@@ -11,16 +14,17 @@ type Option func(*config)
 
 // config is the resolved option set.
 type config struct {
-	workers  int
-	engine   EngineFactory
-	seed     uint64
-	progress func(Progress)
+	workers   int
+	engine    EngineFactory
+	objective Objective
+	seed      uint64
+	progress  func(Progress)
 }
 
 // solverConfig converts the resolved options to the internal solver
 // configuration.
 func (c config) solverConfig() SolverConfig {
-	return SolverConfig{Engine: c.engine, Workers: c.workers, Progress: c.progress}
+	return SolverConfig{Engine: c.engine, Objective: c.objective, Workers: c.workers, Progress: c.progress}
 }
 
 // resolve applies opts over the defaults.
@@ -40,6 +44,15 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // WithEngine injects a choice-engine factory — SparseEngine (the
 // default) or DenseEngine for ablations.
 func WithEngine(f EngineFactory) Option { return func(c *config) { c.engine = f } }
+
+// WithObjective selects what solvers and sessions maximize: Omega
+// (the default — the paper's expected attendance Ω), an
+// AttendanceObjective (thresholded success-probability attendance),
+// or a FairnessObjective (egalitarian min-participant blend). Specs
+// parsed by ParseObjective work too. For a Scheduler the objective
+// becomes session state: it is exported with snapshots and survives
+// restore.
+func WithObjective(obj Objective) Option { return func(c *config) { c.objective = obj } }
 
 // WithSeed seeds the randomized algorithms (rand, anneal, online);
 // deterministic algorithms ignore it. The default seed is 0.
@@ -68,3 +81,33 @@ var SparseEngine EngineFactory = solver.DefaultEngine
 // DenseEngine is the paper-faithful O(|U|)-per-score engine factory,
 // retained for ablations.
 var DenseEngine EngineFactory = solver.DenseEngine
+
+// Objective defines what a schedule is worth: an interval-decomposable
+// fold over per-user attendance terms. Select one with WithObjective;
+// see Omega, AttendanceObjective and FairnessObjective.
+type Objective = choice.Objective
+
+// Omega is the default objective: the paper's expected total
+// attendance Ω (Eq. 3).
+var Omega = choice.Omega
+
+// AttendanceObjective returns the thresholded success-probability
+// objective (after the authors' SEP follow-up): a user's expected
+// attendance counts only once their probability of going out to the
+// interval's scheduled events reaches theta. theta must be in [0, 1].
+func AttendanceObjective(theta float64) (Objective, error) { return choice.NewAttendance(theta) }
+
+// FairnessObjective returns the egalitarian objective (after the
+// authors' fair virtual-conference scheduling line): each interval's
+// value blends total attendance with blend·n·min participant share.
+// blend must be in [0, 1]; 0 degenerates to Omega.
+func FairnessObjective(blend float64) (Objective, error) { return choice.NewFairness(blend) }
+
+// ParseObjective resolves an objective spec ("omega", "attendance",
+// "attendance:0.25", "fairness", "fairness:0.8"; "" means omega) —
+// the form used by the sessolve/sesd surfaces and stored in
+// snapshots.
+func ParseObjective(spec string) (Objective, error) { return choice.ParseObjective(spec) }
+
+// ObjectiveNames lists the registered objective families.
+func ObjectiveNames() []string { return choice.ObjectiveNames() }

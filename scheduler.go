@@ -38,9 +38,10 @@ type Move = session.Move
 func NewScheduler(inst *Instance, k int, opts ...Option) (*Scheduler, error) {
 	c := resolve(opts)
 	return session.New(inst, k, session.Options{
-		Workers:  c.workers,
-		Engine:   c.engine,
-		Seed:     c.seed,
-		Progress: c.progress,
+		Workers:   c.workers,
+		Engine:    c.engine,
+		Objective: c.objective,
+		Seed:      c.seed,
+		Progress:  c.progress,
 	})
 }

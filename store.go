@@ -66,10 +66,11 @@ var (
 func NewStore(opts ...Option) *Store {
 	c := resolve(opts)
 	return store.New(session.Options{
-		Workers:  c.workers,
-		Engine:   c.engine,
-		Seed:     c.seed,
-		Progress: c.progress,
+		Workers:   c.workers,
+		Engine:    c.engine,
+		Objective: c.objective,
+		Seed:      c.seed,
+		Progress:  c.progress,
 	})
 }
 
@@ -125,9 +126,10 @@ func DecodeSnapshotBinary(r io.Reader) (*Snapshot, error) { return snap.DecodeBi
 func RestoreScheduler(st *SessionState, opts ...Option) (*Scheduler, error) {
 	c := resolve(opts)
 	return session.FromState(st, session.Options{
-		Workers:  c.workers,
-		Engine:   c.engine,
-		Seed:     c.seed,
-		Progress: c.progress,
+		Workers:   c.workers,
+		Engine:    c.engine,
+		Objective: c.objective,
+		Seed:      c.seed,
+		Progress:  c.progress,
 	})
 }
