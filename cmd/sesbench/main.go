@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	sesbench [-fig all|1a|1b|1c|1d|sens|engines] [-scale full|medium|small]
+//	sesbench [-fig all|1a|1b|1c|1d|sens|engines|objectives|resolve|wal]
+//	         [-scale full|medium|small]
 //	         [-reps N] [-seed S] [-algos paper|extended] [-csv dir] [-v]
 //	         [-workers W] [-par P] [-json file]
 //
@@ -27,6 +28,12 @@
 // re-solve — identical utility required, InitialScores contrasted —
 // and the results are written as JSON to the -json file (default
 // BENCH_resolve.json).
+//
+// -fig wal prices the durable store's write-ahead log fsync policies
+// (always / interval / none): raw append latency percentiles and
+// durable ApplyBatch round trips per policy, written to the -json
+// file (default BENCH_wal.json). It needs no dataset and runs in
+// seconds.
 //
 // -scale full uses the Meetup-California dimensions of the paper
 // (42,444 users); medium (default) and small reduce the user count so
@@ -67,7 +74,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal")
 	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
 	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
 	seed := fs.Uint64("seed", 42, "master seed")
@@ -87,13 +94,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wantEngines := *fig == "engines"
 	wantObjectives := *fig == "objectives"
 	wantResolve := *fig == "resolve"
-	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve {
+	wantWAL := *fig == "wal"
+	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	// Catch a silently-ignored flag before a potentially hours-long
 	// sweep rather than after it.
-	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve {
-		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve")
+	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL {
+		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal")
 	}
 	if *jsonPath == "" {
 		switch {
@@ -101,9 +109,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			*jsonPath = "BENCH_resolve.json"
 		case wantObjectives:
 			*jsonPath = "BENCH_objective.json"
+		case wantWAL:
+			*jsonPath = "BENCH_wal.json"
 		default:
 			*jsonPath = "BENCH_engine.json"
 		}
+	}
+	if wantWAL {
+		// The WAL figure prices fsync, not solving: it needs no EBSN
+		// dataset, so it dispatches before the generation step.
+		return benchWAL(ctx, out, *seed, *jsonPath)
 	}
 
 	var ecfg ebsn.Config

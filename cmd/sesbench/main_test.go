@@ -108,6 +108,33 @@ func TestRunResolveFig(t *testing.T) {
 	}
 }
 
+func TestRunWALFig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fsync benchmark is seconds-long")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_wal.json")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "wal", "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"\"always\"", "\"interval\"", "\"none\"",
+		"\"append\"", "\"store_batch\"", "p50_us", "p99_us", "ops_per_sec",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("BENCH_wal.json missing %q", want)
+		}
+	}
+	if !strings.Contains(out.String(), "WAL fsync policies") {
+		t.Error("output missing the WAL table")
+	}
+}
+
 func TestRunParallelFlagsMatchSerial(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is seconds-long")

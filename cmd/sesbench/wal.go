@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"ses"
+	"ses/internal/sestest"
+	"ses/internal/stats"
+	"ses/internal/tablefmt"
+	"ses/internal/wal"
+)
+
+// benchWAL prices the write-ahead log's fsync policies. Two levels:
+//
+//   - raw wal.Log appends (fixed-size payloads) — what one record
+//     costs at each policy, isolating fsync from solving;
+//   - durable-store ApplyBatch round trips (mutation + incremental
+//     resolve + logged commit stamp) — what a served write costs.
+//
+// Results print as a table and land in jsonPath (BENCH_wal.json).
+func benchWAL(ctx context.Context, out io.Writer, seed uint64, jsonPath string) error {
+	const (
+		appends      = 256
+		payloadBytes = 256
+		batches      = 256
+	)
+
+	type latencies struct {
+		Count     int     `json:"count"`
+		P50us     float64 `json:"p50_us"`
+		P99us     float64 `json:"p99_us"`
+		MaxUs     float64 `json:"max_us"`
+		OpsPerSec float64 `json:"ops_per_sec"`
+	}
+	type policyResult struct {
+		Sync   string    `json:"sync"`
+		Append latencies `json:"append"`
+		Store  latencies `json:"store_batch"`
+	}
+	report := struct {
+		Appends      int            `json:"appends"`
+		PayloadBytes int            `json:"payload_bytes"`
+		Batches      int            `json:"batches"`
+		Policies     []policyResult `json:"policies"`
+	}{Appends: appends, PayloadBytes: payloadBytes, Batches: batches}
+
+	summarize := func(lat []float64) latencies {
+		sort.Float64s(lat)
+		var total float64
+		for _, l := range lat {
+			total += l
+		}
+		return latencies{
+			Count:     len(lat),
+			P50us:     stats.PercentileSorted(lat, 50) * 1e6,
+			P99us:     stats.PercentileSorted(lat, 99) * 1e6,
+			MaxUs:     lat[len(lat)-1] * 1e6,
+			OpsPerSec: float64(len(lat)) / total,
+		}
+	}
+
+	fmt.Fprintf(out, "\n== WAL fsync policies (%d raw appends of %dB, %d durable batches) ==\n\n",
+		appends, payloadBytes, batches)
+	tab := &tablefmt.Table{
+		Title: "Write-ahead log: what each sync policy costs",
+		Header: []string{"sync", "append p50", "append p99", "append/s",
+			"batch p50", "batch p99", "batch/s"},
+	}
+
+	payload := make([]byte, payloadBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	inst := sestest.Random(sestest.Config{Users: 200, Events: 24, Intervals: 6, Competing: 3, Seed: seed})
+
+	for _, pol := range []ses.SyncPolicy{ses.SyncAlways, ses.SyncInterval, ses.SyncNone} {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res := policyResult{Sync: pol.String()}
+
+		// Raw append cost.
+		rawDir, err := os.MkdirTemp("", "sesbench-wal-*")
+		if err != nil {
+			return err
+		}
+		l, err := wal.Open(rawDir, wal.Options{Sync: pol})
+		if err != nil {
+			return err
+		}
+		lat := make([]float64, 0, appends)
+		for i := 0; i < appends; i++ {
+			t0 := time.Now()
+			if err := l.Append(payload); err != nil {
+				return err
+			}
+			lat = append(lat, time.Since(t0).Seconds())
+		}
+		l.Close()
+		os.RemoveAll(rawDir)
+		res.Append = summarize(lat)
+
+		// Durable-store round trips.
+		storeDir, err := os.MkdirTemp("", "sesbench-walstore-*")
+		if err != nil {
+			return err
+		}
+		st, err := ses.OpenStore(ses.WithDurability(storeDir), ses.WithSyncPolicy(pol), ses.WithWorkers(1))
+		if err != nil {
+			return err
+		}
+		if err := st.Create("bench", inst, 8); err != nil {
+			return err
+		}
+		if _, err := st.Resolve(ctx, "bench"); err != nil {
+			return err
+		}
+		lat = make([]float64, 0, batches)
+		for i := 0; i < batches; i++ {
+			mut := ses.UpdateInterestOp(i%inst.NumUsers, i%inst.NumEvents(), 0.1+0.8*float64(i%7)/7)
+			t0 := time.Now()
+			if _, err := st.ApplyBatch(ctx, "bench", []ses.Mutation{mut}); err != nil {
+				return err
+			}
+			lat = append(lat, time.Since(t0).Seconds())
+		}
+		st.Close()
+		os.RemoveAll(storeDir)
+		res.Store = summarize(lat)
+
+		report.Policies = append(report.Policies, res)
+		tab.AddRow(res.Sync,
+			fmt.Sprintf("%.1fµs", res.Append.P50us),
+			fmt.Sprintf("%.1fµs", res.Append.P99us),
+			fmt.Sprintf("%.0f", res.Append.OpsPerSec),
+			fmt.Sprintf("%.1fµs", res.Store.P50us),
+			fmt.Sprintf("%.1fµs", res.Store.P99us),
+			fmt.Sprintf("%.0f", res.Store.OpsPerSec))
+	}
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", jsonPath)
+	return nil
+}

@@ -7,6 +7,19 @@
 // Usage:
 //
 //	sesd [-addr :8080] [-workers W]
+//	     [-data-dir DIR] [-sync always|interval|none]
+//	     [-sync-interval 50ms] [-checkpoint-every 1024]
+//	     [-drain 5s]
+//
+// With -data-dir the daemon serves a durable store: every
+// acknowledged create/delete/batch/resolve/restore is appended to a
+// per-shard write-ahead log under DIR before the response is sent
+// (fsynced per -sync), boot recovers the acknowledged state from the
+// log, and SIGTERM/SIGINT shuts down gracefully — stop accepting,
+// drain in-flight requests (once -drain expires their contexts are
+// cancelled: those resolves abort without committing and the previous
+// schedules stay current), write a final checkpoint, exit 0. Inspect
+// the log offline with seswal.
 //
 // API (all bodies JSON; see the README for a curl walkthrough):
 //
@@ -37,13 +50,16 @@ import (
 	"io"
 	"log"
 	"mime"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ses"
@@ -52,32 +68,144 @@ import (
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		log.Fatalf("sesd: %v", err)
+	}
+}
+
+// storeAPI is the store surface the daemon serves. Both the
+// memory-only *ses.Store and the durable *ses.DurableStore satisfy
+// it, so every handler is durability-agnostic.
+type storeAPI interface {
+	CreateWithObjective(name string, inst *ses.Instance, k int, obj ses.Objective) error
+	Restore(name string, st *ses.SessionState, replace bool) error
+	Delete(name string) error
+	Get(name string) (*ses.Scheduler, error)
+	Meta(name string) (ses.SessionMeta, error)
+	Metas() []ses.SessionMeta
+	Len() int
+	Snapshot(name string) (*ses.SessionState, error)
+	Resolve(ctx context.Context, name string) (*ses.Delta, error)
+	ApplyBatch(ctx context.Context, name string, muts []ses.Mutation) (*ses.BatchResult, error)
+}
+
+// run parses flags, opens the (possibly durable) store, and serves
+// until ctx is cancelled by a signal.
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sesd", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "goroutines for initial scoring per resolve (0 = all cores)")
-	fs.Parse(os.Args[1:])
+	dataDir := fs.String("data-dir", "", "write-ahead log directory; empty serves memory-only")
+	syncSpec := fs.String("sync", "always", "WAL sync policy: always, interval or none")
+	syncIvl := fs.Duration("sync-interval", 0, "flush period under -sync interval (0 = 50ms)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint a shard after N records (0 = 1024, <0 disables)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	fs.Parse(args)
 
-	srv := newServer(ses.NewStore(ses.WithWorkers(*workers)))
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	go func() {
-		<-ctx.Done()
-		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(shCtx)
-	}()
-	log.Printf("sesd: listening on %s", *addr)
-	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("sesd: %v", err)
+	var st storeAPI
+	var durable *ses.DurableStore
+	if *dataDir != "" {
+		pol, err := ses.ParseSyncPolicy(*syncSpec)
+		if err != nil {
+			return err
+		}
+		d, err := ses.OpenStore(
+			ses.WithDurability(*dataDir),
+			ses.WithSyncPolicy(pol),
+			ses.WithSyncInterval(*syncIvl),
+			ses.WithCheckpointEvery(*ckptEvery),
+			ses.WithWorkers(*workers),
+		)
+		if err != nil {
+			return err
+		}
+		log.Printf("sesd: recovered %d sessions from %s (sync=%s)", d.Len(), *dataDir, pol)
+		durable, st = d, d
+	} else {
+		// Catch a silently-ignored durability flag: an operator who
+		// tunes -sync but forgets -data-dir must not discover the
+		// daemon was memory-only at the first crash.
+		var stray []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "sync", "sync-interval", "checkpoint-every":
+				stray = append(stray, "-"+f.Name)
+			}
+		})
+		if len(stray) > 0 {
+			return fmt.Errorf("%s only apply with -data-dir", strings.Join(stray, ", "))
+		}
+		st = ses.NewStore(ses.WithWorkers(*workers))
 	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		if durable != nil {
+			durable.Close()
+		}
+		return err
+	}
+	log.Printf("sesd: listening on %s", ln.Addr())
+	return serve(ctx, ln, st, durable, *drain)
+}
+
+// serve runs the HTTP front until ctx is cancelled, then shuts down
+// gracefully: the listener stops accepting, in-flight requests drain,
+// and a durable store writes its final checkpoint before serve
+// returns nil. If the drain budget expires first, the remaining
+// requests' contexts are cancelled: their resolves abort WITHOUT
+// committing (cancellation, unlike a deadline, never commits a
+// best-so-far) — the previous schedules stay current and batch
+// mutations stay staged for the next resolve.
+func serve(ctx context.Context, ln net.Listener, st storeAPI, durable *ses.DurableStore, drain time.Duration) error {
+	srv := newServer(st)
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	httpSrv := &http.Server{
+		Handler:     srv.routes(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if durable != nil {
+			durable.Close()
+		}
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+	}
+
+	log.Printf("sesd: shutdown requested; draining in-flight requests (budget %s)", drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		// The budget expired with requests still running: cancel their
+		// contexts (the resolves abort without committing; previous
+		// schedules stay current) and close the server.
+		baseCancel()
+		httpSrv.Close()
+	}
+	if durable != nil {
+		log.Printf("sesd: writing final checkpoint")
+		if err := durable.Close(); err != nil {
+			return fmt.Errorf("final checkpoint: %w", err)
+		}
+	}
+	log.Printf("sesd: bye")
+	return nil
 }
 
 // server wires the store to the HTTP surface and keeps the daemon
 // metrics.
 type server struct {
-	store *ses.Store
+	store storeAPI
 	start time.Time
 
 	requests atomic.Uint64
@@ -94,7 +222,7 @@ type server struct {
 
 const latRing = 4096
 
-func newServer(st *ses.Store) *server {
+func newServer(st storeAPI) *server {
 	return &server{store: st, start: time.Now()}
 }
 

@@ -9,12 +9,21 @@
 //	sesload [-sessions 128] [-duration 3s] [-users 60] [-events 16]
 //	        [-intervals 5] [-competing 3] [-k 6] [-seed 1]
 //	        [-workers 1] [-json BENCH_store.json]
+//	        [-durable DIR] [-sync always|interval|none]
 //
 // The workload mix per iteration: ~55% single mutations, ~20%
 // resolves, ~15% batches (two mutations + the batch's one resolve),
 // ~10% snapshot exports. Pins are drawn from the session's committed
 // schedule so the pin set always stays feasible. All instance
 // generation is seed-deterministic; timings obviously are not.
+//
+// With -durable the store is opened with a write-ahead log under DIR
+// (-sync picks the fsync policy) and every mutation is routed through
+// ApplyBatch so it is logged — single mutations then carry a resolve,
+// which is the price of the durability contract and shows up in the
+// "mutate" latency class. Kill the process mid-run (the CI smoke does
+// kill -9) and a sesd -data-dir DIR boot recovers every acknowledged
+// session.
 package main
 
 import (
@@ -63,9 +72,21 @@ type latencySummary struct {
 	MaxUs float64 `json:"max_us"`
 }
 
+// loadStore is the store surface the generator drives; both the
+// memory-only and the durable store satisfy it.
+type loadStore interface {
+	Create(name string, inst *ses.Instance, k int) error
+	Get(name string) (*ses.Scheduler, error)
+	Snapshot(name string) (*ses.SessionState, error)
+	Resolve(ctx context.Context, name string) (*ses.Delta, error)
+	ApplyBatch(ctx context.Context, name string, muts []ses.Mutation) (*ses.BatchResult, error)
+}
+
 // report is the BENCH_store.json document.
 type report struct {
 	Sessions     int                       `json:"sessions"`
+	Durable      bool                      `json:"durable,omitempty"`
+	Sync         string                    `json:"sync,omitempty"`
 	DurationSec  float64                   `json:"duration_sec"`
 	TotalOps     int                       `json:"total_ops"`
 	OpsPerSec    float64                   `json:"throughput_ops_per_sec"`
@@ -90,6 +111,8 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1, "instance-generation seed")
 	workers := fs.Int("workers", 1, "scoring goroutines per resolve (keep 1 when sessions >> cores)")
 	jsonPath := fs.String("json", "", "write the report as JSON to this file")
+	durableDir := fs.String("durable", "", "open a durable store with its write-ahead log under this directory")
+	syncSpec := fs.String("sync", "always", "WAL sync policy with -durable: always, interval or none")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +120,37 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-sessions must be positive")
 	}
 
-	st := ses.NewStore(ses.WithWorkers(*workers))
+	var st loadStore
+	durable := *durableDir != ""
+	if !durable {
+		// Same foot-gun guard as sesd: a tuned -sync without -durable
+		// would silently benchmark the memory-only store.
+		strayErr := error(nil)
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "sync" {
+				strayErr = fmt.Errorf("-sync only applies with -durable")
+			}
+		})
+		if strayErr != nil {
+			return strayErr
+		}
+	}
+	if durable {
+		pol, err := ses.ParseSyncPolicy(*syncSpec)
+		if err != nil {
+			return err
+		}
+		d, err := ses.OpenStore(ses.WithDurability(*durableDir), ses.WithSyncPolicy(pol), ses.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
+		// A clean run closes with a final checkpoint; a kill -9 leaves
+		// the log for the next boot to recover, which is the point.
+		defer d.Close()
+		st = d
+	} else {
+		st = ses.NewStore(ses.WithWorkers(*workers))
+	}
 	for i := 0; i < *sessions; i++ {
 		inst := sestest.Random(sestest.Config{
 			Users: *users, Events: *events, Intervals: *intervals,
@@ -120,7 +173,7 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = driveSession(st, fmt.Sprintf("load-%d", i), i, *seed, *users, *intervals, deadline)
+			results[i] = driveSession(st, fmt.Sprintf("load-%d", i), i, *seed, *users, *intervals, deadline, durable)
 		}(i)
 	}
 	start := time.Now()
@@ -129,12 +182,16 @@ func run(args []string, out io.Writer) error {
 
 	rep := report{
 		Sessions:   *sessions,
+		Durable:    durable,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Users:      *users,
 		Events:     *events,
 		Intervals:  *intervals,
 		K:          *k,
 		Ops:        map[string]latencySummary{},
+	}
+	if durable {
+		rep.Sync = *syncSpec
 	}
 	var merged [numOps][]float64
 	for i := range results {
@@ -195,8 +252,10 @@ func run(args []string, out io.Writer) error {
 // driveSession runs the mixed workload against one session until the
 // deadline. It is the session's only driver, so pins drawn from the
 // committed schedule stay feasible and cancellations can avoid pinned
-// events without races.
-func driveSession(st *ses.Store, name string, idx int, seed uint64, users, intervals int, deadline time.Time) (res struct {
+// events without races. With durable set, every mutation goes through
+// ApplyBatch so the write-ahead log sees it; otherwise mutations are
+// applied directly to the scheduler.
+func driveSession(st loadStore, name string, idx int, seed uint64, users, intervals int, deadline time.Time, durable bool) (res struct {
 	lat  [numOps][]float64
 	util float64
 	err  error
@@ -225,6 +284,26 @@ func driveSession(st *ses.Store, name string, idx int, seed uint64, users, inter
 		return true
 	}
 
+	// apply routes one mutation through the durable ApplyBatch (so it
+	// reaches the log) or directly onto the scheduler, returning the
+	// assigned id for add mutations (-1 otherwise).
+	apply := func(m ses.Mutation) (int, error) {
+		if !durable {
+			return m.ApplyTo(sched)
+		}
+		r, err := st.ApplyBatch(ctx, name, []ses.Mutation{m})
+		if err != nil {
+			return -1, err
+		}
+		if len(r.EventIDs) > 0 {
+			return r.EventIDs[0], nil
+		}
+		if len(r.CompetingIDs) > 0 {
+			return r.CompetingIDs[0], nil
+		}
+		return -1, nil
+	}
+
 	// Prime: one full resolve so schedules exist for pin sampling.
 	if !observe(opResolve, func() error {
 		_, err := st.Resolve(ctx, name)
@@ -239,16 +318,17 @@ func driveSession(st *ses.Store, name string, idx int, seed uint64, users, inter
 			ok := observe(opMutate, func() error {
 				switch src.IntN(6) {
 				case 0:
-					return sched.UpdateInterest(src.IntN(users), src.IntN(events), src.Range(0, 1))
+					_, err := apply(ses.UpdateInterestOp(src.IntN(users), src.IntN(events), src.Range(0, 1)))
+					return err
 				case 1:
-					_, err := sched.AddCompeting(core.CompetingEvent{Interval: src.IntN(intervals)},
-						map[int]float64{src.IntN(users): src.Range(0.1, 1)})
+					_, err := apply(ses.AddCompetingOp(core.CompetingEvent{Interval: src.IntN(intervals)},
+						map[int]float64{src.IntN(users): src.Range(0.1, 1)}))
 					return err
 				case 2:
-					id, err := sched.AddEvent(core.Event{
+					id, err := apply(ses.AddEventOp(core.Event{
 						Location: src.IntN(4), Required: src.Range(0.5, 2),
 						Name: fmt.Sprintf("%s-extra-%d", name, events),
-					}, map[int]float64{src.IntN(users): src.Range(0.1, 1)})
+					}, map[int]float64{src.IntN(users): src.Range(0.1, 1)}))
 					if err == nil {
 						added = append(added, id)
 						events++
@@ -260,7 +340,7 @@ func driveSession(st *ses.Store, name string, idx int, seed uint64, users, inter
 						if cancelled[e] {
 							return nil // already withdrawn; cheap no-op
 						}
-						if err := sched.CancelEvent(e); err != nil {
+						if _, err := apply(ses.CancelEventOp(e)); err != nil {
 							return err
 						}
 						cancelled[e] = true
@@ -271,7 +351,7 @@ func driveSession(st *ses.Store, name string, idx int, seed uint64, users, inter
 					if pinned[e] == tt+1 {
 						return nil // forbidding a pinned pair is rejected by design
 					}
-					if err := sched.Forbid(e, tt); err != nil {
+					if _, err := apply(ses.ForbidOp(e, tt)); err != nil {
 						return err
 					}
 					forbidden[[2]int{e, tt}] = true
@@ -289,14 +369,14 @@ func driveSession(st *ses.Store, name string, idx int, seed uint64, users, inter
 					if cancelled[a.Event] || forbidden[[2]int{a.Event, a.Interval}] {
 						return nil
 					}
-					if err := sched.Pin(a.Event, a.Interval); err != nil {
+					if _, err := apply(ses.PinOp(a.Event, a.Interval)); err != nil {
 						return err
 					}
 					pinned[a.Event] = a.Interval + 1
 					return nil
 				default:
 					e := src.IntN(events)
-					if err := sched.Unpin(e); err != nil {
+					if _, err := apply(ses.UnpinOp(e)); err != nil {
 						return err
 					}
 					delete(pinned, e)

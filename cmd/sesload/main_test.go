@@ -58,3 +58,11 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("unknown flag accepted")
 	}
 }
+
+func TestRunRejectsSyncWithoutDurable(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-sessions", "1", "-duration", "10ms", "-sync", "none"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-durable") {
+		t.Errorf("stray -sync: %v", err)
+	}
+}

@@ -156,6 +156,32 @@
 // workload and writes throughput/latency percentiles to
 // BENCH_store.json.
 //
+// # Architecture: the durability layer
+//
+// The durability layer (ses/internal/wal plus the durable store in
+// ses/internal/store, exposed as DurableStore via OpenStore) makes
+// the serving layer crash-recoverable. Each registry shard owns an
+// append-only write-ahead log of length-prefixed, CRC32-checksummed
+// records; a durable Create/Delete/Restore/ApplyBatch/Resolve applies
+// in memory, then appends one record — the logical mutations (the
+// same tagged-union wire form sesd's batch endpoint speaks) paired
+// with a physical commit stamp (schedule, utility, stop reason,
+// cumulative counters) — and fsyncs per the configured sync policy
+// (always / interval / none) before acknowledging. Recovery loads
+// each shard's newest checkpoint (full binary snapshots via the snap
+// codec), re-applies the logged mutations and installs the stamped
+// outcomes verbatim, so every acknowledged session State returns
+// byte-identical — including deadline-stopped best-so-far schedules a
+// re-run could not reproduce — while a torn log tail loses only the
+// record being written when the process died, which was never
+// acknowledged. Background checkpoints bound both log size and
+// recovery time by truncating the segments they cover; Close drains,
+// checkpoints and leaves a log that replays nothing. The crash matrix
+// in the test suite cuts a 200+-mutation log at every record boundary
+// and at torn offsets and asserts recovery always lands on exactly a
+// committed prefix. The seswal command inspects, verifies and dumps
+// log directories offline.
+//
 // # Quick start
 //
 //	ds, _ := ses.GenerateEBSN(ses.EBSNConfig{Seed: 1, NumUsers: 2000,

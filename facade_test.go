@@ -3,6 +3,7 @@ package ses_test
 import (
 	"context"
 	"math"
+	"strings"
 	"testing"
 
 	"ses"
@@ -390,5 +391,64 @@ func TestFacadeObjectiveOption(t *testing.T) {
 	}
 	if mp.Objective != "omega" || mf.Objective != "fairness:0.6" {
 		t.Fatalf("store metas: %q / %q", mp.Objective, mf.Objective)
+	}
+}
+
+func TestFacadeDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	if _, err := ses.OpenStore(ses.WithWorkers(1)); err == nil {
+		t.Fatal("OpenStore without WithDurability accepted")
+	}
+	st, err := ses.OpenStore(ses.WithDurability(dir), ses.WithSyncPolicy(ses.SyncNone), ses.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := festivalInstance()
+	if err := st.Create("fest", inst, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ApplyBatch(ctx, "fest", []ses.Mutation{
+		ses.AddCompetingOp(ses.CompetingEvent{Interval: 0, Name: "rival"}, map[int]float64{0: 0.9}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantState, err := st.Snapshot("fest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create("late", inst, 2); err != ses.ErrStoreClosed {
+		t.Fatalf("Create after Close: %v", err)
+	}
+
+	re, err := ses.OpenStore(ses.WithDurability(dir), ses.WithSyncPolicy(ses.SyncInterval), ses.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	gotState, err := re.Snapshot("fest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDoc, _ := ses.NewSnapshot("fest", wantState)
+	gotDoc, _ := ses.NewSnapshot("fest", gotState)
+	var wantB, gotB strings.Builder
+	if err := ses.EncodeSnapshot(&wantB, wantDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := ses.EncodeSnapshot(&gotB, gotDoc); err != nil {
+		t.Fatal(err)
+	}
+	if wantB.String() != gotB.String() {
+		t.Fatalf("recovered session diverged:\n got: %s\nwant: %s", gotB.String(), wantB.String())
+	}
+	if _, err := re.ApplyBatch(ctx, "fest", []ses.Mutation{ses.SetKOp(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Checkpoint(); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,76 @@
+package session
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ses/internal/core"
+	"ses/internal/sestest"
+	"ses/internal/solver"
+)
+
+func commitTestScheduler(t *testing.T) *Scheduler {
+	t.Helper()
+	inst := sestest.Random(sestest.Config{Users: 20, Events: 8, Intervals: 3, Competing: 2, Seed: 77})
+	s, err := New(inst, 3, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCommittedRoundtripsThroughInstallCommit(t *testing.T) {
+	s := commitTestScheduler(t)
+	if _, err := s.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sched, util, stopped, totals := s.Committed()
+	if len(sched) == 0 || util <= 0 {
+		t.Fatalf("committed outcome empty: %v %v", sched, util)
+	}
+
+	// Install the same outcome into a twin session (the WAL replay
+	// path) and compare states byte for byte.
+	twin := commitTestScheduler(t)
+	if err := twin.InstallCommit(sched, util, stopped, totals); err != nil {
+		t.Fatalf("InstallCommit: %v", err)
+	}
+	if !reflect.DeepEqual(s.ExportState(), twin.ExportState()) {
+		t.Fatal("installed state diverged from the resolved one")
+	}
+	// Committed reflects the install.
+	sched2, util2, stopped2, totals2 := twin.Committed()
+	if !reflect.DeepEqual(sched2, sched) || util2 != util || stopped2 != stopped || totals2 != totals {
+		t.Fatal("Committed after InstallCommit diverged")
+	}
+}
+
+func TestInstallCommitValidates(t *testing.T) {
+	s := commitTestScheduler(t)
+	var c solver.Counters
+	if err := s.InstallCommit(nil, nan(), "", c); err == nil {
+		t.Error("NaN utility accepted")
+	}
+	if err := s.InstallCommit([]core.Assignment{{Event: 2, Interval: 0}, {Event: 1, Interval: 1}}, 1, "", c); err == nil {
+		t.Error("unsorted schedule accepted")
+	}
+	if err := s.InstallCommit([]core.Assignment{{Event: 1, Interval: 0}, {Event: 1, Interval: 1}}, 1, "", c); err == nil {
+		t.Error("duplicate event accepted")
+	}
+	if err := s.InstallCommit([]core.Assignment{{Event: 99, Interval: 0}}, 1, "", c); err == nil {
+		t.Error("out-of-range event accepted")
+	}
+	// A failed install must not clobber the committed state.
+	if len(s.Schedule()) != 0 || s.Utility() != 0 {
+		t.Error("failed InstallCommit mutated the session")
+	}
+	if err := s.InstallCommit([]core.Assignment{}, 0, "", c); err != nil {
+		t.Errorf("empty commit rejected: %v", err)
+	}
+}
+
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}

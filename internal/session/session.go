@@ -267,7 +267,10 @@ func (s *Scheduler) AddEvent(ev core.Event, mu map[int]float64) (int, error) {
 	if ev.Location < 0 {
 		return 0, fmt.Errorf("session: AddEvent: negative location %d", ev.Location)
 	}
-	if ev.Required < 0 {
+	// The negated-range form rejects NaN too (every comparison with a
+	// NaN is false): a NaN that slipped in here would solve fine but
+	// poison snapshot and WAL-record encoding later.
+	if !(ev.Required >= 0) {
 		return 0, fmt.Errorf("session: AddEvent: negative required resources %v", ev.Required)
 	}
 	s.mu.Lock()
@@ -293,7 +296,7 @@ func (s *Scheduler) buildRow(mu map[int]float64) (interest.SparseVector, error) 
 		if u < 0 || u >= s.inst.NumUsers {
 			return interest.SparseVector{}, fmt.Errorf("user %d outside [0,%d)", u, s.inst.NumUsers)
 		}
-		if v < 0 || v > 1 {
+		if !(v >= 0 && v <= 1) { // negated form also rejects NaN
 			return interest.SparseVector{}, fmt.Errorf("µ = %v for user %d outside [0,1]", v, u)
 		}
 		ids = append(ids, int32(u))
@@ -329,7 +332,7 @@ func (s *Scheduler) UpdateInterest(user, event int, mu float64) error {
 	if user < 0 || user >= s.inst.NumUsers {
 		return fmt.Errorf("session: UpdateInterest: user %d outside [0,%d)", user, s.inst.NumUsers)
 	}
-	if mu < 0 || mu > 1 {
+	if !(mu >= 0 && mu <= 1) { // negated form also rejects NaN
 		return fmt.Errorf("session: UpdateInterest: µ = %v outside [0,1]", mu)
 	}
 	old := s.inst.CandInterest.Row(event)

@@ -206,6 +206,54 @@ func FromState(st *State, opts Options) (*Scheduler, error) {
 	}, nil
 }
 
+// Committed returns the session's committed solve outcome — the
+// schedule, its utility, the early-stop reason of the resolve that
+// produced it, and the cumulative work counters — under one lock
+// acquisition, so the four values always describe the same commit.
+// It is the source of the commit stamps the durable store writes to
+// its write-ahead log.
+func (s *Scheduler) Committed() (schedule []core.Assignment, utility float64, stopped string, totals solver.Counters) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]core.Assignment(nil), s.cur...), s.curUtil, s.lastStop, s.totals
+}
+
+// InstallCommit installs an externally recorded committed schedule —
+// the WAL-replay counterpart of a live Resolve. The durable store
+// logs each commit's physical outcome (schedule, utility, stop
+// reason, counters) next to the logical mutations, and recovery
+// replays the mutations then installs the outcome verbatim, so the
+// recovered State is byte-identical to the acknowledged one without
+// re-running (and without depending on the determinism of) the
+// solver.
+//
+// The schedule is validated like a restored snapshot's: sorted by
+// event, unique, and feasible on the session's current instance.
+// The score cache is left untouched — initial scores depend only on
+// the instance, never on what is committed — so the next live
+// Resolve proceeds incrementally as usual.
+func (s *Scheduler) InstallCommit(schedule []core.Assignment, utility float64, stopped string, totals solver.Counters) error {
+	if math.IsNaN(utility) || math.IsInf(utility, 0) {
+		return fmt.Errorf("session: InstallCommit: non-finite utility %v", utility)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	check := core.NewSchedule(s.inst)
+	for i, a := range schedule {
+		if i > 0 && schedule[i-1].Event >= a.Event {
+			return fmt.Errorf("session: InstallCommit: schedule not sorted/unique at event %d", a.Event)
+		}
+		if err := check.Assign(a.Event, a.Interval); err != nil {
+			return fmt.Errorf("session: InstallCommit: schedule: %w", err)
+		}
+	}
+	s.cur = append(s.cur[:0:0], schedule...)
+	s.curUtil = utility
+	s.lastStop = stopped
+	s.totals = totals
+	return nil
+}
+
 // lessAssignment is the strict (event, interval) order used to check
 // canonical sorting.
 func lessAssignment(a, b core.Assignment) bool {

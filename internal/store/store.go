@@ -139,11 +139,32 @@ func New(opts session.Options) *Store {
 	return s
 }
 
-// shardOf picks the stripe for a session id.
-func (s *Store) shardOf(name string) *shard {
+// shardIndex maps a session id to its stripe; the durable store uses
+// the same mapping for its per-shard write-ahead logs, so a session's
+// records always land in one log.
+func shardIndex(name string) int {
 	h := fnv.New32a()
 	h.Write([]byte(name))
-	return &s.shards[h.Sum32()&(numShards-1)]
+	return int(h.Sum32() & (numShards - 1))
+}
+
+// shardOf picks the stripe for a session id.
+func (s *Store) shardOf(name string) *shard {
+	return &s.shards[shardIndex(name)]
+}
+
+// handlesInShard returns stripe i's handles sorted by name, for
+// deterministic checkpoint encoding.
+func (s *Store) handlesInShard(i int) []*handle {
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	out := make([]*handle, 0, len(sh.sessions))
+	for _, h := range sh.sessions {
+		out = append(out, h)
+	}
+	sh.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool { return out[a].name < out[b].name })
+	return out
 }
 
 // Create registers a new session over a private copy of inst,

@@ -1,0 +1,335 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"ses/internal/core"
+	"ses/internal/session"
+	"ses/internal/snap"
+	"ses/internal/solver"
+)
+
+// WAL record payloads: one kind byte followed by a kind-specific
+// body. The bodies reuse the codecs the serving layer already
+// speaks — the snap binary snapshot for whole-session images
+// (create, restore, checkpoint entries) and the Mutation JSON
+// tagged union for batches — so seswal dumps and daemon wire traffic
+// describe sessions the same way.
+//
+// Record kinds are part of the WAL format: adding a kind is additive
+// (old readers reject unknown kinds loudly), changing a body's
+// meaning bumps the wal framing version (ses/internal/wal.Version).
+const (
+	// recCreate logs a session creation; body = binary snapshot of the
+	// fresh session (name, k, objective, instance, empty schedule).
+	recCreate byte = 1
+	// recDelete logs a deletion; body = the raw session name.
+	recDelete byte = 2
+	// recBatch logs one ApplyBatch: the mutations that were actually
+	// applied and, when the batch's resolve committed, the commit
+	// stamp. Body = JSON batchRec.
+	recBatch byte = 3
+	// recResolve logs one committed Resolve; body = JSON resolveRec.
+	recResolve byte = 4
+	// recRestore logs a snapshot restore; body = one replace flag byte
+	// + binary snapshot.
+	recRestore byte = 5
+)
+
+// commitStamp is the physical outcome of one committed resolve. A
+// batch/resolve record pairs the logical mutations with this stamp so
+// recovery installs exactly the acknowledged schedule — including
+// deadline-stopped best-so-far schedules a re-run could not
+// reproduce — instead of re-solving.
+type commitStamp struct {
+	Schedule []snap.Assign `json:"schedule,omitempty"`
+	Utility  float64       `json:"utility"`
+	Stopped  string        `json:"stopped,omitempty"`
+	Counters snap.Counters `json:"counters"`
+}
+
+// stampOf reads a scheduler's committed outcome into a stamp.
+func stampOf(sched *session.Scheduler) *commitStamp {
+	schedule, utility, stopped, totals := sched.Committed()
+	st := &commitStamp{
+		Utility: utility,
+		Stopped: stopped,
+		Counters: snap.Counters{
+			InitialScores: totals.InitialScores,
+			ScoreUpdates:  totals.ScoreUpdates,
+			Pops:          totals.Pops,
+			ListScans:     totals.ListScans,
+			Moves:         totals.Moves,
+		},
+	}
+	for _, a := range schedule {
+		st.Schedule = append(st.Schedule, snap.Assign{E: a.Event, T: a.Interval})
+	}
+	return st
+}
+
+// install applies the stamp to a scheduler during replay: the
+// recorded schedule, utility, stop reason and cumulative counters are
+// installed verbatim (after feasibility validation in InstallCommit).
+func (c *commitStamp) install(sched *session.Scheduler) error {
+	assgn := make([]core.Assignment, len(c.Schedule))
+	for i, a := range c.Schedule {
+		assgn[i] = core.Assignment{Event: a.E, Interval: a.T}
+	}
+	return sched.InstallCommit(assgn, c.Utility, c.Stopped, c.counters())
+}
+
+// batchRec is the JSON body of a recBatch record. Muts holds the
+// applied prefix of the batch (all of it when the batch succeeded);
+// Commit is nil when the batch staged mutations without committing
+// (mutation error after a valid prefix, or a resolve aborted by
+// context cancellation).
+type batchRec struct {
+	Name   string       `json:"name"`
+	Muts   []Mutation   `json:"muts"`
+	Commit *commitStamp `json:"commit,omitempty"`
+}
+
+// resolveRec is the JSON body of a recResolve record.
+type resolveRec struct {
+	Name   string      `json:"name"`
+	Commit commitStamp `json:"commit"`
+}
+
+// encodeSnapshotRecord frames a session state as a kind + binary
+// snapshot payload (with an optional flag byte for recRestore).
+func encodeSnapshotRecord(kind byte, flags []byte, name string, st *session.State) ([]byte, error) {
+	doc, err := snap.FromState(name, st)
+	if err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.WriteByte(kind)
+	b.Write(flags)
+	if err := snap.EncodeBinary(&b, doc); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func encodeCreateRecord(name string, st *session.State) ([]byte, error) {
+	return encodeSnapshotRecord(recCreate, nil, name, st)
+}
+
+func encodeRestoreRecord(name string, st *session.State, replace bool) ([]byte, error) {
+	flag := byte(0)
+	if replace {
+		flag = 1
+	}
+	return encodeSnapshotRecord(recRestore, []byte{flag}, name, st)
+}
+
+func encodeDeleteRecord(name string) []byte {
+	return append([]byte{recDelete}, name...)
+}
+
+func encodeBatchRecord(r batchRec) ([]byte, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{recBatch}, body...), nil
+}
+
+func encodeResolveRecord(r resolveRec) ([]byte, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	return append([]byte{recResolve}, body...), nil
+}
+
+// WALRecord is one decoded store-layer log record, as surfaced to the
+// seswal inspector and consumed by recovery.
+type WALRecord struct {
+	// Kind is the record kind name: "create", "delete", "batch",
+	// "resolve" or "restore".
+	Kind string `json:"kind"`
+	// Name is the session the record concerns.
+	Name string `json:"name"`
+	// Replace is the restore record's replace flag.
+	Replace bool `json:"replace,omitempty"`
+	// Snapshot carries the session image of create/restore records.
+	Snapshot *snap.Snapshot `json:"snapshot,omitempty"`
+	// Muts carries a batch record's applied mutations.
+	Muts []Mutation `json:"muts,omitempty"`
+	// Commit carries the commit stamp of a committed batch/resolve
+	// (nil for a staged-only batch).
+	Commit *commitStamp `json:"commit,omitempty"`
+}
+
+// DecodeWALRecord parses one WAL record payload written by the
+// durable store. It validates structure, not session semantics —
+// recovery does the latter.
+func DecodeWALRecord(payload []byte) (*WALRecord, error) {
+	if len(payload) == 0 {
+		return nil, errors.New("store: empty WAL record")
+	}
+	kind, body := payload[0], payload[1:]
+	switch kind {
+	case recCreate:
+		doc, err := snap.DecodeBinary(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("store: create record: %w", err)
+		}
+		return &WALRecord{Kind: "create", Name: doc.Name, Snapshot: doc}, nil
+	case recDelete:
+		if len(body) == 0 {
+			return nil, errors.New("store: delete record without a name")
+		}
+		return &WALRecord{Kind: "delete", Name: string(body)}, nil
+	case recBatch:
+		var r batchRec
+		if err := strictUnmarshal(body, &r); err != nil {
+			return nil, fmt.Errorf("store: batch record: %w", err)
+		}
+		if r.Name == "" {
+			return nil, errors.New("store: batch record without a name")
+		}
+		return &WALRecord{Kind: "batch", Name: r.Name, Muts: r.Muts, Commit: r.Commit}, nil
+	case recResolve:
+		var r resolveRec
+		if err := strictUnmarshal(body, &r); err != nil {
+			return nil, fmt.Errorf("store: resolve record: %w", err)
+		}
+		if r.Name == "" {
+			return nil, errors.New("store: resolve record without a name")
+		}
+		c := r.Commit
+		return &WALRecord{Kind: "resolve", Name: r.Name, Commit: &c}, nil
+	case recRestore:
+		if len(body) < 1 {
+			return nil, errors.New("store: restore record without a flag byte")
+		}
+		doc, err := snap.DecodeBinary(bytes.NewReader(body[1:]))
+		if err != nil {
+			return nil, fmt.Errorf("store: restore record: %w", err)
+		}
+		return &WALRecord{Kind: "restore", Name: doc.Name, Replace: body[0] == 1, Snapshot: doc}, nil
+	default:
+		return nil, fmt.Errorf("store: unknown WAL record kind %d", kind)
+	}
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, matching the
+// snapshot codec's strictness: an unknown field in a CRC-clean record
+// means a writer newer than this reader, and that must surface.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// Checkpoint payload: a 4-byte count, then per session one JSON meta
+// header and one binary snapshot, both length-prefixed. The meta
+// header carries the store-level counters that live outside
+// session.State, so Meta survives recovery too.
+
+// WALCheckpointEntry is one session image inside a checkpoint.
+type WALCheckpointEntry struct {
+	Name      string `json:"name"`
+	Resolves  uint64 `json:"resolves"`
+	Mutations uint64 `json:"mutations"`
+	Batches   uint64 `json:"batches"`
+	// Snapshot is the session's full state.
+	Snapshot *snap.Snapshot `json:"snapshot,omitempty"`
+}
+
+// encodeCheckpoint serializes the entries.
+func encodeCheckpoint(entries []WALCheckpointEntry) ([]byte, error) {
+	var b bytes.Buffer
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(entries)))
+	b.Write(n[:])
+	for _, e := range entries {
+		snapDoc := e.Snapshot
+		e.Snapshot = nil
+		meta, err := json.Marshal(e)
+		if err != nil {
+			return nil, err
+		}
+		var body bytes.Buffer
+		if err := snap.EncodeBinary(&body, snapDoc); err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(n[:], uint32(len(meta)))
+		b.Write(n[:])
+		b.Write(meta)
+		binary.LittleEndian.PutUint32(n[:], uint32(body.Len()))
+		b.Write(n[:])
+		b.Write(body.Bytes())
+	}
+	return b.Bytes(), nil
+}
+
+// DecodeWALCheckpoint parses a checkpoint payload back into entries.
+func DecodeWALCheckpoint(data []byte) ([]WALCheckpointEntry, error) {
+	r := bytes.NewReader(data)
+	var n [4]byte
+	if _, err := r.Read(n[:]); err != nil {
+		return nil, errors.New("store: checkpoint too short for its count")
+	}
+	count := binary.LittleEndian.Uint32(n[:])
+	if uint64(count) > uint64(len(data)) {
+		return nil, fmt.Errorf("store: checkpoint claims %d sessions in %d bytes", count, len(data))
+	}
+	entries := make([]WALCheckpointEntry, 0, count)
+	readBlock := func() ([]byte, error) {
+		if _, err := r.Read(n[:]); err != nil {
+			return nil, errors.New("short block length")
+		}
+		ln := binary.LittleEndian.Uint32(n[:])
+		if uint64(ln) > uint64(r.Len()) {
+			return nil, fmt.Errorf("block length %d exceeds remaining %d bytes", ln, r.Len())
+		}
+		buf := make([]byte, ln)
+		if _, err := r.Read(buf); err != nil && ln > 0 {
+			return nil, err
+		}
+		return buf, nil
+	}
+	for i := uint32(0); i < count; i++ {
+		meta, err := readBlock()
+		if err != nil {
+			return nil, fmt.Errorf("store: checkpoint entry %d: %v", i, err)
+		}
+		var e WALCheckpointEntry
+		if err := strictUnmarshal(meta, &e); err != nil {
+			return nil, fmt.Errorf("store: checkpoint entry %d meta: %w", i, err)
+		}
+		body, err := readBlock()
+		if err != nil {
+			return nil, fmt.Errorf("store: checkpoint entry %d: %v", i, err)
+		}
+		doc, err := snap.DecodeBinary(bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("store: checkpoint entry %d snapshot: %w", i, err)
+		}
+		e.Snapshot = doc
+		entries = append(entries, e)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("store: %d trailing bytes after checkpoint entries", r.Len())
+	}
+	return entries, nil
+}
+
+// countersOf converts a stamp's wire counters back to solver form.
+func (c *commitStamp) counters() solver.Counters {
+	return solver.Counters{
+		InitialScores: c.Counters.InitialScores,
+		ScoreUpdates:  c.Counters.ScoreUpdates,
+		Pops:          c.Counters.Pops,
+		ListScans:     c.Counters.ListScans,
+		Moves:         c.Counters.Moves,
+	}
+}

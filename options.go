@@ -1,8 +1,11 @@
 package ses
 
 import (
+	"time"
+
 	"ses/internal/choice"
 	"ses/internal/solver"
+	"ses/internal/wal"
 )
 
 // Option configures solver construction (New) and Scheduler sessions
@@ -19,6 +22,12 @@ type config struct {
 	objective Objective
 	seed      uint64
 	progress  func(Progress)
+
+	// durability (consumed by OpenStore).
+	durableDir      string
+	syncPolicy      SyncPolicy
+	syncInterval    time.Duration
+	checkpointEvery int
 }
 
 // solverConfig converts the resolved options to the internal solver
@@ -66,6 +75,45 @@ func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
 // the solver or Scheduler it is observing (a Scheduler callback runs
 // under the session lock).
 func WithProgress(fn func(Progress)) Option { return func(c *config) { c.progress = fn } }
+
+// SyncPolicy selects when a durable store's write-ahead log reaches
+// stable storage; see WithSyncPolicy and the wal package for the
+// exact guarantees of each policy.
+type SyncPolicy = wal.SyncPolicy
+
+// The sync policies, from safest to fastest.
+const (
+	// SyncAlways fsyncs every append before acknowledging.
+	SyncAlways = wal.SyncAlways
+	// SyncInterval flushes in the background every WithSyncInterval.
+	SyncInterval = wal.SyncInterval
+	// SyncNone leaves flushing to the OS (rotation/close still sync).
+	SyncNone = wal.SyncNone
+)
+
+// ParseSyncPolicy resolves the flag spelling of a sync policy
+// ("always", "interval", "none"; "" means always).
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// WithDurability roots a store's write-ahead log at dir — the option
+// that turns OpenStore's result into a crash-recoverable store. The
+// directory is created on first use and recovered from on open.
+func WithDurability(dir string) Option { return func(c *config) { c.durableDir = dir } }
+
+// WithSyncPolicy selects the WAL append durability policy (default
+// SyncAlways). See SyncAlways, SyncInterval, SyncNone for the
+// crash-loss tradeoffs each makes.
+func WithSyncPolicy(p SyncPolicy) Option { return func(c *config) { c.syncPolicy = p } }
+
+// WithSyncInterval sets the background flush period used under
+// SyncInterval (0, the default, means 50ms).
+func WithSyncInterval(d time.Duration) Option { return func(c *config) { c.syncInterval = d } }
+
+// WithCheckpointEvery makes the durable store checkpoint a shard
+// (and truncate its log) in the background after n records (0 = the
+// default 1024; negative disables automatic checkpoints — Close and
+// Checkpoint still write them).
+func WithCheckpointEvery(n int) Option { return func(c *config) { c.checkpointEvery = n } }
 
 // EngineFactory builds the choice engine a solver evaluates the
 // paper's Eq. 1–4 with; pass one to WithEngine.

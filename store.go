@@ -1,6 +1,7 @@
 package ses
 
 import (
+	"errors"
 	"io"
 
 	"ses/internal/session"
@@ -71,6 +72,49 @@ func NewStore(opts ...Option) *Store {
 		Objective: c.objective,
 		Seed:      c.seed,
 		Progress:  c.progress,
+	})
+}
+
+// DurableStore is a Store whose acknowledged state changes are
+// recorded in a per-shard write-ahead log before each call returns,
+// and which recovers them exactly — schedule, utility, objective,
+// counters — after a crash. Open one with OpenStore; it serves the
+// full Store API plus Checkpoint (truncate the logs now) and Close
+// (final checkpoint + shutdown).
+//
+//	st, _ := ses.OpenStore(ses.WithDurability("/var/lib/sesd"),
+//		ses.WithSyncPolicy(ses.SyncInterval))
+//	defer st.Close()                       // final checkpoint
+//	st.Create("fest", inst, 20)            // logged before returning
+//	st.ApplyBatch(ctx, "fest", muts)       // mutations + commit stamp logged
+//	// kill -9 here: the next OpenStore replays the log and every
+//	// acknowledged batch is still there, byte-identical.
+type DurableStore = store.Durable
+
+// ErrStoreClosed reports an operation on a closed DurableStore.
+var ErrStoreClosed = store.ErrStoreClosed
+
+// OpenStore opens (creating or recovering) a durable session store.
+// WithDurability is required; WithSyncPolicy, WithSyncInterval and
+// WithCheckpointEvery tune the log, and the session options (workers,
+// engine, objective, seed, progress) apply to every session exactly
+// like NewStore's.
+func OpenStore(opts ...Option) (*DurableStore, error) {
+	c := resolve(opts)
+	if c.durableDir == "" {
+		return nil, errors.New("ses: OpenStore requires WithDurability(dir); use NewStore for a memory-only store")
+	}
+	return store.OpenDurable(c.durableDir, store.DurableOptions{
+		Session: session.Options{
+			Workers:   c.workers,
+			Engine:    c.engine,
+			Objective: c.objective,
+			Seed:      c.seed,
+			Progress:  c.progress,
+		},
+		Sync:            c.syncPolicy,
+		SyncInterval:    c.syncInterval,
+		CheckpointEvery: c.checkpointEvery,
 	})
 }
 
