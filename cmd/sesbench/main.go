@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	sesbench [-fig all|1a|1b|1c|1d|sens|engines|objectives|resolve|wal]
+//	sesbench [-fig all|1a|1b|1c|1d|sens|engines|objectives|resolve|wal|scaling]
 //	         [-scale full|medium|small]
 //	         [-reps N] [-seed S] [-algos paper|extended] [-csv dir] [-v]
-//	         [-workers W] [-par P] [-json file]
+//	         [-workers W] [-par P] [-json file] [-quick] [-verify]
 //
 // -fig sens runs the sensitivity sweeps over θ (resources), location
 // count and competing intensity — the parameters Section IV-A fixes.
@@ -30,10 +30,21 @@
 // BENCH_resolve.json).
 //
 // -fig wal prices the durable store's write-ahead log fsync policies
-// (always / interval / none): raw append latency percentiles and
-// durable ApplyBatch round trips per policy, written to the -json
-// file (default BENCH_wal.json). It needs no dataset and runs in
-// seconds.
+// (always / interval / none): raw append latency percentiles, durable
+// ApplyBatch round trips per policy, and the group-commit section
+// (lone-appender latency, concurrent appenders with/without group
+// commit, realized records per fsync), written to the -json file
+// (default BENCH_wal.json). It needs no dataset and runs in seconds.
+//
+// -fig scaling measures engine solves, pipelined store resolves and
+// group-commit WAL appends at GOMAXPROCS 1/2/4/8 and writes the
+// curve with the host's CPU count to the -json file (default
+// BENCH_scaling.json). The store curve carries a CI-enforced floor —
+// 4-core throughput at least 2× 1-core — checked whenever the
+// measuring host has ≥ 4 CPUs. -quick shrinks the workload for CI
+// smokes; -verify skips measuring and re-validates an existing
+// artifact's schema (and, if it was measured on a multi-core host,
+// its floor).
 //
 // -scale full uses the Meetup-California dimensions of the paper
 // (42,444 users); medium (default) and small reduce the user count so
@@ -74,7 +85,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal, scaling")
 	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
 	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
 	seed := fs.Uint64("seed", 42, "master seed")
@@ -83,7 +94,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "stream per-run progress")
 	workers := fs.Int("workers", 0, "solver scoring goroutines (0 = all cores, 1 = serial; identical output)")
 	par := fs.Int("par", 1, "independent trials run concurrently (identical statistics, noisier timings)")
-	jsonPath := fs.String("json", "", "output file for -fig engines/objectives/resolve (defaults BENCH_engine.json / BENCH_objective.json / BENCH_resolve.json)")
+	jsonPath := fs.String("json", "", "output file for -fig engines/objectives/resolve/wal/scaling (defaults BENCH_<fig>.json)")
+	quick := fs.Bool("quick", false, "with -fig scaling: shrink the workload for CI smokes")
+	verify := fs.Bool("verify", false, "with -fig scaling: validate the existing -json artifact instead of measuring")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,13 +108,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wantObjectives := *fig == "objectives"
 	wantResolve := *fig == "resolve"
 	wantWAL := *fig == "wal"
-	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL {
+	wantScaling := *fig == "scaling"
+	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	// Catch a silently-ignored flag before a potentially hours-long
 	// sweep rather than after it.
-	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL {
-		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal")
+	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling {
+		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal/scaling")
+	}
+	if (*quick || *verify) && !wantScaling {
+		return fmt.Errorf("-quick/-verify only apply to -fig scaling")
 	}
 	if *jsonPath == "" {
 		switch {
@@ -111,6 +128,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			*jsonPath = "BENCH_objective.json"
 		case wantWAL:
 			*jsonPath = "BENCH_wal.json"
+		case wantScaling:
+			*jsonPath = "BENCH_scaling.json"
 		default:
 			*jsonPath = "BENCH_engine.json"
 		}
@@ -119,6 +138,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		// The WAL figure prices fsync, not solving: it needs no EBSN
 		// dataset, so it dispatches before the generation step.
 		return benchWAL(ctx, out, *seed, *jsonPath)
+	}
+	if wantScaling {
+		// Likewise dataset-free: instances come from sestest.
+		return benchScaling(ctx, out, *seed, *jsonPath, *quick, *verify)
 	}
 
 	var ecfg ebsn.Config

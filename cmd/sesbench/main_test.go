@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -132,6 +133,80 @@ func TestRunWALFig(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "WAL fsync policies") {
 		t.Error("output missing the WAL table")
+	}
+	for _, want := range []string{
+		"\"group_commit\"", "\"lone_append\"", "\"concurrent_single_append\"",
+		"\"concurrent_group_append\"", "\"records_per_fsync\"", "\"speedup_x\"",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("BENCH_wal.json missing %q", want)
+		}
+	}
+	if !strings.Contains(out.String(), "group commit (sync=always") {
+		t.Error("output missing the group-commit section")
+	}
+}
+
+func TestRunScalingFig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement is seconds-long")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_scaling.json")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "scaling", "-quick", "-json", jsonPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep scalingReport
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.HostCPUs <= 0 || !rep.Quick || len(rep.Points) != 4 {
+		t.Fatalf("scaling report implausible: %+v", rep)
+	}
+	for i, procs := range []int{1, 2, 4, 8} {
+		pt := rep.Points[i]
+		if pt.GoMaxProcs != procs || pt.EngineSolvesPerSec <= 0 || pt.StoreResolvesPerSec <= 0 || pt.WALAppendsPerSec <= 0 {
+			t.Errorf("point %d implausible: %+v", i, pt)
+		}
+	}
+	if !strings.Contains(out.String(), "Scaling curve") {
+		t.Error("output missing the scaling curve table")
+	}
+
+	// -verify must accept the artifact it just wrote...
+	var vout bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "scaling", "-verify", "-json", jsonPath}, &vout); err != nil {
+		t.Fatalf("verify of fresh artifact: %v", err)
+	}
+	// ...and reject schema-broken ones.
+	for name, doc := range map[string]string{
+		"no points":     `{"host_cpus": 4, "points": []}`,
+		"bad cpus":      `{"host_cpus": 0, "points": []}`,
+		"wrong procs":   `{"host_cpus": 4, "points": [{"gomaxprocs":1},{"gomaxprocs":3},{"gomaxprocs":4},{"gomaxprocs":8}]}`,
+		"zero figure":   `{"host_cpus": 1, "points": [{"gomaxprocs":1,"engine_solves_per_sec":1,"store_resolves_per_sec":0,"wal_appends_per_sec":1},{"gomaxprocs":2},{"gomaxprocs":4},{"gomaxprocs":8}]}`,
+		"invalid json":  `{`,
+		"floor breach":  `{"host_cpus": 8, "points": [{"gomaxprocs":1,"engine_solves_per_sec":1,"store_resolves_per_sec":100,"wal_appends_per_sec":1},{"gomaxprocs":2,"engine_solves_per_sec":1,"store_resolves_per_sec":100,"wal_appends_per_sec":1},{"gomaxprocs":4,"engine_solves_per_sec":1,"store_resolves_per_sec":150,"wal_appends_per_sec":1},{"gomaxprocs":8,"engine_solves_per_sec":1,"store_resolves_per_sec":150,"wal_appends_per_sec":1}]}`,
+		"floor ignored": `{"host_cpus": 1, "points": [{"gomaxprocs":1,"engine_solves_per_sec":1,"store_resolves_per_sec":100,"wal_appends_per_sec":1},{"gomaxprocs":2,"engine_solves_per_sec":1,"store_resolves_per_sec":100,"wal_appends_per_sec":1},{"gomaxprocs":4,"engine_solves_per_sec":1,"store_resolves_per_sec":150,"wal_appends_per_sec":1},{"gomaxprocs":8,"engine_solves_per_sec":1,"store_resolves_per_sec":150,"wal_appends_per_sec":1}]}`,
+	} {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := run(context.Background(), []string{"-fig", "scaling", "-verify", "-json", bad}, &bytes.Buffer{})
+		if name == "floor ignored" {
+			// Sub-floor curve measured on a 1-CPU host: schema-valid,
+			// floor not physical there, so verify passes.
+			if err != nil {
+				t.Errorf("%s: %v, want accepted", name, err)
+			}
+		} else if err == nil {
+			t.Errorf("%s: accepted, want rejected", name)
+		}
 	}
 }
 

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ses"
+	"ses/internal/sestest"
+	"ses/internal/tablefmt"
+	"ses/internal/wal"
+)
+
+// scalingPoint is one GOMAXPROCS setting's measured throughput for
+// the three layers the multi-core work targets: the parallel-scoring
+// solve (engine), the pipeline of independent session resolves
+// (store), and concurrent group-commit appenders (wal).
+type scalingPoint struct {
+	GoMaxProcs          int     `json:"gomaxprocs"`
+	EngineSolvesPerSec  float64 `json:"engine_solves_per_sec"`
+	StoreResolvesPerSec float64 `json:"store_resolves_per_sec"`
+	WALAppendsPerSec    float64 `json:"wal_appends_per_sec"`
+}
+
+// scalingReport is the BENCH_scaling.json document. HostCPUs records
+// where the curve was measured: on a single-core host the points
+// cannot show real speedup, so the scaling floor is only enforced
+// when the artifact was produced with at least storeFloorCores cores.
+type scalingReport struct {
+	HostCPUs int            `json:"host_cpus"`
+	Quick    bool           `json:"quick"`
+	Seed     uint64         `json:"seed"`
+	Points   []scalingPoint `json:"points"`
+}
+
+// The CI-enforced curve contract: store resolve throughput at
+// storeFloorCores GOMAXPROCS must reach storeFloorX times the 1-core
+// figure (only enforced when the host really has that many cores).
+const (
+	storeFloorCores = 4
+	storeFloorX     = 2.0
+)
+
+var scalingProcs = []int{1, 2, 4, 8}
+
+// benchScaling measures (or, with verify, re-checks a committed)
+// engine/store/wal scaling curve over GOMAXPROCS 1/2/4/8 and writes
+// it to jsonPath. quick shrinks the workload for CI smokes.
+func benchScaling(ctx context.Context, out io.Writer, seed uint64, jsonPath string, quick, verify bool) error {
+	if verify {
+		raw, err := os.ReadFile(jsonPath)
+		if err != nil {
+			return fmt.Errorf("scaling verify: %w", err)
+		}
+		var rep scalingReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			return fmt.Errorf("scaling verify: %s: %w", jsonPath, err)
+		}
+		fmt.Fprintf(out, "verifying %s (host_cpus %d)\n", jsonPath, rep.HostCPUs)
+		return checkScaling(out, &rep)
+	}
+
+	rep := scalingReport{HostCPUs: runtime.NumCPU(), Quick: quick, Seed: seed}
+	restore := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(restore)
+	for _, procs := range scalingProcs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		runtime.GOMAXPROCS(procs)
+		pt := scalingPoint{GoMaxProcs: procs}
+		var err error
+		if pt.EngineSolvesPerSec, err = scaleEngine(ctx, seed, quick); err != nil {
+			return err
+		}
+		if pt.StoreResolvesPerSec, err = scaleStore(ctx, seed, quick); err != nil {
+			return err
+		}
+		if pt.WALAppendsPerSec, err = scaleWAL(quick); err != nil {
+			return err
+		}
+		rep.Points = append(rep.Points, pt)
+		fmt.Fprintf(out, "GOMAXPROCS=%d: engine %.1f solves/s, store %.0f resolves/s, wal %.0f appends/s\n",
+			procs, pt.EngineSolvesPerSec, pt.StoreResolvesPerSec, pt.WALAppendsPerSec)
+	}
+	runtime.GOMAXPROCS(restore)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\nwrote %s\n", jsonPath)
+	return checkScaling(out, &rep)
+}
+
+// checkScaling validates a curve artifact: the schema (one point per
+// GOMAXPROCS in scalingProcs, positive figures) always, and the
+// store-scaling floor when the artifact was measured on a host with
+// enough cores for the floor to be physical.
+func checkScaling(out io.Writer, rep *scalingReport) error {
+	if rep.HostCPUs <= 0 {
+		return fmt.Errorf("scaling artifact: host_cpus %d, want > 0", rep.HostCPUs)
+	}
+	if len(rep.Points) != len(scalingProcs) {
+		return fmt.Errorf("scaling artifact: %d points, want %d (GOMAXPROCS %v)", len(rep.Points), len(scalingProcs), scalingProcs)
+	}
+	byProcs := map[int]scalingPoint{}
+	for i, pt := range rep.Points {
+		if pt.GoMaxProcs != scalingProcs[i] {
+			return fmt.Errorf("scaling artifact: point %d has gomaxprocs %d, want %d", i, pt.GoMaxProcs, scalingProcs[i])
+		}
+		if pt.EngineSolvesPerSec <= 0 || pt.StoreResolvesPerSec <= 0 || pt.WALAppendsPerSec <= 0 {
+			return fmt.Errorf("scaling artifact: point GOMAXPROCS=%d has a non-positive figure: %+v", pt.GoMaxProcs, pt)
+		}
+		byProcs[pt.GoMaxProcs] = pt
+	}
+
+	tab := &tablefmt.Table{
+		Title:  "Scaling curve (throughput vs GOMAXPROCS)",
+		Header: []string{"GOMAXPROCS", "engine solves/s", "store resolves/s", "wal appends/s", "store ×1-core"},
+	}
+	base := rep.Points[0]
+	for _, pt := range rep.Points {
+		tab.AddRow(fmt.Sprint(pt.GoMaxProcs),
+			fmt.Sprintf("%.1f", pt.EngineSolvesPerSec),
+			fmt.Sprintf("%.0f", pt.StoreResolvesPerSec),
+			fmt.Sprintf("%.0f", pt.WALAppendsPerSec),
+			fmt.Sprintf("%.2f×", pt.StoreResolvesPerSec/base.StoreResolvesPerSec))
+	}
+	if err := tab.Render(out); err != nil {
+		return err
+	}
+
+	if rep.HostCPUs < storeFloorCores {
+		fmt.Fprintf(out, "\nstore floor (%d-core ≥ %.1f× 1-core) not enforced: measured on a %d-CPU host\n",
+			storeFloorCores, storeFloorX, rep.HostCPUs)
+		return nil
+	}
+	speedup := byProcs[storeFloorCores].StoreResolvesPerSec / base.StoreResolvesPerSec
+	if speedup < storeFloorX {
+		return fmt.Errorf("store resolve throughput at GOMAXPROCS=%d is %.2f× the 1-core figure, below the %.1f× floor",
+			storeFloorCores, speedup, storeFloorX)
+	}
+	fmt.Fprintf(out, "\nstore floor ok: %d-core is %.2f× 1-core (floor %.1f×)\n", storeFloorCores, speedup, storeFloorX)
+	return nil
+}
+
+// scaleEngine times from-scratch greedy solves whose initial scoring
+// fans out over all GOMAXPROCS cores (ses.WithWorkers(0)).
+func scaleEngine(ctx context.Context, seed uint64, quick bool) (float64, error) {
+	users, reps := 4000, 6
+	if quick {
+		users, reps = 1000, 3
+	}
+	inst := sestest.Random(sestest.Config{Users: users, Events: 48, Intervals: 8, Competing: 4, Seed: seed})
+	s, err := ses.New("grd", ses.WithWorkers(0))
+	if err != nil {
+		return 0, err
+	}
+	// One untimed run warms allocator and caches.
+	if _, err := s.Solve(ctx, inst, 10); err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err := s.Solve(ctx, inst, 10); err != nil {
+			return 0, err
+		}
+	}
+	return float64(reps) / time.Since(t0).Seconds(), nil
+}
+
+// scaleStore times independent sessions resolving through a Pipeline
+// whose worker pool spans all cores: one driver goroutine per session
+// commits interest updates (mutation + incremental resolve) back to
+// back.
+func scaleStore(ctx context.Context, seed uint64, quick bool) (float64, error) {
+	sessions, ops := 16, 60
+	if quick {
+		sessions, ops = 8, 25
+	}
+	st := ses.NewStore(ses.WithWorkers(1))
+	pipe := ses.NewPipeline(st, ses.WithResolveWorkers(0))
+	defer pipe.Close()
+	for i := 0; i < sessions; i++ {
+		inst := sestest.Random(sestest.Config{Users: 200, Events: 16, Intervals: 5, Competing: 3, Seed: seed + uint64(i)})
+		name := fmt.Sprintf("scale-%d", i)
+		if err := st.Create(name, inst, 6); err != nil {
+			return 0, err
+		}
+		if _, err := st.Resolve(ctx, name); err != nil { // warm-up solve
+			return 0, err
+		}
+	}
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("scale-%d", i)
+			for j := 0; j < ops; j++ {
+				mut := ses.UpdateInterestOp(j%200, j%16, 0.1+0.8*float64(j%9)/9)
+				if _, err := pipe.ApplyBatch(ctx, name, []ses.Mutation{mut}); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(sessions*ops) / wall, nil
+}
+
+// scaleWAL times concurrent group-commit appenders under SyncAlways.
+func scaleWAL(quick bool) (float64, error) {
+	appenders, per := 8, 128
+	if quick {
+		per = 48
+	}
+	dir, err := os.MkdirTemp("", "sesbench-scalewal-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	l, err := wal.Open(dir, wal.Options{Sync: ses.SyncAlways, GroupCommit: wal.GroupCommit{Enabled: true}})
+	if err != nil {
+		return 0, err
+	}
+	defer l.Close()
+	payload := make([]byte, 256)
+	errs := make([]error, appenders)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append(payload); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(t0).Seconds()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return float64(appenders*per) / wall, nil
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"ses"
@@ -16,12 +17,42 @@ import (
 	"ses/internal/wal"
 )
 
-// benchWAL prices the write-ahead log's fsync policies. Two levels:
+// latencies is the JSON shape of one measured op class.
+type latencies struct {
+	Count     int     `json:"count"`
+	P50us     float64 `json:"p50_us"`
+	P99us     float64 `json:"p99_us"`
+	MaxUs     float64 `json:"max_us"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// summarizeLat folds per-op latencies (seconds) into the reported
+// shape; throughput is sum-of-latencies based, i.e. serial ops/sec.
+func summarizeLat(lat []float64) latencies {
+	sort.Float64s(lat)
+	var total float64
+	for _, l := range lat {
+		total += l
+	}
+	return latencies{
+		Count:     len(lat),
+		P50us:     stats.PercentileSorted(lat, 50) * 1e6,
+		P99us:     stats.PercentileSorted(lat, 99) * 1e6,
+		MaxUs:     lat[len(lat)-1] * 1e6,
+		OpsPerSec: float64(len(lat)) / total,
+	}
+}
+
+// benchWAL prices the write-ahead log's fsync policies. Three levels:
 //
 //   - raw wal.Log appends (fixed-size payloads) — what one record
 //     costs at each policy, isolating fsync from solving;
 //   - durable-store ApplyBatch round trips (mutation + incremental
-//     resolve + logged commit stamp) — what a served write costs.
+//     resolve + logged commit stamp) — what a served write costs;
+//   - group commit under SyncAlways — a lone appender (must keep
+//     single-append latency) and concurrent appenders with and
+//     without group commit (amortized fsyncs must multiply
+//     throughput).
 //
 // Results print as a table and land in jsonPath (BENCH_wal.json).
 func benchWAL(ctx context.Context, out io.Writer, seed uint64, jsonPath string) error {
@@ -29,41 +60,33 @@ func benchWAL(ctx context.Context, out io.Writer, seed uint64, jsonPath string) 
 		appends      = 256
 		payloadBytes = 256
 		batches      = 256
+		gcAppenders  = 8
+		gcPerAppend  = 128
 	)
 
-	type latencies struct {
-		Count     int     `json:"count"`
-		P50us     float64 `json:"p50_us"`
-		P99us     float64 `json:"p99_us"`
-		MaxUs     float64 `json:"max_us"`
-		OpsPerSec float64 `json:"ops_per_sec"`
-	}
 	type policyResult struct {
 		Sync   string    `json:"sync"`
 		Append latencies `json:"append"`
 		Store  latencies `json:"store_batch"`
 	}
+	type groupCommitResult struct {
+		Appenders        int       `json:"appenders"`
+		AppendsPer       int       `json:"appends_per_appender"`
+		Lone             latencies `json:"lone_append"`
+		ConcurrentSingle latencies `json:"concurrent_single_append"`
+		ConcurrentGroup  latencies `json:"concurrent_group_append"`
+		RecordsPerFsync  float64   `json:"records_per_fsync"`
+		SpeedupX         float64   `json:"speedup_x"`
+	}
 	report := struct {
-		Appends      int            `json:"appends"`
-		PayloadBytes int            `json:"payload_bytes"`
-		Batches      int            `json:"batches"`
-		Policies     []policyResult `json:"policies"`
+		Appends      int               `json:"appends"`
+		PayloadBytes int               `json:"payload_bytes"`
+		Batches      int               `json:"batches"`
+		Policies     []policyResult    `json:"policies"`
+		GroupCommit  groupCommitResult `json:"group_commit"`
 	}{Appends: appends, PayloadBytes: payloadBytes, Batches: batches}
 
-	summarize := func(lat []float64) latencies {
-		sort.Float64s(lat)
-		var total float64
-		for _, l := range lat {
-			total += l
-		}
-		return latencies{
-			Count:     len(lat),
-			P50us:     stats.PercentileSorted(lat, 50) * 1e6,
-			P99us:     stats.PercentileSorted(lat, 99) * 1e6,
-			MaxUs:     lat[len(lat)-1] * 1e6,
-			OpsPerSec: float64(len(lat)) / total,
-		}
-	}
+	summarize := summarizeLat
 
 	fmt.Fprintf(out, "\n== WAL fsync policies (%d raw appends of %dB, %d durable batches) ==\n\n",
 		appends, payloadBytes, batches)
@@ -146,6 +169,98 @@ func benchWAL(ctx context.Context, out io.Writer, seed uint64, jsonPath string) 
 	if err := tab.Render(out); err != nil {
 		return err
 	}
+
+	// Group commit under SyncAlways: a lone appender must keep
+	// single-append latency, and concurrent appenders must amortize
+	// fsyncs. Concurrent throughput is wall-clock based (per-op
+	// latencies overlap across appenders).
+	gc := &report.GroupCommit
+	gc.Appenders, gc.AppendsPer = gcAppenders, gcPerAppend
+
+	loneDir, err := os.MkdirTemp("", "sesbench-walgc-*")
+	if err != nil {
+		return err
+	}
+	l, err := wal.Open(loneDir, wal.Options{Sync: ses.SyncAlways, GroupCommit: wal.GroupCommit{Enabled: true}})
+	if err != nil {
+		return err
+	}
+	lat := make([]float64, 0, appends)
+	for i := 0; i < appends; i++ {
+		t0 := time.Now()
+		if err := l.Append(payload); err != nil {
+			return err
+		}
+		lat = append(lat, time.Since(t0).Seconds())
+	}
+	l.Close()
+	os.RemoveAll(loneDir)
+	gc.Lone = summarize(lat)
+
+	concurrent := func(enabled bool) (latencies, wal.Stats, error) {
+		dir, err := os.MkdirTemp("", "sesbench-walgcc-*")
+		if err != nil {
+			return latencies{}, wal.Stats{}, err
+		}
+		defer os.RemoveAll(dir)
+		l, err := wal.Open(dir, wal.Options{Sync: ses.SyncAlways, GroupCommit: wal.GroupCommit{Enabled: enabled}})
+		if err != nil {
+			return latencies{}, wal.Stats{}, err
+		}
+		defer l.Close()
+		perG := make([][]float64, gcAppenders)
+		errs := make([]error, gcAppenders)
+		var wg sync.WaitGroup
+		wall0 := time.Now()
+		for g := 0; g < gcAppenders; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < gcPerAppend; i++ {
+					t0 := time.Now()
+					if err := l.Append(payload); err != nil {
+						errs[g] = err
+						return
+					}
+					perG[g] = append(perG[g], time.Since(t0).Seconds())
+				}
+			}(g)
+		}
+		wg.Wait()
+		wall := time.Since(wall0).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return latencies{}, wal.Stats{}, err
+			}
+		}
+		var all []float64
+		for _, s := range perG {
+			all = append(all, s...)
+		}
+		res := summarize(all)
+		res.OpsPerSec = float64(len(all)) / wall
+		return res, l.Stats(), nil
+	}
+	var single, grouped latencies
+	var gcStats wal.Stats
+	if single, _, err = concurrent(false); err != nil {
+		return err
+	}
+	if grouped, gcStats, err = concurrent(true); err != nil {
+		return err
+	}
+	gc.ConcurrentSingle, gc.ConcurrentGroup = single, grouped
+	gc.RecordsPerFsync = gcStats.RecordsPerFsync()
+	if single.OpsPerSec > 0 {
+		gc.SpeedupX = grouped.OpsPerSec / single.OpsPerSec
+	}
+
+	fmt.Fprintf(out, "\n== group commit (sync=always, %d appenders × %d appends) ==\n\n", gcAppenders, gcPerAppend)
+	fmt.Fprintf(out, "  lone appender      p50 %8.1fµs  p99 %8.1fµs (single-append latency preserved)\n",
+		gc.Lone.P50us, gc.Lone.P99us)
+	fmt.Fprintf(out, "  concurrent single  %8.0f appends/s\n", single.OpsPerSec)
+	fmt.Fprintf(out, "  concurrent grouped %8.0f appends/s  (%.1f× , %.1f records/fsync)\n",
+		grouped.OpsPerSec, gc.SpeedupX, gc.RecordsPerFsync)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -25,7 +25,8 @@ func startServe(t *testing.T, st storeAPI, durable *ses.DurableStore) (url strin
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done = make(chan error, 1)
-	go func() { done <- serve(ctx, ln, st, durable, 2*time.Second) }()
+	pipe := ses.NewPipeline(st, ses.WithResolveWorkers(2))
+	go func() { done <- serve(ctx, ln, st, pipe, durable, 2*time.Second) }()
 	return "http://" + ln.Addr().String(), cancel, done
 }
 

@@ -7,9 +7,10 @@
 // Usage:
 //
 //	sesd [-addr :8080] [-workers W]
+//	     [-resolve-workers N] [-resolve-queue N]
 //	     [-data-dir DIR] [-sync always|interval|none]
 //	     [-sync-interval 50ms] [-checkpoint-every 1024]
-//	     [-drain 5s]
+//	     [-group-commit] [-drain 5s]
 //
 // With -data-dir the daemon serves a durable store: every
 // acknowledged create/delete/batch/resolve/restore is appended to a
@@ -19,7 +20,17 @@
 // drain in-flight requests (once -drain expires their contexts are
 // cancelled: those resolves abort without committing and the previous
 // schedules stay current), write a final checkpoint, exit 0. Inspect
-// the log offline with seswal.
+// the log offline with seswal. -group-commit batches concurrent
+// SyncAlways appenders into shared fsyncs (one fsync per commit-queue
+// batch instead of one per append).
+//
+// Resolve and batch requests run on a resolve pipeline: back-to-back
+// requests against the same session coalesce into one incremental
+// resolve, independent sessions resolve on -resolve-workers cores,
+// and past -resolve-queue pending requests the daemon sheds load with
+// 503 (admission control; queue depth is visible in /v1/metrics).
+// Requests carrying an explicit ?timeout bypass the pipeline so the
+// deadline can flow into their own anytime solve.
 //
 // API (all bodies JSON; see the README for a curl walkthrough):
 //
@@ -97,10 +108,13 @@ func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sesd", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "goroutines for initial scoring per resolve (0 = all cores)")
+	resolveWorkers := fs.Int("resolve-workers", 0, "sessions resolving concurrently on the pipeline (0 = all cores)")
+	resolveQueue := fs.Int("resolve-queue", 0, "pending pipeline requests before 503s (0 = 1024, <0 unbounded)")
 	dataDir := fs.String("data-dir", "", "write-ahead log directory; empty serves memory-only")
 	syncSpec := fs.String("sync", "always", "WAL sync policy: always, interval or none")
 	syncIvl := fs.Duration("sync-interval", 0, "flush period under -sync interval (0 = 50ms)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint a shard after N records (0 = 1024, <0 disables)")
+	groupCommit := fs.Bool("group-commit", false, "amortize SyncAlways fsyncs across concurrent appenders")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
 	fs.Parse(args)
 
@@ -116,12 +130,14 @@ func run(ctx context.Context, args []string) error {
 			ses.WithSyncPolicy(pol),
 			ses.WithSyncInterval(*syncIvl),
 			ses.WithCheckpointEvery(*ckptEvery),
+			ses.WithGroupCommit(ses.GroupCommit{Enabled: *groupCommit}),
 			ses.WithWorkers(*workers),
 		)
 		if err != nil {
 			return err
 		}
-		log.Printf("sesd: recovered %d sessions from %s (sync=%s)", d.Len(), *dataDir, pol)
+		log.Printf("sesd: recovered %d sessions from %s (sync=%s group-commit=%v)",
+			d.Len(), *dataDir, pol, *groupCommit)
 		durable, st = d, d
 	} else {
 		// Catch a silently-ignored durability flag: an operator who
@@ -130,7 +146,7 @@ func run(ctx context.Context, args []string) error {
 		var stray []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "sync", "sync-interval", "checkpoint-every":
+			case "sync", "sync-interval", "checkpoint-every", "group-commit":
 				stray = append(stray, "-"+f.Name)
 			}
 		})
@@ -140,15 +156,20 @@ func run(ctx context.Context, args []string) error {
 		st = ses.NewStore(ses.WithWorkers(*workers))
 	}
 
+	pipe := ses.NewPipeline(st,
+		ses.WithResolveWorkers(*resolveWorkers),
+		ses.WithResolveQueue(*resolveQueue))
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		pipe.Close()
 		if durable != nil {
 			durable.Close()
 		}
 		return err
 	}
 	log.Printf("sesd: listening on %s", ln.Addr())
-	return serve(ctx, ln, st, durable, *drain)
+	return serve(ctx, ln, st, pipe, durable, *drain)
 }
 
 // serve runs the HTTP front until ctx is cancelled, then shuts down
@@ -159,8 +180,11 @@ func run(ctx context.Context, args []string) error {
 // committing (cancellation, unlike a deadline, never commits a
 // best-so-far) — the previous schedules stay current and batch
 // mutations stay staged for the next resolve.
-func serve(ctx context.Context, ln net.Listener, st storeAPI, durable *ses.DurableStore, drain time.Duration) error {
-	srv := newServer(st)
+func serve(ctx context.Context, ln net.Listener, st storeAPI, pipe *ses.Pipeline, durable *ses.DurableStore, drain time.Duration) error {
+	srv := newServer(st, pipe)
+	if durable != nil {
+		srv.walStats = durable.WALStats
+	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
 	httpSrv := &http.Server{
@@ -172,6 +196,7 @@ func serve(ctx context.Context, ln net.Listener, st storeAPI, durable *ses.Durab
 
 	select {
 	case err := <-errCh:
+		pipe.Close()
 		if durable != nil {
 			durable.Close()
 		}
@@ -192,6 +217,7 @@ func serve(ctx context.Context, ln net.Listener, st storeAPI, durable *ses.Durab
 		baseCancel()
 		httpSrv.Close()
 	}
+	pipe.Close()
 	if durable != nil {
 		log.Printf("sesd: writing final checkpoint")
 		if err := durable.Close(); err != nil {
@@ -206,7 +232,14 @@ func serve(ctx context.Context, ln net.Listener, st storeAPI, durable *ses.Durab
 // metrics.
 type server struct {
 	store storeAPI
-	start time.Time
+	// pipeline coalesces and parallelizes resolve/batch traffic;
+	// requests with an explicit deadline go straight to the store so
+	// the deadline reaches their own anytime solve.
+	pipeline *ses.Pipeline
+	// walStats reports the durable store's cumulative WAL counters
+	// (nil on a memory-only daemon).
+	walStats func() ses.WALStats
+	start    time.Time
 
 	requests atomic.Uint64
 	resolves atomic.Uint64
@@ -222,8 +255,8 @@ type server struct {
 
 const latRing = 4096
 
-func newServer(st storeAPI) *server {
-	return &server{store: st, start: time.Now()}
+func newServer(st storeAPI, pipe *ses.Pipeline) *server {
+	return &server{store: st, pipeline: pipe, start: time.Now()}
 }
 
 // routes builds the method+pattern mux.
@@ -273,6 +306,10 @@ func statusOf(err error) int {
 		// no feasible best-so-far exists to commit; mid-selection the
 		// resolve would instead have committed with Stopped set.
 		return http.StatusGatewayTimeout
+	case errors.Is(err, ses.ErrPipelineSaturated):
+		// Admission control: the pipeline queue is full and the request
+		// was never executed; the client may retry.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request
 	default:
@@ -281,18 +318,38 @@ func statusOf(err error) int {
 }
 
 // reqContext applies the optional ?timeout=DURATION to the request
-// context; the deadline flows into the anytime resolve.
-func reqContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+// context; the deadline flows into the anytime resolve. deadline
+// reports whether the client asked for one — such requests bypass the
+// pipeline so the deadline governs their own solve rather than a
+// merged commit.
+func reqContext(r *http.Request) (ctx context.Context, cancel context.CancelFunc, deadline bool, err error) {
 	q := r.URL.Query().Get("timeout")
 	if q == "" {
-		return r.Context(), func() {}, nil
+		return r.Context(), func() {}, false, nil
 	}
 	d, err := time.ParseDuration(q)
 	if err != nil || d <= 0 {
-		return nil, nil, fmt.Errorf("bad timeout %q", q)
+		return nil, nil, false, fmt.Errorf("bad timeout %q", q)
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), d)
-	return ctx, cancel, nil
+	ctx, cancel = context.WithTimeout(r.Context(), d)
+	return ctx, cancel, true, nil
+}
+
+// doResolve routes a resolve through the pipeline unless the request
+// carries its own deadline (or the daemon runs without a pipeline).
+func (s *server) doResolve(ctx context.Context, name string, deadline bool) (*ses.Delta, error) {
+	if s.pipeline == nil || deadline {
+		return s.store.Resolve(ctx, name)
+	}
+	return s.pipeline.Resolve(ctx, name)
+}
+
+// doBatch is doResolve's ApplyBatch counterpart.
+func (s *server) doBatch(ctx context.Context, name string, muts []ses.Mutation, deadline bool) (*ses.BatchResult, error) {
+	if s.pipeline == nil || deadline {
+		return s.store.ApplyBatch(ctx, name, muts)
+	}
+	return s.pipeline.ApplyBatch(ctx, name, muts)
 }
 
 // createReq is the body of POST /v1/sessions.
@@ -373,14 +430,14 @@ func (s *server) observeResolve(d time.Duration) {
 }
 
 func (s *server) resolveSession(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel, err := reqContext(r)
+	ctx, cancel, deadline, err := reqContext(r)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	defer cancel()
 	start := time.Now()
-	delta, err := s.store.Resolve(ctx, r.PathValue("name"))
+	delta, err := s.doResolve(ctx, r.PathValue("name"), deadline)
 	if err != nil {
 		s.writeErr(w, statusOf(err), err)
 		return
@@ -395,7 +452,7 @@ type batchReq struct {
 }
 
 func (s *server) batchSession(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel, err := reqContext(r)
+	ctx, cancel, deadline, err := reqContext(r)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
@@ -407,7 +464,7 @@ func (s *server) batchSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	res, err := s.store.ApplyBatch(ctx, r.PathValue("name"), req.Mutations)
+	res, err := s.doBatch(ctx, r.PathValue("name"), req.Mutations, deadline)
 	if err != nil {
 		s.writeErr(w, statusOf(err), err)
 		return
@@ -489,16 +546,25 @@ func (s *server) restoreSession(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, meta)
 }
 
+// walMetrics is the WAL section of /v1/metrics: the cumulative
+// counters plus the realized fsync amortization.
+type walMetrics struct {
+	ses.WALStats
+	RecordsPerFsync float64 `json:"records_per_fsync"`
+}
+
 // metricsResp is the body of GET /v1/metrics.
 type metricsResp struct {
-	UptimeSec float64            `json:"uptime_sec"`
-	Sessions  int                `json:"sessions"`
-	Requests  uint64             `json:"requests"`
-	Resolves  uint64             `json:"resolves"`
-	Batches   uint64             `json:"batches"`
-	Errors    uint64             `json:"errors"`
-	ResolveMs map[string]float64 `json:"resolve_latency_ms"`
-	Metas     []ses.SessionMeta  `json:"session_metas"`
+	UptimeSec float64              `json:"uptime_sec"`
+	Sessions  int                  `json:"sessions"`
+	Requests  uint64               `json:"requests"`
+	Resolves  uint64               `json:"resolves"`
+	Batches   uint64               `json:"batches"`
+	Errors    uint64               `json:"errors"`
+	ResolveMs map[string]float64   `json:"resolve_latency_ms"`
+	Pipeline  *ses.PipelineMetrics `json:"pipeline,omitempty"`
+	WAL       *walMetrics          `json:"wal,omitempty"`
+	Metas     []ses.SessionMeta    `json:"session_metas"`
 }
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -513,7 +579,7 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		}
 		resolveMs["max"] = lat[len(lat)-1] * 1000
 	}
-	s.writeJSON(w, http.StatusOK, metricsResp{
+	resp := metricsResp{
 		UptimeSec: time.Since(s.start).Seconds(),
 		Sessions:  s.store.Len(),
 		Requests:  s.requests.Load(),
@@ -522,5 +588,14 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		Errors:    s.errors.Load(),
 		ResolveMs: resolveMs,
 		Metas:     s.store.Metas(),
-	})
+	}
+	if s.pipeline != nil {
+		pm := s.pipeline.Metrics()
+		resp.Pipeline = &pm
+	}
+	if s.walStats != nil {
+		ws := s.walStats()
+		resp.WAL = &walMetrics{WALStats: ws, RecordsPerFsync: ws.RecordsPerFsync()}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -15,11 +15,17 @@ import (
 	"ses/internal/sestest"
 )
 
-// testServer spins up the daemon handler over a fresh store.
+// testServer spins up the daemon handler over a fresh store with the
+// same resolve pipeline the daemon runs in production.
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newServer(ses.NewStore(ses.WithWorkers(1))).routes())
-	t.Cleanup(srv.Close)
+	st := ses.NewStore(ses.WithWorkers(1))
+	pipe := ses.NewPipeline(st, ses.WithResolveWorkers(2))
+	srv := httptest.NewServer(newServer(st, pipe).routes())
+	t.Cleanup(func() {
+		srv.Close()
+		pipe.Close()
+	})
 	return srv
 }
 

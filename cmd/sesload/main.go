@@ -8,22 +8,42 @@
 //
 //	sesload [-sessions 128] [-duration 3s] [-users 60] [-events 16]
 //	        [-intervals 5] [-competing 3] [-k 6] [-seed 1]
-//	        [-workers 1] [-json BENCH_store.json]
-//	        [-durable DIR] [-sync always|interval|none]
+//	        [-workers 1] [-resolve-workers 0] [-json BENCH_store.json]
+//	        [-durable DIR] [-sync always|interval|none] [-group-commit]
 //
-// The workload mix per iteration: ~55% single mutations, ~20%
-// resolves, ~15% batches (two mutations + the batch's one resolve),
-// ~10% snapshot exports. Pins are drawn from the session's committed
-// schedule so the pin set always stays feasible. All instance
-// generation is seed-deterministic; timings obviously are not.
+// The run has two phases. Warm-up: every session performs its first
+// full resolve (the expensive from-scratch solve that builds the
+// initial schedule) and all drivers rendezvous at a barrier; these
+// resolves are reported separately under "warmup" and never pollute
+// the steady-state latency classes. Measurement: the clock starts
+// after the barrier and each driver runs the mixed workload until the
+// deadline — ~55% single mutations, ~20% resolves, ~15% batches (two
+// mutations + the batch's one resolve), ~10% snapshot exports. Pins
+// are drawn from the session's committed schedule so the pin set
+// always stays feasible. All instance generation is
+// seed-deterministic; timings obviously are not.
+//
+// Latencies are response times as a driver sees them: when sessions
+// far outnumber cores (the default: 128 drivers, often 1 CI core),
+// the tail of every class includes scheduler run-queue wait — a
+// driver can sit preempted for (drivers × timeslice) while the other
+// drivers take their turns, so max_us grows linearly with the
+// oversubscription factor. The report records drivers_per_core so the
+// tail can be read accordingly; p50/p90/p99 are unaffected at the
+// default mix because an op rarely spans a preemption.
 //
 // With -durable the store is opened with a write-ahead log under DIR
 // (-sync picks the fsync policy) and every mutation is routed through
 // ApplyBatch so it is logged — single mutations then carry a resolve,
 // which is the price of the durability contract and shows up in the
-// "mutate" latency class. Kill the process mid-run (the CI smoke does
-// kill -9) and a sesd -data-dir DIR boot recovers every acknowledged
-// session.
+// "mutate" latency class. -group-commit turns on WAL group commit so
+// concurrent drivers share fsyncs under -sync always. Kill the
+// process mid-run (the CI smoke does kill -9) and a sesd -data-dir
+// DIR boot recovers every acknowledged session.
+//
+// With -resolve-workers N > 0, resolves and batches are routed
+// through a ses.Pipeline over the store instead of calling it
+// directly, exercising the coalescing worker pool under load.
 package main
 
 import (
@@ -82,21 +102,48 @@ type loadStore interface {
 	ApplyBatch(ctx context.Context, name string, muts []ses.Mutation) (*ses.BatchResult, error)
 }
 
+// resolver is the mutate/resolve surface a driver commits through —
+// the store itself, or a ses.Pipeline over it with -resolve-workers.
+type resolver interface {
+	Resolve(ctx context.Context, name string) (*ses.Delta, error)
+	ApplyBatch(ctx context.Context, name string, muts []ses.Mutation) (*ses.BatchResult, error)
+}
+
 // report is the BENCH_store.json document.
 type report struct {
-	Sessions     int                       `json:"sessions"`
-	Durable      bool                      `json:"durable,omitempty"`
-	Sync         string                    `json:"sync,omitempty"`
-	DurationSec  float64                   `json:"duration_sec"`
-	TotalOps     int                       `json:"total_ops"`
-	OpsPerSec    float64                   `json:"throughput_ops_per_sec"`
-	ResolvedUtil float64                   `json:"mean_final_utility"`
-	Ops          map[string]latencySummary `json:"ops"`
-	GoMaxProcs   int                       `json:"gomaxprocs"`
-	Users        int                       `json:"users"`
-	Events       int                       `json:"events"`
-	Intervals    int                       `json:"intervals"`
-	K            int                       `json:"k"`
+	Sessions       int                       `json:"sessions"`
+	Durable        bool                      `json:"durable,omitempty"`
+	Sync           string                    `json:"sync,omitempty"`
+	GroupCommit    bool                      `json:"group_commit,omitempty"`
+	ResolveWorkers int                       `json:"resolve_workers,omitempty"`
+	WarmupSec      float64                   `json:"warmup_sec"`
+	Warmup         latencySummary            `json:"warmup"`
+	DriversPerCore float64                   `json:"drivers_per_core"`
+	DurationSec    float64                   `json:"duration_sec"`
+	TotalOps       int                       `json:"total_ops"`
+	OpsPerSec      float64                   `json:"throughput_ops_per_sec"`
+	ResolvedUtil   float64                   `json:"mean_final_utility"`
+	Ops            map[string]latencySummary `json:"ops"`
+	GoMaxProcs     int                       `json:"gomaxprocs"`
+	Users          int                       `json:"users"`
+	Events         int                       `json:"events"`
+	Intervals      int                       `json:"intervals"`
+	K              int                       `json:"k"`
+}
+
+// summarize folds a sorted latency sample (seconds) into the reported
+// percentile shape.
+func summarize(sorted []float64) latencySummary {
+	if len(sorted) == 0 {
+		return latencySummary{}
+	}
+	return latencySummary{
+		Count: len(sorted),
+		P50us: stats.PercentileSorted(sorted, 50) * 1e6,
+		P90us: stats.PercentileSorted(sorted, 90) * 1e6,
+		P99us: stats.PercentileSorted(sorted, 99) * 1e6,
+		MaxUs: sorted[len(sorted)-1] * 1e6,
+	}
 }
 
 func run(args []string, out io.Writer) error {
@@ -110,9 +157,11 @@ func run(args []string, out io.Writer) error {
 	k := fs.Int("k", 6, "schedule-size target")
 	seed := fs.Uint64("seed", 1, "instance-generation seed")
 	workers := fs.Int("workers", 1, "scoring goroutines per resolve (keep 1 when sessions >> cores)")
+	resolveWorkers := fs.Int("resolve-workers", 0, "route resolves/batches through a pipeline with this many workers (0 = direct store calls)")
 	jsonPath := fs.String("json", "", "write the report as JSON to this file")
 	durableDir := fs.String("durable", "", "open a durable store with its write-ahead log under this directory")
 	syncSpec := fs.String("sync", "always", "WAL sync policy with -durable: always, interval or none")
+	groupCommit := fs.Bool("group-commit", false, "enable WAL group commit with -durable -sync always")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,14 +170,18 @@ func run(args []string, out io.Writer) error {
 	}
 
 	var st loadStore
+	var backend ses.PipelineBackend
 	durable := *durableDir != ""
 	if !durable {
 		// Same foot-gun guard as sesd: a tuned -sync without -durable
 		// would silently benchmark the memory-only store.
 		strayErr := error(nil)
 		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "sync" {
+			switch f.Name {
+			case "sync":
 				strayErr = fmt.Errorf("-sync only applies with -durable")
+			case "group-commit":
+				strayErr = fmt.Errorf("-group-commit only applies with -durable")
 			}
 		})
 		if strayErr != nil {
@@ -140,16 +193,24 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		d, err := ses.OpenStore(ses.WithDurability(*durableDir), ses.WithSyncPolicy(pol), ses.WithWorkers(*workers))
+		d, err := ses.OpenStore(ses.WithDurability(*durableDir), ses.WithSyncPolicy(pol), ses.WithWorkers(*workers),
+			ses.WithGroupCommit(ses.GroupCommit{Enabled: *groupCommit}))
 		if err != nil {
 			return err
 		}
 		// A clean run closes with a final checkpoint; a kill -9 leaves
 		// the log for the next boot to recover, which is the point.
 		defer d.Close()
-		st = d
+		st, backend = d, d
 	} else {
-		st = ses.NewStore(ses.WithWorkers(*workers))
+		s := ses.NewStore(ses.WithWorkers(*workers))
+		st, backend = s, s
+	}
+	var rs resolver = st
+	if *resolveWorkers > 0 {
+		pipe := ses.NewPipeline(backend, ses.WithResolveWorkers(*resolveWorkers))
+		defer pipe.Close()
+		rs = pipe
 	}
 	for i := 0; i < *sessions; i++ {
 		inst := sestest.Random(sestest.Config{
@@ -161,39 +222,46 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	type result struct {
-		lat  [numOps][]float64 // seconds
-		util float64
-		err  error
-	}
-	results := make([]result, *sessions)
-	deadline := time.Now().Add(*duration)
-	var wg sync.WaitGroup
+	results := make([]driveResult, *sessions)
+	// Warm-up barrier: every driver finishes its first full resolve
+	// (and checks in on warmed) before the measurement clock starts,
+	// so the from-scratch solve cost never lands in a steady-state
+	// latency class.
+	var warmed, wg sync.WaitGroup
+	start := make(chan struct{})
+	warmStart := time.Now()
 	for i := 0; i < *sessions; i++ {
+		warmed.Add(1)
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = driveSession(st, fmt.Sprintf("load-%d", i), i, *seed, *users, *intervals, deadline, durable)
+			results[i] = driveSession(st, rs, fmt.Sprintf("load-%d", i), i, *seed, *users, *intervals, &warmed, start, *duration, durable)
 		}(i)
 	}
-	start := time.Now()
+	warmed.Wait()
+	warmupElapsed := time.Since(warmStart)
+	close(start) // release all drivers into the timed loop
+	measureStart := time.Now()
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(measureStart)
 
 	rep := report{
-		Sessions:   *sessions,
-		Durable:    durable,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Users:      *users,
-		Events:     *events,
-		Intervals:  *intervals,
-		K:          *k,
-		Ops:        map[string]latencySummary{},
+		Sessions:       *sessions,
+		Durable:        durable,
+		ResolveWorkers: *resolveWorkers,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Users:          *users,
+		Events:         *events,
+		Intervals:      *intervals,
+		K:              *k,
+		Ops:            map[string]latencySummary{},
 	}
 	if durable {
 		rep.Sync = *syncSpec
+		rep.GroupCommit = *groupCommit
 	}
 	var merged [numOps][]float64
+	var warm []float64
 	for i := range results {
 		if results[i].err != nil {
 			return fmt.Errorf("session load-%d: %w", i, results[i].err)
@@ -201,10 +269,15 @@ func run(args []string, out io.Writer) error {
 		for c := 0; c < numOps; c++ {
 			merged[c] = append(merged[c], results[i].lat[c]...)
 		}
+		warm = append(warm, results[i].warm)
 		rep.ResolvedUtil += results[i].util
 	}
 	rep.ResolvedUtil /= float64(*sessions)
 	rep.DurationSec = elapsed.Seconds()
+	rep.WarmupSec = warmupElapsed.Seconds()
+	rep.DriversPerCore = float64(*sessions) / float64(runtime.GOMAXPROCS(0))
+	sort.Float64s(warm)
+	rep.Warmup = summarize(warm)
 	for c := 0; c < numOps; c++ {
 		lat := merged[c]
 		sort.Float64s(lat)
@@ -212,18 +285,14 @@ func run(args []string, out io.Writer) error {
 		if len(lat) == 0 {
 			continue
 		}
-		rep.Ops[opNames[c]] = latencySummary{
-			Count: len(lat),
-			P50us: stats.PercentileSorted(lat, 50) * 1e6,
-			P90us: stats.PercentileSorted(lat, 90) * 1e6,
-			P99us: stats.PercentileSorted(lat, 99) * 1e6,
-			MaxUs: lat[len(lat)-1] * 1e6,
-		}
+		rep.Ops[opNames[c]] = summarize(lat)
 	}
 	rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
 
 	fmt.Fprintf(out, "sesload: %d sessions, %.2fs, %d ops (%.0f ops/sec), mean final Ω = %.2f\n",
 		rep.Sessions, rep.DurationSec, rep.TotalOps, rep.OpsPerSec, rep.ResolvedUtil)
+	fmt.Fprintf(out, "  warm-up  %7d ops  %.2fs wall  p50 %8.1fµs  max %8.1fµs (excluded from classes below)\n",
+		rep.Warmup.Count, rep.WarmupSec, rep.Warmup.P50us, rep.Warmup.MaxUs)
 	for c := 0; c < numOps; c++ {
 		if s, ok := rep.Ops[opNames[c]]; ok {
 			fmt.Fprintf(out, "  %-8s %7d ops  p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  max %8.1fµs\n",
@@ -249,22 +318,31 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
-// driveSession runs the mixed workload against one session until the
-// deadline. It is the session's only driver, so pins drawn from the
-// committed schedule stay feasible and cancellations can avoid pinned
-// events without races. With durable set, every mutation goes through
-// ApplyBatch so the write-ahead log sees it; otherwise mutations are
-// applied directly to the scheduler.
-func driveSession(st loadStore, name string, idx int, seed uint64, users, intervals int, deadline time.Time, durable bool) (res struct {
-	lat  [numOps][]float64
+// driveResult is one driver's contribution to the report: per-class
+// steady-state latencies, the warm-up resolve's latency (reported
+// separately), and the session's final utility.
+type driveResult struct {
+	lat  [numOps][]float64 // seconds
+	warm float64           // warm-up resolve, seconds
 	util float64
 	err  error
-}) {
+}
+
+// driveSession warms one session up (first full resolve, timed into
+// warm), checks in on warmed, waits for the start barrier, then runs
+// the mixed workload for dur. It is the session's only driver, so
+// pins drawn from the committed schedule stay feasible and
+// cancellations can avoid pinned events without races. With durable
+// set, every mutation goes through ApplyBatch so the write-ahead log
+// sees it; otherwise mutations are applied directly to the scheduler.
+func driveSession(st loadStore, rs resolver, name string, idx int, seed uint64, users, intervals int,
+	warmed *sync.WaitGroup, start <-chan struct{}, dur time.Duration, durable bool) (res driveResult) {
 	ctx := context.Background()
 	src := randx.Derive(seed+uint64(idx), "sesload")
 	sched, err := st.Get(name)
 	if err != nil {
 		res.err = err
+		warmed.Done()
 		return
 	}
 	_, _, events := sched.Dims()
@@ -291,7 +369,7 @@ func driveSession(st loadStore, name string, idx int, seed uint64, users, interv
 		if !durable {
 			return m.ApplyTo(sched)
 		}
-		r, err := st.ApplyBatch(ctx, name, []ses.Mutation{m})
+		r, err := rs.ApplyBatch(ctx, name, []ses.Mutation{m})
 		if err != nil {
 			return -1, err
 		}
@@ -304,13 +382,19 @@ func driveSession(st loadStore, name string, idx int, seed uint64, users, interv
 		return -1, nil
 	}
 
-	// Prime: one full resolve so schedules exist for pin sampling.
-	if !observe(opResolve, func() error {
-		_, err := st.Resolve(ctx, name)
-		return err
-	}) {
+	// Warm-up: one full resolve so schedules exist for pin sampling.
+	// This is the expensive from-scratch solve — timed into the warm
+	// slot, never into the steady-state resolve class.
+	t0 := time.Now()
+	_, err = rs.Resolve(ctx, name)
+	res.warm = time.Since(t0).Seconds()
+	warmed.Done()
+	if err != nil {
+		res.err = err
 		return
 	}
+	<-start
+	deadline := time.Now().Add(dur)
 
 	for time.Now().Before(deadline) {
 		switch r := src.IntN(20); {
@@ -388,14 +472,14 @@ func driveSession(st loadStore, name string, idx int, seed uint64, users, interv
 			}
 		case r < 15: // incremental resolve
 			if !observe(opResolve, func() error {
-				_, err := st.Resolve(ctx, name)
+				_, err := rs.Resolve(ctx, name)
 				return err
 			}) {
 				return
 			}
 		case r < 18: // batch: two mutations + one resolve
 			if !observe(opBatch, func() error {
-				_, err := st.ApplyBatch(ctx, name, []ses.Mutation{
+				_, err := rs.ApplyBatch(ctx, name, []ses.Mutation{
 					ses.UpdateInterestOp(src.IntN(users), src.IntN(events), src.Range(0, 1)),
 					ses.AddCompetingOp(core.CompetingEvent{Interval: src.IntN(intervals)},
 						map[int]float64{src.IntN(users): src.Range(0.1, 1)}),
@@ -416,7 +500,7 @@ func driveSession(st loadStore, name string, idx int, seed uint64, users, interv
 
 	// Final commit so the reported utility reflects all mutations.
 	if !observe(opResolve, func() error {
-		d, err := st.Resolve(ctx, name)
+		d, err := rs.Resolve(ctx, name)
 		if err == nil {
 			res.util = d.Utility
 		}

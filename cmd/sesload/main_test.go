@@ -48,6 +48,62 @@ func TestRunWritesReport(t *testing.T) {
 	if rep.ResolvedUtil <= 0 {
 		t.Errorf("mean final utility %v, want > 0", rep.ResolvedUtil)
 	}
+	// Warm-up is reported separately and must never pollute the
+	// steady-state classes: every driver contributes exactly one
+	// warm-up resolve.
+	if rep.Warmup.Count != 6 {
+		t.Errorf("warmup count %d, want 6", rep.Warmup.Count)
+	}
+	if rep.WarmupSec <= 0 {
+		t.Errorf("warmup_sec %v, want > 0", rep.WarmupSec)
+	}
+	if rep.Warmup.MaxUs <= 0 || rep.Warmup.MaxUs < rep.Warmup.P50us {
+		t.Errorf("warmup summary inconsistent: %+v", rep.Warmup)
+	}
+}
+
+// TestRunThroughPipeline drives the same workload with resolves and
+// batches routed through a ses.Pipeline worker pool.
+func TestRunThroughPipeline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-sessions", "4", "-duration", "150ms", "-resolve-workers", "2",
+		"-users", "15", "-events", "6", "-intervals", "3", "-json", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ResolveWorkers != 2 || rep.TotalOps == 0 || rep.ResolvedUtil <= 0 {
+		t.Fatalf("pipeline report implausible: %+v", rep)
+	}
+}
+
+// TestRunDurableGroupCommit exercises the durable path with WAL group
+// commit on: concurrent drivers share fsyncs and the run must still
+// close cleanly with a final checkpoint.
+func TestRunDurableGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-sessions", "4", "-duration", "150ms",
+		"-users", "15", "-events", "6", "-intervals", "3",
+		"-durable", dir, "-sync", "always", "-group-commit",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "warm-up") {
+		t.Errorf("output missing warm-up line:\n%s", out.String())
+	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -64,5 +120,9 @@ func TestRunRejectsSyncWithoutDurable(t *testing.T) {
 	if err := run([]string{"-sessions", "1", "-duration", "10ms", "-sync", "none"}, &out); err == nil ||
 		!strings.Contains(err.Error(), "-durable") {
 		t.Errorf("stray -sync: %v", err)
+	}
+	if err := run([]string{"-sessions", "1", "-duration", "10ms", "-group-commit"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "-durable") {
+		t.Errorf("stray -group-commit: %v", err)
 	}
 }

@@ -7,12 +7,23 @@
 //	seswal ls     DIR            list shards: checkpoint, segments, record counts
 //	seswal verify DIR            parse everything; report torn tails and corruption
 //	seswal dump   [-full] DIR    print records as JSON lines (-full embeds snapshots)
+//	seswal stats  [-metrics URL] DIR
+//	                             aggregate record/segment/byte accounting; with
+//	                             -metrics, the live daemon's append/fsync counters
+//	                             (records per fsync — group-commit amortization)
 //
 // DIR is the store's data directory (the one holding shard-NN
 // subdirectories). Exit status: 0 when every record parses (torn
 // tails at segment ends are reported but are legitimate crash
 // artifacts, not corruption), 1 when a record or checkpoint fails to
 // decode.
+//
+// Fsync counts are process-lifetime counters, not on-disk state (a
+// group-committed log is frame-for-frame identical to a
+// single-append one — that is the durability contract), so seswal
+// stats reports the on-disk shape offline and fetches the live
+// amortization from a running sesd's /v1/metrics when -metrics is
+// given.
 package main
 
 import (
@@ -20,11 +31,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"ses/internal/store"
 	"ses/internal/wal"
@@ -72,6 +85,7 @@ func run(args []string, out io.Writer) error {
 	verb, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("seswal "+verb, flag.ContinueOnError)
 	full := fs.Bool("full", false, "dump: embed full session snapshots instead of summaries")
+	metricsURL := fs.String("metrics", "", "stats: fetch live append/fsync counters from this sesd base URL or /v1/metrics endpoint")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -86,8 +100,10 @@ func run(args []string, out io.Writer) error {
 		return runVerify(dir, out)
 	case "dump":
 		return runDump(dir, *full, out)
+	case "stats":
+		return runStats(dir, *metricsURL, out)
 	default:
-		return fmt.Errorf("unknown command %q (want ls, verify or dump)", verb)
+		return fmt.Errorf("unknown command %q (want ls, verify, dump or stats)", verb)
 	}
 }
 
@@ -197,6 +213,132 @@ func runVerify(dir string, out io.Writer) error {
 		return fmt.Errorf("%d corrupt record(s)/checkpoint(s)", bad)
 	}
 	return nil
+}
+
+// runStats aggregates the on-disk shape of the log (records by kind,
+// segments, bytes, checkpoint weight) and, when metricsURL names a
+// running sesd, the live append/fsync counters that show the
+// group-commit amortization.
+func runStats(dir, metricsURL string, out io.Writer) error {
+	shards, err := shardLogs(dir)
+	if err != nil {
+		return err
+	}
+	var (
+		totSegs, totRecords, activeShards, ckptSessions int
+		totBytes, ckptBytes                             int64
+		kinds                                           = map[string]int{}
+	)
+	for _, s := range shards {
+		l, err := openShard(dir, s)
+		if err != nil {
+			return err
+		}
+		segs := l.Segments()
+		for _, sg := range segs {
+			totBytes += sg.Bytes
+		}
+		totSegs += len(segs)
+		if data := l.Checkpoint(); data != nil {
+			ckptBytes += int64(len(data))
+			if entries, err := store.DecodeWALCheckpoint(data); err == nil {
+				ckptSessions += len(entries)
+			}
+		}
+		records := 0
+		_, rerr := l.Replay(func(r wal.Record) error {
+			records++
+			if rec, err := store.DecodeWALRecord(r.Payload); err == nil {
+				kinds[rec.Kind]++
+			}
+			return nil
+		})
+		l.Close()
+		if rerr != nil {
+			return fmt.Errorf("shard %02d: %w", s, rerr)
+		}
+		totRecords += records
+		if records > 0 {
+			activeShards++
+		}
+	}
+	fmt.Fprintf(out, "shards:       %d (%d with records to replay)\n", len(shards), activeShards)
+	fmt.Fprintf(out, "segments:     %d, %d bytes\n", totSegs, totBytes)
+	fmt.Fprintf(out, "checkpoints:  %d sessions, %d bytes\n", ckptSessions, ckptBytes)
+	fmt.Fprintf(out, "records:      %d", totRecords)
+	if totRecords > 0 {
+		fmt.Fprintf(out, " (%.0f bytes/record)", float64(totBytes)/float64(totRecords))
+	}
+	fmt.Fprintln(out)
+	for _, kind := range sortedKeys(kinds) {
+		fmt.Fprintf(out, "  %-11s %d\n", kind, kinds[kind])
+	}
+
+	if metricsURL == "" {
+		fmt.Fprintln(out, "fsyncs:       process-lifetime counters, not on-disk state; point -metrics at a running sesd for records-per-fsync")
+		return nil
+	}
+	ws, err := fetchWALMetrics(metricsURL)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "live appends: %d over %d fsyncs (%.1f records/fsync)\n",
+		ws.Appends, ws.Fsyncs, ws.RecordsPerFsync)
+	if ws.Batches > 0 {
+		fmt.Fprintf(out, "group commit: %d batches covering %d records (%.1f records/batch)\n",
+			ws.Batches, ws.BatchedRecords, float64(ws.BatchedRecords)/float64(ws.Batches))
+	} else {
+		fmt.Fprintln(out, "group commit: no batches committed (disabled, or no concurrent appenders yet)")
+	}
+	return nil
+}
+
+// liveWALMetrics is the wal section of sesd's /v1/metrics.
+type liveWALMetrics struct {
+	Appends         uint64  `json:"appends"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	Batches         uint64  `json:"batches"`
+	BatchedRecords  uint64  `json:"batched_records"`
+	RecordsPerFsync float64 `json:"records_per_fsync"`
+}
+
+// fetchWALMetrics pulls the wal counters from a sesd metrics endpoint;
+// url may be the daemon base URL or the full /v1/metrics path.
+func fetchWALMetrics(url string) (*liveWALMetrics, error) {
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.HasSuffix(url, "/v1/metrics") {
+		url = strings.TrimSuffix(url, "/") + "/v1/metrics"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var doc struct {
+		WAL *liveWALMetrics `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	if doc.WAL == nil {
+		return nil, fmt.Errorf("GET %s: no wal section (daemon running without -data-dir?)", url)
+	}
+	return doc.WAL, nil
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // dumpLine is one JSON line of seswal dump.

@@ -4,6 +4,9 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -183,6 +186,86 @@ func TestSeswalDumpRecordsAndTornTail(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "\"record\"") || !strings.Contains(out.String(), "\"instance\"") {
 		t.Errorf("full dump missing embedded snapshot:\n%s", out.String())
+	}
+}
+
+// TestSeswalStats covers the stats verb: offline record/segment/byte
+// accounting on a frozen data dir, and the live amortization fetch
+// from a (mock) sesd /v1/metrics endpoint.
+func TestSeswalStats(t *testing.T) {
+	dir := t.TempDir()
+	st, err := ses.OpenStore(ses.WithDurability(dir), ses.WithSyncPolicy(ses.SyncNone),
+		ses.WithCheckpointEvery(-1), ses.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := sestest.Random(sestest.Config{Users: 20, Events: 8, Intervals: 3, Competing: 2, Seed: 7})
+	if err := st.Create("stats", inst, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ApplyBatch(context.Background(), "stats", []ses.Mutation{
+		ses.UpdateInterestOp(1, 1, 0.4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Freeze the log before Close checkpoints the records away.
+	img := t.TempDir()
+	if err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		if info.IsDir() {
+			return os.MkdirAll(filepath.Join(img, rel), 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(img, rel), data, 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	var out strings.Builder
+	if err := run([]string{"stats", img}, &out); err != nil {
+		t.Fatalf("stats: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"records:      2", "create", "batch", "segments:", "checkpoints:", "point -metrics"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Live counters from a mock daemon.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		io.WriteString(w, `{"wal":{"appends":80,"fsyncs":10,"batches":10,"batched_records":80,"records_per_fsync":8}}`)
+	}))
+	defer srv.Close()
+	out.Reset()
+	if err := run([]string{"stats", "-metrics", srv.URL, img}, &out); err != nil {
+		t.Fatalf("stats -metrics: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"80 over 10 fsyncs", "8.0 records/fsync", "10 batches covering 80 records"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("stats -metrics output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A daemon serving no wal section (memory-only) is an error, not a
+	// silent zero report.
+	bare := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"sessions":1}`)
+	}))
+	defer bare.Close()
+	if err := run([]string{"stats", "-metrics", bare.URL, img}, &strings.Builder{}); err == nil ||
+		!strings.Contains(err.Error(), "no wal section") {
+		t.Errorf("stats against memory-only daemon: %v", err)
 	}
 }
 

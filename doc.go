@@ -149,12 +149,32 @@
 // configuration (engine, workers) deliberately stays outside the
 // snapshot and is re-supplied at restore.
 //
+// On real cores the store is driven through a resolve pipeline
+// (NewPipeline over a Store or DurableStore): requests enqueue on
+// per-session queues, back-to-back work on the same session coalesces
+// into ONE incremental resolve whose result every coalesced waiter
+// shares — with add-mutation ids split back per request — and
+// distinct dirty sessions are claimed by a bounded worker pool
+// (WithResolveWorkers, default all cores), so independent sessions
+// resolve concurrently while each session's operations stay strictly
+// serialized. The outcome is byte-identical to executing the
+// acknowledged operation order serially (equivalence-tested for both
+// Store and DurableStore). Admission control bounds the pending
+// request count (WithResolveQueue): past the bound, submits fail fast
+// with ErrPipelineSaturated instead of queueing without limit, and a
+// queued request whose context is cancelled withdraws cleanly.
+// Pipeline.Metrics exposes queue depth and the
+// submitted/executed/coalesced/rejected counters.
+//
 // The sesd command serves the store over HTTP JSON (create, mutate,
-// batch, resolve, snapshot, restore, metrics), flowing request
-// deadlines into the anytime resolves; sesload drives N concurrent
-// sessions against a Store with a mixed mutate/resolve/snapshot
-// workload and writes throughput/latency percentiles to
-// BENCH_store.json.
+// batch, resolve, snapshot, restore, metrics), routing resolves and
+// batches through such a pipeline (-resolve-workers, -resolve-queue;
+// saturation maps to 503, pipeline and WAL counters appear under
+// /v1/metrics) while requests carrying an explicit ?timeout= bypass
+// it so their deadline flows into their own anytime resolve; sesload
+// drives N concurrent sessions against a Store with a mixed
+// mutate/resolve/snapshot workload and writes throughput/latency
+// percentiles to BENCH_store.json.
 //
 // # Architecture: the durability layer
 //
@@ -167,7 +187,13 @@
 // same tagged-union wire form sesd's batch endpoint speaks) paired
 // with a physical commit stamp (schedule, utility, stop reason,
 // cumulative counters) — and fsyncs per the configured sync policy
-// (always / interval / none) before acknowledging. Recovery loads
+// (always / interval / none) before acknowledging. Under SyncAlways,
+// WithGroupCommit amortizes that fsync across concurrent appenders:
+// waiters enqueue on a per-shard commit queue and a leader writes the
+// whole batch under ONE fsync before acknowledging everyone, leaving
+// the on-disk format and the durability guarantee unchanged
+// frame-for-frame while multiplying concurrent append throughput
+// (BENCH_wal.json's group_commit section). Recovery loads
 // each shard's newest checkpoint (full binary snapshots via the snap
 // codec), re-applies the logged mutations and installs the stamped
 // outcomes verbatim, so every acknowledged session State returns

@@ -219,8 +219,12 @@ func enumerateCuts(t *testing.T, shardDir string) (segPath string, cuts []crashC
 // copy of the data directory truncated at that point and asserts the
 // recovered store equals exactly the acknowledged prefix.
 func runCrashMatrix(t *testing.T, seed uint64, checkpointAt int) {
+	runCrashMatrixOpts(t, seed, checkpointAt, DurableOptions{Sync: wal.SyncNone, CheckpointEvery: -1})
+}
+
+func runCrashMatrixOpts(t *testing.T, seed uint64, checkpointAt int, opts DurableOptions) {
 	dir := t.TempDir()
-	d := openDurable(t, dir, DurableOptions{Sync: wal.SyncNone, CheckpointEvery: -1})
+	d := openDurable(t, dir, opts)
 	j := driveCrashWorkload(t, d, seed, 200, checkpointAt)
 	// Freeze the crash image before Close writes its final checkpoint.
 	img := t.TempDir()
@@ -290,4 +294,19 @@ func TestCrashMatrix(t *testing.T) {
 // composes checkpoint state + log suffix.
 func TestCrashMatrixWithCheckpoint(t *testing.T) {
 	runCrashMatrix(t, 2, 40)
+}
+
+// TestCrashMatrixGroupCommit repeats the matrix with group commit
+// enabled under SyncAlways, so every record reaches the segment
+// through the commit-queue write path: acknowledged-prefix recovery
+// must hold frame-for-frame exactly as with single appends.
+func TestCrashMatrixGroupCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("SyncAlways matrix is fsync-bound")
+	}
+	runCrashMatrixOpts(t, 3, -1, DurableOptions{
+		Sync:            wal.SyncAlways,
+		CheckpointEvery: -1,
+		GroupCommit:     wal.GroupCommit{Enabled: true},
+	})
 }

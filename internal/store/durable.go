@@ -38,6 +38,9 @@ type DurableOptions struct {
 	// SegmentMaxBytes rotates log segments beyond this size
 	// (0 = 64 MiB).
 	SegmentMaxBytes int64
+	// GroupCommit batches concurrent SyncAlways appends into shared
+	// fsyncs (see wal.GroupCommit); ignored under other sync policies.
+	GroupCommit wal.GroupCommit
 }
 
 func (o DurableOptions) checkpointEvery() int {
@@ -108,7 +111,8 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		ckptCh: make(chan int, numShards),
 		done:   make(chan struct{}),
 	}
-	walOpts := wal.Options{Sync: opts.Sync, SegmentMaxBytes: opts.SegmentMaxBytes}
+	walOpts := wal.Options{Sync: opts.Sync, SegmentMaxBytes: opts.SegmentMaxBytes,
+		GroupCommit: opts.GroupCommit}
 	for i := range d.logs {
 		l, err := wal.Open(d.shardDir(i), walOpts)
 		if err != nil {
@@ -136,6 +140,17 @@ func (d *Durable) shardDir(i int) string {
 
 // Dir returns the store's data directory.
 func (d *Durable) Dir() string { return d.dir }
+
+// WALStats sums the append-path counters of every shard log: appends,
+// fsyncs, and the group-commit batch accounting that prices fsync
+// amortization (see wal.Stats.RecordsPerFsync).
+func (d *Durable) WALStats() wal.Stats {
+	var total wal.Stats
+	for _, l := range d.logs {
+		total.Add(l.Stats())
+	}
+	return total
+}
 
 // recoverShard rebuilds one shard from its checkpoint and log.
 func (d *Durable) recoverShard(i int) error {

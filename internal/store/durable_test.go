@@ -441,6 +441,14 @@ func TestDurableConcurrentStress(t *testing.T) {
 	for _, name := range names {
 		want[name] = canonicalState(t, d, name)
 	}
+	// Quiesce the background checkpointer before copying the live dir:
+	// a trigger queued by the last appends could otherwise truncate
+	// segments mid-copy. A forced checkpoint resets every shard's
+	// record count under its op mutex, turning queued triggers into
+	// no-ops.
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
 	crashDir := t.TempDir()
 	copyTree(t, dir, crashDir)
 	if err := d.Close(); err != nil {

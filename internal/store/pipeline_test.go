@@ -1,0 +1,440 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ses/internal/core"
+	"ses/internal/randx"
+	"ses/internal/session"
+	"ses/internal/wal"
+)
+
+// callLog records every backend call the pipeline makes, in execution
+// order (the pipeline serializes calls per session, so each session's
+// subsequence is its commit order).
+type callLog struct {
+	mu    sync.Mutex
+	calls []struct {
+		name string
+		muts []Mutation
+	}
+}
+
+func (c *callLog) record(name string, muts []Mutation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls = append(c.calls, struct {
+		name string
+		muts []Mutation
+	}{name, muts})
+}
+
+// drivePipelineWorkload runs a randomized concurrent mutation/resolve
+// workload over b through a pipeline, journaling every executed call.
+// Every operation is valid regardless of interleaving, so any error is
+// a pipeline defect.
+func drivePipelineWorkload(t *testing.T, b Backend, sessions []string, journal *callLog, seed uint64) {
+	t.Helper()
+	p := NewPipeline(b, PipelineOptions{Workers: 4, journal: journal.record})
+	defer p.Close()
+	ctx := context.Background()
+	const goroutines, opsEach = 6, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			src := randx.Derive(seed, fmt.Sprintf("pipeline-%d", g))
+			// Events this goroutine added, per session: the only ones
+			// it may cancel (their ids came back through ID-splitting).
+			added := map[string][]int{}
+			for i := 0; i < opsEach; i++ {
+				name := sessions[src.IntN(len(sessions))]
+				if src.IntN(5) == 0 { // pure resolve
+					if _, err := p.Resolve(ctx, name); err != nil {
+						t.Errorf("resolve %s: %v", name, err)
+						return
+					}
+					continue
+				}
+				n := 1 + src.IntN(3)
+				muts := make([]Mutation, 0, n)
+				adds := 0
+				for len(muts) < n {
+					switch src.IntN(6) {
+					case 0, 1:
+						muts = append(muts, UpdateInterest(src.IntN(25), src.IntN(10), src.Range(0, 1)))
+					case 2:
+						muts = append(muts, AddEvent(core.Event{
+							Location: src.IntN(3), Required: src.Range(0.5, 2),
+							Name: fmt.Sprintf("pipe-%d-%d-%d", g, i, len(muts)),
+						}, map[int]float64{src.IntN(25): src.Range(0.1, 1)}))
+						adds++
+					case 3:
+						muts = append(muts, AddCompeting(core.CompetingEvent{Interval: src.IntN(4)},
+							map[int]float64{src.IntN(25): src.Range(0.1, 1)}))
+					case 4:
+						muts = append(muts, SetK(2+src.IntN(5)))
+					default:
+						own := added[name]
+						if len(own) == 0 {
+							continue
+						}
+						e := own[len(own)-1]
+						added[name] = own[:len(own)-1]
+						muts = append(muts, CancelEvent(e))
+					}
+				}
+				res, err := p.ApplyBatch(ctx, name, muts)
+				if err != nil {
+					t.Errorf("batch %s: %v", name, err)
+					return
+				}
+				if len(res.EventIDs) != adds {
+					t.Errorf("batch %s: %d event ids for %d adds", name, len(res.EventIDs), adds)
+					return
+				}
+				added[name] = append(added[name], res.EventIDs...)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// replayJournal executes the journaled call sequence serially against
+// b; per-session subsequences reproduce each session's commit order.
+func replayJournal(t *testing.T, b Backend, journal *callLog) {
+	t.Helper()
+	ctx := context.Background()
+	for i, c := range journal.calls {
+		if c.muts == nil {
+			if _, err := b.Resolve(ctx, c.name); err != nil {
+				t.Fatalf("serial replay call %d (resolve %s): %v", i, c.name, err)
+			}
+		} else if _, err := b.ApplyBatch(ctx, c.name, c.muts); err != nil {
+			t.Fatalf("serial replay call %d (batch %s, %d muts): %v", i, c.name, len(c.muts), err)
+		}
+	}
+}
+
+// sessionNames and createAll set up identical sessions on two stores.
+var pipelineSessions = []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+
+func createPipelineSessions(t *testing.T, create func(name string, inst *core.Instance, k int) error) {
+	t.Helper()
+	for i, name := range pipelineSessions {
+		if err := create(name, testInstance(uint64(i+1)), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type canonical interface {
+	Snapshot(string) (*session.State, error)
+	Meta(string) (Meta, error)
+}
+
+// assertStoresEqual compares the canonical bytes (snapshot encoding +
+// meta counters) of every session across the two stores.
+func assertStoresEqual(t *testing.T, got, want canonical) {
+	t.Helper()
+	for _, name := range pipelineSessions {
+		g, w := canonicalState(t, got, name), canonicalState(t, want, name)
+		if !bytes.Equal(g, w) {
+			t.Errorf("session %s: pipelined state differs from serial replay\n got: %s\nwant: %s", name, g, w)
+		}
+	}
+}
+
+// TestPipelineSerialEquivalenceStore is the acceptance property for
+// the in-memory store: a randomized concurrent workload through the
+// pipeline leaves every session byte-identical — canonical snapshot
+// bytes plus meta counters — to a serial replay of the acknowledged
+// call order on a fresh store. Run with -race.
+func TestPipelineSerialEquivalenceStore(t *testing.T) {
+	opts := session.Options{Workers: 1}
+	live := New(opts)
+	createPipelineSessions(t, live.Create)
+	journal := &callLog{}
+	drivePipelineWorkload(t, live, pipelineSessions, journal, 1)
+
+	serial := New(opts)
+	createPipelineSessions(t, serial.Create)
+	replayJournal(t, serial, journal)
+	assertStoresEqual(t, live, serial)
+}
+
+// TestPipelineSerialEquivalenceDurable repeats the property with a
+// Durable backend: pipelined execution over the WAL-backed store must
+// match the same serial replay, and so must its recovery image.
+func TestPipelineSerialEquivalenceDurable(t *testing.T) {
+	opts := session.Options{Workers: 1}
+	dir := t.TempDir()
+	live := openDurable(t, dir, DurableOptions{Sync: wal.SyncNone, Session: opts})
+	createPipelineSessions(t, live.Create)
+	journal := &callLog{}
+	drivePipelineWorkload(t, live, pipelineSessions, journal, 2)
+
+	serial := New(opts)
+	createPipelineSessions(t, serial.Create)
+	replayJournal(t, serial, journal)
+	assertStoresEqual(t, live, serial)
+
+	// The durability contract holds through the pipeline too: close
+	// and recover, then compare against the same serial image.
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openDurable(t, dir, DurableOptions{Sync: wal.SyncNone, Session: opts})
+	defer re.Close()
+	assertStoresEqual(t, re, serial)
+}
+
+// gatedBackend announces every backend call on entered, then holds it
+// until the test feeds (or closes) gate.
+type gatedBackend struct {
+	*Store
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func newGatedBackend(st *Store) *gatedBackend {
+	return &gatedBackend{Store: st, entered: make(chan struct{}, 64), gate: make(chan struct{})}
+}
+
+func (g *gatedBackend) ApplyBatch(ctx context.Context, name string, muts []Mutation) (*BatchResult, error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	return g.Store.ApplyBatch(ctx, name, muts)
+}
+
+func (g *gatedBackend) Resolve(ctx context.Context, name string) (*session.Delta, error) {
+	g.entered <- struct{}{}
+	<-g.gate
+	return g.Store.Resolve(ctx, name)
+}
+
+// waitDepth polls until the pipeline's queue depth reaches want.
+func waitDepth(t *testing.T, p *Pipeline, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Metrics().QueueDepth != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", want, p.Metrics().QueueDepth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPipelineCoalesces pins the dirty-set contract: requests that
+// arrive while their session is in flight merge into ONE follow-up
+// backend call committing one incremental resolve for all of them.
+func TestPipelineCoalesces(t *testing.T) {
+	st := New(session.Options{Workers: 1})
+	createPipelineSessions(t, st.Create)
+	g := newGatedBackend(st)
+	p := NewPipeline(g, PipelineOptions{Workers: 1})
+	defer p.Close()
+	defer close(g.gate) // runs before Close: frees any still-gated worker
+	ctx := context.Background()
+
+	results := make(chan error, 4)
+	submit := func() {
+		_, err := p.ApplyBatch(ctx, "alpha", []Mutation{UpdateInterest(0, 0, 0.5)})
+		results <- err
+	}
+	go submit()
+	<-g.entered // the worker took it and is blocked on the gate
+	for i := 0; i < 3; i++ {
+		go submit()
+	}
+	waitDepth(t, p, 3)   // all three queued behind the in-flight call
+	g.gate <- struct{}{} // release the first call
+	<-g.entered          // ONE merged follow-up call for the rest
+	g.gate <- struct{}{}
+	for i := 0; i < 4; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := p.Metrics()
+	if m.Submitted != 4 || m.Executed != 2 || m.Coalesced != 2 {
+		t.Fatalf("expected 4 submits in 2 calls (2 coalesced), got %+v", m)
+	}
+	meta, err := st.Meta("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Mutations != 4 || meta.Batches != 2 || meta.Resolves != 2 {
+		t.Fatalf("store saw mutations=%d batches=%d resolves=%d, want 4/2/2",
+			meta.Mutations, meta.Batches, meta.Resolves)
+	}
+}
+
+// TestPipelineAdmissionControl fills the bounded queue and checks the
+// overflow submit fails fast with ErrPipelineSaturated while everyone
+// already admitted completes.
+func TestPipelineAdmissionControl(t *testing.T) {
+	st := New(session.Options{Workers: 1})
+	createPipelineSessions(t, st.Create)
+	g := newGatedBackend(st)
+	p := NewPipeline(g, PipelineOptions{Workers: 1, MaxQueue: 2})
+	defer p.Close()
+	defer close(g.gate)
+	ctx := context.Background()
+
+	results := make(chan error, 3)
+	go func() { _, err := p.Resolve(ctx, "alpha"); results <- err }()
+	<-g.entered // in flight, blocked on the gate
+	go func() { _, err := p.Resolve(ctx, "beta"); results <- err }()
+	go func() { _, err := p.Resolve(ctx, "gamma"); results <- err }()
+	waitDepth(t, p, 2) // queue full
+	if _, err := p.Resolve(ctx, "delta"); !errors.Is(err, ErrPipelineSaturated) {
+		t.Fatalf("overflow submit: got %v, want ErrPipelineSaturated", err)
+	}
+	g.gate <- struct{}{} // release alpha; beta and gamma follow one by one
+	for i := 0; i < 2; i++ {
+		<-g.entered
+		g.gate <- struct{}{}
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-results; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m := p.Metrics(); m.Rejected != 1 || m.QueueDepth != 0 {
+		t.Fatalf("metrics after drain: %+v", m)
+	}
+}
+
+// TestPipelineWithdrawOnCancel cancels a request while it is still
+// queued: it must return the context error without ever executing,
+// and the session must see only the first request's work.
+func TestPipelineWithdrawOnCancel(t *testing.T) {
+	st := New(session.Options{Workers: 1})
+	createPipelineSessions(t, st.Create)
+	g := newGatedBackend(st)
+	journal := &callLog{}
+	p := NewPipeline(g, PipelineOptions{Workers: 1, journal: journal.record})
+	defer p.Close()
+	defer close(g.gate)
+
+	first := make(chan error, 1)
+	go func() { _, err := p.Resolve(context.Background(), "alpha"); first <- err }()
+	<-g.entered // in flight, blocked on the gate
+
+	cctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := p.ApplyBatch(cctx, "alpha", []Mutation{UpdateInterest(1, 1, 0.9)})
+		queued <- err
+	}()
+	waitDepth(t, p, 1)
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("withdrawn request: got %v, want context.Canceled", err)
+	}
+	g.gate <- struct{}{} // release the first call; no second call follows
+	if err := <-first; err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if m := p.Metrics(); m.Withdrawn != 1 || m.Executed != 1 {
+		t.Fatalf("metrics: %+v, want 1 withdrawn and 1 executed", m)
+	}
+	for _, c := range journal.calls {
+		if c.muts != nil {
+			t.Fatalf("withdrawn mutations executed: %+v", c.muts)
+		}
+	}
+	meta, err := st.Meta("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Mutations != 0 {
+		t.Fatalf("store saw %d mutations from a withdrawn request", meta.Mutations)
+	}
+}
+
+// TestPipelineSplitsIDs runs concurrent AddEvent batches and checks
+// every request gets back exactly the ids of its own adds, globally
+// distinct, even when the adds commit inside one merged batch.
+func TestPipelineSplitsIDs(t *testing.T) {
+	st := New(session.Options{Workers: 1})
+	createPipelineSessions(t, st.Create)
+	p := NewPipeline(st, PipelineOptions{Workers: 2})
+	defer p.Close()
+	ctx := context.Background()
+
+	const goroutines, rounds = 8, 10
+	idCh := make(chan int, goroutines*rounds*2)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				muts := []Mutation{
+					AddEvent(core.Event{Name: fmt.Sprintf("id-%d-%d-a", g, i), Required: 1},
+						map[int]float64{0: 0.5}),
+					AddEvent(core.Event{Name: fmt.Sprintf("id-%d-%d-b", g, i), Required: 1},
+						map[int]float64{1: 0.5}),
+				}
+				res, err := p.ApplyBatch(ctx, "alpha", muts)
+				if err != nil {
+					t.Errorf("batch: %v", err)
+					return
+				}
+				if len(res.EventIDs) != 2 {
+					t.Errorf("got %d ids for 2 adds", len(res.EventIDs))
+					return
+				}
+				idCh <- res.EventIDs[0]
+				idCh <- res.EventIDs[1]
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(idCh)
+	seen := map[int]bool{}
+	for id := range idCh {
+		if seen[id] {
+			t.Fatalf("event id %d handed to two requests", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != goroutines*rounds*2 {
+		t.Fatalf("%d distinct ids, want %d", len(seen), goroutines*rounds*2)
+	}
+}
+
+// TestPipelineClose checks Close drains pending work and later
+// submits fail fast.
+func TestPipelineClose(t *testing.T) {
+	st := New(session.Options{Workers: 1})
+	createPipelineSessions(t, st.Create)
+	p := NewPipeline(st, PipelineOptions{Workers: 2})
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := pipelineSessions[i%len(pipelineSessions)]
+			if _, err := p.Resolve(ctx, name); err != nil && !errors.Is(err, ErrPipelineClosed) {
+				t.Errorf("resolve: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	p.Close()
+	if _, err := p.Resolve(ctx, "alpha"); !errors.Is(err, ErrPipelineClosed) {
+		t.Fatalf("submit after close: got %v, want ErrPipelineClosed", err)
+	}
+}

@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"runtime"
+	"time"
+)
+
+// Group commit: the classic database trick for making SyncAlways
+// affordable under concurrency. A single fsync costs the same whether
+// it makes one record or a hundred durable, so concurrent appenders
+// enqueue their frames on a commit queue and exactly one of them — the
+// leader — drains it, writes the whole batch to the active segment and
+// issues ONE fsync before waking every waiter. While that fsync runs,
+// new appenders pile up on the queue and the next leader commits them
+// together, so the batch size adapts to the arrival rate: a lone
+// appender commits alone at single-append latency, eight concurrent
+// appenders converge on ~eight records per fsync.
+//
+// The durability contract is unchanged frame-for-frame: every record
+// is on stable storage before its Append returns, acknowledgment
+// order equals on-disk order (the queue is FIFO and the leader writes
+// in queue order), and a failed write or sync reports the error to
+// every waiter whose frame the batch covered — none of their records
+// may be claimed durable, exactly as a failed single append makes no
+// claim. The torn-tail replay contract is untouched: a crash mid-batch
+// tears at some frame boundary and replay keeps the prefix, all of
+// which was unacknowledged (the batch's waiters were never woken).
+
+// gcWaiter is one queued append awaiting a shared commit.
+type gcWaiter struct {
+	payload []byte
+	done    chan error // buffered(1); the leader delivers exactly once
+}
+
+// Stats counts a log's append-path work since Open, for pricing fsync
+// amortization (see the seswal stats command and sesd /v1/metrics).
+type Stats struct {
+	// Appends counts records written by this process.
+	Appends uint64 `json:"appends"`
+	// Fsyncs counts fsyncs issued on segment files (appends, rotation,
+	// interval flushes and close; checkpoint temp files excluded).
+	Fsyncs uint64 `json:"fsyncs"`
+	// Batches counts group-commit batches, and BatchedRecords the
+	// records they covered; BatchedRecords/Batches is the realized
+	// records-per-fsync of the group path.
+	Batches        uint64 `json:"batches"`
+	BatchedRecords uint64 `json:"batched_records"`
+}
+
+// Add accumulates other into s (for summing per-shard logs).
+func (s *Stats) Add(other Stats) {
+	s.Appends += other.Appends
+	s.Fsyncs += other.Fsyncs
+	s.Batches += other.Batches
+	s.BatchedRecords += other.BatchedRecords
+}
+
+// RecordsPerFsync is the realized amortization: appended records per
+// segment fsync (0 when nothing was synced).
+func (s Stats) RecordsPerFsync() float64 {
+	if s.Fsyncs == 0 {
+		return 0
+	}
+	return float64(s.Appends) / float64(s.Fsyncs)
+}
+
+// Stats returns the log's append-path counters since Open.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// appendGrouped is the group-commit append path (SyncAlways only).
+func (l *Log) appendGrouped(payload []byte) error {
+	w := &gcWaiter{payload: payload, done: make(chan error, 1)}
+	l.gcMu.Lock()
+	l.gcQueue = append(l.gcQueue, w)
+	leader := !l.gcActive
+	if leader {
+		l.gcActive = true
+	}
+	l.gcMu.Unlock()
+	if leader {
+		// One scheduler pass before draining lets every appender that
+		// is already runnable enqueue and join this batch. On cores
+		// saturated with CPU-bound fsyncs (no I/O sleep to overlap
+		// with) this is what fills batches; when no other goroutine is
+		// runnable it costs well under a microsecond, so a lone
+		// appender keeps single-append latency.
+		runtime.Gosched()
+		l.lead()
+	}
+	return <-w.done
+}
+
+// lead drains the commit queue until it is empty, committing one
+// batch per iteration, then resigns. Exactly one goroutine leads at a
+// time (gcActive); followers just wait on their done channel.
+func (l *Log) lead() {
+	for {
+		l.gcMu.Lock()
+		if len(l.gcQueue) == 0 {
+			l.gcActive = false
+			l.gcMu.Unlock()
+			return
+		}
+		batch := l.takeLocked(nil, l.opts.GroupCommit.maxBatch())
+		l.gcMu.Unlock()
+
+		// With MaxDelay set, a leader that already has company — but
+		// not a full batch — waits once for stragglers. A lone
+		// appender never waits: its latency stays single-append's.
+		if d := l.opts.GroupCommit.MaxDelay; d > 0 && len(batch) > 1 && len(batch) < l.opts.GroupCommit.maxBatch() {
+			time.Sleep(d)
+			l.gcMu.Lock()
+			batch = l.takeLocked(batch, l.opts.GroupCommit.maxBatch())
+			l.gcMu.Unlock()
+		}
+
+		err := l.commitBatch(batch)
+		for _, w := range batch {
+			w.done <- err
+		}
+	}
+}
+
+// takeLocked moves queued waiters into batch up to max total. Called
+// with gcMu held.
+func (l *Log) takeLocked(batch []*gcWaiter, max int) []*gcWaiter {
+	n := min(len(l.gcQueue), max-len(batch))
+	batch = append(batch, l.gcQueue[:n]...)
+	remaining := copy(l.gcQueue, l.gcQueue[n:])
+	for i := remaining; i < len(l.gcQueue); i++ {
+		l.gcQueue[i] = nil // release taken waiters for GC
+	}
+	l.gcQueue = l.gcQueue[:remaining]
+	return batch
+}
+
+// commitBatch writes every frame of the batch in order and issues one
+// fsync. The first failure aborts the batch: records after it are not
+// written, and the shared error tells every waiter that none of their
+// records may be treated as durable.
+func (l *Log) commitBatch(batch []*gcWaiter) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, w := range batch {
+		if err := l.writeFrameLocked(w.payload); err != nil {
+			return err
+		}
+	}
+	if err := l.fsyncSegmentLocked(); err != nil {
+		return err
+	}
+	l.stats.Batches++
+	l.stats.BatchedRecords += uint64(len(batch))
+	return nil
+}

@@ -137,6 +137,29 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 	}
 }
 
+// GroupCommit configures fsync amortization across concurrent
+// appenders (see Log.Append). It only changes behavior under
+// SyncAlways — the other policies do not fsync per append, so there
+// is nothing to amortize.
+type GroupCommit struct {
+	// Enabled turns the commit queue on.
+	Enabled bool
+	// MaxBatch caps how many records one fsync may cover (0 = 128).
+	MaxBatch int
+	// MaxDelay is how long a commit leader waits for the batch to fill
+	// once at least one other appender is already queued (0 = commit
+	// immediately). A lone appender never waits: its latency stays that
+	// of a single append + fsync.
+	MaxDelay time.Duration
+}
+
+func (g GroupCommit) maxBatch() int {
+	if g.MaxBatch <= 0 {
+		return 128
+	}
+	return g.MaxBatch
+}
+
 // Options configures a Log; the zero value is usable (SyncAlways,
 // 64 MiB segments).
 type Options struct {
@@ -145,6 +168,13 @@ type Options struct {
 	// SegmentMaxBytes rotates the active segment once it exceeds this
 	// size (0 = 64 MiB). Rotation always fsyncs the outgoing segment.
 	SegmentMaxBytes int64
+	// GroupCommit batches concurrent SyncAlways appenders into shared
+	// fsyncs.
+	GroupCommit GroupCommit
+
+	// syncFile overrides segment fsync in tests (fault injection and
+	// flush counting); nil means (*os.File).Sync.
+	syncFile func(*os.File) error
 }
 
 func (o Options) segmentMax() int64 {
@@ -215,6 +245,15 @@ type Log struct {
 	dirty    bool // unsynced appended bytes
 	closed   bool
 	replayed bool
+
+	// stats (guarded by mu).
+	stats Stats
+
+	// group-commit queue (guarded by gcMu, separate from mu so
+	// enqueueing never blocks behind an in-flight fsync).
+	gcMu     sync.Mutex
+	gcQueue  []*gcWaiter
+	gcActive bool // a leader is draining the queue
 
 	// recovered state from Open.
 	ckptData []byte
@@ -444,12 +483,38 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // Append frames payload, writes it to the active segment and — under
 // SyncAlways — fsyncs before returning. The payload is copied into
 // the kernel before Append returns, so the caller may reuse it.
+//
+// With Options.GroupCommit enabled (and SyncAlways), concurrent
+// appenders share fsyncs: each Append enqueues its frame on a commit
+// queue, one appender at a time becomes the leader, drains the queue,
+// writes the whole batch and issues a single fsync before waking
+// every waiter. Acknowledgment order equals write order (the queue is
+// FIFO), every record is still durable before its Append returns, and
+// a batch that fails to write or sync reports the error to every
+// waiter whose frame it covered — exactly the single-append contract,
+// amortized.
 func (l *Log) Append(payload []byte) error {
 	if len(payload) > MaxRecordBytes {
 		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecordBytes)
 	}
+	if l.opts.GroupCommit.Enabled && l.opts.Sync == SyncAlways {
+		return l.appendGrouped(payload)
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if err := l.writeFrameLocked(payload); err != nil {
+		return err
+	}
+	if l.opts.Sync == SyncAlways {
+		return l.fsyncSegmentLocked()
+	}
+	l.dirty = true
+	return nil
+}
+
+// writeFrameLocked rotates if needed and writes one framed record to
+// the active segment. Called with l.mu held; it does not sync.
+func (l *Log) writeFrameLocked(payload []byte) error {
 	if l.closed {
 		return ErrClosed
 	}
@@ -468,22 +533,35 @@ func (l *Log) Append(payload []byte) error {
 		return fmt.Errorf("wal: appending to %s: %w", l.f.Name(), err)
 	}
 	l.size += int64(frameHead + len(payload))
-	if l.opts.Sync == SyncAlways {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: syncing %s: %w", l.f.Name(), err)
-		}
-	} else {
-		l.dirty = true
-	}
+	l.stats.Appends++
 	return nil
+}
+
+// fsyncSegmentLocked syncs the active segment (through the test hook
+// when set) and counts the fsync. Called with l.mu held.
+func (l *Log) fsyncSegmentLocked() error {
+	if err := l.fsyncFile(l.f); err != nil {
+		return fmt.Errorf("wal: syncing %s: %w", l.f.Name(), err)
+	}
+	l.stats.Fsyncs++
+	l.dirty = false
+	return nil
+}
+
+// fsyncFile routes an fsync through the test hook when one is set.
+func (l *Log) fsyncFile(f *os.File) error {
+	if l.opts.syncFile != nil {
+		return l.opts.syncFile(f)
+	}
+	return f.Sync()
 }
 
 // rotateLocked fsyncs and closes the active segment (if any) and
 // opens the next one. Called with l.mu held.
 func (l *Log) rotateLocked() error {
 	if l.f != nil {
-		if err := l.f.Sync(); err != nil {
-			return fmt.Errorf("wal: syncing %s: %w", l.f.Name(), err)
+		if err := l.fsyncSegmentLocked(); err != nil {
+			return err
 		}
 		if err := l.f.Close(); err != nil {
 			return fmt.Errorf("wal: closing %s: %w", l.f.Name(), err)
@@ -536,11 +614,7 @@ func (l *Log) syncLocked() error {
 	if l.f == nil || !l.dirty {
 		return nil
 	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: syncing %s: %w", l.f.Name(), err)
-	}
-	l.dirty = false
-	return nil
+	return l.fsyncSegmentLocked()
 }
 
 // NeedsSync reports whether the log has appended bytes not yet
@@ -701,7 +775,10 @@ func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
-	err := l.f.Sync()
+	// Close always flushes: under SyncInterval/SyncNone this is what
+	// makes a clean shutdown lose nothing even when the flusher never
+	// got to the last appends.
+	err := l.fsyncSegmentLocked()
 	if cerr := l.f.Close(); err == nil {
 		err = cerr
 	}

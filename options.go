@@ -28,6 +28,11 @@ type config struct {
 	syncPolicy      SyncPolicy
 	syncInterval    time.Duration
 	checkpointEvery int
+	groupCommit     wal.GroupCommit
+
+	// pipeline (consumed by NewPipeline).
+	resolveWorkers int
+	resolveQueue   int
 }
 
 // solverConfig converts the resolved options to the internal solver
@@ -114,6 +119,27 @@ func WithSyncInterval(d time.Duration) Option { return func(c *config) { c.syncI
 // default 1024; negative disables automatic checkpoints — Close and
 // Checkpoint still write them).
 func WithCheckpointEvery(n int) Option { return func(c *config) { c.checkpointEvery = n } }
+
+// GroupCommit tunes WAL group commit; see WithGroupCommit.
+type GroupCommit = wal.GroupCommit
+
+// WithGroupCommit batches concurrent SyncAlways appenders into shared
+// fsyncs: waiters enqueue on a per-shard commit queue and a leader
+// commits up to MaxBatch frames (default 128) under ONE fsync. A lone
+// appender still commits at single-append latency; MaxDelay optionally
+// lets a partially filled batch wait once for stragglers. Durability
+// guarantees are unchanged frame-for-frame. Ignored under
+// SyncInterval/SyncNone, which have no per-append fsync to amortize.
+func WithGroupCommit(g GroupCommit) Option { return func(c *config) { c.groupCommit = g } }
+
+// WithResolveWorkers bounds how many sessions a Pipeline resolves
+// concurrently (0, the default, uses all cores); see NewPipeline.
+func WithResolveWorkers(n int) Option { return func(c *config) { c.resolveWorkers = n } }
+
+// WithResolveQueue bounds a Pipeline's total pending requests; past
+// it submits fail fast with ErrPipelineSaturated (0 = 1024, negative
+// = unbounded). See NewPipeline.
+func WithResolveQueue(n int) Option { return func(c *config) { c.resolveQueue = n } }
 
 // EngineFactory builds the choice engine a solver evaluates the
 // paper's Eq. 1–4 with; pass one to WithEngine.

@@ -7,6 +7,7 @@ import (
 	"ses/internal/session"
 	"ses/internal/snap"
 	"ses/internal/store"
+	"ses/internal/wal"
 )
 
 // Store is a sharded, thread-safe registry of named scheduling
@@ -115,6 +116,52 @@ func OpenStore(opts ...Option) (*DurableStore, error) {
 		Sync:            c.syncPolicy,
 		SyncInterval:    c.syncInterval,
 		CheckpointEvery: c.checkpointEvery,
+		GroupCommit:     c.groupCommit,
+	})
+}
+
+// WALStats are a durable store's cumulative append-path counters
+// (appends, fsyncs, group-commit batches); see DurableStore.WALStats
+// and the seswal stats command.
+type WALStats = wal.Stats
+
+// Pipeline runs mutations and resolves for many sessions on a bounded
+// worker pool, coalescing back-to-back work on the same session into
+// one incremental resolve while independent sessions resolve on
+// separate cores. Results are byte-identical to serial execution
+// (test-enforced); see the store package's Pipeline doc for the exact
+// merge semantics.
+//
+//	p := ses.NewPipeline(st, ses.WithResolveWorkers(4))
+//	defer p.Close()
+//	res, err := p.ApplyBatch(ctx, "fest", muts) // may share a resolve
+type Pipeline = store.Pipeline
+
+// PipelineBackend is the store surface a Pipeline drives; *Store and
+// *DurableStore both satisfy it.
+type PipelineBackend = store.Backend
+
+// PipelineMetrics is a point-in-time pipeline load snapshot (queue
+// depth, coalescing and rejection counters); see Pipeline.Metrics.
+type PipelineMetrics = store.PipelineMetrics
+
+// Pipeline admission errors.
+var (
+	// ErrPipelineSaturated reports an admission-control rejection: the
+	// request was never executed and may be retried.
+	ErrPipelineSaturated = store.ErrPipelineSaturated
+	// ErrPipelineClosed reports a submit to a closed Pipeline.
+	ErrPipelineClosed = store.ErrPipelineClosed
+)
+
+// NewPipeline starts a resolve pipeline over backend. WithResolveWorkers
+// and WithResolveQueue tune the worker pool and admission control;
+// Close releases the workers (the backend stays open).
+func NewPipeline(backend PipelineBackend, opts ...Option) *Pipeline {
+	c := resolve(opts)
+	return store.NewPipeline(backend, store.PipelineOptions{
+		Workers:  c.resolveWorkers,
+		MaxQueue: c.resolveQueue,
 	})
 }
 
