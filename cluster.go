@@ -1,0 +1,70 @@
+package ses
+
+// Replication surface of the facade: the consistent-hash placement
+// ring and the live WAL-tailing primitives that the cluster layer
+// (ses/internal/cluster, served by cmd/sesd -node-id/-peers and
+// fronted by cmd/sesrouter) is built from. They are exposed so
+// deployment tooling can compute placement (which node owns a
+// session) and follow a node's log without linking the internal
+// packages.
+
+import (
+	"ses/internal/cluster"
+	"ses/internal/store"
+	"ses/internal/wal"
+)
+
+// NumShards is the per-store WAL stripe width: a durable store keeps
+// one log directory per shard and replication ships each shard as an
+// independent stream with its own WALCursor.
+const NumShards = store.NumShards
+
+// ShardOf returns the shard index a session name hashes to — the
+// same FNV-1a placement the store registry and the ClusterRing's
+// hash family use.
+func ShardOf(name string) int { return store.ShardOf(name) }
+
+// ShardDir names shard i's log directory under a durable store
+// rooted at dir; point a WALTailer (or seswal tail) at it.
+func ShardDir(dir string, i int) string { return store.ShardDir(dir, i) }
+
+// ClusterRing is the consistent-hash ring that places sessions on
+// node IDs: every node contributes virtual points, a session lands on
+// the first point clockwise of its hash, and Successors lists the
+// distinct follow-on nodes (the replica order). All cluster members
+// and the router build the identical ring from the identical peer
+// set, so placement needs no coordination.
+type ClusterRing = cluster.Ring
+
+// DefaultVNodes is the virtual-node count per physical node when 0 is
+// passed to NewClusterRing.
+const DefaultVNodes = cluster.DefaultVNodes
+
+// NewClusterRing builds a placement ring over the node IDs with
+// vnodes virtual points each (0 = DefaultVNodes). The node set and
+// vnodes must match across every member for placement to agree.
+func NewClusterRing(nodes []string, vnodes int) (*ClusterRing, error) {
+	return cluster.NewRing(nodes, vnodes)
+}
+
+// WALCursor is a durable position in one shard's write-ahead log:
+// segment sequence number plus byte offset. Replication followers
+// persist one per shard and resume streaming from it; cursors order
+// by Before within one log.
+type WALCursor = wal.Cursor
+
+// WALTailer follows a live WAL directory record-by-record across
+// segment rotation, stopping cleanly at a torn tail (an acknowledged
+// record is never skipped, a half-written one is never surfaced). It
+// is the read side of the replication stream sesd serves on
+// /v1/replication/stream; seswal tail wraps it on the command line.
+type WALTailer = wal.Tailer
+
+// WALTailerOptions tunes a WALTailer; the zero value is ready to use.
+type WALTailerOptions = wal.TailerOptions
+
+// NewWALTailer opens a tailer over a shard's log directory starting
+// at from (the zero cursor means the oldest retained record).
+func NewWALTailer(dir string, from WALCursor, opts WALTailerOptions) *WALTailer {
+	return wal.NewTailer(dir, from, opts)
+}

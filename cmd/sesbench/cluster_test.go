@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunClusterFig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster measurement boots replicated nodes and is seconds-long")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "BENCH_cluster.json")
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "cluster", "-quick", "-json", jsonPath}, &out); err != nil {
+		t.Fatalf("cluster fig: %v\n%s", err, out.String())
+	}
+	var rep clusterReport
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.HostCPUs <= 0 || !rep.Quick || len(rep.Throughput) != 3 {
+		t.Fatalf("cluster report implausible: %+v", rep)
+	}
+	for i, nodes := range []int{1, 2, 3} {
+		pt := rep.Throughput[i]
+		if pt.Nodes != nodes || pt.OpsPerSec <= 0 || pt.SpeedupX <= 0 {
+			t.Errorf("throughput point %d implausible: %+v", i, pt)
+		}
+	}
+	fo := rep.Failover
+	if !fo.AckedPreserved || fo.AdoptedSessions <= 0 || fo.KillToPromotedMS <= 0 ||
+		fo.KillToDownMS <= 0 || fo.KillToWriteMS < fo.KillToPromotedMS {
+		t.Errorf("failover timeline implausible: %+v", fo)
+	}
+	if !strings.Contains(out.String(), "Cluster throughput") {
+		t.Error("output missing the cluster throughput table")
+	}
+
+	// -verify must accept the artifact it just wrote...
+	var vout bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "cluster", "-verify", "-json", jsonPath}, &vout); err != nil {
+		t.Fatalf("verify of fresh artifact: %v\n%s", err, vout.String())
+	}
+
+	// ...and reject broken ones. The floor-ignored doc is schema-valid
+	// but sub-floor, measured on a 1-CPU host where the floor is not
+	// physical, so it passes; the floor-breach doc is the same curve
+	// stamped with an 8-CPU host and must fail.
+	goodFO := `"failover":{"kill_to_down_ms":30,"kill_to_promoted_ms":35,"kill_to_first_write_ms":36,"adopted_sessions":3,"acked_preserved":true}`
+	flatTP := `"throughput":[{"nodes":1,"sessions":6,"ops_per_sec":100,"speedup_x":1},{"nodes":2,"sessions":6,"ops_per_sec":100,"speedup_x":1},{"nodes":3,"sessions":6,"ops_per_sec":110,"speedup_x":1.1}]`
+	for name, doc := range map[string]string{
+		"invalid json":  `{`,
+		"bad cpus":      `{"host_cpus":0,` + flatTP + `,` + goodFO + `}`,
+		"missing point": `{"host_cpus":1,"throughput":[{"nodes":1,"ops_per_sec":1,"speedup_x":1}],` + goodFO + `}`,
+		"wrong nodes":   `{"host_cpus":1,"throughput":[{"nodes":1,"ops_per_sec":1},{"nodes":2,"ops_per_sec":1},{"nodes":4,"ops_per_sec":1}],` + goodFO + `}`,
+		"acked lost":    `{"host_cpus":1,` + flatTP + `,"failover":{"kill_to_down_ms":30,"kill_to_promoted_ms":35,"kill_to_first_write_ms":36,"adopted_sessions":3,"acked_preserved":false}}`,
+		"no promotion":  `{"host_cpus":1,` + flatTP + `,"failover":{"adopted_sessions":0,"acked_preserved":true}}`,
+		"floor breach":  `{"host_cpus":8,` + flatTP + `,` + goodFO + `}`,
+		"floor ignored": `{"host_cpus":1,` + flatTP + `,` + goodFO + `}`,
+	} {
+		bad := filepath.Join(dir, "bad.json")
+		if err := os.WriteFile(bad, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		err := run(context.Background(), []string{"-fig", "cluster", "-verify", "-json", bad}, &bytes.Buffer{})
+		if name == "floor ignored" {
+			if err != nil {
+				t.Errorf("%s: %v, want accepted", name, err)
+			}
+		} else if err == nil {
+			t.Errorf("%s: accepted, want rejected", name)
+		}
+	}
+}
+
+func TestClusterQuickVerifyFlagGuards(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "wal", "-quick"}, &out); err == nil {
+		t.Error("-quick with -fig wal accepted")
+	}
+	if err := run(context.Background(), []string{"-fig", "engines", "-verify"}, &out); err == nil {
+		t.Error("-verify with -fig engines accepted")
+	}
+}

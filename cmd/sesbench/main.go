@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sesbench [-fig all|1a|1b|1c|1d|sens|engines|objectives|resolve|wal|scaling]
+//	sesbench [-fig all|1a|1b|1c|1d|sens|engines|objectives|resolve|wal|scaling|cluster]
 //	         [-scale full|medium|small]
 //	         [-reps N] [-seed S] [-algos paper|extended] [-csv dir] [-v]
 //	         [-workers W] [-par P] [-json file] [-quick] [-verify]
@@ -46,6 +46,15 @@
 // artifact's schema (and, if it was measured on a multi-core host,
 // its floor).
 //
+// -fig cluster boots replicated durable clusters in-process (full-mesh
+// WAL shipping over loopback HTTP, fsync-always group-commit logs) and
+// writes BENCH_cluster.json: a throughput curve over 1/2/3 nodes and a
+// kill -9 failover timeline (router detection, promotion, first
+// post-failover write) with acknowledged counters verified preserved.
+// The multi-node ≥ 1.5× single-node floor is enforced on hosts with
+// ≥ 4 CPUs; -quick shrinks the workload, -verify re-validates the
+// committed artifact.
+//
 // -scale full uses the Meetup-California dimensions of the paper
 // (42,444 users); medium (default) and small reduce the user count so
 // a sweep finishes in minutes/seconds while preserving the comparative
@@ -85,7 +94,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal, scaling")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal, scaling, cluster")
 	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
 	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
 	seed := fs.Uint64("seed", 42, "master seed")
@@ -94,9 +103,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	verbose := fs.Bool("v", false, "stream per-run progress")
 	workers := fs.Int("workers", 0, "solver scoring goroutines (0 = all cores, 1 = serial; identical output)")
 	par := fs.Int("par", 1, "independent trials run concurrently (identical statistics, noisier timings)")
-	jsonPath := fs.String("json", "", "output file for -fig engines/objectives/resolve/wal/scaling (defaults BENCH_<fig>.json)")
-	quick := fs.Bool("quick", false, "with -fig scaling: shrink the workload for CI smokes")
-	verify := fs.Bool("verify", false, "with -fig scaling: validate the existing -json artifact instead of measuring")
+	jsonPath := fs.String("json", "", "output file for -fig engines/objectives/resolve/wal/scaling/cluster (defaults BENCH_<fig>.json)")
+	quick := fs.Bool("quick", false, "with -fig scaling/cluster: shrink the workload for CI smokes")
+	verify := fs.Bool("verify", false, "with -fig scaling/cluster: validate the existing -json artifact instead of measuring")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,16 +118,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wantResolve := *fig == "resolve"
 	wantWAL := *fig == "wal"
 	wantScaling := *fig == "scaling"
-	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling {
+	wantCluster := *fig == "cluster"
+	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantCluster {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	// Catch a silently-ignored flag before a potentially hours-long
 	// sweep rather than after it.
-	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling {
-		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal/scaling")
+	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantCluster {
+		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal/scaling/cluster")
 	}
-	if (*quick || *verify) && !wantScaling {
-		return fmt.Errorf("-quick/-verify only apply to -fig scaling")
+	if (*quick || *verify) && !wantScaling && !wantCluster {
+		return fmt.Errorf("-quick/-verify only apply to -fig scaling/cluster")
 	}
 	if *jsonPath == "" {
 		switch {
@@ -130,6 +140,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			*jsonPath = "BENCH_wal.json"
 		case wantScaling:
 			*jsonPath = "BENCH_scaling.json"
+		case wantCluster:
+			*jsonPath = "BENCH_cluster.json"
 		default:
 			*jsonPath = "BENCH_engine.json"
 		}
@@ -142,6 +154,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if wantScaling {
 		// Likewise dataset-free: instances come from sestest.
 		return benchScaling(ctx, out, *seed, *jsonPath, *quick, *verify)
+	}
+	if wantCluster {
+		// Dataset-free too: replicated in-process nodes over loopback.
+		return benchCluster(ctx, out, *seed, *jsonPath, *quick, *verify)
 	}
 
 	var ecfg ebsn.Config

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ses"
+	"ses/internal/cluster"
+	"ses/internal/session"
+)
+
+// daemonSwap lets each httptest server exist (so its URL is known to
+// every peer) before the daemon behind it does.
+type daemonSwap struct{ h atomic.Value }
+
+func (d *daemonSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h, ok := d.h.Load().(http.Handler); ok {
+		h.ServeHTTP(w, r)
+		return
+	}
+	http.Error(w, "booting", http.StatusServiceUnavailable)
+}
+
+// daemonCluster boots n full sesd handler stacks — durable store,
+// pipeline, cluster node, routes — clustered over httptest servers.
+type daemonCluster struct {
+	ids  []string
+	urls map[string]string
+}
+
+func newDaemonCluster(t *testing.T, n int) *daemonCluster {
+	t.Helper()
+	dc := &daemonCluster{urls: map[string]string{}}
+	swaps := map[string]*daemonSwap{}
+	var servers []*httptest.Server
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%d", i+1)
+		dc.ids = append(dc.ids, id)
+		sw := &daemonSwap{}
+		swaps[id] = sw
+		srv := httptest.NewServer(sw)
+		servers = append(servers, srv)
+		dc.urls[id] = srv.URL
+	}
+	var nodes []*cluster.Node
+	var pipes []*ses.Pipeline
+	var stores []*ses.DurableStore
+	for _, id := range dc.ids {
+		d, err := ses.OpenStore(ses.WithDurability(t.TempDir()), ses.WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := cluster.NewNode(d, cluster.NodeOptions{
+			ID:      id,
+			Peers:   dc.urls,
+			Session: session.Options{Workers: 1},
+			Shipper: cluster.ShipperOptions{Poll: 2 * time.Millisecond, Heartbeat: 50 * time.Millisecond},
+			Logf:    t.Logf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipe := ses.NewPipeline(d, ses.WithResolveWorkers(1))
+		srv := newServer(d, pipe)
+		srv.walStats = d.WALStats
+		srv.node = node
+		swaps[id].h.Store(srv.routes())
+		node.Start()
+		nodes, pipes, stores = append(nodes, node), append(pipes, pipe), append(stores, d)
+	}
+	// Teardown order matters: stop the follower clients first, then cut
+	// the shipper streams they held open (a plain server Close would
+	// wait on them forever), then close the stores.
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		for _, srv := range servers {
+			srv.CloseClientConnections()
+			srv.Close()
+		}
+		for i := range stores {
+			pipes[i].Close()
+			stores[i].Close()
+		}
+	})
+	return dc
+}
+
+// TestDaemonClusterReplicaReads drives the full daemon surface of the
+// cluster: a session created on n1 becomes readable on n2 via n2's
+// warm replica (X-Ses-Replica-Of header), readiness and health report
+// on every node, and /v1/metrics grows a replication section.
+func TestDaemonClusterReplicaReads(t *testing.T) {
+	dc := newDaemonCluster(t, 3)
+	doc := instanceDoc(t, 77)
+
+	var meta ses.SessionMeta
+	do(t, "POST", dc.urls["n1"]+"/v1/sessions", createReq{Name: "repl-1", K: 3, Instance: doc}, http.StatusCreated, &meta)
+	do(t, "POST", dc.urls["n1"]+"/v1/sessions/repl-1/batch", batchReq{}, http.StatusOK, nil)
+
+	// The session lives only on n1; n2 must serve the read from its
+	// replica once replication catches up.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		req, _ := http.NewRequest("GET", dc.urls["n2"]+"/v1/sessions/repl-1", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m ses.SessionMeta
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && err == nil {
+			if got := resp.Header.Get("X-Ses-Replica-Of"); got != "n1" {
+				t.Fatalf("replica read served with X-Ses-Replica-Of=%q, want n1", got)
+			}
+			if m.Name != "repl-1" || m.Resolves != meta.Resolves+1 {
+				t.Fatalf("replica meta = %+v, want name repl-1 with %d resolves", m, meta.Resolves+1)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("n2 never served repl-1 from its replica (last status %d)", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Schedule reads fall back to the replica too.
+	req, _ := http.NewRequest("GET", dc.urls["n3"]+"/v1/sessions/repl-1/schedule", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched scheduleResp
+	if err := json.NewDecoder(resp.Body).Decode(&sched); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica schedule read: status %d err %v", resp.StatusCode, err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Ses-Replica-Of") != "n1" || len(sched.Assignments) == 0 {
+		t.Fatalf("replica schedule read: of=%q assignments=%d", resp.Header.Get("X-Ses-Replica-Of"), len(sched.Assignments))
+	}
+
+	for _, id := range dc.ids {
+		var ready map[string]string
+		do(t, "GET", dc.urls[id]+"/v1/readyz", nil, http.StatusOK, &ready)
+		if ready["status"] != "ready" {
+			t.Errorf("%s readyz = %+v", id, ready)
+		}
+		resp, err := http.Get(dc.urls[id] + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s healthz: %d", id, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	var metrics struct {
+		Replication *cluster.Metrics `json:"replication"`
+	}
+	do(t, "GET", dc.urls["n1"]+"/v1/metrics", nil, http.StatusOK, &metrics)
+	if metrics.Replication == nil {
+		t.Fatal("metrics missing replication section")
+	}
+	if metrics.Replication.NodeID != "n1" || metrics.Replication.RecordsShipped == 0 {
+		t.Errorf("replication metrics = %+v, want node n1 with shipped records", metrics.Replication)
+	}
+
+	var status cluster.Status
+	do(t, "GET", dc.urls["n1"]+"/v1/replication/status", nil, http.StatusOK, &status)
+	if status.ID != "n1" || len(status.Streams) == 0 {
+		t.Errorf("replication status = %+v, want id n1 with active streams", status)
+	}
+}
+
+// TestDaemonClusterRouterList pins the real wire format between sesd
+// and the router's list fan-merge: sessions created through a Router
+// over real daemons must come back from the router's GET /v1/sessions
+// with the counters -check-acks reads. (A stub emitting lowercase
+// "name" keys once masked a case-sensitivity bug here.)
+func TestDaemonClusterRouterList(t *testing.T) {
+	dc := newDaemonCluster(t, 3)
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Peers:          dc.urls,
+		HealthInterval: 10 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Start()
+	front := httptest.NewServer(rt)
+	defer front.Close()
+
+	doc := instanceDoc(t, 11)
+	names := []string{"list-a", "list-b", "list-c", "list-d"}
+	for _, name := range names {
+		do(t, "POST", front.URL+"/v1/sessions", createReq{Name: name, K: 3, Instance: doc}, http.StatusCreated, nil)
+		do(t, "POST", front.URL+"/v1/sessions/"+name+"/batch", batchReq{Mutations: []ses.Mutation{
+			ses.UpdateInterestOp(1, 0, 0.8),
+		}}, http.StatusOK, nil)
+	}
+
+	var metas []ses.SessionMeta
+	do(t, "GET", front.URL+"/v1/sessions", nil, http.StatusOK, &metas)
+	byName := map[string]ses.SessionMeta{}
+	for _, m := range metas {
+		byName[m.Name] = m
+	}
+	for _, name := range names {
+		m, ok := byName[name]
+		if !ok {
+			t.Errorf("session %s missing from the router's merged list %v", name, metas)
+			continue
+		}
+		if m.Batches != 1 || m.Mutations != 1 || m.Resolves == 0 {
+			t.Errorf("%s counters through the router = %+v, want 1 batch, 1 mutation, >=1 resolve", name, m)
+		}
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := parsePeers("n1=http://a:1,n2=http://b:2/, n3=http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"n1": "http://a:1", "n2": "http://b:2", "n3": "http://c:3"}
+	if fmt.Sprint(peers) != fmt.Sprint(want) {
+		t.Errorf("parsePeers = %v, want %v", peers, want)
+	}
+	for _, bad := range []string{"", "n1", "n1=", "=http://a", "n1=x,n1=y"} {
+		if _, err := parsePeers(bad); err == nil {
+			t.Errorf("parsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+// TestClusterFlagsValidated: cluster flags without a data dir (or half
+// a pair) must fail fast rather than boot an unreplicated daemon.
+func TestClusterFlagsValidated(t *testing.T) {
+	ctx := t.Context()
+	if err := run(ctx, []string{"-node-id", "n1", "-peers", "n1=http://x"}); err == nil {
+		t.Error("cluster flags without -data-dir accepted")
+	}
+	if err := run(ctx, []string{"-data-dir", t.TempDir(), "-node-id", "n1"}); err == nil {
+		t.Error("-node-id without -peers accepted")
+	}
+	if err := run(ctx, []string{"-data-dir", t.TempDir(), "-node-id", "n1", "-peers", "n2=http://x"}); err == nil {
+		t.Error("peers without self accepted")
+	}
+}

@@ -11,6 +11,7 @@
 //	     [-data-dir DIR] [-sync always|interval|none]
 //	     [-sync-interval 50ms] [-checkpoint-every 1024]
 //	     [-group-commit] [-drain 5s]
+//	     [-node-id ID -peers ID=URL,ID=URL,...] [-lag-bound BYTES]
 //
 // With -data-dir the daemon serves a durable store: every
 // acknowledged create/delete/batch/resolve/restore is appended to a
@@ -23,6 +24,16 @@
 // the log offline with seswal. -group-commit batches concurrent
 // SyncAlways appenders into shared fsyncs (one fsync per commit-queue
 // batch instead of one per append).
+//
+// With -node-id and -peers the daemon joins a replicated cluster (see
+// ses/internal/cluster and the README's Cluster section): it ships its
+// WAL to every peer over POST /v1/replication/stream, follows every
+// peer's WAL into warm in-memory replicas, answers GET reads for
+// peers' sessions from those replicas, and serves the replication
+// status/promote endpoints the sesrouter failover proxy drives.
+// /v1/readyz reports ready once recovery has finished and every
+// connected replication stream is within -lag-bound bytes of its
+// primary.
 //
 // Resolve and batch requests run on a resolve pipeline: back-to-back
 // requests against the same session coalesce into one incremental
@@ -46,6 +57,11 @@
 //	POST   /v1/sessions/{name}/restore      snapshot document  [?replace=true]
 //	GET    /v1/metrics                      daemon + per-session counters
 //	GET    /healthz                         liveness
+//	GET    /v1/healthz                      liveness (alias)
+//	GET    /v1/readyz                       readiness: recovered + replication lag in bound
+//	POST   /v1/replication/stream           WAL shipping stream (clustered daemons)
+//	GET    /v1/replication/status           replication cursors, lag, failover history
+//	POST   /v1/replication/promote          adopt a dead peer's sessions
 //
 // The instance document is the same JSON sesgen writes; a snapshot
 // fetched from one daemon restores into another (or into a library
@@ -74,7 +90,9 @@ import (
 	"time"
 
 	"ses"
+	"ses/internal/cluster"
 	"ses/internal/dataset"
+	"ses/internal/session"
 	"ses/internal/stats"
 )
 
@@ -116,6 +134,9 @@ func run(ctx context.Context, args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 0, "checkpoint a shard after N records (0 = 1024, <0 disables)")
 	groupCommit := fs.Bool("group-commit", false, "amortize SyncAlways fsyncs across concurrent appenders")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain budget for in-flight requests")
+	nodeID := fs.String("node-id", "", "this node's cluster identity (requires -peers and -data-dir)")
+	peersSpec := fs.String("peers", "", "cluster membership as ID=URL,ID=URL,... (must include -node-id)")
+	lagBound := fs.Int64("lag-bound", 0, "replication backlog bytes before /v1/readyz reports unready (0 = 4MiB, <0 unbounded)")
 	fs.Parse(args)
 
 	var st storeAPI
@@ -156,6 +177,32 @@ func run(ctx context.Context, args []string) error {
 		st = ses.NewStore(ses.WithWorkers(*workers))
 	}
 
+	var node *cluster.Node
+	if *nodeID != "" || *peersSpec != "" {
+		if durable == nil {
+			return errors.New("-node-id/-peers need -data-dir: only a durable store can replicate its WAL")
+		}
+		if *nodeID == "" || *peersSpec == "" {
+			return errors.New("-node-id and -peers go together")
+		}
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			return err
+		}
+		n, err := cluster.NewNode(durable, cluster.NodeOptions{
+			ID:       *nodeID,
+			Peers:    peers,
+			LagBound: *lagBound,
+			Session:  session.Options{Workers: *workers},
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		node = n
+		log.Printf("sesd: cluster node %s in a %d-node ring", *nodeID, len(peers))
+	}
+
 	pipe := ses.NewPipeline(st,
 		ses.WithResolveWorkers(*resolveWorkers),
 		ses.WithResolveQueue(*resolveQueue))
@@ -169,7 +216,30 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	log.Printf("sesd: listening on %s", ln.Addr())
-	return serve(ctx, ln, st, pipe, durable, *drain)
+	return serve(ctx, ln, st, pipe, durable, node, *drain)
+}
+
+// parsePeers parses the -peers spec: comma-separated ID=URL pairs.
+func parsePeers(spec string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want ID=URL)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = strings.TrimSuffix(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers is empty")
+	}
+	return peers, nil
 }
 
 // serve runs the HTTP front until ctx is cancelled, then shuts down
@@ -180,10 +250,14 @@ func run(ctx context.Context, args []string) error {
 // committing (cancellation, unlike a deadline, never commits a
 // best-so-far) — the previous schedules stay current and batch
 // mutations stay staged for the next resolve.
-func serve(ctx context.Context, ln net.Listener, st storeAPI, pipe *ses.Pipeline, durable *ses.DurableStore, drain time.Duration) error {
+func serve(ctx context.Context, ln net.Listener, st storeAPI, pipe *ses.Pipeline, durable *ses.DurableStore, node *cluster.Node, drain time.Duration) error {
 	srv := newServer(st, pipe)
 	if durable != nil {
 		srv.walStats = durable.WALStats
+	}
+	if node != nil {
+		srv.node = node
+		node.Start()
 	}
 	baseCtx, baseCancel := context.WithCancel(context.Background())
 	defer baseCancel()
@@ -196,6 +270,9 @@ func serve(ctx context.Context, ln net.Listener, st storeAPI, pipe *ses.Pipeline
 
 	select {
 	case err := <-errCh:
+		if node != nil {
+			node.Close()
+		}
 		pipe.Close()
 		if durable != nil {
 			durable.Close()
@@ -216,6 +293,11 @@ func serve(ctx context.Context, ln net.Listener, st storeAPI, pipe *ses.Pipeline
 		// schedules stay current) and close the server.
 		baseCancel()
 		httpSrv.Close()
+	}
+	if node != nil {
+		// Stop following peers before the final checkpoint so no apply
+		// races the durable store's close.
+		node.Close()
 	}
 	pipe.Close()
 	if durable != nil {
@@ -239,7 +321,11 @@ type server struct {
 	// walStats reports the durable store's cumulative WAL counters
 	// (nil on a memory-only daemon).
 	walStats func() ses.WALStats
-	start    time.Time
+	// node is the replication layer on a clustered daemon (nil
+	// otherwise): it serves /v1/replication/*, gates /v1/readyz, and
+	// backs replica reads for sessions whose primary is a peer.
+	node  *cluster.Node
+	start time.Time
 
 	requests atomic.Uint64
 	resolves atomic.Uint64
@@ -272,9 +358,15 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", s.getSnapshot)
 	mux.HandleFunc("POST /v1/sessions/{name}/restore", s.restoreSession)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	healthz := func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
-	})
+	}
+	mux.HandleFunc("GET /healthz", healthz)
+	mux.HandleFunc("GET /v1/healthz", healthz)
+	mux.HandleFunc("GET /v1/readyz", s.readyz)
+	if s.node != nil {
+		mux.Handle("/v1/replication/", s.node.Handler())
+	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		mux.ServeHTTP(w, r)
@@ -400,12 +492,31 @@ func (s *server) listSessions(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) getSession(w http.ResponseWriter, r *http.Request) {
-	meta, err := s.store.Meta(r.PathValue("name"))
+	name := r.PathValue("name")
+	meta, err := s.store.Meta(name)
 	if err != nil {
+		if replica, peer, ok := s.replicaFor(name, err); ok {
+			if m, rerr := replica.Meta(name); rerr == nil {
+				w.Header().Set("X-Ses-Replica-Of", peer)
+				s.writeJSON(w, http.StatusOK, m)
+				return
+			}
+		}
 		s.writeErr(w, statusOf(err), err)
 		return
 	}
 	s.writeJSON(w, http.StatusOK, meta)
+}
+
+// replicaFor resolves a read miss against the replication layer: on a
+// clustered daemon a session not found locally may live on a peer,
+// and this node's warm replica of that peer can serve the read
+// lock-free. Only not-found errors are eligible.
+func (s *server) replicaFor(name string, err error) (*ses.Store, string, bool) {
+	if s.node == nil || !errors.Is(err, ses.ErrSessionNotFound) {
+		return nil, "", false
+	}
+	return s.node.Replica(name)
 }
 
 func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
@@ -481,8 +592,16 @@ type scheduleResp struct {
 }
 
 func (s *server) getSchedule(w http.ResponseWriter, r *http.Request) {
-	sched, err := s.store.Get(r.PathValue("name"))
+	name := r.PathValue("name")
+	sched, err := s.store.Get(name)
 	if err != nil {
+		if replica, peer, ok := s.replicaFor(name, err); ok {
+			if rs, rerr := replica.Get(name); rerr == nil {
+				w.Header().Set("X-Ses-Replica-Of", peer)
+				s.writeJSON(w, http.StatusOK, scheduleResp{Assignments: rs.Schedule(), Utility: rs.Utility()})
+				return
+			}
+		}
 		s.writeErr(w, statusOf(err), err)
 		return
 	}
@@ -555,16 +674,33 @@ type walMetrics struct {
 
 // metricsResp is the body of GET /v1/metrics.
 type metricsResp struct {
-	UptimeSec float64              `json:"uptime_sec"`
-	Sessions  int                  `json:"sessions"`
-	Requests  uint64               `json:"requests"`
-	Resolves  uint64               `json:"resolves"`
-	Batches   uint64               `json:"batches"`
-	Errors    uint64               `json:"errors"`
-	ResolveMs map[string]float64   `json:"resolve_latency_ms"`
-	Pipeline  *ses.PipelineMetrics `json:"pipeline,omitempty"`
-	WAL       *walMetrics          `json:"wal,omitempty"`
-	Metas     []ses.SessionMeta    `json:"session_metas"`
+	UptimeSec   float64              `json:"uptime_sec"`
+	Sessions    int                  `json:"sessions"`
+	Requests    uint64               `json:"requests"`
+	Resolves    uint64               `json:"resolves"`
+	Batches     uint64               `json:"batches"`
+	Errors      uint64               `json:"errors"`
+	ResolveMs   map[string]float64   `json:"resolve_latency_ms"`
+	Pipeline    *ses.PipelineMetrics `json:"pipeline,omitempty"`
+	WAL         *walMetrics          `json:"wal,omitempty"`
+	Replication *cluster.Metrics     `json:"replication,omitempty"`
+	Metas       []ses.SessionMeta    `json:"session_metas"`
+}
+
+// readyz is the readiness probe: a memory daemon (and an unclustered
+// durable one) is ready as soon as it serves — OpenStore returning
+// means recovery finished before the listener existed. A clustered
+// daemon is additionally unready while any connected replication
+// stream lags its primary beyond -lag-bound, so load balancers don't
+// route reads at a follower that is still catching up.
+func (s *server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.node != nil {
+		if ok, reason := s.node.Ready(); !ok {
+			s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "reason": reason})
+			return
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -596,6 +732,10 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 	if s.walStats != nil {
 		ws := s.walStats()
 		resp.WAL = &walMetrics{WALStats: ws, RecordsPerFsync: ws.RecordsPerFsync()}
+	}
+	if s.node != nil {
+		m := s.node.Metrics()
+		resp.Replication = &m
 	}
 	s.writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,399 @@
+package main
+
+// Cluster mode: instead of driving an in-process store, sesload
+// -cluster URL drives a sesd daemon or sesrouter front over HTTP with
+// the same kind of mixed workload, and records what the cluster
+// ACKNOWLEDGED — an op counts only when its 2xx response arrives. The
+// resulting -ack-file is the ground truth for the kill -9 smoke test:
+// after a node is killed mid-run and the router fails over,
+// `sesload -check-acks FILE -cluster URL` re-reads every session's
+// counters from the surviving cluster and fails if any acknowledged
+// mutation went missing. Transient errors (a node dying, the router
+// converging) are retried until the drive deadline, and only the
+// retried op's eventual success is acknowledged.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ses"
+	"ses/internal/core"
+	"ses/internal/dataset"
+	"ses/internal/randx"
+	"ses/internal/sestest"
+)
+
+// ackCounters is one session's acknowledged-op tally: every count was
+// confirmed by a 2xx response, so the cluster must never report less.
+type ackCounters struct {
+	Mutations uint64 `json:"mutations"`
+	Batches   uint64 `json:"batches"`
+	Resolves  uint64 `json:"resolves"`
+}
+
+// ackDoc is the -ack-file document.
+type ackDoc struct {
+	Cluster  string                 `json:"cluster"`
+	Sessions map[string]ackCounters `json:"sessions"`
+}
+
+// clusterClient wraps the HTTP calls one driver makes.
+type clusterClient struct {
+	base   string
+	client *http.Client
+}
+
+// retryDeadline bounds how long a failed op is retried: long enough
+// to ride out a node kill plus router convergence, short enough that
+// a genuinely dead cluster fails the run.
+const retryDeadline = 30 * time.Second
+
+// post sends one JSON request, retrying transient failures (transport
+// errors and 5xx — a dying node or a router mid-failover) until the
+// op is acknowledged or the retry deadline expires. 4xx is never
+// retried: it is an acknowledged rejection, not a loss.
+func (c *clusterClient) post(ctx context.Context, path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	deadline := time.Now().Add(retryDeadline)
+	for {
+		req, err := http.NewRequestWithContext(ctx, "POST", c.base+path, bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.client.Do(req)
+		if err == nil {
+			respBody, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case rerr == nil && resp.StatusCode < 300:
+				if out == nil {
+					return nil
+				}
+				return json.Unmarshal(respBody, out)
+			case resp.StatusCode >= 300 && resp.StatusCode < 500:
+				return fmt.Errorf("POST %s: %s: %s", path, resp.Status, respBody)
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("POST %s: %w", path, err)
+			}
+			return fmt.Errorf("POST %s: gave up retrying", path)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// get fetches one JSON document with the same retry policy.
+func (c *clusterClient) get(ctx context.Context, path string, out any) error {
+	deadline := time.Now().Add(retryDeadline)
+	for {
+		req, err := http.NewRequestWithContext(ctx, "GET", c.base+path, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.client.Do(req)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			switch {
+			case rerr == nil && resp.StatusCode < 300:
+				return json.Unmarshal(body, out)
+			case resp.StatusCode >= 300 && resp.StatusCode < 500:
+				return fmt.Errorf("GET %s: %s: %s", path, resp.Status, body)
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("GET %s: %w", path, err)
+			}
+			return fmt.Errorf("GET %s: gave up retrying", path)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// clusterDriveResult is one driver's contribution in cluster mode.
+type clusterDriveResult struct {
+	lat  [numOps][]float64
+	warm float64
+	acks ackCounters
+	err  error
+}
+
+// runCluster is the -cluster entry point: N drivers over HTTP, acked
+// counters recorded per session, optional -ack-file at the end.
+func runCluster(clusterURL, ackFile, jsonPath, namePrefix string, sessions int, duration time.Duration,
+	users, events, intervals, competing, k int, seed uint64, out io.Writer) error {
+	ctx := context.Background()
+	cc := &clusterClient{base: clusterURL, client: &http.Client{Timeout: 60 * time.Second}}
+
+	names := make([]string, sessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-%d", namePrefix, i)
+		inst := sestest.Random(sestest.Config{
+			Users: users, Events: events, Intervals: intervals,
+			Competing: competing, Seed: seed + uint64(i),
+		})
+		doc, err := dataset.NewInstanceDoc(inst)
+		if err != nil {
+			return err
+		}
+		if err := cc.post(ctx, "/v1/sessions", map[string]any{
+			"name": names[i], "k": k, "instance": doc,
+		}, nil); err != nil {
+			return err
+		}
+	}
+
+	results := make([]clusterDriveResult, sessions)
+	var warmed, wg sync.WaitGroup
+	start := make(chan struct{})
+	warmStart := time.Now()
+	for i := 0; i < sessions; i++ {
+		warmed.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = driveClusterSession(ctx, cc, names[i], i, seed, users, events, intervals, &warmed, start, duration)
+		}(i)
+	}
+	warmed.Wait()
+	warmupElapsed := time.Since(warmStart)
+	close(start)
+	measureStart := time.Now()
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+
+	rep := report{
+		Sessions:   sessions,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Users:      users,
+		Events:     events,
+		Intervals:  intervals,
+		K:          k,
+		Ops:        map[string]latencySummary{},
+	}
+	acks := ackDoc{Cluster: clusterURL, Sessions: map[string]ackCounters{}}
+	var merged [numOps][]float64
+	var warm []float64
+	for i := range results {
+		if results[i].err != nil {
+			return fmt.Errorf("session %s: %w", names[i], results[i].err)
+		}
+		for c := 0; c < numOps; c++ {
+			merged[c] = append(merged[c], results[i].lat[c]...)
+		}
+		warm = append(warm, results[i].warm)
+		acks.Sessions[names[i]] = results[i].acks
+	}
+	rep.DurationSec = elapsed.Seconds()
+	rep.WarmupSec = warmupElapsed.Seconds()
+	rep.DriversPerCore = float64(sessions) / float64(runtime.GOMAXPROCS(0))
+	sort.Float64s(warm)
+	rep.Warmup = summarize(warm)
+	for c := 0; c < numOps; c++ {
+		lat := merged[c]
+		sort.Float64s(lat)
+		rep.TotalOps += len(lat)
+		if len(lat) == 0 {
+			continue
+		}
+		rep.Ops[opNames[c]] = summarize(lat)
+	}
+	rep.OpsPerSec = float64(rep.TotalOps) / elapsed.Seconds()
+
+	fmt.Fprintf(out, "sesload: cluster %s, %d sessions, %.2fs, %d ops (%.0f ops/sec)\n",
+		clusterURL, sessions, rep.DurationSec, rep.TotalOps, rep.OpsPerSec)
+	for c := 0; c < numOps; c++ {
+		if s, ok := rep.Ops[opNames[c]]; ok {
+			fmt.Fprintf(out, "  %-8s %7d ops  p50 %8.1fµs  p90 %8.1fµs  p99 %8.1fµs  max %8.1fµs\n",
+				opNames[c], s.Count, s.P50us, s.P90us, s.P99us, s.MaxUs)
+		}
+	}
+	if jsonPath != "" {
+		if err := writeJSONFile(jsonPath, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "report written to %s\n", jsonPath)
+	}
+	if ackFile != "" {
+		if err := writeJSONFile(ackFile, acks); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "acknowledged counters written to %s\n", ackFile)
+	}
+	return nil
+}
+
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// driveClusterSession runs one session's HTTP workload: ~50% batches
+// (two mutations), ~30% resolves, ~20% metadata/schedule reads. Every
+// acknowledged write bumps the driver's acked counters; a retried op
+// is counted once, when its success response finally arrives.
+func driveClusterSession(ctx context.Context, cc *clusterClient, name string, idx int, seed uint64,
+	users, events, intervals int, warmed *sync.WaitGroup, start <-chan struct{}, dur time.Duration) (res clusterDriveResult) {
+	src := randx.Derive(seed+uint64(idx), "sesload-cluster")
+
+	observe := func(c int, f func() error) bool {
+		t0 := time.Now()
+		err := f()
+		res.lat[c] = append(res.lat[c], time.Since(t0).Seconds())
+		if err != nil {
+			res.err = err
+			return false
+		}
+		return true
+	}
+
+	t0 := time.Now()
+	err := cc.post(ctx, "/v1/sessions/"+name+"/resolve", map[string]any{}, nil)
+	res.warm = time.Since(t0).Seconds()
+	warmed.Done()
+	if err != nil {
+		res.err = err
+		return
+	}
+	res.acks.Resolves++
+	<-start
+	deadline := time.Now().Add(dur)
+
+	for time.Now().Before(deadline) {
+		switch r := src.IntN(10); {
+		case r < 5: // batch of two mutations
+			muts := []ses.Mutation{
+				ses.UpdateInterestOp(src.IntN(users), src.IntN(events), src.Range(0, 1)),
+				ses.AddCompetingOp(core.CompetingEvent{Interval: src.IntN(intervals)},
+					map[int]float64{src.IntN(users): src.Range(0.1, 1)}),
+			}
+			if !observe(opBatch, func() error {
+				return cc.post(ctx, "/v1/sessions/"+name+"/batch", map[string]any{"mutations": muts}, nil)
+			}) {
+				return
+			}
+			res.acks.Batches++
+			res.acks.Mutations += uint64(len(muts))
+			res.acks.Resolves++ // the batch's own committed resolve
+		case r < 8: // resolve
+			if !observe(opResolve, func() error {
+				return cc.post(ctx, "/v1/sessions/"+name+"/resolve", map[string]any{}, nil)
+			}) {
+				return
+			}
+			res.acks.Resolves++
+		case r < 9: // metadata read
+			if !observe(opMutate, func() error {
+				var m ses.SessionMeta
+				return cc.get(ctx, "/v1/sessions/"+name, &m)
+			}) {
+				return
+			}
+		default: // schedule read
+			if !observe(opSnapshot, func() error {
+				var s struct {
+					Assignments []ses.Assignment `json:"assignments"`
+				}
+				return cc.get(ctx, "/v1/sessions/"+name+"/schedule", &s)
+			}) {
+				return
+			}
+		}
+	}
+	return
+}
+
+// runCheckAcks is the -check-acks verifier: it reloads the ack file a
+// previous -cluster run wrote and asserts the cluster still holds at
+// least every acknowledged op — the zero-acknowledged-loss invariant
+// the kill -9 smoke test checks after failover. Counters may exceed
+// the acks (an op that committed but whose response was lost is
+// retried and double-counted server-side); they must never fall
+// short.
+func runCheckAcks(ackPath, clusterURL string, out io.Writer) error {
+	if clusterURL == "" {
+		return fmt.Errorf("-check-acks needs -cluster URL")
+	}
+	raw, err := os.ReadFile(ackPath)
+	if err != nil {
+		return err
+	}
+	var acks ackDoc
+	if err := json.Unmarshal(raw, &acks); err != nil {
+		return err
+	}
+	cc := &clusterClient{base: clusterURL, client: &http.Client{Timeout: 60 * time.Second}}
+	ctx := context.Background()
+	// One list call instead of per-session GETs: the router's list
+	// fans out to every live node and keeps each session's entry from
+	// its effective primary, so the counters are authoritative — a
+	// per-session GET could round-robin onto a follower replica that
+	// legitimately trails by a few records.
+	var metas []ses.SessionMeta
+	if err := cc.get(ctx, "/v1/sessions", &metas); err != nil {
+		return err
+	}
+	byName := make(map[string]ses.SessionMeta, len(metas))
+	for _, m := range metas {
+		byName[m.Name] = m
+	}
+	var lost []string
+	names := make([]string, 0, len(acks.Sessions))
+	for name := range acks.Sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := acks.Sessions[name]
+		m, ok := byName[name]
+		if !ok {
+			lost = append(lost, fmt.Sprintf("%s: missing from the cluster after failover", name))
+			continue
+		}
+		if m.Mutations < want.Mutations || m.Batches < want.Batches || m.Resolves < want.Resolves {
+			lost = append(lost, fmt.Sprintf("%s: cluster has mutations=%d batches=%d resolves=%d, acknowledged mutations=%d batches=%d resolves=%d",
+				name, m.Mutations, m.Batches, m.Resolves, want.Mutations, want.Batches, want.Resolves))
+		}
+	}
+	if len(lost) > 0 {
+		for _, l := range lost {
+			fmt.Fprintln(out, "LOST:", l)
+		}
+		return fmt.Errorf("%d of %d sessions lost acknowledged operations", len(lost), len(acks.Sessions))
+	}
+	fmt.Fprintf(out, "sesload: all %d sessions retain every acknowledged operation\n", len(acks.Sessions))
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+)
+
+// TestClusterClientRetryPolicy pins the ack semantics the loss check
+// depends on: transient failures (transport errors, 5xx) retry until
+// acknowledged, 4xx returns immediately as an acknowledged rejection.
+func TestClusterClientRetryPolicy(t *testing.T) {
+	var gets, posts atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/flaky-get":
+			if gets.Add(1) < 3 {
+				http.Error(w, "dying", http.StatusServiceUnavailable)
+				return
+			}
+			w.Write([]byte(`{"ok":true}`))
+		case "/flaky-post":
+			if posts.Add(1) < 3 {
+				http.Error(w, "mid-failover", http.StatusBadGateway)
+				return
+			}
+			w.Write([]byte(`{}`))
+		case "/reject":
+			http.Error(w, "no such session", http.StatusNotFound)
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+	}))
+	defer srv.Close()
+
+	cc := &clusterClient{base: srv.URL, client: srv.Client()}
+	ctx := context.Background()
+
+	var doc struct {
+		OK bool `json:"ok"`
+	}
+	if err := cc.get(ctx, "/flaky-get", &doc); err != nil || !doc.OK {
+		t.Fatalf("get after 5xxs: %v (doc %+v)", err, doc)
+	}
+	if n := gets.Load(); n != 3 {
+		t.Errorf("get tried %d times, want 3", n)
+	}
+	if err := cc.post(ctx, "/flaky-post", map[string]int{"x": 1}, nil); err != nil {
+		t.Fatalf("post after 5xxs: %v", err)
+	}
+	if n := posts.Load(); n != 3 {
+		t.Errorf("post tried %d times, want 3", n)
+	}
+
+	// 4xx: acknowledged rejection, no retry, immediate error.
+	if err := cc.post(ctx, "/reject", map[string]int{}, nil); err == nil {
+		t.Error("post to 404 succeeded")
+	}
+	if err := cc.get(ctx, "/reject", &doc); err == nil {
+		t.Error("get of 404 succeeded")
+	}
+
+	// A cancelled context stops the retry loop promptly instead of
+	// burning the full retry deadline.
+	gets.Store(0) // back under the threshold: /flaky-get 503s again
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := cc.get(cctx, "/flaky-get", &doc); err == nil {
+		t.Error("get with cancelled context succeeded")
+	}
+}

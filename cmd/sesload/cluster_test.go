@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"ses"
+)
+
+// stubDaemon mimics the sesd session surface closely enough for the
+// cluster driver: it keeps real acked counters per session and can be
+// told to fail every Nth write with a 503 (a node dying mid-request)
+// to exercise the retry path.
+type stubDaemon struct {
+	mu       sync.Mutex
+	sessions map[string]*ses.SessionMeta
+	writes   int
+	failMod  int // every failMod'th write 503s before applying
+}
+
+func newStubDaemon(failMod int) *stubDaemon {
+	return &stubDaemon{sessions: map[string]*ses.SessionMeta{}, failMod: failMod}
+}
+
+func (d *stubDaemon) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Name string `json:"name"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		d.mu.Lock()
+		d.sessions[req.Name] = &ses.SessionMeta{Name: req.Name}
+		d.mu.Unlock()
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, "{}")
+	})
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		metas := make([]ses.SessionMeta, 0, len(d.sessions))
+		for _, m := range d.sessions {
+			metas = append(metas, *m)
+		}
+		d.mu.Unlock()
+		json.NewEncoder(w).Encode(metas)
+	})
+	mux.HandleFunc("GET /v1/sessions/{name}", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		m, ok := d.sessions[r.PathValue("name")]
+		if !ok {
+			d.mu.Unlock()
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		cp := *m
+		d.mu.Unlock()
+		json.NewEncoder(w).Encode(cp)
+	})
+	mux.HandleFunc("GET /v1/sessions/{name}/schedule", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"assignments":[],"utility":0}`)
+	})
+	write := func(w http.ResponseWriter, r *http.Request, apply func(m *ses.SessionMeta)) {
+		d.mu.Lock()
+		d.writes++
+		if d.failMod > 0 && d.writes%d.failMod == 0 {
+			d.mu.Unlock()
+			http.Error(w, "node dying", http.StatusServiceUnavailable)
+			return
+		}
+		m, ok := d.sessions[r.PathValue("name")]
+		if !ok {
+			d.mu.Unlock()
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		apply(m)
+		d.mu.Unlock()
+		fmt.Fprint(w, "{}")
+	}
+	mux.HandleFunc("POST /v1/sessions/{name}/resolve", func(w http.ResponseWriter, r *http.Request) {
+		write(w, r, func(m *ses.SessionMeta) { m.Resolves++ })
+	})
+	mux.HandleFunc("POST /v1/sessions/{name}/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Mutations []json.RawMessage `json:"mutations"`
+		}
+		json.NewDecoder(r.Body).Decode(&req)
+		write(w, r, func(m *ses.SessionMeta) {
+			m.Mutations += uint64(len(req.Mutations))
+			m.Batches++
+			m.Resolves++
+		})
+	})
+	return mux
+}
+
+// TestClusterDriveAndCheckAcks drives the stub through the cluster
+// path — with every 7th write 503ing so the retry loop is exercised —
+// then verifies the ack file both against the intact stub (must pass)
+// and after counters are rolled back (must report loss).
+func TestClusterDriveAndCheckAcks(t *testing.T) {
+	stub := newStubDaemon(7)
+	srv := httptest.NewServer(stub.handler())
+	defer srv.Close()
+
+	dir := t.TempDir()
+	ackPath := filepath.Join(dir, "acks.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-cluster", srv.URL,
+		"-sessions", "4",
+		"-duration", "300ms",
+		"-users", "10", "-events", "6", "-intervals", "3", "-competing", "1", "-k", "3",
+		"-ack-file", ackPath,
+		"-json", filepath.Join(dir, "rep.json"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("cluster run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "acknowledged counters written") {
+		t.Errorf("missing ack-file line in output:\n%s", out.String())
+	}
+
+	var acks ackDoc
+	data, err := os.ReadFile(ackPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &acks); err != nil {
+		t.Fatal(err)
+	}
+	if len(acks.Sessions) != 4 {
+		t.Fatalf("ack file has %d sessions, want 4", len(acks.Sessions))
+	}
+	var totalOps uint64
+	for name, c := range acks.Sessions {
+		m := stub.sessions[name]
+		if m == nil {
+			t.Fatalf("acked session %s unknown to stub", name)
+		}
+		if m.Mutations < c.Mutations || m.Batches < c.Batches || m.Resolves < c.Resolves {
+			t.Errorf("%s: stub has %d/%d/%d, acked %d/%d/%d",
+				name, m.Mutations, m.Batches, m.Resolves, c.Mutations, c.Batches, c.Resolves)
+		}
+		totalOps += c.Batches + c.Resolves
+	}
+	if totalOps == 0 {
+		t.Fatal("drivers acknowledged no ops")
+	}
+
+	// Verification against the intact stub passes.
+	out.Reset()
+	if err := run([]string{"-check-acks", ackPath, "-cluster", srv.URL}, &out); err != nil {
+		t.Fatalf("check-acks on intact cluster: %v\n%s", err, out.String())
+	}
+
+	// Roll one session's counters back — simulated acknowledged loss —
+	// and the check must fail, naming the session.
+	var victim string
+	for name := range acks.Sessions {
+		if acks.Sessions[name].Mutations > 0 {
+			victim = name
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no session with acked mutations")
+	}
+	stub.mu.Lock()
+	stub.sessions[victim].Mutations = 0
+	stub.mu.Unlock()
+	out.Reset()
+	if err := run([]string{"-check-acks", ackPath, "-cluster", srv.URL}, &out); err == nil {
+		t.Fatalf("check-acks missed the rollback:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), victim) {
+		t.Errorf("loss report does not name %s:\n%s", victim, out.String())
+	}
+}
+
+func TestClusterFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-ack-file", "x.json"}, &out); err == nil {
+		t.Error("-ack-file without -cluster accepted")
+	}
+	if err := run([]string{"-cluster", "http://x", "-durable", t.TempDir()}, &out); err == nil {
+		t.Error("-cluster with -durable accepted")
+	}
+	if err := run([]string{"-check-acks", "nope.json"}, &out); err == nil {
+		t.Error("-check-acks without -cluster accepted")
+	}
+}

@@ -10,6 +10,7 @@
 //	        [-intervals 5] [-competing 3] [-k 6] [-seed 1]
 //	        [-workers 1] [-resolve-workers 0] [-json BENCH_store.json]
 //	        [-durable DIR] [-sync always|interval|none] [-group-commit]
+//	        [-cluster URL [-ack-file FILE]] | [-check-acks FILE -cluster URL]
 //
 // The run has two phases. Warm-up: every session performs its first
 // full resolve (the expensive from-scratch solve that builds the
@@ -44,6 +45,16 @@
 // With -resolve-workers N > 0, resolves and batches are routed
 // through a ses.Pipeline over the store instead of calling it
 // directly, exercising the coalescing worker pool under load.
+//
+// With -cluster URL the drivers speak HTTP to a sesd daemon or a
+// sesrouter front instead of an in-process store, retrying transient
+// failures (a node being kill -9'd, the router converging on a
+// failover) and counting an op only when its 2xx acknowledgement
+// arrives. -ack-file records the per-session acknowledged counters;
+// a later `sesload -check-acks FILE -cluster URL` asserts the cluster
+// still holds at least every acknowledged op — the
+// zero-acknowledged-loss check the CI cluster smoke runs after
+// killing a node mid-drive.
 package main
 
 import (
@@ -55,6 +66,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -162,11 +174,28 @@ func run(args []string, out io.Writer) error {
 	durableDir := fs.String("durable", "", "open a durable store with its write-ahead log under this directory")
 	syncSpec := fs.String("sync", "always", "WAL sync policy with -durable: always, interval or none")
 	groupCommit := fs.Bool("group-commit", false, "enable WAL group commit with -durable -sync always")
+	clusterURL := fs.String("cluster", "", "drive a sesd/sesrouter base URL over HTTP instead of an in-process store")
+	ackFile := fs.String("ack-file", "", "with -cluster: write per-session acknowledged counters to this file")
+	checkAcks := fs.String("check-acks", "", "verify a previous run's ack file against -cluster and exit")
+	namePrefix := fs.String("name-prefix", "load", "with -cluster: session name prefix (lets two drive phases coexist)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *checkAcks != "" {
+		return runCheckAcks(*checkAcks, strings.TrimSuffix(*clusterURL, "/"), out)
+	}
 	if *sessions <= 0 {
 		return fmt.Errorf("-sessions must be positive")
+	}
+	if *clusterURL != "" {
+		if *durableDir != "" || *resolveWorkers > 0 {
+			return fmt.Errorf("-cluster drives a remote daemon; -durable/-resolve-workers don't apply")
+		}
+		return runCluster(strings.TrimSuffix(*clusterURL, "/"), *ackFile, *jsonPath, *namePrefix,
+			*sessions, *duration, *users, *events, *intervals, *competing, *k, *seed, out)
+	}
+	if *ackFile != "" {
+		return fmt.Errorf("-ack-file only applies with -cluster")
 	}
 
 	var st loadStore

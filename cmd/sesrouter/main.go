@@ -1,0 +1,127 @@
+// Command sesrouter is the failover proxy in front of a replicated
+// sesd cluster: one address clients talk to while sessions live
+// spread across N nodes. It routes by the same consistent-hash ring
+// the nodes use — mutations (create, delete, resolve, batch, restore)
+// and snapshot reads go to a session's primary, other GET reads
+// round-robin across live nodes and fall back to the primary on a
+// replica miss, and GET /v1/sessions fans out to every node and
+// merges.
+//
+// The router polls every node's /v1/replication/status; -down-after
+// consecutive failed polls mark a node dead and trigger failover: the
+// surviving follower whose replication cursor over the dead node is
+// highest — the longest acknowledged prefix — is told to promote
+// (POST /v1/replication/promote) and inherits the dead node's
+// sessions until it returns. Because acks follow the group-commit
+// fsync and followers apply the primary's own WAL records,
+// acknowledged mutations survive the failover.
+//
+// Usage:
+//
+//	sesrouter -peers ID=URL,ID=URL,... [-addr :8090]
+//	          [-vnodes 64] [-health-interval 250ms] [-down-after 3]
+//
+// -peers and -vnodes must match the sesd nodes' own flags. The
+// router's view is at GET /v1/router/status.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ses/internal/cluster"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		log.Fatalf("sesrouter: %v", err)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("sesrouter", flag.ExitOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	peersSpec := fs.String("peers", "", "cluster membership as ID=URL,ID=URL,... (same map the sesd nodes run with)")
+	vnodes := fs.Int("vnodes", 0, "virtual nodes per member; must match the cluster (0 = default)")
+	healthIvl := fs.Duration("health-interval", 0, "node status poll period (0 = 250ms)")
+	downAfter := fs.Int("down-after", 0, "consecutive failed polls before a node is dead (0 = 3)")
+	fs.Parse(args)
+
+	peers, err := parsePeers(*peersSpec)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Peers:          peers,
+		VNodes:         *vnodes,
+		HealthInterval: *healthIvl,
+		DownAfter:      *downAfter,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("sesrouter: fronting %d nodes on %s", len(peers), ln.Addr())
+	httpSrv := &http.Server{Handler: rt}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	case <-ctx.Done():
+	}
+	log.Printf("sesrouter: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		httpSrv.Close()
+	}
+	log.Printf("sesrouter: bye")
+	return nil
+}
+
+// parsePeers parses the -peers spec: comma-separated ID=URL pairs
+// (the same syntax sesd takes).
+func parsePeers(spec string) (map[string]string, error) {
+	peers := map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want ID=URL)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = strings.TrimSuffix(url, "/")
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers is required")
+	}
+	return peers, nil
+}

@@ -11,6 +11,13 @@
 //	                             aggregate record/segment/byte accounting; with
 //	                             -metrics, the live daemon's append/fsync counters
 //	                             (records per fsync — group-commit amortization)
+//	                             and, when the daemon replicates, the replication
+//	                             section (records shipped/applied, follower lag)
+//	seswal tail   [-shard N] [-from SEQ:OFF] [-n N] [-full] DIR
+//	                             follow the log live, printing records as they
+//	                             commit (the same stream a cluster follower
+//	                             applies); -from resumes a shard from a cursor,
+//	                             -n exits after N records
 //
 // DIR is the store's data directory (the one holding shard-NN
 // subdirectories). Exit status: 0 when every record parses (torn
@@ -27,18 +34,22 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
+	"ses/internal/cluster"
 	"ses/internal/store"
 	"ses/internal/wal"
 )
@@ -84,8 +95,11 @@ func run(args []string, out io.Writer) error {
 	}
 	verb, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("seswal "+verb, flag.ContinueOnError)
-	full := fs.Bool("full", false, "dump: embed full session snapshots instead of summaries")
+	full := fs.Bool("full", false, "dump/tail: embed full session snapshots instead of summaries")
 	metricsURL := fs.String("metrics", "", "stats: fetch live append/fsync counters from this sesd base URL or /v1/metrics endpoint")
+	tailShard := fs.Int("shard", -1, "tail: follow only this shard (default: all shards)")
+	tailFrom := fs.String("from", "", "tail: resume cursor SEQ:OFF (requires -shard)")
+	tailCount := fs.Int("n", 0, "tail: exit after N records (0 = follow forever)")
 	if err := fs.Parse(rest); err != nil {
 		return err
 	}
@@ -102,8 +116,10 @@ func run(args []string, out io.Writer) error {
 		return runDump(dir, *full, out)
 	case "stats":
 		return runStats(dir, *metricsURL, out)
+	case "tail":
+		return runTail(dir, *tailShard, *tailFrom, *tailCount, *full, out)
 	default:
-		return fmt.Errorf("unknown command %q (want ls, verify, dump or stats)", verb)
+		return fmt.Errorf("unknown command %q (want ls, verify, dump, stats or tail)", verb)
 	}
 }
 
@@ -278,7 +294,7 @@ func runStats(dir, metricsURL string, out io.Writer) error {
 		fmt.Fprintln(out, "fsyncs:       process-lifetime counters, not on-disk state; point -metrics at a running sesd for records-per-fsync")
 		return nil
 	}
-	ws, err := fetchWALMetrics(metricsURL)
+	ws, rep, err := fetchWALMetrics(metricsURL)
 	if err != nil {
 		return err
 	}
@@ -289,6 +305,18 @@ func runStats(dir, metricsURL string, out io.Writer) error {
 			ws.Batches, ws.BatchedRecords, float64(ws.BatchedRecords)/float64(ws.Batches))
 	} else {
 		fmt.Fprintln(out, "group commit: no batches committed (disabled, or no concurrent appenders yet)")
+	}
+	if rep != nil {
+		fmt.Fprintf(out, "replication:  node %s following %s; %d streams out\n",
+			rep.NodeID, strings.Join(rep.Peers, ","), rep.ActiveStreams)
+		fmt.Fprintf(out, "  shipped:    %d records, %d bytes\n", rep.RecordsShipped, rep.BytesShipped)
+		fmt.Fprintf(out, "  applied:    %d records, %d bytes\n", rep.RecordsApplied, rep.BytesApplied)
+		fmt.Fprintf(out, "  lag:        %d records, %d bytes behind the primaries\n",
+			rep.FollowerLagRecords, rep.FollowerLagBytes)
+		if rep.LastFailoverUnixMS > 0 {
+			fmt.Fprintf(out, "  failover:   promoted %d sessions, last at unix ms %d\n",
+				rep.PromotedSessions, rep.LastFailoverUnixMS)
+		}
 	}
 	return nil
 }
@@ -302,9 +330,11 @@ type liveWALMetrics struct {
 	RecordsPerFsync float64 `json:"records_per_fsync"`
 }
 
-// fetchWALMetrics pulls the wal counters from a sesd metrics endpoint;
-// url may be the daemon base URL or the full /v1/metrics path.
-func fetchWALMetrics(url string) (*liveWALMetrics, error) {
+// fetchWALMetrics pulls the wal counters — and the replication
+// section, when the daemon is clustered — from a sesd metrics
+// endpoint; url may be the daemon base URL or the full /v1/metrics
+// path.
+func fetchWALMetrics(url string) (*liveWALMetrics, *cluster.Metrics, error) {
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
@@ -313,22 +343,23 @@ func fetchWALMetrics(url string) (*liveWALMetrics, error) {
 	}
 	resp, err := http.Get(url)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+		return nil, nil, fmt.Errorf("GET %s: %s", url, resp.Status)
 	}
 	var doc struct {
-		WAL *liveWALMetrics `json:"wal"`
+		WAL         *liveWALMetrics  `json:"wal"`
+		Replication *cluster.Metrics `json:"replication"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("GET %s: %w", url, err)
+		return nil, nil, fmt.Errorf("GET %s: %w", url, err)
 	}
 	if doc.WAL == nil {
-		return nil, fmt.Errorf("GET %s: no wal section (daemon running without -data-dir?)", url)
+		return nil, nil, fmt.Errorf("GET %s: no wal section (daemon running without -data-dir?)", url)
 	}
-	return doc.WAL, nil
+	return doc.WAL, doc.Replication, nil
 }
 
 // sortedKeys returns m's keys in sorted order.
@@ -341,6 +372,103 @@ func sortedKeys(m map[string]int) []string {
 	return keys
 }
 
+// runTail follows the log live: one wal.Tailer per shard delivers
+// records as their appends land, exactly the stream a cluster
+// follower consumes, printed as dump-format JSON lines with the
+// record's post-apply cursor attached. Ctrl-C (or -n) ends the tail.
+func runTail(dir string, shard int, from string, count int, full bool, out io.Writer) error {
+	shards, err := shardLogs(dir)
+	if err != nil {
+		return err
+	}
+	if shard >= 0 {
+		if shard >= store.NumShards {
+			return fmt.Errorf("shard %d out of range [0,%d)", shard, store.NumShards)
+		}
+		shards = []int{shard}
+	}
+	var cur wal.Cursor
+	if from != "" {
+		if shard < 0 {
+			return fmt.Errorf("-from needs -shard: a cursor names a position in one shard's log")
+		}
+		if cur, err = wal.ParseCursor(from); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	enc := json.NewEncoder(out)
+	var mu sync.Mutex
+	emitted := 0
+	emit := func(line dumpLine) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if count > 0 && emitted >= count {
+			return nil
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+		emitted++
+		if count > 0 && emitted >= count {
+			cancel()
+		}
+		return nil
+	}
+
+	errs := make(chan error, len(shards))
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func(s int, from wal.Cursor) {
+			defer wg.Done()
+			t := wal.NewTailer(filepath.Join(dir, fmt.Sprintf("shard-%02d", s)), from, wal.TailerOptions{})
+			defer t.Close()
+			for {
+				r, err := t.Next(ctx)
+				if err != nil {
+					if ctx.Err() == nil {
+						errs <- fmt.Errorf("shard %02d: %w", s, err)
+						cancel()
+					}
+					return
+				}
+				rec, err := store.DecodeWALRecord(r.Payload)
+				if err != nil {
+					errs <- fmt.Errorf("shard %02d seg %d offset %d: %w", s, r.Seq, r.Offset, err)
+					cancel()
+					return
+				}
+				line := dumpLine{Shard: s, Seq: r.Seq, Offset: r.Offset, Kind: rec.Kind, Name: rec.Name, Replace: rec.Replace, Cursor: wal.Cursor{Seq: r.Seq, Off: r.End}.String()}
+				if full {
+					line.Record = rec
+				} else if rec.Snapshot != nil {
+					line.K = rec.Snapshot.K
+					line.Objective = rec.Snapshot.Objective
+					line.Events = len(rec.Snapshot.Instance.Events)
+				}
+				if err := emit(line); err != nil {
+					errs <- err
+					cancel()
+					return
+				}
+			}
+		}(s, cur)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
 // dumpLine is one JSON line of seswal dump.
 type dumpLine struct {
 	Shard  int    `json:"shard"`
@@ -348,6 +476,10 @@ type dumpLine struct {
 	Offset int64  `json:"offset,omitempty"`
 	Kind   string `json:"kind"`
 	Name   string `json:"name"`
+	// Cursor is the record's post-apply cursor ("seq:off"), printed by
+	// tail — the resume point for -from and the position a replication
+	// follower holds after applying this record.
+	Cursor string `json:"cursor,omitempty"`
 	// Compact summaries (default mode).
 	K         int     `json:"k,omitempty"`
 	Objective string  `json:"objective,omitempty"`

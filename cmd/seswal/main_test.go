@@ -303,3 +303,96 @@ func TestSeswalVerifyFlagsCorruption(t *testing.T) {
 		t.Error("dump accepted a bogus record")
 	}
 }
+
+// buildOpenLog creates a durable store with traffic and leaves it
+// un-checkpointed (no Close), so every record is still in the log.
+func buildOpenLog(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := ses.OpenStore(ses.WithDurability(dir), ses.WithSyncPolicy(ses.SyncNone), ses.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	inst := sestest.Random(sestest.Config{Users: 20, Events: 8, Intervals: 3, Competing: 2, Seed: 5})
+	ctx := context.Background()
+	if err := st.Create("tailed", inst, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.ApplyBatch(ctx, "tailed", []ses.Mutation{ses.SetKOp(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Resolve(ctx, "tailed"); err != nil {
+		t.Fatal(err)
+	}
+	return dir, "tailed"
+}
+
+func TestSeswalTail(t *testing.T) {
+	dir, name := buildOpenLog(t)
+
+	// -n bounds the tail, so it terminates once the log's three
+	// records (create, batch, resolve) are delivered.
+	var out strings.Builder
+	if err := run([]string{"tail", "-n", "3", dir}, &out); err != nil {
+		t.Fatalf("tail: %v\noutput: %s", err, out.String())
+	}
+	var kinds []string
+	var cursors []string
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	for sc.Scan() {
+		var line dumpLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad tail line %q: %v", sc.Text(), err)
+		}
+		if line.Name != name {
+			t.Errorf("tail line names %q, want %q", line.Name, name)
+		}
+		if line.Cursor == "" {
+			t.Errorf("tail line has no cursor: %q", sc.Text())
+		}
+		kinds = append(kinds, line.Kind)
+		cursors = append(cursors, line.Cursor)
+	}
+	if want := []string{"create", "batch", "resolve"}; strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("tail kinds = %v, want %v", kinds, want)
+	}
+
+	// Resuming -from the first record's cursor replays only the rest.
+	shard := 0
+	for s := 0; s < 64; s++ {
+		if _, err := os.Stat(filepath.Join(dir, "shard-"+twoDigits(s))); err == nil {
+			shard = s
+			break
+		}
+	}
+	out.Reset()
+	if err := run([]string{"tail", "-shard", itoa(shard), "-from", cursors[0], "-n", "2", dir}, &out); err != nil {
+		t.Fatalf("tail -from: %v", err)
+	}
+	var resumed []string
+	sc = bufio.NewScanner(strings.NewReader(out.String()))
+	for sc.Scan() {
+		var line dumpLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		resumed = append(resumed, line.Kind)
+	}
+	if want := []string{"batch", "resolve"}; strings.Join(resumed, ",") != strings.Join(want, ",") {
+		t.Fatalf("resumed kinds = %v, want %v", resumed, want)
+	}
+
+	// -from without -shard is a usage error.
+	if err := run([]string{"tail", "-from", "1:7", dir}, io.Discard); err == nil {
+		t.Error("tail -from without -shard accepted")
+	}
+}
+
+func twoDigits(n int) string {
+	return string([]byte{'0' + byte(n/10), '0' + byte(n%10)})
+}
+
+func itoa(n int) string {
+	return twoDigits(n)
+}

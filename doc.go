@@ -208,6 +208,34 @@
 // committed prefix. The seswal command inspects, verifies and dumps
 // log directories offline.
 //
+// # Architecture: the replication layer
+//
+// The cluster layer (ses/internal/cluster, surfaced here as
+// ClusterRing, WALCursor and WALTailer) replicates durable stores
+// across nodes. Placement is a consistent-hash ring over the peer
+// set — every member and the router build the identical ring from the
+// identical -peers map, so a session's primary needs no coordination
+// to compute. Each node follows every peer: a streaming HTTP endpoint
+// (/v1/replication/stream) tails the primary's per-shard WALs live
+// via WALTailer — across segment rotation, stopping cleanly at torn
+// tails — and the follower applies the records through the same
+// replay path recovery uses, into an in-memory replica store serving
+// lock-free Meta and read fallbacks while staying warm for takeover.
+// Because a record is shipped only after the primary's group-commit
+// fsync acknowledged it, replication never advertises state the
+// primary could lose. The sesd daemon joins a cluster with -node-id
+// and -peers (health and readiness on /v1/healthz and /v1/readyz,
+// replication lag under /v1/metrics); the sesrouter command fronts
+// the cluster, routing mutations to primaries, fanning reads across
+// followers, and on node death promoting the follower with the
+// highest replication cursor — the survivor adopts the dead node's
+// sessions durably (counters preserved exactly), and the promotion
+// is sticky until an operator reroutes. sesload -cluster drives a
+// cluster with acknowledged-operation accounting, and its -check-acks
+// mode proves after a kill -9 that nothing acknowledged was lost;
+// sesbench -fig cluster prices node-count scaling and the failover
+// timeline into BENCH_cluster.json.
+//
 // # Quick start
 //
 //	ds, _ := ses.GenerateEBSN(ses.EBSNConfig{Seed: 1, NumUsers: 2000,

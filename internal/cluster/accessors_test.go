@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"ses/internal/store"
+	"ses/internal/wal"
+)
+
+// TestNodeAccessors pins the read-only surface deployment tooling
+// leans on: identity, ring, placement, and the follower's replica.
+func TestNodeAccessors(t *testing.T) {
+	c := newTestCluster(t, 3, store.DurableOptions{})
+	n1 := c.nodes["n1"]
+	if n1.ID() != "n1" {
+		t.Errorf("ID() = %q, want n1", n1.ID())
+	}
+	if n1.Ring() == nil {
+		t.Fatal("Ring() returned nil")
+	}
+	for _, name := range []string{"a", "b", "sess-42"} {
+		if got, want := n1.Owner(name), n1.Ring().Primary(name); got != want {
+			t.Errorf("Owner(%q) = %s, ring says %s", name, got, want)
+		}
+		if got, want := n1.Owner(name), c.nodes["n2"].Owner(name); got != want {
+			t.Errorf("nodes disagree on owner of %q: %s vs %s", name, got, want)
+		}
+	}
+	f := n1.followers["n2"]
+	if f.Replica() == nil || f.Replica().Len() != 0 {
+		t.Errorf("fresh follower replica should be an empty store")
+	}
+}
+
+// TestFollowerResyncShardResetsCursor checks the self-healing path: a
+// record the replica cannot apply zeroes the shard cursor so the next
+// connect replaces the shard from the peer's checkpoint.
+func TestFollowerResyncShardResetsCursor(t *testing.T) {
+	c := newTestCluster(t, 2, store.DurableOptions{})
+	f := c.nodes["n1"].followers["n2"]
+	f.mu.Lock()
+	f.cursors[7] = wal.Cursor{Seq: 3, Off: 128}
+	f.mu.Unlock()
+	cause := errors.New("apply failed")
+	if err := f.resyncShard(7, cause); !errors.Is(err, cause) {
+		t.Fatalf("resyncShard returned %v, want the cause", err)
+	}
+	f.mu.Lock()
+	cur := f.cursors[7]
+	f.mu.Unlock()
+	if !cur.IsZero() {
+		t.Errorf("cursor after resync = %+v, want zero", cur)
+	}
+}
+
+func TestParseShardCursor(t *testing.T) {
+	i, cur, err := parseShardCursor("7", wal.Cursor{Seq: 2, Off: 99}.String())
+	if err != nil || i != 7 || cur.Seq != 2 || cur.Off != 99 {
+		t.Fatalf("parseShardCursor = %d %+v %v", i, cur, err)
+	}
+	for _, bad := range [][2]string{
+		{"x", "1:0"},
+		{"-1", "1:0"},
+		{"9999", "1:0"},
+		{"0", "not-a-cursor"},
+	} {
+		if _, _, err := parseShardCursor(bad[0], bad[1]); err == nil {
+			t.Errorf("parseShardCursor(%q, %q) accepted", bad[0], bad[1])
+		}
+	}
+}

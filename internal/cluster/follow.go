@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"ses/internal/store"
+	"ses/internal/wal"
+)
+
+// Follower maintains one replication stream from a peer primary and
+// applies every shipped record into a warm in-memory replica through
+// the store's shared replay path. A replica is exactly the state the
+// peer would recover at the follower's cursor, which is what makes it
+// safe to promote: takeover is a Restore of each replica session into
+// the local durable store.
+//
+// Followers are not themselves durable — a restarted follower resyncs
+// from the peer's checkpoint and log, the same way a restarted
+// primary recovers from its own.
+type Follower struct {
+	self, peer string
+	url        string
+	replica    *store.Store
+	client     *http.Client
+	logf       func(string, ...any)
+
+	mu             sync.Mutex
+	cursors        [store.NumShards]wal.Cursor
+	connected      bool
+	lastErr        string
+	lastBeat       time.Time
+	lagRecords     uint64
+	lagBytes       uint64
+	recordsApplied uint64
+	bytesApplied   uint64
+
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+func newFollower(self, peer, url string, replica *store.Store, client *http.Client, logf func(string, ...any)) *Follower {
+	if client == nil {
+		client = &http.Client{}
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Follower{self: self, peer: peer, url: url, replica: replica, client: client, logf: logf}
+}
+
+// Replica returns the in-memory store the follower maintains.
+func (f *Follower) Replica() *store.Store { return f.replica }
+
+// start launches the reconnect loop.
+func (f *Follower) start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	f.done = make(chan struct{})
+	go func() {
+		defer close(f.done)
+		f.run(ctx)
+	}()
+}
+
+// stop terminates the stream and waits for the loop to exit.
+func (f *Follower) stop() {
+	if f.cancel != nil {
+		f.cancel()
+		<-f.done
+	}
+}
+
+// run reconnects with backoff until the context ends.
+func (f *Follower) run(ctx context.Context) {
+	backoff := 100 * time.Millisecond
+	for ctx.Err() == nil {
+		started := time.Now()
+		err := f.stream(ctx)
+		f.setDisconnected(err)
+		if ctx.Err() != nil {
+			return
+		}
+		if time.Since(started) > 2*time.Second {
+			backoff = 100 * time.Millisecond // the stream was healthy; reset
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// stream opens one connection and applies messages until it breaks.
+func (f *Follower) stream(ctx context.Context) error {
+	req := streamReq{Node: f.self, Cursors: map[string]string{}}
+	f.mu.Lock()
+	for i, c := range f.cursors {
+		if !c.IsZero() {
+			req.Cursors[strconv.Itoa(i)] = c.String()
+		}
+	}
+	f.mu.Unlock()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, f.url+"/v1/replication/stream", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := f.client.Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: stream to %s: %s: %s", f.peer, resp.Status, bytes.TrimSpace(msg))
+	}
+	f.mu.Lock()
+	f.connected = true
+	f.lastErr = ""
+	f.mu.Unlock()
+	f.logf("cluster: following %s from %s", f.peer, f.url)
+
+	var buf []byte
+	for {
+		m, err := readMsg(resp.Body, &buf)
+		if err != nil {
+			return err
+		}
+		if err := f.apply(m); err != nil {
+			return err
+		}
+	}
+}
+
+// apply dispatches one stream message.
+func (f *Follower) apply(m streamMsg) error {
+	switch m.kind {
+	case msgRecord:
+		rec, err := store.DecodeWALRecord(m.payload)
+		if err != nil {
+			return f.resyncShard(m.shard, fmt.Errorf("decoding record: %w", err))
+		}
+		if err := f.replica.ApplyWALRecord(rec); err != nil {
+			return f.resyncShard(m.shard, fmt.Errorf("applying %s record for %q: %w", rec.Kind, rec.Name, err))
+		}
+		f.mu.Lock()
+		f.cursors[m.shard] = m.cursor()
+		f.recordsApplied++
+		f.bytesApplied += uint64(len(m.payload))
+		f.mu.Unlock()
+		return nil
+	case msgCheckpoint:
+		entries, err := store.DecodeWALCheckpoint(m.payload)
+		if err != nil {
+			return f.resyncShard(m.shard, fmt.Errorf("decoding checkpoint: %w", err))
+		}
+		if err := f.replica.SyncShardToCheckpoint(m.shard, entries); err != nil {
+			return f.resyncShard(m.shard, fmt.Errorf("applying checkpoint: %w", err))
+		}
+		f.mu.Lock()
+		f.cursors[m.shard] = wal.Cursor{Seq: m.a}
+		f.bytesApplied += uint64(len(m.payload))
+		f.mu.Unlock()
+		return nil
+	case msgHeartbeat:
+		if len(m.payload) != 16 {
+			return fmt.Errorf("cluster: malformed heartbeat (%d bytes)", len(m.payload))
+		}
+		f.mu.Lock()
+		f.lagRecords = binary.LittleEndian.Uint64(m.payload[0:8])
+		f.lagBytes = binary.LittleEndian.Uint64(m.payload[8:16])
+		f.lastBeat = time.Now()
+		f.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("cluster: unknown stream message kind %q", m.kind)
+	}
+}
+
+// resyncShard resets one shard's cursor to zero so the next connect
+// replaces the shard from the peer's checkpoint — the self-healing
+// response to a record the replica could not apply.
+func (f *Follower) resyncShard(shard int, cause error) error {
+	f.mu.Lock()
+	f.cursors[shard] = wal.Cursor{}
+	f.mu.Unlock()
+	f.logf("cluster: replica of %s shard %d diverged (%v); resyncing from checkpoint", f.peer, shard, cause)
+	return cause
+}
+
+func (f *Follower) setDisconnected(err error) {
+	f.mu.Lock()
+	f.connected = false
+	if err != nil {
+		f.lastErr = err.Error()
+	}
+	f.mu.Unlock()
+}
+
+// FollowStatus is one follower's progress, as reported in
+// /v1/replication/status and ranked by the router at failover.
+type FollowStatus struct {
+	Peer           string `json:"peer"`
+	Connected      bool   `json:"connected"`
+	Sessions       int    `json:"sessions"`
+	RecordsApplied uint64 `json:"records_applied"`
+	BytesApplied   uint64 `json:"bytes_applied"`
+	// LagRecords/LagBytes are the primary-measured backlog from the
+	// latest heartbeat: committed records the stream has not shipped
+	// yet.
+	LagRecords uint64 `json:"lag_records"`
+	LagBytes   uint64 `json:"lag_bytes"`
+	// CursorWeight sums the per-shard cursors into one monotone
+	// progress number; at failover the live follower with the highest
+	// weight for the dead node wins.
+	CursorWeight    uint64  `json:"cursor_weight"`
+	HeartbeatAgeSec float64 `json:"heartbeat_age_sec"` // -1 before the first heartbeat
+	LastError       string  `json:"last_error,omitempty"`
+}
+
+// Status snapshots the follower's progress.
+func (f *Follower) Status() FollowStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FollowStatus{
+		Peer:           f.peer,
+		Connected:      f.connected,
+		Sessions:       f.replica.Len(),
+		RecordsApplied: f.recordsApplied,
+		BytesApplied:   f.bytesApplied,
+		LagRecords:     f.lagRecords,
+		LagBytes:       f.lagBytes,
+		LastError:      f.lastErr,
+	}
+	if f.lastBeat.IsZero() {
+		st.HeartbeatAgeSec = -1
+	} else {
+		st.HeartbeatAgeSec = time.Since(f.lastBeat).Seconds()
+	}
+	for _, c := range f.cursors {
+		st.CursorWeight += cursorWeight(c)
+	}
+	return st
+}
+
+// cursorWeight collapses a cursor into one monotone uint64: the
+// segment seq dominates, the in-segment offset breaks ties. Offsets
+// are capped at 2^32-1 so the sum over 64 shards cannot overflow for
+// any realistic log.
+func cursorWeight(c wal.Cursor) uint64 {
+	off := uint64(c.Off)
+	if off > 1<<32-1 {
+		off = 1<<32 - 1
+	}
+	return c.Seq<<32 | off
+}

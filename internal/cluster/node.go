@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ses/internal/session"
+	"ses/internal/store"
+)
+
+// NodeOptions configures a cluster node.
+type NodeOptions struct {
+	// ID is this node's identity on the ring.
+	ID string
+	// Peers maps every cluster node ID (including this one) to its
+	// base URL, e.g. "n1" -> "http://10.0.0.1:8080".
+	Peers map[string]string
+	// VNodes is the ring's virtual-node count (0 = DefaultVNodes).
+	VNodes int
+	// LagBound is the replication backlog (bytes, per peer) beyond
+	// which the node reports not-ready (0 = 4 MiB; <0 disables the
+	// bound).
+	LagBound int64
+	// Session configures replica sessions (worker counts etc.); it
+	// should match the durable store's session options.
+	Session session.Options
+	// Shipper tunes the outbound stream.
+	Shipper ShipperOptions
+	// Client issues the follower connections (nil = default client).
+	Client *http.Client
+	// Logf receives lifecycle lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o NodeOptions) lagBound() int64 {
+	if o.LagBound == 0 {
+		return 4 << 20
+	}
+	return o.LagBound
+}
+
+// Node is one member of a replicated sesd cluster: it serves its own
+// sessions from the durable store, ships its WAL to every peer, and
+// follows every peer's WAL into warm replicas it can promote when a
+// peer dies. Replication is full-mesh — every node follows every
+// other — which is the right shape for the small clusters consistent
+// hashing is balancing here; bounded replication factors would reuse
+// Ring.Successors.
+type Node struct {
+	opts    NodeOptions
+	ring    *Ring
+	durable *store.Durable
+	shipper *Shipper
+
+	followers map[string]*Follower // peer id -> stream from that peer
+
+	started  atomic.Bool
+	promoted atomic.Uint64 // sessions adopted across all promotions
+	failover atomic.Int64  // unix ms of the last promotion (0 = never)
+	logf     func(string, ...any)
+}
+
+// NewNode builds a node around an open durable store. Start launches
+// the follower streams; the shipper endpoint is live as soon as the
+// node's Handler is mounted.
+func NewNode(d *store.Durable, opts NodeOptions) (*Node, error) {
+	if opts.ID == "" {
+		return nil, fmt.Errorf("cluster: node needs an ID")
+	}
+	if _, ok := opts.Peers[opts.ID]; !ok {
+		return nil, fmt.Errorf("cluster: -peers must include this node (%q)", opts.ID)
+	}
+	ids := make([]string, 0, len(opts.Peers))
+	for id := range opts.Peers {
+		ids = append(ids, id)
+	}
+	ring, err := NewRing(ids, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	shipOpts := opts.Shipper
+	if shipOpts.Logf == nil {
+		shipOpts.Logf = logf
+	}
+	n := &Node{
+		opts:      opts,
+		ring:      ring,
+		durable:   d,
+		shipper:   NewShipper(d.Dir(), shipOpts),
+		followers: make(map[string]*Follower),
+		logf:      logf,
+	}
+	peers := make([]string, 0, len(opts.Peers))
+	for id := range opts.Peers {
+		if id != opts.ID {
+			peers = append(peers, id)
+		}
+	}
+	sort.Strings(peers)
+	for _, id := range peers {
+		replica := store.New(opts.Session)
+		n.followers[id] = newFollower(opts.ID, id, opts.Peers[id], replica, opts.Client, logf)
+	}
+	return n, nil
+}
+
+// ID returns the node's ring identity.
+func (n *Node) ID() string { return n.opts.ID }
+
+// Ring returns the placement ring.
+func (n *Node) Ring() *Ring { return n.ring }
+
+// Owner returns the ring primary for a session name.
+func (n *Node) Owner(session string) string { return n.ring.Primary(session) }
+
+// Start launches the follower streams.
+func (n *Node) Start() {
+	if n.started.Swap(true) {
+		return
+	}
+	for _, f := range n.followers {
+		f.start()
+	}
+}
+
+// Close stops the follower streams (the shipper dies with its HTTP
+// server). It does not close the durable store — the daemon owns it.
+func (n *Node) Close() {
+	if !n.started.Swap(false) {
+		return
+	}
+	for _, f := range n.followers {
+		f.stop()
+	}
+}
+
+// Replica finds a session among the peer replicas: the store that
+// holds it and the peer it replicates. The ring primary's replica is
+// checked first, then the rest (a promotion may have moved the
+// session off its ring owner).
+func (n *Node) Replica(name string) (*store.Store, string, bool) {
+	if f, ok := n.followers[n.ring.Primary(name)]; ok {
+		if _, err := f.replica.Meta(name); err == nil {
+			return f.replica, f.peer, true
+		}
+	}
+	for _, f := range n.followers {
+		if _, err := f.replica.Meta(name); err == nil {
+			return f.replica, f.peer, true
+		}
+	}
+	return nil, "", false
+}
+
+// Promote adopts every session of a dead peer's replica into the
+// local durable store (each one a logged, durable Restore) and
+// returns how many sessions were adopted. It is idempotent — a
+// repeated promotion re-restores the same states.
+func (n *Node) Promote(peer string) (int, error) {
+	f, ok := n.followers[peer]
+	if !ok {
+		return 0, fmt.Errorf("cluster: unknown peer %q", peer)
+	}
+	names := f.replica.Names()
+	adopted := 0
+	for _, name := range names {
+		st, err := f.replica.Snapshot(name)
+		if err != nil {
+			continue // deleted while promoting
+		}
+		m, err := f.replica.Meta(name)
+		if err != nil {
+			continue
+		}
+		if err := n.durable.Adopt(name, st, m.Resolves, m.Mutations, m.Batches); err != nil {
+			return adopted, fmt.Errorf("cluster: adopting %q from %s: %w", name, peer, err)
+		}
+		adopted++
+	}
+	n.promoted.Add(uint64(adopted))
+	n.failover.Store(time.Now().UnixMilli())
+	n.logf("cluster: promoted %d sessions from %s", adopted, peer)
+	return adopted, nil
+}
+
+// Ready implements the readiness probe: recovery is finished (the
+// durable store only exists recovered) and every *connected*
+// replication stream is within the lag bound. A disconnected peer
+// does not block readiness — a dead peer must not mark the survivors
+// unready.
+func (n *Node) Ready() (bool, string) {
+	bound := n.opts.lagBound()
+	if bound < 0 {
+		return true, "ok"
+	}
+	for _, f := range n.followers {
+		st := f.Status()
+		if st.Connected && st.LagBytes > uint64(bound) {
+			return false, fmt.Sprintf("replication lag to %s is %d bytes (bound %d)", f.peer, st.LagBytes, bound)
+		}
+	}
+	return true, "ok"
+}
+
+// Status is the /v1/replication/status document. The router's health
+// loop reads Ready and Follows; operators read the rest.
+type Status struct {
+	ID      string                  `json:"id"`
+	Nodes   []string                `json:"nodes"`
+	Ready   bool                    `json:"ready"`
+	Reason  string                  `json:"reason,omitempty"`
+	Follows map[string]FollowStatus `json:"follows"`
+	Streams []StreamStatus          `json:"streams"`
+	// PromotedSessions and LastFailoverUnixMS record takeovers this
+	// node performed.
+	PromotedSessions   uint64 `json:"promoted_sessions"`
+	LastFailoverUnixMS int64  `json:"last_failover_unix_ms"`
+}
+
+// Status snapshots the node's replication state.
+func (n *Node) Status() Status {
+	ready, reason := n.Ready()
+	st := Status{
+		ID:                 n.opts.ID,
+		Nodes:              n.ring.Nodes(),
+		Ready:              ready,
+		Follows:            make(map[string]FollowStatus, len(n.followers)),
+		Streams:            n.shipper.Status(),
+		PromotedSessions:   n.promoted.Load(),
+		LastFailoverUnixMS: n.failover.Load(),
+	}
+	if !ready {
+		st.Reason = reason
+	}
+	for id, f := range n.followers {
+		st.Follows[id] = f.Status()
+	}
+	return st
+}
+
+// Metrics is the `replication` section of /v1/metrics.
+type Metrics struct {
+	NodeID         string   `json:"node_id"`
+	Peers          []string `json:"peers"`
+	ActiveStreams  int      `json:"active_streams"`
+	RecordsShipped uint64   `json:"records_shipped"`
+	BytesShipped   uint64   `json:"bytes_shipped"`
+	RecordsApplied uint64   `json:"records_applied"`
+	BytesApplied   uint64   `json:"bytes_applied"`
+	// FollowerLagRecords/Bytes sum this node's backlog across the
+	// streams it follows (primary-measured; see the heartbeat
+	// protocol).
+	FollowerLagRecords uint64 `json:"follower_lag_records"`
+	FollowerLagBytes   uint64 `json:"follower_lag_bytes"`
+	PromotedSessions   uint64 `json:"promoted_sessions"`
+	LastFailoverUnixMS int64  `json:"last_failover_unix_ms"`
+}
+
+// Metrics aggregates the node's replication counters.
+func (n *Node) Metrics() Metrics {
+	records, bytes := n.shipper.Shipped()
+	m := Metrics{
+		NodeID:             n.opts.ID,
+		ActiveStreams:      len(n.shipper.Status()),
+		RecordsShipped:     records,
+		BytesShipped:       bytes,
+		PromotedSessions:   n.promoted.Load(),
+		LastFailoverUnixMS: n.failover.Load(),
+	}
+	for id, f := range n.followers {
+		m.Peers = append(m.Peers, id)
+		st := f.Status()
+		m.RecordsApplied += st.RecordsApplied
+		m.BytesApplied += st.BytesApplied
+		m.FollowerLagRecords += st.LagRecords
+		m.FollowerLagBytes += st.LagBytes
+	}
+	sort.Strings(m.Peers)
+	return m
+}
+
+// Handler serves the node's replication endpoints:
+//
+//	POST /v1/replication/stream   the WAL shipping stream (Shipper)
+//	GET  /v1/replication/status   Status JSON
+//	POST /v1/replication/promote  {"peer":ID} -> {"adopted":N}
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/replication/stream", n.shipper)
+	mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(n.Status())
+	})
+	mux.HandleFunc("POST /v1/replication/promote", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Peer string `json:"peer"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Peer == "" {
+			http.Error(w, "body must be {\"peer\":id}", http.StatusBadRequest)
+			return
+		}
+		adopted, err := n.Promote(req.Peer)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]int{"adopted": adopted})
+	})
+	return mux
+}

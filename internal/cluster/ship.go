@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ses/internal/store"
+	"ses/internal/wal"
+)
+
+// ShipperOptions configures a Shipper; the zero value is usable.
+type ShipperOptions struct {
+	// Poll is the shard tailers' directory poll interval (0 = 5ms).
+	Poll time.Duration
+	// Heartbeat is how often each stream reports backlog (0 = 500ms).
+	Heartbeat time.Duration
+	// Logf receives connection lifecycle lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o ShipperOptions) poll() time.Duration {
+	if o.Poll <= 0 {
+		return 5 * time.Millisecond
+	}
+	return o.Poll
+}
+
+func (o ShipperOptions) heartbeat() time.Duration {
+	if o.Heartbeat <= 0 {
+		return 500 * time.Millisecond
+	}
+	return o.Heartbeat
+}
+
+// Shipper serves a primary's replication stream: one HTTP response
+// per follower, multiplexing live tailers over all shard logs. It
+// reads the data directory only — the serving store never cooperates
+// beyond writing its WAL, which is what makes shipping safe to bolt
+// onto the existing append path.
+type Shipper struct {
+	dir  string
+	opts ShipperOptions
+
+	records atomic.Uint64 // total records shipped across streams
+	bytes   atomic.Uint64
+
+	mu      sync.Mutex
+	streams map[*shipStream]struct{}
+}
+
+// NewShipper ships the WAL under a durable store's data directory.
+func NewShipper(dir string, opts ShipperOptions) *Shipper {
+	return &Shipper{dir: dir, opts: opts, streams: make(map[*shipStream]struct{})}
+}
+
+// shipStream is one follower connection.
+type shipStream struct {
+	node  string
+	since time.Time
+
+	mu      sync.Mutex // serializes writes to the response
+	w       http.ResponseWriter
+	flush   func()
+	cursors [store.NumShards]wal.Cursor // shipped-so-far, for backlog scans
+}
+
+// send frames one message onto the stream and flushes it.
+func (s *shipStream) send(kind byte, shard int, a, b uint64, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeMsg(s.w, kind, shard, a, b, payload); err != nil {
+		return err
+	}
+	s.flush()
+	return nil
+}
+
+func (s *shipStream) setCursor(shard int, c wal.Cursor) {
+	s.mu.Lock()
+	s.cursors[shard] = c
+	s.mu.Unlock()
+}
+
+func (s *shipStream) cursor(shard int) wal.Cursor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cursors[shard]
+}
+
+// StreamStatus describes one connected follower.
+type StreamStatus struct {
+	Node     string  `json:"node"`
+	AgeSec   float64 `json:"age_sec"`
+	Cursors  int     `json:"shards"`
+	Shipping bool    `json:"shipping"`
+}
+
+// Status lists the active streams.
+func (sh *Shipper) Status() []StreamStatus {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]StreamStatus, 0, len(sh.streams))
+	for s := range sh.streams {
+		out = append(out, StreamStatus{
+			Node:     s.node,
+			AgeSec:   time.Since(s.since).Seconds(),
+			Cursors:  store.NumShards,
+			Shipping: true,
+		})
+	}
+	return out
+}
+
+// Shipped returns the cumulative records and bytes shipped across all
+// streams since the process started.
+func (sh *Shipper) Shipped() (records, bytes uint64) {
+	return sh.records.Load(), sh.bytes.Load()
+}
+
+func (sh *Shipper) logf(format string, args ...any) {
+	if sh.opts.Logf != nil {
+		sh.opts.Logf(format, args...)
+	}
+}
+
+// ServeHTTP handles POST /v1/replication/stream: it parses the
+// follower's cursors and streams until the client disconnects.
+func (sh *Shipper) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req streamReq
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad stream request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	st := &shipStream{node: req.Node, since: time.Now(), w: w, flush: flusher.Flush}
+	for shard, spec := range req.Cursors {
+		i, cur, err := parseShardCursor(shard, spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st.cursors[i] = cur
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Ses-Replication", "1")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	sh.mu.Lock()
+	sh.streams[st] = struct{}{}
+	sh.mu.Unlock()
+	sh.logf("cluster: follower %q connected", req.Node)
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.streams, st)
+		sh.mu.Unlock()
+		sh.logf("cluster: follower %q disconnected", req.Node)
+	}()
+
+	// One goroutine per shard tails that shard's log; the first error
+	// (client gone, I/O) cancels them all.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < store.NumShards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			if err := sh.shipShard(ctx, st, shard); err != nil && ctx.Err() == nil {
+				sh.logf("cluster: stream to %q shard %d: %v", st.node, shard, err)
+				cancel()
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := sh.heartbeatLoop(ctx, st); err != nil && ctx.Err() == nil {
+			cancel()
+		}
+	}()
+	wg.Wait()
+}
+
+// shipShard streams one shard from the follower's cursor, resyncing
+// through the checkpoint whenever the cursor falls below the
+// truncation horizon.
+func (sh *Shipper) shipShard(ctx context.Context, st *shipStream, shard int) error {
+	dir := store.ShardDir(sh.dir, shard)
+	cur := st.cursor(shard)
+	for ctx.Err() == nil {
+		// Resync decision: a cursor below the checkpoint horizon (or a
+		// zero cursor on a checkpointed log) starts from the checkpoint
+		// image instead of records that no longer exist.
+		l, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			return err
+		}
+		if ck := l.CheckpointSeq(); ck > 0 && cur.Seq < ck {
+			data := l.Checkpoint()
+			if err := st.send(msgCheckpoint, shard, ck, 0, data); err != nil {
+				return err
+			}
+			sh.bytes.Add(uint64(len(data)))
+			cur = wal.Cursor{Seq: ck}
+			st.setCursor(shard, cur)
+		}
+		err = sh.tailFrom(ctx, st, shard, dir, &cur)
+		if errors.Is(err, wal.ErrTruncated) {
+			continue // a new checkpoint swept the cursor; resync
+		}
+		return err
+	}
+	return ctx.Err()
+}
+
+// tailFrom streams records from cur until the context ends or the
+// cursor is truncated away.
+func (sh *Shipper) tailFrom(ctx context.Context, st *shipStream, shard int, dir string, cur *wal.Cursor) error {
+	t := wal.NewTailer(dir, *cur, wal.TailerOptions{Poll: sh.opts.poll()})
+	defer t.Close()
+	for {
+		rec, err := t.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if err := st.send(msgRecord, shard, rec.Seq, uint64(rec.End), rec.Payload); err != nil {
+			return err
+		}
+		sh.records.Add(1)
+		sh.bytes.Add(uint64(len(rec.Payload)))
+		*cur = wal.Cursor{Seq: rec.Seq, Off: rec.End}
+		st.setCursor(shard, *cur)
+	}
+}
+
+// heartbeatLoop periodically measures the backlog the stream has not
+// shipped yet (exactly, by walking frame headers from each shipped
+// cursor) and sends it as one aggregated heartbeat.
+func (sh *Shipper) heartbeatLoop(ctx context.Context, st *shipStream) error {
+	tick := time.NewTicker(sh.opts.heartbeat())
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+		var total wal.Backlog
+		for i := 0; i < store.NumShards; i++ {
+			bl, err := wal.ScanBacklog(store.ShardDir(sh.dir, i), st.cursor(i))
+			if err != nil {
+				continue // truncation in progress; the ship loop resyncs
+			}
+			total.Records += bl.Records
+			total.Bytes += bl.Bytes
+		}
+		var payload [16]byte
+		binary.LittleEndian.PutUint64(payload[0:8], uint64(total.Records))
+		binary.LittleEndian.PutUint64(payload[8:16], uint64(total.Bytes))
+		if err := st.send(msgHeartbeat, 0, 0, 0, payload[:]); err != nil {
+			return err
+		}
+	}
+}
+
+// parseShardCursor parses one entry of streamReq.Cursors.
+func parseShardCursor(shard, spec string) (int, wal.Cursor, error) {
+	i, err := strconv.Atoi(shard)
+	if err != nil || i < 0 || i >= store.NumShards {
+		return 0, wal.Cursor{}, errors.New("cluster: bad shard index " + shard)
+	}
+	cur, err := wal.ParseCursor(spec)
+	if err != nil {
+		return 0, wal.Cursor{}, err
+	}
+	return i, cur, nil
+}

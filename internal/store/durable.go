@@ -161,21 +161,9 @@ func (d *Durable) recoverShard(i int) error {
 			return err
 		}
 		for _, e := range entries {
-			st, err := e.Snapshot.State()
-			if err != nil {
-				return fmt.Errorf("checkpoint session %q: %w", e.Name, err)
-			}
-			if err := d.Store.Restore(e.Name, st, true); err != nil {
-				return fmt.Errorf("checkpoint session %q: %w", e.Name, err)
-			}
-			h, err := d.Store.lookup(e.Name)
-			if err != nil {
+			if err := d.Store.ApplyCheckpointEntry(e); err != nil {
 				return err
 			}
-			h.resolves.Store(e.Resolves)
-			h.mutations.Store(e.Mutations)
-			h.batches.Store(e.Batches)
-			d.Store.refresh(h)
 		}
 	}
 	rep, err := l.Replay(func(r wal.Record) error {
@@ -183,67 +171,13 @@ func (d *Durable) recoverShard(i int) error {
 		if err != nil {
 			return fmt.Errorf("segment %x offset %d: %w", r.Seq, r.Offset, err)
 		}
-		return d.replayRecord(rec)
+		return d.Store.ApplyWALRecord(rec)
 	})
 	if err != nil {
 		return err
 	}
 	d.since[i] = rep.Records
 	return nil
-}
-
-// replayRecord applies one recovered record to the in-memory store,
-// mirroring exactly what the live operation did before logging it.
-func (d *Durable) replayRecord(rec *WALRecord) error {
-	switch rec.Kind {
-	case "create":
-		st, err := rec.Snapshot.State()
-		if err != nil {
-			return err
-		}
-		return d.Store.Restore(rec.Name, st, false)
-	case "restore":
-		st, err := rec.Snapshot.State()
-		if err != nil {
-			return err
-		}
-		return d.Store.Restore(rec.Name, st, rec.Replace)
-	case "delete":
-		return d.Store.Delete(rec.Name)
-	case "batch":
-		h, err := d.Store.lookup(rec.Name)
-		if err != nil {
-			return err
-		}
-		for i, m := range rec.Muts {
-			if _, err := m.ApplyTo(h.sched); err != nil {
-				return fmt.Errorf("replaying batch mutation %d (%s): %w", i, m.Op, err)
-			}
-			h.mutations.Add(1)
-		}
-		if rec.Commit != nil {
-			if err := rec.Commit.install(h.sched); err != nil {
-				return err
-			}
-			h.resolves.Add(1)
-			h.batches.Add(1)
-			d.Store.refresh(h)
-		}
-		return nil
-	case "resolve":
-		h, err := d.Store.lookup(rec.Name)
-		if err != nil {
-			return err
-		}
-		if err := rec.Commit.install(h.sched); err != nil {
-			return err
-		}
-		h.resolves.Add(1)
-		d.Store.refresh(h)
-		return nil
-	default:
-		return fmt.Errorf("store: unknown replay kind %q", rec.Kind)
-	}
 }
 
 // err surfaces the closed flag or the latched append failure.
@@ -434,6 +368,36 @@ func (d *Durable) Restore(name string, st *session.State, replace bool) error {
 	if err := d.Store.Restore(name, st, replace); err != nil {
 		return err
 	}
+	return d.append(i, payload)
+}
+
+// Adopt installs a session taken over from a dead peer's replica: a
+// replacing restore whose record also carries the session's meta
+// counters, so the promoted copy — and any copy recovered or
+// replicated from its record — is indistinguishable from the
+// acknowledged original, Meta included.
+func (d *Durable) Adopt(name string, st *session.State, resolves, mutations, batches uint64) error {
+	if err := d.err(); err != nil {
+		return err
+	}
+	i := shardIndex(name)
+	d.shardMu[i].Lock()
+	defer d.shardMu[i].Unlock()
+	payload, err := encodeAdoptRecord(name, st, resolves, mutations, batches)
+	if err != nil {
+		return err
+	}
+	if err := d.Store.Restore(name, st, true); err != nil {
+		return err
+	}
+	h, err := d.Store.lookup(name)
+	if err != nil {
+		return err
+	}
+	h.resolves.Store(resolves)
+	h.mutations.Store(mutations)
+	h.batches.Store(batches)
+	d.Store.refresh(h)
 	return d.append(i, payload)
 }
 

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"fmt"
+
+	"ses/internal/wal"
+)
+
+// Replication hooks: the cluster layer (ses/internal/cluster) ships a
+// primary's per-shard WAL to followers, and followers rebuild the
+// primary's sessions in a plain in-memory Store by applying the same
+// records recovery replays. Everything here is shared with — and
+// refactored out of — the Durable recovery path, so a follower that
+// applied records up to a cursor holds exactly the state a crashed
+// primary would recover at that cursor.
+
+// NumShards is the registry stripe width: a durable store keeps one
+// WAL per shard, and the replication stream is multiplexed per shard.
+const NumShards = numShards
+
+// ShardOf returns the shard index a session name hashes to (the
+// FNV-1a placement every layer of the store shares).
+func ShardOf(name string) int { return shardIndex(name) }
+
+// ShardDir names shard i's log directory under a durable store rooted
+// at dir, without needing the store open. It must match
+// Durable.shardDir.
+func ShardDir(dir string, i int) string {
+	return (&Durable{dir: dir}).shardDir(i)
+}
+
+// ShardPosition returns the append position of shard i's log: the
+// cursor a fully-caught-up follower of this store would hold.
+func (d *Durable) ShardPosition(i int) wal.Cursor {
+	return d.logs[i].Position()
+}
+
+// ApplyWALRecord applies one logged record to the store, mirroring
+// exactly what the live operation did before logging it. It is the
+// shared replay path: crash recovery feeds it the local log, and
+// cluster followers feed it the shipped stream.
+func (s *Store) ApplyWALRecord(rec *WALRecord) error {
+	switch rec.Kind {
+	case "create":
+		st, err := rec.Snapshot.State()
+		if err != nil {
+			return err
+		}
+		return s.Restore(rec.Name, st, false)
+	case "restore":
+		st, err := rec.Snapshot.State()
+		if err != nil {
+			return err
+		}
+		return s.Restore(rec.Name, st, rec.Replace)
+	case "adopt":
+		st, err := rec.Snapshot.State()
+		if err != nil {
+			return err
+		}
+		if err := s.Restore(rec.Name, st, true); err != nil {
+			return err
+		}
+		h, err := s.lookup(rec.Name)
+		if err != nil {
+			return err
+		}
+		h.resolves.Store(rec.Resolves)
+		h.mutations.Store(rec.Mutations)
+		h.batches.Store(rec.Batches)
+		s.refresh(h)
+		return nil
+	case "delete":
+		return s.Delete(rec.Name)
+	case "batch":
+		h, err := s.lookup(rec.Name)
+		if err != nil {
+			return err
+		}
+		for i, m := range rec.Muts {
+			if _, err := m.ApplyTo(h.sched); err != nil {
+				return fmt.Errorf("replaying batch mutation %d (%s): %w", i, m.Op, err)
+			}
+			h.mutations.Add(1)
+		}
+		if rec.Commit != nil {
+			if err := rec.Commit.install(h.sched); err != nil {
+				return err
+			}
+			h.resolves.Add(1)
+			h.batches.Add(1)
+			s.refresh(h)
+		}
+		return nil
+	case "resolve":
+		h, err := s.lookup(rec.Name)
+		if err != nil {
+			return err
+		}
+		if err := rec.Commit.install(h.sched); err != nil {
+			return err
+		}
+		h.resolves.Add(1)
+		s.refresh(h)
+		return nil
+	default:
+		return fmt.Errorf("store: unknown replay kind %q", rec.Kind)
+	}
+}
+
+// ApplyCheckpointEntry installs one checkpoint entry — a full session
+// image plus its counters — replacing any existing session of that
+// name.
+func (s *Store) ApplyCheckpointEntry(e WALCheckpointEntry) error {
+	st, err := e.Snapshot.State()
+	if err != nil {
+		return fmt.Errorf("checkpoint session %q: %w", e.Name, err)
+	}
+	if err := s.Restore(e.Name, st, true); err != nil {
+		return fmt.Errorf("checkpoint session %q: %w", e.Name, err)
+	}
+	h, err := s.lookup(e.Name)
+	if err != nil {
+		return err
+	}
+	h.resolves.Store(e.Resolves)
+	h.mutations.Store(e.Mutations)
+	h.batches.Store(e.Batches)
+	s.refresh(h)
+	return nil
+}
+
+// SyncShardToCheckpoint makes shard i's contents exactly the
+// checkpoint: every entry is installed and every session the
+// checkpoint does not name is deleted. Followers use it to resync a
+// shard after the primary's checkpoint truncated records their cursor
+// still needed (wal.ErrTruncated).
+func (s *Store) SyncShardToCheckpoint(i int, entries []WALCheckpointEntry) error {
+	keep := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		if err := s.ApplyCheckpointEntry(e); err != nil {
+			return err
+		}
+		keep[e.Name] = true
+	}
+	for _, h := range s.handlesInShard(i) {
+		if !keep[h.name] {
+			if err := s.Delete(h.name); err != nil && err != ErrNotFound {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -38,6 +38,12 @@ const (
 	// recRestore logs a snapshot restore; body = one replace flag byte
 	// + binary snapshot.
 	recRestore byte = 5
+	// recAdopt logs a failover takeover: a replacing restore that also
+	// carries the session's store-level counters, so a promoted session
+	// is indistinguishable from the acknowledged original — Meta
+	// included. Body = 24 bytes of counters (resolves, mutations,
+	// batches, little-endian) + binary snapshot.
+	recAdopt byte = 6
 )
 
 // commitStamp is the physical outcome of one committed resolve. A
@@ -128,6 +134,14 @@ func encodeRestoreRecord(name string, st *session.State, replace bool) ([]byte, 
 	return encodeSnapshotRecord(recRestore, []byte{flag}, name, st)
 }
 
+func encodeAdoptRecord(name string, st *session.State, resolves, mutations, batches uint64) ([]byte, error) {
+	var counters [24]byte
+	binary.LittleEndian.PutUint64(counters[0:8], resolves)
+	binary.LittleEndian.PutUint64(counters[8:16], mutations)
+	binary.LittleEndian.PutUint64(counters[16:24], batches)
+	return encodeSnapshotRecord(recAdopt, counters[:], name, st)
+}
+
 func encodeDeleteRecord(name string) []byte {
 	return append([]byte{recDelete}, name...)
 }
@@ -152,7 +166,7 @@ func encodeResolveRecord(r resolveRec) ([]byte, error) {
 // seswal inspector and consumed by recovery.
 type WALRecord struct {
 	// Kind is the record kind name: "create", "delete", "batch",
-	// "resolve" or "restore".
+	// "resolve", "restore" or "adopt".
 	Kind string `json:"kind"`
 	// Name is the session the record concerns.
 	Name string `json:"name"`
@@ -165,6 +179,11 @@ type WALRecord struct {
 	// Commit carries the commit stamp of a committed batch/resolve
 	// (nil for a staged-only batch).
 	Commit *commitStamp `json:"commit,omitempty"`
+	// Resolves, Mutations and Batches carry an adopt record's
+	// store-level counters.
+	Resolves  uint64 `json:"resolves,omitempty"`
+	Mutations uint64 `json:"mutations,omitempty"`
+	Batches   uint64 `json:"batches,omitempty"`
 }
 
 // DecodeWALRecord parses one WAL record payload written by the
@@ -215,6 +234,23 @@ func DecodeWALRecord(payload []byte) (*WALRecord, error) {
 			return nil, fmt.Errorf("store: restore record: %w", err)
 		}
 		return &WALRecord{Kind: "restore", Name: doc.Name, Replace: body[0] == 1, Snapshot: doc}, nil
+	case recAdopt:
+		if len(body) < 24 {
+			return nil, errors.New("store: adopt record without its counters")
+		}
+		doc, err := snap.DecodeBinary(bytes.NewReader(body[24:]))
+		if err != nil {
+			return nil, fmt.Errorf("store: adopt record: %w", err)
+		}
+		return &WALRecord{
+			Kind:      "adopt",
+			Name:      doc.Name,
+			Replace:   true,
+			Snapshot:  doc,
+			Resolves:  binary.LittleEndian.Uint64(body[0:8]),
+			Mutations: binary.LittleEndian.Uint64(body[8:16]),
+			Batches:   binary.LittleEndian.Uint64(body[16:24]),
+		}, nil
 	default:
 		return nil, fmt.Errorf("store: unknown WAL record kind %d", kind)
 	}

@@ -1,0 +1,362 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCursorStringParse(t *testing.T) {
+	cases := []Cursor{{}, {Seq: 1}, {Seq: 7, Off: 4096}, {Seq: 1 << 40, Off: 1 << 33}}
+	for _, c := range cases {
+		got, err := ParseCursor(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCursor(%q) = %v, %v; want %v", c.String(), got, err, c)
+		}
+	}
+	if got, err := ParseCursor("12"); err != nil || got != (Cursor{Seq: 12}) {
+		t.Errorf("ParseCursor(12) = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "1:x", "1:-5", ":3"} {
+		if _, err := ParseCursor(bad); err == nil {
+			t.Errorf("ParseCursor(%q) accepted", bad)
+		}
+	}
+	if !(Cursor{Seq: 1, Off: 9}).Before(Cursor{Seq: 2}) || (Cursor{Seq: 2}).Before(Cursor{Seq: 2}) {
+		t.Error("Before ordering wrong")
+	}
+}
+
+func TestTailerFollowsLiveAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := testCtx(t)
+
+	tl := NewTailer(dir, Cursor{}, TailerOptions{Poll: time.Millisecond})
+	defer tl.Close()
+
+	want := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	for _, p := range want {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, w := range want {
+		rec, err := tl.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next %d: %v", i, err)
+		}
+		if !bytes.Equal(rec.Payload, w) {
+			t.Fatalf("record %d = %q, want %q", i, rec.Payload, w)
+		}
+	}
+
+	// The tailer is caught up; an append made while it waits must
+	// arrive, and a new tailer resumed from the cursor must see only
+	// what follows it.
+	resume := tl.Cursor()
+	done := make(chan error, 1)
+	go func() {
+		rec, err := tl.Next(ctx)
+		if err == nil && !bytes.Equal(rec.Payload, []byte("late")) {
+			err = fmt.Errorf("late record = %q", rec.Payload)
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := l.Append([]byte("late")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	tl2 := NewTailer(dir, resume, TailerOptions{Poll: time.Millisecond})
+	defer tl2.Close()
+	rec, err := tl2.Next(ctx)
+	if err != nil || !bytes.Equal(rec.Payload, []byte("late")) {
+		t.Fatalf("resumed tailer got %q, %v", rec.Payload, err)
+	}
+	if pos := l.Position(); pos != tl2.Cursor() {
+		t.Fatalf("Position() = %v, caught-up cursor = %v", pos, tl2.Cursor())
+	}
+}
+
+// TestTailerRotationUnderGroupCommit is the exactly-once contract
+// under the worst interleaving: concurrent appenders on a group-commit
+// queue, segments small enough to rotate mid-batch, and a tailer
+// racing the leader across segment boundaries. The tailer must see
+// every record exactly once, in exactly the on-disk order.
+func TestTailerRotationUnderGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{
+		Sync:            SyncAlways,
+		SegmentMaxBytes: 256, // rotate every few records
+		GroupCommit:     GroupCommit{Enabled: true, MaxBatch: 16, MaxDelay: 200 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := testCtx(t)
+
+	const appenders, perAppender = 4, 60
+	total := appenders * perAppender
+
+	type seen struct {
+		payloads [][]byte
+		err      error
+	}
+	out := make(chan seen, 1)
+	go func() {
+		tl := NewTailer(dir, Cursor{}, TailerOptions{Poll: 500 * time.Microsecond})
+		defer tl.Close()
+		var s seen
+		for len(s.payloads) < total {
+			rec, err := tl.Next(ctx)
+			if err != nil {
+				s.err = err
+				break
+			}
+			s.payloads = append(s.payloads, append([]byte(nil), rec.Payload...))
+		}
+		if len(tl.Skipped()) != 0 {
+			s.err = fmt.Errorf("tailer skipped tears in a crash-free run: %+v", tl.Skipped())
+		}
+		out <- s
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < appenders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perAppender; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("g%d-%03d", g, i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := <-out
+	if s.err != nil {
+		t.Fatalf("tailer: %v", s.err)
+	}
+	if len(s.payloads) != total {
+		t.Fatalf("tailer saw %d records, want %d", len(s.payloads), total)
+	}
+
+	// Ground truth: the on-disk order a recovering process replays.
+	_, wantOrder, rep := replayAll(t, dir)
+	if rep.Records != total || len(rep.Truncations) != 0 {
+		t.Fatalf("replay report = %+v", rep)
+	}
+	for i := range wantOrder {
+		if !bytes.Equal(s.payloads[i], wantOrder[i]) {
+			t.Fatalf("record %d: tailer saw %q, disk order has %q", i, s.payloads[i], wantOrder[i])
+		}
+	}
+	if stats := l.Stats(); stats.Batches == 0 {
+		t.Errorf("no batched commits happened; the test did not exercise group commit (stats %+v)", stats)
+	}
+	if len(listSegs(t, dir)) < 2 {
+		t.Errorf("log never rotated; the test did not cross a segment boundary")
+	}
+}
+
+// listSegs lists segment seqs in dir for test assertions.
+func listSegs(t *testing.T, dir string) []uint64 {
+	t.Helper()
+	segs, _, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return segs
+}
+
+func TestTailerSkipsSealedTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"one", "two"} {
+		if err := l.Append([]byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash artifact: a torn frame at the tail of the sealed segment.
+	segs := listSegs(t, dir)
+	f, err := os.OpenFile((&Log{dir: dir}).segPath(segs[0]), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	// The restarted process appends into a fresh segment.
+	l2, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Replay(func(Record) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append([]byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+
+	ctx := testCtx(t)
+	tl := NewTailer(dir, Cursor{}, TailerOptions{Poll: time.Millisecond})
+	defer tl.Close()
+	var got []string
+	for range 3 {
+		rec, err := tl.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, string(rec.Payload))
+	}
+	want := []string{"one", "two", "three"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("records = %v, want %v", got, want)
+		}
+	}
+	if sk := tl.Skipped(); len(sk) != 1 || sk[0].Seq != segs[0] {
+		t.Fatalf("Skipped = %+v, want one tear in seg %d", sk, segs[0])
+	}
+}
+
+func TestTailerTruncatedByCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range 5 {
+		if err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.WriteCheckpoint([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ctx := testCtx(t)
+
+	// From the beginning: the pre-checkpoint records are gone.
+	tl := NewTailer(dir, Cursor{}, TailerOptions{Poll: time.Millisecond})
+	if _, err := tl.Next(ctx); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Next from zero = %v, want ErrTruncated", err)
+	}
+	tl.Close()
+
+	// Resyncing at the checkpoint boundary picks up post-checkpoint
+	// records.
+	tl2 := NewTailer(dir, Cursor{Seq: l.CheckpointSeq()}, TailerOptions{Poll: time.Millisecond})
+	defer tl2.Close()
+	rec, err := tl2.Next(ctx)
+	if err != nil || string(rec.Payload) != "after" {
+		t.Fatalf("post-checkpoint record = %q, %v", rec.Payload, err)
+	}
+}
+
+func TestTailerContextCancel(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	tl := NewTailer(dir, Cursor{}, TailerOptions{Poll: time.Millisecond})
+	defer tl.Close()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := tl.Next(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Next = %v, want context.Canceled", err)
+	}
+}
+
+func TestScanBacklog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentMaxBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if bl, err := ScanBacklog(dir, Cursor{}); err != nil || bl != (Backlog{}) {
+		t.Fatalf("empty backlog = %+v, %v", bl, err)
+	}
+	payload := []byte("0123456789")
+	const n = 12
+	for range n {
+		if err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl, err := ScanBacklog(dir, Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes := int64(n * (frameHead + len(payload)))
+	if bl.Records != n || bl.Bytes != wantBytes {
+		t.Fatalf("backlog = %+v, want %d records / %d bytes", bl, n, wantBytes)
+	}
+
+	// Consume half through a tailer; the backlog from its cursor is
+	// the other half.
+	ctx := testCtx(t)
+	tl := NewTailer(dir, Cursor{}, TailerOptions{Poll: time.Millisecond})
+	defer tl.Close()
+	for range n / 2 {
+		if _, err := tl.Next(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl, err = ScanBacklog(dir, tl.Cursor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Records != n/2 || bl.Bytes != wantBytes/2 {
+		t.Fatalf("half backlog = %+v, want %d records / %d bytes", bl, n/2, wantBytes/2)
+	}
+
+	if err := l.WriteCheckpoint([]byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScanBacklog(dir, Cursor{Seq: 1}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("pre-checkpoint backlog err = %v, want ErrTruncated", err)
+	}
+	if bl, err := ScanBacklog(dir, Cursor{Seq: l.CheckpointSeq()}); err != nil || bl != (Backlog{}) {
+		t.Fatalf("post-checkpoint backlog = %+v, %v", bl, err)
+	}
+}
