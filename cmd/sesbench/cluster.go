@@ -19,6 +19,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"ses/internal/cluster"
 	"ses/internal/session"
 	"ses/internal/sestest"
+	"ses/internal/stats"
 	"ses/internal/tablefmt"
 )
 
@@ -51,12 +53,30 @@ type clusterFailover struct {
 	AckedPreserved bool `json:"acked_preserved"`
 }
 
+// clusterSyncAck prices `sesd -replicate-ack 1` against async
+// replication on the same 3-node cluster: the throughput cost of
+// withholding each response until a follower confirms, and the
+// distribution of the ack waits themselves.
+type clusterSyncAck struct {
+	Sessions       int     `json:"sessions"`
+	Ops            int     `json:"ops"`
+	AsyncOpsPerSec float64 `json:"async_ops_per_sec"`
+	SyncOpsPerSec  float64 `json:"sync_ops_per_sec"`
+	// CostX is async/sync — how many times slower acknowledged
+	// replication is than fire-and-forget on this host.
+	CostX        float64 `json:"cost_x"`
+	AckWaitP50MS float64 `json:"ack_wait_p50_ms"`
+	AckWaitP99MS float64 `json:"ack_wait_p99_ms"`
+	AckTimeouts  uint64  `json:"ack_timeouts"`
+}
+
 // clusterReport is the BENCH_cluster.json document.
 type clusterReport struct {
 	HostCPUs   int                      `json:"host_cpus"`
 	Quick      bool                     `json:"quick"`
 	Seed       uint64                   `json:"seed"`
 	Throughput []clusterThroughputPoint `json:"throughput"`
+	SyncAck    clusterSyncAck           `json:"sync_ack"`
 	Failover   clusterFailover          `json:"failover"`
 }
 
@@ -104,6 +124,14 @@ func benchCluster(ctx context.Context, out io.Writer, seed uint64, jsonPath stri
 	for i := range rep.Throughput {
 		rep.Throughput[i].SpeedupX = rep.Throughput[i].OpsPerSec / base
 	}
+
+	sa, err := clusterSyncAckBench(ctx, seed, quick)
+	if err != nil {
+		return err
+	}
+	rep.SyncAck = *sa
+	fmt.Fprintf(out, "sync-ack: async %.0f ops/s, replicate-ack=1 %.0f ops/s (%.2fx cost), ack wait p50 %.2fms p99 %.2fms\n",
+		sa.AsyncOpsPerSec, sa.SyncOpsPerSec, sa.CostX, sa.AckWaitP50MS, sa.AckWaitP99MS)
 
 	fo, err := clusterKillFailover(ctx, seed, quick, out)
 	if err != nil {
@@ -154,6 +182,16 @@ func checkCluster(out io.Writer, rep *clusterReport) error {
 	if err := tab.Render(out); err != nil {
 		return err
 	}
+	sa := rep.SyncAck
+	fmt.Fprintf(out, "\nsync-ack: async %.0f ops/s, replicate-ack=1 %.0f ops/s (%.2fx cost), ack wait p50 %.2fms p99 %.2fms, %d timeouts\n",
+		sa.AsyncOpsPerSec, sa.SyncOpsPerSec, sa.CostX, sa.AckWaitP50MS, sa.AckWaitP99MS, sa.AckTimeouts)
+	if sa.SyncOpsPerSec <= 0 || sa.AsyncOpsPerSec <= 0 {
+		return fmt.Errorf("cluster artifact: sync-ack section has non-positive throughput (%+v)", sa)
+	}
+	if sa.AckTimeouts > 0 {
+		return fmt.Errorf("cluster artifact: %d synchronous-ack waits timed out on a healthy cluster", sa.AckTimeouts)
+	}
+
 	fo := rep.Failover
 	fmt.Fprintf(out, "\nfailover: down %.1fms, promoted %.1fms, first write %.1fms after kill -9 (%d sessions adopted)\n",
 		fo.KillToDownMS, fo.KillToPromotedMS, fo.KillToWriteMS, fo.AdoptedSessions)
@@ -210,7 +248,7 @@ type benchNode struct {
 // over httptest servers. The returned close func tears everything
 // down in stream-safe order (nodes, then servers, then stores) and is
 // safe to run after a member was killed mid-bench.
-func bootBenchCluster(n int, tag string) ([]*benchNode, map[string]string, func(), error) {
+func bootBenchCluster(n int, tag string, tweaks ...func(*cluster.NodeOptions)) ([]*benchNode, map[string]string, func(), error) {
 	nodes := make([]*benchNode, n)
 	urls := make(map[string]string, n)
 	swaps := make([]*benchSwap, n)
@@ -259,12 +297,16 @@ func bootBenchCluster(n int, tag string) ([]*benchNode, map[string]string, func(
 		}
 		bn.store = d
 		bn.pipe = ses.NewPipeline(d, ses.WithResolveWorkers(1))
-		node, err := cluster.NewNode(d, cluster.NodeOptions{
+		opts := cluster.NodeOptions{
 			ID:      bn.id,
 			Peers:   urls,
 			Session: session.Options{Workers: 1},
 			Shipper: cluster.ShipperOptions{Poll: 2 * time.Millisecond, Heartbeat: 50 * time.Millisecond},
-		})
+		}
+		for _, tw := range tweaks {
+			tw(&opts)
+		}
+		node, err := cluster.NewNode(d, opts)
 		if err != nil {
 			closeAll()
 			return nil, nil, nil, err
@@ -340,6 +382,105 @@ func clusterThroughput(ctx context.Context, n int, seed uint64, quick bool) (clu
 		Nodes: n, Sessions: sessions, Ops: ops,
 		OpsPerSec: float64(sessions*ops) / wall,
 	}, nil
+}
+
+// clusterSyncAckBench prices synchronous replication acks: the same
+// 3-node cluster runs one async phase (fire-and-forget, the default)
+// and one sync phase where every batch additionally blocks on
+// AwaitAck (`-replicate-ack 1`) — the per-op ack wait is the price of
+// closing the acked-write loss window.
+func clusterSyncAckBench(ctx context.Context, seed uint64, quick bool) (*clusterSyncAck, error) {
+	sessions, ops := 8, 30
+	if quick {
+		sessions, ops = 4, 10
+	}
+	nodes, _, closeAll, err := bootBenchCluster(3, "ack", func(o *cluster.NodeOptions) {
+		o.ReplicateAck = 1
+		o.AckWait = 10 * time.Second
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer closeAll()
+	byID := make(map[string]*benchNode, len(nodes))
+	for _, bn := range nodes {
+		byID[bn.id] = bn
+	}
+	ring := nodes[0].node.Ring()
+	names := make([]string, sessions)
+	primaries := make([]*benchNode, sessions)
+	for i := range names {
+		names[i] = fmt.Sprintf("ack-%d", i)
+		primaries[i] = byID[ring.Primary(names[i])]
+		inst := sestest.Random(sestest.Config{Users: 120, Events: 12, Intervals: 4, Competing: 2, Seed: seed + uint64(i)})
+		if err := primaries[i].store.Create(names[i], inst, 4); err != nil {
+			return nil, err
+		}
+		if _, err := primaries[i].store.Resolve(ctx, names[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	drive := func(await bool) (float64, []float64, error) {
+		errs := make([]error, sessions)
+		waits := make([][]float64, sessions)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for i := 0; i < sessions; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := 0; j < ops; j++ {
+					mut := ses.UpdateInterestOp(j%120, j%12, 0.1+0.8*float64(j%9)/9)
+					if _, err := primaries[i].pipe.ApplyBatch(ctx, names[i], []ses.Mutation{mut}); err != nil {
+						errs[i] = err
+						return
+					}
+					if !await {
+						continue
+					}
+					w0 := time.Now()
+					if err := primaries[i].node.AwaitAck(ctx, names[i]); err != nil {
+						errs[i] = err
+						return
+					}
+					waits[i] = append(waits[i], msSince(w0))
+				}
+			}(i)
+		}
+		wg.Wait()
+		wall := time.Since(t0).Seconds()
+		for _, err := range errs {
+			if err != nil {
+				return 0, nil, err
+			}
+		}
+		var all []float64
+		for _, w := range waits {
+			all = append(all, w...)
+		}
+		return float64(sessions*ops) / wall, all, nil
+	}
+
+	sa := &clusterSyncAck{Sessions: sessions, Ops: ops}
+	if sa.AsyncOpsPerSec, _, err = drive(false); err != nil {
+		return nil, fmt.Errorf("sync-ack bench (async phase): %w", err)
+	}
+	syncRate, waits, err := drive(true)
+	if err != nil {
+		return nil, fmt.Errorf("sync-ack bench (sync phase): %w", err)
+	}
+	sa.SyncOpsPerSec = syncRate
+	sa.CostX = sa.AsyncOpsPerSec / sa.SyncOpsPerSec
+	sort.Float64s(waits)
+	if len(waits) > 0 {
+		sa.AckWaitP50MS = stats.PercentileSorted(waits, 50)
+		sa.AckWaitP99MS = stats.PercentileSorted(waits, 99)
+	}
+	for _, bn := range nodes {
+		sa.AckTimeouts += bn.node.Metrics().AckTimeouts
+	}
+	return sa, nil
 }
 
 // clusterKillFailover boots three nodes plus a Router, loads one

@@ -42,6 +42,11 @@ func TestRunClusterFig(t *testing.T) {
 		fo.KillToDownMS <= 0 || fo.KillToWriteMS < fo.KillToPromotedMS {
 		t.Errorf("failover timeline implausible: %+v", fo)
 	}
+	sa := rep.SyncAck
+	if sa.AsyncOpsPerSec <= 0 || sa.SyncOpsPerSec <= 0 || sa.CostX <= 0 ||
+		sa.AckWaitP99MS < sa.AckWaitP50MS || sa.AckTimeouts != 0 {
+		t.Errorf("sync-ack section implausible: %+v", sa)
+	}
 	if !strings.Contains(out.String(), "Cluster throughput") {
 		t.Error("output missing the cluster throughput table")
 	}
@@ -57,16 +62,19 @@ func TestRunClusterFig(t *testing.T) {
 	// physical, so it passes; the floor-breach doc is the same curve
 	// stamped with an 8-CPU host and must fail.
 	goodFO := `"failover":{"kill_to_down_ms":30,"kill_to_promoted_ms":35,"kill_to_first_write_ms":36,"adopted_sessions":3,"acked_preserved":true}`
+	goodSA := `"sync_ack":{"sessions":4,"ops":10,"async_ops_per_sec":100,"sync_ops_per_sec":80,"cost_x":1.25,"ack_wait_p50_ms":2,"ack_wait_p99_ms":8,"ack_timeouts":0}`
 	flatTP := `"throughput":[{"nodes":1,"sessions":6,"ops_per_sec":100,"speedup_x":1},{"nodes":2,"sessions":6,"ops_per_sec":100,"speedup_x":1},{"nodes":3,"sessions":6,"ops_per_sec":110,"speedup_x":1.1}]`
 	for name, doc := range map[string]string{
 		"invalid json":  `{`,
-		"bad cpus":      `{"host_cpus":0,` + flatTP + `,` + goodFO + `}`,
-		"missing point": `{"host_cpus":1,"throughput":[{"nodes":1,"ops_per_sec":1,"speedup_x":1}],` + goodFO + `}`,
-		"wrong nodes":   `{"host_cpus":1,"throughput":[{"nodes":1,"ops_per_sec":1},{"nodes":2,"ops_per_sec":1},{"nodes":4,"ops_per_sec":1}],` + goodFO + `}`,
-		"acked lost":    `{"host_cpus":1,` + flatTP + `,"failover":{"kill_to_down_ms":30,"kill_to_promoted_ms":35,"kill_to_first_write_ms":36,"adopted_sessions":3,"acked_preserved":false}}`,
-		"no promotion":  `{"host_cpus":1,` + flatTP + `,"failover":{"adopted_sessions":0,"acked_preserved":true}}`,
-		"floor breach":  `{"host_cpus":8,` + flatTP + `,` + goodFO + `}`,
-		"floor ignored": `{"host_cpus":1,` + flatTP + `,` + goodFO + `}`,
+		"bad cpus":      `{"host_cpus":0,` + flatTP + `,` + goodSA + `,` + goodFO + `}`,
+		"missing point": `{"host_cpus":1,"throughput":[{"nodes":1,"ops_per_sec":1,"speedup_x":1}],` + goodSA + `,` + goodFO + `}`,
+		"wrong nodes":   `{"host_cpus":1,"throughput":[{"nodes":1,"ops_per_sec":1},{"nodes":2,"ops_per_sec":1},{"nodes":4,"ops_per_sec":1}],` + goodSA + `,` + goodFO + `}`,
+		"acked lost":    `{"host_cpus":1,` + flatTP + `,` + goodSA + `,"failover":{"kill_to_down_ms":30,"kill_to_promoted_ms":35,"kill_to_first_write_ms":36,"adopted_sessions":3,"acked_preserved":false}}`,
+		"no promotion":  `{"host_cpus":1,` + flatTP + `,` + goodSA + `,"failover":{"adopted_sessions":0,"acked_preserved":true}}`,
+		"no sync ack":   `{"host_cpus":1,` + flatTP + `,` + goodFO + `}`,
+		"ack timed out": `{"host_cpus":1,` + flatTP + `,"sync_ack":{"async_ops_per_sec":100,"sync_ops_per_sec":80,"ack_timeouts":2},` + goodFO + `}`,
+		"floor breach":  `{"host_cpus":8,` + flatTP + `,` + goodSA + `,` + goodFO + `}`,
+		"floor ignored": `{"host_cpus":1,` + flatTP + `,` + goodSA + `,` + goodFO + `}`,
 	} {
 		bad := filepath.Join(dir, "bad.json")
 		if err := os.WriteFile(bad, []byte(doc), 0o644); err != nil {

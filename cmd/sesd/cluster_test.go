@@ -1,8 +1,10 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -29,25 +31,37 @@ func (d *daemonSwap) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // daemonCluster boots n full sesd handler stacks — durable store,
 // pipeline, cluster node, routes — clustered over httptest servers.
 type daemonCluster struct {
-	ids  []string
-	urls map[string]string
+	ids     []string
+	urls    map[string]string
+	nodes   map[string]*cluster.Node
+	servers map[string]*httptest.Server
 }
 
-func newDaemonCluster(t *testing.T, n int) *daemonCluster {
+// kill simulates kill -9 on one member: its server vanishes and its
+// store is abandoned mid-flight (no drain, no final checkpoint).
+func (dc *daemonCluster) kill(id string) {
+	dc.nodes[id].Close()
+	dc.servers[id].CloseClientConnections()
+	dc.servers[id].Close()
+}
+
+func newDaemonCluster(t *testing.T, n int, tweaks ...func(*cluster.NodeOptions)) *daemonCluster {
 	t.Helper()
-	dc := &daemonCluster{urls: map[string]string{}}
+	dc := &daemonCluster{
+		urls:    map[string]string{},
+		nodes:   map[string]*cluster.Node{},
+		servers: map[string]*httptest.Server{},
+	}
 	swaps := map[string]*daemonSwap{}
-	var servers []*httptest.Server
 	for i := 0; i < n; i++ {
 		id := fmt.Sprintf("n%d", i+1)
 		dc.ids = append(dc.ids, id)
 		sw := &daemonSwap{}
 		swaps[id] = sw
 		srv := httptest.NewServer(sw)
-		servers = append(servers, srv)
+		dc.servers[id] = srv
 		dc.urls[id] = srv.URL
 	}
-	var nodes []*cluster.Node
 	var pipes []*ses.Pipeline
 	var stores []*ses.DurableStore
 	for _, id := range dc.ids {
@@ -55,13 +69,17 @@ func newDaemonCluster(t *testing.T, n int) *daemonCluster {
 		if err != nil {
 			t.Fatal(err)
 		}
-		node, err := cluster.NewNode(d, cluster.NodeOptions{
+		opts := cluster.NodeOptions{
 			ID:      id,
 			Peers:   dc.urls,
 			Session: session.Options{Workers: 1},
 			Shipper: cluster.ShipperOptions{Poll: 2 * time.Millisecond, Heartbeat: 50 * time.Millisecond},
 			Logf:    t.Logf,
-		})
+		}
+		for _, tw := range tweaks {
+			tw(&opts)
+		}
+		node, err := cluster.NewNode(d, opts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,16 +89,17 @@ func newDaemonCluster(t *testing.T, n int) *daemonCluster {
 		srv.node = node
 		swaps[id].h.Store(srv.routes())
 		node.Start()
-		nodes, pipes, stores = append(nodes, node), append(pipes, pipe), append(stores, d)
+		dc.nodes[id] = node
+		pipes, stores = append(pipes, pipe), append(stores, d)
 	}
 	// Teardown order matters: stop the follower clients first, then cut
 	// the shipper streams they held open (a plain server Close would
 	// wait on them forever), then close the stores.
 	t.Cleanup(func() {
-		for _, n := range nodes {
+		for _, n := range dc.nodes {
 			n.Close()
 		}
-		for _, srv := range servers {
+		for _, srv := range dc.servers {
 			srv.CloseClientConnections()
 			srv.Close()
 		}
@@ -224,6 +243,104 @@ func TestDaemonClusterRouterList(t *testing.T) {
 		if m.Batches != 1 || m.Mutations != 1 || m.Resolves == 0 {
 			t.Errorf("%s counters through the router = %+v, want 1 batch, 1 mutation, >=1 resolve", name, m)
 		}
+	}
+}
+
+// TestDaemonClusterSyncAck drives -replicate-ack 1 through the full
+// daemon surface: mutations succeed while a follower confirms them,
+// and degrade to an honest 503 — not a lying 200 — once the only
+// follower is gone.
+func TestDaemonClusterSyncAck(t *testing.T) {
+	dc := newDaemonCluster(t, 2, func(o *cluster.NodeOptions) {
+		o.ReplicateAck = 1
+		o.AckWait = time.Second
+	})
+	doc := instanceDoc(t, 21)
+	do(t, "POST", dc.urls["n1"]+"/v1/sessions", createReq{Name: "sync-1", K: 3, Instance: doc}, http.StatusCreated, nil)
+	do(t, "POST", dc.urls["n1"]+"/v1/sessions/sync-1/batch", batchReq{Mutations: []ses.Mutation{
+		ses.UpdateInterestOp(1, 0, 0.8),
+	}}, http.StatusOK, nil)
+
+	var metrics struct {
+		Replication *cluster.Metrics `json:"replication"`
+	}
+	do(t, "GET", dc.urls["n1"]+"/v1/metrics", nil, http.StatusOK, &metrics)
+	if m := metrics.Replication; m == nil || m.AckWaits < 2 || m.AckTimeouts != 0 {
+		t.Fatalf("sync-ack metrics = %+v, want >=2 waits and 0 timeouts", metrics.Replication)
+	}
+
+	// Kill the only follower: the next mutation commits locally but
+	// cannot be confirmed, so the daemon must answer 503.
+	dc.kill("n2")
+	resp, err := http.Post(dc.urls["n1"]+"/v1/sessions/sync-1/batch", "application/json",
+		bytes.NewReader([]byte(`{"mutations":[]}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("mutation with no live follower: status %d body %s, want 503", resp.StatusCode, raw)
+	}
+	if !bytes.Contains(raw, []byte("replication unconfirmed")) {
+		t.Errorf("503 body %q does not say the write is committed locally", raw)
+	}
+}
+
+// TestDaemonClusterEpochFencing promotes a survivor at a fresh epoch,
+// then proves a mutation stamped with an older router view is fenced
+// with 409 while current (and unstamped operator) requests pass.
+func TestDaemonClusterEpochFencing(t *testing.T) {
+	dc := newDaemonCluster(t, 3)
+	doc := instanceDoc(t, 31)
+	do(t, "POST", dc.urls["n1"]+"/v1/sessions", createReq{Name: "fence-1", K: 3, Instance: doc}, http.StatusCreated, nil)
+
+	// Wait for n2's replica of n1 to hold the session, then fail over.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(dc.urls["n2"] + "/v1/sessions/fence-1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("fence-1 never replicated to n2")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	dc.kill("n1")
+	do(t, "POST", dc.urls["n2"]+"/v1/replication/promote",
+		map[string]any{"peer": "n1", "epoch": 2}, http.StatusOK, nil)
+
+	batch := func(epoch string) int {
+		t.Helper()
+		req, err := http.NewRequest("POST", dc.urls["n2"]+"/v1/sessions/fence-1/batch",
+			bytes.NewReader([]byte(`{"mutations":[]}`)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if epoch != "" {
+			req.Header.Set("X-Ses-Epoch", epoch)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := batch("1"); got != http.StatusConflict {
+		t.Errorf("mutation at stale epoch 1: status %d, want 409", got)
+	}
+	if got := batch("2"); got != http.StatusOK {
+		t.Errorf("mutation at the current epoch: status %d, want 200", got)
+	}
+	if got := batch(""); got != http.StatusOK {
+		t.Errorf("unstamped operator mutation: status %d, want 200", got)
 	}
 }
 

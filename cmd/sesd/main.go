@@ -12,6 +12,7 @@
 //	     [-sync-interval 50ms] [-checkpoint-every 1024]
 //	     [-group-commit] [-drain 5s]
 //	     [-node-id ID -peers ID=URL,ID=URL,...] [-lag-bound BYTES]
+//	     [-replicate-ack N] [-replicate-ack-wait 2s]
 //
 // With -data-dir the daemon serves a durable store: every
 // acknowledged create/delete/batch/resolve/restore is appended to a
@@ -34,6 +35,17 @@
 // /v1/readyz reports ready once recovery has finished and every
 // connected replication stream is within -lag-bound bytes of its
 // primary.
+//
+// Replication ships asynchronously by default: a 200 means the write
+// is durable on this node only. -replicate-ack N withholds each
+// mutation's response until N followers have durably applied the
+// shipped record; if they don't confirm within -replicate-ack-wait
+// the daemon answers 503 (the write IS committed locally — only its
+// replication is unconfirmed) instead of acknowledging a write that
+// could still die with this node. Clustered mutations are also
+// epoch-fenced: requests stamped (by sesrouter) with an X-Ses-Epoch
+// below this node's promotion epoch get 409, so a router acting on a
+// stale membership view cannot land writes on a demoted primary.
 //
 // Resolve and batch requests run on a resolve pipeline: back-to-back
 // requests against the same session coalesce into one incremental
@@ -137,6 +149,8 @@ func run(ctx context.Context, args []string) error {
 	nodeID := fs.String("node-id", "", "this node's cluster identity (requires -peers and -data-dir)")
 	peersSpec := fs.String("peers", "", "cluster membership as ID=URL,ID=URL,... (must include -node-id)")
 	lagBound := fs.Int64("lag-bound", 0, "replication backlog bytes before /v1/readyz reports unready (0 = 4MiB, <0 unbounded)")
+	replicateAck := fs.Int("replicate-ack", 0, "followers that must durably apply each mutation before its response (0 = async replication)")
+	ackWait := fs.Duration("replicate-ack-wait", 0, "bound on a synchronous-ack wait before the daemon answers 503 (0 = 2s)")
 	fs.Parse(args)
 
 	var st storeAPI
@@ -190,17 +204,25 @@ func run(ctx context.Context, args []string) error {
 			return err
 		}
 		n, err := cluster.NewNode(durable, cluster.NodeOptions{
-			ID:       *nodeID,
-			Peers:    peers,
-			LagBound: *lagBound,
-			Session:  session.Options{Workers: *workers},
-			Logf:     log.Printf,
+			ID:           *nodeID,
+			Peers:        peers,
+			LagBound:     *lagBound,
+			ReplicateAck: *replicateAck,
+			AckWait:      *ackWait,
+			Session:      session.Options{Workers: *workers},
+			Logf:         log.Printf,
 		})
 		if err != nil {
 			return err
 		}
 		node = n
-		log.Printf("sesd: cluster node %s in a %d-node ring", *nodeID, len(peers))
+		if *replicateAck > 0 {
+			log.Printf("sesd: cluster node %s in a %d-node ring (replicate-ack=%d)", *nodeID, len(peers), *replicateAck)
+		} else {
+			log.Printf("sesd: cluster node %s in a %d-node ring", *nodeID, len(peers))
+		}
+	} else if *replicateAck != 0 || *ackWait != 0 {
+		return errors.New("-replicate-ack/-replicate-ack-wait only apply with -node-id/-peers")
 	}
 
 	pipe := ses.NewPipeline(st,
@@ -402,6 +424,16 @@ func statusOf(err error) int {
 		// Admission control: the pipeline queue is full and the request
 		// was never executed; the client may retry.
 		return http.StatusServiceUnavailable
+	case errors.Is(err, cluster.ErrAckTimeout):
+		// The write is committed locally but not enough followers
+		// confirmed it in time; 503 keeps the response honest and lets
+		// the client retry (the retry re-waits, it does not re-apply
+		// blindly — mutations are idempotent per the batch contract).
+		return http.StatusServiceUnavailable
+	case errors.Is(err, cluster.ErrStaleEpoch):
+		// The request was routed on a membership view older than a
+		// promotion this node has observed.
+		return http.StatusConflict
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request
 	default:
@@ -425,6 +457,44 @@ func reqContext(r *http.Request) (ctx context.Context, cancel context.CancelFunc
 	}
 	ctx, cancel = context.WithTimeout(r.Context(), d)
 	return ctx, cancel, true, nil
+}
+
+// checkEpoch fences clustered mutations against stale routing: a
+// request stamped with an X-Ses-Epoch below this node's promotion
+// epoch came through a router that has not yet observed a newer
+// promotion, and accepting it could diverge two survivors. Requests
+// without the header (operator curl, tests) bypass the fence.
+func (s *server) checkEpoch(r *http.Request) error {
+	if s.node == nil {
+		return nil
+	}
+	h := r.Header.Get("X-Ses-Epoch")
+	if h == "" {
+		return nil
+	}
+	e, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad X-Ses-Epoch %q", h)
+	}
+	if cur := s.node.Epoch(); e < cur {
+		return fmt.Errorf("%w: request epoch %d below node epoch %d", cluster.ErrStaleEpoch, e, cur)
+	}
+	return nil
+}
+
+// awaitAck holds a mutation's response until the configured number of
+// followers have durably applied the session's latest committed
+// record (no-op unless -replicate-ack). It reports whether the
+// response may proceed; on timeout it has already written the 503.
+func (s *server) awaitAck(w http.ResponseWriter, r *http.Request, name string) bool {
+	if s.node == nil {
+		return true
+	}
+	if err := s.node.AwaitAck(r.Context(), name); err != nil {
+		s.writeErr(w, statusOf(err), fmt.Errorf("write committed locally, replication unconfirmed: %w", err))
+		return false
+	}
+	return true
 }
 
 // doResolve routes a resolve through the pipeline unless the request
@@ -456,6 +526,10 @@ type createReq struct {
 }
 
 func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
 	var req createReq
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -477,6 +551,9 @@ func (s *server) createSession(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.store.CreateWithObjective(req.Name, inst, req.K, obj); err != nil {
 		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	if !s.awaitAck(w, r, req.Name) {
 		return
 	}
 	meta, err := s.store.Meta(req.Name)
@@ -520,8 +597,16 @@ func (s *server) replicaFor(name string, err error) (*ses.Store, string, bool) {
 }
 
 func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Delete(r.PathValue("name")); err != nil {
+	if err := s.checkEpoch(r); err != nil {
 		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	name := r.PathValue("name")
+	if err := s.store.Delete(name); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	if !s.awaitAck(w, r, name) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -541,19 +626,27 @@ func (s *server) observeResolve(d time.Duration) {
 }
 
 func (s *server) resolveSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
 	ctx, cancel, deadline, err := reqContext(r)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	defer cancel()
+	name := r.PathValue("name")
 	start := time.Now()
-	delta, err := s.doResolve(ctx, r.PathValue("name"), deadline)
+	delta, err := s.doResolve(ctx, name, deadline)
 	if err != nil {
 		s.writeErr(w, statusOf(err), err)
 		return
 	}
 	s.observeResolve(time.Since(start))
+	if !s.awaitAck(w, r, name) {
+		return
+	}
 	s.writeJSON(w, http.StatusOK, delta)
 }
 
@@ -563,6 +656,10 @@ type batchReq struct {
 }
 
 func (s *server) batchSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
 	ctx, cancel, deadline, err := reqContext(r)
 	if err != nil {
 		s.writeErr(w, http.StatusBadRequest, err)
@@ -574,14 +671,18 @@ func (s *server) batchSession(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 		return
 	}
+	name := r.PathValue("name")
 	start := time.Now()
-	res, err := s.doBatch(ctx, r.PathValue("name"), req.Mutations, deadline)
+	res, err := s.doBatch(ctx, name, req.Mutations, deadline)
 	if err != nil {
 		s.writeErr(w, statusOf(err), err)
 		return
 	}
 	s.observeResolve(time.Since(start))
 	s.batches.Add(1)
+	if !s.awaitAck(w, r, name) {
+		return
+	}
 	s.writeJSON(w, http.StatusOK, res)
 }
 
@@ -634,6 +735,10 @@ func (s *server) getSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) restoreSession(w http.ResponseWriter, r *http.Request) {
+	if err := s.checkEpoch(r); err != nil {
+		s.writeErr(w, statusOf(err), err)
+		return
+	}
 	name := r.PathValue("name")
 	var doc *ses.Snapshot
 	var err error
@@ -655,6 +760,9 @@ func (s *server) restoreSession(w http.ResponseWriter, r *http.Request) {
 	replace, _ := strconv.ParseBool(r.URL.Query().Get("replace"))
 	if err := s.store.Restore(name, state, replace); err != nil {
 		s.writeErr(w, statusOf(err), err)
+		return
+	}
+	if !s.awaitAck(w, r, name) {
 		return
 	}
 	meta, err := s.store.Meta(name)

@@ -16,6 +16,14 @@
 // fsync and followers apply the primary's own WAL records,
 // acknowledged mutations survive the failover.
 //
+// Each promotion proposes the next promotion epoch (one past the
+// highest the router has observed from any node); a node that has
+// already seen that epoch answers 409 and the router records nothing,
+// so two routers — or one with a flapping health check — cannot
+// promote divergent survivors. The router stamps its observed epoch
+// on forwarded mutations (X-Ses-Epoch), letting nodes fence writes
+// from a router that lost a promotion race.
+//
 // Usage:
 //
 //	sesrouter -peers ID=URL,ID=URL,... [-addr :8090]

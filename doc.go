@@ -223,18 +223,28 @@
 // lock-free Meta and read fallbacks while staying warm for takeover.
 // Because a record is shipped only after the primary's group-commit
 // fsync acknowledged it, replication never advertises state the
-// primary could lose. The sesd daemon joins a cluster with -node-id
-// and -peers (health and readiness on /v1/healthz and /v1/readyz,
-// replication lag under /v1/metrics); the sesrouter command fronts
-// the cluster, routing mutations to primaries, fanning reads across
-// followers, and on node death promoting the follower with the
-// highest replication cursor — the survivor adopts the dead node's
-// sessions durably (counters preserved exactly), and the promotion
-// is sticky until an operator reroutes. sesload -cluster drives a
-// cluster with acknowledged-operation accounting, and its -check-acks
-// mode proves after a kill -9 that nothing acknowledged was lost;
-// sesbench -fig cluster prices node-count scaling and the failover
-// timeline into BENCH_cluster.json.
+// primary could lose. Shipping is asynchronous by default; with
+// -replicate-ack N each mutation response additionally waits until N
+// distinct followers have durably applied the record (followers post
+// applied cursors back to the primary), degrading to 503 past a
+// bounded wait rather than overstating durability. The sesd daemon
+// joins a cluster with -node-id and -peers (health and readiness on
+// /v1/healthz and /v1/readyz, replication lag under /v1/metrics); the
+// sesrouter command fronts the cluster, routing mutations to
+// primaries, fanning reads across followers, and on node death
+// promoting the follower with the highest replication cursor — the
+// survivor first pulls any shard a surviving peer applied further,
+// adopts the dead node's sessions durably (counters preserved
+// exactly), then re-replicates the adopted shards through the mesh on
+// its own, with watermarks on /v1/replication/status. Promotions
+// carry a fsync-persisted monotonic epoch: stale proposals and stale
+// routers are fenced with 409, so concurrent routers cannot promote
+// divergent survivors, and the promotion is sticky until an operator
+// reroutes. sesload -cluster drives a cluster with
+// acknowledged-operation accounting, and its -check-acks mode proves
+// after a kill -9 that nothing acknowledged was lost; sesbench -fig
+// cluster prices node-count scaling, the -replicate-ack 1 ack-wait
+// cost, and the failover timeline into BENCH_cluster.json.
 //
 // # Quick start
 //

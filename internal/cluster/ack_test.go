@@ -1,0 +1,305 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ses/internal/store"
+	"ses/internal/wal"
+)
+
+func TestAckTracker(t *testing.T) {
+	a := newAckTracker()
+	cur := wal.Cursor{Seq: 3, Off: 100}
+
+	// Vacuous waits: zero cursor or non-positive need.
+	if err := a.await(context.Background(), 1, wal.Cursor{}, 1); err != nil {
+		t.Fatalf("zero-cursor await: %v", err)
+	}
+	if err := a.await(context.Background(), 1, cur, 0); err != nil {
+		t.Fatalf("need=0 await: %v", err)
+	}
+
+	// No acks: the wait degrades to ErrAckTimeout when ctx expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if err := a.await(ctx, 1, cur, 1); !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("await with no acks = %v, want ErrAckTimeout", err)
+	}
+	cancel()
+
+	// A parked waiter wakes when enough DISTINCT peers ack past the
+	// cursor; a behind-cursor ack and a duplicate peer don't count.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- a.await(ctx, 1, cur, 2)
+	}()
+	a.update("p1", map[int]wal.Cursor{1: cur})
+	a.update("p1", map[int]wal.Cursor{1: {Seq: 5}}) // same peer again
+	a.update("p2", map[int]wal.Cursor{1: {Seq: 3, Off: 50}})
+	select {
+	case err := <-done:
+		t.Fatalf("await satisfied early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.update("p2", map[int]wal.Cursor{1: {Seq: 4}})
+	if err := <-done; err != nil {
+		t.Fatalf("await after 2 peers acked: %v", err)
+	}
+
+	// Cursors are monotone: a stale re-ack cannot regress the count.
+	a.update("p2", map[int]wal.Cursor{1: {Seq: 1}})
+	if got := a.acked(1, cur); got != 2 {
+		t.Fatalf("acked after stale re-ack = %d, want 2", got)
+	}
+	// And the fast path returns without parking.
+	if err := a.await(context.Background(), 1, cur, 2); err != nil {
+		t.Fatalf("fast-path await: %v", err)
+	}
+	// A different shard is untouched.
+	if got := a.acked(2, cur); got != 0 {
+		t.Fatalf("acked on untouched shard = %d, want 0", got)
+	}
+}
+
+func TestAwaitAckTimesOutWithoutFollowers(t *testing.T) {
+	// The cluster is built but never started: no follower connects, so
+	// no acks ever arrive and a synchronous-ack write must degrade to
+	// ErrAckTimeout instead of hanging or lying.
+	c := newTestCluster(t, 2, store.DurableOptions{Sync: wal.SyncNone}, func(o *NodeOptions) {
+		o.ReplicateAck = 1
+		o.AckWait = 50 * time.Millisecond
+	})
+	d, n1 := c.stores["n1"], c.nodes["n1"]
+	if err := d.Create("ack-wait", testInstance(1), 3); err != nil {
+		t.Fatal(err)
+	}
+	err := n1.AwaitAck(context.Background(), "ack-wait")
+	if !errors.Is(err, ErrAckTimeout) {
+		t.Fatalf("AwaitAck with no followers = %v, want ErrAckTimeout", err)
+	}
+	m := n1.Metrics()
+	if m.AckWaits != 1 || m.AckTimeouts != 1 {
+		t.Errorf("ack metrics = waits %d timeouts %d, want 1/1", m.AckWaits, m.AckTimeouts)
+	}
+
+	// A session whose shard has no committed records waits on nothing.
+	other := ""
+	for i := 0; i < 10_000; i++ {
+		name := fmt.Sprintf("empty-%d", i)
+		if store.ShardOf(name) != store.ShardOf("ack-wait") {
+			other = name
+			break
+		}
+	}
+	if err := n1.AwaitAck(context.Background(), other); err != nil {
+		t.Fatalf("AwaitAck on an untouched shard: %v", err)
+	}
+}
+
+// TestNoDrainKillLosesNoAckedWrites is the acked-write loss window
+// test: under -replicate-ack 1, writers hammer the primary and count
+// ONLY writes whose AwaitAck succeeded; the primary is then killed
+// mid-flight with no drain and a survivor promoted. Every acked write
+// must be present in the adopted state — the promote-time survivor
+// merge makes that hold no matter which survivor is picked.
+func TestNoDrainKillLosesNoAckedWrites(t *testing.T) {
+	ctx := context.Background()
+	c := newTestCluster(t, 3, store.DurableOptions{Sync: wal.SyncAlways}, func(o *NodeOptions) {
+		o.ReplicateAck = 1
+		o.AckWait = 500 * time.Millisecond
+	})
+	c.start()
+	d, n1 := c.stores["n1"], c.nodes["n1"]
+
+	names := []string{"loss-a", "loss-b", "loss-c"}
+	for i, name := range names {
+		if err := d.Create(name, testInstance(uint64(i)+1), 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	acked := make([]atomic.Uint64, len(names))
+	stop := make(chan struct{})
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := names[i]
+			for op := 0; ; op++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := d.ApplyBatch(ctx, name, []store.Mutation{
+					store.UpdateInterest(op%20, op%3, 0.5),
+				}); err != nil {
+					return
+				}
+				if err := n1.AwaitAck(ctx, name); err != nil {
+					return // committed locally but never confirmed: not acked
+				}
+				acked[i].Add(1)
+			}
+		}(i)
+	}
+
+	// Let acked writes accumulate, then kill -9 the primary with the
+	// writers still running — no drain, no final checkpoint.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		total := uint64(0)
+		for i := range acked {
+			total += acked[i].Load()
+		}
+		if total >= 10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no writes got acked before the kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.kill("n1")
+	close(stop)
+	wg.Wait()
+
+	// Promote n2 — deliberately without checking which survivor is
+	// freshest; the merge must pull anything n3 alone applied.
+	adopted, epoch, err := c.nodes["n2"].Promote("n1", 0)
+	if err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if adopted != len(names) || epoch == 0 {
+		t.Fatalf("Promote adopted %d sessions at epoch %d, want %d at >0", adopted, epoch, len(names))
+	}
+	for i, name := range names {
+		want := acked[i].Load()
+		m, err := c.stores["n2"].Meta(name)
+		if err != nil {
+			t.Fatalf("acked session %s missing after promotion: %v", name, err)
+		}
+		if m.Batches < want {
+			t.Errorf("%s: %d batches survived promotion, %d were acked — acked writes lost",
+				name, m.Batches, want)
+		}
+	}
+}
+
+// TestPromoteMergesBestSurvivorShards pins the merge deterministically:
+// n2's follower of n1 is stopped, a write lands acked by n3 alone, and
+// promoting the STALE survivor n2 must still surface the write.
+func TestPromoteMergesBestSurvivorShards(t *testing.T) {
+	ctx := context.Background()
+	c := newTestCluster(t, 3, store.DurableOptions{Sync: wal.SyncAlways}, func(o *NodeOptions) {
+		o.ReplicateAck = 1
+		o.AckWait = 10 * time.Second
+	})
+	c.start()
+	d, n1 := c.stores["n1"], c.nodes["n1"]
+
+	if err := d.Create("merge-a", testInstance(7), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.AwaitAck(ctx, "merge-a"); err != nil {
+		t.Fatal(err)
+	}
+	c.waitConverged("n1", []string{"merge-a"}, map[string][]byte{"merge-a": canonical(t, d, "merge-a")})
+
+	// From here on, only n3 follows n1.
+	c.nodes["n2"].followers["n1"].stop()
+	if _, err := d.ApplyBatch(ctx, "merge-a", []store.Mutation{store.SetK(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.AwaitAck(ctx, "merge-a"); err != nil {
+		t.Fatalf("AwaitAck with n3 following: %v", err)
+	}
+	want := canonical(t, d, "merge-a")
+
+	c.kill("n1")
+	if _, _, err := c.nodes["n2"].Promote("n1", 0); err != nil {
+		t.Fatalf("Promote on the stale survivor: %v", err)
+	}
+	if got := canonical(t, c.stores["n2"], "merge-a"); !bytes.Equal(got, want) {
+		t.Errorf("stale survivor adopted without the acked write:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestPromotionEpochFencing(t *testing.T) {
+	ctx := context.Background()
+	c := newTestCluster(t, 3, store.DurableOptions{Sync: wal.SyncAlways})
+	c.start()
+	d := c.stores["n1"]
+	if err := d.Create("fence-a", testInstance(3), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ApplyBatch(ctx, "fence-a", []store.Mutation{store.SetK(2)}); err != nil {
+		t.Fatal(err)
+	}
+	c.waitConverged("n1", []string{"fence-a"}, map[string][]byte{"fence-a": canonical(t, d, "fence-a")})
+	c.kill("n1")
+
+	promote := func(node string, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(c.urls[node]+"/v1/replication/promote", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	// A router promotes n2 at epoch 5.
+	if resp := promote("n2", `{"peer":"n1","epoch":5}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("promote n2 at epoch 5: %s", resp.Status)
+	}
+	if got := c.nodes["n2"].Epoch(); got != 5 {
+		t.Fatalf("n2 epoch after promotion = %d, want 5", got)
+	}
+
+	// A second router races the same epoch at a DIFFERENT survivor: n3
+	// asks its live peers first, sees n2 already observed epoch 5, and
+	// refuses — no divergent second winner.
+	if resp := promote("n3", `{"peer":"n1","epoch":5}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("racing promote at equal epoch: %s, want 409", resp.Status)
+	}
+	if resp := promote("n3", `{"peer":"n1","epoch":3}`); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("promote at a lower epoch: %s, want 409", resp.Status)
+	}
+	if _, _, err := c.nodes["n2"].Promote("n1", 5); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("re-promote at the observed epoch = %v, want ErrStaleEpoch", err)
+	}
+
+	// The operator path (epoch 0) mints observed+1 and is allowed.
+	adopted, epoch, err := c.nodes["n2"].Promote("n1", 0)
+	if err != nil || epoch != 6 || adopted == 0 {
+		t.Fatalf("operator re-promote = (%d, %d, %v), want adopted>0 at epoch 6", adopted, epoch, err)
+	}
+
+	// The epoch survives: persisted in the fsynced file and shipped to
+	// peers inside the adopt records, so n3 observes it without ever
+	// being told directly.
+	raw, err := os.ReadFile(c.nodes["n2"].epochPath())
+	if err != nil || string(bytes.TrimSpace(raw)) != "6" {
+		t.Errorf("promotion-epoch file = %q, %v; want 6", raw, err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for c.nodes["n3"].Epoch() < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("n3 never observed epoch 6 via shipped adopt records (at %d)", c.nodes["n3"].Epoch())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

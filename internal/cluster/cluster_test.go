@@ -78,7 +78,7 @@ type testCluster struct {
 	servers map[string]*httptest.Server
 }
 
-func newTestCluster(t *testing.T, n int, durOpts store.DurableOptions) *testCluster {
+func newTestCluster(t *testing.T, n int, durOpts store.DurableOptions, tweaks ...func(*NodeOptions)) *testCluster {
 	t.Helper()
 	if durOpts.Session.Workers == 0 {
 		durOpts.Session.Workers = 1
@@ -106,12 +106,16 @@ func newTestCluster(t *testing.T, n int, durOpts store.DurableOptions) *testClus
 			t.Fatalf("OpenDurable(%s): %v", id, err)
 		}
 		c.stores[id] = d
-		node, err := NewNode(d, NodeOptions{
+		opts := NodeOptions{
 			ID:      id,
 			Peers:   c.urls,
 			Session: durOpts.Session,
 			Shipper: ShipperOptions{Poll: 2 * time.Millisecond, Heartbeat: 50 * time.Millisecond},
-		})
+		}
+		for _, tw := range tweaks {
+			tw(&opts)
+		}
+		node, err := NewNode(d, opts)
 		if err != nil {
 			t.Fatalf("NewNode(%s): %v", id, err)
 		}

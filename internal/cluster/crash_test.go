@@ -143,7 +143,7 @@ func TestPromotedStateEqualsAcknowledgedPrefixAtEveryCursor(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := d.Adopt(name, st, m.Resolves+1, m.Mutations, m.Batches); err != nil {
+			if err := d.Adopt(name, st, m.Resolves+1, m.Mutations, m.Batches, uint64(op)); err != nil {
 				t.Fatalf("op %d adopt: %v", op, err)
 			}
 		default: // delete

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ses/internal/store"
@@ -33,6 +34,16 @@ type Follower struct {
 	client     *http.Client
 	logf       func(string, ...any)
 
+	// onAdopt, when set, observes every adopt record this follower
+	// applies: the peer took those sessions over, so reads for them
+	// should prefer this replica over the dead ring owner's frozen one.
+	onAdopt func(name string)
+
+	// ackCh wakes the ack loop after an apply; capacity 1, so applies
+	// that land while an ack POST is in flight coalesce into one.
+	ackCh    chan struct{}
+	acksSent atomic.Uint64
+
 	mu             sync.Mutex
 	cursors        [store.NumShards]wal.Cursor
 	connected      bool
@@ -44,7 +55,7 @@ type Follower struct {
 	bytesApplied   uint64
 
 	cancel context.CancelFunc
-	done   chan struct{}
+	wg     sync.WaitGroup
 }
 
 func newFollower(self, peer, url string, replica *store.Store, client *http.Client, logf func(string, ...any)) *Follower {
@@ -54,28 +65,33 @@ func newFollower(self, peer, url string, replica *store.Store, client *http.Clie
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Follower{self: self, peer: peer, url: url, replica: replica, client: client, logf: logf}
+	return &Follower{self: self, peer: peer, url: url, replica: replica, client: client, logf: logf,
+		ackCh: make(chan struct{}, 1)}
 }
 
 // Replica returns the in-memory store the follower maintains.
 func (f *Follower) Replica() *store.Store { return f.replica }
 
-// start launches the reconnect loop.
+// start launches the reconnect loop and the ack loop.
 func (f *Follower) start() {
 	ctx, cancel := context.WithCancel(context.Background())
 	f.cancel = cancel
-	f.done = make(chan struct{})
+	f.wg.Add(2)
 	go func() {
-		defer close(f.done)
+		defer f.wg.Done()
 		f.run(ctx)
+	}()
+	go func() {
+		defer f.wg.Done()
+		f.ackLoop(ctx)
 	}()
 }
 
-// stop terminates the stream and waits for the loop to exit.
+// stop terminates the stream and waits for the loops to exit.
 func (f *Follower) stop() {
 	if f.cancel != nil {
 		f.cancel()
-		<-f.done
+		f.wg.Wait()
 	}
 }
 
@@ -165,6 +181,10 @@ func (f *Follower) apply(m streamMsg) error {
 		f.recordsApplied++
 		f.bytesApplied += uint64(len(m.payload))
 		f.mu.Unlock()
+		if rec.Kind == "adopt" && f.onAdopt != nil {
+			f.onAdopt(rec.Name)
+		}
+		f.noteApplied()
 		return nil
 	case msgCheckpoint:
 		entries, err := store.DecodeWALCheckpoint(m.payload)
@@ -178,6 +198,7 @@ func (f *Follower) apply(m streamMsg) error {
 		f.cursors[m.shard] = wal.Cursor{Seq: m.a}
 		f.bytesApplied += uint64(len(m.payload))
 		f.mu.Unlock()
+		f.noteApplied()
 		return nil
 	case msgHeartbeat:
 		if len(m.payload) != 16 {
@@ -192,6 +213,78 @@ func (f *Follower) apply(m streamMsg) error {
 	default:
 		return fmt.Errorf("cluster: unknown stream message kind %q", m.kind)
 	}
+}
+
+// noteApplied wakes the ack loop; a full channel means an ack POST is
+// already pending and this apply will ride it.
+func (f *Follower) noteApplied() {
+	select {
+	case f.ackCh <- struct{}{}:
+	default:
+	}
+}
+
+// ackLoop reports the replica's applied cursors back to the peer
+// primary after each apply, so the primary's synchronous-ack waiters
+// (and its re-replication watermarks) see follower progress. The POST
+// reuses the streamReq shape; failures are recorded but not retried —
+// the next apply triggers a fresh, strictly newer ack.
+func (f *Follower) ackLoop(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.ackCh:
+		}
+		req := streamReq{Node: f.self, Cursors: map[string]string{}}
+		f.mu.Lock()
+		for i, c := range f.cursors {
+			if !c.IsZero() {
+				req.Cursors[strconv.Itoa(i)] = c.String()
+			}
+		}
+		f.mu.Unlock()
+		if len(req.Cursors) == 0 {
+			continue
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			continue
+		}
+		postCtx, cancel := context.WithTimeout(ctx, time.Second)
+		httpReq, err := http.NewRequestWithContext(postCtx, http.MethodPost,
+			f.url+"/v1/replication/ack", bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			continue
+		}
+		httpReq.Header.Set("Content-Type", "application/json")
+		resp, err := f.client.Do(httpReq)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode < 300 {
+				f.acksSent.Add(1)
+			}
+		}
+		cancel()
+	}
+}
+
+// setShardCursor installs a merged shard cursor (the promote-time
+// catch-up path, after SyncShardToCheckpoint replaced the shard from a
+// fresher survivor).
+func (f *Follower) setShardCursor(shard int, c wal.Cursor) {
+	f.mu.Lock()
+	f.cursors[shard] = c
+	f.mu.Unlock()
+}
+
+// shardCursor reads one shard's applied cursor.
+func (f *Follower) shardCursor(shard int) wal.Cursor {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cursors[shard]
 }
 
 // resyncShard resets one shard's cursor to zero so the next connect
@@ -233,6 +326,15 @@ type FollowStatus struct {
 	CursorWeight    uint64  `json:"cursor_weight"`
 	HeartbeatAgeSec float64 `json:"heartbeat_age_sec"` // -1 before the first heartbeat
 	LastError       string  `json:"last_error,omitempty"`
+	// Cursors maps shard index (decimal) to the applied cursor, for
+	// shards past zero. A promoting survivor reads its peers' entries
+	// here to find — and pull — any shard where another survivor's
+	// replica of the dead node is fresher than its own, so a write
+	// acked by ANY follower survives no matter which survivor the
+	// router picks.
+	Cursors map[string]string `json:"cursors,omitempty"`
+	// AcksSent counts ack POSTs this follower delivered to its peer.
+	AcksSent uint64 `json:"acks_sent"`
 }
 
 // Status snapshots the follower's progress.
@@ -248,14 +350,21 @@ func (f *Follower) Status() FollowStatus {
 		LagRecords:     f.lagRecords,
 		LagBytes:       f.lagBytes,
 		LastError:      f.lastErr,
+		AcksSent:       f.acksSent.Load(),
 	}
 	if f.lastBeat.IsZero() {
 		st.HeartbeatAgeSec = -1
 	} else {
 		st.HeartbeatAgeSec = time.Since(f.lastBeat).Seconds()
 	}
-	for _, c := range f.cursors {
+	for i, c := range f.cursors {
 		st.CursorWeight += cursorWeight(c)
+		if !c.IsZero() {
+			if st.Cursors == nil {
+				st.Cursors = map[string]string{}
+			}
+			st.Cursors[strconv.Itoa(i)] = c.String()
+		}
 	}
 	return st
 }

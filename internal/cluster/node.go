@@ -1,15 +1,24 @@
 package cluster
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"ses/internal/session"
 	"ses/internal/store"
+	"ses/internal/wal"
 )
 
 // NodeOptions configures a cluster node.
@@ -25,6 +34,14 @@ type NodeOptions struct {
 	// which the node reports not-ready (0 = 4 MiB; <0 disables the
 	// bound).
 	LagBound int64
+	// ReplicateAck, when positive, makes AwaitAck block a mutation's
+	// acknowledgment until this many followers have applied the
+	// record (`sesd -replicate-ack N`). 0 keeps replication fully
+	// asynchronous.
+	ReplicateAck int
+	// AckWait bounds how long AwaitAck blocks before degrading to an
+	// ErrAckTimeout (0 = 2s).
+	AckWait time.Duration
 	// Session configures replica sessions (worker counts etc.); it
 	// should match the durable store's session options.
 	Session session.Options
@@ -43,6 +60,13 @@ func (o NodeOptions) lagBound() int64 {
 	return o.LagBound
 }
 
+func (o NodeOptions) ackWait() time.Duration {
+	if o.AckWait <= 0 {
+		return 2 * time.Second
+	}
+	return o.AckWait
+}
+
 // Node is one member of a replicated sesd cluster: it serves its own
 // sessions from the durable store, ships its WAL to every peer, and
 // follows every peer's WAL into warm replicas it can promote when a
@@ -57,6 +81,32 @@ type Node struct {
 	shipper *Shipper
 
 	followers map[string]*Follower // peer id -> stream from that peer
+
+	// acks tracks what this node's followers have applied of ITS log
+	// (they POST cursors to /v1/replication/ack); AwaitAck and the
+	// re-replication watermarks read it.
+	acks        *ackTracker
+	ackWaits    atomic.Uint64
+	ackTimeouts atomic.Uint64
+
+	// epoch is the node's persisted promotion epoch (see Epoch); the
+	// durable store and the replicas can each push it higher.
+	epoch atomic.Uint64
+
+	// adoptedBy remembers, per session observed in a shipped adopt
+	// record, which peer took it over — Replica prefers the adopter's
+	// live replica over the dead ring owner's frozen one.
+	adoptMu   sync.Mutex
+	adoptedBy map[string]string
+
+	// rerepl holds the re-replication watermarks a promotion left
+	// behind: shard -> the local log cursor that covers every adopted
+	// record. A shard leaves the map once any follower acks past its
+	// watermark (checked on Status reads), meaning the adopted
+	// sessions have a follower again.
+	rereplMu        sync.Mutex
+	rerepl          map[int]wal.Cursor
+	rereplConfirmed int
 
 	started  atomic.Bool
 	promoted atomic.Uint64 // sessions adopted across all promotions
@@ -96,8 +146,16 @@ func NewNode(d *store.Durable, opts NodeOptions) (*Node, error) {
 		durable:   d,
 		shipper:   NewShipper(d.Dir(), shipOpts),
 		followers: make(map[string]*Follower),
+		acks:      newAckTracker(),
+		adoptedBy: make(map[string]string),
+		rerepl:    make(map[int]wal.Cursor),
 		logf:      logf,
 	}
+	if opts.ReplicateAck > len(opts.Peers)-1 {
+		return nil, fmt.Errorf("cluster: -replicate-ack %d exceeds the %d followers this cluster has",
+			opts.ReplicateAck, len(opts.Peers)-1)
+	}
+	n.epoch.Store(n.loadEpoch())
 	peers := make([]string, 0, len(opts.Peers))
 	for id := range opts.Peers {
 		if id != opts.ID {
@@ -107,9 +165,108 @@ func NewNode(d *store.Durable, opts NodeOptions) (*Node, error) {
 	sort.Strings(peers)
 	for _, id := range peers {
 		replica := store.New(opts.Session)
-		n.followers[id] = newFollower(opts.ID, id, opts.Peers[id], replica, opts.Client, logf)
+		f := newFollower(opts.ID, id, opts.Peers[id], replica, opts.Client, logf)
+		peer := id
+		f.onAdopt = func(name string) { n.noteAdopted(name, peer) }
+		n.followers[id] = f
 	}
 	return n, nil
+}
+
+// epochPath names the fsynced promotion-epoch file under the data
+// directory. Adopt records and checkpoint entries carry the epoch
+// too; the file covers the edge where a checkpoint of an empty shard
+// truncates the only adopt record that recorded it.
+func (n *Node) epochPath() string {
+	return filepath.Join(n.durable.Dir(), "promotion-epoch")
+}
+
+func (n *Node) loadEpoch() uint64 {
+	raw, err := os.ReadFile(n.epochPath())
+	if err != nil {
+		return 0
+	}
+	e, err := strconv.ParseUint(string(bytes.TrimSpace(raw)), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return e
+}
+
+// persistEpoch durably records a new promotion epoch (temp file,
+// fsync, rename) BEFORE the adoption writes it fences are allowed.
+func (n *Node) persistEpoch(e uint64) error {
+	path := n.epochPath()
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(f, "%d\n", e); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Epoch returns the highest promotion epoch this node has observed:
+// its own persisted epoch, the durable store's (from adopt records
+// replayed at recovery or checkpoint entries), and every replica's
+// (from adopt records shipped by peers). A mutation carrying a lower
+// X-Ses-Epoch than this is stale and must be rejected.
+func (n *Node) Epoch() uint64 {
+	e := n.epoch.Load()
+	if se := n.durable.Epoch(); se > e {
+		e = se
+	}
+	for _, f := range n.followers {
+		if re := f.replica.Epoch(); re > e {
+			e = re
+		}
+	}
+	return e
+}
+
+// noteAdopted records that peer adopted session name (observed in a
+// shipped adopt record).
+func (n *Node) noteAdopted(name, peer string) {
+	n.adoptMu.Lock()
+	n.adoptedBy[name] = peer
+	n.adoptMu.Unlock()
+}
+
+// AwaitAck blocks until the node's ReplicateAck followers have applied
+// the session's shard up to its last locally-committed record, or the
+// bounded wait expires (ErrAckTimeout — the write is committed locally
+// but its replication is unconfirmed; the daemon answers 503, never a
+// lying 200). The watermark is the shard's last committed cursor, so
+// a concurrent writer on the same shard can only make the wait
+// conservative, never unsafe. No-op when ReplicateAck is 0.
+func (n *Node) AwaitAck(ctx context.Context, name string) error {
+	need := n.opts.ReplicateAck
+	if need <= 0 {
+		return nil
+	}
+	shard := store.ShardOf(name)
+	target := n.durable.ShardCommitted(shard)
+	if target.IsZero() {
+		return nil
+	}
+	n.ackWaits.Add(1)
+	waitCtx, cancel := context.WithTimeout(ctx, n.opts.ackWait())
+	defer cancel()
+	if err := n.acks.await(waitCtx, shard, target, need); err != nil {
+		n.ackTimeouts.Add(1)
+		return err
+	}
+	return nil
 }
 
 // ID returns the node's ring identity.
@@ -143,10 +300,20 @@ func (n *Node) Close() {
 }
 
 // Replica finds a session among the peer replicas: the store that
-// holds it and the peer it replicates. The ring primary's replica is
-// checked first, then the rest (a promotion may have moved the
-// session off its ring owner).
+// holds it and the peer it replicates. A session observed in a
+// shipped adopt record is served from the adopting peer's live
+// replica first — after a failover the ring owner's replica is a
+// frozen copy that would otherwise shadow fresher state. Then the
+// ring primary's replica, then the rest.
 func (n *Node) Replica(name string) (*store.Store, string, bool) {
+	n.adoptMu.Lock()
+	adopter := n.adoptedBy[name]
+	n.adoptMu.Unlock()
+	if f, ok := n.followers[adopter]; ok {
+		if _, err := f.replica.Meta(name); err == nil {
+			return f.replica, f.peer, true
+		}
+	}
 	if f, ok := n.followers[n.ring.Primary(name)]; ok {
 		if _, err := f.replica.Meta(name); err == nil {
 			return f.replica, f.peer, true
@@ -160,17 +327,63 @@ func (n *Node) Replica(name string) (*store.Store, string, bool) {
 	return nil, "", false
 }
 
+// ErrStaleEpoch reports a promotion (or a routed mutation) carrying
+// an epoch at or below one the cluster has already seen: a second
+// router or a flapping health check tried to promote against history
+// that moved on. The daemon maps it to 409.
+var ErrStaleEpoch = errors.New("cluster: stale promotion epoch")
+
 // Promote adopts every session of a dead peer's replica into the
 // local durable store (each one a logged, durable Restore) and
-// returns how many sessions were adopted. It is idempotent — a
-// repeated promotion re-restores the same states.
-func (n *Node) Promote(peer string) (int, error) {
+// returns how many sessions were adopted, plus the epoch the
+// promotion happened under. It is idempotent at a given epoch's
+// history — a repeated promotion re-restores the same states.
+//
+// epoch is the proposed promotion epoch: 0 asks the node to mint
+// current+1 (the operator-curl path); a router proposes its own. A
+// proposal at or below the highest epoch this node has observed — or
+// that any reachable live peer reports — is rejected with
+// ErrStaleEpoch, so two routers (or a flapping health check) cannot
+// both promote divergent survivors: the second promotion either
+// carries a higher epoch (and every node then rejects the first
+// winner's stale-epoch mutations) or is refused. The epoch is
+// persisted (fsynced file + logged in every adopt record +
+// checkpoint entries) BEFORE any session is adopted.
+//
+// Before adopting, the node compares its replica of the dead peer
+// against every reachable survivor's, shard by shard (FollowStatus
+// carries per-shard cursors), and pulls any shard where a survivor is
+// fresher. A shard's log is totally ordered, so the higher cursor
+// holds a strict superset of that shard's history — after the merge
+// the adopted state covers every record ANY surviving follower
+// applied, which is what makes `-replicate-ack 1` a real guarantee
+// regardless of which survivor the router picks.
+func (n *Node) Promote(peer string, epoch uint64) (int, uint64, error) {
 	f, ok := n.followers[peer]
 	if !ok {
-		return 0, fmt.Errorf("cluster: unknown peer %q", peer)
+		return 0, 0, fmt.Errorf("cluster: unknown peer %q", peer)
 	}
+	cur := n.Epoch()
+	if epoch == 0 {
+		epoch = cur + 1
+	} else if epoch <= cur {
+		return 0, 0, fmt.Errorf("%w: proposed epoch %d, this node has observed %d", ErrStaleEpoch, epoch, cur)
+	}
+	statuses := n.peerStatuses(peer)
+	for id, st := range statuses {
+		if st.Epoch >= epoch {
+			return 0, 0, fmt.Errorf("%w: peer %s already observed epoch %d (proposed %d)", ErrStaleEpoch, id, st.Epoch, epoch)
+		}
+	}
+	n.mergeSurvivorShards(peer, f, statuses)
+	if err := n.persistEpoch(epoch); err != nil {
+		return 0, 0, fmt.Errorf("cluster: persisting promotion epoch %d: %w", epoch, err)
+	}
+	n.bumpEpoch(epoch)
+
 	names := f.replica.Names()
 	adopted := 0
+	shards := make(map[int]bool)
 	for _, name := range names {
 		st, err := f.replica.Snapshot(name)
 		if err != nil {
@@ -180,15 +393,143 @@ func (n *Node) Promote(peer string) (int, error) {
 		if err != nil {
 			continue
 		}
-		if err := n.durable.Adopt(name, st, m.Resolves, m.Mutations, m.Batches); err != nil {
-			return adopted, fmt.Errorf("cluster: adopting %q from %s: %w", name, peer, err)
+		if err := n.durable.Adopt(name, st, m.Resolves, m.Mutations, m.Batches, epoch); err != nil {
+			return adopted, epoch, fmt.Errorf("cluster: adopting %q from %s: %w", name, peer, err)
 		}
+		shards[store.ShardOf(name)] = true
 		adopted++
 	}
+	// Re-replication watermarks: once a follower acks a shard past the
+	// cursor that covers its adopt records, the adopted sessions have a
+	// replica again. Status prunes the map as acks arrive; nothing else
+	// is needed — the shippers already tail the local log the adopt
+	// records just landed in, for every connected peer.
+	n.rereplMu.Lock()
+	for shard := range shards {
+		n.rerepl[shard] = n.durable.ShardCommitted(shard)
+	}
+	n.rereplMu.Unlock()
 	n.promoted.Add(uint64(adopted))
 	n.failover.Store(time.Now().UnixMilli())
-	n.logf("cluster: promoted %d sessions from %s", adopted, peer)
-	return adopted, nil
+	n.logf("cluster: promoted %d sessions from %s at epoch %d", adopted, peer, epoch)
+	return adopted, epoch, nil
+}
+
+// bumpEpoch raises the node's in-memory epoch (monotone max).
+func (n *Node) bumpEpoch(e uint64) {
+	for {
+		cur := n.epoch.Load()
+		if e <= cur || n.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// peerStatuses fetches the replication status of every peer except
+// self and the dead one, best-effort with a short timeout: an
+// unreachable peer neither blocks the failover nor vetoes it.
+func (n *Node) peerStatuses(dead string) map[string]Status {
+	client := n.opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	out := make(map[string]Status)
+	for id, url := range n.opts.Peers {
+		if id == n.opts.ID || id == dead {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/v1/replication/status", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			continue
+		}
+		var st Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		cancel()
+		if err == nil {
+			out[id] = st
+		}
+	}
+	return out
+}
+
+// mergeSurvivorShards pulls, from each reachable survivor, every
+// shard of the dead peer's log where that survivor's replica is ahead
+// of ours, and replaces our replica's shard with it (checkpoint-entry
+// transfer + SyncShardToCheckpoint — the same codec followers already
+// resync with). Best-effort: a failed pull leaves our own replica for
+// that shard, which is no worse than promotion before the merge
+// existed.
+func (n *Node) mergeSurvivorShards(dead string, f *Follower, statuses map[string]Status) {
+	client := n.opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	// Pick the freshest survivor per shard first, then pull once.
+	type source struct {
+		id  string
+		cur wal.Cursor
+	}
+	best := make(map[int]source)
+	for id, st := range statuses {
+		fs, ok := st.Follows[dead]
+		if !ok {
+			continue
+		}
+		for shardStr, curStr := range fs.Cursors {
+			shard, cur, err := parseShardCursor(shardStr, curStr)
+			if err != nil {
+				continue
+			}
+			if !f.shardCursor(shard).Before(cur) {
+				continue // ours is at least as fresh
+			}
+			if b, ok := best[shard]; !ok || b.cur.Before(cur) {
+				best[shard] = source{id: id, cur: cur}
+			}
+		}
+	}
+	for shard, src := range best {
+		url := fmt.Sprintf("%s/v1/replication/replica?peer=%s&shard=%d", n.opts.Peers[src.id], dead, shard)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			cancel()
+			n.logf("cluster: pulling shard %d of %s from %s: %v", shard, dead, src.id, err)
+			continue
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			n.logf("cluster: pulling shard %d of %s from %s: status %d err %v", shard, dead, src.id, resp.StatusCode, err)
+			continue
+		}
+		entries, err := store.DecodeWALCheckpoint(body)
+		if err != nil {
+			n.logf("cluster: decoding shard %d of %s from %s: %v", shard, dead, src.id, err)
+			continue
+		}
+		if err := f.replica.SyncShardToCheckpoint(shard, entries); err != nil {
+			n.logf("cluster: installing shard %d of %s from %s: %v", shard, dead, src.id, err)
+			continue
+		}
+		f.setShardCursor(shard, src.cur)
+		n.logf("cluster: merged shard %d of %s from survivor %s (%d sessions, cursor %s)",
+			shard, dead, src.id, len(entries), src.cur)
+	}
 }
 
 // Ready implements the readiness probe: recovery is finished (the
@@ -211,7 +552,7 @@ func (n *Node) Ready() (bool, string) {
 }
 
 // Status is the /v1/replication/status document. The router's health
-// loop reads Ready and Follows; operators read the rest.
+// loop reads Ready, Follows and Epoch; operators read the rest.
 type Status struct {
 	ID      string                  `json:"id"`
 	Nodes   []string                `json:"nodes"`
@@ -219,23 +560,63 @@ type Status struct {
 	Reason  string                  `json:"reason,omitempty"`
 	Follows map[string]FollowStatus `json:"follows"`
 	Streams []StreamStatus          `json:"streams"`
+	// Epoch is the highest promotion epoch this node has observed;
+	// mutations routed with a lower X-Ses-Epoch are rejected.
+	Epoch uint64 `json:"epoch"`
+	// ReplicateAck is the node's synchronous-ack requirement (0 =
+	// async replication).
+	ReplicateAck uint64 `json:"replicate_ack"`
+	// BacklogScanErrors counts heartbeat backlog scans that failed for
+	// non-truncation reasons — nonzero means lag figures may understate
+	// a sick disk.
+	BacklogScanErrors uint64 `json:"backlog_scan_errors"`
+	// AcksReceived counts follower ack POSTs this node processed.
+	AcksReceived uint64 `json:"acks_received"`
+	// AdoptedShardsPending/Replicated track post-failover
+	// re-replication: shards whose adopted sessions no follower has
+	// confirmed yet, and shards confirmed re-replicated since boot.
+	AdoptedShardsPending    int `json:"adopted_shards_pending"`
+	AdoptedShardsReplicated int `json:"adopted_shards_replicated"`
 	// PromotedSessions and LastFailoverUnixMS record takeovers this
 	// node performed.
 	PromotedSessions   uint64 `json:"promoted_sessions"`
 	LastFailoverUnixMS int64  `json:"last_failover_unix_ms"`
 }
 
+// reReplication prunes watermarks that a follower has acked past —
+// those shards' adopted sessions verifiably have a replica again —
+// and returns how many are still pending and how many have been
+// confirmed since boot.
+func (n *Node) reReplication() (pending, confirmed int) {
+	n.rereplMu.Lock()
+	defer n.rereplMu.Unlock()
+	for shard, cur := range n.rerepl {
+		if n.acks.acked(shard, cur) >= 1 {
+			delete(n.rerepl, shard)
+			n.rereplConfirmed++
+		}
+	}
+	return len(n.rerepl), n.rereplConfirmed
+}
+
 // Status snapshots the node's replication state.
 func (n *Node) Status() Status {
 	ready, reason := n.Ready()
+	pending, confirmed := n.reReplication()
 	st := Status{
-		ID:                 n.opts.ID,
-		Nodes:              n.ring.Nodes(),
-		Ready:              ready,
-		Follows:            make(map[string]FollowStatus, len(n.followers)),
-		Streams:            n.shipper.Status(),
-		PromotedSessions:   n.promoted.Load(),
-		LastFailoverUnixMS: n.failover.Load(),
+		ID:                      n.opts.ID,
+		Nodes:                   n.ring.Nodes(),
+		Ready:                   ready,
+		Follows:                 make(map[string]FollowStatus, len(n.followers)),
+		Streams:                 n.shipper.Status(),
+		Epoch:                   n.Epoch(),
+		ReplicateAck:            uint64(n.opts.ReplicateAck),
+		BacklogScanErrors:       n.shipper.ScanErrors(),
+		AcksReceived:            n.acks.acks.Load(),
+		AdoptedShardsPending:    pending,
+		AdoptedShardsReplicated: confirmed,
+		PromotedSessions:        n.promoted.Load(),
+		LastFailoverUnixMS:      n.failover.Load(),
 	}
 	if !ready {
 		st.Reason = reason
@@ -262,18 +643,38 @@ type Metrics struct {
 	FollowerLagBytes   uint64 `json:"follower_lag_bytes"`
 	PromotedSessions   uint64 `json:"promoted_sessions"`
 	LastFailoverUnixMS int64  `json:"last_failover_unix_ms"`
+	// Epoch is the node's observed promotion epoch.
+	Epoch uint64 `json:"epoch"`
+	// BacklogScanErrors counts failed (non-truncation) backlog scans.
+	BacklogScanErrors uint64 `json:"backlog_scan_errors"`
+	// AcksReceived/AckWaits/AckTimeouts price the synchronous-ack
+	// path: follower ack POSTs processed, mutations that waited, and
+	// waits that degraded to 503.
+	AcksReceived uint64 `json:"acks_received"`
+	AckWaits     uint64 `json:"ack_waits"`
+	AckTimeouts  uint64 `json:"ack_timeouts"`
+	// AdoptedShardsPending counts shards adopted at failover still
+	// waiting for a follower to confirm re-replication.
+	AdoptedShardsPending int `json:"adopted_shards_pending"`
 }
 
 // Metrics aggregates the node's replication counters.
 func (n *Node) Metrics() Metrics {
 	records, bytes := n.shipper.Shipped()
+	pending, _ := n.reReplication()
 	m := Metrics{
-		NodeID:             n.opts.ID,
-		ActiveStreams:      len(n.shipper.Status()),
-		RecordsShipped:     records,
-		BytesShipped:       bytes,
-		PromotedSessions:   n.promoted.Load(),
-		LastFailoverUnixMS: n.failover.Load(),
+		NodeID:               n.opts.ID,
+		ActiveStreams:        len(n.shipper.Status()),
+		RecordsShipped:       records,
+		BytesShipped:         bytes,
+		PromotedSessions:     n.promoted.Load(),
+		LastFailoverUnixMS:   n.failover.Load(),
+		Epoch:                n.Epoch(),
+		BacklogScanErrors:    n.shipper.ScanErrors(),
+		AcksReceived:         n.acks.acks.Load(),
+		AckWaits:             n.ackWaits.Load(),
+		AckTimeouts:          n.ackTimeouts.Load(),
+		AdoptedShardsPending: pending,
 	}
 	for id, f := range n.followers {
 		m.Peers = append(m.Peers, id)
@@ -291,7 +692,13 @@ func (n *Node) Metrics() Metrics {
 //
 //	POST /v1/replication/stream   the WAL shipping stream (Shipper)
 //	GET  /v1/replication/status   Status JSON
-//	POST /v1/replication/promote  {"peer":ID} -> {"adopted":N}
+//	POST /v1/replication/ack      follower cursor acks (streamReq shape)
+//	GET  /v1/replication/replica  ?peer=ID&shard=N -> checkpoint-entry
+//	                              transfer of our replica of that peer's
+//	                              shard (the promote-time merge source)
+//	POST /v1/replication/promote  {"peer":ID,"epoch":E} -> {"adopted":N,"epoch":E}
+//	                              (epoch 0/omitted mints current+1;
+//	                              stale epochs get 409)
 func (n *Node) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/replication/stream", n.shipper)
@@ -299,21 +706,65 @@ func (n *Node) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(n.Status())
 	})
-	mux.HandleFunc("POST /v1/replication/promote", func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Peer string `json:"peer"`
-		}
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Peer == "" {
-			http.Error(w, "body must be {\"peer\":id}", http.StatusBadRequest)
+	mux.HandleFunc("POST /v1/replication/ack", func(w http.ResponseWriter, r *http.Request) {
+		var req streamReq
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+			http.Error(w, "bad ack request", http.StatusBadRequest)
 			return
 		}
-		adopted, err := n.Promote(req.Peer)
+		cursors := make(map[int]wal.Cursor, len(req.Cursors))
+		for shard, spec := range req.Cursors {
+			i, cur, err := parseShardCursor(shard, spec)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			cursors[i] = cur
+		}
+		n.acks.update(req.Node, cursors)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/replication/replica", func(w http.ResponseWriter, r *http.Request) {
+		peer := r.URL.Query().Get("peer")
+		shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+		f, ok := n.followers[peer]
+		if !ok || err != nil || shard < 0 || shard >= store.NumShards {
+			http.Error(w, "need ?peer=known-peer&shard=0..63", http.StatusBadRequest)
+			return
+		}
+		entries, err := f.replica.ExportShardEntries(shard)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		data, err := store.EncodeWALCheckpoint(entries)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	mux.HandleFunc("POST /v1/replication/promote", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Peer  string `json:"peer"`
+			Epoch uint64 `json:"epoch"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Peer == "" {
+			http.Error(w, "body must be {\"peer\":id,\"epoch\":n}", http.StatusBadRequest)
+			return
+		}
+		adopted, epoch, err := n.Promote(req.Peer, req.Epoch)
+		if err != nil {
+			code := http.StatusBadRequest
+			if errors.Is(err, ErrStaleEpoch) {
+				code = http.StatusConflict
+			}
+			http.Error(w, err.Error(), code)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(map[string]int{"adopted": adopted})
+		json.NewEncoder(w).Encode(map[string]uint64{"adopted": uint64(adopted), "epoch": epoch})
 	})
 	return mux
 }

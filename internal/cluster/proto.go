@@ -29,8 +29,13 @@ import (
 //	     shipped yet (records, bytes) — measured by walking frame
 //	     headers, so follower lag is exact, not estimated.
 //
-// The stream has no acks: cursors only travel follower → primary at
-// connect time, so resuming is a reconnect with newer cursors.
+// The stream itself carries no acks (resuming is a reconnect with
+// newer cursors), but follower progress does flow back out-of-band:
+// after each apply the follower POSTs its cursors — the same
+// streamReq JSON shape — to /v1/replication/ack on the primary,
+// coalesced by the round-trip time. The primary's ack tracker (see
+// ack.go) feeds synchronous-ack waits (`sesd -replicate-ack N`) and
+// the post-failover re-replication watermarks.
 const (
 	msgCheckpoint byte = 'C'
 	msgRecord     byte = 'R'

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -70,6 +71,11 @@ type Router struct {
 	rr        atomic.Uint64 // read fan-out round-robin
 	failovers atomic.Uint64
 	lastFail  atomic.Int64 // unix ms of the last failover
+	// epoch tracks the highest promotion epoch the router has seen in
+	// node statuses; each failover proposes epoch+1 and stamps every
+	// proxied mutation with X-Ses-Epoch so a node that observed a
+	// newer promotion rejects requests routed on stale placement.
+	epoch atomic.Uint64
 
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -162,6 +168,12 @@ func (rt *Router) pollOnce(ctx context.Context) {
 		}
 		rt.fails[res.id] = 0
 		rt.statuses[res.id] = res.st
+		for {
+			cur := rt.epoch.Load()
+			if res.st.Epoch <= cur || rt.epoch.CompareAndSwap(cur, res.st.Epoch) {
+				break
+			}
+		}
 		if rt.down[res.id] {
 			// The node is back: its own recovery replayed everything it
 			// acknowledged, so routing may return to the ring — but only
@@ -223,7 +235,13 @@ func (rt *Router) failover(ctx context.Context, dead string) {
 		rt.logf("router: node %s died with no live follower to promote", dead)
 		return
 	}
-	body, _ := json.Marshal(map[string]string{"peer": dead})
+	// Propose the next promotion epoch. If another router (or an
+	// operator) promoted meanwhile, the node rejects the stale epoch
+	// with 409 and this router does NOT record a promotion — it keeps
+	// serving its current view until the poll loop observes the newer
+	// epoch, rather than installing a divergent survivor.
+	next := rt.epoch.Load() + 1
+	body, _ := json.Marshal(map[string]any{"peer": dead, "epoch": next})
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		rt.opts.Peers[best]+"/v1/replication/promote", bytes.NewReader(body))
 	if err != nil {
@@ -236,17 +254,34 @@ func (rt *Router) failover(ctx context.Context, dead string) {
 		return
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusConflict {
+		rt.logf("router: promoting %s on %s fenced: epoch %d is stale", dead, best, next)
+		return
+	}
+	if resp.StatusCode >= 300 {
+		rt.logf("router: promoting %s on %s failed: %s", dead, best, resp.Status)
+		return
+	}
 	var out struct {
-		Adopted int `json:"adopted"`
+		Adopted int    `json:"adopted"`
+		Epoch   uint64 `json:"epoch"`
 	}
 	json.NewDecoder(resp.Body).Decode(&out)
+	if out.Epoch > 0 {
+		for {
+			cur := rt.epoch.Load()
+			if out.Epoch <= cur || rt.epoch.CompareAndSwap(cur, out.Epoch) {
+				break
+			}
+		}
+	}
 	rt.mu.Lock()
 	rt.promoted[dead] = best
 	rt.mu.Unlock()
 	rt.failovers.Add(1)
 	rt.lastFail.Store(time.Now().UnixMilli())
-	rt.logf("router: node %s died; promoted %s (cursor weight %d, %d sessions adopted)",
-		dead, best, bestWeight, out.Adopted)
+	rt.logf("router: node %s died; promoted %s at epoch %d (cursor weight %d, %d sessions adopted)",
+		dead, best, out.Epoch, bestWeight, out.Adopted)
 }
 
 // primaryFor resolves a session's effective primary: the ring owner,
@@ -291,6 +326,7 @@ type RouterStatus struct {
 	Promoted       map[string]string `json:"promoted,omitempty"`
 	Failovers      uint64            `json:"failovers"`
 	LastFailoverMS int64             `json:"last_failover_unix_ms"`
+	Epoch          uint64            `json:"epoch"`
 }
 
 // Status snapshots the router's view of the cluster.
@@ -302,6 +338,7 @@ func (rt *Router) Status() RouterStatus {
 		Promoted:       make(map[string]string, len(rt.promoted)),
 		Failovers:      rt.failovers.Load(),
 		LastFailoverMS: rt.lastFail.Load(),
+		Epoch:          rt.epoch.Load(),
 	}
 	for id := range rt.opts.Peers {
 		if rt.down[id] {
@@ -485,6 +522,11 @@ func (rt *Router) forward(r *http.Request, node string, body []byte) (*http.Resp
 		return nil, err
 	}
 	req.Header = r.Header.Clone()
+	// Stamp the router's promotion-epoch view so a node that saw a
+	// newer promotion can fence requests routed on stale placement.
+	if e := rt.epoch.Load(); e > 0 {
+		req.Header.Set("X-Ses-Epoch", strconv.FormatUint(e, 10))
+	}
 	return rt.client.Do(req)
 }
 

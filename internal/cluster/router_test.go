@@ -19,19 +19,23 @@ import (
 type stubNode struct {
 	id string
 
-	mu       sync.Mutex
-	follows  map[string]FollowStatus
-	promotes []string        // peers this node was asked to promote
-	hits     []string        // "METHOD path" of proxied requests
-	missing  map[string]bool // session names answered with 404
-	sessions []string        // names listed by GET /v1/sessions
+	mu            sync.Mutex
+	follows       map[string]FollowStatus
+	epoch         uint64          // promotion epoch reported in Status
+	rejectPromote bool            // answer promote with 409 (fenced)
+	promotes      []string        // peers this node was asked to promote
+	promoteEpochs []uint64        // the epochs those promotes proposed
+	hits          []string        // "METHOD path" of proxied requests
+	lastEpochHdr  string          // X-Ses-Epoch of the last proxied request
+	missing       map[string]bool // session names answered with 404
+	sessions      []string        // names listed by GET /v1/sessions
 }
 
 func (s *stubNode) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
 		s.mu.Lock()
-		st := Status{ID: s.id, Ready: true, Follows: make(map[string]FollowStatus, len(s.follows))}
+		st := Status{ID: s.id, Ready: true, Epoch: s.epoch, Follows: make(map[string]FollowStatus, len(s.follows))}
 		for k, v := range s.follows {
 			st.Follows[k] = v
 		}
@@ -40,13 +44,20 @@ func (s *stubNode) handler() http.Handler {
 	})
 	mux.HandleFunc("POST /v1/replication/promote", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
-			Peer string `json:"peer"`
+			Peer  string `json:"peer"`
+			Epoch uint64 `json:"epoch"`
 		}
 		json.NewDecoder(r.Body).Decode(&req)
 		s.mu.Lock()
 		s.promotes = append(s.promotes, req.Peer)
+		s.promoteEpochs = append(s.promoteEpochs, req.Epoch)
+		reject := s.rejectPromote
 		s.mu.Unlock()
-		json.NewEncoder(w).Encode(map[string]int{"adopted": 1})
+		if reject {
+			http.Error(w, "stale promotion epoch", http.StatusConflict)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]uint64{"adopted": 1, "epoch": req.Epoch})
 	})
 	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
 		s.record(r)
@@ -82,6 +93,7 @@ func (s *stubNode) handler() http.Handler {
 func (s *stubNode) record(r *http.Request) {
 	s.mu.Lock()
 	s.hits = append(s.hits, r.Method+" "+r.URL.Path)
+	s.lastEpochHdr = r.Header.Get("X-Ses-Epoch")
 	s.mu.Unlock()
 }
 
@@ -290,5 +302,83 @@ func TestRouterFailoverPromotesHighestCursor(t *testing.T) {
 	st := rig.router.Status()
 	if st.Failovers != 1 || st.LastFailoverMS == 0 {
 		t.Errorf("failover not recorded: %+v", st)
+	}
+}
+
+// TestRouterProposesNextEpochAndStampsForwards: the router tracks the
+// highest promotion epoch any node reports, proposes observed+1 at
+// failover, and stamps every proxied request with X-Ses-Epoch so a
+// node fences requests routed on a stale view.
+func TestRouterProposesNextEpochAndStampsForwards(t *testing.T) {
+	rig := newRouterRig(t)
+	rig.stubs["n2"].mu.Lock()
+	rig.stubs["n2"].epoch = 7
+	rig.stubs["n2"].mu.Unlock()
+
+	// The poll loop picks up n2's epoch; forwards then carry it.
+	name := sessionOwnedBy(t, rig.router.ring, "n3")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		postJSON(t, rig.front.URL+"/v1/sessions/"+name+"/batch", `{"mutations":[]}`)
+		rig.stubs["n3"].mu.Lock()
+		hdr := rig.stubs["n3"].lastEpochHdr
+		rig.stubs["n3"].mu.Unlock()
+		if hdr == "7" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("forwards never stamped X-Ses-Epoch 7 (last %q)", hdr)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A failover now proposes epoch 8.
+	rig.stubs["n3"].follows["n1"] = FollowStatus{Peer: "n1", Connected: true, CursorWeight: 1 << 32}
+	rig.servers["n1"].CloseClientConnections()
+	rig.servers["n1"].Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if st := rig.router.Status(); st.Promoted["n1"] == "n3" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never promoted n3")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rig.stubs["n3"].mu.Lock()
+	epochs := append([]uint64(nil), rig.stubs["n3"].promoteEpochs...)
+	rig.stubs["n3"].mu.Unlock()
+	if len(epochs) != 1 || epochs[0] != 8 {
+		t.Errorf("promote epochs = %v, want [8]", epochs)
+	}
+	if st := rig.router.Status(); st.Epoch != 8 {
+		t.Errorf("router epoch after failover = %d, want 8", st.Epoch)
+	}
+}
+
+// TestRouterFencedPromoteNotRecorded: a 409 from the promote endpoint
+// (another router won the epoch race) must NOT install a promotion —
+// the losing router keeps its routing until it observes the new epoch.
+func TestRouterFencedPromoteNotRecorded(t *testing.T) {
+	rig := newRouterRig(t)
+	rig.stubs["n2"].mu.Lock()
+	rig.stubs["n2"].rejectPromote = true
+	rig.stubs["n2"].mu.Unlock()
+	rig.stubs["n2"].follows["n1"] = FollowStatus{Peer: "n1", Connected: true, CursorWeight: 9 << 32}
+	rig.servers["n1"].CloseClientConnections()
+	rig.servers["n1"].Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for len(rig.stubs["n2"].promoted()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("router never attempted the promotion")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	st := rig.router.Status()
+	if st.Promoted["n1"] != "" || st.Failovers != 0 {
+		t.Errorf("fenced promotion was recorded: %+v", st)
 	}
 }

@@ -50,6 +50,10 @@ type Shipper struct {
 
 	records atomic.Uint64 // total records shipped across streams
 	bytes   atomic.Uint64
+	// scanErrors counts heartbeat backlog scans that failed for a
+	// reason other than checkpoint truncation — a sick disk must not
+	// masquerade as zero lag.
+	scanErrors atomic.Uint64
 
 	mu      sync.Mutex
 	streams map[*shipStream]struct{}
@@ -65,10 +69,13 @@ type shipStream struct {
 	node  string
 	since time.Time
 
+	records atomic.Uint64 // records shipped on this stream
+
 	mu      sync.Mutex // serializes writes to the response
 	w       http.ResponseWriter
 	flush   func()
 	cursors [store.NumShards]wal.Cursor // shipped-so-far, for backlog scans
+	backlog wal.Backlog                 // last heartbeat's measured backlog
 }
 
 // send frames one message onto the stream and flushes it.
@@ -96,27 +103,49 @@ func (s *shipStream) cursor(shard int) wal.Cursor {
 
 // StreamStatus describes one connected follower.
 type StreamStatus struct {
-	Node     string  `json:"node"`
-	AgeSec   float64 `json:"age_sec"`
-	Cursors  int     `json:"shards"`
-	Shipping bool    `json:"shipping"`
+	Node   string  `json:"node"`
+	AgeSec float64 `json:"age_sec"`
+	// Cursors counts shards the stream has shipped past the zero
+	// cursor — actual progress, not the shard constant.
+	Cursors int `json:"shards"`
+	// Records is how many records this stream has shipped.
+	Records uint64 `json:"records"`
+	// BacklogRecords/Bytes are the last heartbeat's measured backlog:
+	// committed records the stream has not shipped yet.
+	BacklogRecords int64 `json:"backlog_records"`
+	BacklogBytes   int64 `json:"backlog_bytes"`
+	Shipping       bool  `json:"shipping"`
 }
 
-// Status lists the active streams.
+// Status lists the active streams with their real per-stream state.
 func (sh *Shipper) Status() []StreamStatus {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	out := make([]StreamStatus, 0, len(sh.streams))
 	for s := range sh.streams {
-		out = append(out, StreamStatus{
+		st := StreamStatus{
 			Node:     s.node,
 			AgeSec:   time.Since(s.since).Seconds(),
-			Cursors:  store.NumShards,
+			Records:  s.records.Load(),
 			Shipping: true,
-		})
+		}
+		s.mu.Lock()
+		for _, c := range s.cursors {
+			if !c.IsZero() {
+				st.Cursors++
+			}
+		}
+		st.BacklogRecords = int64(s.backlog.Records)
+		st.BacklogBytes = int64(s.backlog.Bytes)
+		s.mu.Unlock()
+		out = append(out, st)
 	}
 	return out
 }
+
+// ScanErrors reports backlog scans that failed for non-truncation
+// reasons (the backlog_scan_errors metric).
+func (sh *Shipper) ScanErrors() uint64 { return sh.scanErrors.Load() }
 
 // Shipped returns the cumulative records and bytes shipped across all
 // streams since the process started.
@@ -211,8 +240,12 @@ func (sh *Shipper) shipShard(ctx context.Context, st *shipStream, shard int) err
 		if err != nil {
 			return err
 		}
-		if ck := l.CheckpointSeq(); ck > 0 && cur.Seq < ck {
-			data := l.Checkpoint()
+		// Only the checkpoint image and its seq are needed; close the
+		// log before streaming so a long-lived stream that resyncs many
+		// times does not accumulate open segment handles.
+		ck, data := l.CheckpointSeq(), l.Checkpoint()
+		l.Close()
+		if ck > 0 && cur.Seq < ck {
 			if err := st.send(msgCheckpoint, shard, ck, 0, data); err != nil {
 				return err
 			}
@@ -243,6 +276,7 @@ func (sh *Shipper) tailFrom(ctx context.Context, st *shipStream, shard int, dir 
 			return err
 		}
 		sh.records.Add(1)
+		st.records.Add(1)
 		sh.bytes.Add(uint64(len(rec.Payload)))
 		*cur = wal.Cursor{Seq: rec.Seq, Off: rec.End}
 		st.setCursor(shard, *cur)
@@ -265,11 +299,20 @@ func (sh *Shipper) heartbeatLoop(ctx context.Context, st *shipStream) error {
 		for i := 0; i < store.NumShards; i++ {
 			bl, err := wal.ScanBacklog(store.ShardDir(sh.dir, i), st.cursor(i))
 			if err != nil {
-				continue // truncation in progress; the ship loop resyncs
+				// Truncation races are routine (the ship loop resyncs
+				// through the checkpoint); anything else is a real scan
+				// failure and must be counted, not folded into zero lag.
+				if !errors.Is(err, wal.ErrTruncated) {
+					sh.scanErrors.Add(1)
+				}
+				continue
 			}
 			total.Records += bl.Records
 			total.Bytes += bl.Bytes
 		}
+		st.mu.Lock()
+		st.backlog = total
+		st.mu.Unlock()
 		var payload [16]byte
 		binary.LittleEndian.PutUint64(payload[0:8], uint64(total.Records))
 		binary.LittleEndian.PutUint64(payload[8:16], uint64(total.Bytes))

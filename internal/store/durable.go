@@ -87,6 +87,10 @@ type Durable struct {
 	// since counts records appended to a shard since its last
 	// checkpoint; guarded by the shard's op mutex.
 	since [numShards]int
+	// committed holds each shard's cursor just past its last append —
+	// the replication watermark ShardCommitted serves without taking
+	// the log mutex.
+	committed [numShards]atomic.Pointer[wal.Cursor]
 
 	flusher *wal.Flusher
 	ckptCh  chan int
@@ -195,10 +199,12 @@ func (d *Durable) err() error {
 // shard's op mutex) and schedules a background checkpoint when the
 // shard's record budget is spent.
 func (d *Durable) append(i int, payload []byte) error {
-	if err := d.logs[i].Append(payload); err != nil {
+	pos, err := d.logs[i].AppendCursor(payload)
+	if err != nil {
 		d.poison.CompareAndSwap(nil, &err)
 		return fmt.Errorf("store: WAL append failed (store is now read-only): %w", err)
 	}
+	d.committed[i].Store(&pos)
 	d.since[i]++
 	if every := d.opts.checkpointEvery(); every > 0 && d.since[i] >= every {
 		select {
@@ -248,6 +254,7 @@ func (d *Durable) checkpointShardLocked(i int) error {
 			Resolves:  h.resolves.Load(),
 			Mutations: h.mutations.Load(),
 			Batches:   h.batches.Load(),
+			Epoch:     d.Store.Epoch(),
 			Snapshot:  doc,
 		})
 	}
@@ -375,15 +382,18 @@ func (d *Durable) Restore(name string, st *session.State, replace bool) error {
 // replacing restore whose record also carries the session's meta
 // counters, so the promoted copy — and any copy recovered or
 // replicated from its record — is indistinguishable from the
-// acknowledged original, Meta included.
-func (d *Durable) Adopt(name string, st *session.State, resolves, mutations, batches uint64) error {
+// acknowledged original, Meta included. epoch is the promotion epoch
+// the takeover happened under; it is logged with the record and
+// raises the store's observed epoch, fencing stale primaries.
+func (d *Durable) Adopt(name string, st *session.State, resolves, mutations, batches, epoch uint64) error {
 	if err := d.err(); err != nil {
 		return err
 	}
 	i := shardIndex(name)
 	d.shardMu[i].Lock()
 	defer d.shardMu[i].Unlock()
-	payload, err := encodeAdoptRecord(name, st, resolves, mutations, batches)
+	d.bumpEpoch(epoch)
+	payload, err := encodeAdoptRecord(name, st, resolves, mutations, batches, epoch)
 	if err != nil {
 		return err
 	}

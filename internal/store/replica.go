@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 
+	"ses/internal/snap"
 	"ses/internal/wal"
 )
 
@@ -35,6 +36,77 @@ func (d *Durable) ShardPosition(i int) wal.Cursor {
 	return d.logs[i].Position()
 }
 
+// ShardCommitted returns the cursor just past the last record this
+// process committed to shard i's log — the replication watermark a
+// synchronous-ack wait compares follower acks against. Unlike
+// ShardPosition it never touches the log mutex (which fsyncs hold),
+// so the serving path can read it per request. Zero until the first
+// post-open append.
+func (d *Durable) ShardCommitted(i int) wal.Cursor {
+	if c := d.committed[i].Load(); c != nil {
+		return *c
+	}
+	return wal.Cursor{}
+}
+
+// Epoch returns the highest promotion epoch this store has observed:
+// the max across adopt records applied (live, replayed or replicated)
+// and checkpoint entries installed. 0 means no fenced promotion ever
+// touched this store's history.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// bumpEpoch raises the observed epoch to e (monotonic max).
+func (s *Store) bumpEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// ExportShardEntries snapshots every session in shard i in the
+// checkpoint-entry format, stamped with the store's current epoch.
+// The cluster layer serves these to a promoting peer so it can adopt
+// the freshest surviving replica of each shard, not just its own.
+func (s *Store) ExportShardEntries(i int) ([]WALCheckpointEntry, error) {
+	var entries []WALCheckpointEntry
+	epoch := s.Epoch()
+	for _, name := range s.Names() {
+		if shardIndex(name) != i {
+			continue
+		}
+		st, err := s.Snapshot(name)
+		if err != nil {
+			continue // deleted mid-export
+		}
+		m, err := s.Meta(name)
+		if err != nil {
+			continue
+		}
+		doc, err := snap.FromState(name, st)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, WALCheckpointEntry{
+			Name:      name,
+			Resolves:  m.Resolves,
+			Mutations: m.Mutations,
+			Batches:   m.Batches,
+			Epoch:     epoch,
+			Snapshot:  doc,
+		})
+	}
+	return entries, nil
+}
+
+// EncodeWALCheckpoint serializes checkpoint entries into the payload
+// format DecodeWALCheckpoint parses; the replication layer uses the
+// pair as its shard-state transfer codec.
+func EncodeWALCheckpoint(entries []WALCheckpointEntry) ([]byte, error) {
+	return encodeCheckpoint(entries)
+}
+
 // ApplyWALRecord applies one logged record to the store, mirroring
 // exactly what the live operation did before logging it. It is the
 // shared replay path: crash recovery feeds it the local log, and
@@ -58,6 +130,7 @@ func (s *Store) ApplyWALRecord(rec *WALRecord) error {
 		if err != nil {
 			return err
 		}
+		s.bumpEpoch(rec.Epoch)
 		if err := s.Restore(rec.Name, st, true); err != nil {
 			return err
 		}
@@ -116,6 +189,7 @@ func (s *Store) ApplyCheckpointEntry(e WALCheckpointEntry) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint session %q: %w", e.Name, err)
 	}
+	s.bumpEpoch(e.Epoch)
 	if err := s.Restore(e.Name, st, true); err != nil {
 		return fmt.Errorf("checkpoint session %q: %w", e.Name, err)
 	}

@@ -127,6 +127,10 @@ type shard struct {
 type Store struct {
 	opts   session.Options
 	shards [numShards]shard
+	// epoch is the highest promotion epoch observed in applied adopt
+	// records and checkpoint entries (see Epoch in replica.go); it
+	// fences stale primaries after a contested failover.
+	epoch atomic.Uint64
 }
 
 // New returns an empty store. Every session the store creates or

@@ -42,8 +42,14 @@ const (
 	// carries the session's store-level counters, so a promoted session
 	// is indistinguishable from the acknowledged original — Meta
 	// included. Body = 24 bytes of counters (resolves, mutations,
-	// batches, little-endian) + binary snapshot.
+	// batches, little-endian) + binary snapshot. Written by builds
+	// before promotion fencing; still decoded (as epoch 0), no longer
+	// written.
 	recAdopt byte = 6
+	// recAdoptEpoch is recAdopt plus the promotion epoch that fences
+	// stale primaries: body = 32 bytes (resolves, mutations, batches,
+	// epoch, little-endian) + binary snapshot.
+	recAdoptEpoch byte = 7
 )
 
 // commitStamp is the physical outcome of one committed resolve. A
@@ -134,12 +140,13 @@ func encodeRestoreRecord(name string, st *session.State, replace bool) ([]byte, 
 	return encodeSnapshotRecord(recRestore, []byte{flag}, name, st)
 }
 
-func encodeAdoptRecord(name string, st *session.State, resolves, mutations, batches uint64) ([]byte, error) {
-	var counters [24]byte
+func encodeAdoptRecord(name string, st *session.State, resolves, mutations, batches, epoch uint64) ([]byte, error) {
+	var counters [32]byte
 	binary.LittleEndian.PutUint64(counters[0:8], resolves)
 	binary.LittleEndian.PutUint64(counters[8:16], mutations)
 	binary.LittleEndian.PutUint64(counters[16:24], batches)
-	return encodeSnapshotRecord(recAdopt, counters[:], name, st)
+	binary.LittleEndian.PutUint64(counters[24:32], epoch)
+	return encodeSnapshotRecord(recAdoptEpoch, counters[:], name, st)
 }
 
 func encodeDeleteRecord(name string) []byte {
@@ -184,6 +191,9 @@ type WALRecord struct {
 	Resolves  uint64 `json:"resolves,omitempty"`
 	Mutations uint64 `json:"mutations,omitempty"`
 	Batches   uint64 `json:"batches,omitempty"`
+	// Epoch is an adopt record's promotion epoch (0 for records
+	// written before promotion fencing existed).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // DecodeWALRecord parses one WAL record payload written by the
@@ -234,15 +244,19 @@ func DecodeWALRecord(payload []byte) (*WALRecord, error) {
 			return nil, fmt.Errorf("store: restore record: %w", err)
 		}
 		return &WALRecord{Kind: "restore", Name: doc.Name, Replace: body[0] == 1, Snapshot: doc}, nil
-	case recAdopt:
-		if len(body) < 24 {
+	case recAdopt, recAdoptEpoch:
+		head := 24
+		if kind == recAdoptEpoch {
+			head = 32
+		}
+		if len(body) < head {
 			return nil, errors.New("store: adopt record without its counters")
 		}
-		doc, err := snap.DecodeBinary(bytes.NewReader(body[24:]))
+		doc, err := snap.DecodeBinary(bytes.NewReader(body[head:]))
 		if err != nil {
 			return nil, fmt.Errorf("store: adopt record: %w", err)
 		}
-		return &WALRecord{
+		rec := &WALRecord{
 			Kind:      "adopt",
 			Name:      doc.Name,
 			Replace:   true,
@@ -250,7 +264,11 @@ func DecodeWALRecord(payload []byte) (*WALRecord, error) {
 			Resolves:  binary.LittleEndian.Uint64(body[0:8]),
 			Mutations: binary.LittleEndian.Uint64(body[8:16]),
 			Batches:   binary.LittleEndian.Uint64(body[16:24]),
-		}, nil
+		}
+		if kind == recAdoptEpoch {
+			rec.Epoch = binary.LittleEndian.Uint64(body[24:32])
+		}
+		return rec, nil
 	default:
 		return nil, fmt.Errorf("store: unknown WAL record kind %d", kind)
 	}
@@ -276,6 +294,11 @@ type WALCheckpointEntry struct {
 	Resolves  uint64 `json:"resolves"`
 	Mutations uint64 `json:"mutations"`
 	Batches   uint64 `json:"batches"`
+	// Epoch is the store's promotion epoch at checkpoint time, so a
+	// checkpoint that truncates adopt records does not also truncate
+	// the fencing epoch they carried. Absent (0) in checkpoints from
+	// pre-fencing builds.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Snapshot is the session's full state.
 	Snapshot *snap.Snapshot `json:"snapshot,omitempty"`
 }

@@ -29,6 +29,7 @@ import (
 // gcWaiter is one queued append awaiting a shared commit.
 type gcWaiter struct {
 	payload []byte
+	pos     Cursor     // cursor just past this frame; set by the leader before done
 	done    chan error // buffered(1); the leader delivers exactly once
 }
 
@@ -72,7 +73,7 @@ func (l *Log) Stats() Stats {
 }
 
 // appendGrouped is the group-commit append path (SyncAlways only).
-func (l *Log) appendGrouped(payload []byte) error {
+func (l *Log) appendGrouped(payload []byte) (Cursor, error) {
 	w := &gcWaiter{payload: payload, done: make(chan error, 1)}
 	l.gcMu.Lock()
 	l.gcQueue = append(l.gcQueue, w)
@@ -91,7 +92,10 @@ func (l *Log) appendGrouped(payload []byte) error {
 		runtime.Gosched()
 		l.lead()
 	}
-	return <-w.done
+	if err := <-w.done; err != nil {
+		return Cursor{}, err
+	}
+	return w.pos, nil
 }
 
 // lead drains the commit queue until it is empty, committing one
@@ -149,6 +153,7 @@ func (l *Log) commitBatch(batch []*gcWaiter) error {
 		if err := l.writeFrameLocked(w.payload); err != nil {
 			return err
 		}
+		w.pos = Cursor{Seq: l.seq, Off: l.size}
 	}
 	if err := l.fsyncSegmentLocked(); err != nil {
 		return err

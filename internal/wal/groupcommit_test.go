@@ -349,3 +349,82 @@ func TestSyncIntervalClosesFlushed(t *testing.T) {
 		t.Fatalf("recovered %d records after close, want 3", len(got))
 	}
 }
+
+// TestAppendCursorMatchesPosition checks AppendCursor on both append
+// paths: every returned cursor is distinct, strictly increasing in
+// Before order when appends are serial, and the final cursor equals
+// Position(). On the group-commit path the leader assigns cursors, so
+// the concurrent half checks the set is duplicate-free and its max is
+// the final position.
+func TestAppendCursorMatchesPosition(t *testing.T) {
+	t.Run("direct", func(t *testing.T) {
+		l, err := Open(t.TempDir(), Options{Sync: SyncAlways})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		var prev Cursor
+		for i := 0; i < 20; i++ {
+			cur, err := l.AppendCursor(fmt.Appendf(nil, "rec-%03d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cur.IsZero() || !prev.Before(cur) {
+				t.Fatalf("append %d: cursor %v not after %v", i, cur, prev)
+			}
+			prev = cur
+		}
+		if pos := l.Position(); pos != prev {
+			t.Fatalf("Position() = %v, last AppendCursor = %v", pos, prev)
+		}
+	})
+	t.Run("grouped", func(t *testing.T) {
+		l, err := Open(t.TempDir(), Options{Sync: SyncAlways, GroupCommit: GroupCommit{Enabled: true}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		const appenders, perAppender = 8, 25
+		cursors := make([][]Cursor, appenders)
+		var wg sync.WaitGroup
+		for a := 0; a < appenders; a++ {
+			wg.Add(1)
+			go func(a int) {
+				defer wg.Done()
+				for i := 0; i < perAppender; i++ {
+					cur, err := l.AppendCursor(fmt.Appendf(nil, "a%02d-%04d", a, i))
+					if err != nil {
+						t.Errorf("appender %d: %v", a, err)
+						return
+					}
+					cursors[a] = append(cursors[a], cur)
+				}
+			}(a)
+		}
+		wg.Wait()
+		seen := map[Cursor]bool{}
+		var max Cursor
+		for a := range cursors {
+			var prev Cursor
+			for _, cur := range cursors[a] {
+				if cur.IsZero() || seen[cur] {
+					t.Fatalf("cursor %v zero or duplicated", cur)
+				}
+				seen[cur] = true
+				if !prev.Before(cur) {
+					t.Fatalf("appender %d cursors out of order: %v then %v", a, prev, cur)
+				}
+				prev = cur
+				if max.Before(cur) {
+					max = cur
+				}
+			}
+		}
+		if len(seen) != appenders*perAppender {
+			t.Fatalf("got %d distinct cursors, want %d", len(seen), appenders*perAppender)
+		}
+		if pos := l.Position(); pos != max {
+			t.Fatalf("Position() = %v, max AppendCursor = %v", pos, max)
+		}
+	})
+}

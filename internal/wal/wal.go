@@ -494,8 +494,22 @@ func (c *countingReader) Read(p []byte) (int, error) {
 // waiter whose frame it covered — exactly the single-append contract,
 // amortized.
 func (l *Log) Append(payload []byte) error {
+	_, err := l.AppendCursor(payload)
+	return err
+}
+
+// AppendCursor is Append returning the cursor just past the appended
+// record: a Tailer that reaches this cursor has shipped the record,
+// and a replica acknowledging a cursor not Before it has applied it.
+// That makes the return value the per-record replication watermark —
+// synchronous-ack callers wait until enough followers ack a cursor at
+// or beyond it. On the group-commit path the cursor is assigned by the
+// batch leader in write order, so it rides the existing leader/waiter
+// structure with no extra locking. The durability contract is
+// identical to Append on both paths.
+func (l *Log) AppendCursor(payload []byte) (Cursor, error) {
 	if len(payload) > MaxRecordBytes {
-		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecordBytes)
+		return Cursor{}, fmt.Errorf("wal: record of %d bytes exceeds the %d-byte limit", len(payload), MaxRecordBytes)
 	}
 	if l.opts.GroupCommit.Enabled && l.opts.Sync == SyncAlways {
 		return l.appendGrouped(payload)
@@ -503,13 +517,17 @@ func (l *Log) Append(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.writeFrameLocked(payload); err != nil {
-		return err
+		return Cursor{}, err
 	}
+	pos := Cursor{Seq: l.seq, Off: l.size}
 	if l.opts.Sync == SyncAlways {
-		return l.fsyncSegmentLocked()
+		if err := l.fsyncSegmentLocked(); err != nil {
+			return Cursor{}, err
+		}
+		return pos, nil
 	}
 	l.dirty = true
-	return nil
+	return pos, nil
 }
 
 // writeFrameLocked rotates if needed and writes one framed record to
