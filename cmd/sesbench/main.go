@@ -46,6 +46,17 @@
 // artifact's schema (and, if it was measured on a multi-core host,
 // its floor).
 //
+// -fig scale measures resolve latency against user count (10k / 100k
+// / 1M users, streamed into memory-mapped colstore instances by
+// scalegen) for the sparse production engine and the candidate-list
+// pruned engine, cold (from-scratch GRD) and warm (a live session
+// re-resolving across Pin/Unpin mutations), and writes the curve to
+// the -json file (default BENCH_scale.json). On full artifacts from
+// hosts with ≥ 4 CPUs, verification enforces that the pruned engine's
+// warm latency is sublinear in users and beats the sparse engine at
+// 1M users; -quick shrinks the sizes for CI smokes, -verify
+// re-validates the committed artifact.
+//
 // -fig cluster boots replicated durable clusters in-process (full-mesh
 // WAL shipping over loopback HTTP, fsync-always group-commit logs) and
 // writes BENCH_cluster.json: a throughput curve over 1/2/3 nodes and a
@@ -94,7 +105,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal, scaling, cluster")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal, scaling, scale, cluster")
 	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
 	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
 	seed := fs.Uint64("seed", 42, "master seed")
@@ -118,17 +129,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wantResolve := *fig == "resolve"
 	wantWAL := *fig == "wal"
 	wantScaling := *fig == "scaling"
+	wantScale := *fig == "scale"
 	wantCluster := *fig == "cluster"
-	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantCluster {
+	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantScale && !wantCluster {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	// Catch a silently-ignored flag before a potentially hours-long
 	// sweep rather than after it.
-	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantCluster {
-		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal/scaling/cluster")
+	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantScale && !wantCluster {
+		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal/scaling/scale/cluster")
 	}
-	if (*quick || *verify) && !wantScaling && !wantCluster {
-		return fmt.Errorf("-quick/-verify only apply to -fig scaling/cluster")
+	if (*quick || *verify) && !wantScaling && !wantScale && !wantCluster {
+		return fmt.Errorf("-quick/-verify only apply to -fig scaling/scale/cluster")
 	}
 	if *jsonPath == "" {
 		switch {
@@ -140,6 +152,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			*jsonPath = "BENCH_wal.json"
 		case wantScaling:
 			*jsonPath = "BENCH_scaling.json"
+		case wantScale:
+			*jsonPath = "BENCH_scale.json"
 		case wantCluster:
 			*jsonPath = "BENCH_cluster.json"
 		default:
@@ -154,6 +168,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if wantScaling {
 		// Likewise dataset-free: instances come from sestest.
 		return benchScaling(ctx, out, *seed, *jsonPath, *quick, *verify)
+	}
+	if wantScale {
+		// Dataset-free: instances are streamed by scalegen into
+		// memory-mapped colstore files.
+		return benchScale(ctx, out, *seed, *jsonPath, *quick, *verify)
 	}
 	if wantCluster {
 		// Dataset-free too: replicated in-process nodes over loopback.

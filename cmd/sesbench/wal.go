@@ -28,7 +28,13 @@ type latencies struct {
 
 // summarizeLat folds per-op latencies (seconds) into the reported
 // shape; throughput is sum-of-latencies based, i.e. serial ops/sec.
+// An empty sample set yields the zero summary — percentiles of
+// nothing are not a panic (stats.Percentile's contract) and 0/0 is
+// not a NaN that would poison the JSON encoding.
 func summarizeLat(lat []float64) latencies {
+	if len(lat) == 0 {
+		return latencies{}
+	}
 	sort.Float64s(lat)
 	var total float64
 	for _, l := range lat {

@@ -138,6 +138,31 @@ func TestDaemonLifecycle(t *testing.T) {
 	do(t, "GET", srv.URL+"/v1/sessions/fest", nil, http.StatusNotFound, nil)
 }
 
+// TestMetricsFreshBoot is the zero-sample regression: /v1/metrics on a
+// daemon that has never resolved anything must answer 200 with a
+// JSON-safe body (empty latency map, zero counters), not panic on an
+// empty percentile sample and 500.
+func TestMetricsFreshBoot(t *testing.T) {
+	srv := testServer(t)
+	var m metricsResp
+	do(t, "GET", srv.URL+"/v1/metrics", nil, http.StatusOK, &m)
+	if m.Sessions != 0 || m.Resolves != 0 || m.Batches != 0 {
+		t.Fatalf("fresh-boot metrics not zero: %+v", m)
+	}
+	if len(m.ResolveMs) != 0 {
+		t.Fatalf("fresh-boot latency summary should be empty, got %+v", m.ResolveMs)
+	}
+	if m.UptimeSec < 0 {
+		t.Fatalf("uptime %v negative", m.UptimeSec)
+	}
+	// A session that exists but was never resolved must not change that.
+	do(t, "POST", srv.URL+"/v1/sessions", createReq{Name: "idle", K: 3, Instance: instanceDoc(t, 77)}, http.StatusCreated, nil)
+	do(t, "GET", srv.URL+"/v1/metrics", nil, http.StatusOK, &m)
+	if m.Sessions != 1 || len(m.ResolveMs) != 0 {
+		t.Fatalf("idle-session metrics: sessions=%d resolve_ms=%+v", m.Sessions, m.ResolveMs)
+	}
+}
+
 func TestDaemonSnapshotRestoreRoundTrip(t *testing.T) {
 	srv := testServer(t)
 	doc := instanceDoc(t, 32)

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"ses/internal/colstore"
 	"ses/internal/dataset"
 )
 
@@ -79,5 +80,40 @@ func TestRunNothingToDo(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-nonsense"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunColstore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.sescol")
+	var out bytes.Buffer
+	if err := run([]string{"-colstore", path, "-users", "5000", "-k", "6", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "wrote columnar instance") {
+		t.Fatalf("output: %s", out.String())
+	}
+	st, err := colstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	inst := st.Instance()
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumUsers != 5000 || inst.NumEvents() != 12 {
+		t.Fatalf("instance shape |U|=%d |E|=%d, want 5000/12", inst.NumUsers, inst.NumEvents())
+	}
+}
+
+func TestRunColstoreExclusive(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-colstore", filepath.Join(dir, "x.sescol"),
+		"-instance", filepath.Join(dir, "inst.json"),
+	}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("-colstore combined with -instance should be an error")
 	}
 }

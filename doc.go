@@ -119,6 +119,26 @@
 // is why it matches from-scratch GRD bit for bit (equivalence-tested)
 // at a fraction of the InitialScores.
 //
+// For million-user instances a fifth engine breaks the
+// O(interested users)-per-score coupling: Pruned (exposed as
+// PrunedEngine / PrunedEngineK) wraps Sparse with per-event top-k
+// candidate lists and a cached frozen-tail term, scoring empty
+// intervals exactly in O(k) and loaded intervals with an O(k) upper
+// bound. Engines that can bound advertise it through the choice
+// layer's Bounder interface, and GRD's argmax (shared with the
+// session layer's greedy selection) becomes a threshold algorithm:
+// bound-valued worklist entries are resolved to exact scores only
+// when they reach the top of the heap, counted in
+// Counters.BoundUpdates. Results stay byte-identical to Sparse —
+// enforced by the differential fuzz harness and a metamorphic k=|U|
+// degeneracy test — only the work changes. Pairing the pruned engine
+// with a columnar instance file (WriteColumnarInstance /
+// OpenColumnarInstance, ses/internal/colstore: struct-of-arrays CSR
+// sections, memory-mapped zero-copy rows) keeps both open time and
+// resident memory sublinear in |U|; sesgen -colstore streams
+// power-law instances at any scale and sesbench -fig scale commits
+// the measured latency curve to BENCH_scale.json.
+//
 // From this facade, pass WithWorkers(n) or WithObjective(obj) to New
 // or NewScheduler; sessolve and sesbench expose the same knobs as
 // -workers and -objective. For a Scheduler the objective is session

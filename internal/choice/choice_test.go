@@ -17,6 +17,8 @@ func newEngines(inst *core.Instance) map[string]Engine {
 		"sparsemap": NewSparseMap(inst),
 		"dense":     NewDense(inst),
 		"ref":       NewRef(inst),
+		// Small k forces real candidate/tail splits on test instances.
+		"pruned": NewPruned(inst, 3),
 	}
 }
 

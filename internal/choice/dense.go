@@ -23,6 +23,10 @@ type Dense struct {
 	// hwm is the per-interval high-water mark of scheduled mass; it
 	// scales Unapply's noise cutoff (see residualEps in sparse.go).
 	hwm []float64
+	// pcnt counts the nonzero entries of each pmass row, so Unapply can
+	// tell in O(1) when noise-zeroing emptied the accumulator while
+	// events remain scheduled — the point where hwm must decay.
+	pcnt []int
 	// muRows holds the dense µ row of every candidate event so the
 	// score loop costs O(1) per user, as the paper assumes of its
 	// interest matrix. Built eagerly — solvers score the whole E×T
@@ -40,6 +44,7 @@ func NewDense(inst *core.Instance) *Dense {
 		comp:            make([][]float64, inst.NumIntervals),
 		pmass:           make([][]float64, inst.NumIntervals),
 		hwm:             make([]float64, inst.NumIntervals),
+		pcnt:            make([]int, inst.NumIntervals),
 		muRows:          make([][]float64, inst.NumEvents()),
 	}
 	for ci, c := range inst.Competing {
@@ -140,9 +145,14 @@ func (e *Dense) Apply(event, t int) error {
 	}
 	row := e.inst.CandInterest.Row(event)
 	for i, id := range row.IDs {
-		e.pmass[t][id] += row.Vals[i]
-		if e.pmass[t][id] > e.hwm[t] {
-			e.hwm[t] = e.pmass[t][id]
+		old := e.pmass[t][id]
+		v := old + row.Vals[i]
+		if old == 0 && v != 0 {
+			e.pcnt[t]++
+		}
+		e.pmass[t][id] = v
+		if v > e.hwm[t] {
+			e.hwm[t] = v
 		}
 	}
 	return nil
@@ -163,14 +173,26 @@ func (e *Dense) Unapply(event int) error {
 	row := e.inst.CandInterest.Row(event)
 	noiseFloor := residualEps * e.hwm[t]
 	for i, id := range row.IDs {
-		v := e.pmass[t][id] - row.Vals[i]
+		old := e.pmass[t][id]
+		v := old - row.Vals[i]
 		if math.Abs(v) <= noiseFloor {
 			v = 0
+		}
+		if old == 0 && v != 0 {
+			e.pcnt[t]++
+		} else if old != 0 && v == 0 {
+			e.pcnt[t]--
 		}
 		e.pmass[t][id] = v
 	}
 	if len(e.sched.EventsAt(t)) == 0 {
 		clear(e.pmass[t])
+		e.hwm[t] = 0
+		e.pcnt[t] = 0
+	} else if e.pcnt[t] == 0 {
+		// Noise-zeroing emptied the accumulator with events still
+		// scheduled: the high-water mark decays with it, so later small
+		// masses aren't judged against a stale maximum.
 		e.hwm[t] = 0
 	}
 	return nil
@@ -186,6 +208,7 @@ func (e *Dense) Reset() {
 			clear(e.pmass[t])
 		}
 		e.hwm[t] = 0
+		e.pcnt[t] = 0
 	}
 }
 
@@ -274,6 +297,7 @@ func (e *Dense) Fork() Engine {
 		comp:            e.comp,
 		pmass:           make([][]float64, len(e.pmass)),
 		hwm:             append([]float64(nil), e.hwm...),
+		pcnt:            append([]int(nil), e.pcnt...),
 		muRows:          e.muRows,
 	}
 	for t, m := range e.pmass {

@@ -9,9 +9,9 @@ import (
 
 // FuzzEngineOps is the generative differential test: a random
 // Apply/Unapply/Score/ScoreBatch/IntervalUtility/Utility/Fork/Reset
-// sequence decoded from the fuzz bytes drives Sparse, Dense and
-// SparseMap in lockstep with the Ref oracle, for every registered
-// objective. Every observable quantity must stay within 1e-9 of the
+// sequence decoded from the fuzz bytes drives Sparse, Dense,
+// SparseMap and Pruned in lockstep with the Ref oracle, for every
+// registered objective. Every observable quantity must stay within 1e-9 of the
 // oracle and every mutation must succeed or fail identically — the
 // generative extension of the fixed-case epsilon tests.
 //
@@ -43,6 +43,10 @@ func FuzzEngineOps(f *testing.F) {
 				"sparse":    NewSparse(inst),
 				"dense":     NewDense(inst),
 				"sparsemap": NewSparseMap(inst),
+				// k = 4 forces real head/tail splits on the 15-user
+				// instance, so the O(k) fast path and the frozen-tail
+				// cache are both exercised differentially.
+				"pruned": NewPruned(inst, 4),
 			}
 			for _, eng := range engines {
 				eng.SetObjective(obj)

@@ -1,0 +1,323 @@
+package choice
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"ses/internal/core"
+)
+
+// DefaultPrunedK is the candidate-list size Pruned uses when the
+// caller passes k <= 0. 64 keeps the O(k) head fold comfortably inside
+// one cache line's worth of ids per event while covering, on
+// Meetup-shaped power-law interest, the users holding the bulk of an
+// event's attendance mass.
+const DefaultPrunedK = 64
+
+// boundSlack inflates ScoreUpper's frozen-tail bound by ~1e-12
+// relative. The bound is mathematically an upper bound, but its
+// floating-point evaluation (head fold over the candidate subset plus
+// the cached tail term) rounds differently from the exact full-row
+// fold, so without slack a bound could land a few ulps *below* the
+// exact score and let the threshold loop accept a near-tied rival.
+// The slack is far above accumulated rounding noise and far below any
+// score separation that matters.
+const boundSlack = 1 + 1e-12
+
+// Pruned is the sublinear-scoring engine for million-user instances:
+// a Sparse core (all mass bookkeeping, mutations and exact folds are
+// the production engine's, bit for bit) plus, per event, a top-k
+// interested-user candidate list and a frozen-tail residual term.
+//
+// The split makes the two hot paths cheap:
+//
+//   - Score/ScoreBatch on an interval with no scheduled mass — the
+//     shape of every cell the solvers' initial scoring sweep visits —
+//     fold only the k candidate users and add the cached exact tail
+//     term r0(e,t) = Σ_{u∈tail(e)} Gain(σ(u,t), µ(u,e), C(t,u), 0).
+//     With no scheduled mass the tail gains *are* their p=0 values,
+//     so the result is exact for every linear objective, at O(k +
+//     amortized |tail|/resolves) instead of O(nnz(e)).
+//   - ScoreUpper bounds a score on a loaded interval by the exact
+//     O(k) head fold at the current mass plus the same r0 term: for a
+//     linear submodular objective (Omega) per-user gains are
+//     non-increasing in the scheduled mass, so the tail's p=0 value
+//     bounds its current value. GRD's argmax rescores same-interval
+//     candidates with this bound and only pays the exact full fold
+//     for entries that reach the top of the worklist (see
+//     solver/worklist.go).
+//
+// The r0 terms depend only on the instance and the objective — not on
+// the schedule — so the per-interval residual rows are computed
+// lazily, shared by all forks through an atomic pointer (concurrent
+// fills compute identical values), and survive Reset. A warm engine
+// resolving repeatedly therefore never refolds its tails.
+//
+// Everything else — Apply, Unapply, Utility, IntervalUtility,
+// EventAttendance, nonlinear objectives, Score on loaded intervals —
+// delegates to the Sparse core and stays exact. With k >= nnz(every
+// event) the candidate lists are the full rows, the tails are empty,
+// and Pruned reproduces Sparse bit for bit (test-enforced).
+type Pruned struct {
+	sp *Sparse
+	k  int
+	// cand[e] is event e's top-k-by-µ users as an id-sorted sub-vector
+	// (the full row when nnz <= k); tail[e] is the id-sorted rest.
+	// Both are immutable after construction and shared by forks.
+	cand []massVector
+	tail []massVector
+	// resid caches the per-interval tail terms for the current
+	// objective; swapped wholesale when the objective changes.
+	resid *residCache
+}
+
+// residCache holds, per interval, the lazily-built row of frozen-tail
+// terms r0(e, t) for one objective. Rows are filled through an atomic
+// pointer so concurrent forks race benignly (both compute the same
+// deterministic values; one wins the CAS).
+type residCache struct {
+	objName string
+	rows    []atomic.Pointer[[]float64]
+}
+
+func newResidCache(obj Objective, intervals int) *residCache {
+	return &residCache{objName: obj.Name(), rows: make([]atomic.Pointer[[]float64], intervals)}
+}
+
+// NewPruned builds the engine for inst with candidate lists of size k
+// (k <= 0 selects DefaultPrunedK). The instance should be validated
+// beforehand.
+func NewPruned(inst *core.Instance, k int) *Pruned {
+	if k <= 0 {
+		k = DefaultPrunedK
+	}
+	nE := inst.NumEvents()
+	e := &Pruned{
+		sp:    NewSparse(inst),
+		k:     k,
+		cand:  make([]massVector, nE),
+		tail:  make([]massVector, nE),
+		resid: newResidCache(Omega, inst.NumIntervals),
+	}
+	var idx []int
+	var sel []bool
+	for ev := 0; ev < nE; ev++ {
+		row := inst.CandInterest.Row(ev)
+		nnz := len(row.IDs)
+		if nnz <= k {
+			// The whole row fits: the candidate list aliases the
+			// (immutable) row storage and the tail is empty.
+			e.cand[ev] = massVector{ids: row.IDs, vals: row.Vals}
+			continue
+		}
+		idx = idx[:0]
+		for i := 0; i < nnz; i++ {
+			idx = append(idx, i)
+		}
+		// Top k by µ, ties toward the lower user id for determinism.
+		sort.Slice(idx, func(a, b int) bool {
+			if row.Vals[idx[a]] != row.Vals[idx[b]] {
+				return row.Vals[idx[a]] > row.Vals[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		if cap(sel) < nnz {
+			sel = make([]bool, nnz)
+		}
+		sel = sel[:nnz]
+		clear(sel)
+		for _, i := range idx[:k] {
+			sel[i] = true
+		}
+		cIDs := make([]int32, 0, k)
+		cVals := make([]float64, 0, k)
+		tIDs := make([]int32, 0, nnz-k)
+		tVals := make([]float64, 0, nnz-k)
+		// One in-order pass keeps both halves sorted by user id.
+		for i, id := range row.IDs {
+			if sel[i] {
+				cIDs = append(cIDs, id)
+				cVals = append(cVals, row.Vals[i])
+			} else {
+				tIDs = append(tIDs, id)
+				tVals = append(tVals, row.Vals[i])
+			}
+		}
+		e.cand[ev] = massVector{ids: cIDs, vals: cVals}
+		e.tail[ev] = massVector{ids: tIDs, vals: tVals}
+	}
+	return e
+}
+
+// K returns the candidate-list size.
+func (e *Pruned) K() int { return e.k }
+
+// Instance returns the problem instance.
+func (e *Pruned) Instance() *core.Instance { return e.sp.Instance() }
+
+// Schedule returns the engine's schedule.
+func (e *Pruned) Schedule() *core.Schedule { return e.sp.Schedule() }
+
+// Objective returns the engine's objective.
+func (e *Pruned) Objective() Objective { return e.sp.Objective() }
+
+// SetObjective switches the engine (and its Sparse core) to obj. The
+// frozen-tail cache is objective-dependent, so switching to a
+// different objective swaps in a fresh one; forks that switched
+// independently keep their own.
+func (e *Pruned) SetObjective(obj Objective) {
+	e.sp.SetObjective(obj)
+	if eff := e.sp.Objective(); eff.Name() != e.resid.objName {
+		e.resid = newResidCache(eff, e.sp.inst.NumIntervals)
+	}
+}
+
+// residRow returns interval t's frozen-tail terms, building them on
+// first use. The row depends only on the instance and the objective,
+// so it survives Reset and is shared across forks.
+func (e *Pruned) residRow(t int) []float64 {
+	if p := e.resid.rows[t].Load(); p != nil {
+		return *p
+	}
+	row := e.buildResidRow(t)
+	e.resid.rows[t].CompareAndSwap(nil, &row)
+	return *e.resid.rows[t].Load()
+}
+
+// buildResidRow folds every event's tail at p = 0 against interval
+// t's competing mass: r0(e, t) = Σ_{u∈tail(e)} Gain(σ, µ, c, 0).
+func (e *Pruned) buildResidRow(t int) []float64 {
+	out := make([]float64, len(e.cand))
+	obj := e.sp.obj
+	comp := e.sp.comp[t]
+	act := e.sp.inst.Activity
+	for ev := range out {
+		tail := e.tail[ev]
+		if len(tail.ids) == 0 {
+			continue
+		}
+		sum := 0.0
+		ci := 0
+		for i, id := range tail.ids {
+			c := comp.atFrom(&ci, id)
+			sum += obj.Gain(act.Prob(int(id), t), tail.vals[i], c, 0)
+		}
+		out[ev] = sum
+	}
+	return out
+}
+
+// scoreEmpty is the O(k) exact score on an interval with no scheduled
+// mass: the head fold at p = 0 plus the cached tail term. Valid for
+// any linear objective — with nothing scheduled the tail gains are
+// exactly their p = 0 values.
+func (e *Pruned) scoreEmpty(event, t int) float64 {
+	cand := e.cand[event]
+	comp := e.sp.comp[t]
+	obj := e.sp.obj
+	act := e.sp.inst.Activity
+	sum := 0.0
+	ci := 0
+	for i, id := range cand.ids {
+		c := comp.atFrom(&ci, id)
+		sum += obj.Gain(act.Prob(int(id), t), cand.vals[i], c, 0)
+	}
+	if len(e.tail[event].ids) == 0 {
+		return sum // also keeps k >= nnz bit-identical to Sparse
+	}
+	return sum + e.residRow(t)[event]
+}
+
+// Score returns the exact assignment score of (event, t): the O(k)
+// fast path when the interval holds no scheduled mass and the
+// objective is linear, the Sparse core's full fold otherwise.
+func (e *Pruned) Score(event, t int) float64 {
+	if e.sp.linear && len(e.sp.pmass[t].ids) == 0 {
+		return e.scoreEmpty(event, t)
+	}
+	return e.sp.Score(event, t)
+}
+
+// ScoreBatch computes Score for every listed event at t.
+func (e *Pruned) ScoreBatch(events []int, t int, out []float64) {
+	scoreBatchSerial(e, events, t, out)
+}
+
+// BoundsValid reports whether ScoreUpper is a sound upper bound: the
+// frozen-tail argument needs per-user gains non-increasing in the
+// scheduled mass, i.e. a linear submodular objective (Omega).
+func (e *Pruned) BoundsValid() bool {
+	return e.sp.linear && e.sp.obj.Submodular()
+}
+
+// ScoreUpper returns an upper bound on Score(event, t) in O(k): the
+// exact head fold at the interval's current mass plus the frozen tail
+// term (each tail gain is non-increasing in scheduled mass, so its
+// p = 0 value bounds it). Exact on intervals with no scheduled mass;
+// the exact Score when BoundsValid is false.
+func (e *Pruned) ScoreUpper(event, t int) float64 {
+	sp := e.sp
+	if !e.BoundsValid() {
+		return e.Score(event, t)
+	}
+	if len(sp.pmass[t].ids) == 0 {
+		return e.scoreEmpty(event, t)
+	}
+	cand := e.cand[event]
+	comp := sp.comp[t]
+	pm := sp.pmass[t]
+	obj := sp.obj
+	act := sp.inst.Activity
+	sum := 0.0
+	ci, pi := 0, 0
+	for i, id := range cand.ids {
+		c := comp.atFrom(&ci, id)
+		p := pm.atFrom(&pi, id)
+		sum += obj.Gain(act.Prob(int(id), t), cand.vals[i], c, p)
+	}
+	if len(e.tail[event].ids) != 0 {
+		sum += e.residRow(t)[event]
+	}
+	return sum * boundSlack
+}
+
+// Apply assigns (event, t) through the Sparse core.
+func (e *Pruned) Apply(event, t int) error { return e.sp.Apply(event, t) }
+
+// Unapply removes the event through the Sparse core.
+func (e *Pruned) Unapply(event int) error { return e.sp.Unapply(event) }
+
+// Utility returns the objective's total value of the schedule.
+func (e *Pruned) Utility() float64 { return e.sp.Utility() }
+
+// ValueOf returns the schedule's total value under obj (nil = Omega).
+func (e *Pruned) ValueOf(obj Objective) float64 { return e.sp.ValueOf(obj) }
+
+// EventAttendance returns ω (Eq. 2) of a scheduled event.
+func (e *Pruned) EventAttendance(event int) float64 { return e.sp.EventAttendance(event) }
+
+// IntervalUtility returns the objective's value of interval t.
+func (e *Pruned) IntervalUtility(t int) float64 { return e.sp.IntervalUtility(t) }
+
+// Reset empties the schedule in place; the candidate lists and the
+// frozen-tail cache depend only on the instance and objective and
+// stay warm — the point of the engine for repeated resolves.
+func (e *Pruned) Reset() { e.sp.Reset() }
+
+// Fork shares the candidate lists and the frozen-tail cache (both
+// immutable or atomically filled) around a forked Sparse core.
+func (e *Pruned) Fork() Engine {
+	return &Pruned{
+		sp:    e.sp.Fork().(*Sparse),
+		k:     e.k,
+		cand:  e.cand,
+		tail:  e.tail,
+		resid: e.resid,
+	}
+}
+
+var (
+	_ Engine  = (*Pruned)(nil)
+	_ Bounder = (*Pruned)(nil)
+	_ Reuser  = (*Pruned)(nil)
+)

@@ -1,0 +1,150 @@
+package choice
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"ses/internal/sestest"
+)
+
+// TestPrunedFullKMatchesSparseExactly is the metamorphic anchor: with
+// k = |U| every candidate list is the full interest row, every tail is
+// empty, and Pruned must reproduce Sparse bit for bit — not within a
+// tolerance — through an arbitrary mutation/query mix, for every
+// registered objective. Any divergence means the fast path changed the
+// arithmetic rather than just skipping work.
+func TestPrunedFullKMatchesSparseExactly(t *testing.T) {
+	inst := sestest.Random(sestest.Config{
+		Users: 40, Events: 12, Intervals: 4, Competing: 4, Seed: 7,
+	})
+	for _, obj := range Objectives() {
+		sp := Engine(NewSparse(inst))
+		pr := Engine(NewPruned(inst, inst.NumUsers))
+		sp.SetObjective(obj)
+		pr.SetObjective(obj)
+		rng := rand.New(rand.NewPCG(11, 13))
+		for step := 0; step < 400; step++ {
+			e := rng.IntN(inst.NumEvents())
+			ti := rng.IntN(inst.NumIntervals)
+			switch rng.IntN(6) {
+			case 0, 1:
+				errS := sp.Apply(e, ti)
+				errP := pr.Apply(e, ti)
+				if (errS == nil) != (errP == nil) {
+					t.Fatalf("%s: Apply(%d,%d): sparse err %v, pruned err %v", obj.Name(), e, ti, errS, errP)
+				}
+			case 2:
+				if sp.Schedule().Contains(e) {
+					if err := sp.Unapply(e); err != nil {
+						t.Fatal(err)
+					}
+					if err := pr.Unapply(e); err != nil {
+						t.Fatal(err)
+					}
+				}
+			case 3:
+				if sp.Schedule().Contains(e) {
+					continue
+				}
+				if got, want := pr.Score(e, ti), sp.Score(e, ti); got != want {
+					t.Fatalf("%s: Score(%d,%d) = %v, sparse %v (must be identical at k=|U|)", obj.Name(), e, ti, got, want)
+				}
+			case 4:
+				if got, want := pr.IntervalUtility(ti), sp.IntervalUtility(ti); got != want {
+					t.Fatalf("%s: IntervalUtility(%d) = %v, sparse %v", obj.Name(), ti, got, want)
+				}
+			case 5:
+				if got, want := pr.Utility(), sp.Utility(); got != want {
+					t.Fatalf("%s: Utility = %v, sparse %v", obj.Name(), got, want)
+				}
+			}
+			// ScoreUpper must coincide with the exact score when the
+			// candidate lists cover everything (empty tails fold in no
+			// residual and no slack applies on empty intervals, but a
+			// loaded interval's head fold is the full exact fold, so
+			// the only difference is the slack factor).
+			if b, ok := pr.(Bounder); ok && !sp.Schedule().Contains(0) {
+				ub, ex := b.ScoreUpper(0, ti), sp.Score(0, ti)
+				if ub < ex {
+					t.Fatalf("%s: ScoreUpper(0,%d) = %v below exact %v at k=|U|", obj.Name(), ti, ub, ex)
+				}
+				if ex != 0 && math.Abs(ub-ex)/math.Abs(ex) > 1e-9 {
+					t.Fatalf("%s: ScoreUpper(0,%d) = %v far from exact %v at k=|U|", obj.Name(), ti, ub, ex)
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedUpperBoundHolds drives a small-k Pruned engine through
+// random schedules and checks the Bounder contract on every
+// unassigned (event, interval) cell: ScoreUpper >= Score whenever
+// BoundsValid, and ScoreUpper == Score on empty intervals.
+func TestPrunedUpperBoundHolds(t *testing.T) {
+	inst := sestest.Random(sestest.Config{
+		Users: 60, Events: 10, Intervals: 4, Competing: 3, Seed: 21,
+	})
+	for _, obj := range Objectives() {
+		pr := NewPruned(inst, 5)
+		pr.SetObjective(obj)
+		rng := rand.New(rand.NewPCG(3, 5))
+		for step := 0; step < 200; step++ {
+			e := rng.IntN(inst.NumEvents())
+			ti := rng.IntN(inst.NumIntervals)
+			if rng.IntN(3) == 0 && pr.Schedule().Contains(e) {
+				if err := pr.Unapply(e); err != nil {
+					t.Fatal(err)
+				}
+			} else if !pr.Schedule().Contains(e) && pr.Schedule().IsValid(e, ti) {
+				if err := pr.Apply(e, ti); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for ev := 0; ev < inst.NumEvents(); ev++ {
+				if pr.Schedule().Contains(ev) {
+					continue
+				}
+				for tt := 0; tt < inst.NumIntervals; tt++ {
+					exact := pr.Score(ev, tt)
+					ub := pr.ScoreUpper(ev, tt)
+					if !pr.BoundsValid() {
+						if ub != exact {
+							t.Fatalf("%s: BoundsValid false but ScoreUpper(%d,%d) = %v != Score %v", obj.Name(), ev, tt, ub, exact)
+						}
+						continue
+					}
+					if ub < exact {
+						t.Fatalf("%s: ScoreUpper(%d,%d) = %v below exact Score %v", obj.Name(), ev, tt, ub, exact)
+					}
+					if len(pr.sp.pmass[tt].ids) == 0 && ub != exact {
+						t.Fatalf("%s: empty interval %d: ScoreUpper(%d) = %v != Score %v", obj.Name(), tt, ev, ub, exact)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPrunedObjectiveSwitchInvalidatesResiduals pins the residual
+// cache's objective keying: scores must be exact after SetObjective,
+// not reuse another objective's frozen tails.
+func TestPrunedObjectiveSwitchInvalidatesResiduals(t *testing.T) {
+	inst := sestest.Random(sestest.Config{
+		Users: 50, Events: 8, Intervals: 3, Competing: 3, Seed: 5,
+	})
+	pr := Engine(NewPruned(inst, 4))
+	ref := Engine(NewRef(inst))
+	for _, obj := range []Objective{Objectives()[1], Omega, Objectives()[2], Omega} {
+		pr.SetObjective(obj)
+		ref.SetObjective(obj)
+		for ev := 0; ev < inst.NumEvents(); ev++ {
+			for tt := 0; tt < inst.NumIntervals; tt++ {
+				got, want := pr.Score(ev, tt), ref.Score(ev, tt)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("%s: Score(%d,%d) = %v, oracle %v after objective switch", obj.Name(), ev, tt, got, want)
+				}
+			}
+		}
+	}
+}

@@ -318,6 +318,15 @@ func (e *Sparse) merge(t int, row massVector, subtract bool) {
 			}
 		}
 	}
+	if subtract && len(outIDs) == 0 {
+		// Every residual was dropped as noise: the accumulator emptied
+		// and is cleared outright even though events may remain
+		// scheduled (their masses were all noise-erased). The high-water
+		// mark must decay with it — a later small-mass-only workload at
+		// this interval would otherwise have its residuals judged
+		// against a stale lifetime maximum and be erased wholesale.
+		mark = 0
+	}
 	e.pmass[t] = massVector{ids: outIDs, vals: outVals}
 	e.hwm[t] = mark
 	e.scratchIDs = acc.ids[:0:cap(acc.ids)]

@@ -154,6 +154,11 @@ func (e *SparseMap) Unapply(event int) error {
 	if len(e.sched.EventsAt(t)) == 0 {
 		clear(m)
 		e.hwm[t] = 0
+	} else if len(m) == 0 {
+		// The accumulator emptied with events still scheduled (every
+		// entry was noise-dropped): the high-water mark decays with it,
+		// so later small masses aren't judged against a stale maximum.
+		e.hwm[t] = 0
 	}
 	return nil
 }

@@ -250,3 +250,102 @@ func TestUnapplyLargeFirstLeavesNoNoise(t *testing.T) {
 		}
 	}
 }
+
+// TestHWMDecaysWhenAccumulatorEmpties is the regression test for the
+// stale high-water-mark bug: the hwm that scales the noise cutoff
+// never decayed, so once an interval's accumulator emptied *while
+// events remained scheduled* (every residual noise-dropped), a later
+// small-mass-only workload at that interval had its legitimate
+// residuals judged against the old lifetime maximum and erased
+// wholesale. The clear-then-small-mass sequence below drives exactly
+// that: a heavy phase pushes hwm to ~4, its unapplies empty the
+// accumulator with a tiny event still scheduled, and then a small
+// phase (µ ~ 1e-14) must survive its own unapply arithmetic.
+func TestHWMDecaysWhenAccumulatorEmpties(t *testing.T) {
+	mkRow := func(ids []int32, vals []float64) interest.SparseVector {
+		v, err := interest.NewSparseVector(ids, vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Events 0-3: the heavy phase, all mass on user 0 (hwm climbs to 4).
+	// Event 4 ("holdout") shares user 0 with µ = 1e-15: its mass is
+	// legitimately dropped as cancellation noise during the heavy
+	// unapplies (the documented residualEps collateral), but it keeps
+	// the interval occupied so only the hwm — not the cleared-interval
+	// shortcut — governs the next phase. Events 5-6: the small phase on
+	// user 1 (µ = 1e-14 and 1e-3).
+	cand := interest.NewMatrix(2, 7)
+	for ev := 0; ev < 4; ev++ {
+		cand.SetRow(ev, mkRow([]int32{0}, []float64{1.0}))
+	}
+	cand.SetRow(4, mkRow([]int32{0}, []float64{1e-15}))
+	cand.SetRow(5, mkRow([]int32{1}, []float64{1e-14}))
+	cand.SetRow(6, mkRow([]int32{1}, []float64{1e-3}))
+	events := make([]core.Event, 7)
+	for ev := range events {
+		events[ev] = core.Event{Location: ev, Required: 1}
+	}
+	inst := &core.Instance{
+		NumUsers:     2,
+		NumIntervals: 1,
+		Resources:    10,
+		Events:       events,
+		CandInterest: cand,
+		CompInterest: interest.NewMatrix(2, 0),
+		Activity:     sigmaOne{},
+	}
+	if err := inst.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Ref has no noise cutoff (and no hwm), so it is exempt: run the
+	// three incremental engines only.
+	engines := map[string]Engine{
+		"sparse":    NewSparse(inst),
+		"sparsemap": NewSparseMap(inst),
+		"dense":     NewDense(inst),
+	}
+	for name, eng := range engines {
+		// Heavy phase: stack four unit masses plus the tiny holdout,
+		// then remove the four. The holdout's 1e-15 residual is far
+		// below residualEps·4, so the accumulator is left empty while
+		// the holdout is still scheduled.
+		for ev := 0; ev <= 4; ev++ {
+			if err := eng.Apply(ev, 0); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		for ev := 0; ev < 4; ev++ {
+			if err := eng.Unapply(ev); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		// Small phase: user 1's µ = 1e-14 event joins, a µ = 1e-3 event
+		// joins and leaves. The 1e-14 residual is ~70× the correct
+		// noise floor (residualEps·1e-3) but far *below* the stale one
+		// (residualEps·4), so with an undecayed hwm it is erased.
+		for ev := 5; ev <= 6; ev++ {
+			if err := eng.Apply(ev, 0); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		if err := eng.Unapply(6); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// With no competition, user 1 attends event 5 with probability
+		// σ = 1 however small µ is. The surviving 1e-14 residual
+		// carries up to ulp(1e-3)/2 ≈ 8.5e-20 of rounding from the
+		// µ = 1e-3 add/subtract cycle — ~1e-5 relative at this scale —
+		// hence the loose tolerance; the buggy behavior yields exactly
+		// 0. (The holdout's own user-0 share was already lost to the
+		// heavy phase's legitimate noise cutoff, so the engine utility
+		// is ~1, not the oracle's 2.)
+		if got := eng.EventAttendance(5); math.Abs(got-1) > 1e-4 {
+			t.Errorf("%s: ω(e5) = %v after small-mass unapply, want 1 (residual judged against stale hwm)", name, got)
+		}
+		if got := eng.Utility(); math.Abs(got-1) > 1e-4 {
+			t.Errorf("%s: Utility = %v after clear-then-small-mass sequence, want 1", name, got)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package colstore
+
+import (
+	"fmt"
+	"unsafe"
+)
+
+// The byte views below reinterpret typed slices as raw native-endian
+// bytes and back. The file format is explicitly native-endian (the
+// prelude's probe rejects foreign files), so reinterpretation is the
+// whole point: writes stream matrix storage without an encode pass,
+// and reads hand the engines views straight into the mapping.
+
+// int32Bytes returns s's storage as bytes.
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+// int64Bytes returns s's storage as bytes.
+func int64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+// float64Bytes returns s's storage as bytes.
+func float64Bytes(s []float64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+// uint32Bytes returns v as 4 native-endian bytes.
+func uint32Bytes(v uint32) []byte {
+	b := make([]byte, 4)
+	*(*uint32)(unsafe.Pointer(&b[0])) = v
+	return b
+}
+
+// nativeUint32 reads 4 native-endian bytes.
+func nativeUint32(b []byte) uint32 {
+	return *(*uint32)(unsafe.Pointer(&b[0]))
+}
+
+// viewSlice reinterprets data[off : off+n*size] as a []T without
+// copying. It verifies bounds and the pointer's alignment; mmap bases
+// are page-aligned and Go heap allocations are at least 8-byte
+// aligned, so with the format's aligned section offsets the check
+// never fires in practice — it guards against truncated or corrupt
+// files, not healthy ones.
+func viewSlice[T int32 | int64 | float64](data []byte, off int64, n int) ([]T, error) {
+	var t T
+	size := int64(unsafe.Sizeof(t))
+	if n == 0 {
+		return nil, nil
+	}
+	if off < 0 || n < 0 || off+int64(n)*size > int64(len(data)) {
+		return nil, fmt.Errorf("colstore: section [%d, %d) outside file of %d bytes", off, off+int64(n)*size, len(data))
+	}
+	p := unsafe.Pointer(&data[off])
+	if uintptr(p)%uintptr(size) != 0 {
+		return nil, fmt.Errorf("colstore: section at offset %d is not %d-byte aligned", off, size)
+	}
+	return unsafe.Slice((*T)(p), n), nil
+}

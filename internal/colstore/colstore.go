@@ -1,0 +1,452 @@
+// Package colstore stores SES problem instances in a columnar binary
+// format built for million-user scale.
+//
+// The JSON instance documents of ses/internal/dataset materialize
+// every interest row as separate small slices; at 10^6 users the
+// decode alone costs gigabytes of transient allocations. colstore
+// instead lays each interest matrix out as a CSR (compressed sparse
+// row) triplet of flat arrays — row offsets, user ids, values — in a
+// single file:
+//
+//	magic "SESCOL1\n"                    8 bytes
+//	endianness probe (0x01020304)        4 bytes, native order
+//	header length                        4 bytes, native order
+//	header JSON                          dimensions, events, activity
+//	                                     seed, section byte offsets
+//	candidate matrix: offsets int64[r+1] 8-byte aligned
+//	                  ids     int32[nnz] 4-byte aligned
+//	                  vals  float64[nnz] 8-byte aligned
+//	competing matrix: same three sections
+//
+// Opening a file memory-maps it read-only and reinterprets the
+// sections in place: every interest row the engines fold over is a
+// zero-copy view into the mapping, so a freshly opened million-user
+// instance costs page tables, not heap. Hosts without mmap (or
+// unmappable files) fall back to a single contiguous read with the
+// same in-place views.
+//
+// Writing streams: the Writer appends one row at a time, spooling ids
+// and values to temporary section files and keeping only the (tiny)
+// offset arrays in memory, so generators never hold a full matrix.
+// The final file is assembled and atomically renamed on Close.
+//
+// The format is native-endian (the probe turns a foreign-endian file
+// into a clean error instead of garbage); it is a cache, not an
+// interchange format — regenerate rather than copy across
+// architectures.
+package colstore
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ses/internal/activity"
+	"ses/internal/core"
+)
+
+// File format constants.
+const (
+	magic       = "SESCOL1\n"
+	preludeSize = len(magic) + 4 + 4 // magic + probe + header length
+	probeValue  = 0x01020304
+)
+
+// fileHeader is the JSON header describing everything outside the
+// three flat arrays per matrix.
+type fileHeader struct {
+	NumUsers     int                   `json:"num_users"`
+	NumIntervals int                   `json:"num_intervals"`
+	Resources    float64               `json:"resources"`
+	Events       []core.Event          `json:"events"`
+	Competing    []core.CompetingEvent `json:"competing"`
+	Activity     activityDoc           `json:"activity"`
+	Cand         matrixSection         `json:"cand"`
+	Comp         matrixSection         `json:"comp"`
+}
+
+// activityDoc serializes the σ model. Only the O(1)-state models make
+// sense at columnar scale: the seeded uniform hash of the paper's
+// experiments and the constant model.
+type activityDoc struct {
+	Type string  `json:"type"` // "uniformhash" | "constant"
+	Seed uint64  `json:"seed,omitempty"`
+	P    float64 `json:"p,omitempty"`
+}
+
+func newActivityDoc(act core.Activity) (activityDoc, error) {
+	switch a := act.(type) {
+	case activity.UniformHash:
+		return activityDoc{Type: "uniformhash", Seed: a.Seed}, nil
+	case activity.Constant:
+		return activityDoc{Type: "constant", P: float64(a)}, nil
+	default:
+		return activityDoc{}, fmt.Errorf("colstore: activity model %T has no columnar form (use UniformHash or Constant)", act)
+	}
+}
+
+func (d activityDoc) model() (core.Activity, error) {
+	switch d.Type {
+	case "uniformhash":
+		return activity.UniformHash{Seed: d.Seed}, nil
+	case "constant":
+		if d.P < 0 || d.P > 1 {
+			return nil, fmt.Errorf("colstore: constant activity %v outside [0,1]", d.P)
+		}
+		return activity.Constant(d.P), nil
+	default:
+		return nil, fmt.Errorf("colstore: unknown activity type %q", d.Type)
+	}
+}
+
+// matrixSection locates one CSR matrix inside the file. Offs points at
+// Rows+1 int64 entry offsets (prefix sums over NNZ), IDs at NNZ int32
+// user ids, Vals at NNZ float64 interest values; all byte offsets from
+// the start of the file.
+type matrixSection struct {
+	Rows int   `json:"rows"`
+	NNZ  int64 `json:"nnz"`
+	Offs int64 `json:"offs"`
+	IDs  int64 `json:"ids"`
+	Vals int64 `json:"vals"`
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int64) int64 { return (n + 7) &^ 7 }
+
+// Meta carries everything about an instance except the interest
+// matrices, which the Writer streams row by row.
+type Meta struct {
+	NumUsers     int
+	NumIntervals int
+	Resources    float64
+	Events       []core.Event
+	Competing    []core.CompetingEvent
+	// Activity must be activity.UniformHash or activity.Constant.
+	Activity core.Activity
+}
+
+// Writer streams an instance into a colstore file. Rows must be
+// appended in event order: AppendCand exactly len(Meta.Events) times
+// and AppendComp exactly len(Meta.Competing) times (interleaving the
+// two is fine). Close assembles and atomically installs the file;
+// Abort discards everything.
+type Writer struct {
+	path   string
+	hdr    fileHeader
+	cand   *matrixWriter
+	comp   *matrixWriter
+	closed bool
+}
+
+// matrixWriter spools one matrix's ids and values to temp files,
+// keeping only the offsets in memory.
+type matrixWriter struct {
+	name     string
+	want     int // rows expected
+	numUsers int
+	offs     []int64 // entry-count prefix sums; len = rows appended + 1
+	ids      *os.File
+	vals     *os.File
+	bids     *bufio.Writer
+	bvals    *bufio.Writer
+}
+
+func newMatrixWriter(dir, name string, rows, numUsers int) (*matrixWriter, error) {
+	ids, err := os.CreateTemp(dir, "colstore-"+name+"-ids-*")
+	if err != nil {
+		return nil, err
+	}
+	vals, err := os.CreateTemp(dir, "colstore-"+name+"-vals-*")
+	if err != nil {
+		ids.Close()
+		os.Remove(ids.Name())
+		return nil, err
+	}
+	return &matrixWriter{
+		name:     name,
+		want:     rows,
+		numUsers: numUsers,
+		offs:     append(make([]int64, 0, rows+1), 0),
+		ids:      ids,
+		vals:     vals,
+		bids:     bufio.NewWriterSize(ids, 1<<16),
+		bvals:    bufio.NewWriterSize(vals, 1<<16),
+	}, nil
+}
+
+func (m *matrixWriter) append(ids []int32, vals []float64) error {
+	if len(m.offs)-1 >= m.want {
+		return fmt.Errorf("colstore: %s matrix already has all %d rows", m.name, m.want)
+	}
+	if len(ids) != len(vals) {
+		return fmt.Errorf("colstore: %s row %d: %d ids but %d values", m.name, len(m.offs)-1, len(ids), len(vals))
+	}
+	for i, id := range ids {
+		if i > 0 && id <= ids[i-1] {
+			return fmt.Errorf("colstore: %s row %d: ids not strictly increasing at %d", m.name, len(m.offs)-1, i)
+		}
+		if id < 0 || int(id) >= m.numUsers {
+			return fmt.Errorf("colstore: %s row %d: user id %d outside [0,%d)", m.name, len(m.offs)-1, id, m.numUsers)
+		}
+		if v := vals[i]; v <= 0 || v > 1 {
+			return fmt.Errorf("colstore: %s row %d: value %v for user %d outside (0,1]", m.name, len(m.offs)-1, v, id)
+		}
+	}
+	if len(ids) > 0 {
+		if _, err := m.bids.Write(int32Bytes(ids)); err != nil {
+			return err
+		}
+		if _, err := m.bvals.Write(float64Bytes(vals)); err != nil {
+			return err
+		}
+	}
+	m.offs = append(m.offs, m.offs[len(m.offs)-1]+int64(len(ids)))
+	return nil
+}
+
+func (m *matrixWriter) discard() {
+	if m.ids != nil {
+		m.ids.Close()
+		os.Remove(m.ids.Name())
+	}
+	if m.vals != nil {
+		m.vals.Close()
+		os.Remove(m.vals.Name())
+	}
+}
+
+// Create opens a Writer targeting path. The temp section files live in
+// path's directory so the final rename stays on one filesystem.
+func Create(path string, meta Meta) (*Writer, error) {
+	act, err := newActivityDoc(meta.Activity)
+	if err != nil {
+		return nil, err
+	}
+	if meta.NumUsers <= 0 || meta.NumIntervals <= 0 {
+		return nil, fmt.Errorf("colstore: instance needs users and intervals, got %d/%d", meta.NumUsers, meta.NumIntervals)
+	}
+	dir := filepath.Dir(path)
+	cand, err := newMatrixWriter(dir, "cand", len(meta.Events), meta.NumUsers)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := newMatrixWriter(dir, "comp", len(meta.Competing), meta.NumUsers)
+	if err != nil {
+		cand.discard()
+		return nil, err
+	}
+	events := append([]core.Event(nil), meta.Events...)
+	competing := append([]core.CompetingEvent(nil), meta.Competing...)
+	return &Writer{
+		path: path,
+		hdr: fileHeader{
+			NumUsers:     meta.NumUsers,
+			NumIntervals: meta.NumIntervals,
+			Resources:    meta.Resources,
+			Events:       events,
+			Competing:    competing,
+			Activity:     act,
+		},
+		cand: cand,
+		comp: comp,
+	}, nil
+}
+
+// AppendCand appends the next candidate event's interest row (sorted
+// strictly-increasing user ids, values in (0,1]).
+func (w *Writer) AppendCand(ids []int32, vals []float64) error {
+	if w.closed {
+		return fmt.Errorf("colstore: writer is closed")
+	}
+	return w.cand.append(ids, vals)
+}
+
+// AppendComp appends the next competing event's interest row.
+func (w *Writer) AppendComp(ids []int32, vals []float64) error {
+	if w.closed {
+		return fmt.Errorf("colstore: writer is closed")
+	}
+	return w.comp.append(ids, vals)
+}
+
+// Abort discards all spooled data. Safe after Close (no-op).
+func (w *Writer) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.cand.discard()
+	w.comp.discard()
+}
+
+// Close verifies both matrices are complete, assembles the final file
+// next to path and atomically renames it into place.
+func (w *Writer) Close() (err error) {
+	if w.closed {
+		return fmt.Errorf("colstore: writer is closed")
+	}
+	w.closed = true
+	defer w.cand.discard()
+	defer w.comp.discard()
+	for _, m := range []*matrixWriter{w.cand, w.comp} {
+		if got := len(m.offs) - 1; got != m.want {
+			return fmt.Errorf("colstore: %s matrix has %d of %d rows", m.name, got, m.want)
+		}
+		if err := m.bids.Flush(); err != nil {
+			return err
+		}
+		if err := m.bvals.Flush(); err != nil {
+			return err
+		}
+	}
+
+	// Lay out the sections. The encoded header length feeds the first
+	// section offset, and the offsets' digit widths feed the header
+	// length back, so iterate to the (fast, monotone) fixpoint.
+	place := func(hdr *fileHeader) int64 {
+		off := align8(int64(preludeSize) + int64(headerLen(hdr)))
+		for _, s := range []*matrixSection{&hdr.Cand, &hdr.Comp} {
+			s.Offs = off
+			off += int64(s.Rows+1) * 8
+			s.IDs = off
+			off = align8(off + s.NNZ*4)
+			s.Vals = off
+			off += s.NNZ * 8
+		}
+		return off
+	}
+	w.hdr.Cand.Rows = w.cand.want
+	w.hdr.Cand.NNZ = w.cand.offs[len(w.cand.offs)-1]
+	w.hdr.Comp.Rows = w.comp.want
+	w.hdr.Comp.NNZ = w.comp.offs[len(w.comp.offs)-1]
+	var total int64
+	for {
+		prevCand, prevComp := w.hdr.Cand, w.hdr.Comp
+		total = place(&w.hdr)
+		if w.hdr.Cand == prevCand && w.hdr.Comp == prevComp {
+			break
+		}
+	}
+
+	hdrJSON, err := json.Marshal(&w.hdr)
+	if err != nil {
+		return err
+	}
+
+	tmp, err := os.CreateTemp(filepath.Dir(w.path), "colstore-final-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	out := bufio.NewWriterSize(tmp, 1<<20)
+	pos := int64(0)
+	emit := func(b []byte) {
+		if err == nil {
+			_, err = out.Write(b)
+			pos += int64(len(b))
+		}
+	}
+	pad := func(to int64) {
+		for err == nil && pos < to {
+			emit([]byte{0})
+		}
+	}
+	emit([]byte(magic))
+	emit(uint32Bytes(probeValue))
+	emit(uint32Bytes(uint32(len(hdrJSON))))
+	emit(hdrJSON)
+	for i, m := range []*matrixWriter{w.cand, w.comp} {
+		s := []matrixSection{w.hdr.Cand, w.hdr.Comp}[i]
+		pad(s.Offs)
+		emit(int64Bytes(m.offs))
+		pad(s.IDs)
+		if err == nil {
+			err = copySection(out, m.ids, s.NNZ*4, &pos)
+		}
+		pad(s.Vals)
+		if err == nil {
+			err = copySection(out, m.vals, s.NNZ*8, &pos)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if pos != total {
+		return fmt.Errorf("colstore: wrote %d bytes, layout says %d", pos, total)
+	}
+	if err = out.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), w.path)
+}
+
+// headerLen returns the encoded size of hdr.
+func headerLen(hdr *fileHeader) int {
+	b, err := json.Marshal(hdr)
+	if err != nil {
+		return 0 // surfaces later as a marshal error on the real encode
+	}
+	return len(b)
+}
+
+// copySection streams a spooled temp file into the output.
+func copySection(out *bufio.Writer, f *os.File, want int64, pos *int64) error {
+	if _, err := f.Seek(0, 0); err != nil {
+		return err
+	}
+	n, err := out.ReadFrom(f)
+	if err != nil {
+		return err
+	}
+	if n != want {
+		return fmt.Errorf("colstore: section file %s holds %d bytes, expected %d", f.Name(), n, want)
+	}
+	*pos += n
+	return nil
+}
+
+// WriteInstance writes an in-memory instance as a colstore file — the
+// non-streaming convenience path for instances that already fit in
+// memory. The activity model must have a columnar form.
+func WriteInstance(path string, inst *core.Instance) error {
+	w, err := Create(path, Meta{
+		NumUsers:     inst.NumUsers,
+		NumIntervals: inst.NumIntervals,
+		Resources:    inst.Resources,
+		Events:       inst.Events,
+		Competing:    inst.Competing,
+		Activity:     inst.Activity,
+	})
+	if err != nil {
+		return err
+	}
+	for e := 0; e < inst.CandInterest.NumEvents(); e++ {
+		r := inst.CandInterest.Row(e)
+		if err := w.AppendCand(r.IDs, r.Vals); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	for e := 0; e < inst.CompInterest.NumEvents(); e++ {
+		r := inst.CompInterest.Row(e)
+		if err := w.AppendComp(r.IDs, r.Vals); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package colstore
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable; Open falls back to a contiguous read.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+// munmapFile is never reached without mmapFile.
+func munmapFile(data []byte) error { return nil }

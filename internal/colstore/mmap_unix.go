@@ -1,0 +1,20 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the file read-only. Zero-length mappings are invalid;
+// a file that small cannot be a colstore file, so let Open's size
+// check report it and take the fallback here.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile.
+func munmapFile(data []byte) error {
+	return syscall.Munmap(data)
+}

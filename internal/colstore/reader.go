@@ -1,0 +1,177 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ses/internal/core"
+	"ses/internal/interest"
+)
+
+// Store is an open colstore file: the instance it describes plus the
+// backing bytes the interest rows point into. Close releases the
+// mapping; the instance (and any engine built over it) must not be
+// used afterwards.
+type Store struct {
+	data   []byte
+	mapped bool
+	inst   *core.Instance
+}
+
+// Open maps path read-only and builds its instance with zero-copy
+// interest rows. Hosts or filesystems without mmap fall back to one
+// contiguous heap read (Mapped reports which). The returned instance
+// passes core validation structurally by construction of the writer;
+// Open re-checks the cheap shape invariants so a corrupt file fails
+// here rather than in an engine fold.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < int64(preludeSize) {
+		return nil, fmt.Errorf("colstore: %s: %d bytes is too short for a colstore file", path, size)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("colstore: %s: file of %d bytes exceeds the address space", path, size)
+	}
+
+	data, mapped, err := readOrMap(f, int(size))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{data: data, mapped: mapped}
+	if err := s.parse(path); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// readOrMap maps the file when the platform allows it and falls back
+// to a contiguous read.
+func readOrMap(f *os.File, size int) (data []byte, mapped bool, err error) {
+	if data, err := mmapFile(f, size); err == nil {
+		return data, true, nil
+	}
+	data = make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// parse decodes the prelude and header and installs the zero-copy
+// instance.
+func (s *Store) parse(path string) error {
+	data := s.data
+	if !bytes.Equal(data[:len(magic)], []byte(magic)) {
+		return fmt.Errorf("colstore: %s is not a colstore file (bad magic)", path)
+	}
+	if probe := nativeUint32(data[len(magic):]); probe != probeValue {
+		return fmt.Errorf("colstore: %s was written on a different-endian machine (probe %#x); regenerate it here", path, probe)
+	}
+	hdrLen := int64(nativeUint32(data[len(magic)+4:]))
+	if int64(preludeSize)+hdrLen > int64(len(data)) {
+		return fmt.Errorf("colstore: %s: header of %d bytes overruns the file", path, hdrLen)
+	}
+	var hdr fileHeader
+	if err := json.Unmarshal(data[preludeSize:int64(preludeSize)+hdrLen], &hdr); err != nil {
+		return fmt.Errorf("colstore: %s: decoding header: %w", path, err)
+	}
+	act, err := hdr.Activity.model()
+	if err != nil {
+		return fmt.Errorf("colstore: %s: %w", path, err)
+	}
+	if hdr.Cand.Rows != len(hdr.Events) {
+		return fmt.Errorf("colstore: %s: %d candidate rows for %d events", path, hdr.Cand.Rows, len(hdr.Events))
+	}
+	if hdr.Comp.Rows != len(hdr.Competing) {
+		return fmt.Errorf("colstore: %s: %d competing rows for %d events", path, hdr.Comp.Rows, len(hdr.Competing))
+	}
+	cand, err := s.matrix(hdr.Cand, hdr.NumUsers)
+	if err != nil {
+		return fmt.Errorf("colstore: %s: candidate matrix: %w", path, err)
+	}
+	comp, err := s.matrix(hdr.Comp, hdr.NumUsers)
+	if err != nil {
+		return fmt.Errorf("colstore: %s: competing matrix: %w", path, err)
+	}
+	s.inst = &core.Instance{
+		NumUsers:     hdr.NumUsers,
+		NumIntervals: hdr.NumIntervals,
+		Resources:    hdr.Resources,
+		Events:       hdr.Events,
+		Competing:    hdr.Competing,
+		CandInterest: cand,
+		CompInterest: comp,
+		Activity:     act,
+	}
+	return nil
+}
+
+// matrix builds one interest matrix whose rows are views into the
+// backing bytes.
+func (s *Store) matrix(sec matrixSection, numUsers int) (*interest.Matrix, error) {
+	if sec.Rows < 0 || sec.NNZ < 0 {
+		return nil, fmt.Errorf("negative shape %d×%d", sec.Rows, sec.NNZ)
+	}
+	offs, err := viewSlice[int64](s.data, sec.Offs, sec.Rows+1)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := viewSlice[int32](s.data, sec.IDs, int(sec.NNZ))
+	if err != nil {
+		return nil, err
+	}
+	vals, err := viewSlice[float64](s.data, sec.Vals, int(sec.NNZ))
+	if err != nil {
+		return nil, err
+	}
+	if sec.Rows == 0 {
+		// A rows=0 matrix still carries the single sentinel offset.
+		if offs[0] != 0 {
+			return nil, fmt.Errorf("empty matrix with offset %d", offs[0])
+		}
+		return interest.NewMatrix(numUsers, 0), nil
+	}
+	if offs[0] != 0 || offs[sec.Rows] != sec.NNZ {
+		return nil, fmt.Errorf("offsets span [%d, %d], want [0, %d]", offs[0], offs[sec.Rows], sec.NNZ)
+	}
+	m := interest.NewMatrix(numUsers, sec.Rows)
+	for e := 0; e < sec.Rows; e++ {
+		lo, hi := offs[e], offs[e+1]
+		if lo > hi || hi > sec.NNZ {
+			return nil, fmt.Errorf("row %d spans [%d, %d) of %d entries", e, lo, hi, sec.NNZ)
+		}
+		m.SetRow(e, interest.SparseVector{IDs: ids[lo:hi:hi], Vals: vals[lo:hi:hi]})
+	}
+	return m, nil
+}
+
+// Instance returns the stored instance. Its interest rows alias the
+// store's backing bytes: valid until Close, read-only when mapped.
+func (s *Store) Instance() *core.Instance { return s.inst }
+
+// Mapped reports whether the backing bytes are a memory mapping
+// (false means the heap-read fallback).
+func (s *Store) Mapped() bool { return s.mapped }
+
+// Close releases the backing bytes. The instance and all views into
+// it become invalid.
+func (s *Store) Close() error {
+	data, mapped := s.data, s.mapped
+	s.data, s.inst, s.mapped = nil, nil, false
+	if mapped && data != nil {
+		return munmapFile(data)
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+// Package scalegen generates Meetup-shaped SES instances at
+// million-user scale, streaming straight into a colstore file.
+//
+// The EBSN pipeline (ses/internal/ebsn + dataset.BuildInstance)
+// materializes per-user tag sets and group memberships before deriving
+// interest, which is faithful to the paper's Section IV-A construction
+// but hits a memory cliff near 10^6 users: the intermediate dataset
+// alone dwarfs the instance. scalegen inverts the construction: it
+// draws the *resulting* interest structure directly — power-law event
+// audiences (a few broadly interesting events, a long tail of niche
+// ones) with skewed per-user interest values, the shape the paper
+// measures on its Meetup crawl — one sorted row at a time, with O(row)
+// working memory regardless of |U|.
+//
+// Rows are produced by a seeded gap walk: for a target audience of n
+// users out of |U|, user ids advance by 1 + Exp-distributed gaps with
+// mean |U|/n, yielding a sorted, duplicate-free row in O(n) without
+// touching the other |U|-n users. Everything is deterministic in the
+// master seed.
+package scalegen
+
+import (
+	"fmt"
+	"math"
+
+	"ses/internal/activity"
+	"ses/internal/colstore"
+	"ses/internal/core"
+	"ses/internal/randx"
+)
+
+// Config sizes the generated instance. Zero fields default to the
+// paper's Section IV-A experiment parameters (see Normalize); only
+// Users is required.
+type Config struct {
+	// Users is |U|; the only mandatory field.
+	Users int
+	// K is the schedule size the instance is intended for; the event
+	// and interval defaults derive from it as in the paper (|E| = 2k,
+	// |T| = 3k/2).
+	K int
+	// Intervals is |T|.
+	Intervals int
+	// Events is |E|, the candidate event count.
+	Events int
+	// Locations bounds the distinct event locations.
+	Locations int
+	// Resources is θ, per-interval organizer resources; ReqMin/ReqMax
+	// bound the per-event requirement draw ξ.
+	Resources      float64
+	ReqMin, ReqMax float64
+	// CompetingMean is the mean of the per-interval competing-event
+	// count draw (the paper's Meetup measurement is 8.1).
+	CompetingMean float64
+	// HeadFraction is the audience fraction of the most popular event;
+	// Alpha is the power-law decay of audience size with popularity
+	// rank; MinAudience floors tiny tail rows.
+	HeadFraction float64
+	Alpha        float64
+	MinAudience  int
+	// Seed drives every draw, including the activity model's.
+	Seed uint64
+}
+
+// Normalize fills zero fields with the defaults.
+func (c Config) Normalize() Config {
+	if c.K == 0 {
+		c.K = 100
+	}
+	if c.Intervals == 0 {
+		c.Intervals = 3 * c.K / 2
+	}
+	if c.Events == 0 {
+		c.Events = 2 * c.K
+	}
+	if c.Locations == 0 {
+		c.Locations = 25
+	}
+	if c.Resources == 0 {
+		c.Resources = 20
+	}
+	if c.ReqMin == 0 {
+		c.ReqMin = 1
+	}
+	if c.ReqMax == 0 {
+		c.ReqMax = c.Resources / 3
+	}
+	if c.CompetingMean == 0 {
+		c.CompetingMean = 8.1
+	}
+	if c.HeadFraction == 0 {
+		c.HeadFraction = 0.02
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.8
+	}
+	if c.MinAudience == 0 {
+		c.MinAudience = 4
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Users <= 0 {
+		return fmt.Errorf("scalegen: need at least one user, got %d", c.Users)
+	}
+	if c.Intervals <= 0 || c.Events <= 0 {
+		return fmt.Errorf("scalegen: need events and intervals, got %d/%d", c.Events, c.Intervals)
+	}
+	if c.HeadFraction <= 0 || c.HeadFraction > 1 {
+		return fmt.Errorf("scalegen: head fraction %v outside (0,1]", c.HeadFraction)
+	}
+	if c.Alpha < 0 {
+		return fmt.Errorf("scalegen: negative popularity decay %v", c.Alpha)
+	}
+	return nil
+}
+
+// Stats summarizes a generated instance.
+type Stats struct {
+	Users     int
+	Events    int
+	Intervals int
+	Competing int
+	CandNNZ   int64
+	CompNNZ   int64
+}
+
+// Generate writes a fresh instance to path as a colstore file and
+// returns its shape. Working memory is O(largest row + events), never
+// O(Users).
+func Generate(path string, cfg Config) (Stats, error) {
+	cfg = cfg.Normalize()
+	if err := cfg.validate(); err != nil {
+		return Stats{}, err
+	}
+
+	esrc := randx.Derive(cfg.Seed, "scalegen-events")
+	events := make([]core.Event, cfg.Events)
+	for i := range events {
+		events[i] = core.Event{
+			Location: esrc.IntN(cfg.Locations),
+			Required: esrc.Range(cfg.ReqMin, cfg.ReqMax),
+		}
+	}
+	csrc := randx.Derive(cfg.Seed, "scalegen-competing")
+	var competing []core.CompetingEvent
+	for t := 0; t < cfg.Intervals; t++ {
+		n := randx.UniformMean(csrc, cfg.CompetingMean, 0)
+		for i := 0; i < n; i++ {
+			competing = append(competing, core.CompetingEvent{Interval: t})
+		}
+	}
+
+	w, err := colstore.Create(path, colstore.Meta{
+		NumUsers:     cfg.Users,
+		NumIntervals: cfg.Intervals,
+		Resources:    cfg.Resources,
+		Events:       events,
+		Competing:    competing,
+		Activity:     activity.UniformHash{Seed: cfg.Seed ^ 0x5ca1e0ff},
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+
+	// Popularity ranks are a seeded permutation so that rank (audience
+	// size) is uncorrelated with event index (location, scheduling
+	// order).
+	candRank := randx.Derive(cfg.Seed, "scalegen-cand-rank").Perm(cfg.Events)
+	compRank := randx.Derive(cfg.Seed, "scalegen-comp-rank").Perm(len(competing))
+
+	st := Stats{
+		Users: cfg.Users, Events: cfg.Events,
+		Intervals: cfg.Intervals, Competing: len(competing),
+	}
+	var ids []int32
+	var vals []float64
+	row := func(label string, idx, rank int) {
+		src := randx.Derive(cfg.Seed, fmt.Sprintf("scalegen-%s-%d", label, idx))
+		ids, vals = genRow(src, cfg, rank, ids[:0], vals[:0])
+	}
+	for e := 0; e < cfg.Events; e++ {
+		row("cand", e, candRank[e])
+		if err := w.AppendCand(ids, vals); err != nil {
+			w.Abort()
+			return Stats{}, err
+		}
+		st.CandNNZ += int64(len(ids))
+	}
+	for ce := range competing {
+		row("comp", ce, compRank[ce])
+		if err := w.AppendComp(ids, vals); err != nil {
+			w.Abort()
+			return Stats{}, err
+		}
+		st.CompNNZ += int64(len(ids))
+	}
+	if err := w.Close(); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+// genRow appends one event's interest row to the reused buffers: a
+// sorted gap walk over the user space sized by the event's popularity
+// rank, with interest values skewed toward small (most attendees are
+// mildly interested; a few are devoted), as tag-derived Jaccard
+// interest is.
+func genRow(src *randx.Source, cfg Config, rank int, ids []int32, vals []float64) ([]int32, []float64) {
+	frac := cfg.HeadFraction / math.Pow(float64(rank+1), cfg.Alpha)
+	n := int(frac * float64(cfg.Users))
+	if n < cfg.MinAudience {
+		n = cfg.MinAudience
+	}
+	if n > cfg.Users {
+		n = cfg.Users
+	}
+	// Mean inter-id gap so the expected row size is n.
+	gap := float64(cfg.Users)/float64(n) - 1
+	id := 0
+	for {
+		if gap > 0 {
+			id += int(src.Exponential(1/gap) + 0.5)
+		}
+		if id >= cfg.Users {
+			break
+		}
+		u := src.Float64()
+		ids = append(ids, int32(id))
+		vals = append(vals, 0.04+0.96*u*u*u)
+		id++
+	}
+	return ids, vals
+}

@@ -478,7 +478,11 @@ func (s *Scheduler) Resolve(ctx context.Context) (*Delta, error) {
 	// and those never enter the worklist — so no zeroing is needed.
 	mat := s.matBuf[:0]
 	if cap(mat) < nE*nT {
-		mat = make([]float64, nE*nT)
+		// Grow with 25% headroom: the cache/spare pair double-buffers,
+		// and AddEvent widens the matrix one event column at a time, so
+		// exact-fit allocation would reallocate both generations on
+		// every structural growth cycle of a long-lived session.
+		mat = make([]float64, nE*nT, nE*nT+nE*nT/4)
 	} else {
 		mat = mat[:nE*nT]
 	}
@@ -625,10 +629,14 @@ func (s *Scheduler) patchScores(ctx context.Context, mat []float64, cnt *solver.
 }
 
 // entry is one scored worklist element of the selection phase.
+// approx marks an upper-bound score from a choice.Bounder rescore;
+// the pop loop resolves it exactly before accepting (mirroring
+// solver.GRD's threshold-algorithm pruning).
 type entry struct {
 	event    int
 	interval int
 	score    float64
+	approx   bool
 }
 
 // selectGreedy applies the pins and then replays GRD's selection loop
@@ -640,6 +648,8 @@ type entry struct {
 func (s *Scheduler) selectGreedy(ctx context.Context, mat []float64, cnt *solver.Counters) (string, error) {
 	nE, nT := s.inst.NumEvents(), s.inst.NumIntervals
 	sched := s.eng.Schedule()
+	bounder, _ := s.eng.(choice.Bounder)
+	useBounds := bounder != nil && bounder.BoundsValid()
 
 	// Pins first, in event order.
 	pinned := make([]int, 0, len(s.pins))
@@ -665,7 +675,8 @@ func (s *Scheduler) selectGreedy(ctx context.Context, mat []float64, cnt *solver
 	// backing array is recycled across resolves.
 	list := s.listBuf[:0]
 	if cap(list) < nE*nT {
-		list = make([]entry, 0, nE*nT)
+		// Same 25% growth headroom as the score matrix above.
+		list = make([]entry, 0, nE*nT+nE*nT/4)
 	}
 	// Pops and compaction keep the same backing array, so whatever
 	// `list` ends up as hands the storage back for the next resolve.
@@ -690,8 +701,14 @@ func (s *Scheduler) selectGreedy(ctx context.Context, mat []float64, cnt *solver
 	if len(pinnedIntervals) > 0 {
 		for i := range list {
 			if pinnedIntervals[list[i].interval] && sched.Validity(list[i].event, list[i].interval) == nil {
-				list[i].score = s.eng.Score(list[i].event, list[i].interval)
-				cnt.ScoreUpdates++
+				if useBounds {
+					list[i].score = bounder.ScoreUpper(list[i].event, list[i].interval)
+					list[i].approx = true
+					cnt.BoundUpdates++
+				} else {
+					list[i].score = s.eng.Score(list[i].event, list[i].interval)
+					cnt.ScoreUpdates++
+				}
 			}
 		}
 	}
@@ -719,6 +736,15 @@ func (s *Scheduler) selectGreedy(ctx context.Context, mat []float64, cnt *solver
 		if sched.Validity(top.event, top.interval) != nil {
 			continue
 		}
+		// Resolve an upper-bound entry exactly and let it recontend —
+		// identical to solver.GRD's threshold-algorithm step.
+		if top.approx {
+			top.score = s.eng.Score(top.event, top.interval)
+			top.approx = false
+			cnt.ScoreUpdates++
+			list = append(list, top)
+			continue
+		}
 		if err := s.eng.Apply(top.event, top.interval); err != nil {
 			return "", err
 		}
@@ -731,8 +757,14 @@ func (s *Scheduler) selectGreedy(ctx context.Context, mat []float64, cnt *solver
 				valid := sched.Validity(a.event, a.interval) == nil
 				switch {
 				case a.interval == top.interval && valid:
-					a.score = s.eng.Score(a.event, a.interval)
-					cnt.ScoreUpdates++
+					if useBounds {
+						a.score = bounder.ScoreUpper(a.event, a.interval)
+						a.approx = true
+						cnt.BoundUpdates++
+					} else {
+						a.score = s.eng.Score(a.event, a.interval)
+						cnt.ScoreUpdates++
+					}
 					dst = append(dst, a)
 				case !valid:
 					// dropped

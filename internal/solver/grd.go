@@ -3,6 +3,7 @@ package solver
 import (
 	"context"
 
+	"ses/internal/choice"
 	"ses/internal/core"
 )
 
@@ -13,6 +14,15 @@ import (
 // the schedule if it is valid, and after each selection recomputes the
 // scores of the assignments referring to the selected interval while
 // removing assignments that have become invalid.
+//
+// When the engine is a choice.Bounder with valid bounds (the pruned
+// engine under a linear submodular objective), the same-interval
+// rescore uses the O(k) ScoreUpper instead of the exact fold and marks
+// those entries approximate; popTop then resolves an approximate entry
+// to its exact score and reinserts it, accepting only exact entries.
+// Because every bound dominates its exact score, the accepted entry is
+// the true argmax — the threshold-algorithm trade: cheap rescores for
+// an occasional extra exact fold when bounds fail to separate.
 type GRD struct {
 	cfg Config
 }
@@ -32,6 +42,8 @@ func (g *GRD) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, e
 	}
 	eng := g.cfg.instrument(g.Name(), g.cfg.engine()(inst))
 	res := &Result{Solver: g.Name()}
+	bounder, _ := eng.(choice.Bounder)
+	useBounds := bounder != nil && bounder.BoundsValid()
 
 	// Lines 2–4: generate assignments and compute initial scores.
 	wl, err := newWorklist(ctx, eng, g.cfg.workers(), &res.Counters)
@@ -58,6 +70,16 @@ func (g *GRD) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, e
 		if sched.Validity(top.event, top.interval) != nil {
 			continue
 		}
+		// An approximate (upper-bound) entry that reached the top must
+		// be resolved to its exact score and recontend: only an exact
+		// score that tops every remaining bound is the true argmax.
+		if top.approx {
+			top.score = eng.Score(top.event, top.interval)
+			top.approx = false
+			res.Counters.ScoreUpdates++
+			wl.list = append(wl.list, top)
+			continue
+		}
 		// Line 8: insert into the schedule.
 		if err := eng.Apply(top.event, top.interval); err != nil {
 			// Validity was checked above; failure means a bug.
@@ -73,8 +95,14 @@ func (g *GRD) Solve(ctx context.Context, inst *core.Instance, k int) (*Result, e
 				valid := sched.Validity(a.event, a.interval) == nil
 				switch {
 				case a.interval == top.interval && valid:
-					a.score = eng.Score(a.event, a.interval)
-					res.Counters.ScoreUpdates++
+					if useBounds {
+						a.score = bounder.ScoreUpper(a.event, a.interval)
+						a.approx = true
+						res.Counters.BoundUpdates++
+					} else {
+						a.score = eng.Score(a.event, a.interval)
+						res.Counters.ScoreUpdates++
+					}
 					dst = append(dst, a)
 				case !valid:
 					// removed (line 13)

@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"context"
+	"testing"
+
+	"ses/internal/choice"
+	"ses/internal/sestest"
+)
+
+// TestGRDPrunedEngineMatchesSparse runs Algorithm 1 with the
+// candidate-list pruned engine (small k, so rescores really go
+// through ScoreUpper and the threshold loop really resolves bounds)
+// against the Sparse baseline: the selected schedules and utilities
+// must coincide, because every upper bound dominates its exact score
+// and the loop only accepts exact entries.
+func TestGRDPrunedEngineMatchesSparse(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		inst := sestest.Random(sestest.Config{
+			Seed: seed, Users: 80, Events: 12, Intervals: 5, Competing: 6,
+		})
+		const k = 8
+		base, err := NewGRD(Config{Workers: 1}).Solve(context.Background(), inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := NewGRD(Config{Workers: 1, Engine: PrunedEngineK(6)}).Solve(context.Background(), inst, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := pruned.Schedule.Assignments(), base.Schedule.Assignments(); len(got) != len(want) {
+			t.Fatalf("seed %d: pruned scheduled %d events, sparse %d", seed, len(got), len(want))
+		} else {
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d: schedules differ at %d: pruned %+v, sparse %+v", seed, i, got[i], want[i])
+				}
+			}
+		}
+		// Utilities are computed by different engines over the same
+		// schedule; Sparse and Pruned share the exact fold paths.
+		if pruned.Utility != base.Utility {
+			t.Fatalf("seed %d: pruned utility %v, sparse %v", seed, pruned.Utility, base.Utility)
+		}
+		// The bound path must actually have been exercised.
+		if pruned.Counters.BoundUpdates == 0 {
+			t.Fatalf("seed %d: pruned GRD took no bound rescores (counters %+v)", seed, pruned.Counters)
+		}
+		if base.Counters.BoundUpdates != 0 {
+			t.Fatalf("seed %d: sparse GRD took bound rescores (counters %+v)", seed, base.Counters)
+		}
+		// Pruning must not inflate exact work: every bound rescore
+		// replaces an exact rescore, and only contended entries pay
+		// the exact resolution on pop.
+		if pruned.Counters.ScoreUpdates > base.Counters.ScoreUpdates {
+			t.Fatalf("seed %d: pruned exact rescores %d exceed sparse %d",
+				seed, pruned.Counters.ScoreUpdates, base.Counters.ScoreUpdates)
+		}
+	}
+}
+
+// TestGRDPrunedNonSubmodularFallsBack pins the objective gate: under
+// attendance (linear, not submodular) and fairness (nonlinear) the
+// frozen-tail bound is unsound, BoundsValid must report false, and
+// GRD must take zero bound rescores while still matching the Sparse
+// baseline exactly.
+func TestGRDPrunedNonSubmodularFallsBack(t *testing.T) {
+	inst := sestest.Random(sestest.Config{
+		Seed: 3, Users: 60, Events: 10, Intervals: 4, Competing: 5,
+	})
+	for _, spec := range []string{"attendance:0.3", "fairness:0.5"} {
+		obj, err := choice.ParseObjective(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := NewGRD(Config{Workers: 1, Objective: obj}).Solve(context.Background(), inst, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pruned, err := NewGRD(Config{Workers: 1, Objective: obj, Engine: PrunedEngineK(6)}).Solve(context.Background(), inst, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pruned.Counters.BoundUpdates != 0 {
+			t.Fatalf("%s: pruned GRD took %d bound rescores, want 0 (bounds unsound)", spec, pruned.Counters.BoundUpdates)
+		}
+		if pruned.Utility != base.Utility {
+			t.Fatalf("%s: pruned utility %v, sparse %v", spec, pruned.Utility, base.Utility)
+		}
+	}
+}

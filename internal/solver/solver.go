@@ -46,6 +46,19 @@ func DefaultEngine(inst *core.Instance) choice.Engine { return choice.NewSparse(
 // DenseEngine builds the dense (paper-faithful O(|U|) score) engine.
 func DenseEngine(inst *core.Instance) choice.Engine { return choice.NewDense(inst) }
 
+// PrunedEngine builds the candidate-list pruned engine with the
+// default list size; GRD's argmax uses its upper bounds for
+// threshold-algorithm rescore pruning on million-user instances.
+func PrunedEngine(inst *core.Instance) choice.Engine {
+	return choice.NewPruned(inst, choice.DefaultPrunedK)
+}
+
+// PrunedEngineK returns a PrunedEngine factory with candidate lists
+// of size k (k <= 0 selects the default).
+func PrunedEngineK(k int) EngineFactory {
+	return func(inst *core.Instance) choice.Engine { return choice.NewPruned(inst, k) }
+}
+
 // Counters records the work a solver performed; the experiment
 // harness reports them next to wall-clock times (Fig. 1b/1d) so the
 // paper's cost model (initial scores vs. update volume) can be checked
@@ -55,6 +68,9 @@ type Counters struct {
 	InitialScores int
 	// ScoreUpdates counts Eq. 4 re-evaluations after selections.
 	ScoreUpdates int
+	// BoundUpdates counts O(k) upper-bound rescores (choice.Bounder)
+	// taken in place of exact re-evaluations.
+	BoundUpdates int
 	// Pops counts popTopAssgn calls (including invalid pops).
 	Pops int
 	// ListScans counts assignment-list elements traversed.
@@ -68,6 +84,7 @@ type Counters struct {
 func (c *Counters) Add(o Counters) {
 	c.InitialScores += o.InitialScores
 	c.ScoreUpdates += o.ScoreUpdates
+	c.BoundUpdates += o.BoundUpdates
 	c.Pops += o.Pops
 	c.ListScans += o.ListScans
 	c.Moves += o.Moves

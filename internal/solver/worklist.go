@@ -21,10 +21,14 @@ import (
 // canonical (event, interval) order afterwards.
 
 // assignment is a scored (event, interval) pair in a solver worklist.
+// approx marks a score that is an upper bound from a choice.Bounder
+// rescore rather than an exact Score; the selection loop must resolve
+// it exactly before accepting it (threshold-algorithm pruning).
 type assignment struct {
 	event    int
 	interval int
 	score    float64
+	approx   bool
 }
 
 // forEachIndexState runs fn(state, i) for every i in [0, n), fanning
