@@ -66,6 +66,15 @@
 // ≥ 4 CPUs; -quick shrinks the workload, -verify re-validates the
 // committed artifact.
 //
+// -fig obs prices the observability layer (ses/internal/obs) and
+// writes BENCH_obs.json: pipelined batch-commit throughput with
+// observability off versus on (every request traced end-to-end, hub
+// sink installed), a trace-ring microbenchmark (spans/s into the
+// bounded ring), and an SSE fan-out microbenchmark (events/s through
+// the hub with live subscribers). The ≤ 5% tracing-overhead floor is
+// enforced on hosts with ≥ 4 CPUs; -quick shrinks the workload,
+// -verify re-validates the committed artifact.
+//
 // -scale full uses the Meetup-California dimensions of the paper
 // (42,444 users); medium (default) and small reduce the user count so
 // a sweep finishes in minutes/seconds while preserving the comparative
@@ -105,7 +114,7 @@ func main() {
 
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("sesbench", flag.ContinueOnError)
-	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal, scaling, scale, cluster")
+	fig := fs.String("fig", "all", "figure to regenerate: all, 1a, 1b, 1c, 1d, sens, engines, objectives, resolve, wal, scaling, scale, cluster, obs")
 	scale := fs.String("scale", "medium", "dataset scale: full (paper, 42444 users), medium (8000), small (2000)")
 	reps := fs.Int("reps", 3, "repetitions (instances) per sweep point")
 	seed := fs.Uint64("seed", 42, "master seed")
@@ -131,16 +140,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	wantScaling := *fig == "scaling"
 	wantScale := *fig == "scale"
 	wantCluster := *fig == "cluster"
-	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantScale && !wantCluster {
+	wantObs := *fig == "obs"
+	if !wantK && !wantT && !wantSens && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantScale && !wantCluster && !wantObs {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 	// Catch a silently-ignored flag before a potentially hours-long
 	// sweep rather than after it.
-	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantScale && !wantCluster {
-		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal/scaling/scale/cluster")
+	if *jsonPath != "" && !wantEngines && !wantObjectives && !wantResolve && !wantWAL && !wantScaling && !wantScale && !wantCluster && !wantObs {
+		return fmt.Errorf("-json only applies to -fig engines/objectives/resolve/wal/scaling/scale/cluster/obs")
 	}
-	if (*quick || *verify) && !wantScaling && !wantScale && !wantCluster {
-		return fmt.Errorf("-quick/-verify only apply to -fig scaling/scale/cluster")
+	if (*quick || *verify) && !wantScaling && !wantScale && !wantCluster && !wantObs {
+		return fmt.Errorf("-quick/-verify only apply to -fig scaling/scale/cluster/obs")
 	}
 	if *jsonPath == "" {
 		switch {
@@ -156,6 +166,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			*jsonPath = "BENCH_scale.json"
 		case wantCluster:
 			*jsonPath = "BENCH_cluster.json"
+		case wantObs:
+			*jsonPath = "BENCH_obs.json"
 		default:
 			*jsonPath = "BENCH_engine.json"
 		}
@@ -177,6 +189,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if wantCluster {
 		// Dataset-free too: replicated in-process nodes over loopback.
 		return benchCluster(ctx, out, *seed, *jsonPath, *quick, *verify)
+	}
+	if wantObs {
+		// Dataset-free: prices the observability layer against itself.
+		return benchObs(ctx, out, *seed, *jsonPath, *quick, *verify)
 	}
 
 	var ecfg ebsn.Config

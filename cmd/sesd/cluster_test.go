@@ -65,7 +65,11 @@ func newDaemonCluster(t *testing.T, n int, tweaks ...func(*cluster.NodeOptions))
 	var pipes []*ses.Pipeline
 	var stores []*ses.DurableStore
 	for _, id := range dc.ids {
-		d, err := ses.OpenStore(ses.WithDurability(t.TempDir()), ses.WithWorkers(1))
+		// Each member runs with full observability, exactly like a
+		// production `sesd` (obs defaults on): node-local tracer wired
+		// into both the handler stack and the replication layer.
+		o := ses.NewObservability(ses.ObservabilityOptions{})
+		d, err := ses.OpenStore(ses.WithDurability(t.TempDir()), ses.WithWorkers(1), ses.WithObservability(o))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,6 +79,7 @@ func newDaemonCluster(t *testing.T, n int, tweaks ...func(*cluster.NodeOptions))
 			Session: session.Options{Workers: 1},
 			Shipper: cluster.ShipperOptions{Poll: 2 * time.Millisecond, Heartbeat: 50 * time.Millisecond},
 			Logf:    t.Logf,
+			Tracer:  o.Tracer,
 		}
 		for _, tw := range tweaks {
 			tw(&opts)
@@ -85,6 +90,7 @@ func newDaemonCluster(t *testing.T, n int, tweaks ...func(*cluster.NodeOptions))
 		}
 		pipe := ses.NewPipeline(d, ses.WithResolveWorkers(1))
 		srv := newServer(d, pipe)
+		srv.obs = o
 		srv.walStats = d.WALStats
 		srv.node = node
 		swaps[id].h.Store(srv.routes())

@@ -1,0 +1,17 @@
+package main
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// dashboardHTML is the single-file live dashboard served at GET /.
+// It polls /v1/metrics and needs nothing but the daemon itself.
+//
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+func (s *server) dashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML)
+}

@@ -26,7 +26,7 @@ func startServe(t *testing.T, st storeAPI, durable *ses.DurableStore) (url strin
 	ctx, cancel := context.WithCancel(context.Background())
 	done = make(chan error, 1)
 	pipe := ses.NewPipeline(st, ses.WithResolveWorkers(2))
-	go func() { done <- serve(ctx, ln, st, pipe, durable, nil, 2*time.Second) }()
+	go func() { done <- serve(ctx, ln, st, pipe, durable, nil, nil, 2*time.Second) }()
 	return "http://" + ln.Addr().String(), cancel, done
 }
 

@@ -13,6 +13,8 @@
 //	     [-group-commit] [-drain 5s]
 //	     [-node-id ID -peers ID=URL,ID=URL,...] [-lag-bound BYTES]
 //	     [-replicate-ack N] [-replicate-ack-wait 2s]
+//	     [-obs=true] [-trace-ring 512] [-slow-trace 0]
+//	     [-pprof ADDR]
 //
 // With -data-dir the daemon serves a durable store: every
 // acknowledged create/delete/batch/resolve/restore is appended to a
@@ -47,6 +49,19 @@
 // below this node's promotion epoch get 409, so a router acting on a
 // stale membership view cannot land writes on a demoted primary.
 //
+// Observability is on by default (-obs=false turns it off): every
+// mutating request runs under a trace whose ID travels in the
+// X-Ses-Trace header (sesrouter stamps one when forwarding, so one ID
+// spans a routed write and the follower's replication apply), the
+// bounded in-memory trace ring is served at GET /v1/traces and
+// /v1/traces/{id}, Prometheus text exposition is served at
+// GET /metrics next to the JSON /v1/metrics, live per-session
+// progress streams as server-sent events from
+// GET /v1/sessions/{name}/watch, and GET / serves a single-file live
+// dashboard. -slow-trace logs the full span tree of any request
+// slower than the threshold; -pprof ADDR serves net/http/pprof on a
+// separate listener that is never reachable through the serving mux.
+//
 // Resolve and batch requests run on a resolve pipeline: back-to-back
 // requests against the same session coalesce into one incremental
 // resolve, independent sessions resolve on -resolve-workers cores,
@@ -67,7 +82,12 @@
 //	GET    /v1/sessions/{name}/schedule     committed schedule + utility
 //	GET    /v1/sessions/{name}/snapshot     versioned snapshot [?format=binary]
 //	POST   /v1/sessions/{name}/restore      snapshot document  [?replace=true]
-//	GET    /v1/metrics                      daemon + per-session counters
+//	GET    /v1/sessions/{name}/watch        live progress + commits (server-sent events)
+//	GET    /v1/metrics                      daemon + per-session counters (JSON)
+//	GET    /metrics                         Prometheus text exposition
+//	GET    /v1/traces                       recent traces [?min=10ms&limit=50]
+//	GET    /v1/traces/{id}                  one trace's span tree
+//	GET    /                                live dashboard (single embedded page)
 //	GET    /healthz                         liveness
 //	GET    /v1/healthz                      liveness (alias)
 //	GET    /v1/readyz                       readiness: recovered + replication lag in bound
@@ -104,6 +124,7 @@ import (
 	"ses"
 	"ses/internal/cluster"
 	"ses/internal/dataset"
+	"ses/internal/obs"
 	"ses/internal/session"
 	"ses/internal/stats"
 )
@@ -151,7 +172,33 @@ func run(ctx context.Context, args []string) error {
 	lagBound := fs.Int64("lag-bound", 0, "replication backlog bytes before /v1/readyz reports unready (0 = 4MiB, <0 unbounded)")
 	replicateAck := fs.Int("replicate-ack", 0, "followers that must durably apply each mutation before its response (0 = async replication)")
 	ackWait := fs.Duration("replicate-ack-wait", 0, "bound on a synchronous-ack wait before the daemon answers 503 (0 = 2s)")
+	obsOn := fs.Bool("obs", true, "request tracing, /metrics exposition and watch streaming")
+	traceRing := fs.Int("trace-ring", 0, "finished traces retained for /v1/traces (0 = 512)")
+	slowTrace := fs.Duration("slow-trace", 0, "log the span tree of requests at least this slow (0 = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 	fs.Parse(args)
+
+	var o *ses.Observability
+	if *obsOn {
+		o = ses.NewObservability(ses.ObservabilityOptions{
+			TraceRing: *traceRing,
+			SlowTrace: *slowTrace,
+		})
+	}
+	if *pprofAddr != "" {
+		// pprof rides the DefaultServeMux on its own listener; the
+		// serving mux below never exposes it.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("sesd: pprof on %s", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("sesd: pprof server: %v", err)
+			}
+		}()
+	}
 
 	var st storeAPI
 	var durable *ses.DurableStore
@@ -167,6 +214,7 @@ func run(ctx context.Context, args []string) error {
 			ses.WithCheckpointEvery(*ckptEvery),
 			ses.WithGroupCommit(ses.GroupCommit{Enabled: *groupCommit}),
 			ses.WithWorkers(*workers),
+			ses.WithObservability(o),
 		)
 		if err != nil {
 			return err
@@ -188,7 +236,7 @@ func run(ctx context.Context, args []string) error {
 		if len(stray) > 0 {
 			return fmt.Errorf("%s only apply with -data-dir", strings.Join(stray, ", "))
 		}
-		st = ses.NewStore(ses.WithWorkers(*workers))
+		st = ses.NewStore(ses.WithWorkers(*workers), ses.WithObservability(o))
 	}
 
 	var node *cluster.Node
@@ -211,6 +259,7 @@ func run(ctx context.Context, args []string) error {
 			AckWait:      *ackWait,
 			Session:      session.Options{Workers: *workers},
 			Logf:         log.Printf,
+			Tracer:       tracerOf(o),
 		})
 		if err != nil {
 			return err
@@ -238,7 +287,16 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	log.Printf("sesd: listening on %s", ln.Addr())
-	return serve(ctx, ln, st, pipe, durable, node, *drain)
+	return serve(ctx, ln, st, pipe, durable, node, o, *drain)
+}
+
+// tracerOf unwraps the tracer for layers that take one directly (nil
+// when observability is off).
+func tracerOf(o *ses.Observability) *obs.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
 }
 
 // parsePeers parses the -peers spec: comma-separated ID=URL pairs.
@@ -272,8 +330,9 @@ func parsePeers(spec string) (map[string]string, error) {
 // committing (cancellation, unlike a deadline, never commits a
 // best-so-far) — the previous schedules stay current and batch
 // mutations stay staged for the next resolve.
-func serve(ctx context.Context, ln net.Listener, st storeAPI, pipe *ses.Pipeline, durable *ses.DurableStore, node *cluster.Node, drain time.Duration) error {
+func serve(ctx context.Context, ln net.Listener, st storeAPI, pipe *ses.Pipeline, durable *ses.DurableStore, node *cluster.Node, o *ses.Observability, drain time.Duration) error {
 	srv := newServer(st, pipe)
+	srv.obs = o
 	if durable != nil {
 		srv.walStats = durable.WALStats
 	}
@@ -348,11 +407,26 @@ type server struct {
 	// backs replica reads for sessions whose primary is a peer.
 	node  *cluster.Node
 	start time.Time
+	// obs is the observability bundle (nil when -obs=false): trace
+	// ring behind /v1/traces, Prometheus registry behind /metrics, and
+	// the watch hub behind the SSE endpoint.
+	obs *ses.Observability
+	// regOnce guards Prometheus family registration: routes() may run
+	// more than once against one registry in tests.
+	regOnce sync.Once
+	// httpRequests/httpErrors are the live Prometheus vectors (nil
+	// without obs; the instruments are nil-safe).
+	httpRequests *obs.CounterVec
+	httpErrors   *obs.CounterVec
 
 	requests atomic.Uint64
 	resolves atomic.Uint64
 	batches  atomic.Uint64
 	errors   atomic.Uint64
+	// errorsClient/errorsServer split errors by responsibility:
+	// client = 4xx and 499 disconnects, server = 5xx.
+	errorsClient atomic.Uint64
+	errorsServer atomic.Uint64
 
 	// lat is a bounded ring of resolve latencies (seconds) backing the
 	// /v1/metrics percentiles.
@@ -379,7 +453,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{name}/schedule", s.getSchedule)
 	mux.HandleFunc("GET /v1/sessions/{name}/snapshot", s.getSnapshot)
 	mux.HandleFunc("POST /v1/sessions/{name}/restore", s.restoreSession)
+	mux.HandleFunc("GET /v1/sessions/{name}/watch", s.watchSession)
 	mux.HandleFunc("GET /v1/metrics", s.metrics)
+	mux.HandleFunc("GET /v1/traces", s.listTraces)
+	mux.HandleFunc("GET /v1/traces/{id}", s.getTrace)
 	healthz := func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	}
@@ -389,10 +466,12 @@ func (s *server) routes() http.Handler {
 	if s.node != nil {
 		mux.Handle("/v1/replication/", s.node.Handler())
 	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		mux.ServeHTTP(w, r)
-	})
+	if s.obs != nil {
+		s.registerMetrics()
+		mux.Handle("GET /metrics", s.obs.Metrics.Handler())
+	}
+	mux.HandleFunc("GET /{$}", s.dashboard)
+	return s.instrument(mux)
 }
 
 // writeJSON emits one JSON response.
@@ -402,9 +481,18 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-// writeErr maps an error to a JSON error body.
+// writeErr maps an error to a JSON error body, classing it client
+// (4xx and 499 disconnects) or server (5xx) for the split counters.
 func (s *server) writeErr(w http.ResponseWriter, status int, err error) {
 	s.errors.Add(1)
+	class := "client"
+	if status >= 500 {
+		class = "server"
+		s.errorsServer.Add(1)
+	} else {
+		s.errorsClient.Add(1)
+	}
+	s.httpErrors.With(class).Inc()
 	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
@@ -490,7 +578,10 @@ func (s *server) awaitAck(w http.ResponseWriter, r *http.Request, name string) b
 	if s.node == nil {
 		return true
 	}
-	if err := s.node.AwaitAck(r.Context(), name); err != nil {
+	_, asp := obs.StartSpan(r.Context(), obs.SpanReplAck, obs.A("session", name))
+	err := s.node.AwaitAck(r.Context(), name)
+	asp.End()
+	if err != nil {
 		s.writeErr(w, statusOf(err), fmt.Errorf("write committed locally, replication unconfirmed: %w", err))
 		return false
 	}
@@ -605,6 +696,11 @@ func (s *server) deleteSession(w http.ResponseWriter, r *http.Request) {
 	if err := s.store.Delete(name); err != nil {
 		s.writeErr(w, statusOf(err), err)
 		return
+	}
+	if s.obs != nil {
+		// End the deleted session's watch streams; their channels close
+		// and the SSE handlers return.
+		s.obs.Hub.CloseSession(name)
 	}
 	if !s.awaitAck(w, r, name) {
 		return
@@ -782,17 +878,21 @@ type walMetrics struct {
 
 // metricsResp is the body of GET /v1/metrics.
 type metricsResp struct {
-	UptimeSec   float64              `json:"uptime_sec"`
-	Sessions    int                  `json:"sessions"`
-	Requests    uint64               `json:"requests"`
-	Resolves    uint64               `json:"resolves"`
-	Batches     uint64               `json:"batches"`
-	Errors      uint64               `json:"errors"`
-	ResolveMs   map[string]float64   `json:"resolve_latency_ms"`
-	Pipeline    *ses.PipelineMetrics `json:"pipeline,omitempty"`
-	WAL         *walMetrics          `json:"wal,omitempty"`
-	Replication *cluster.Metrics     `json:"replication,omitempty"`
-	Metas       []ses.SessionMeta    `json:"session_metas"`
+	UptimeSec float64 `json:"uptime_sec"`
+	Sessions  int     `json:"sessions"`
+	Requests  uint64  `json:"requests"`
+	Resolves  uint64  `json:"resolves"`
+	Batches   uint64  `json:"batches"`
+	Errors    uint64  `json:"errors"`
+	// ErrorsClient/ErrorsServer split Errors by responsibility: client
+	// = 4xx and 499 disconnects, server = 5xx.
+	ErrorsClient uint64               `json:"errors_client"`
+	ErrorsServer uint64               `json:"errors_server"`
+	ResolveMs    map[string]float64   `json:"resolve_latency_ms"`
+	Pipeline     *ses.PipelineMetrics `json:"pipeline,omitempty"`
+	WAL          *walMetrics          `json:"wal,omitempty"`
+	Replication  *cluster.Metrics     `json:"replication,omitempty"`
+	Metas        []ses.SessionMeta    `json:"session_metas"`
 }
 
 // readyz is the readiness probe: a memory daemon (and an unclustered
@@ -824,14 +924,16 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		resolveMs["max"] = lat[len(lat)-1] * 1000
 	}
 	resp := metricsResp{
-		UptimeSec: time.Since(s.start).Seconds(),
-		Sessions:  s.store.Len(),
-		Requests:  s.requests.Load(),
-		Resolves:  s.resolves.Load(),
-		Batches:   s.batches.Load(),
-		Errors:    s.errors.Load(),
-		ResolveMs: resolveMs,
-		Metas:     s.store.Metas(),
+		UptimeSec:    time.Since(s.start).Seconds(),
+		Sessions:     s.store.Len(),
+		Requests:     s.requests.Load(),
+		Resolves:     s.resolves.Load(),
+		Batches:      s.batches.Load(),
+		Errors:       s.errors.Load(),
+		ErrorsClient: s.errorsClient.Load(),
+		ErrorsServer: s.errorsServer.Load(),
+		ResolveMs:    resolveMs,
+		Metas:        s.store.Metas(),
 	}
 	if s.pipeline != nil {
 		pm := s.pipeline.Metrics()

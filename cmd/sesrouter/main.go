@@ -28,9 +28,17 @@
 //
 //	sesrouter -peers ID=URL,ID=URL,... [-addr :8090]
 //	          [-vnodes 64] [-health-interval 250ms] [-down-after 3]
+//	          [-pprof ADDR]
 //
 // -peers and -vnodes must match the sesd nodes' own flags. The
-// router's view is at GET /v1/router/status.
+// router's view is at GET /v1/router/status; its own counters
+// (per-backend health and forwarded totals, promotions, fenced
+// promotions, epoch) are JSON at GET /v1/metrics and Prometheus text
+// at GET /metrics — both answered by the router itself, never
+// forwarded. Forwarded mutations that arrive without an X-Ses-Trace
+// header get one stamped, so one trace ID spans the routed write and
+// its replication on the target cluster. -pprof ADDR serves
+// net/http/pprof on a separate listener.
 package main
 
 import (
@@ -65,11 +73,24 @@ func run(ctx context.Context, args []string) error {
 	vnodes := fs.Int("vnodes", 0, "virtual nodes per member; must match the cluster (0 = default)")
 	healthIvl := fs.Duration("health-interval", 0, "node status poll period (0 = 250ms)")
 	downAfter := fs.Int("down-after", 0, "consecutive failed polls before a node is dead (0 = 3)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this separate address (empty = off)")
 	fs.Parse(args)
 
 	peers, err := parsePeers(*peersSpec)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("sesrouter: pprof on %s", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("sesrouter: pprof server: %v", err)
+			}
+		}()
 	}
 	rt, err := cluster.NewRouter(cluster.RouterOptions{
 		Peers:          peers,
@@ -89,7 +110,7 @@ func run(ctx context.Context, args []string) error {
 		return err
 	}
 	log.Printf("sesrouter: fronting %d nodes on %s", len(peers), ln.Addr())
-	httpSrv := &http.Server{Handler: rt}
+	httpSrv := &http.Server{Handler: observedHandler(rt)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	select {

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; served only by the opt-in -pprof listener
+	"sort"
+
+	"ses/internal/cluster"
+	"ses/internal/obs"
+)
+
+// observedHandler wraps the router proxy with the router's own
+// observability surface: Prometheus exposition at GET /metrics and
+// the JSON counters at GET /v1/metrics. Everything else still flows
+// through the proxy, so the router stays transparent to the cluster
+// API (a node's own /v1/metrics remains reachable per node, not
+// through the router — the router's document is about routing).
+func observedHandler(rt *cluster.Router) http.Handler {
+	reg := routerRegistry(rt)
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rt.Metrics())
+	})
+	mux.Handle("/", rt)
+	return mux
+}
+
+// routerRegistry flattens RouterMetrics into Prometheus families;
+// every family is scrape-time (the router already counts).
+func routerRegistry(rt *cluster.Router) *obs.Registry {
+	reg := obs.NewRegistry()
+	// Per-backend families emit nodes in sorted order so scrapes are
+	// stable and the exposition parse test can assert no duplicates.
+	perBackend := func(pick func(cluster.BackendMetrics) float64) func(func([]string, float64)) {
+		return func(emit func([]string, float64)) {
+			m := rt.Metrics()
+			ids := make([]string, 0, len(m.Backends))
+			for id := range m.Backends {
+				ids = append(ids, id)
+			}
+			sort.Strings(ids)
+			for _, id := range ids {
+				emit([]string{id}, pick(m.Backends[id]))
+			}
+		}
+	}
+	scalar := func(pick func(cluster.RouterMetrics) float64) func(func([]string, float64)) {
+		return func(emit func([]string, float64)) { emit(nil, pick(rt.Metrics())) }
+	}
+	reg.CollectFunc("sesrouter_backend_healthy", "1 when the health loop considers the node alive.", "gauge", []string{"node"},
+		perBackend(func(b cluster.BackendMetrics) float64 {
+			if b.Healthy {
+				return 1
+			}
+			return 0
+		}))
+	reg.CollectFunc("sesrouter_backend_consecutive_failures", "Live failed-poll streak per node.", "gauge", []string{"node"},
+		perBackend(func(b cluster.BackendMetrics) float64 { return float64(b.ConsecutiveFailures) }))
+	reg.CollectFunc("sesrouter_backend_forwarded_total", "Requests proxied to each backend.", "counter", []string{"node"},
+		perBackend(func(b cluster.BackendMetrics) float64 { return float64(b.Forwarded) }))
+	reg.CollectFunc("sesrouter_forwarded_total", "Requests proxied to any backend.", "counter", nil,
+		scalar(func(m cluster.RouterMetrics) float64 { return float64(m.Forwarded) }))
+	reg.CollectFunc("sesrouter_promotions_total", "Failover promotions this router drove.", "counter", nil,
+		scalar(func(m cluster.RouterMetrics) float64 { return float64(m.Promotions) }))
+	reg.CollectFunc("sesrouter_fenced_promotions_total", "Promotions another router won first (409 fenced).", "counter", nil,
+		scalar(func(m cluster.RouterMetrics) float64 { return float64(m.FencedPromotions) }))
+	reg.CollectFunc("sesrouter_epoch", "Highest promotion epoch the router has observed.", "gauge", nil,
+		scalar(func(m cluster.RouterMetrics) float64 { return float64(m.Epoch) }))
+	return reg
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ses/internal/cluster"
+)
+
+// TestRouterObservabilitySurfaces pins the router's own metrics: the
+// JSON document at /v1/metrics and the Prometheus exposition at
+// /metrics, both answered by the router itself (never proxied), with
+// per-backend health and forwarded counters that move with traffic.
+func TestRouterObservabilitySurfaces(t *testing.T) {
+	node := func(id string) *httptest.Server {
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /v1/replication/status", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"id":"` + id + `","ready":true}`))
+		})
+		mux.HandleFunc("/v1/sessions/", func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"node":"` + id + `"}`))
+		})
+		return httptest.NewServer(mux)
+	}
+	n1 := node("n1")
+	defer n1.Close()
+	n2 := node("n2")
+	defer n2.Close()
+
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Peers:          map[string]string{"n1": n1.URL, "n2": n2.URL},
+		HealthInterval: 10 * time.Millisecond,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.Start()
+	front := httptest.NewServer(observedHandler(rt))
+	defer front.Close()
+
+	// Wait for the health loop to see both nodes, through the JSON
+	// metrics surface itself.
+	var m cluster.RouterMetrics
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(front.URL + "/v1/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&m)
+		resp.Body.Close()
+		if err == nil && m.Backends["n1"].Healthy && m.Backends["n2"].Healthy {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router never reported both backends healthy: %+v", m)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// A proxied read moves the forwarded counters.
+	resp, err := http.Get(front.URL + "/v1/sessions/some-session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied read: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("exposition Content-Type = %q", ct)
+	}
+	seen := map[string]bool{}
+	var text strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		text.WriteString(line)
+		text.WriteByte('\n')
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		series := line[:strings.LastIndexByte(line, ' ')]
+		if seen[series] {
+			t.Fatalf("duplicate series %q", series)
+		}
+		seen[series] = true
+	}
+	for _, want := range []string{
+		`sesrouter_backend_healthy{node="n1"} 1`,
+		`sesrouter_backend_healthy{node="n2"} 1`,
+		`sesrouter_backend_consecutive_failures{node="n1"} 0`,
+		"sesrouter_forwarded_total 1",
+		"sesrouter_promotions_total 0",
+		"sesrouter_fenced_promotions_total 0",
+		"sesrouter_epoch",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

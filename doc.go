@@ -266,6 +266,29 @@
 // cluster prices node-count scaling, the -replicate-ack 1 ack-wait
 // cost, and the failover timeline into BENCH_cluster.json.
 //
+// # Architecture: the observability layer
+//
+// The observability layer (ses/internal/obs, surfaced here as
+// Observability / NewObservability / WithObservability) threads three
+// zero-dependency instruments through every layer above. A
+// context-carried tracer opens a root span per sesd request and child
+// spans at each stage boundary — pipeline ride, session resolve,
+// incremental scoring, greedy selection, WAL fsync wait, replication
+// ack wait — into a bounded in-memory ring served at /v1/traces;
+// trace IDs propagate across router and replication hops via the
+// X-Ses-Trace header, and followers record remote replication.apply
+// spans under the primary's IDs, so one ID shows a write's full
+// cross-node story. A lock-free metrics registry (counters, gauges,
+// fixed-bucket histograms, scrape-time collectors) renders Prometheus
+// text exposition at /metrics on both sesd and sesrouter. A
+// per-session fan-out hub bridges solver progress callbacks and
+// committed deltas to GET /v1/sessions/{name}/watch as server-sent
+// events, evicting subscribers that stop reading so a slow dashboard
+// can never stall a solve; sesd serves an embedded single-file
+// dashboard over it at /. Untraced requests and stores built without
+// WithObservability pay only nil checks — sesbench -fig obs prices
+// the fully-instrumented path into BENCH_obs.json.
+//
 // # Quick start
 //
 //	ds, _ := ses.GenerateEBSN(ses.EBSNConfig{Seed: 1, NumUsers: 2000,

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ses/internal/obs"
 	"ses/internal/store"
 	"ses/internal/wal"
 )
@@ -33,6 +34,10 @@ type Follower struct {
 	replica    *store.Store
 	client     *http.Client
 	logf       func(string, ...any)
+	// tracer, when set, records a remote replication.apply span under
+	// the primary's trace ID for every shipped record that carries one,
+	// so one X-Ses-Trace ID spans the write and its replication.
+	tracer *obs.Tracer
 
 	// onAdopt, when set, observes every adopt record this follower
 	// applies: the peer took those sessions over, so reads for them
@@ -58,7 +63,7 @@ type Follower struct {
 	wg     sync.WaitGroup
 }
 
-func newFollower(self, peer, url string, replica *store.Store, client *http.Client, logf func(string, ...any)) *Follower {
+func newFollower(self, peer, url string, replica *store.Store, client *http.Client, logf func(string, ...any), tracer *obs.Tracer) *Follower {
 	if client == nil {
 		client = &http.Client{}
 	}
@@ -66,7 +71,7 @@ func newFollower(self, peer, url string, replica *store.Store, client *http.Clie
 		logf = func(string, ...any) {}
 	}
 	return &Follower{self: self, peer: peer, url: url, replica: replica, client: client, logf: logf,
-		ackCh: make(chan struct{}, 1)}
+		tracer: tracer, ackCh: make(chan struct{}, 1)}
 }
 
 // Replica returns the in-memory store the follower maintains.
@@ -173,8 +178,13 @@ func (f *Follower) apply(m streamMsg) error {
 		if err != nil {
 			return f.resyncShard(m.shard, fmt.Errorf("decoding record: %w", err))
 		}
+		start := time.Now()
 		if err := f.replica.ApplyWALRecord(rec); err != nil {
 			return f.resyncShard(m.shard, fmt.Errorf("applying %s record for %q: %w", rec.Kind, rec.Name, err))
+		}
+		if rec.Trace != "" && f.tracer != nil {
+			f.tracer.RecordRemote(rec.Trace, obs.SpanReplApply, start, time.Since(start),
+				obs.A("peer", f.peer), obs.A("kind", rec.Kind), obs.A("session", rec.Name))
 		}
 		f.mu.Lock()
 		f.cursors[m.shard] = m.cursor()

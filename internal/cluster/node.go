@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ses/internal/obs"
 	"ses/internal/session"
 	"ses/internal/store"
 	"ses/internal/wal"
@@ -51,6 +52,11 @@ type NodeOptions struct {
 	Client *http.Client
 	// Logf receives lifecycle lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Tracer, when set, lets followers record replication.apply spans
+	// under the primary's trace IDs (carried in shipped WAL records),
+	// so a traced write's replication shows up in this node's trace
+	// ring too.
+	Tracer *obs.Tracer
 }
 
 func (o NodeOptions) lagBound() int64 {
@@ -165,7 +171,7 @@ func NewNode(d *store.Durable, opts NodeOptions) (*Node, error) {
 	sort.Strings(peers)
 	for _, id := range peers {
 		replica := store.New(opts.Session)
-		f := newFollower(opts.ID, id, opts.Peers[id], replica, opts.Client, logf)
+		f := newFollower(opts.ID, id, opts.Peers[id], replica, opts.Client, logf, opts.Tracer)
 		peer := id
 		f.onAdopt = func(name string) { n.noteAdopted(name, peer) }
 		n.followers[id] = f

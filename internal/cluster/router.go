@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ses/internal/obs"
 )
 
 // RouterOptions configures a failover Router.
@@ -70,7 +72,12 @@ type Router struct {
 
 	rr        atomic.Uint64 // read fan-out round-robin
 	failovers atomic.Uint64
-	lastFail  atomic.Int64 // unix ms of the last failover
+	fenced    atomic.Uint64 // promotions rejected by epoch fencing
+	lastFail  atomic.Int64  // unix ms of the last failover
+	forwarded atomic.Uint64
+	// fwdByNode counts forwarded requests per backend; keys are fixed
+	// at construction so reads are lock-free.
+	fwdByNode map[string]*atomic.Uint64
 	// epoch tracks the highest promotion epoch the router has seen in
 	// node statuses; each failover proposes epoch+1 and stamps every
 	// proxied mutation with X-Ses-Epoch so a node that observed a
@@ -99,15 +106,20 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	fwd := make(map[string]*atomic.Uint64, len(opts.Peers))
+	for id := range opts.Peers {
+		fwd[id] = &atomic.Uint64{}
+	}
 	return &Router{
-		opts:     opts,
-		ring:     ring,
-		client:   client,
-		logf:     logf,
-		fails:    make(map[string]int),
-		down:     make(map[string]bool),
-		promoted: make(map[string]string),
-		statuses: make(map[string]Status),
+		opts:      opts,
+		ring:      ring,
+		client:    client,
+		logf:      logf,
+		fails:     make(map[string]int),
+		down:      make(map[string]bool),
+		promoted:  make(map[string]string),
+		statuses:  make(map[string]Status),
+		fwdByNode: fwd,
 	}, nil
 }
 
@@ -255,6 +267,7 @@ func (rt *Router) failover(ctx context.Context, dead string) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusConflict {
+		rt.fenced.Add(1)
 		rt.logf("router: promoting %s on %s fenced: epoch %d is stale", dead, best, next)
 		return
 	}
@@ -527,7 +540,61 @@ func (rt *Router) forward(r *http.Request, node string, body []byte) (*http.Resp
 	if e := rt.epoch.Load(); e > 0 {
 		req.Header.Set("X-Ses-Epoch", strconv.FormatUint(e, 10))
 	}
+	// Give every hop a trace ID: a client-supplied X-Ses-Trace passes
+	// through (the header clone above), an absent one is minted here,
+	// so the node's trace ring always has an ID the caller can query.
+	if req.Header.Get("X-Ses-Trace") == "" {
+		req.Header.Set("X-Ses-Trace", obs.NewTraceID())
+	}
+	rt.forwarded.Add(1)
+	if c := rt.fwdByNode[node]; c != nil {
+		c.Add(1)
+	}
 	return rt.client.Do(req)
+}
+
+// BackendMetrics is one backend's slice of RouterMetrics.
+type BackendMetrics struct {
+	// Healthy mirrors the health loop's current verdict.
+	Healthy bool `json:"healthy"`
+	// ConsecutiveFailures is the live failed-poll streak (resets on any
+	// successful poll; >= DownAfter means the node is considered dead).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Forwarded counts requests proxied to this backend.
+	Forwarded uint64 `json:"forwarded"`
+}
+
+// RouterMetrics is the router's /v1/metrics document; sesrouter also
+// flattens it into Prometheus series at /metrics.
+type RouterMetrics struct {
+	Backends         map[string]BackendMetrics `json:"backends"`
+	Forwarded        uint64                    `json:"forwarded"`
+	Promotions       uint64                    `json:"promotions"`
+	FencedPromotions uint64                    `json:"fenced_promotions"`
+	LastFailoverMS   int64                     `json:"last_failover_unix_ms"`
+	Epoch            uint64                    `json:"epoch"`
+}
+
+// Metrics snapshots the router's counters and per-backend health.
+func (rt *Router) Metrics() RouterMetrics {
+	m := RouterMetrics{
+		Backends:         make(map[string]BackendMetrics, len(rt.opts.Peers)),
+		Forwarded:        rt.forwarded.Load(),
+		Promotions:       rt.failovers.Load(),
+		FencedPromotions: rt.fenced.Load(),
+		LastFailoverMS:   rt.lastFail.Load(),
+		Epoch:            rt.epoch.Load(),
+	}
+	rt.mu.Lock()
+	for id := range rt.opts.Peers {
+		m.Backends[id] = BackendMetrics{
+			Healthy:             !rt.down[id],
+			ConsecutiveFailures: rt.fails[id],
+			Forwarded:           rt.fwdByNode[id].Load(),
+		}
+	}
+	rt.mu.Unlock()
+	return m
 }
 
 // copyResponse relays status, headers, and body.

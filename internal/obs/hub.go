@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Event is one hub notification, pre-marshaled once per publish no
+// matter how many subscribers receive it.
+type Event struct {
+	// Type is the SSE event name ("progress", "commit", "hello", ...).
+	Type string
+	// Data is the marshaled JSON payload.
+	Data []byte
+}
+
+// Sub is one subscription to a session's event stream.
+type Sub struct {
+	hub     *Hub
+	session string
+	ch      chan Event
+	once    sync.Once
+}
+
+// Events is the receive side; the hub closes it on eviction or
+// CloseSession.
+func (s *Sub) Events() <-chan Event { return s.ch }
+
+// Close detaches the subscription; idempotent and safe concurrently
+// with eviction.
+func (s *Sub) Close() { s.hub.unsubscribe(s) }
+
+// Hub fans session events out to live subscribers (the daemon's SSE
+// watchers). Publishing is non-blocking: a subscriber whose buffer is
+// full is evicted — its channel closes — rather than ever stalling
+// the publisher, because Publish runs from the solver's progress
+// callback under the session lock.
+type Hub struct {
+	mu   sync.Mutex
+	subs map[string]map[*Sub]struct{}
+
+	subscribers atomic.Int64
+	published   atomic.Uint64
+	evicted     atomic.Uint64
+	dropped     atomic.Uint64 // marshal failures
+}
+
+// NewHub builds an empty hub.
+func NewHub() *Hub {
+	return &Hub{subs: make(map[string]map[*Sub]struct{})}
+}
+
+// Subscribe attaches a watcher to a session's stream with the given
+// channel buffer (min 1). Safe on a nil hub (returns nil; a nil *Sub
+// must not be used).
+func (h *Hub) Subscribe(session string, buf int) *Sub {
+	if h == nil {
+		return nil
+	}
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Sub{hub: h, session: session, ch: make(chan Event, buf)}
+	h.mu.Lock()
+	set := h.subs[session]
+	if set == nil {
+		set = make(map[*Sub]struct{})
+		h.subs[session] = set
+	}
+	set[s] = struct{}{}
+	h.mu.Unlock()
+	h.subscribers.Add(1)
+	return s
+}
+
+func (h *Hub) unsubscribe(s *Sub) {
+	if s == nil {
+		return
+	}
+	removed := false
+	h.mu.Lock()
+	if set, ok := h.subs[s.session]; ok {
+		if _, in := set[s]; in {
+			delete(set, s)
+			removed = true
+			if len(set) == 0 {
+				delete(h.subs, s.session)
+			}
+		}
+	}
+	h.mu.Unlock()
+	if removed {
+		h.subscribers.Add(-1)
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// HasSubscribers reports whether anyone is watching the session —
+// callers use it to skip building payloads nobody will see.
+func (h *Hub) HasSubscribers(session string) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	n := len(h.subs[session])
+	h.mu.Unlock()
+	return n > 0
+}
+
+// Publish marshals data once and delivers it to every subscriber of
+// the session without blocking: a full subscriber is evicted (channel
+// closed) instead of stalling the caller. Safe on a nil hub. Returns
+// how many subscribers received the event.
+func (h *Hub) Publish(session, typ string, data any) int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	set := h.subs[session]
+	if len(set) == 0 {
+		h.mu.Unlock()
+		return 0
+	}
+	targets := make([]*Sub, 0, len(set))
+	for s := range set {
+		targets = append(targets, s)
+	}
+	h.mu.Unlock()
+
+	payload, err := json.Marshal(data)
+	if err != nil {
+		h.dropped.Add(1)
+		return 0
+	}
+	ev := Event{Type: typ, Data: payload}
+	delivered := 0
+	for _, s := range targets {
+		select {
+		case s.ch <- ev:
+			delivered++
+		default:
+			h.evict(s)
+		}
+	}
+	h.published.Add(1)
+	return delivered
+}
+
+func (h *Hub) evict(s *Sub) {
+	h.unsubscribe(s)
+	h.evicted.Add(1)
+}
+
+// CloseSession closes every subscription of a deleted session.
+func (h *Hub) CloseSession(session string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	set := h.subs[session]
+	delete(h.subs, session)
+	h.mu.Unlock()
+	for s := range set {
+		h.subscribers.Add(-1)
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// HubStats is the hub's counter snapshot.
+type HubStats struct {
+	Subscribers int64  `json:"subscribers"`
+	Published   uint64 `json:"published"`
+	Evicted     uint64 `json:"evicted"`
+}
+
+// Stats reads the hub counters; zero on nil.
+func (h *Hub) Stats() HubStats {
+	if h == nil {
+		return HubStats{}
+	}
+	return HubStats{
+		Subscribers: h.subscribers.Load(),
+		Published:   h.published.Load(),
+		Evicted:     h.evicted.Load(),
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Observability bundles the three instruments a serving process
+// threads through its layers: the tracer (span ring), the metrics
+// registry (Prometheus exposition), and the watch hub (SSE fan-out).
+// Any field may be nil — every consumer is nil-safe — but New wires
+// all three plus the span→histogram bridge.
+type Observability struct {
+	Tracer  *Tracer
+	Metrics *Registry
+	Hub     *Hub
+
+	// StageSeconds is the per-stage latency histogram fed by every
+	// finished span (label = span name).
+	StageSeconds *HistogramVec
+}
+
+// Options configures New; the zero value is production-usable.
+type Options struct {
+	// TraceRing bounds the in-memory trace ring (0 = 512).
+	TraceRing int
+	// SlowTrace, when positive, logs the span tree of any request
+	// whose root span is at least this slow.
+	SlowTrace time.Duration
+	// Logger receives slow-trace trees (nil = slog.Default).
+	Logger *slog.Logger
+}
+
+// New builds a fully wired Observability: tracer ring, metrics
+// registry, watch hub, and the OnSpanEnd hook that folds every span
+// into ses_resolve_stage_seconds{stage=...}.
+func New(opts Options) *Observability {
+	o := &Observability{
+		Metrics: NewRegistry(),
+		Hub:     NewHub(),
+	}
+	o.StageSeconds = o.Metrics.HistogramVec(
+		"ses_resolve_stage_seconds",
+		"Latency of each traced stage, labeled by span name.",
+		nil, "stage")
+	o.Tracer = NewTracer(TracerOptions{
+		Ring:      opts.TraceRing,
+		SlowTrace: opts.SlowTrace,
+		Logger:    opts.Logger,
+		OnSpanEnd: func(name string, seconds float64) {
+			o.StageSeconds.With(name).Observe(seconds)
+		},
+	})
+	return o
+}

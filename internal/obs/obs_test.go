@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeNesting(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	ctx, root := tr.StartRoot(context.Background(), SpanHandler, "")
+	id := root.TraceID()
+	if id == "" {
+		t.Fatal("root has no trace id")
+	}
+	pctx, psp := StartSpan(ctx, SpanPipeline, A("session", "fest"))
+	rctx, rsp := StartSpan(pctx, SpanResolve)
+	_, ssp := StartSpan(rctx, SpanScoring)
+	ssp.SetAttr("initial_scores", 42)
+	ssp.End()
+	rsp.End()
+	psp.End()
+	root.SetAttr("status", 200)
+	root.End()
+
+	tree, ok := tr.Trace(id)
+	if !ok {
+		t.Fatalf("trace %s missing after commit", id)
+	}
+	if len(tree.Spans) != 1 {
+		t.Fatalf("got %d roots, want 1", len(tree.Spans))
+	}
+	path := []string{}
+	for n := tree.Spans[0]; n != nil; {
+		path = append(path, n.Name)
+		if len(n.Children) == 0 {
+			n = nil
+		} else if len(n.Children) == 1 {
+			n = n.Children[0]
+		} else {
+			t.Fatalf("span %s has %d children, want <= 1", n.Name, len(n.Children))
+		}
+	}
+	want := []string{SpanHandler, SpanPipeline, SpanResolve, SpanScoring}
+	if strings.Join(path, ">") != strings.Join(want, ">") {
+		t.Fatalf("span path %v, want %v", path, want)
+	}
+	if tree.Spans[0].Attrs["status"] != 200 {
+		t.Fatalf("root attrs = %v, want status=200", tree.Spans[0].Attrs)
+	}
+}
+
+func TestTraceIDPropagationAndValidation(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	_, sp := tr.StartRoot(context.Background(), SpanHandler, "client-supplied-id")
+	if sp.TraceID() != "client-supplied-id" {
+		t.Fatalf("valid foreign id rejected: got %q", sp.TraceID())
+	}
+	sp.End()
+	_, sp2 := tr.StartRoot(context.Background(), SpanHandler, "has space")
+	if sp2.TraceID() == "has space" {
+		t.Fatal("invalid id with whitespace adopted")
+	}
+	sp2.End()
+	if id := NewTraceID(); len(id) != 16 || !validTraceID(id) {
+		t.Fatalf("NewTraceID() = %q, want 16 valid hex chars", id)
+	}
+}
+
+func TestNilTracerAndUntracedContextNoop(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.StartRoot(context.Background(), SpanHandler, "")
+	if sp != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	sp.SetAttr("k", 1) // must not panic
+	sp.End()
+	_, child := StartSpan(ctx, SpanResolve)
+	if child != nil {
+		t.Fatal("untraced context produced a live span")
+	}
+	child.End()
+	if got := TraceID(ctx); got != "" {
+		t.Fatalf("TraceID on untraced ctx = %q, want empty", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(TracerOptions{Ring: 4})
+	ids := make([]string, 8)
+	for i := range ids {
+		_, sp := tr.StartRoot(context.Background(), SpanHandler, "")
+		ids[i] = sp.TraceID()
+		sp.End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("ring holds %d traces, want 4", tr.Len())
+	}
+	if _, ok := tr.Trace(ids[0]); ok {
+		t.Fatal("oldest trace survived eviction")
+	}
+	if _, ok := tr.Trace(ids[7]); !ok {
+		t.Fatal("newest trace was evicted")
+	}
+}
+
+func TestRecordRemoteMergesIntoLocalTrace(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	// Follower order: the remote apply lands before any local root
+	// commits under the same ID (and again after).
+	tr.RecordRemote("shared-id", SpanReplApply, time.Now(), time.Millisecond, A("peer", "a"))
+	ctx, root := tr.StartRoot(context.Background(), SpanHandler, "shared-id")
+	_, sp := StartSpan(ctx, SpanResolve)
+	sp.End()
+	root.End()
+	tr.RecordRemote("shared-id", SpanReplApply, time.Now(), time.Millisecond, A("peer", "b"))
+
+	tree, ok := tr.Trace("shared-id")
+	if !ok {
+		t.Fatal("merged trace missing")
+	}
+	var total, remote int
+	var walk func(ns []*SpanNode)
+	walk = func(ns []*SpanNode) {
+		for _, n := range ns {
+			total++
+			if n.Remote {
+				remote++
+			}
+			walk(n.Children)
+		}
+	}
+	walk(tree.Spans)
+	if total != 4 || remote != 2 {
+		t.Fatalf("merged trace has %d spans (%d remote), want 4 (2 remote)", total, remote)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("ring holds %d traces after merge, want 1", tr.Len())
+	}
+}
+
+func TestTracesListFiltersAndOrders(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	for i := 0; i < 3; i++ {
+		_, sp := tr.StartRoot(context.Background(), SpanHandler, fmt.Sprintf("t%d", i))
+		sp.End()
+	}
+	all := tr.Traces(0, 0)
+	if len(all) != 3 || all[0].ID != "t2" || all[2].ID != "t0" {
+		t.Fatalf("Traces(0,0) = %+v, want newest-first t2,t1,t0", all)
+	}
+	if got := tr.Traces(0, 2); len(got) != 2 {
+		t.Fatalf("limit 2 returned %d", len(got))
+	}
+	if got := tr.Traces(time.Hour, 0); len(got) != 0 {
+		t.Fatalf("min=1h matched %d instant traces", len(got))
+	}
+}
+
+func TestOnSpanEndFeedsHistogram(t *testing.T) {
+	o := New(Options{})
+	ctx, root := o.Tracer.StartRoot(context.Background(), SpanHandler, "")
+	_, sp := StartSpan(ctx, SpanResolve)
+	sp.End()
+	root.End()
+	snap := o.StageSeconds.With(SpanResolve).Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("resolve stage histogram count = %d, want 1", snap.Count)
+	}
+}
+
+// TestPrometheusExposition parses the full rendered output and
+// enforces the format invariants a real scraper depends on: unique
+// series, legal metric/label names, cumulative non-decreasing
+// histogram buckets with a trailing +Inf that equals _count.
+func TestPrometheusExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_ops_total", "ops").Add(3)
+	reg.CounterVec("t_req_total", "requests", "route", "code").With(`/v1/x"y\z`, "200").Inc()
+	reg.Gauge("t_depth", "queue depth").Set(2.5)
+	h := reg.Histogram("t_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	reg.CollectFunc("t_collected", "scrape-time", "gauge", []string{"stat"}, func(emit func([]string, float64)) {
+		emit([]string{"a"}, 1)
+		emit([]string{"b"}, 2)
+	})
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+
+	series := map[string]float64{}
+	var bucketCum float64 = -1
+	var lastBucketName string
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			if strings.HasPrefix(line, "# ") && !strings.HasPrefix(line, "# HELP") && !strings.HasPrefix(line, "# TYPE") {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		idx := strings.LastIndex(line, " ")
+		if idx < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		key, valStr := line[:idx], line[idx+1:]
+		var val float64
+		if _, err := fmt.Sscanf(valStr, "%g", &val); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		if _, dup := series[key]; dup {
+			t.Fatalf("duplicate series %q", key)
+		}
+		series[key] = val
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("illegal metric name %q", name)
+			}
+		}
+		if strings.HasPrefix(key, "t_lat_seconds_bucket") {
+			if name != lastBucketName {
+				bucketCum, lastBucketName = -1, name
+			}
+			if val < bucketCum {
+				t.Fatalf("histogram buckets not cumulative at %q (%g < %g)", key, val, bucketCum)
+			}
+			bucketCum = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	checks := map[string]float64{
+		"t_ops_total": 3,
+		"t_depth":     2.5,
+		`t_req_total{route="/v1/x\"y\\z",code="200"}`: 1,
+		`t_collected{stat="a"}`:                       1,
+		`t_collected{stat="b"}`:                       2,
+		`t_lat_seconds_bucket{le="0.1"}`:              1,
+		`t_lat_seconds_bucket{le="1"}`:                2,
+		`t_lat_seconds_bucket{le="+Inf"}`:             3,
+		"t_lat_seconds_count":                         3,
+	}
+	for key, want := range checks {
+		got, ok := series[key]
+		if !ok {
+			t.Fatalf("series %q missing; exposition:\n%s", key, text)
+		}
+		if got != want {
+			t.Fatalf("series %q = %g, want %g", key, got, want)
+		}
+	}
+	if got := series["t_lat_seconds_sum"]; got < 5.54 || got > 5.56 {
+		t.Fatalf("histogram sum = %g, want 5.55", got)
+	}
+	for _, fam := range []string{"t_ops_total", "t_req_total", "t_depth", "t_lat_seconds", "t_collected"} {
+		if !strings.Contains(text, "# HELP "+fam+" ") || !strings.Contains(text, "# TYPE "+fam+" ") {
+			t.Fatalf("family %s lacks HELP/TYPE headers", fam)
+		}
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x", "x").Inc()
+	reg.CounterVec("x", "x", "l").With("v").Inc()
+	reg.Gauge("x", "x").Set(1)
+	reg.Histogram("x", "x", nil).Observe(1)
+	reg.HistogramVec("x", "x", nil, "l").With("v").Observe(1)
+	reg.CollectFunc("x", "x", "gauge", nil, nil)
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubFanoutAndEviction(t *testing.T) {
+	hub := NewHub()
+	fast := hub.Subscribe("s", 8)
+	slow := hub.Subscribe("s", 1)
+	if !hub.HasSubscribers("s") || hub.HasSubscribers("other") {
+		t.Fatal("HasSubscribers wrong")
+	}
+	for i := 0; i < 3; i++ {
+		hub.Publish("s", "progress", map[string]int{"i": i})
+	}
+	// slow (buffer 1) took one event then fell behind: evicted, its
+	// channel closes after the buffered event drains.
+	if ev, ok := <-slow.Events(); !ok || ev.Type != "progress" {
+		t.Fatalf("slow subscriber lost its buffered event (%v, %v)", ev, ok)
+	}
+	if _, ok := <-slow.Events(); ok {
+		t.Fatal("evicted subscriber's channel still open")
+	}
+	for i := 0; i < 3; i++ {
+		ev := <-fast.Events()
+		if want := fmt.Sprintf(`{"i":%d}`, i); string(ev.Data) != want {
+			t.Fatalf("event %d data = %s, want %s", i, ev.Data, want)
+		}
+	}
+	st := hub.Stats()
+	if st.Evicted != 1 || st.Published != 3 || st.Subscribers != 1 {
+		t.Fatalf("stats = %+v, want 1 evicted, 3 published, 1 subscriber", st)
+	}
+	fast.Close()
+	fast.Close() // idempotent
+	if hub.Stats().Subscribers != 0 {
+		t.Fatalf("subscribers = %d after close, want 0", hub.Stats().Subscribers)
+	}
+}
+
+func TestHubCloseSessionEndsStreams(t *testing.T) {
+	hub := NewHub()
+	a := hub.Subscribe("fest", 4)
+	b := hub.Subscribe("fest", 4)
+	hub.CloseSession("fest")
+	for _, sub := range []*Sub{a, b} {
+		if _, ok := <-sub.Events(); ok {
+			t.Fatal("channel open after CloseSession")
+		}
+	}
+	if hub.HasSubscribers("fest") {
+		t.Fatal("subscribers linger after CloseSession")
+	}
+	if n := hub.Publish("fest", "progress", 1); n != 0 {
+		t.Fatalf("publish to closed session delivered %d", n)
+	}
+}
+
+func TestDetachKeepsSpanDropsValuesAndCancel(t *testing.T) {
+	tr := NewTracer(TracerOptions{})
+	base, cancel := context.WithCancel(context.Background())
+	ctx, root := tr.StartRoot(base, SpanHandler, "")
+	det := Detach(ctx)
+	cancel()
+	if det.Err() != nil {
+		t.Fatal("detached context inherited cancellation")
+	}
+	if SpanFromContext(det) != root {
+		t.Fatal("detached context lost the span")
+	}
+	if Detach(context.Background()) == nil {
+		t.Fatal("detach of untraced ctx returned nil")
+	}
+	root.End()
+}

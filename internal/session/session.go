@@ -34,6 +34,7 @@ import (
 	"ses/internal/choice"
 	"ses/internal/core"
 	"ses/internal/interest"
+	"ses/internal/obs"
 	"ses/internal/solver"
 )
 
@@ -462,6 +463,10 @@ func (s *Scheduler) workers() int {
 // schedule stays current); a deadline during selection commits the
 // feasible best-so-far with Delta.Stopped set.
 func (s *Scheduler) Resolve(ctx context.Context) (*Delta, error) {
+	// The span opens before the lock so it covers lock wait — on a
+	// contended session that wait IS the latency story.
+	ctx, rsp := obs.StartSpan(ctx, obs.SpanResolve)
+	defer rsp.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
@@ -487,12 +492,21 @@ func (s *Scheduler) Resolve(ctx context.Context) (*Delta, error) {
 		mat = mat[:nE*nT]
 	}
 	s.matBuf = nil
-	if err := s.patchScores(ctx, mat, &cnt); err != nil {
+	sctx, ssp := obs.StartSpan(ctx, obs.SpanScoring)
+	err := s.patchScores(sctx, mat, &cnt)
+	ssp.SetAttr("initial_scores", cnt.InitialScores)
+	ssp.End()
+	if err != nil {
 		s.matBuf = mat
 		return nil, err
 	}
 
-	stop, err := s.selectGreedy(ctx, mat, &cnt)
+	gctx, gsp := obs.StartSpan(ctx, obs.SpanSelect)
+	stop, err := s.selectGreedy(gctx, mat, &cnt)
+	gsp.SetAttr("pops", cnt.Pops)
+	gsp.SetAttr("bound_updates", cnt.BoundUpdates)
+	gsp.SetAttr("score_updates", cnt.ScoreUpdates)
+	gsp.End()
 	if err != nil {
 		// Nothing is committed; the engine will be reset or rebuilt on
 		// the next Resolve.
@@ -506,6 +520,10 @@ func (s *Scheduler) Resolve(ctx context.Context) (*Delta, error) {
 	delta.Utility = util
 	delta.Stopped = stop
 	delta.Counters = cnt
+	rsp.SetAttr("scheduled", len(newAssgn))
+	if stop != "" {
+		rsp.SetAttr("stopped", stop)
+	}
 
 	// Commit; the outgoing cache becomes the next resolve's spare.
 	s.matBuf = s.cache

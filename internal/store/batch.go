@@ -163,5 +163,6 @@ func (s *Store) ApplyBatch(ctx context.Context, name string, muts []Mutation) (*
 	h.resolves.Add(1)
 	h.batches.Add(1)
 	s.refresh(h)
+	s.emitCommit(h, d)
 	return res, nil
 }

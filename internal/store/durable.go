@@ -11,6 +11,7 @@ import (
 
 	"ses/internal/choice"
 	"ses/internal/core"
+	"ses/internal/obs"
 	"ses/internal/session"
 	"ses/internal/snap"
 	"ses/internal/wal"
@@ -41,6 +42,9 @@ type DurableOptions struct {
 	// GroupCommit batches concurrent SyncAlways appends into shared
 	// fsyncs (see wal.GroupCommit); ignored under other sync policies.
 	GroupCommit wal.GroupCommit
+	// Sink, when set, is installed before recovery so recovered
+	// sessions stream progress too (see Store.SetSink).
+	Sink Sink
 }
 
 func (o DurableOptions) checkpointEvery() int {
@@ -114,6 +118,9 @@ func OpenDurable(dir string, opts DurableOptions) (*Durable, error) {
 		opts:   opts,
 		ckptCh: make(chan int, numShards),
 		done:   make(chan struct{}),
+	}
+	if opts.Sink != nil {
+		d.Store.SetSink(opts.Sink)
 	}
 	walOpts := wal.Options{Sync: opts.Sync, SegmentMaxBytes: opts.SegmentMaxBytes,
 		GroupCommit: opts.GroupCommit}
@@ -443,7 +450,7 @@ func (d *Durable) Resolve(ctx context.Context, name string) (*session.Delta, err
 		// Nothing committed, nothing to log.
 		return nil, err
 	}
-	payload, encErr := encodeResolveRecord(resolveRec{Name: name, Commit: *stampOf(h.sched)})
+	payload, encErr := encodeResolveRecord(resolveRec{Name: name, Commit: *stampOf(h.sched), Trace: obs.TraceID(ctx)})
 	if encErr != nil {
 		// The commit is already in memory but cannot be logged: the
 		// state is ahead of the log, so latch the poison exactly like
@@ -452,11 +459,15 @@ func (d *Durable) Resolve(ctx context.Context, name string) (*session.Delta, err
 		d.poison.CompareAndSwap(nil, &encErr)
 		return nil, encErr
 	}
-	if err := d.append(i, payload); err != nil {
+	_, fsp := obs.StartSpan(ctx, obs.SpanWALFsync, obs.A("shard", i), obs.A("bytes", len(payload)))
+	err = d.append(i, payload)
+	fsp.End()
+	if err != nil {
 		return nil, err
 	}
 	h.resolves.Add(1)
 	d.Store.refresh(h)
+	d.Store.emitCommit(h, delta)
 	return delta, nil
 }
 
@@ -508,7 +519,7 @@ func (d *Durable) ApplyBatch(ctx context.Context, name string, muts []Mutation) 
 		}
 	}
 	if applied > 0 || stamp != nil {
-		payload, encErr := encodeBatchRecord(batchRec{Name: name, Muts: muts[:applied], Commit: stamp})
+		payload, encErr := encodeBatchRecord(batchRec{Name: name, Muts: muts[:applied], Commit: stamp, Trace: obs.TraceID(ctx)})
 		if encErr != nil {
 			// Mutations (and possibly a commit) are in memory but
 			// cannot be logged; latch the poison like an append
@@ -516,7 +527,10 @@ func (d *Durable) ApplyBatch(ctx context.Context, name string, muts []Mutation) 
 			d.poison.CompareAndSwap(nil, &encErr)
 			return nil, encErr
 		}
-		if err := d.append(i, payload); err != nil {
+		_, fsp := obs.StartSpan(ctx, obs.SpanWALFsync, obs.A("shard", i), obs.A("bytes", len(payload)))
+		err := d.append(i, payload)
+		fsp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -526,5 +540,6 @@ func (d *Durable) ApplyBatch(ctx context.Context, name string, muts []Mutation) 
 	h.resolves.Add(1)
 	h.batches.Add(1)
 	d.Store.refresh(h)
+	d.Store.emitCommit(h, res.Delta)
 	return res, nil
 }

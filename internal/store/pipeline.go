@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ses/internal/obs"
 	"ses/internal/session"
 )
 
@@ -91,6 +92,14 @@ type pipeDone struct {
 type pipeReq struct {
 	muts []Mutation
 	done chan pipeDone // buffered(1); delivered exactly once
+	// ctx is a detached context carrying only the request's trace span
+	// (never its cancellation): the merged backend call runs under the
+	// first rider's ctx so the commit's spans nest under its trace.
+	ctx context.Context
+	// sp is the request's "pipeline" span: queue wait plus the merged
+	// backend call it rode on. The executing worker stamps merge attrs
+	// before delivering done; submit ends it after the outcome.
+	sp *obs.Span
 }
 
 // Pipeline runs mutations and resolves for many sessions on a bounded
@@ -213,7 +222,8 @@ func (p *Pipeline) Close() {
 // submit enqueues one request and waits for its outcome (or withdraws
 // it on ctx cancellation while still queued).
 func (p *Pipeline) submit(ctx context.Context, name string, muts []Mutation) (*BatchResult, error) {
-	req := &pipeReq{muts: muts, done: make(chan pipeDone, 1)}
+	spCtx, sp := obs.StartSpan(ctx, obs.SpanPipeline, obs.A("session", name))
+	req := &pipeReq{muts: muts, done: make(chan pipeDone, 1), ctx: obs.Detach(spCtx), sp: sp}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -232,6 +242,7 @@ func (p *Pipeline) submit(ctx context.Context, name string, muts []Mutation) (*B
 
 	select {
 	case d := <-req.done:
+		sp.End()
 		return d.res, d.err
 	case <-ctx.Done():
 		// Withdraw if still queued; if a worker already took the
@@ -248,11 +259,14 @@ func (p *Pipeline) submit(ctx context.Context, name string, muts []Mutation) (*B
 				p.queued--
 				p.mu.Unlock()
 				p.withdrawn.Add(1)
+				sp.SetAttr("withdrawn", true)
+				sp.End()
 				return nil, ctx.Err()
 			}
 		}
 		p.mu.Unlock()
 		d := <-req.done
+		sp.End()
 		return d.res, d.err
 	}
 }
@@ -318,7 +332,14 @@ func (p *Pipeline) run(name string, batch []*pipeReq) {
 	}
 	// Background context: the merge commits for every waiter or none;
 	// an individual request's cancellation only matters while queued.
-	ctx := context.Background()
+	// The first rider's detached trace context carries the merge's
+	// spans; later riders just record that they coalesced. Attrs land
+	// before done is delivered, so they happen-before each span's End.
+	ctx := batch[0].ctx
+	batch[0].sp.SetAttr("merged", len(batch))
+	for _, r := range batch[1:] {
+		r.sp.SetAttr("coalesced", true)
+	}
 	var (
 		res *BatchResult
 		err error

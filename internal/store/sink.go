@@ -1,0 +1,80 @@
+package store
+
+import (
+	"sync/atomic"
+
+	"ses/internal/session"
+	"ses/internal/solver"
+)
+
+// Sink observes a store's live activity: per-assignment solver
+// progress during resolves and every committed operation's fresh
+// metadata + delta. The daemon bridges a Sink into the obs watch hub
+// (SSE streams); implementations must be fast and non-blocking —
+// Progress fires under the session lock from the goroutine running
+// the resolve, Commit fires on the committing request's path.
+type Sink interface {
+	// Progress relays one solver progress notification for session.
+	Progress(session string, p solver.Progress)
+	// Commit relays one committed operation: the just-published Meta
+	// and the resolve's Delta (nil when a commit carried no delta).
+	Commit(session string, meta Meta, delta *session.Delta)
+}
+
+// sinkState boxes the installed sink behind one atomic pointer.
+type sinkState struct{ sink Sink }
+
+// SetSink installs (or, with nil, removes) the store's activity sink.
+// Sessions created before SetSink keep streaming commits but do not
+// stream per-assignment progress — install the sink before creating
+// sessions (the ses facade constructors do).
+func (s *Store) SetSink(sink Sink) {
+	if sink == nil {
+		s.sink.Store(nil)
+		return
+	}
+	s.sink.Store(&sinkState{sink: sink})
+}
+
+// loadSink reads the installed sink (nil when none).
+func (s *Store) loadSink() Sink {
+	st := s.sink.Load()
+	if st == nil {
+		return nil
+	}
+	return st.sink
+}
+
+// optsFor derives the session.Options for a new or restored session,
+// wrapping the configured Progress callback so an installed sink sees
+// every notification too. When neither a user callback nor a sink
+// exists the options pass through untouched and the session never
+// pays the progress-engine indirection.
+func (s *Store) optsFor(name string) session.Options {
+	opts := s.opts
+	user := opts.Progress
+	if user == nil && s.loadSink() == nil {
+		return opts
+	}
+	opts.Progress = func(p solver.Progress) {
+		if user != nil {
+			user(p)
+		}
+		if sk := s.loadSink(); sk != nil {
+			sk.Progress(name, p)
+		}
+	}
+	return opts
+}
+
+// emitCommit relays a committed operation to the sink, after refresh
+// published the post-commit Meta.
+func (s *Store) emitCommit(h *handle, delta *session.Delta) {
+	if sk := s.loadSink(); sk != nil {
+		sk.Commit(h.name, *h.meta.Load(), delta)
+	}
+}
+
+// sinkPtr is embedded in Store via the sink field; split out so the
+// zero Store stays valid.
+type sinkPtr = atomic.Pointer[sinkState]

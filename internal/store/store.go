@@ -127,6 +127,9 @@ type shard struct {
 type Store struct {
 	opts   session.Options
 	shards [numShards]shard
+	// sink, when installed via SetSink, observes solver progress and
+	// committed operations (see Sink).
+	sink sinkPtr
 	// epoch is the highest promotion epoch observed in applied adopt
 	// records and checkpoint entries (see Epoch in replica.go); it
 	// fences stale primaries after a contested failover.
@@ -185,7 +188,7 @@ func (s *Store) CreateWithObjective(name string, inst *core.Instance, k int, obj
 	if name == "" {
 		return errors.New("store: empty session name")
 	}
-	opts := s.opts
+	opts := s.optsFor(name)
 	if obj != nil {
 		opts.Objective = obj
 	}
@@ -204,7 +207,7 @@ func (s *Store) Restore(name string, st *session.State, replace bool) error {
 	if name == "" {
 		return errors.New("store: empty session name")
 	}
-	sched, err := session.FromState(st, s.opts)
+	sched, err := session.FromState(st, s.optsFor(name))
 	if err != nil {
 		return err
 	}
@@ -330,6 +333,7 @@ func (s *Store) Resolve(ctx context.Context, name string) (*session.Delta, error
 	}
 	h.resolves.Add(1)
 	s.refresh(h)
+	s.emitCommit(h, d)
 	return d, nil
 }
 

@@ -104,12 +104,19 @@ type batchRec struct {
 	Name   string       `json:"name"`
 	Muts   []Mutation   `json:"muts"`
 	Commit *commitStamp `json:"commit,omitempty"`
+	// Trace carries the committing request's trace ID ("" when
+	// untraced; omitted so untraced records are byte-identical to
+	// pre-tracing ones). Followers applying a shipped record attach
+	// their replication.apply span to it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // resolveRec is the JSON body of a recResolve record.
 type resolveRec struct {
 	Name   string      `json:"name"`
 	Commit commitStamp `json:"commit"`
+	// Trace mirrors batchRec.Trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // encodeSnapshotRecord frames a session state as a kind + binary
@@ -194,6 +201,9 @@ type WALRecord struct {
 	// Epoch is an adopt record's promotion epoch (0 for records
 	// written before promotion fencing existed).
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Trace is the committing request's trace ID, when the record was
+	// written under an active trace.
+	Trace string `json:"trace,omitempty"`
 }
 
 // DecodeWALRecord parses one WAL record payload written by the
@@ -224,7 +234,7 @@ func DecodeWALRecord(payload []byte) (*WALRecord, error) {
 		if r.Name == "" {
 			return nil, errors.New("store: batch record without a name")
 		}
-		return &WALRecord{Kind: "batch", Name: r.Name, Muts: r.Muts, Commit: r.Commit}, nil
+		return &WALRecord{Kind: "batch", Name: r.Name, Muts: r.Muts, Commit: r.Commit, Trace: r.Trace}, nil
 	case recResolve:
 		var r resolveRec
 		if err := strictUnmarshal(body, &r); err != nil {
@@ -234,7 +244,7 @@ func DecodeWALRecord(payload []byte) (*WALRecord, error) {
 			return nil, errors.New("store: resolve record without a name")
 		}
 		c := r.Commit
-		return &WALRecord{Kind: "resolve", Name: r.Name, Commit: &c}, nil
+		return &WALRecord{Kind: "resolve", Name: r.Name, Commit: &c, Trace: r.Trace}, nil
 	case recRestore:
 		if len(body) < 1 {
 			return nil, errors.New("store: restore record without a flag byte")

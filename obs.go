@@ -1,0 +1,88 @@
+package ses
+
+import (
+	"context"
+
+	"ses/internal/obs"
+	"ses/internal/session"
+	"ses/internal/solver"
+	"ses/internal/store"
+)
+
+// Observability bundles the serving stack's instruments — request
+// tracer, metrics registry, and the per-session watch hub — built by
+// NewObservability and threaded through a store with
+// WithObservability. cmd/sesd mounts its HTTP surfaces (/metrics,
+// /v1/traces, watch SSE); embedders can use the pieces directly.
+type Observability = obs.Observability
+
+// ObservabilityOptions configures NewObservability; the zero value is
+// production-usable (512-trace ring, no slow-trace log).
+type ObservabilityOptions = obs.Options
+
+// NewObservability builds a wired Observability: bounded trace ring,
+// metrics registry with the per-stage latency histogram attached to
+// span ends, and the watch fan-out hub.
+func NewObservability(opts ObservabilityOptions) *Observability { return obs.New(opts) }
+
+// WithObservability attaches an Observability to NewStore/OpenStore:
+// the store streams solver progress and committed deltas into the
+// hub, and traced request contexts (see the obs tracer) get pipeline,
+// resolve-stage, and WAL spans recorded. Without it stores run
+// exactly as before.
+func WithObservability(o *Observability) Option { return func(c *config) { c.obs = o } }
+
+// TraceFromContext returns the active trace ID bound into ctx by the
+// serving layer ("" when the context is untraced) — the value carried
+// by the X-Ses-Trace header and queryable at GET /v1/traces/{id}.
+func TraceFromContext(ctx context.Context) string { return obs.TraceID(ctx) }
+
+// obsSink bridges store activity into the hub. Payload construction
+// is skipped when nobody watches the session: Progress fires per
+// assignment under the session lock, so the idle cost must stay at
+// one mutex-guarded map lookup.
+type obsSink struct{ o *Observability }
+
+func (s obsSink) Progress(name string, p solver.Progress) {
+	if !s.o.Hub.HasSubscribers(name) {
+		return
+	}
+	s.o.Hub.Publish(name, "progress", progressEvent{
+		Solver:    p.Solver,
+		Event:     p.Event,
+		Interval:  p.Interval,
+		Scheduled: p.Scheduled,
+	})
+}
+
+func (s obsSink) Commit(name string, meta store.Meta, delta *session.Delta) {
+	if !s.o.Hub.HasSubscribers(name) {
+		return
+	}
+	s.o.Hub.Publish(name, "commit", commitEvent{Meta: meta, Delta: delta})
+}
+
+// progressEvent is the watch stream's "progress" payload.
+type progressEvent struct {
+	Solver    string `json:"solver"`
+	Event     int    `json:"event"`
+	Interval  int    `json:"interval"`
+	Scheduled int    `json:"scheduled"`
+}
+
+// commitEvent is the watch stream's "commit" payload: the post-commit
+// session metadata plus the committing resolve's delta (nil when the
+// commit carried none).
+type commitEvent struct {
+	Meta  store.Meta     `json:"meta"`
+	Delta *session.Delta `json:"delta,omitempty"`
+}
+
+// sinkFor builds the store sink for a resolved config (nil when no
+// observability is attached).
+func (c config) sinkFor() store.Sink {
+	if c.obs == nil {
+		return nil
+	}
+	return obsSink{o: c.obs}
+}

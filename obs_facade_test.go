@@ -1,0 +1,131 @@
+package ses_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"ses"
+)
+
+// TestObservabilityFacadeDurable pins the durable wiring: OpenStore
+// threads the hub sink through the WAL-backed store too, so watchers
+// of a durable daemon see progress and commit events exactly like the
+// memory store's (the sink is installed before recovery, covering
+// recovered sessions as well).
+func TestObservabilityFacadeDurable(t *testing.T) {
+	o := ses.NewObservability(ses.ObservabilityOptions{TraceRing: 8})
+	st, err := ses.OpenStore(ses.WithDurability(t.TempDir()), ses.WithWorkers(1), ses.WithObservability(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Create("fest", storeInstance(t), 3); err != nil {
+		t.Fatal(err)
+	}
+	sub := o.Hub.Subscribe("fest", 64)
+	defer sub.Close()
+	if _, err := st.ApplyBatch(context.Background(), "fest", []ses.Mutation{ses.UpdateInterestOp(0, 0, 0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	var progress, commit int
+drain:
+	for {
+		select {
+		case ev := <-sub.Events():
+			switch ev.Type {
+			case "progress":
+				progress++
+			case "commit":
+				commit++
+			}
+		default:
+			break drain
+		}
+	}
+	if progress == 0 || commit != 1 {
+		t.Errorf("durable store: %d progress / %d commit events, want >=1 / exactly 1", progress, commit)
+	}
+}
+
+// TestObservabilityFacade drives the public observability surface:
+// NewObservability wires the pieces, WithObservability threads the
+// hub sink through a store so subscribers see progress and commit
+// events, TraceFromContext reads the serving layer's trace binding,
+// and traced requests land in the ring.
+func TestObservabilityFacade(t *testing.T) {
+	o := ses.NewObservability(ses.ObservabilityOptions{TraceRing: 8})
+	if o.Tracer == nil || o.Metrics == nil || o.Hub == nil {
+		t.Fatalf("NewObservability left pieces nil: %+v", o)
+	}
+
+	inst := storeInstance(t)
+	st := ses.NewStore(ses.WithWorkers(1), ses.WithObservability(o))
+	if err := st.Create("fest", inst, 3); err != nil {
+		t.Fatal(err)
+	}
+	sub := o.Hub.Subscribe("fest", 64)
+	defer sub.Close()
+
+	ctx, sp := o.Tracer.StartRoot(context.Background(), "handler", "")
+	if got := ses.TraceFromContext(ctx); got != sp.TraceID() {
+		t.Errorf("TraceFromContext = %q, want %q", got, sp.TraceID())
+	}
+	if got := ses.TraceFromContext(context.Background()); got != "" {
+		t.Errorf("TraceFromContext(untraced) = %q, want empty", got)
+	}
+
+	if _, err := st.ApplyBatch(ctx, "fest", []ses.Mutation{ses.UpdateInterestOp(0, 0, 0.7)}); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+
+	// The sink publishes synchronously during the commit, so every
+	// event is buffered by the time ApplyBatch returns.
+	var progress, commit int
+drain:
+	for {
+		select {
+		case ev := <-sub.Events():
+			switch ev.Type {
+			case "progress":
+				progress++
+				var p struct {
+					Solver string `json:"solver"`
+				}
+				if err := json.Unmarshal(ev.Data, &p); err != nil || p.Solver == "" {
+					t.Fatalf("progress payload %s (err %v)", ev.Data, err)
+				}
+			case "commit":
+				commit++
+				var c struct {
+					Meta struct {
+						Batches uint64
+					} `json:"meta"`
+				}
+				if err := json.Unmarshal(ev.Data, &c); err != nil || c.Meta.Batches != 1 {
+					t.Fatalf("commit payload %s (err %v), want Batches=1", ev.Data, err)
+				}
+			}
+		default:
+			break drain
+		}
+	}
+	if progress == 0 || commit != 1 {
+		t.Errorf("saw %d progress / %d commit events, want >=1 / exactly 1", progress, commit)
+	}
+
+	// The traced batch is queryable in the ring under its ID.
+	if _, ok := o.Tracer.Trace(sp.TraceID()); !ok {
+		t.Errorf("trace %s missing from the ring", sp.TraceID())
+	}
+
+	// Without subscribers the sink publishes nothing (idle cost path).
+	sub.Close()
+	if _, err := st.ApplyBatch(context.Background(), "fest", []ses.Mutation{ses.UpdateInterestOp(1, 0, 0.4)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Hub.Stats().Subscribers; got != 0 {
+		t.Errorf("subscribers after close = %d, want 0", got)
+	}
+}

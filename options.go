@@ -33,6 +33,9 @@ type config struct {
 	// pipeline (consumed by NewPipeline).
 	resolveWorkers int
 	resolveQueue   int
+
+	// observability (consumed by NewStore/OpenStore).
+	obs *Observability
 }
 
 // solverConfig converts the resolved options to the internal solver

@@ -67,13 +67,17 @@ var (
 // or restores.
 func NewStore(opts ...Option) *Store {
 	c := resolve(opts)
-	return store.New(session.Options{
+	st := store.New(session.Options{
 		Workers:   c.workers,
 		Engine:    c.engine,
 		Objective: c.objective,
 		Seed:      c.seed,
 		Progress:  c.progress,
 	})
+	if sink := c.sinkFor(); sink != nil {
+		st.SetSink(sink)
+	}
+	return st
 }
 
 // DurableStore is a Store whose acknowledged state changes are
@@ -117,6 +121,7 @@ func OpenStore(opts ...Option) (*DurableStore, error) {
 		SyncInterval:    c.syncInterval,
 		CheckpointEvery: c.checkpointEvery,
 		GroupCommit:     c.groupCommit,
+		Sink:            c.sinkFor(),
 	})
 }
 
