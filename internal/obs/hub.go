@@ -78,22 +78,28 @@ func (h *Hub) unsubscribe(s *Sub) {
 	if s == nil {
 		return
 	}
-	removed := false
 	h.mu.Lock()
-	if set, ok := h.subs[s.session]; ok {
-		if _, in := set[s]; in {
-			delete(set, s)
-			removed = true
-			if len(set) == 0 {
-				delete(h.subs, s.session)
-			}
-		}
-	}
+	h.removeLocked(s)
 	h.mu.Unlock()
-	if removed {
-		h.subscribers.Add(-1)
-		s.once.Do(func() { close(s.ch) })
+}
+
+// removeLocked detaches s and closes its channel. It must run with
+// h.mu held: every close happens under the same lock as every
+// Publish send, so a publisher can never send on a closed channel.
+func (h *Hub) removeLocked(s *Sub) {
+	set, ok := h.subs[s.session]
+	if !ok {
+		return
 	}
+	if _, in := set[s]; !in {
+		return
+	}
+	delete(set, s)
+	if len(set) == 0 {
+		delete(h.subs, s.session)
+	}
+	h.subscribers.Add(-1)
+	s.once.Do(func() { close(s.ch) })
 }
 
 // HasSubscribers reports whether anyone is watching the session —
@@ -112,22 +118,19 @@ func (h *Hub) HasSubscribers(session string) bool {
 // the session without blocking: a full subscriber is evicted (channel
 // closed) instead of stalling the caller. Safe on a nil hub. Returns
 // how many subscribers received the event.
+//
+// Delivery happens with h.mu held — the same lock under which
+// removeLocked closes channels — so a concurrent Sub.Close or
+// CloseSession can never close a channel between the snapshot and the
+// send. The sends are buffered and non-blocking, so the critical
+// section stays short even from the solver's progress callback.
 func (h *Hub) Publish(session, typ string, data any) int {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	set := h.subs[session]
-	if len(set) == 0 {
-		h.mu.Unlock()
+	if !h.HasSubscribers(session) {
 		return 0
 	}
-	targets := make([]*Sub, 0, len(set))
-	for s := range set {
-		targets = append(targets, s)
-	}
-	h.mu.Unlock()
-
 	payload, err := json.Marshal(data)
 	if err != nil {
 		h.dropped.Add(1)
@@ -135,21 +138,23 @@ func (h *Hub) Publish(session, typ string, data any) int {
 	}
 	ev := Event{Type: typ, Data: payload}
 	delivered := 0
-	for _, s := range targets {
+	h.mu.Lock()
+	var full []*Sub
+	for s := range h.subs[session] {
 		select {
 		case s.ch <- ev:
 			delivered++
 		default:
-			h.evict(s)
+			full = append(full, s)
 		}
 	}
+	for _, s := range full {
+		h.removeLocked(s)
+		h.evicted.Add(1)
+	}
+	h.mu.Unlock()
 	h.published.Add(1)
 	return delivered
-}
-
-func (h *Hub) evict(s *Sub) {
-	h.unsubscribe(s)
-	h.evicted.Add(1)
 }
 
 // CloseSession closes every subscription of a deleted session.
@@ -158,13 +163,12 @@ func (h *Hub) CloseSession(session string) {
 		return
 	}
 	h.mu.Lock()
-	set := h.subs[session]
-	delete(h.subs, session)
-	h.mu.Unlock()
-	for s := range set {
+	for s := range h.subs[session] {
 		h.subscribers.Add(-1)
 		s.once.Do(func() { close(s.ch) })
 	}
+	delete(h.subs, session)
+	h.mu.Unlock()
 }
 
 // HubStats is the hub's counter snapshot.

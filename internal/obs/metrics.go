@@ -39,10 +39,8 @@ type family struct {
 	mu     sync.Mutex
 	series map[string]series // key = joined label values
 	// collect, when set, replaces the series map at scrape time
-	// (scrape-time snapshot families).
+	// (scrape-time snapshot families; counters and gauges only).
 	collect func(emit func(labelVals []string, value float64))
-	// histogram collect variant.
-	collectHist func(emit func(labelVals []string, h HistogramSnapshot))
 }
 
 type series interface {

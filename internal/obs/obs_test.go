@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -123,10 +124,12 @@ func TestRecordRemoteMergesIntoLocalTrace(t *testing.T) {
 		t.Fatal("merged trace missing")
 	}
 	var total, remote int
+	ids := make(map[uint64]int)
 	var walk func(ns []*SpanNode)
 	walk = func(ns []*SpanNode) {
 		for _, n := range ns {
 			total++
+			ids[n.ID]++
 			if n.Remote {
 				remote++
 			}
@@ -136,6 +139,14 @@ func TestRecordRemoteMergesIntoLocalTrace(t *testing.T) {
 	walk(tree.Spans)
 	if total != 4 || remote != 2 {
 		t.Fatalf("merged trace has %d spans (%d remote), want 4 (2 remote)", total, remote)
+	}
+	// The merge renumbers the pre-merge spans AND advances the merged
+	// trace's allocator past them, so the post-merge RecordRemote (peer
+	// b) must not reuse a renumbered ID.
+	for id, n := range ids {
+		if n > 1 {
+			t.Fatalf("span ID %d appears %d times after merge, want unique IDs", id, n)
+		}
 	}
 	if tr.Len() != 1 {
 		t.Fatalf("ring holds %d traces after merge, want 1", tr.Len())
@@ -339,6 +350,64 @@ func TestHubCloseSessionEndsStreams(t *testing.T) {
 	}
 	if n := hub.Publish("fest", "progress", 1); n != 0 {
 		t.Fatalf("publish to closed session delivered %d", n)
+	}
+}
+
+// TestHubPublishCloseRace pins the send/close discipline: publishers
+// deliver under the same lock that closes subscriber channels, so a
+// watcher disconnecting (Sub.Close), a session deletion
+// (CloseSession), or a racing publish evicting the same slow sub can
+// never make Publish send on a closed channel and panic.
+func TestHubPublishCloseRace(t *testing.T) {
+	hub := NewHub()
+	const sessions = 4
+	stop := make(chan struct{})
+	var pubs, closers sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		pubs.Add(1)
+		go func() {
+			defer pubs.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				hub.Publish(fmt.Sprintf("s%d", i%sessions), "progress", i)
+			}
+		}()
+	}
+	for c := 0; c < 4; c++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			for i := 0; i < 200; i++ {
+				name := fmt.Sprintf("s%d", i%sessions)
+				// buffer 1 so publishers race to evict it while we close.
+				sub := hub.Subscribe(name, 1)
+				switch i % 3 {
+				case 0:
+					sub.Close()
+				case 1:
+					hub.CloseSession(name)
+				default:
+					// Drain until eviction closes the channel or a few
+					// events arrive, then disconnect mid-stream.
+					for j := 0; j < 3; j++ {
+						if _, ok := <-sub.Events(); !ok {
+							break
+						}
+					}
+					sub.Close()
+				}
+			}
+		}()
+	}
+	closers.Wait()
+	close(stop)
+	pubs.Wait()
+	if n := hub.Stats().Subscribers; n != 0 {
+		t.Fatalf("subscribers = %d after all closes, want 0", n)
 	}
 }
 

@@ -300,10 +300,13 @@ func (t *Tracer) commit(tr *trace) {
 		}
 		// Merge: fold the earlier spans in under fresh IDs' order; the
 		// span IDs of independent traces may collide, so renumber ours
-		// on top.
+		// on top. Reserve the whole block via Add so tr's allocator is
+		// advanced past every renumbered ID — a later RecordRemote (or
+		// any concurrent allocation) on the merged trace cannot collide.
 		tr.mu.Lock()
 		prev.mu.Lock()
-		base := tr.nextSpan.Load()
+		n := prev.nextSpan.Load()
+		base := tr.nextSpan.Add(n) - n
 		for _, d := range prev.spans {
 			if d.ID != 0 {
 				d.ID += base

@@ -227,11 +227,15 @@ func (p *Pipeline) submit(ctx context.Context, name string, muts []Mutation) (*B
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		sp.SetAttr("outcome", "closed")
+		sp.End()
 		return nil, ErrPipelineClosed
 	}
 	if max := p.opts.maxQueue(); max > 0 && p.queued >= max {
 		p.mu.Unlock()
 		p.rejected.Add(1)
+		sp.SetAttr("outcome", "saturated")
+		sp.End()
 		return nil, ErrPipelineSaturated
 	}
 	p.queues[name] = append(p.queues[name], req)
